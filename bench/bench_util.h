@@ -1,0 +1,149 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+#include "apps/voice_translation.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/policy.h"
+
+namespace swing::bench {
+
+// Simple --key=value flag reader shared by all bench binaries.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double def) const {
+    const auto v = find(key);
+    return v.empty() ? def : std::stod(v);
+  }
+  [[nodiscard]] int get_int(const std::string& key, int def) const {
+    const auto v = find(key);
+    return v.empty() ? def : std::stoi(v);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    for (const auto& a : args_) {
+      if (a == "--" + key) return true;
+      if (a.rfind("--" + key + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::string find(const std::string& key) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return {};
+  }
+  std::vector<std::string> args_;
+};
+
+enum class App { kFaceRecognition, kVoiceTranslation };
+
+inline const char* app_name(App app) {
+  return app == App::kFaceRecognition ? "Face Recognition"
+                                      : "Voice Translation";
+}
+
+inline dataflow::AppGraph make_app_graph(App app) {
+  if (app == App::kFaceRecognition) {
+    return apps::face_recognition_graph();
+  }
+  return apps::voice_translation_graph();
+}
+
+// Result of one policy run on the paper's 9-device testbed.
+struct PolicyRunResult {
+  core::PolicyKind policy;
+  double throughput_fps = 0.0;
+  SampleStats latency_ms;
+  // Per-worker-device observations, keyed by testbed letter.
+  struct PerDevice {
+    double cpu_util = 0.0;         // Mean sampled utilisation [0,1].
+    double input_fps = 0.0;        // Tuples/s routed to the device.
+    double input_kbps = 0.0;       // Wire kB/s routed to the device.
+    double cpu_power_w = 0.0;      // Average over the measurement window.
+    double wifi_power_w = 0.0;
+  };
+  std::vector<std::pair<std::string, PerDevice>> devices;
+
+  [[nodiscard]] double aggregate_power_w() const {
+    double total = 0.0;
+    for (const auto& [name, d] : devices) {
+      total += d.cpu_power_w + d.wifi_power_w;
+    }
+    return total;
+  }
+};
+
+// Runs one policy on the paper's §VI-B testbed (A master/source/sink,
+// workers B..I, weak signal at B/C/D) and collects Fig. 4-7 metrics.
+inline PolicyRunResult run_policy_experiment(App app, core::PolicyKind policy,
+                                             double measure_s,
+                                             double warmup_s = 10.0,
+                                             std::uint64_t seed = 42) {
+  apps::TestbedConfig config;
+  config.policy = policy;
+  config.seed = seed;
+  apps::Testbed bed{config};
+  bed.launch(make_app_graph(app));
+
+  bed.run(seconds(warmup_s));
+  const SimTime t0 = bed.sim().now();
+
+  // Energy snapshots bracket the measurement window.
+  std::vector<runtime::Swarm::EnergySnapshot> before;
+  for (const auto& name : bed.worker_names()) {
+    before.push_back(bed.swarm().energy_snapshot(bed.id(name)));
+  }
+  // Device counters are cumulative; snapshot them too.
+  struct CounterSnap {
+    std::uint64_t frames, bytes;
+  };
+  std::vector<CounterSnap> counters_before;
+  for (const auto& name : bed.worker_names()) {
+    const auto& c = bed.swarm().metrics().device(bed.id(name));
+    counters_before.push_back({c.frames_from_source, c.bytes_in});
+  }
+
+  bed.run(seconds(measure_s));
+  const SimTime t1 = bed.sim().now();
+
+  PolicyRunResult result;
+  result.policy = policy;
+  result.throughput_fps = bed.swarm().metrics().throughput_fps(t0, t1);
+  result.latency_ms = bed.swarm().metrics().latency_stats(t0, t1);
+
+  for (std::size_t i = 0; i < bed.worker_names().size(); ++i) {
+    const auto& name = bed.worker_names()[i];
+    const DeviceId id = bed.id(name);
+    const auto after = bed.swarm().energy_snapshot(id);
+    const auto power = runtime::Swarm::power_between(before[i], after);
+    const auto& c = bed.swarm().metrics().device(id);
+
+    PolicyRunResult::PerDevice d;
+    d.cpu_util = c.cpu_util.mean();
+    d.input_fps = double(c.frames_from_source - counters_before[i].frames) /
+                  measure_s;
+    d.input_kbps =
+        double(c.bytes_in - counters_before[i].bytes) / 1000.0 / measure_s;
+    d.cpu_power_w = power.cpu_w;
+    d.wifi_power_w = power.wifi_w;
+    result.devices.emplace_back(name, d);
+  }
+  return result;
+}
+
+}  // namespace swing::bench

@@ -1,0 +1,99 @@
+// Extension study: battery-aware routing (ELRS) vs the paper's LRS when
+// batteries actually run down. LRS happily burns the fastest devices flat;
+// ELRS shifts load toward fuller batteries and spares nearly-empty peers,
+// extending how long the swarm can keep the stream alive.
+//
+// Batteries are scaled down (~phone battery / 400) so depletion happens in
+// simulated minutes instead of hours.
+#include "bench/bench_util.h"
+#include <set>
+
+#include "device/device.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+namespace {
+
+struct Row {
+  double fps_first_minute;
+  double first_death_s;   // When the first worker battery hits empty.
+  double swarm_dead_s;    // When throughput first drops below 1/3 target.
+  double min_battery_end;
+};
+
+Row run(core::PolicyKind policy, double horizon_s) {
+  apps::TestbedConfig config;
+  config.policy = policy;
+  config.workers = {"F", "G", "H", "I"};
+  config.weak_signal_bcd = false;
+  // Shrink batteries so depletion happens within the experiment; the
+  // devices report these real (scaled) levels in their ACKs, which is what
+  // ELRS acts on.
+  config.profile_tweak = [](device::DeviceProfile& p) {
+    p.battery_wh /= 400.0;
+  };
+  apps::Testbed bed{config};
+
+  std::vector<DeviceId> workers;
+  for (const auto& name : config.workers) workers.push_back(bed.id(name));
+
+  bed.launch(apps::face_recognition_graph());
+  const SimTime t0 = bed.sim().now();
+
+  Row r{};
+  r.first_death_s = horizon_s;
+  r.swarm_dead_s = horizon_s;
+  std::set<std::uint64_t> dead;
+  std::size_t prev_frames = 0;
+  for (int s = 1; s <= int(horizon_s); ++s) {
+    bed.run(seconds(1));
+    double min_battery = 1.0;
+    for (DeviceId id : workers) {
+      if (dead.contains(id.value())) continue;
+      const double remaining =
+          bed.swarm().device(id).battery_fraction(bed.sim().now());
+      min_battery = std::min(min_battery, remaining);
+      if (remaining <= 0.0) {
+        if (dead.empty()) {
+          r.first_death_s = (bed.sim().now() - t0).seconds();
+        }
+        dead.insert(id.value());
+        // A dead battery means the device drops off the network.
+        bed.swarm().leave_abruptly(id);
+      }
+    }
+    const auto frames = bed.swarm().metrics().frames_arrived();
+    const double fps = double(frames - prev_frames);
+    prev_frames = frames;
+    if (s <= 60) r.fps_first_minute += fps / 60.0;
+    if (fps < 8.0 && r.swarm_dead_s >= horizon_s && s > 5) {
+      r.swarm_dead_s = double(s);
+    }
+    r.min_battery_end = min_battery;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double horizon_s = args.get_double("seconds", 240.0);
+
+  std::cout << "=== Extension: battery-aware routing (F,G,H,I with scaled "
+               "batteries, FR @ 24 FPS) ===\n";
+  TextTable table({"policy", "FPS (first min)", "first battery death (s)",
+                   "stream below 8 FPS at (s)"});
+  for (core::PolicyKind policy :
+       {core::PolicyKind::kLRS, core::PolicyKind::kELRS}) {
+    const Row r = run(policy, horizon_s);
+    table.row(core::policy_name(policy), r.fps_first_minute,
+              r.first_death_s, r.swarm_dead_s);
+  }
+  table.print(std::cout);
+  std::cout << "(expected: ELRS postpones the first battery death "
+               "substantially at equal early throughput; total swarm "
+               "energy bounds the final collapse either way)\n";
+  return 0;
+}

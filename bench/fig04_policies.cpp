@@ -1,0 +1,58 @@
+// Reproduces Fig. 4: system throughput and per-frame latency
+// (min / max / mean / variance) for RR, PR, LR, PRS and LRS on both apps,
+// on the 9-device testbed with B, C, D at weak signal.
+//
+// Paper shape: LRS meets the 24 FPS target and has the lowest mean latency
+// and variance; RR collapses to a fraction of the target (the paper reports
+// LRS at 2.7x RR throughput and 6.7x lower mean latency); PR/PRS miss the
+// rate because they keep routing to weak-signal devices.
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 120.0);
+  const bool csv = args.has("csv");
+
+  for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
+    std::cout << "=== Fig 4: " << app_name(app) << " ===\n";
+    TextTable table({"policy", "throughput (FPS)", "lat min (ms)",
+                     "lat max (ms)", "lat mean (ms)", "lat stddev (ms)"});
+    std::vector<std::pair<std::string, double>> fps_bars;
+    std::vector<std::pair<std::string, double>> lat_bars;
+    double rr_fps = 0.0, rr_lat = 0.0, lrs_fps = 0.0, lrs_lat = 0.0;
+    for (core::PolicyKind policy : core::kAllPolicies) {
+      const auto r = run_policy_experiment(app, policy, measure_s);
+      table.row(core::policy_name(policy), r.throughput_fps,
+                r.latency_ms.min(), r.latency_ms.max(), r.latency_ms.mean(),
+                r.latency_ms.stddev());
+      fps_bars.emplace_back(core::policy_name(policy), r.throughput_fps);
+      lat_bars.emplace_back(core::policy_name(policy), r.latency_ms.mean());
+      if (policy == core::PolicyKind::kRR) {
+        rr_fps = r.throughput_fps;
+        rr_lat = r.latency_ms.mean();
+      }
+      if (policy == core::PolicyKind::kLRS) {
+        lrs_fps = r.throughput_fps;
+        lrs_lat = r.latency_ms.mean();
+      }
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << "throughput (FPS):\n" << render_bars(fps_bars, 40, "FPS");
+      std::cout << "mean latency (ms):\n" << render_bars(lat_bars, 40, "ms");
+    }
+    if (rr_fps > 0.0 && lrs_lat > 0.0) {
+      std::cout << "LRS vs RR: " << fmt(lrs_fps / rr_fps, 2)
+                << "x throughput, " << fmt(rr_lat / lrs_lat, 2)
+                << "x lower mean latency (paper: 2.7x, 6.7x)\n";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

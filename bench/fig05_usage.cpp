@@ -1,0 +1,50 @@
+// Reproduces Fig. 5: per-device CPU utilisation and input data rate under
+// each routing policy, for both apps.
+//
+// Paper shape: RR splits input equally; P* policies prefer fast processors
+// (including weak-signal B); L* policies avoid the weak-signal devices
+// (B, C, D); *S policies concentrate on a selected subset; weak processors
+// (E) burn a larger CPU share for the same input.
+#include "bench/bench_util.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 120.0);
+  const bool csv = args.has("csv");
+
+  for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
+    std::cout << "=== Fig 5: " << app_name(app)
+              << " — CPU usage (%) per device ===\n";
+    TextTable cpu({"policy", "B", "C", "D", "E", "F", "G", "H", "I"});
+    TextTable rate({"policy", "B", "C", "D", "E", "F", "G", "H", "I"});
+    for (core::PolicyKind policy : core::kAllPolicies) {
+      const auto r = run_policy_experiment(app, policy, measure_s);
+      std::vector<std::string> cpu_row = {core::policy_name(policy)};
+      std::vector<std::string> rate_row = {core::policy_name(policy)};
+      for (const auto& [name, d] : r.devices) {
+        cpu_row.push_back(fmt(100.0 * d.cpu_util, 0));
+        rate_row.push_back(fmt(d.input_fps, 1));
+      }
+      cpu.add_row(std::move(cpu_row));
+      rate.add_row(std::move(rate_row));
+    }
+    if (csv) {
+      cpu.print_csv(std::cout);
+    } else {
+      cpu.print(std::cout);
+    }
+    std::cout << "--- input rate from source (FPS) per device ---\n";
+    if (csv) {
+      rate.print_csv(std::cout);
+    } else {
+      rate.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "(paper: RR equal split; L* avoid weak-signal B/C/D; *S "
+               "select a subset; E burns more CPU per frame)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Fig. 6: estimated CPU and Wi-Fi power per device and aggregate
+// power per policy, for both apps, using the paper's utilisation-based
+// power-modelling methodology (§VI-B2).
+//
+// Paper shape: CPU power dominates Wi-Fi; slow devices (E) burn
+// disproportionate power when loaded; PRS draws the least aggregate power
+// (fastest, most efficient devices); LRS draws the most (it will use
+// well-connected but less efficient devices to hold latency down).
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 120.0);
+  const bool csv = args.has("csv");
+
+  for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
+    std::cout << "=== Fig 6: " << app_name(app)
+              << " — per-device power (W, CPU+WiFi) ===\n";
+    TextTable table({"policy", "B", "C", "D", "E", "F", "G", "H", "I",
+                     "aggregate (W)"});
+    std::vector<std::pair<std::string, double>> bars;
+    for (core::PolicyKind policy : core::kAllPolicies) {
+      const auto r = run_policy_experiment(app, policy, measure_s);
+      std::vector<std::string> row = {core::policy_name(policy)};
+      for (const auto& [name, d] : r.devices) {
+        row.push_back(fmt(d.cpu_power_w + d.wifi_power_w, 2));
+      }
+      row.push_back(fmt(r.aggregate_power_w(), 2));
+      table.add_row(std::move(row));
+      bars.emplace_back(core::policy_name(policy), r.aggregate_power_w());
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << render_bars(bars, 40, "W");
+    }
+    std::cout << "--- CPU / WiFi split per policy ---\n";
+    TextTable split({"policy", "CPU (W)", "WiFi (W)"});
+    for (core::PolicyKind policy : core::kAllPolicies) {
+      const auto r = run_policy_experiment(app, policy, measure_s);
+      double cpu = 0.0, wifi = 0.0;
+      for (const auto& [name, d] : r.devices) {
+        cpu += d.cpu_power_w;
+        wifi += d.wifi_power_w;
+      }
+      split.row(core::policy_name(policy), cpu, wifi);
+    }
+    if (csv) {
+      split.print_csv(std::cout);
+    } else {
+      split.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "(paper aggregates, FR: RR 2.35 PR 2.45 LR 3.44 PRS 1.88 "
+               "LRS 3.67 W; VT: RR 5.44 PR 4.60 LR 4.35 PRS 3.76 LRS "
+               "5.17 W)\n";
+  return 0;
+}

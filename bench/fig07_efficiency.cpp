@@ -1,0 +1,40 @@
+// Reproduces Fig. 7: energy efficiency (FPS per Watt) of every routing
+// policy — throughput from Fig. 4 divided by aggregate power from Fig. 6.
+//
+// Paper shape: worker selection (*S) greatly improves efficiency; LRS wins
+// for face recognition and is slightly below PRS for voice translation,
+// while being the only policy that always meets the real-time rate.
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 120.0);
+
+  for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
+    std::cout << "=== Fig 7: " << app_name(app) << " — FPS per Watt ===\n";
+    TextTable table(
+        {"policy", "throughput (FPS)", "power (W)", "FPS/Watt"});
+    std::vector<std::pair<std::string, double>> bars;
+    for (core::PolicyKind policy : core::kAllPolicies) {
+      const auto r = run_policy_experiment(app, policy, measure_s);
+      const double watts = r.aggregate_power_w();
+      const double efficiency =
+          watts > 0.0 ? r.throughput_fps / watts : 0.0;
+      table.row(core::policy_name(policy), r.throughput_fps, watts,
+                efficiency);
+      bars.emplace_back(core::policy_name(policy), efficiency);
+    }
+    if (args.has("csv")) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+      std::cout << render_bars(bars, 40, "FPS/W");
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

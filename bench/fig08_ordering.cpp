@@ -1,0 +1,136 @@
+// Reproduces Fig. 8: tuple ordering at the sink. Gray dots in the paper are
+// raw arrival timings of each frame id; the solid line is playback after
+// the 24-tuple (1 second) reorder buffer. We quantify the same effect per
+// policy: how scrambled arrivals are, and how smooth playback is after
+// reordering — LRS should need the least reordering and play back smoothest.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+namespace {
+
+struct OrderingResult {
+  std::size_t frames = 0;
+  double inversion_fraction = 0.0;   // Arrivals out of order.
+  double mean_displacement = 0.0;    // |arrival position - id position|.
+  double playback_gap_stddev_ms = 0.0;  // Smoothness of the solid line.
+  std::uint64_t late_drops = 0;
+  // The paper's plot: frame id vs arrival time (dots) and playback (line).
+  ChartSeries arrivals{"arrival", '.', {}};
+  ChartSeries playback{"playback", 'o', {}};
+};
+
+OrderingResult run(core::PolicyKind policy, double measure_s) {
+  apps::TestbedConfig config;
+  config.policy = policy;
+  apps::Testbed bed{config};
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(10));
+  const SimTime t0 = bed.sim().now();
+  bed.run(seconds(measure_s));
+
+  // Arrival sequence of frame ids within the window.
+  std::vector<std::pair<SimTime, std::uint64_t>> arrivals;
+  for (const auto& p : bed.swarm().metrics().arrivals().points()) {
+    if (p.time >= t0) arrivals.emplace_back(p.time, std::uint64_t(p.value));
+  }
+
+  OrderingResult r;
+  r.frames = arrivals.size();
+  if (arrivals.size() < 2) return r;
+
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i].second < arrivals[i - 1].second) ++inversions;
+  }
+  r.inversion_fraction = double(inversions) / double(arrivals.size() - 1);
+
+  // Displacement: compare arrival position with id-sorted position.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(arrivals.size());
+  for (const auto& [t, id] : arrivals) ids.push_back(id);
+  std::vector<std::uint64_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  double total_disp = 0.0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), ids[i]);
+    total_disp += std::abs(double(it - sorted.begin()) - double(i));
+  }
+  r.mean_displacement = total_disp / double(ids.size());
+
+  // Playback smoothness: stddev of inter-display intervals.
+  std::vector<SimTime> plays;
+  for (const auto& p : bed.swarm().metrics().plays().points()) {
+    if (p.time >= t0) plays.push_back(p.time);
+  }
+  OnlineStats gaps;
+  for (std::size_t i = 1; i < plays.size(); ++i) {
+    gaps.add((plays[i] - plays[i - 1]).millis());
+  }
+  r.playback_gap_stddev_ms = gaps.stddev();
+
+  const auto* reorder = bed.swarm().worker(bed.id("A"))->reorder_of(
+      bed.swarm().graph().sinks()[0]);
+  if (reorder != nullptr) r.late_drops = reorder->late_drops();
+
+  // First ~15 s of the window, like the paper's Fig. 8 panels.
+  const SimTime chart_end = t0 + seconds(15);
+  for (const auto& [t, id] : arrivals) {
+    if (t < chart_end) {
+      r.arrivals.points.emplace_back((t - t0).seconds(), double(id));
+    }
+  }
+  for (const auto& p : bed.swarm().metrics().plays().points()) {
+    if (p.time >= t0 && p.time < chart_end) {
+      r.playback.points.emplace_back((p.time - t0).seconds(), p.value);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 60.0);
+
+  std::cout << "=== Fig 8: tuple ordering at the sink (face recognition, "
+               "24-tuple reorder buffer) ===\n";
+  TextTable table({"policy", "frames", "arrival inversions (%)",
+                   "mean displacement", "playback gap stddev (ms)",
+                   "late drops"});
+  std::vector<std::pair<std::string, OrderingResult>> charts;
+  for (core::PolicyKind policy : core::kAllPolicies) {
+    auto r = run(policy, measure_s);
+    table.row(core::policy_name(policy), r.frames,
+              100.0 * r.inversion_fraction, r.mean_displacement,
+              r.playback_gap_stddev_ms, r.late_drops);
+    if (policy == core::PolicyKind::kRR ||
+        policy == core::PolicyKind::kLRS) {
+      charts.emplace_back(core::policy_name(policy), std::move(r));
+    }
+  }
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  // Render the paper's panels for the extreme policies.
+  for (auto& [name, r] : charts) {
+    std::cout << "\n--- frame id vs time, " << name
+              << " (first 15 s; '.' arrival, 'o' playback) ---\n";
+    ChartOptions options;
+    options.width = 70;
+    options.height = 14;
+    options.x_label = "time (s)";
+    options.y_label = "frame id";
+    std::cout << render_chart({r.arrivals, r.playback}, options);
+  }
+  std::cout << "\n(paper: dots scatter except under LRS; *S policies play "
+               "back smoothest because fewer devices mean less skew)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Fig. 9: throughput over time as a device joins (left) and
+// leaves (right) during computation, under LRS.
+//
+//   Join:  A runs master/source; B and D compute; G launches Swing mid-run
+//          and throughput rises to the full 24 FPS within ~1 s.
+//   Leave: B, G, H compute; G is terminated abruptly; throughput dips while
+//          the dead route drains, frames are lost during recovery, then it
+//          settles at what B + H can deliver (~16 FPS in the paper).
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+namespace {
+
+void print_bins(const apps::Testbed& bed,
+                const std::vector<std::size_t>& bins, int event_s,
+                const char* label) {
+  (void)bed;
+  TextTable table({"t (s)", "throughput (FPS)", ""});
+  ChartSeries tput{"throughput (FPS)", '*', {}};
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    table.row(i, bins[i], int(i) == event_s ? label : "");
+    tput.points.emplace_back(double(i), double(bins[i]));
+  }
+  table.print(std::cout);
+  ChartOptions options;
+  options.width = 60;
+  options.height = 10;
+  options.y_min = 0.0;
+  options.y_max = 30.0;
+  options.x_label = "time (s)";
+  std::cout << render_chart({tput}, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const int before_s = args.get_int("before", 10);
+  const int after_s = args.get_int("after", 15);
+
+  std::cout << "=== Fig 9 (left): device G joins at t=" << before_s
+            << "s ===\n";
+  {
+    apps::TestbedConfig config;
+    config.workers = {"B", "D", "G"};
+    config.weak_signal_bcd = false;
+    apps::Testbed bed{config};
+    auto& swarm = bed.swarm();
+    swarm.launch_master(bed.id("A"), apps::face_recognition_graph());
+    swarm.launch_worker(bed.id("B"));
+    swarm.launch_worker(bed.id("D"));
+    bed.sim().run_for(seconds(1));
+    swarm.start();
+    const SimTime t0 = bed.sim().now();
+    bed.run(seconds(double(before_s)));
+    swarm.launch_worker(bed.id("G"));
+    bed.run(seconds(double(after_s)));
+    print_bins(bed,
+               swarm.metrics().throughput_bins(t0, bed.sim().now()),
+               before_s, "<- G joins");
+    std::cout << "(paper: rises to 24 FPS within a second of G's arrival; "
+                 "no data lost)\n\n";
+  }
+
+  std::cout << "=== Fig 9 (right): device G leaves abruptly at t="
+            << before_s << "s ===\n";
+  {
+    apps::TestbedConfig config;
+    config.workers = {"B", "G", "H"};
+    config.weak_signal_bcd = false;
+    apps::Testbed bed{config};
+    bed.launch(apps::face_recognition_graph());
+    auto& swarm = bed.swarm();
+    const SimTime t0 = bed.sim().now();
+    bed.run(seconds(double(before_s)));
+    const auto sent_before = swarm.metrics().frames_arrived();
+    swarm.leave_abruptly(bed.id("G"));
+    bed.run(seconds(double(after_s)));
+    print_bins(bed,
+               swarm.metrics().throughput_bins(t0, bed.sim().now()),
+               before_s, "<- G leaves");
+    const auto source_total =
+        swarm.metrics().frames_arrived() - sent_before;
+    const auto expected = std::size_t(24 * after_s);
+    const auto lost = expected > source_total ? expected - source_total : 0;
+    std::cout << "frames lost around the departure: ~" << lost
+              << " (paper: 13; recovery to ~16 FPS within one second)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks of the framework's hot paths (google-benchmark):
+// routing decisions, estimator updates, tuple serialization, the event
+// queue, the medium, and the reorder buffer. The paper's LRS design
+// argument is that per-tuple routing is O(1) ("only requires random number
+// generation") — BM_Route quantifies that.
+#include <benchmark/benchmark.h>
+
+#include "core/swarm_manager.h"
+#include "dataflow/tuple.h"
+#include "net/medium.h"
+#include "runtime/reorder.h"
+#include "sim/simulator.h"
+
+namespace swing {
+namespace {
+
+void BM_RngWeightedPick(benchmark::State& state) {
+  Rng rng{1};
+  std::vector<double> weights(std::size_t(state.range(0)));
+  for (auto& w : weights) w = rng.uniform() + 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.weighted_pick(weights));
+  }
+}
+BENCHMARK(BM_RngWeightedPick)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_Route(benchmark::State& state) {
+  core::SwarmManagerConfig config;
+  config.policy = core::PolicyKind::kLRS;
+  core::SwarmManager manager{config, Rng{1}};
+  for (std::uint64_t i = 0; i < std::uint64_t(state.range(0)); ++i) {
+    manager.add_downstream(InstanceId{i});
+    for (int k = 0; k < 5; ++k) {
+      manager.record_ack(InstanceId{i}, 50.0 + double(i) * 10.0, 30.0,
+                         SimTime{});
+    }
+  }
+  manager.tick(SimTime{} + seconds(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.route(SimTime{} + seconds(1)));
+  }
+}
+BENCHMARK(BM_Route)->Arg(8)->Arg(64);
+
+void BM_PolicyDecide(benchmark::State& state) {
+  const auto policy = core::RoutingPolicy::make(core::PolicyKind::kLRS);
+  std::vector<core::DownstreamInfo> downs;
+  Rng rng{2};
+  for (std::uint64_t i = 0; i < std::uint64_t(state.range(0)); ++i) {
+    downs.push_back({InstanceId{i}, 50.0 + rng.uniform() * 400.0,
+                     30.0 + rng.uniform() * 200.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->decide(downs, 24.0));
+  }
+}
+BENCHMARK(BM_PolicyDecide)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EstimatorRecordAck(benchmark::State& state) {
+  core::LatencyEstimator est;
+  for (std::uint64_t i = 0; i < 8; ++i) est.add_downstream(InstanceId{i});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    est.record_ack(InstanceId{i++ % 8}, 75.0, 45.0, SimTime{});
+  }
+}
+BENCHMARK(BM_EstimatorRecordAck);
+
+void BM_TupleSerialize(benchmark::State& state) {
+  dataflow::Tuple t{TupleId{1}, SimTime{}};
+  t.set("frame", dataflow::Blob{6000, 42});
+  t.set("name", std::string{"alice"});
+  t.set("confidence", 0.93);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.to_bytes());
+  }
+}
+BENCHMARK(BM_TupleSerialize);
+
+void BM_TupleRoundTrip(benchmark::State& state) {
+  dataflow::Tuple t{TupleId{1}, SimTime{}};
+  t.set("frame", dataflow::Blob{6000, 42});
+  t.set("faces", std::int64_t{2});
+  const Bytes wire = t.to_bytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::Tuple::from_bytes(wire));
+  }
+}
+BENCHMARK(BM_TupleRoundTrip);
+
+void BM_SimulatorScheduleStep(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.schedule_after(millis(1), [] {});
+    sim.step();
+  }
+}
+BENCHMARK(BM_SimulatorScheduleStep);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    const EventId id = sim.schedule_after(millis(1), [] {});
+    sim.cancel(id);
+  }
+}
+BENCHMARK(BM_SimulatorCancel);
+
+void BM_MediumMessage(benchmark::State& state) {
+  // Full lifecycle of a 6 kB message over the shared medium.
+  Simulator sim;
+  net::Medium medium{sim};
+  medium.attach(DeviceId{0}, net::Position{1.0, 0.0});
+  medium.attach(DeviceId{1}, net::Position{2.0, 0.0});
+  for (auto _ : state) {
+    medium.send(DeviceId{0}, DeviceId{1}, 6000, [] {});
+    sim.run();
+  }
+}
+BENCHMARK(BM_MediumMessage);
+
+void BM_ReorderPush(benchmark::State& state) {
+  runtime::ReorderBuffer buf{24, [](const dataflow::Tuple&, SimTime) {}};
+  Rng rng{3};
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    // Bounded scrambling, like real arrivals.
+    const std::uint64_t jitter = rng.uniform_int(8);
+    buf.push(dataflow::Tuple{TupleId{id + jitter}, SimTime{}}, SimTime{});
+    ++id;
+  }
+}
+BENCHMARK(BM_ReorderPush);
+
+}  // namespace
+}  // namespace swing
+
+BENCHMARK_MAIN();

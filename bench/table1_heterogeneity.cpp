@@ -1,0 +1,57 @@
+// Reproduces Table I: per-device face-recognition processing delay
+// (excluding queuing) and throughput when phone A streams 24 FPS video to
+// each device in turn. The paper ran each pairing for 10 minutes (14400
+// frames); pass --seconds=600 for the full-length run.
+#include "bench/bench_util.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const double measure_s = args.get_double("seconds", 60.0);
+
+  struct PaperRow {
+    const char* name;
+    double delay_ms;
+    double fps;
+  };
+  const PaperRow paper[] = {
+      {"B", 92.9, 10}, {"C", 121.6, 8}, {"D", 167.7, 6}, {"E", 463.4, 2},
+      {"F", 166.4, 5}, {"G", 82.2, 12}, {"H", 71.3, 13}, {"I", 78.0, 12},
+  };
+
+  TextTable table({"device", "model", "proc delay (ms)", "paper (ms)",
+                   "throughput (FPS)", "paper (FPS)"});
+
+  for (const auto& row : paper) {
+    apps::TestbedConfig config;
+    config.workers = {row.name};
+    config.weak_signal_bcd = false;
+    apps::Testbed bed{config};
+    bed.launch(apps::face_recognition_graph());
+    bed.run(seconds(5));  // Warmup.
+    const SimTime t0 = bed.sim().now();
+    const auto frames_before = bed.swarm().metrics().frames_arrived();
+    bed.run(seconds(measure_s));
+
+    // Processing component only (the paper's Table I excludes queuing).
+    OnlineStats processing;
+    for (const auto& f : bed.swarm().metrics().frames()) {
+      if (f.arrival >= t0) processing.add(f.breakdown.processing_ms);
+    }
+    const double fps =
+        double(bed.swarm().metrics().frames_arrived() - frames_before) /
+        measure_s;
+    table.row(row.name, device::profile_by_name(row.name).model,
+              processing.mean(), row.delay_ms, fps, row.fps);
+  }
+
+  std::cout << "=== Table I: performance heterogeneity (24 FPS offered) ===\n";
+  if (args.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

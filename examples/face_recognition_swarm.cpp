@@ -1,0 +1,67 @@
+// The paper's motivating scenario (§I): a security team patrols with nine
+// phones; no single device sustains 24 FPS face recognition, but the swarm
+// does. Runs the full testbed twice — every phone for itself vs Swing with
+// LRS — and prints the difference.
+#include <iostream>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+#include "common/table.h"
+
+using namespace swing;
+
+namespace {
+
+struct Outcome {
+  double fps;
+  double mean_latency_ms;
+  double p95_latency_ms;
+};
+
+Outcome run_single_device(const std::string& worker) {
+  apps::TestbedConfig config;
+  config.workers = {worker};
+  config.weak_signal_bcd = false;
+  apps::Testbed bed{config};
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(30));
+  const SimTime t = bed.sim().now();
+  const auto stats =
+      bed.swarm().metrics().latency_stats(t - seconds(20), t);
+  return {bed.swarm().metrics().throughput_fps(t - seconds(20), t),
+          stats.mean(), stats.quantile(0.95)};
+}
+
+Outcome run_swarm() {
+  apps::Testbed bed;  // Full 9-device testbed, LRS.
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(30));
+  const SimTime t = bed.sim().now();
+  const auto stats =
+      bed.swarm().metrics().latency_stats(t - seconds(20), t);
+  return {bed.swarm().metrics().throughput_fps(t - seconds(20), t),
+          stats.mean(), stats.quantile(0.95)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Face recognition at 24 FPS: single device vs the swarm\n\n";
+
+  TextTable table({"configuration", "throughput (FPS)", "mean latency (ms)",
+                   "p95 latency (ms)"});
+  for (const std::string name : {"E", "B", "H"}) {
+    const Outcome o = run_single_device(name);
+    table.row(device::profile_by_name(name).model + " alone", o.fps,
+              o.mean_latency_ms, o.p95_latency_ms);
+  }
+  const Outcome swarm = run_swarm();
+  table.row("Swing swarm (9 devices, LRS)", swarm.fps,
+            swarm.mean_latency_ms, swarm.p95_latency_ms);
+  table.print(std::cout);
+
+  std::cout << "\nNo phone alone reaches the 24 FPS needed for smooth "
+               "video;\nthe swarm hits the target with sub-second "
+               "latency.\n";
+  return 0;
+}

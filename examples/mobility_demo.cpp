@@ -1,0 +1,66 @@
+// Dynamism walkthrough: devices join mid-run, a user walks away from the
+// access point (RSSI decays smoothly with distance), and a phone dies
+// abruptly — while Swing keeps the face-recognition stream alive. Prints a
+// per-second timeline of what the swarm is doing.
+#include <iostream>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+#include "common/table.h"
+
+using namespace swing;
+
+int main() {
+  apps::TestbedConfig config;
+  config.workers = {"B", "G", "H"};
+  config.weak_signal_bcd = false;
+  apps::Testbed bed{config};
+  auto& swarm = bed.swarm();
+  auto& sim = bed.sim();
+
+  // Start with just B; the phone closest to the camera does what it can.
+  swarm.launch_master(bed.id("A"), apps::face_recognition_graph());
+  swarm.launch_worker(bed.id("B"));
+  sim.run_for(seconds(1));
+  swarm.start();
+  const SimTime t0 = sim.now();
+
+  // Timeline of events.
+  sim.schedule_at(t0 + seconds(8), [&] { swarm.launch_worker(bed.id("G")); });
+  sim.schedule_at(t0 + seconds(16), [&] { swarm.launch_worker(bed.id("H")); });
+  // At 24 s, G's user walks away from the AP at pedestrian speed; the
+  // log-distance path-loss model turns distance into RSSI decay.
+  sim.schedule_at(t0 + seconds(24), [&] {
+    swarm.medium().set_rssi_override(bed.id("G"), std::nullopt);
+    swarm.medium().set_position(bed.id("G"), {2.0, 0.0});
+    swarm.walker(bed.id("G")).walk_to({120.0, 0.0}, 1.5);
+  });
+  // At 40 s, B's battery dies without warning.
+  sim.schedule_at(t0 + seconds(40), [&] { swarm.leave_abruptly(bed.id("B")); });
+
+  TextTable table({"t (s)", "event", "FPS", "G RSSI (dBm)", "members"});
+  std::size_t prev_frames = 0;
+  const char* events[60] = {};
+  events[8] = "G joins";
+  events[16] = "H joins";
+  events[24] = "G walks away";
+  events[40] = "B dies abruptly";
+
+  for (int s = 1; s <= 50; ++s) {
+    sim.run_until(t0 + seconds(double(s)));
+    const auto frames = swarm.metrics().frames_arrived();
+    if (s % 2 == 0 || (s < 60 && events[s] != nullptr)) {
+      table.row(s, events[s] ? events[s] : "",
+                double(frames - prev_frames),
+                fmt(swarm.medium().rssi(bed.id("G")), 0),
+                swarm.master()->member_count());
+    }
+    prev_frames = frames;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe stream survives joins, a user walking out of range "
+               "and an abrupt death;\nthroughput follows the available "
+               "capacity throughout.\n";
+  return 0;
+}

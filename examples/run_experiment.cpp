@@ -1,0 +1,121 @@
+// run_experiment: a small CLI for driving custom Swing experiments without
+// writing code — pick an app, a routing policy, a device roster, signal
+// zones and a duration, and get the standard report.
+//
+//   run_experiment --app=fr --policy=LRS --workers=B,C,G,H \
+//                  --weak=B,C --seconds=60 --fps=24
+//
+// Apps: fr (face recognition), vt (voice translation), scene (diamond
+// scene analysis), gesture (windowed accelerometer classification).
+// Policies: RR, PR, LR, PRS, LRS, plus the battery-aware ELRS extension.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/face_recognition.h"
+#include "apps/gesture_recognition.h"
+#include "apps/scene_analysis.h"
+#include "apps/testbed.h"
+#include "apps/voice_translation.h"
+#include "common/table.h"
+
+using namespace swing;
+
+namespace {
+
+std::string flag(int argc, char** argv, const std::string& key,
+                 const std::string& def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return def;
+}
+
+std::vector<std::string> split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream in{csv};
+  for (std::string item; std::getline(in, item, ',');) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string app = flag(argc, argv, "app", "fr");
+  const std::string policy = flag(argc, argv, "policy", "LRS");
+  const auto workers = split(
+      flag(argc, argv, "workers", "B,C,D,E,F,G,H,I"));
+  const auto weak = split(flag(argc, argv, "weak", ""));
+  const double seconds_ = std::stod(flag(argc, argv, "seconds", "60"));
+  const double fps = std::stod(flag(argc, argv, "fps", "0"));
+  const double weak_rssi = std::stod(flag(argc, argv, "rssi", "-78"));
+
+  apps::TestbedConfig config;
+  config.policy = core::policy_from_name(policy);
+  config.workers = workers;
+  config.weak_signal_bcd = false;  // Zones come from --weak below.
+  apps::Testbed bed{config};
+  for (const auto& name : weak) {
+    bed.swarm().medium().set_rssi_override(bed.id(name), weak_rssi);
+  }
+
+  dataflow::AppGraph graph;
+  if (app == "fr") {
+    apps::FaceRecognitionConfig c;
+    if (fps > 0) c.fps = fps;
+    graph = apps::face_recognition_graph(c);
+  } else if (app == "vt") {
+    apps::VoiceTranslationConfig c;
+    if (fps > 0) c.fps = fps;
+    graph = apps::voice_translation_graph(c);
+  } else if (app == "scene") {
+    apps::SceneAnalysisConfig c;
+    if (fps > 0) c.fps = fps;
+    graph = apps::scene_analysis_graph(c);
+  } else if (app == "gesture") {
+    apps::GestureConfig c;
+    if (fps > 0) c.sample_hz = fps;
+    graph = apps::gesture_recognition_graph(c);
+  } else {
+    std::cerr << "unknown --app=" << app
+              << " (fr | vt | scene | gesture)\n";
+    return 1;
+  }
+
+  bed.launch(std::move(graph));
+  bed.run(swing::seconds(10));  // Warmup.
+  const SimTime t0 = bed.sim().now();
+  bed.run(swing::seconds(seconds_));
+  const SimTime t1 = bed.sim().now();
+
+  auto& metrics = bed.swarm().metrics();
+  const auto stats = metrics.latency_stats(t0, t1);
+  std::cout << "app=" << app << " policy=" << policy << " workers="
+            << workers.size() << " window=" << seconds_ << "s\n\n";
+  std::cout << "throughput: " << fmt(metrics.throughput_fps(t0, t1), 2)
+            << " FPS\nlatency: mean " << fmt(stats.mean(), 1) << " ms, p50 "
+            << fmt(stats.median(), 1) << " ms, p95 "
+            << fmt(stats.quantile(0.95), 1) << " ms, max "
+            << fmt(stats.max(), 1) << " ms\n\n";
+
+  TextTable table({"device", "model", "input FPS", "mean CPU", "power (W)",
+                   "RSSI (dBm)"});
+  for (const auto& name : workers) {
+    const DeviceId id = bed.id(name);
+    const auto& counters = metrics.device(id);
+    const auto power = bed.swarm().average_power(id);
+    table.row(name, device::profile_by_name(name).model,
+              fmt(double(counters.frames_from_source) /
+                      (t1 - SimTime{}).seconds(),
+                  1),
+              fmt(100.0 * counters.cpu_util.mean(), 0) + "%",
+              power.total_w(), bed.swarm().medium().rssi(id));
+  }
+  table.print(std::cout);
+  return 0;
+}

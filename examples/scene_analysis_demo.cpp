@@ -1,0 +1,49 @@
+// Scene analysis demo: a diamond dataflow graph (camera fans out to a face
+// branch and an object branch; a stateful fusion unit joins the halves)
+// running on a small swarm. Shows that Swing's per-edge routing handles
+// non-linear graphs and that the join sees every frame exactly once.
+#include <iostream>
+
+#include "apps/scene_analysis.h"
+#include "apps/testbed.h"
+#include "common/table.h"
+#include "dataflow/function_unit.h"
+
+using namespace swing;
+
+int main() {
+  apps::TestbedConfig config;
+  config.workers = {"G", "H", "I"};
+  config.weak_signal_bcd = false;
+  apps::Testbed bed{config};
+
+  apps::SceneAnalysisConfig app;
+  app.fps = 10.0;
+  app.max_frames = 100;
+  bed.launch(apps::scene_analysis_graph(app));
+  bed.run(seconds(20));
+  bed.swarm().shutdown();
+
+  auto& metrics = bed.swarm().metrics();
+  std::cout << "fused scenes delivered: " << metrics.frames_arrived() << "/"
+            << app.max_frames << "\n";
+  const auto stats = metrics.latency_stats();
+  std::cout << "scene latency: mean " << fmt(stats.mean(), 0) << " ms, p95 "
+            << fmt(stats.quantile(0.95), 0) << " ms\n\n";
+
+  // Where did each branch run? Inspect the camera's two edge managers.
+  const auto& g = bed.swarm().graph();
+  const auto camera = g.sources()[0];
+  TextTable table({"edge", "routed tuples"});
+  for (OperatorId down : g.downstreams(camera)) {
+    const auto* manager =
+        bed.swarm().worker(bed.id("A"))->manager_of(camera, down);
+    table.row(g.op(down).name, manager != nullptr ? manager->routed_tuples()
+                                                  : 0);
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth branches carried the full stream — fan-out routes a "
+               "copy of every frame\nper outgoing edge, and the fusion "
+               "unit joined each pair exactly once.\n";
+  return 0;
+}

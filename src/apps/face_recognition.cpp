@@ -1,0 +1,161 @@
+#include "apps/face_recognition.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/tuple.h"
+#include "dataflow/value.h"
+
+namespace swing::apps {
+
+using dataflow::Blob;
+using dataflow::Context;
+using dataflow::FunctionUnit;
+using dataflow::Tuple;
+
+Embedding face_embedding(std::uint64_t tag) {
+  // Expand the content tag into a unit-normalised 16-d feature vector with
+  // a SplitMix64 stream — deterministic, well-spread, cheap.
+  SplitMix64 sm{tag ^ 0xfacefacefacefaceULL};
+  Embedding e{};
+  double norm = 0.0;
+  for (auto& x : e) {
+    x = float(double(sm.next() >> 11) * 0x1.0p-53 - 0.5);
+    norm += double(x) * double(x);
+  }
+  const float inv = float(1.0 / std::sqrt(norm));
+  for (auto& x : e) x *= inv;
+  return e;
+}
+
+std::vector<std::string> face_gallery(std::size_t size) {
+  static const char* kNames[] = {
+      "alice", "bob",   "carol", "dave",  "erin",  "frank", "grace",
+      "heidi", "ivan",  "judy",  "karl",  "laura", "mike",  "nina",
+      "oscar", "peggy", "quinn", "rosa",  "steve", "trudy", "uma",
+      "victor", "wendy", "xena", "yusuf", "zara",
+  };
+  std::vector<std::string> gallery;
+  gallery.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::string name = kNames[i % std::size(kNames)];
+    if (i >= std::size(kNames)) name += std::to_string(i / std::size(kNames));
+    gallery.push_back(std::move(name));
+  }
+  return gallery;
+}
+
+std::size_t match_face(const Embedding& probe,
+                       const std::vector<Embedding>& gallery) {
+  std::size_t best = 0;
+  float best_score = -2.0f;
+  for (std::size_t i = 0; i < gallery.size(); ++i) {
+    float dot = 0.0f;
+    for (std::size_t d = 0; d < probe.size(); ++d) {
+      dot += probe[d] * gallery[i][d];
+    }
+    if (dot > best_score) {
+      best_score = dot;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Detector: "finds" 1-2 faces in the frame and forwards the dominant face
+// region (a smaller blob) with its content tag, which encodes identity.
+class DetectorUnit final : public FunctionUnit {
+ public:
+  explicit DetectorUnit(std::uint64_t face_bytes)
+      : face_bytes_(face_bytes) {}
+
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* frame = input.get_as<Blob>("frame");
+    if (frame == nullptr) return;  // Malformed input: nothing detectable.
+    const std::int64_t num_faces = 1 + std::int64_t(frame->tag % 2);
+    Tuple out = input.derive();
+    out.set("face", Blob{face_bytes_, frame->tag});
+    out.set("num_faces", num_faces);
+    ctx.emit(std::move(out));
+  }
+
+ private:
+  std::uint64_t face_bytes_;
+};
+
+// Recognizer: embeds the face region and matches the gallery.
+class RecognizerUnit final : public FunctionUnit {
+ public:
+  explicit RecognizerUnit(std::size_t gallery_size) {
+    names_ = face_gallery(gallery_size);
+    gallery_.reserve(gallery_size);
+    for (std::size_t i = 0; i < gallery_size; ++i) {
+      gallery_.push_back(face_embedding(/*tag=*/0x1000 + i));
+    }
+  }
+
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* face = input.get_as<Blob>("face");
+    if (face == nullptr) return;
+    const Embedding probe = face_embedding(face->tag);
+    const std::size_t hit = match_face(probe, gallery_);
+    float confidence = 0.0f;
+    for (std::size_t d = 0; d < probe.size(); ++d) {
+      confidence += probe[d] * gallery_[hit][d];
+    }
+    Tuple out = input.derive();
+    out.set("name", names_[hit]);
+    out.set("confidence", double(confidence));
+    ctx.emit(std::move(out));
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Embedding> gallery_;
+};
+
+}  // namespace
+
+dataflow::AppGraph face_recognition_graph(
+    const FaceRecognitionConfig& config) {
+  dataflow::AppGraph graph;
+
+  dataflow::SourceSpec camera;
+  camera.rate_per_s = config.fps;
+  camera.max_tuples = config.max_frames;
+  camera.generate = [frame_bytes = config.frame_bytes](TupleId id, SimTime,
+                                                       Rng&) {
+    Tuple t;
+    // The tag models frame content: consecutive frames mostly show the same
+    // person, switching every ~48 frames (2 s of video).
+    t.set("frame", Blob{frame_bytes, id.value() / 48});
+    return t;
+  };
+  const auto src = graph.add_source("camera", std::move(camera));
+
+  const auto detector = graph.add_transform(
+      "detector",
+      [face_bytes = config.face_bytes] {
+        return std::make_unique<DetectorUnit>(face_bytes);
+      },
+      dataflow::constant_cost(config.detect_cost_ms));
+
+  const auto recognizer = graph.add_transform(
+      "recognizer",
+      [gallery = config.gallery_size] {
+        return std::make_unique<RecognizerUnit>(gallery);
+      },
+      dataflow::constant_cost(config.recognize_cost_ms));
+
+  const auto sink = graph.add_sink("display", config.display);
+
+  graph.connect(src, detector);
+  graph.connect(detector, recognizer);
+  graph.connect(recognizer, sink);
+  return graph;
+}
+
+}  // namespace swing::apps

@@ -1,0 +1,57 @@
+// The paper's first evaluation app: camera-based face recognition.
+//
+// Four function units (paper §IV-A, §VI-A):
+//   camera      (source) — reads 400x226 video frames (6.0 kB) at 24 FPS
+//   detector    — finds face regions in a frame  (OpenCV CascadeClassifier)
+//   recognizer  — matches faces against a name gallery (FaceRecognizer)
+//   display     (sink) — shows the annotated result
+//
+// The vision kernels are synthetic: frames are Blob payloads and the
+// detector/recognizer run small deterministic feature-hash computations
+// whose *cost* is calibrated to Table I (92.9 ms per frame total on the
+// reference Galaxy Nexus, split ~65/35 between detect and recognize).
+// Swing treats function units as opaque, so this preserves every behaviour
+// the framework and the experiments observe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+
+namespace swing::apps {
+
+struct FaceRecognitionConfig {
+  double fps = 24.0;
+  std::uint64_t max_frames = 0;   // 0 = run until stopped.
+  std::uint64_t frame_bytes = 6000;
+  std::uint64_t face_bytes = 2000;  // Cropped face region sent onward.
+  // Reference-device (Galaxy Nexus) costs; the 92.9 ms total is Table I.
+  double detect_cost_ms = 60.4;
+  double recognize_cost_ms = 32.5;
+  std::size_t gallery_size = 32;
+  // Custom display sink (e.g. to capture results); null = absorb silently.
+  dataflow::FunctionUnitFactory display;
+};
+
+// Deterministic 16-d face embedding derived from a face blob's content tag
+// (stands in for LBP histogram features).
+using Embedding = std::array<float, 16>;
+Embedding face_embedding(std::uint64_t tag);
+
+// The name gallery the recognizer matches against.
+std::vector<std::string> face_gallery(std::size_t size);
+
+// Nearest-gallery-entry match; returns the index of the best match.
+std::size_t match_face(const Embedding& probe,
+                       const std::vector<Embedding>& gallery);
+
+// Builds the 4-stage app graph. Field keys: "frame" (Blob) out of the
+// camera; "face" (Blob) + "num_faces" (int) out of the detector; "name"
+// (string) + "confidence" (double) out of the recognizer.
+dataflow::AppGraph face_recognition_graph(
+    const FaceRecognitionConfig& config = {});
+
+}  // namespace swing::apps

@@ -1,0 +1,192 @@
+#include "apps/gesture_recognition.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/tuple.h"
+#include "dataflow/value.h"
+
+namespace swing::apps {
+
+using dataflow::Context;
+using dataflow::FunctionUnit;
+using dataflow::Tuple;
+
+Bytes GestureFeatures::to_bytes() const {
+  ByteWriter w;
+  w.write_f64(mean_magnitude);
+  w.write_f64(variance);
+  w.write_f64(energy);
+  w.write_f64(dominant_axis);
+  w.write_f64(mean_bias);
+  return w.take();
+}
+
+GestureFeatures GestureFeatures::from_bytes(const Bytes& data) {
+  ByteReader r{data};
+  GestureFeatures f;
+  f.mean_magnitude = float(r.read_f64());
+  f.variance = float(r.read_f64());
+  f.energy = float(r.read_f64());
+  f.dominant_axis = float(r.read_f64());
+  f.mean_bias = float(r.read_f64());
+  return f;
+}
+
+std::string true_gesture(std::uint64_t window_index) {
+  static const char* kCycle[] = {"still", "shake", "tilt", "circle"};
+  return kCycle[(window_index / 4) % 4];  // Two seconds per gesture.
+}
+
+AccelSample synth_sample(std::uint64_t sample_index,
+                         std::size_t window_samples) {
+  const std::uint64_t window = sample_index / window_samples;
+  const double phase =
+      2.0 * std::numbers::pi *
+      double(sample_index % window_samples) / double(window_samples);
+  const std::string gesture = true_gesture(window);
+  // Small deterministic sensor noise.
+  SplitMix64 sm{sample_index * 0x9e3779b97f4a7c15ULL};
+  const auto noise = [&] {
+    return float(double(sm.next() >> 11) * 0x1.0p-53 - 0.5) * 0.2f;
+  };
+
+  AccelSample s;
+  s.z = 9.81f;  // Gravity.
+  if (gesture == "shake") {
+    s.x = 6.0f * float(std::sin(6.0 * phase));
+  } else if (gesture == "tilt") {
+    s.y = 3.0f;
+    s.z = 8.0f;
+  } else if (gesture == "circle") {
+    s.x = 2.5f * float(std::sin(phase));
+    s.y = 2.5f * float(std::cos(phase));
+  }
+  s.x += noise();
+  s.y += noise();
+  s.z += noise();
+  return s;
+}
+
+GestureFeatures extract_features(const std::vector<AccelSample>& window) {
+  GestureFeatures f;
+  if (window.empty()) return f;
+  double sum_mag = 0.0, sum_sq = 0.0, energy = 0.0;
+  double ax = 0.0, ay = 0.0, az = 0.0;
+  double mean_x = 0.0, mean_y = 0.0;
+  for (const auto& s : window) {
+    const double mag = std::sqrt(double(s.x) * s.x + double(s.y) * s.y +
+                                 double(s.z) * s.z);
+    sum_mag += mag;
+    sum_sq += mag * mag;
+    energy += double(s.x) * s.x + double(s.y) * s.y +
+              (double(s.z) - 9.81) * (double(s.z) - 9.81);
+    ax += std::abs(double(s.x));
+    ay += std::abs(double(s.y));
+    az += std::abs(double(s.z) - 9.81);
+    mean_x += s.x;
+    mean_y += s.y;
+  }
+  const double n = double(window.size());
+  f.mean_magnitude = float(sum_mag / n);
+  f.variance = float(sum_sq / n - (sum_mag / n) * (sum_mag / n));
+  f.energy = float(energy / n);
+  f.dominant_axis = ax >= ay && ax >= az ? 0.0f : (ay >= az ? 1.0f : 2.0f);
+  f.mean_bias = float(std::abs(mean_x / n) + std::abs(mean_y / n));
+  return f;
+}
+
+std::string classify_gesture(const GestureFeatures& f) {
+  if (f.energy < 0.5f) return "still";
+  // A sustained DC offset means the device is held at an angle.
+  if (f.mean_bias > 1.5f) return "tilt";
+  if (f.energy > 15.0f) return "shake";
+  return "circle";
+}
+
+namespace {
+
+// Stateful windowing unit: buffers samples, emits one feature tuple per
+// full window. Pinned to the master device so it sees the stream in order.
+class WindowUnit final : public FunctionUnit {
+ public:
+  explicit WindowUnit(std::size_t window_samples)
+      : window_samples_(window_samples) {}
+
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* packed = input.get_as<Bytes>("accel");
+    if (packed == nullptr) return;
+    ByteReader r{*packed};
+    AccelSample s;
+    s.x = float(r.read_f64());
+    s.y = float(r.read_f64());
+    s.z = float(r.read_f64());
+    buffer_.push_back(s);
+    if (buffer_.size() < window_samples_) return;
+
+    Tuple out{TupleId{window_index_++}, input.source_time()};
+    out.set("features", extract_features(buffer_).to_bytes());
+    buffer_.clear();
+    ctx.emit(std::move(out));
+  }
+
+ private:
+  std::size_t window_samples_;
+  std::vector<AccelSample> buffer_;
+  std::uint64_t window_index_ = 0;
+};
+
+class ClassifierUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* packed = input.get_as<Bytes>("features");
+    if (packed == nullptr) return;
+    const GestureFeatures features = GestureFeatures::from_bytes(*packed);
+    Tuple out = input.derive();
+    out.set("gesture", classify_gesture(features));
+    ctx.emit(std::move(out));
+  }
+};
+
+}  // namespace
+
+dataflow::AppGraph gesture_recognition_graph(const GestureConfig& config) {
+  dataflow::AppGraph graph;
+
+  dataflow::SourceSpec accel;
+  accel.rate_per_s = config.sample_hz;
+  accel.max_tuples = config.max_samples;
+  accel.generate = [n = config.window_samples](TupleId id, SimTime, Rng&) {
+    const AccelSample s = synth_sample(id.value(), n);
+    ByteWriter w;
+    w.write_f64(s.x);
+    w.write_f64(s.y);
+    w.write_f64(s.z);
+    Tuple t;
+    t.set("accel", w.take());
+    return t;
+  };
+  const auto src = graph.add_source("accelerometer", std::move(accel));
+
+  const auto windower = graph.add_transform(
+      "windower",
+      [n = config.window_samples] { return std::make_unique<WindowUnit>(n); },
+      dataflow::constant_cost(config.window_cost_ms));
+  graph.place_on_master(windower);
+
+  const auto classifier = graph.add_transform(
+      "classifier", [] { return std::make_unique<ClassifierUnit>(); },
+      dataflow::constant_cost(config.classify_cost_ms));
+
+  const auto sink = graph.add_sink("display", config.display);
+
+  graph.connect(src, windower);
+  graph.connect(windower, classifier);
+  graph.connect(classifier, sink);
+  return graph;
+}
+
+}  // namespace swing::apps

@@ -1,0 +1,76 @@
+// Gesture recognition: a fourth sensing app in a different workload regime.
+//
+// The paper's introduction motivates "gesture detection and recognition".
+// Unlike the video/audio apps (few large tuples), this one senses an
+// accelerometer at 50 Hz — many tiny tuples — and demonstrates source-side
+// preprocessing: a stateful windowing unit pinned to the master's device
+// aggregates 25 samples (0.5 s) into a feature window, and only the
+// windows (2 Hz) fan out to the swarm for the expensive classification:
+//
+//   accelerometer (50 Hz) -> windower (master) -> classifier (workers)
+//                         -> display
+//
+// The feature extraction and the rule-based classifier are real,
+// deterministic, unit-testable code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dataflow/graph.h"
+
+namespace swing::apps {
+
+struct GestureConfig {
+  double sample_hz = 50.0;
+  std::size_t window_samples = 25;  // 0.5 s windows.
+  std::uint64_t max_samples = 0;
+  double window_cost_ms = 1.0;      // Aggregation is cheap.
+  double classify_cost_ms = 120.0;  // DTW-style matching is not.
+  // Custom display sink; null = absorb silently.
+  dataflow::FunctionUnitFactory display;
+};
+
+// One accelerometer sample (m/s^2). Generated deterministically from the
+// gesture the user is "performing" at that time.
+struct AccelSample {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+};
+
+// Summary features of one window, computed by the windowing unit.
+struct GestureFeatures {
+  float mean_magnitude = 0.0f;
+  float variance = 0.0f;
+  float energy = 0.0f;        // Mean squared deviation from gravity.
+  float dominant_axis = 0.0f; // 0 = x, 1 = y, 2 = z.
+  float mean_bias = 0.0f;     // |mean x| + |mean y|: DC offset (tilt).
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static GestureFeatures from_bytes(const Bytes& data);
+};
+
+// The gesture the synthetic user performs during a given window index
+// (cycles still -> shake -> tilt -> circle).
+std::string true_gesture(std::uint64_t window_index);
+
+// Deterministic sample synthesis for sample `i` of the stream.
+AccelSample synth_sample(std::uint64_t sample_index,
+                         std::size_t window_samples);
+
+// Feature extraction over a window of samples.
+GestureFeatures extract_features(const std::vector<AccelSample>& window);
+
+// Rule-based classifier (stands in for a DTW template matcher).
+std::string classify_gesture(const GestureFeatures& features);
+
+// Builds the app graph. Field keys: "accel" (Bytes, one packed sample)
+// from the source; "features" (Bytes) from the windower; "gesture"
+// (string) from the classifier.
+dataflow::AppGraph gesture_recognition_graph(const GestureConfig& = {});
+
+}  // namespace swing::apps

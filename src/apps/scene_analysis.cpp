@@ -1,0 +1,149 @@
+#include "apps/scene_analysis.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "apps/face_recognition.h"
+#include "common/rng.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/tuple.h"
+#include "dataflow/value.h"
+
+namespace swing::apps {
+
+using dataflow::Blob;
+using dataflow::Context;
+using dataflow::FunctionUnit;
+using dataflow::Tuple;
+
+std::string detect_object(std::uint64_t tag) {
+  static const char* kObjects[] = {"backpack", "laptop",  "coffee cup",
+                                   "bicycle",  "umbrella", "phone",
+                                   "notebook", "camera"};
+  SplitMix64 sm{tag ^ 0x0b7ec70b7ec7ULL};
+  return kObjects[sm.next() % std::size(kObjects)];
+}
+
+namespace {
+
+// Face branch: embeds and names the dominant face (same synthetic kernel
+// as the face-recognition app).
+class FaceBranchUnit final : public FunctionUnit {
+ public:
+  FaceBranchUnit() : names_(face_gallery(32)) {
+    gallery_.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      gallery_.push_back(face_embedding(0x1000 + i));
+    }
+  }
+
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* frame = input.get_as<Blob>("frame");
+    if (frame == nullptr) return;
+    Tuple out = input.derive();
+    out.set("face_label",
+            names_[match_face(face_embedding(frame->tag), gallery_)]);
+    ctx.emit(std::move(out));
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Embedding> gallery_;
+};
+
+class ObjectBranchUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* frame = input.get_as<Blob>("frame");
+    if (frame == nullptr) return;
+    Tuple out = input.derive();
+    out.set("object_label", detect_object(frame->tag));
+    ctx.emit(std::move(out));
+  }
+};
+
+// Fusion: joins the two branch results of each frame by tuple id. Stateful
+// with bounded memory: half-results older than `window` frames are evicted
+// (their sibling was lost upstream).
+class FusionUnit final : public FunctionUnit {
+ public:
+  explicit FusionUnit(std::size_t window) : window_(window) {}
+
+  void process(const Tuple& input, Context& ctx) override {
+    const std::uint64_t id = input.id().value();
+    auto [it, inserted] = pending_.try_emplace(id, input);
+    if (inserted) {
+      order_.push_back(id);
+      evict();
+      return;
+    }
+    // Second half arrived: merge fields from both and emit the scene.
+    Tuple merged = it->second;
+    for (const auto& [key, value] : input.fields()) {
+      merged.set(key, value);
+    }
+    pending_.erase(it);
+
+    const auto* face = merged.get_as<std::string>("face_label");
+    const auto* object = merged.get_as<std::string>("object_label");
+    if (face == nullptr || object == nullptr) return;
+    Tuple out = merged.derive();
+    out.set("scene", *face + " with a " + *object);
+    ctx.emit(std::move(out));
+  }
+
+  private:
+   void evict() {
+     while (order_.size() > window_) {
+       pending_.erase(order_.front());
+       order_.pop_front();
+     }
+   }
+
+   std::size_t window_;
+   std::unordered_map<std::uint64_t, Tuple> pending_;
+   std::deque<std::uint64_t> order_;
+};
+
+}  // namespace
+
+dataflow::AppGraph scene_analysis_graph(const SceneAnalysisConfig& config) {
+  dataflow::AppGraph graph;
+
+  dataflow::SourceSpec camera;
+  camera.rate_per_s = config.fps;
+  camera.max_tuples = config.max_frames;
+  camera.generate = [bytes = config.frame_bytes](TupleId id, SimTime, Rng&) {
+    Tuple t;
+    t.set("frame", Blob{bytes, id.value() / 24});
+    return t;
+  };
+  const auto src = graph.add_source("camera", std::move(camera));
+
+  const auto faces = graph.add_transform(
+      "face_branch", [] { return std::make_unique<FaceBranchUnit>(); },
+      dataflow::constant_cost(config.face_cost_ms));
+
+  const auto objects = graph.add_transform(
+      "object_branch", [] { return std::make_unique<ObjectBranchUnit>(); },
+      dataflow::constant_cost(config.object_cost_ms));
+
+  // Fusion replicates across workers like any transform; id-partitioned
+  // routing guarantees both halves of a frame meet at the same instance.
+  const auto fusion = graph.add_transform(
+      "fusion",
+      [window = config.join_window] {
+        return std::make_unique<FusionUnit>(window);
+      },
+      dataflow::constant_cost(config.fusion_cost_ms));
+  graph.partition_by_id(fusion);
+
+  const auto sink = graph.add_sink("display", config.display);
+
+  graph.connect(src, faces).connect(src, objects);
+  graph.connect(faces, fusion).connect(objects, fusion);
+  graph.connect(fusion, sink);
+  return graph;
+}
+
+}  // namespace swing::apps

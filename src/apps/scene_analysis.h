@@ -1,0 +1,47 @@
+// Scene analysis: a third sensing app with a non-linear dataflow graph.
+//
+// The paper's introduction motivates cognitive apps combining "face, object,
+// or gesture detection and recognition"; this app does both at once on a
+// diamond-shaped graph, exercising fan-out (one tuple to two downstream
+// operators) and fan-in (a stateful join unit):
+//
+//            +--> face branch  ---+
+//   camera --+                    +--> fusion --> display
+//            +--> object branch --+
+//
+// The fusion unit joins the two half-results of each frame by tuple id.
+// Its operator is declared `partition_by_id`, so every upstream routes a
+// given frame's half to the same fusion instance no matter which device the
+// branch ran on — the join parallelises across the swarm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/graph.h"
+
+namespace swing::apps {
+
+struct SceneAnalysisConfig {
+  double fps = 12.0;
+  std::uint64_t max_frames = 0;
+  std::uint64_t frame_bytes = 6000;
+  double face_cost_ms = 55.0;    // Detect + recognise the dominant face.
+  double object_cost_ms = 75.0;  // Object detector pass.
+  double fusion_cost_ms = 3.0;   // Cheap join + formatting.
+  // Entries for frames whose second half never arrives are evicted after
+  // this many newer frames (bounded state).
+  std::size_t join_window = 256;
+  // Custom display sink; null = absorb silently.
+  dataflow::FunctionUnitFactory display;
+};
+
+// Deterministic object label for a frame content tag.
+std::string detect_object(std::uint64_t tag);
+
+// Builds the diamond graph. Field keys: "frame" (Blob) from the camera;
+// "face_label" / "object_label" (string) from the branches; "scene"
+// (string) from the fusion unit.
+dataflow::AppGraph scene_analysis_graph(const SceneAnalysisConfig& = {});
+
+}  // namespace swing::apps

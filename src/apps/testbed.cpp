@@ -1,0 +1,45 @@
+#include "apps/testbed.h"
+
+#include <stdexcept>
+
+#include "device/profile.h"
+
+namespace swing::apps {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  runtime::SwarmConfig swarm_config = config_.swarm;
+  swarm_config.seed = config_.seed;
+  swarm_config.worker.manager.policy = config_.policy;
+  swarm_ = std::make_unique<runtime::Swarm>(sim_, swarm_config);
+
+  auto place = [&](const std::string& name) {
+    const bool weak = config_.weak_signal_bcd &&
+                      (name == "B" || name == "C" || name == "D");
+    const double rssi =
+        weak ? config_.weak_rssi_dbm : config_.strong_rssi_dbm;
+    device::DeviceProfile profile = device::profile_by_name(name);
+    if (config_.profile_tweak) config_.profile_tweak(profile);
+    ids_[name] = swarm_->add_device_at_rssi(profile, rssi);
+  };
+
+  place("A");
+  for (const auto& name : config_.workers) place(name);
+}
+
+DeviceId Testbed::id(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) throw std::out_of_range("no such device: " + name);
+  return it->second;
+}
+
+void Testbed::launch(dataflow::AppGraph graph) {
+  swarm_->launch_master(id("A"), std::move(graph));
+  for (const auto& name : config_.workers) {
+    swarm_->launch_worker(id(name));
+  }
+  // Let discovery, Hello and Deploy settle (sub-second on the testbed).
+  sim_.run_for(seconds(1.0));
+  swarm_->start();
+}
+
+}  // namespace swing::apps

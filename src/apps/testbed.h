@@ -1,0 +1,70 @@
+// The paper's wireless testbed (§III, §VI).
+//
+// Nine heterogeneous devices A..I on one 802.11n BSS. A (Galaxy S3) runs
+// the master thread and hosts the app's source and sink; B..I run worker
+// threads. For the policy-comparison experiments (§VI-B) devices B, C and D
+// sit in weak-signal locations. Testbed wraps a Simulator + Swarm with this
+// layout so benches, tests and examples build the exact same rig.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "dataflow/graph.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::apps {
+
+struct TestbedConfig {
+  core::PolicyKind policy = core::PolicyKind::kLRS;
+  // Which testbed devices (by letter) run worker threads. A is always the
+  // master/source/sink device.
+  std::vector<std::string> workers = {"B", "C", "D", "E", "F", "G", "H", "I"};
+  // Paper §VI-B: B, C, D placed at locations of poor Wi-Fi signal.
+  bool weak_signal_bcd = true;
+  double strong_rssi_dbm = -35.0;
+  double weak_rssi_dbm = -78.5;
+  std::uint64_t seed = 42;
+  // Applied to every device profile before construction (e.g. shrink
+  // batteries for energy experiments). Null = stock profiles.
+  std::function<void(device::DeviceProfile&)> profile_tweak;
+  // Further knobs pass straight through to the Swarm.
+  runtime::SwarmConfig swarm{};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] runtime::Swarm& swarm() { return *swarm_; }
+  [[nodiscard]] const TestbedConfig& config() const { return config_; }
+
+  // Device id of testbed letter "A".."I"; throws std::out_of_range for
+  // letters not in this testbed.
+  [[nodiscard]] DeviceId id(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& worker_names() const {
+    return config_.workers;
+  }
+
+  // Launches the app: master on A, workers everywhere else, waits for
+  // discovery + deployment to settle, then starts sensing.
+  void launch(dataflow::AppGraph graph);
+
+  // Runs the experiment for `duration` after an initial `warmup` (the
+  // warmup lets estimates converge; measurements usually window past it).
+  void run(SimDuration duration) { sim_.run_for(duration); }
+
+ private:
+  TestbedConfig config_;
+  Simulator sim_;
+  std::unique_ptr<runtime::Swarm> swarm_;
+  std::map<std::string, DeviceId> ids_;
+};
+
+}  // namespace swing::apps

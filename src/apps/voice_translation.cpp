@@ -1,0 +1,190 @@
+#include "apps/voice_translation.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/rng.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/tuple.h"
+#include "dataflow/value.h"
+
+namespace swing::apps {
+
+using dataflow::Blob;
+using dataflow::Context;
+using dataflow::FunctionUnit;
+using dataflow::Tuple;
+
+namespace {
+
+// Lexicon of (english, spanish, kind) entries for the toy Apertium.
+enum class WordKind { kNoun, kAdjective, kVerb, kOther };
+
+struct LexEntry {
+  const char* en;
+  const char* es;
+  WordKind kind;
+};
+
+constexpr LexEntry kLexicon[] = {
+    {"the", "el", WordKind::kOther},
+    {"a", "un", WordKind::kOther},
+    {"red", "rojo", WordKind::kAdjective},
+    {"big", "grande", WordKind::kAdjective},
+    {"small", "pequeno", WordKind::kAdjective},
+    {"old", "viejo", WordKind::kAdjective},
+    {"house", "casa", WordKind::kNoun},
+    {"dog", "perro", WordKind::kNoun},
+    {"cat", "gato", WordKind::kNoun},
+    {"book", "libro", WordKind::kNoun},
+    {"friend", "amigo", WordKind::kNoun},
+    {"water", "agua", WordKind::kNoun},
+    {"street", "calle", WordKind::kNoun},
+    {"runs", "corre", WordKind::kVerb},
+    {"eats", "come", WordKind::kVerb},
+    {"sees", "ve", WordKind::kVerb},
+    {"has", "tiene", WordKind::kVerb},
+    {"is", "es", WordKind::kVerb},
+    {"here", "aqui", WordKind::kOther},
+    {"now", "ahora", WordKind::kOther},
+};
+
+const LexEntry* lookup(const std::string& en) {
+  for (const auto& entry : kLexicon) {
+    if (en == entry.en) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string recognize_speech(std::uint64_t tag) {
+  // A fixed, deterministic decode of the audio content tag: templates like
+  // "the <adj> <noun> <verb>" keep phrases grammatical for the translator.
+  SplitMix64 sm{tag ^ 0x5beec45beec4ULL};
+  auto pick = [&](WordKind kind) -> const char* {
+    // Collect candidates of the kind, then pick one.
+    const char* chosen = "the";
+    std::uint64_t n = 0;
+    for (const auto& entry : kLexicon) {
+      if (entry.kind == kind && sm.next() % ++n == 0) chosen = entry.en;
+    }
+    return chosen;
+  };
+  std::ostringstream phrase;
+  phrase << "the " << pick(WordKind::kAdjective) << ' '
+         << pick(WordKind::kNoun) << ' ' << pick(WordKind::kVerb);
+  if (sm.next() % 2 == 0) phrase << ' ' << pick(WordKind::kOther);
+  return phrase.str();
+}
+
+std::string translate_to_spanish(const std::string& english) {
+  // Tokenise.
+  std::vector<std::string> words;
+  std::istringstream in{english};
+  for (std::string w; in >> w;) words.push_back(std::move(w));
+
+  // Translate word by word, handling a plural suffix rule (-s -> -s after
+  // vowel, -es otherwise) for unknown plurals of known nouns.
+  struct Out {
+    std::string word;
+    WordKind kind;
+  };
+  std::vector<Out> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    if (const LexEntry* hit = lookup(w)) {
+      out.push_back({hit->es, hit->kind});
+      continue;
+    }
+    // Plural rule: "dogs" -> lookup "dog", pluralise the Spanish.
+    if (w.size() > 1 && w.back() == 's') {
+      if (const LexEntry* base = lookup(w.substr(0, w.size() - 1))) {
+        std::string es = base->es;
+        const char last = es.back();
+        es += (last == 'a' || last == 'e' || last == 'o' || last == 'i' ||
+               last == 'u')
+                  ? "s"
+                  : "es";
+        out.push_back({std::move(es), base->kind});
+        continue;
+      }
+    }
+    out.push_back({"[" + w + "]", WordKind::kOther});  // Untranslated.
+  }
+
+  // Transfer rule: English adjective-noun becomes Spanish noun-adjective.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].kind == WordKind::kAdjective &&
+        out[i + 1].kind == WordKind::kNoun) {
+      std::swap(out[i], out[i + 1]);
+      ++i;
+    }
+  }
+
+  std::string result;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i) result += ' ';
+    result += out[i].word;
+  }
+  return result;
+}
+
+namespace {
+
+class SpeechRecognizerUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* audio = input.get_as<Blob>("audio");
+    if (audio == nullptr) return;
+    Tuple out = input.derive();
+    out.set("text_en", recognize_speech(audio->tag));
+    ctx.emit(std::move(out));
+  }
+};
+
+class TranslatorUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    const auto* text = input.get_as<std::string>("text_en");
+    if (text == nullptr) return;
+    Tuple out = input.derive();
+    out.set("text_es", translate_to_spanish(*text));
+    ctx.emit(std::move(out));
+  }
+};
+
+}  // namespace
+
+dataflow::AppGraph voice_translation_graph(
+    const VoiceTranslationConfig& config) {
+  dataflow::AppGraph graph;
+
+  dataflow::SourceSpec mic;
+  mic.rate_per_s = config.fps;
+  mic.max_tuples = config.max_frames;
+  mic.generate = [frame_bytes = config.frame_bytes](TupleId id, SimTime,
+                                                    Rng&) {
+    Tuple t;
+    t.set("audio", Blob{frame_bytes, id.value()});
+    return t;
+  };
+  const auto src = graph.add_source("mic", std::move(mic));
+
+  const auto recognizer = graph.add_transform(
+      "recognizer", [] { return std::make_unique<SpeechRecognizerUnit>(); },
+      dataflow::constant_cost(config.recognize_cost_ms));
+
+  const auto translator = graph.add_transform(
+      "translator", [] { return std::make_unique<TranslatorUnit>(); },
+      dataflow::constant_cost(config.translate_cost_ms));
+
+  const auto sink = graph.add_sink("display", config.display);
+
+  graph.connect(src, recognizer);
+  graph.connect(recognizer, translator);
+  graph.connect(translator, sink);
+  return graph;
+}
+
+}  // namespace swing::apps

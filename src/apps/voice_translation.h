@@ -1,0 +1,51 @@
+// The paper's second evaluation app: voice translation (EN -> ES).
+//
+// Four function units (paper §VI-A):
+//   mic         (source) — reads 72.0 kB audio frames from files
+//   recognizer  — speech-to-text  (CMU PocketSphinx in the paper)
+//   translator  — English-to-Spanish (Apertium rule-based MT)
+//   display     (sink) — shows the translated text
+//
+// As with face recognition, the NLP kernels are synthetic-but-real code:
+// the recognizer deterministically decodes an audio Blob's content tag into
+// an English phrase, and the translator is a miniature Apertium-style
+// rule-based system (dictionary lookup + suffix rules + simple
+// adjective-noun reordering) that is independently unit-testable. Costs are
+// calibrated so the per-device throughput is well below the input rate,
+// making the app compute-bound across the swarm (the paper's motivation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+
+namespace swing::apps {
+
+struct VoiceTranslationConfig {
+  double fps = 12.0;  // Audio frames per second offered by the source.
+  std::uint64_t max_frames = 0;
+  std::uint64_t frame_bytes = 72000;
+  // Reference-device (Galaxy Nexus) costs per audio frame.
+  double recognize_cost_ms = 200.0;  // ASR dominates (PocketSphinx).
+  double translate_cost_ms = 40.0;   // Rule-based MT is lighter.
+  // Custom display sink (e.g. to capture captions); null = absorb silently.
+  dataflow::FunctionUnitFactory display;
+};
+
+// Deterministic "speech recognition": decodes an audio tag into an English
+// phrase (3-6 words from a fixed lexicon).
+std::string recognize_speech(std::uint64_t tag);
+
+// Miniature rule-based English -> Spanish translation: dictionary lookup,
+// plural suffix handling, and adjective-noun reordering.
+std::string translate_to_spanish(const std::string& english);
+
+// Builds the 4-stage app graph. Field keys: "audio" (Blob) out of the mic;
+// "text_en" (string) out of the recognizer; "text_es" (string) out of the
+// translator.
+dataflow::AppGraph voice_translation_graph(
+    const VoiceTranslationConfig& config = {});
+
+}  // namespace swing::apps

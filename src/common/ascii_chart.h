@@ -1,0 +1,141 @@
+// Terminal chart rendering for the figure benches.
+//
+// The paper's evaluation is figures; the bench binaries print the numbers
+// *and* a terminal rendition so the shape is visible at a glance:
+// multi-series scatter/line charts (Fig. 1, 8, 9, 10) and horizontal bar
+// charts (Fig. 4, 6, 7). Pure text, no dependencies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace swing {
+
+struct ChartSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct ChartOptions {
+  int width = 72;   // Plot area columns.
+  int height = 16;  // Plot area rows.
+  std::string x_label;
+  std::string y_label;
+  // Optional fixed axes; NaN = auto-fit to the data.
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+// Renders one or more (x, y) series into a text grid with axes and a
+// legend. Series draw in order; later series overwrite earlier glyphs on
+// collision.
+inline std::string render_chart(const std::vector<ChartSeries>& series,
+                                const ChartOptions& options = {}) {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  const bool auto_y = std::isnan(y_min) || std::isnan(y_max);
+  if (auto_y) {
+    y_min = std::numeric_limits<double>::infinity();
+    y_max = -y_min;
+  }
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      if (auto_y) {
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+      }
+    }
+  }
+  if (!std::isfinite(x_min)) return "(no data)\n";
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  const int w = std::max(options.width, 8);
+  const int h = std::max(options.height, 4);
+  std::vector<std::string> grid(std::size_t(h), std::string(std::size_t(w), ' '));
+
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const int col = int(std::lround((x - x_min) / (x_max - x_min) * (w - 1)));
+      const int row = int(std::lround((y - y_min) / (y_max - y_min) * (h - 1)));
+      if (col < 0 || col >= w || row < 0 || row >= h) continue;
+      grid[std::size_t(h - 1 - row)][std::size_t(col)] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  auto ytick = [&](int row) {
+    return y_max - (y_max - y_min) * double(row) / double(h - 1);
+  };
+  for (int row = 0; row < h; ++row) {
+    if (row == 0 || row == h - 1 || row == h / 2) {
+      out << std::setw(9) << std::fixed << std::setprecision(1) << ytick(row)
+          << " |";
+    } else {
+      out << std::string(9, ' ') << " |";
+    }
+    out << grid[std::size_t(row)] << '\n';
+  }
+  out << std::string(10, ' ') << '+' << std::string(std::size_t(w), '-')
+      << '\n';
+  std::ostringstream xaxis;
+  xaxis << x_min;
+  std::ostringstream xend;
+  xend << x_max;
+  out << std::string(11, ' ') << xaxis.str()
+      << std::string(
+             std::size_t(std::max(1, w - int(xaxis.str().size()) -
+                                         int(xend.str().size()))),
+             ' ')
+      << xend.str();
+  if (!options.x_label.empty()) out << "  (" << options.x_label << ")";
+  out << '\n';
+  if (!options.y_label.empty() || series.size() > 1 ||
+      !series.empty()) {
+    out << std::string(11, ' ');
+    if (!options.y_label.empty()) out << "y: " << options.y_label << "  ";
+    for (const auto& s : series) {
+      out << '[' << s.glyph << "] " << s.name << "  ";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// Horizontal bar chart: one row per (label, value).
+inline std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& bars, int width = 48,
+    const std::string& unit = {}) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream out;
+  for (const auto& [label, value] : bars) {
+    const int n = int(std::lround(value / max_value * width));
+    out << "  " << std::left << std::setw(int(label_width)) << label << " |"
+        << std::string(std::size_t(std::max(n, 0)), '#')
+        << std::string(std::size_t(width - std::max(n, 0)), ' ') << "| "
+        << std::fixed << std::setprecision(2) << value;
+    if (!unit.empty()) out << ' ' << unit;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace swing

@@ -1,0 +1,155 @@
+// Byte-buffer primitives for tuple serialization.
+//
+// The Swing serialization service (paper §IV-C) converts customized objects
+// (images, sensor vectors, audio segments) to byte arrays at the sender and
+// back at the receiver. ByteWriter/ByteReader implement a compact
+// little-endian wire format with varint lengths, mirroring the Kryo-style
+// encoding SEEP uses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swing {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Thrown when a ByteReader runs past the end of its buffer or decodes a
+// malformed value. Deserialization happens on data "from the network", so
+// errors are reported, not asserted.
+class WireFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  [[nodiscard]] const Bytes& data() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void write_u32(std::uint32_t v) { write_le(v); }
+  void write_u64(std::uint64_t v) { write_le(v); }
+  void write_i64(std::int64_t v) {
+    write_le(static_cast<std::uint64_t>(v));
+  }
+
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_le(bits);
+  }
+
+  // LEB128-style unsigned varint: 7 bits per byte, high bit = continuation.
+  void write_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    write_varint(bytes.size());
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  void write_string(std::string_view s) {
+    write_varint(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  std::uint8_t read_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t read_u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_le<std::uint64_t>(); }
+  std::int64_t read_i64() {
+    return static_cast<std::int64_t>(read_le<std::uint64_t>());
+  }
+
+  double read_f64() {
+    const std::uint64_t bits = read_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::uint64_t read_varint() {
+    std::uint64_t result = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) throw WireFormatError("varint too long");
+      const std::uint8_t byte = read_u8();
+      result |= std::uint64_t(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return result;
+      shift += 7;
+    }
+  }
+
+  Bytes read_bytes() {
+    const std::uint64_t n = read_varint();
+    require(n);
+    Bytes out(data_.begin() + long(pos_), data_.begin() + long(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string read_string() {
+    const std::uint64_t n = read_varint();
+    require(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (remaining() < n) {
+      throw WireFormatError("buffer underrun");
+    }
+  }
+
+  template <typename T>
+  T read_le() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= T(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace swing

@@ -1,0 +1,67 @@
+// Strongly-typed integer identifiers used across the Swing framework.
+//
+// Every entity class (device, operator, operator instance, tuple, message)
+// gets its own ID type so that mixing them up is a compile error rather than
+// a runtime bug. IDs are cheap value types: a wrapped uint64_t.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace swing {
+
+// CRTP-free strong ID wrapper. `Tag` makes each instantiation a distinct
+// type; the underlying value is accessible via value().
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct DeviceTag {};
+struct OperatorTag {};
+struct InstanceTag {};
+struct TupleTag {};
+struct MessageTag {};
+struct EventTag {};
+
+// A physical (simulated) device participating in the swarm.
+using DeviceId = StrongId<DeviceTag>;
+// A logical function unit (vertex) in an application graph.
+using OperatorId = StrongId<OperatorTag>;
+// A deployed instance of a function unit on a particular device.
+using InstanceId = StrongId<InstanceTag>;
+// A data tuple flowing through the dataflow graph.
+using TupleId = StrongId<TupleTag>;
+// A network message.
+using MessageId = StrongId<MessageTag>;
+// A scheduled simulator event (used for cancellation handles).
+using EventId = StrongId<EventTag>;
+
+}  // namespace swing
+
+namespace std {
+template <typename Tag>
+struct hash<swing::StrongId<Tag>> {
+  size_t operator()(swing::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,77 @@
+// Minimal leveled logging.
+//
+// The framework logs control-plane transitions (joins, leaves, deployments,
+// re-routes) at Info and estimator internals at Debug. Benches and tests set
+// the level to Warn to keep output clean. Not thread-safe by design: the
+// simulator is single-threaded.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace swing {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message) {
+    if (!enabled(level)) return;
+    std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+    os << "[" << name(level) << "] " << message << '\n';
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO ";
+      case LogLevel::kWarn:  return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff:   return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::instance().write(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace swing
+
+// Usage: SWING_LOG(kInfo) << "device " << id << " joined";
+// The stream expression is only evaluated when the level is enabled.
+#define SWING_LOG(level_name)                                          \
+  if (!::swing::Logger::instance().enabled(                           \
+          ::swing::LogLevel::level_name)) {                           \
+  } else                                                               \
+    ::swing::log_detail::LineBuilder(::swing::LogLevel::level_name)

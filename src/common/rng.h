@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be exactly reproducible across runs and platforms, so we
+// carry our own xoshiro256** implementation instead of relying on
+// implementation-defined std::default_random_engine behaviour, and implement
+// the distributions we need (uniform, exponential, log-normal, weighted pick)
+// with fixed algorithms.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace swing {
+
+// SplitMix64: used to seed xoshiro from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality, 256-bit state generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return double(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for the n (< 2^32) we use.
+    return next() % n;
+  }
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple > fast here).
+  double normal() {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  // Log-normal with the given *linear-space* mean and coefficient of
+  // variation (stddev/mean). Used for service-time jitter: multiplicative,
+  // strictly positive, right-skewed like real processing delays.
+  double lognormal_mean_cv(double mean, double cv) {
+    assert(mean > 0.0);
+    if (cv <= 0.0) return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+  }
+
+  // Picks index i with probability weights[i] / sum(weights).
+  // Weights must be non-negative with a positive sum.
+  std::size_t weighted_pick(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      assert(w >= 0.0);
+      total += w;
+    }
+    assert(total > 0.0);
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0.0) return i;
+    }
+    return weights.size() - 1;  // Floating-point edge: land on the last.
+  }
+
+  // Derives an independent child generator; used to give each simulated
+  // entity its own stream so adding an entity never perturbs others.
+  Rng fork() { return Rng{next() ^ 0xa02bdbf7bb3c0a7ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace swing

@@ -1,0 +1,176 @@
+// Online statistics used for measurement and estimation.
+//
+//  - OnlineStats: Welford mean/variance plus min/max, O(1) memory.
+//  - SampleStats: stores samples; exact percentiles for reporting.
+//  - Ewma: exponentially weighted moving average (the paper's latency
+//    estimator is "a moving average of latency estimates").
+//  - RateMeter: windowed event-rate estimator (tuples/sec) used by upstream
+//    function units to measure their incoming rate Lambda.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/time.h"
+
+namespace swing {
+
+// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / double(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Keeps all samples; supports exact quantiles. Use for end-of-run reporting,
+// not per-tuple hot paths.
+class SampleStats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    online_.add(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return online_.mean(); }
+  [[nodiscard]] double variance() const { return online_.variance(); }
+  [[nodiscard]] double stddev() const { return online_.stddev(); }
+  [[nodiscard]] double min() const { return online_.min(); }
+  [[nodiscard]] double max() const { return online_.max(); }
+
+  // Linear-interpolated quantile, q in [0, 1]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const double pos = q * double(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - double(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  void reset() {
+    samples_.clear();
+    online_.reset();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  OnlineStats online_;
+};
+
+// Exponentially weighted moving average. alpha is the weight of a new
+// sample; alpha = 1 tracks instantaneously, alpha -> 0 averages long-term.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.25) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+  // Overwrites the current value (used to seed estimates from probes).
+  void set(double x) {
+    value_ = x;
+    initialized_ = true;
+  }
+
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Sliding-window event rate estimator: rate() = events in the last `window`
+// divided by the window length. Used by upstreams to measure incoming tuple
+// rate Lambda and by metrics to report instantaneous throughput.
+class RateMeter {
+ public:
+  explicit RateMeter(SimDuration window = seconds(1.0)) : window_(window) {
+    assert(window.nanos() > 0);
+  }
+
+  void record(SimTime now) {
+    events_.push_back(now);
+    evict(now);
+  }
+
+  // Events per second over the trailing window ending at `now`.
+  [[nodiscard]] double rate(SimTime now) const {
+    evict(now);
+    return double(events_.size()) / window_.seconds();
+  }
+
+  [[nodiscard]] std::size_t events_in_window(SimTime now) const {
+    evict(now);
+    return events_.size();
+  }
+
+  void reset() { events_.clear(); }
+
+ private:
+  void evict(SimTime now) const {
+    const SimTime cutoff = now - window_;
+    while (!events_.empty() && events_.front() < cutoff) {
+      events_.pop_front();
+    }
+  }
+
+  SimDuration window_;
+  mutable std::deque<SimTime> events_;
+};
+
+}  // namespace swing

@@ -1,0 +1,100 @@
+// Console table and CSV output for benches.
+//
+// Every bench binary prints the rows/series the corresponding paper figure
+// or table reports, in an aligned plain-text table, and can optionally dump
+// CSV for external plotting.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace swing {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Convenience: formats arbitrary streamable values into a row.
+  template <typename... Args>
+  TextTable& row(const Args&... args) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(args));
+    (cells.push_back(to_cell(args)), ...);
+    return add_row(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+        os << "  " << std::left << std::setw(int(widths[i])) << cell;
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 2 * widths.size();
+    for (auto w : widths) total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return value;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(2) << value;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << value;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (helper for bench output).
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace swing

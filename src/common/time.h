@@ -1,0 +1,111 @@
+// Simulation time primitives.
+//
+// All framework code is written against SimTime / SimDuration rather than
+// wall-clock types so the same logic runs deterministically under the
+// discrete-event simulator. Resolution is one nanosecond; the epoch is the
+// start of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace swing {
+
+// A span of simulated time, in nanoseconds. Signed so that differences and
+// back-offs are representable.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double micros() const { return double(ns_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return double(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return double(ns_) / 1e9; }
+
+  friend constexpr bool operator==(SimDuration, SimDuration) = default;
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  constexpr SimDuration& operator+=(SimDuration d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration{a.ns_ + b.ns_};
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration{a.ns_ - b.ns_};
+  }
+  friend constexpr SimDuration operator*(SimDuration a, double k) {
+    return SimDuration{static_cast<std::int64_t>(double(a.ns_) * k)};
+  }
+  friend constexpr SimDuration operator*(double k, SimDuration a) {
+    return a * k;
+  }
+  friend constexpr double operator/(SimDuration a, SimDuration b) {
+    return double(a.ns_) / double(b.ns_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimDuration d) {
+    return os << d.millis() << "ms";
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimDuration nanos(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration micros(double us) {
+  return SimDuration{static_cast<std::int64_t>(us * 1e3)};
+}
+constexpr SimDuration millis(double ms) {
+  return SimDuration{static_cast<std::int64_t>(ms * 1e6)};
+}
+constexpr SimDuration seconds(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+// An absolute point in simulated time (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double millis() const { return double(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return double(ns_) / 1e9; }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime{t.ns_ + d.nanos()};
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime{t.ns_ - d.nanos()};
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration{a.ns_ - b.ns_};
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds() << "s";
+  }
+
+  static constexpr SimTime max() {
+    return SimTime{~std::uint64_t{0} >> 1};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace swing

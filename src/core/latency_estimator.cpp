@@ -1,0 +1,74 @@
+#include "core/latency_estimator.h"
+
+#include <algorithm>
+
+namespace swing::core {
+
+LatencyEstimator::Entry& LatencyEstimator::entry_for(InstanceId id) {
+  auto [it, inserted] = entries_.try_emplace(id.value());
+  if (inserted) {
+    it->second.latency = Ewma{config_.ewma_alpha};
+    it->second.processing = Ewma{config_.ewma_alpha};
+  }
+  return it->second;
+}
+
+void LatencyEstimator::add_downstream(InstanceId id) { entry_for(id); }
+
+void LatencyEstimator::remove_downstream(InstanceId id) {
+  entries_.erase(id.value());
+}
+
+void LatencyEstimator::record_ack(InstanceId id, double latency_ms,
+                                  double processing_ms, SimTime now,
+                                  double battery) {
+  Entry& entry = entry_for(id);
+  entry.latency.add(latency_ms);
+  entry.processing.add(processing_ms);
+  entry.battery = battery;
+  entry.last_ack = now;
+}
+
+std::vector<DownstreamInfo> LatencyEstimator::estimates() const {
+  std::vector<DownstreamInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    out.push_back(DownstreamInfo{
+        InstanceId{id},
+        entry.latency.initialized() ? entry.latency.value()
+                                    : config_.default_latency_ms,
+        entry.processing.initialized() ? entry.processing.value()
+                                       : config_.default_processing_ms,
+        entry.battery,
+    });
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const DownstreamInfo& a, const DownstreamInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+DownstreamInfo LatencyEstimator::estimate(InstanceId id) const {
+  auto it = entries_.find(id.value());
+  if (it == entries_.end()) {
+    return DownstreamInfo{id, config_.default_latency_ms,
+                          config_.default_processing_ms, 1.0};
+  }
+  return DownstreamInfo{
+      id,
+      it->second.latency.initialized() ? it->second.latency.value()
+                                       : config_.default_latency_ms,
+      it->second.processing.initialized() ? it->second.processing.value()
+                                          : config_.default_processing_ms,
+      it->second.battery,
+  };
+}
+
+SimTime LatencyEstimator::last_ack(InstanceId id) const {
+  auto it = entries_.find(id.value());
+  return it == entries_.end() ? SimTime{} : it->second.last_ack;
+}
+
+}  // namespace swing::core

@@ -1,0 +1,80 @@
+// Per-downstream latency estimation (paper §V-B).
+//
+// The upstream attaches a timestamp to each tuple; the downstream ACKs after
+// processing with the original timestamp echoed; the upstream computes
+// now - timestamp = L_i sample (network + queuing + processing + negligible
+// ACK time) and folds it into a moving average. The ACK also reports the
+// measured processing time, which feeds the PR/PRS baselines. Downstreams
+// that were never measured (e.g. just joined) report the optimistic default
+// so traffic reaches them and real estimates form quickly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/policy.h"
+
+namespace swing::core {
+
+struct EstimatorConfig {
+  double ewma_alpha = 0.3;
+  // Estimate assumed for a downstream with no ACKs yet. Optimistic (fast),
+  // so new arrivals are tried immediately — the paper activates new devices
+  // "as soon as they join".
+  double default_latency_ms = 40.0;
+  double default_processing_ms = 30.0;
+};
+
+class LatencyEstimator {
+ public:
+  explicit LatencyEstimator(EstimatorConfig config = {}) : config_(config) {}
+
+  // Registers a downstream (idempotent). Estimates start at the defaults.
+  void add_downstream(InstanceId id);
+  void remove_downstream(InstanceId id);
+  [[nodiscard]] bool tracks(InstanceId id) const {
+    return entries_.contains(id.value());
+  }
+
+  // Folds one ACK measurement in. Unknown downstreams are added implicitly
+  // (an ACK can race with a route update). `battery` is the remaining
+  // battery fraction the ACK reported (latest value wins; it moves slowly).
+  void record_ack(InstanceId id, double latency_ms, double processing_ms,
+                  SimTime now, double battery = 1.0);
+
+  // Estimates for every registered downstream, defaults where unmeasured.
+  [[nodiscard]] std::vector<DownstreamInfo> estimates() const;
+
+  [[nodiscard]] DownstreamInfo estimate(InstanceId id) const;
+
+  // Time of the downstream's most recent ACK; SimTime{} if never.
+  [[nodiscard]] SimTime last_ack(InstanceId id) const;
+
+  // Whether the downstream has at least one real measurement (vs defaults).
+  [[nodiscard]] bool measured(InstanceId id) const {
+    auto it = entries_.find(id.value());
+    return it != entries_.end() && it->second.latency.initialized();
+  }
+
+  [[nodiscard]] std::size_t downstream_count() const {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    Ewma latency;
+    Ewma processing;
+    double battery = 1.0;
+    SimTime last_ack{};
+  };
+
+  Entry& entry_for(InstanceId id);
+
+  EstimatorConfig config_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace swing::core

@@ -1,0 +1,153 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cctype>
+#include <stdexcept>
+
+namespace swing::core {
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRR:   return "RR";
+    case PolicyKind::kPR:   return "PR";
+    case PolicyKind::kLR:   return "LR";
+    case PolicyKind::kPRS:  return "PRS";
+    case PolicyKind::kLRS:  return "LRS";
+    case PolicyKind::kELRS: return "ELRS";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_name(const std::string& name) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) upper.push_back(char(std::toupper(unsigned(c))));
+  static constexpr PolicyKind kEvery[] = {
+      PolicyKind::kRR,  PolicyKind::kPR,  PolicyKind::kLR,
+      PolicyKind::kPRS, PolicyKind::kLRS, PolicyKind::kELRS};
+  for (PolicyKind kind : kEvery) {
+    if (policy_name(kind) == upper) return kind;
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+namespace {
+
+double delay_of(const DownstreamInfo& d, bool by_latency) {
+  // Guard against zero/negative estimates: treat as a very fast downstream
+  // rather than dividing by zero.
+  const double raw = by_latency ? d.latency_ms : d.processing_ms;
+  return std::max(raw, 1e-3);
+}
+
+}  // namespace
+
+std::vector<DownstreamInfo> select_workers(
+    std::span<const DownstreamInfo> downstreams, double input_rate_per_s,
+    bool by_latency, double headroom) {
+  std::vector<DownstreamInfo> sorted(downstreams.begin(), downstreams.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const DownstreamInfo& a, const DownstreamInfo& b) {
+              return delay_of(a, by_latency) < delay_of(b, by_latency);
+            });
+  const double target = input_rate_per_s * headroom;
+  double sum_rate = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    sum_rate += 1000.0 / delay_of(sorted[i], by_latency);  // mu_i in 1/s.
+    if (sum_rate >= target) {
+      sorted.resize(i + 1);
+      return sorted;
+    }
+  }
+  // Sum-rate constraint unsatisfiable: use every downstream (paper §V-A).
+  return sorted;
+}
+
+std::vector<double> inverse_delay_weights(
+    std::span<const DownstreamInfo> downstreams, bool by_latency) {
+  std::vector<double> weights;
+  weights.reserve(downstreams.size());
+  double total = 0.0;
+  for (const auto& d : downstreams) {
+    const double w = 1.0 / delay_of(d, by_latency);
+    weights.push_back(w);
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+namespace {
+
+class BasePolicy : public RoutingPolicy {
+ public:
+  BasePolicy(PolicyKind kind, PolicyOptions options)
+      : kind_(kind), options_(options) {}
+  [[nodiscard]] PolicyKind kind() const override { return kind_; }
+
+  [[nodiscard]] RoutingDecision decide(
+      std::span<const DownstreamInfo> downstreams,
+      double input_rate_per_s) const override {
+    RoutingDecision decision;
+    if (downstreams.empty()) return decision;
+
+    if (kind_ == PolicyKind::kRR) {
+      decision.round_robin = true;
+      decision.selected.reserve(downstreams.size());
+      for (const auto& d : downstreams) decision.selected.push_back(d.id);
+      decision.weights.assign(downstreams.size(),
+                              1.0 / double(downstreams.size()));
+      return decision;
+    }
+
+    const bool by_latency = policy_uses_latency(kind_);
+
+    // ELRS: spare nearly-empty devices when any healthy peer exists.
+    std::vector<DownstreamInfo> pool(downstreams.begin(), downstreams.end());
+    if (policy_uses_battery(kind_)) {
+      std::vector<DownstreamInfo> healthy;
+      for (const auto& d : pool) {
+        if (d.battery >= options_.min_battery) healthy.push_back(d);
+      }
+      if (!healthy.empty()) pool = std::move(healthy);
+    }
+
+    std::vector<DownstreamInfo> chosen;
+    if (policy_uses_selection(kind_)) {
+      chosen = select_workers(pool, input_rate_per_s, by_latency,
+                              options_.selection_headroom);
+    } else {
+      chosen = std::move(pool);
+    }
+    decision.weights = inverse_delay_weights(chosen, by_latency);
+    if (policy_uses_battery(kind_) && options_.battery_exponent > 0.0) {
+      // Fuller batteries carry proportionally more of the stream, draining
+      // the swarm evenly instead of burning the fastest device first.
+      double total = 0.0;
+      for (std::size_t i = 0; i < chosen.size(); ++i) {
+        decision.weights[i] *= std::pow(std::max(chosen[i].battery, 1e-3),
+                                        options_.battery_exponent);
+        total += decision.weights[i];
+      }
+      for (double& w : decision.weights) w /= total;
+    }
+    decision.selected.reserve(chosen.size());
+    for (const auto& d : chosen) decision.selected.push_back(d.id);
+    return decision;
+  }
+
+ private:
+  PolicyKind kind_;
+  PolicyOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> RoutingPolicy::make(PolicyKind kind,
+                                                   PolicyOptions options) {
+  return std::make_unique<BasePolicy>(kind, options);
+}
+
+}  // namespace swing::core

@@ -1,0 +1,114 @@
+// Routing policies (paper §V, §VI-B).
+//
+// A RoutingPolicy turns per-downstream estimates into a routing decision:
+// which downstream function units to use (worker selection) and with what
+// weights (data routing). The five policies evaluated in the paper:
+//
+//   RR  — round robin over all downstreams (stream-processing default).
+//   PR  — processing-delay-weighted routing, no selection.
+//   LR  — latency-weighted routing, no selection.
+//   PRS — processing-delay-weighted routing + worker selection.
+//   LRS — latency-weighted routing + worker selection (Swing's algorithm).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace swing::core {
+
+// RR..LRS are the paper's five policies (§VI-B). ELRS is this repo's
+// energy-aware extension of LRS: same latency-based worker selection, but
+// routing weights additionally favour downstreams with fuller batteries
+// and devices below a battery floor are spared entirely (the paper's
+// stated objective includes "minimization of ... energy usage").
+enum class PolicyKind { kRR, kPR, kLR, kPRS, kLRS, kELRS };
+
+[[nodiscard]] std::string policy_name(PolicyKind kind);
+// Parses "RR"/"PR"/"LR"/"PRS"/"LRS" (case-insensitive); throws
+// std::invalid_argument otherwise.
+[[nodiscard]] PolicyKind policy_from_name(const std::string& name);
+
+[[nodiscard]] constexpr bool policy_uses_selection(PolicyKind kind) {
+  return kind == PolicyKind::kPRS || kind == PolicyKind::kLRS ||
+         kind == PolicyKind::kELRS;
+}
+[[nodiscard]] constexpr bool policy_uses_latency(PolicyKind kind) {
+  return kind == PolicyKind::kLR || kind == PolicyKind::kLRS ||
+         kind == PolicyKind::kELRS;
+}
+[[nodiscard]] constexpr bool policy_uses_battery(PolicyKind kind) {
+  return kind == PolicyKind::kELRS;
+}
+
+// The paper's evaluated policies (the figure benches sweep exactly these).
+inline constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kRR, PolicyKind::kPR, PolicyKind::kLR, PolicyKind::kPRS,
+    PolicyKind::kLRS};
+
+// What the upstream knows about one downstream function unit, distilled from
+// ACK measurements (see LatencyEstimator).
+struct DownstreamInfo {
+  InstanceId id;
+  double latency_ms = 0.0;     // L_i: network + queuing + processing.
+  double processing_ms = 0.0;  // W_i: processing component only.
+  double battery = 1.0;        // Remaining battery fraction (last ACK).
+};
+
+struct RoutingDecision {
+  // Selected downstreams with aligned normalized weights (sum to 1).
+  std::vector<InstanceId> selected;
+  std::vector<double> weights;
+  // When true the router cycles deterministically instead of sampling
+  // (round-robin semantics).
+  bool round_robin = false;
+};
+
+// Tunables shared by the built-in policies.
+struct PolicyOptions {
+  // Scales worker selection's sum-rate constraint: the minimum prefix must
+  // satisfy sum(mu_i) >= headroom * Lambda. 1.0 is the paper's behaviour;
+  // >1 trades energy for slack against estimate noise (selection
+  // hysteresis — see the ablation bench).
+  double selection_headroom = 1.0;
+  // ELRS: routing weight p_i ∝ (1/L_i) * battery_i^exponent. 0 disables
+  // the battery term (degenerates to LRS).
+  double battery_exponent = 1.0;
+  // ELRS: downstreams below this remaining-battery floor are dropped from
+  // selection while any peer above it can serve.
+  double min_battery = 0.05;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  // `input_rate_per_s` is the upstream's measured incoming tuple rate
+  // Lambda, used by worker selection's sum-rate constraint.
+  [[nodiscard]] virtual RoutingDecision decide(
+      std::span<const DownstreamInfo> downstreams,
+      double input_rate_per_s) const = 0;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+
+  static std::unique_ptr<RoutingPolicy> make(PolicyKind kind,
+                                             PolicyOptions options = {});
+};
+
+// Worker Selection (paper §V-A): sorts downstreams by service rate
+// mu_i = 1/delay_i descending and returns the minimum prefix whose summed
+// rate meets `input_rate_per_s`; all of them if infeasible. Exposed
+// standalone for testing and for custom policies. `headroom` scales the
+// rate constraint (1.0 = paper behaviour).
+[[nodiscard]] std::vector<DownstreamInfo> select_workers(
+    std::span<const DownstreamInfo> downstreams, double input_rate_per_s,
+    bool by_latency, double headroom = 1.0);
+
+// Inverse-delay normalized weights over `downstreams` (p_i ∝ 1/delay_i).
+[[nodiscard]] std::vector<double> inverse_delay_weights(
+    std::span<const DownstreamInfo> downstreams, bool by_latency);
+
+}  // namespace swing::core

@@ -1,0 +1,157 @@
+#include "core/swarm_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swing::core {
+
+SwarmManager::SwarmManager(SwarmManagerConfig config, Rng rng)
+    : config_(config),
+      rng_(rng),
+      policy_(RoutingPolicy::make(config.policy, config.policy_options)),
+      estimator_(config.estimator),
+      rate_meter_(config.rate_window) {}
+
+void SwarmManager::add_downstream(InstanceId id) {
+  if (std::find(downstreams_.begin(), downstreams_.end(), id) !=
+      downstreams_.end()) {
+    return;
+  }
+  downstreams_.push_back(id);
+  std::sort(downstreams_.begin(), downstreams_.end());
+  estimator_.add_downstream(id);
+  update_decision(SimTime{});
+}
+
+void SwarmManager::remove_downstream(InstanceId id) {
+  auto it = std::find(downstreams_.begin(), downstreams_.end(), id);
+  if (it == downstreams_.end()) return;
+  downstreams_.erase(it);
+  estimator_.remove_downstream(id);
+  update_decision(SimTime{});
+}
+
+void SwarmManager::set_downstreams(const std::vector<InstanceId>& ids) {
+  for (InstanceId id : downstreams_) {
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+      estimator_.remove_downstream(id);
+    }
+  }
+  downstreams_ = ids;
+  std::sort(downstreams_.begin(), downstreams_.end());
+  downstreams_.erase(std::unique(downstreams_.begin(), downstreams_.end()),
+                     downstreams_.end());
+  for (InstanceId id : downstreams_) estimator_.add_downstream(id);
+  update_decision(SimTime{});
+}
+
+std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
+  if (downstreams_.empty()) return std::nullopt;
+  ++routed_;
+
+  // Probe mode: one tuple to each downstream in turn, so estimates of
+  // unselected units stay fresh.
+  if (probe_remaining_ > 0) {
+    --probe_remaining_;
+    probe_cursor_ = (probe_cursor_ + 1) % downstreams_.size();
+    return RouteChoice{downstreams_[probe_cursor_], /*probe=*/true};
+  }
+
+  // Bootstrap probing: downstreams with no measurement yet (just joined)
+  // get every Nth tuple so their first ACK arrives quickly.
+  if (policy_->kind() != PolicyKind::kRR &&
+      config_.probe_unmeasured_every > 0 &&
+      routed_ % std::uint64_t(config_.probe_unmeasured_every) == 0) {
+    std::vector<InstanceId> unmeasured;
+    for (InstanceId id : downstreams_) {
+      if (!estimator_.measured(id)) unmeasured.push_back(id);
+    }
+    if (!unmeasured.empty()) {
+      unmeasured_cursor_ = (unmeasured_cursor_ + 1) % unmeasured.size();
+      return RouteChoice{unmeasured[unmeasured_cursor_], /*probe=*/true};
+    }
+  }
+
+  const auto selected = route_selected(now);
+  if (!selected) return std::nullopt;
+  return RouteChoice{*selected, /*probe=*/false};
+}
+
+std::optional<InstanceId> SwarmManager::route_selected(SimTime now) {
+  if (downstreams_.empty()) return std::nullopt;
+  if (decision_.selected.empty()) update_decision(now);
+  if (decision_.selected.empty()) return std::nullopt;
+
+  if (decision_.round_robin) {
+    rr_cursor_ = (rr_cursor_ + 1) % decision_.selected.size();
+    return decision_.selected[rr_cursor_];
+  }
+
+  if (config_.routing_mode == RoutingMode::kDeterministic) {
+    // Smooth weighted round-robin: add each weight to its credit, pick the
+    // largest credit, charge it one full quantum. Realised split converges
+    // to the weights with zero variance.
+    if (swrr_credit_.size() != decision_.selected.size()) {
+      swrr_credit_.assign(decision_.selected.size(), 0.0);
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < swrr_credit_.size(); ++i) {
+      swrr_credit_[i] += decision_.weights[i];
+      if (swrr_credit_[i] > swrr_credit_[best]) best = i;
+    }
+    swrr_credit_[best] -= 1.0;
+    return decision_.selected[best];
+  }
+
+  const std::size_t i = rng_.weighted_pick(decision_.weights);
+  return decision_.selected[i];
+}
+
+void SwarmManager::tick(SimTime now) {
+  ++tick_count_;
+  update_decision(now);
+
+  const bool estimate_driven = policy_->kind() != PolicyKind::kRR;
+  if (estimate_driven && config_.probe_every_ticks > 0 &&
+      tick_count_ % std::uint64_t(config_.probe_every_ticks) == 0) {
+    probe_remaining_ =
+        int(downstreams_.size()) * std::max(config_.probe_passes, 1);
+  }
+}
+
+void SwarmManager::update_decision(SimTime now) {
+  const double rate = config_.target_rate_override > 0.0
+                          ? config_.target_rate_override
+                          : rate_meter_.rate(now);
+
+  if (policy_->kind() == PolicyKind::kRR) {
+    decision_ = policy_->decide(estimator_.estimates(), rate);
+  } else {
+    // Estimate-driven policies decide over *measured* downstreams only;
+    // unmeasured ones are fed by bootstrap probing until their first ACK.
+    // With nothing measured yet, fall back to round-robin over everyone.
+    std::vector<DownstreamInfo> measured;
+    for (const DownstreamInfo& info : estimator_.estimates()) {
+      if (estimator_.measured(info.id)) measured.push_back(info);
+    }
+    if (measured.empty()) {
+      decision_.selected = downstreams_;
+      decision_.weights.assign(downstreams_.size(),
+                               1.0 / double(downstreams_.size()));
+      decision_.round_robin = true;
+    } else {
+      decision_ = policy_->decide(measured, rate);
+    }
+  }
+  if (rr_cursor_ >= decision_.selected.size()) rr_cursor_ = 0;
+  // A fresh decision may reorder or replace instances; stale credits would
+  // be charged to the wrong downstream.
+  swrr_credit_.clear();
+  SWING_LOG(kDebug) << "manager policy=" << policy_name(policy_->kind())
+                    << " rate=" << rate
+                    << " selected=" << decision_.selected.size() << "/"
+                    << downstreams_.size();
+}
+
+}  // namespace swing::core

@@ -1,0 +1,140 @@
+// The Swarm Management Service run by every upstream function unit.
+//
+// Owns the routing table for the unit's downstreams: measures the incoming
+// tuple rate Lambda, folds ACK latency samples into the estimator, re-runs
+// the policy on a periodic tick (1 s in the paper), and answers "where does
+// this tuple go?" per tuple in O(1) (a weighted random draw, §V-A "Data
+// Routing"). Estimate freshness for unselected downstreams is maintained by
+// periodically switching to a short round-robin probe pass over all
+// downstreams (§V-B).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/latency_estimator.h"
+#include "core/policy.h"
+
+namespace swing::core {
+
+// How tuples are spread over the weighted decision.
+enum class RoutingMode {
+  // The paper's choice: one weighted random draw per tuple (O(1), but the
+  // realised split has binomial variance).
+  kProbabilistic,
+  // Ablation alternative: smooth weighted round-robin (nginx-style
+  // deficit counters) — deterministic, zero split variance, still O(n)
+  // only in the number of *selected* downstreams.
+  kDeterministic,
+};
+
+struct SwarmManagerConfig {
+  PolicyKind policy = PolicyKind::kLRS;
+  PolicyOptions policy_options{};
+  RoutingMode routing_mode = RoutingMode::kProbabilistic;
+  // When > 0, worker selection targets this rate (the paper's §IV-A
+  // programmer-declared "maximum input data rate that needs to be
+  // sustained") instead of the measured incoming rate Lambda.
+  double target_rate_override = 0.0;
+  EstimatorConfig estimator{};
+  // How often the routing decision is recomputed (the worker drives tick()).
+  SimDuration update_period = seconds(1.0);
+  // Every N ticks, route one round-robin pass over ALL downstreams so that
+  // unselected units keep fresh estimates. 0 disables probing.
+  int probe_every_ticks = 10;
+  // Round-robin passes per probe burst.
+  int probe_passes = 1;
+  // A downstream with no measurement yet (just joined) receives every Nth
+  // tuple until its first ACK arrives, so estimates bootstrap within ~1 s
+  // of a join without flooding an unknown device.
+  int probe_unmeasured_every = 8;
+  // Window over which the incoming rate Lambda is measured.
+  SimDuration rate_window = seconds(1.0);
+};
+
+class SwarmManager {
+ public:
+  SwarmManager(SwarmManagerConfig config, Rng rng);
+
+  // --- Membership (driven by deploy/update/leave control messages) --------
+
+  void add_downstream(InstanceId id);
+  void remove_downstream(InstanceId id);
+  void set_downstreams(const std::vector<InstanceId>& ids);
+  [[nodiscard]] const std::vector<InstanceId>& downstreams() const {
+    return downstreams_;
+  }
+  [[nodiscard]] bool has_downstreams() const { return !downstreams_.empty(); }
+
+  // --- Data path -----------------------------------------------------------
+
+  // Must be called once per tuple entering this unit (measures Lambda).
+  void on_tuple_in(SimTime now) { rate_meter_.record(now); }
+
+  struct RouteChoice {
+    InstanceId id;
+    // True when this tuple is an estimate-refresh probe rather than a
+    // weighted-decision pick. Probes are opportunistic: a caller whose
+    // connection to the probe target is congested should fall back to
+    // route_selected() instead of blocking on it.
+    bool probe = false;
+  };
+
+  // Chooses the downstream for the next outgoing tuple. nullopt when no
+  // downstream exists.
+  std::optional<RouteChoice> route(SimTime now);
+
+  // Chooses per the current decision only (never probes).
+  std::optional<InstanceId> route_selected(SimTime now);
+
+  // Folds in an ACK measurement.
+  void record_ack(InstanceId id, double latency_ms, double processing_ms,
+                  SimTime now, double battery = 1.0) {
+    estimator_.record_ack(id, latency_ms, processing_ms, now, battery);
+  }
+
+  // --- Control loop ----------------------------------------------------
+
+  // Recomputes the routing decision; call every update_period.
+  void tick(SimTime now);
+
+  // --- Introspection -----------------------------------------------------
+
+  [[nodiscard]] const RoutingDecision& decision() const { return decision_; }
+  [[nodiscard]] double input_rate(SimTime now) const {
+    return rate_meter_.rate(now);
+  }
+  [[nodiscard]] const LatencyEstimator& estimator() const {
+    return estimator_;
+  }
+  [[nodiscard]] PolicyKind policy() const { return policy_->kind(); }
+  [[nodiscard]] bool probing() const { return probe_remaining_ > 0; }
+  [[nodiscard]] std::uint64_t routed_tuples() const { return routed_; }
+
+ private:
+  void update_decision(SimTime now);
+
+  SwarmManagerConfig config_;
+  Rng rng_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  LatencyEstimator estimator_;
+  RateMeter rate_meter_;
+
+  std::vector<InstanceId> downstreams_;  // Sorted by id, deterministic.
+  RoutingDecision decision_;
+  // Smooth-weighted-round-robin deficit counters, aligned with
+  // decision_.selected (deterministic mode only).
+  std::vector<double> swrr_credit_;
+  std::size_t rr_cursor_ = 0;     // Cycles decision_.selected.
+  std::size_t probe_cursor_ = 0;  // Cycles downstreams_ during probes.
+  std::size_t unmeasured_cursor_ = 0;
+  int probe_remaining_ = 0;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace swing::core

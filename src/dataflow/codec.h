@@ -1,0 +1,40 @@
+// Typed packing of custom objects into tuple fields.
+//
+// The paper's Serialization Service "transforms customized objects into a
+// byte array ... at the sender, and transforms the array back to the object
+// at the receiver" (§IV-C). These helpers give that pattern a typed API:
+// any T with `Bytes to_bytes() const` and `static T from_bytes(const
+// Bytes&)` can be stored in and read from a tuple field directly.
+#pragma once
+
+#include <concepts>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "dataflow/tuple.h"
+
+namespace swing::dataflow {
+
+template <typename T>
+concept Packable = requires(const T& value, const Bytes& bytes) {
+  { value.to_bytes() } -> std::convertible_to<Bytes>;
+  { T::from_bytes(bytes) } -> std::convertible_to<T>;
+};
+
+// Serializes `value` into the tuple under `key`.
+template <Packable T>
+void set_packed(Tuple& tuple, std::string key, const T& value) {
+  tuple.set(std::move(key), value.to_bytes());
+}
+
+// Reads `key` back as a T. nullopt when the field is missing or not a byte
+// array; throws WireFormatError when the bytes do not decode as a T.
+template <Packable T>
+std::optional<T> get_packed(const Tuple& tuple, std::string_view key) {
+  const Bytes* bytes = tuple.get_as<Bytes>(key);
+  if (bytes == nullptr) return std::nullopt;
+  return T::from_bytes(*bytes);
+}
+
+}  // namespace swing::dataflow

@@ -1,0 +1,85 @@
+// The function-unit programming API (paper §IV-A).
+//
+// App developers subclass FunctionUnit and implement process(): receive a
+// tuple, compute, and emit() results toward downstream units. The framework
+// handles everything else — placement, routing, serialization, transport.
+// Compute cost is declared per operator as a CostFn (milliseconds on the
+// reference device); the hosting worker charges the device's CPU for that
+// long before invoking process(), which is how synthetic kernels (face
+// detection, speech recognition, ...) exercise heterogeneous hardware.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "dataflow/tuple.h"
+
+namespace swing::dataflow {
+
+// Everything a function unit may ask of its host while processing a tuple.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // Sends an output tuple downstream (routed by the swarm manager). A unit
+  // may emit zero, one, or many tuples per input.
+  virtual void emit(Tuple tuple) = 0;
+
+  virtual SimTime now() const = 0;
+  virtual DeviceId device() const = 0;
+  virtual InstanceId instance() const = 0;
+  // Deterministic per-instance randomness for app logic.
+  virtual Rng& rng() = 0;
+};
+
+class FunctionUnit {
+ public:
+  virtual ~FunctionUnit() = default;
+
+  // Called once when the instance is activated on its device.
+  virtual void on_deploy(Context& /*ctx*/) {}
+
+  // Called for each incoming tuple after the declared compute cost has been
+  // charged to the hosting device.
+  virtual void process(const Tuple& input, Context& ctx) = 0;
+};
+
+using FunctionUnitFactory = std::function<std::unique_ptr<FunctionUnit>()>;
+
+// Reference-device compute cost (ms) of processing one tuple.
+using CostFn = std::function<double(const Tuple&)>;
+
+inline CostFn constant_cost(double ref_ms) {
+  return [ref_ms](const Tuple&) { return ref_ms; };
+}
+
+// A function unit defined by a lambda; convenient for small stages.
+class LambdaUnit final : public FunctionUnit {
+ public:
+  using Fn = std::function<void(const Tuple&, Context&)>;
+  explicit LambdaUnit(Fn fn) : fn_(std::move(fn)) {}
+  void process(const Tuple& input, Context& ctx) override { fn_(input, ctx); }
+
+ private:
+  Fn fn_;
+};
+
+inline FunctionUnitFactory lambda_unit(LambdaUnit::Fn fn) {
+  return [fn = std::move(fn)] { return std::make_unique<LambdaUnit>(fn); };
+}
+
+// A unit that transforms each input into one output via a pure function.
+inline FunctionUnitFactory map_unit(std::function<Tuple(const Tuple&)> fn) {
+  return lambda_unit(
+      [fn = std::move(fn)](const Tuple& in, Context& ctx) { ctx.emit(fn(in)); });
+}
+
+// A unit that forwards its input unchanged (useful as a sink or in tests).
+inline FunctionUnitFactory passthrough_unit() {
+  return lambda_unit([](const Tuple& in, Context& ctx) { ctx.emit(in); });
+}
+
+}  // namespace swing::dataflow

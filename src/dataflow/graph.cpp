@@ -1,0 +1,192 @@
+#include "dataflow/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace swing::dataflow {
+
+OperatorId AppGraph::add(OperatorDecl decl) {
+  for (const auto& existing : operators_) {
+    if (existing.name == decl.name) {
+      throw GraphError("duplicate operator name: " + decl.name);
+    }
+  }
+  decl.id = OperatorId{next_id_++};
+  operators_.push_back(std::move(decl));
+  return operators_.back().id;
+}
+
+OperatorId AppGraph::add_source(std::string name, SourceSpec spec) {
+  if (!spec.generate) throw GraphError("source needs a generator: " + name);
+  if (spec.rate_per_s <= 0.0) {
+    throw GraphError("source rate must be positive: " + name);
+  }
+  OperatorDecl decl;
+  decl.name = std::move(name);
+  decl.kind = OperatorKind::kSource;
+  decl.placement = Placement::kMaster;
+  decl.source = std::move(spec);
+  return add(std::move(decl));
+}
+
+OperatorId AppGraph::add_transform(std::string name,
+                                   FunctionUnitFactory factory, CostFn cost,
+                                   std::size_t max_replicas) {
+  if (!factory) throw GraphError("transform needs a factory: " + name);
+  OperatorDecl decl;
+  decl.name = std::move(name);
+  decl.kind = OperatorKind::kTransform;
+  decl.placement = Placement::kWorkers;
+  decl.factory = std::move(factory);
+  decl.cost = cost ? std::move(cost) : constant_cost(0.0);
+  decl.max_replicas = max_replicas;
+  return add(std::move(decl));
+}
+
+OperatorId AppGraph::add_sink(std::string name, FunctionUnitFactory factory,
+                              CostFn cost) {
+  OperatorDecl decl;
+  decl.name = std::move(name);
+  decl.kind = OperatorKind::kSink;
+  decl.placement = Placement::kMaster;
+  // A sink that emits sends into the void; the default absorbs silently.
+  decl.factory = factory ? std::move(factory)
+                         : lambda_unit([](const Tuple&, Context&) {});
+  decl.cost = cost ? std::move(cost) : constant_cost(0.0);
+  return add(std::move(decl));
+}
+
+AppGraph& AppGraph::connect(OperatorId up, OperatorId down) {
+  if (up == down) throw GraphError("self edge");
+  static_cast<void>(index_of(up));  // Throws on unknown ids.
+  static_cast<void>(index_of(down));
+  if (std::find(edges_.begin(), edges_.end(), std::make_pair(up, down)) !=
+      edges_.end()) {
+    throw GraphError("duplicate edge");
+  }
+  edges_.emplace_back(up, down);
+  return *this;
+}
+
+AppGraph& AppGraph::partition_by_id(OperatorId id) {
+  OperatorDecl& decl = operators_[index_of(id)];
+  if (decl.kind != OperatorKind::kTransform) {
+    throw GraphError("only transforms can be partitioned: " + decl.name);
+  }
+  decl.partition_by_id = true;
+  return *this;
+}
+
+AppGraph& AppGraph::place_on_master(OperatorId id) {
+  OperatorDecl& decl = operators_[index_of(id)];
+  if (decl.kind != OperatorKind::kTransform) {
+    throw GraphError("only transforms can be re-placed: " + decl.name);
+  }
+  decl.placement = Placement::kMaster;
+  return *this;
+}
+
+std::size_t AppGraph::index_of(OperatorId id) const {
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    if (operators_[i].id == id) return i;
+  }
+  throw GraphError("unknown operator id");
+}
+
+const OperatorDecl& AppGraph::op(OperatorId id) const {
+  return operators_[index_of(id)];
+}
+
+std::vector<OperatorId> AppGraph::downstreams(OperatorId id) const {
+  std::vector<OperatorId> out;
+  for (const auto& [up, down] : edges_) {
+    if (up == id) out.push_back(down);
+  }
+  return out;
+}
+
+std::vector<OperatorId> AppGraph::upstreams(OperatorId id) const {
+  std::vector<OperatorId> out;
+  for (const auto& [up, down] : edges_) {
+    if (down == id) out.push_back(up);
+  }
+  return out;
+}
+
+std::vector<OperatorId> AppGraph::sources() const {
+  std::vector<OperatorId> out;
+  for (const auto& op : operators_) {
+    if (op.kind == OperatorKind::kSource) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::vector<OperatorId> AppGraph::sinks() const {
+  std::vector<OperatorId> out;
+  for (const auto& op : operators_) {
+    if (op.kind == OperatorKind::kSink) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::vector<OperatorId> AppGraph::topological_order() const {
+  std::vector<std::size_t> indegree(operators_.size(), 0);
+  for (const auto& [up, down] : edges_) {
+    ++indegree[index_of(down)];
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < operators_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+  std::vector<OperatorId> order;
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop();
+    order.push_back(operators_[i].id);
+    for (const auto& [up, down] : edges_) {
+      if (up != operators_[i].id) continue;
+      const std::size_t j = index_of(down);
+      if (--indegree[j] == 0) ready.push(j);
+    }
+  }
+  if (order.size() != operators_.size()) {
+    throw GraphError("graph has a cycle");
+  }
+  return order;
+}
+
+void AppGraph::validate() const {
+  if (sources().empty()) throw GraphError("graph has no source");
+  if (sinks().empty()) throw GraphError("graph has no sink");
+  (void)topological_order();  // Cycle check.
+
+  for (const auto& op : operators_) {
+    const auto ups = upstreams(op.id);
+    const auto downs = downstreams(op.id);
+    switch (op.kind) {
+      case OperatorKind::kSource:
+        if (!ups.empty()) {
+          throw GraphError("source has an upstream: " + op.name);
+        }
+        if (downs.empty()) {
+          throw GraphError("source has no downstream: " + op.name);
+        }
+        break;
+      case OperatorKind::kSink:
+        if (!downs.empty()) {
+          throw GraphError("sink has a downstream: " + op.name);
+        }
+        if (ups.empty()) {
+          throw GraphError("sink has no upstream: " + op.name);
+        }
+        break;
+      case OperatorKind::kTransform:
+        if (ups.empty() || downs.empty()) {
+          throw GraphError("transform not on a source-sink path: " + op.name);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace swing::dataflow

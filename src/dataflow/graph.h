@@ -1,0 +1,141 @@
+// Application dataflow graphs (paper §IV-A).
+//
+// An AppGraph is a DAG of operator declarations: sources sense data at a
+// target rate, transforms compute on tuples, sinks display/collect results.
+// The graph is pure declaration — deployment (how many instances of each
+// operator, on which devices) is decided by the master at run time, which is
+// what lets Swing adapt to whatever swarm shows up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "dataflow/function_unit.h"
+
+namespace swing::dataflow {
+
+class GraphError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class OperatorKind { kSource, kTransform, kSink };
+
+// Where the master places an operator's instances.
+enum class Placement {
+  kMaster,   // Single instance on the master's device (sources & sinks:
+             // sensing and display happen on the user's own phone).
+  kWorkers,  // One instance on every worker device (default for transforms;
+             // the paper deploys all function units to all workers and
+             // activates them as devices join).
+};
+
+// How a source generates data. The generator fabricates the sensed tuple
+// (e.g. a 6 kB camera frame as a Blob field); the runtime assigns ids and
+// timestamps and paces generation at `rate_per_s`.
+struct SourceSpec {
+  double rate_per_s = 24.0;
+  std::function<Tuple(TupleId, SimTime, Rng&)> generate;
+  std::uint64_t max_tuples = 0;  // 0 = run until stopped.
+
+  // Input-rate dynamism (paper §III): the rate switches to `rate_per_s` at
+  // each offset after Start. Offsets must be increasing.
+  struct RateChange {
+    SimDuration after;
+    double rate_per_s;
+  };
+  std::vector<RateChange> rate_schedule;
+
+  // Poisson arrivals: exponentially distributed inter-tuple gaps with the
+  // current mean rate, instead of a fixed cadence. Sensing hardware ticks
+  // regularly (default); event-driven sources burst.
+  bool poisson = false;
+};
+
+struct OperatorDecl {
+  OperatorId id;
+  std::string name;
+  OperatorKind kind = OperatorKind::kTransform;
+  Placement placement = Placement::kWorkers;
+  FunctionUnitFactory factory;
+  CostFn cost;  // Reference-device ms per tuple.
+  std::optional<SourceSpec> source;
+  // Cap on worker instances; 0 = no cap (one per worker).
+  std::size_t max_replicas = 0;
+  // Tuples bound for this operator are routed by tuple id (id mod the
+  // instance count over the id-sorted instance list) instead of by the
+  // upstream's policy. Because the mapping depends only on the tuple and
+  // the instance set, every upstream sends the same id to the same
+  // instance — which is what stateful joins (fan-in) need to see both
+  // halves of a frame. Costs load-balance quality; use only where state
+  // locality demands it.
+  bool partition_by_id = false;
+};
+
+class AppGraph {
+ public:
+  // Adds a sensing source (always placed on the master device).
+  OperatorId add_source(std::string name, SourceSpec spec);
+
+  // Adds a compute stage, replicated across workers by default.
+  OperatorId add_transform(std::string name, FunctionUnitFactory factory,
+                           CostFn cost, std::size_t max_replicas = 0);
+
+  // Adds a sink (always on the master device). `factory` defaults to a unit
+  // that simply absorbs results; `cost` defaults to ~0 (display is cheap).
+  OperatorId add_sink(std::string name, FunctionUnitFactory factory = nullptr,
+                      CostFn cost = nullptr);
+
+  // Adds the edge up -> down. Duplicate or self edges are errors.
+  AppGraph& connect(OperatorId up, OperatorId down);
+
+  // Pins a transform to the master's device (single instance) — for
+  // source-side preprocessing like sensor windowing that must see the
+  // whole sample stream in order. Throws for sources/sinks (already
+  // master-placed).
+  AppGraph& place_on_master(OperatorId id);
+
+  // Declares that tuples bound for this transform are routed by tuple id
+  // (see OperatorDecl::partition_by_id). Throws for sources/sinks.
+  AppGraph& partition_by_id(OperatorId id);
+
+  // --- Introspection ------------------------------------------------------
+
+  [[nodiscard]] const std::vector<OperatorDecl>& operators() const {
+    return operators_;
+  }
+  [[nodiscard]] const OperatorDecl& op(OperatorId id) const;
+  [[nodiscard]] std::vector<OperatorId> downstreams(OperatorId id) const;
+  [[nodiscard]] std::vector<OperatorId> upstreams(OperatorId id) const;
+  [[nodiscard]] const std::vector<std::pair<OperatorId, OperatorId>>& edges()
+      const {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<OperatorId> sources() const;
+  [[nodiscard]] std::vector<OperatorId> sinks() const;
+
+  // Operators in a topological order. Throws GraphError on cycles.
+  [[nodiscard]] std::vector<OperatorId> topological_order() const;
+
+  // Full structural validation: at least one source and one sink, acyclic,
+  // every operator on a source-to-sink path, sources have no upstreams,
+  // sinks have no downstreams. Throws GraphError describing the violation.
+  void validate() const;
+
+ private:
+  OperatorId add(OperatorDecl decl);
+  [[nodiscard]] std::size_t index_of(OperatorId id) const;
+
+  std::vector<OperatorDecl> operators_;
+  std::vector<std::pair<OperatorId, OperatorId>> edges_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace swing::dataflow

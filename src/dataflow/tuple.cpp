@@ -1,0 +1,107 @@
+#include "dataflow/tuple.h"
+
+namespace swing::dataflow {
+
+namespace {
+
+// Type tags on the wire.
+enum : std::uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kFloat = 2,
+  kString = 3,
+  kBytes = 4,
+  kBlob = 5,
+};
+
+void write_value(ByteWriter& w, const Value& v) {
+  struct Writer {
+    ByteWriter& w;
+    void operator()(std::monostate) const { w.write_u8(kNull); }
+    void operator()(std::int64_t x) const {
+      w.write_u8(kInt);
+      w.write_i64(x);
+    }
+    void operator()(double x) const {
+      w.write_u8(kFloat);
+      w.write_f64(x);
+    }
+    void operator()(const std::string& s) const {
+      w.write_u8(kString);
+      w.write_string(s);
+    }
+    void operator()(const Bytes& b) const {
+      w.write_u8(kBytes);
+      w.write_bytes(b);
+    }
+    void operator()(const Blob& b) const {
+      w.write_u8(kBlob);
+      w.write_varint(b.size);
+      w.write_varint(b.tag);
+    }
+  };
+  std::visit(Writer{w}, v);
+}
+
+Value read_value(ByteReader& r) {
+  switch (r.read_u8()) {
+    case kNull:
+      return std::monostate{};
+    case kInt:
+      return r.read_i64();
+    case kFloat:
+      return r.read_f64();
+    case kString:
+      return r.read_string();
+    case kBytes:
+      return r.read_bytes();
+    case kBlob: {
+      Blob b;
+      b.size = r.read_varint();
+      b.tag = r.read_varint();
+      return b;
+    }
+    default:
+      throw WireFormatError("unknown value tag");
+  }
+}
+
+}  // namespace
+
+std::uint64_t Tuple::wire_size() const {
+  // Header: id (8) + source_time (8) + field count varint.
+  std::uint64_t size = 8 + 8 + 2;
+  for (const auto& [key, value] : fields_) {
+    size += 1 + key.size() + value_wire_size(value);
+  }
+  return size;
+}
+
+Bytes Tuple::to_bytes() const {
+  ByteWriter w;
+  w.write_u64(id_.value());
+  w.write_i64(source_time_.nanos());
+  w.write_varint(fields_.size());
+  for (const auto& [key, value] : fields_) {
+    w.write_string(key);
+    write_value(w, value);
+  }
+  return w.take();
+}
+
+Tuple Tuple::from_bytes(const Bytes& data) {
+  ByteReader r{data};
+  Tuple t;
+  t.id_ = TupleId{r.read_u64()};
+  t.source_time_ = SimTime{r.read_i64()};
+  const std::uint64_t n = r.read_varint();
+  t.fields_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.read_string();
+    Value value = read_value(r);
+    t.fields_.emplace_back(std::move(key), std::move(value));
+  }
+  return t;
+}
+
+}  // namespace swing::dataflow

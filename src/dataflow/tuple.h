@@ -1,0 +1,92 @@
+// Data tuples flowing along graph edges.
+//
+// A Tuple is an ordered list of (key, Value) fields plus framework metadata:
+// the source-assigned sequence id (used by the sink's reordering service)
+// and the source timestamp (used for end-to-end latency measurement). The
+// serialization service (paper §IV-C) converts tuples to byte arrays at the
+// sender and back at the receiver; see to_bytes()/from_bytes().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/value.h"
+
+namespace swing::dataflow {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(TupleId id, SimTime source_time) : id_(id), source_time_(source_time) {}
+
+  [[nodiscard]] TupleId id() const { return id_; }
+  void set_id(TupleId id) { id_ = id; }
+
+  // When the source emitted the frame this tuple derives from. Preserved
+  // across function units so the sink can compute end-to-end delay.
+  [[nodiscard]] SimTime source_time() const { return source_time_; }
+  void set_source_time(SimTime t) { source_time_ = t; }
+
+  // --- Fields -------------------------------------------------------------
+
+  Tuple& set(std::string key, Value value) {
+    for (auto& [k, v] : fields_) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    fields_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] const Value* get(std::string_view key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  // Typed accessor; returns nullptr when absent or of a different type.
+  template <typename T>
+  [[nodiscard]] const T* get_as(std::string_view key) const {
+    const Value* v = get(key);
+    return v ? std::get_if<T>(v) : nullptr;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& fields()
+      const {
+    return fields_;
+  }
+  [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
+
+  // Derives an output tuple: same id/source_time (it is the same logical
+  // frame progressing through the pipeline), fresh fields.
+  [[nodiscard]] Tuple derive() const { return Tuple{id_, source_time_}; }
+
+  // --- Serialization ------------------------------------------------------
+
+  // Total bytes this tuple occupies on the wire.
+  [[nodiscard]] std::uint64_t wire_size() const;
+
+  // Full round-trippable encoding. Blob contents are encoded as (size, tag);
+  // real Bytes fields are copied verbatim.
+  [[nodiscard]] Bytes to_bytes() const;
+  static Tuple from_bytes(const Bytes& data);  // Throws WireFormatError.
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+
+ private:
+  TupleId id_{};
+  SimTime source_time_{};
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+}  // namespace swing::dataflow

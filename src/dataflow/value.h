@@ -1,0 +1,48 @@
+// Values carried inside data tuples.
+//
+// The paper's tuples hold "a list of serializable data structures, such as a
+// bitmap image, a matrix of floating-point values or a text string". We
+// support scalars, strings, real byte arrays, and Blob — a synthetic payload
+// that has wire size but no materialised content. Blob stands in for sensed
+// media (video frames, audio segments): Swing never inspects payload bytes,
+// so carrying only the size preserves every behaviour the framework and the
+// experiments depend on while keeping simulation memory flat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+
+namespace swing::dataflow {
+
+// Synthetic opaque payload: `size` bytes on the wire, `tag` distinguishes
+// content (e.g. which synthetic frame this is).
+struct Blob {
+  std::uint64_t size = 0;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const Blob&, const Blob&) = default;
+};
+
+using Value =
+    std::variant<std::monostate, std::int64_t, double, std::string, Bytes,
+                 Blob>;
+
+// Serialized size contribution of a value (payload only, excluding the key).
+inline std::uint64_t value_wire_size(const Value& v) {
+  struct Sizer {
+    std::uint64_t operator()(std::monostate) const { return 1; }
+    std::uint64_t operator()(std::int64_t) const { return 9; }
+    std::uint64_t operator()(double) const { return 9; }
+    std::uint64_t operator()(const std::string& s) const {
+      return 1 + 5 + s.size();
+    }
+    std::uint64_t operator()(const Bytes& b) const { return 1 + 5 + b.size(); }
+    std::uint64_t operator()(const Blob& b) const { return 1 + 10 + b.size; }
+  };
+  return std::visit(Sizer{}, v);
+}
+
+}  // namespace swing::dataflow

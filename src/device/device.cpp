@@ -1,0 +1,44 @@
+#include "device/device.h"
+
+namespace swing::device {
+
+void Device::execute(double ref_cost_ms, DoneFn done,
+                     std::function<bool()> admit) {
+  queue_.push_back(
+      Job{ref_cost_ms, sim_.now(), std::move(done), std::move(admit)});
+  if (!busy_) start_next();
+}
+
+void Device::start_next() {
+  // Shed jobs whose admission check fails at service start (e.g. they went
+  // stale while queued) without consuming CPU.
+  while (!queue_.empty() && queue_.front().admit &&
+         !queue_.front().admit()) {
+    queue_.pop_front();
+  }
+  if (queue_.empty()) return;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+
+  const double nominal_ms =
+      job.ref_cost_ms / profile_.perf_index * load_multiplier();
+  const double actual_ms =
+      rng_.lognormal_mean_cv(nominal_ms, profile_.service_cv);
+  const SimDuration service = millis(actual_ms);
+  const SimTime started = sim_.now();
+
+  sim_.schedule_after(service, [this, job = std::move(job), started,
+                                service]() mutable {
+    busy_seconds_ += service.seconds();
+    ++jobs_completed_;
+    busy_ = false;
+    const JobTiming timing{job.submitted, started, sim_.now()};
+    // Start the next job before the completion callback so a callback that
+    // re-submits work observes a consistent queue.
+    start_next();
+    if (job.done) job.done(timing);
+  });
+}
+
+}  // namespace swing::device

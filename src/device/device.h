@@ -1,0 +1,151 @@
+// Simulated mobile device: compute execution, CPU accounting, energy.
+//
+// A Device executes function-unit jobs one at a time (the Swing worker is a
+// single processing thread per device), tracks cumulative CPU-busy time for
+// utilisation reporting, and integrates CPU energy. Background load — the
+// paper's "another compute intensive benchmark" dynamism experiment —
+// inflates service times via time-sharing and shows up in reported CPU
+// usage, exactly as `top` would see it.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "device/profile.h"
+#include "sim/simulator.h"
+
+namespace swing::device {
+
+// Timestamps of one executed job, for delay decomposition (Fig. 2).
+struct JobTiming {
+  SimTime submitted;
+  SimTime started;
+  SimTime finished;
+
+  [[nodiscard]] SimDuration queuing() const { return started - submitted; }
+  [[nodiscard]] SimDuration processing() const { return finished - started; }
+};
+
+class Device {
+ public:
+  using DoneFn = std::function<void(const JobTiming&)>;
+
+  Device(Simulator& sim, DeviceId id, DeviceProfile profile, Rng rng)
+      : sim_(sim), id_(id), profile_(std::move(profile)), rng_(rng) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] DeviceId id() const { return id_; }
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+  // --- Compute --------------------------------------------------------
+
+  // Submits a job whose cost is `ref_cost_ms` milliseconds on the reference
+  // device (perf_index 1.0). Jobs run FIFO; `done` fires at completion with
+  // the queue/processing timestamps. `admit`, when given, is evaluated as
+  // the job reaches the head of the queue: returning false sheds the job
+  // without consuming any CPU (and without invoking `done`) — the hook for
+  // deadline/staleness checks that depend on how long the job waited.
+  void execute(double ref_cost_ms, DoneFn done,
+               std::function<bool()> admit = nullptr);
+
+  // Jobs waiting plus the one in service.
+  [[nodiscard]] std::size_t backlog() const {
+    return queue_.size() + (busy_ ? 1 : 0);
+  }
+
+  // Expected (jitter-free) service time for a job at current conditions.
+  [[nodiscard]] SimDuration nominal_service_time(double ref_cost_ms) const {
+    return millis(ref_cost_ms / profile_.perf_index * load_multiplier());
+  }
+
+  // --- Dynamism ---------------------------------------------------------
+
+  // Fraction [0, 1] of CPU consumed by other apps. Inflates service times
+  // and reported utilisation.
+  void set_background_load(double fraction) {
+    assert(fraction >= 0.0 && fraction <= 1.0);
+    settle_background(sim_.now());
+    background_load_ = fraction;
+  }
+  [[nodiscard]] double background_load() const { return background_load_; }
+
+  // --- Accounting -------------------------------------------------------
+
+  // Cumulative seconds the CPU spent on Swing jobs.
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+
+  // Cumulative CPU-seconds including background load, as `top` would count.
+  [[nodiscard]] double total_cpu_seconds(SimTime now) const {
+    return busy_seconds_ + background_seconds_ +
+           background_load_ * (now - background_since_).seconds();
+  }
+
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_;
+  }
+
+  // CPU energy consumed up to `now`, in joules.
+  [[nodiscard]] double cpu_energy_j(SimTime now) const {
+    const double elapsed = now.seconds();
+    return profile_.cpu_idle_w * elapsed +
+           (profile_.cpu_peak_w - profile_.cpu_idle_w) *
+               total_cpu_seconds(now);
+  }
+
+  // Remaining battery as a fraction of a full charge, based on CPU drain
+  // (radio drain is an order of magnitude smaller for these apps, §VI-B2).
+  // Devices report this in ACKs so energy-aware policies can spare
+  // nearly-empty peers.
+  [[nodiscard]] double battery_fraction(SimTime now) const {
+    const double capacity_j = profile_.battery_wh * 3600.0;
+    if (capacity_j <= 0.0) return 1.0;
+    const double remaining = 1.0 - cpu_energy_j(now) / capacity_j;
+    return std::clamp(remaining, 0.0, 1.0);
+  }
+
+ private:
+  struct Job {
+    double ref_cost_ms;
+    SimTime submitted;
+    DoneFn done;
+    std::function<bool()> admit;
+  };
+
+  // Time-sharing with background work: a device running a compute benchmark
+  // at fraction b services Swing jobs at 1/(1 + 1.5 b) speed. The 1.5 factor
+  // is calibrated to Fig. 2's processing-delay growth from 20% to 100% load.
+  [[nodiscard]] double load_multiplier() const {
+    return 1.0 + 1.5 * background_load_;
+  }
+
+  void settle_background(SimTime now) {
+    background_seconds_ +=
+        background_load_ * (now - background_since_).seconds();
+    background_since_ = now;
+  }
+
+  void start_next();
+
+  Simulator& sim_;
+  DeviceId id_;
+  DeviceProfile profile_;
+  Rng rng_;
+
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  double background_load_ = 0.0;
+  SimTime background_since_{};
+  double background_seconds_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace swing::device

@@ -1,0 +1,37 @@
+#include "device/mobility.h"
+
+#include <cmath>
+
+namespace swing::device {
+
+void Walker::walk_to(net::Position dest, double speed_mps,
+                     std::function<void()> arrived) {
+  cancel_walk();
+  medium_.set_rssi_override(id_, std::nullopt);
+  pos_ = medium_.position(id_);
+  walking_ = true;
+  step(dest, speed_mps, std::move(arrived));
+}
+
+void Walker::step(net::Position dest, double speed_mps,
+                  std::function<void()> arrived) {
+  const double remaining = net::distance(pos_, dest);
+  const double stride = speed_mps * period_.seconds();
+  if (remaining <= stride) {
+    pos_ = dest;
+    medium_.set_position(id_, pos_);
+    walking_ = false;
+    if (arrived) arrived();
+    return;
+  }
+  const double frac = stride / remaining;
+  pos_.x += (dest.x - pos_.x) * frac;
+  pos_.y += (dest.y - pos_.y) * frac;
+  medium_.set_position(id_, pos_);
+  pending_ = sim_.schedule_after(
+      period_, [this, dest, speed_mps, arrived = std::move(arrived)]() mutable {
+        if (walking_) step(dest, speed_mps, std::move(arrived));
+      });
+}
+
+}  // namespace swing::device

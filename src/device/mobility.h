@@ -1,0 +1,66 @@
+// User mobility: moves a device's position (and hence RSSI) over time.
+//
+// The paper's mobility experiment (§VI-C, Fig. 10) walks a user between
+// discrete signal zones; Walker supports both smooth straight-line walks at
+// pedestrian speed and scheduled zone jumps (RSSI overrides), updating the
+// medium as it goes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/medium.h"
+#include "sim/simulator.h"
+
+namespace swing::device {
+
+class Walker {
+ public:
+  Walker(Simulator& sim, net::Medium& medium, DeviceId id,
+         SimDuration update_period = millis(100))
+      : sim_(sim), medium_(medium), id_(id), period_(update_period) {}
+
+  Walker(const Walker&) = delete;
+  Walker& operator=(const Walker&) = delete;
+
+  // Walks in a straight line from the current position to `dest` at
+  // `speed_mps`, updating the medium every update period. Any RSSI override
+  // is cleared first so position drives signal again. `arrived` (optional)
+  // fires on arrival.
+  void walk_to(net::Position dest, double speed_mps,
+               std::function<void()> arrived = nullptr);
+
+  // Instantly pins the device's RSSI (paper-style zone placement).
+  void jump_to_rssi(double rssi_dbm) {
+    cancel_walk();
+    medium_.set_rssi_override(id_, rssi_dbm);
+  }
+
+  // Schedules a zone jump at an absolute simulation time.
+  void jump_to_rssi_at(SimTime when, double rssi_dbm) {
+    sim_.schedule_at(when, [this, rssi_dbm] { jump_to_rssi(rssi_dbm); });
+  }
+
+  [[nodiscard]] bool walking() const { return walking_; }
+
+  void cancel_walk() {
+    walking_ = false;
+    sim_.cancel(pending_);
+  }
+
+ private:
+  void step(net::Position dest, double speed_mps,
+            std::function<void()> arrived);
+
+  Simulator& sim_;
+  net::Medium& medium_;
+  DeviceId id_;
+  SimDuration period_;
+  net::Position pos_{};
+  bool walking_ = false;
+  EventId pending_{};
+};
+
+}  // namespace swing::device

@@ -1,0 +1,89 @@
+#include "device/profile.h"
+
+#include <stdexcept>
+
+namespace swing::device {
+
+namespace {
+
+DeviceProfile make(std::string name, std::string model, double perf,
+                   double cpu_peak_w, double battery_wh) {
+  DeviceProfile p;
+  p.name = std::move(name);
+  p.model = std::move(model);
+  p.perf_index = perf;
+  p.cpu_peak_w = cpu_peak_w;
+  p.battery_wh = battery_wh;
+  return p;
+}
+
+}  // namespace
+
+// perf_index = 92.9 / Table I processing delay. Peak CPU watts reflect each
+// SoC's era: the 2010 Galaxy S (E) burns almost as much as a Nexus 4 while
+// doing a fifth of the work — that inefficiency is what makes LR/RR waste
+// energy on it.
+const DeviceProfile& profile_A() {
+  static const DeviceProfile p = make("A", "Galaxy S3", 1.15, 1.5, 7.8);
+  return p;
+}
+const DeviceProfile& profile_B() {
+  static const DeviceProfile p = make("B", "Galaxy Nexus", 1.000, 1.4, 6.5);
+  return p;
+}
+const DeviceProfile& profile_C() {
+  static const DeviceProfile p = make("C", "Insignia7", 0.764, 1.2, 10.8);
+  return p;
+}
+const DeviceProfile& profile_D() {
+  static const DeviceProfile p = make("D", "NeuTab7", 0.554, 1.1, 8.1);
+  return p;
+}
+const DeviceProfile& profile_E() {
+  static const DeviceProfile p = make("E", "Galaxy S", 0.200, 1.3, 5.6);
+  return p;
+}
+const DeviceProfile& profile_F() {
+  static const DeviceProfile p = make("F", "DragonTouch", 0.558, 1.1, 8.1);
+  return p;
+}
+const DeviceProfile& profile_G() {
+  static const DeviceProfile p = make("G", "Galaxy Nexus", 1.130, 1.4, 6.5);
+  return p;
+}
+const DeviceProfile& profile_H() {
+  static const DeviceProfile p = make("H", "LG Nexus 4", 1.303, 1.6, 7.8);
+  return p;
+}
+const DeviceProfile& profile_I() {
+  static const DeviceProfile p = make("I", "Galaxy Note 2", 1.191, 1.5, 11.4);
+  return p;
+}
+
+const DeviceProfile& cloudlet_profile() {
+  static const DeviceProfile p = [] {
+    DeviceProfile c = make("CL", "Cloudlet VM", 9.0, 25.0, 1e6);
+    c.cpu_idle_w = 8.0;   // Server-class host, mains powered.
+    c.wifi_peak_w = 1.2;  // Wired-backed AP interface.
+    c.service_cv = 0.05;
+    return c;
+  }();
+  return p;
+}
+
+const std::vector<DeviceProfile>& testbed_profiles() {
+  static const std::vector<DeviceProfile> all = {
+      profile_A(), profile_B(), profile_C(), profile_D(), profile_E(),
+      profile_F(), profile_G(), profile_H(), profile_I(),
+  };
+  return all;
+}
+
+const DeviceProfile& profile_by_name(const std::string& name) {
+  for (const auto& p : testbed_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown testbed device: " + name);
+}
+
+}  // namespace swing::device

@@ -1,0 +1,74 @@
+// Device hardware profiles.
+//
+// The paper's testbed uses nine heterogeneous handsets (§III, Table I). A
+// profile captures what Swing's policies can observe about a device: how
+// fast it processes function-unit work (perf_index, calibrated so the
+// simulated face-recognition pipeline reproduces Table I's per-frame
+// processing delays) and how much power its CPU and Wi-Fi radio draw
+// (calibrated to the published battery behaviour of each model; exact watts
+// are not load-bearing, only the ordering "newer devices are faster AND more
+// energy-efficient per unit work", which drives the PRS-vs-LRS energy story
+// in §VI-B2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swing::device {
+
+struct DeviceProfile {
+  std::string name;   // Testbed letter, e.g. "B".
+  std::string model;  // Marketing name, e.g. "Galaxy Nexus".
+
+  // Relative single-thread compute speed; 1.0 = Galaxy Nexus (device B).
+  // service_time = reference_cost / perf_index.
+  double perf_index = 1.0;
+
+  // Coefficient of variation of per-job service time (log-normal jitter).
+  double service_cv = 0.10;
+
+  // CPU power model: P = idle + utilisation * (peak - idle).
+  double cpu_idle_w = 0.10;
+  double cpu_peak_w = 1.4;
+
+  // Wi-Fi power model: P = idle + airtime_fraction * (peak - idle).
+  double wifi_idle_w = 0.02;
+  double wifi_peak_w = 0.80;
+
+  double battery_wh = 6.5;  // Typical phone battery (~1750 mAh @ 3.7 V).
+
+  // Derived: work per joule at full tilt, for documentation/tests.
+  [[nodiscard]] double efficiency() const {
+    return perf_index / cpu_peak_w;
+  }
+};
+
+// The paper's testbed devices A..I. perf_index values are calibrated from
+// Table I: perf = 92.9 ms / processing_delay_ms (Galaxy Nexus B = 1.0).
+//   B 92.9ms  C 121.6ms  D 167.7ms  E 463.4ms  F 166.4ms
+//   G 82.2ms  H 71.3ms   I 78.0ms
+const DeviceProfile& profile_A();  // Galaxy S3 (source/master in the paper).
+const DeviceProfile& profile_B();  // Galaxy Nexus
+const DeviceProfile& profile_C();  // Insignia7 tablet
+const DeviceProfile& profile_D();  // NeuTab7 tablet
+const DeviceProfile& profile_E();  // Galaxy S
+const DeviceProfile& profile_F();  // DragonTouch tablet
+const DeviceProfile& profile_G();  // Galaxy Nexus
+const DeviceProfile& profile_H();  // LG Nexus 4
+const DeviceProfile& profile_I();  // Galaxy Note 2
+
+// All nine testbed profiles in order A..I.
+const std::vector<DeviceProfile>& testbed_profiles();
+
+// "Cloudlet mode" (paper §II): Swing can use a stationary Android VM on
+// nearby server hardware as just another worker. Roughly an order of
+// magnitude faster than the phones and mains-powered (energy effectively
+// free for the swarm's battery budget, modelled as high draw it can
+// afford). LRS adopts it through the ordinary worker path — no special
+// casing anywhere in the framework.
+const DeviceProfile& cloudlet_profile();
+
+// Profile lookup by testbed letter ("A".."I"); throws std::out_of_range.
+const DeviceProfile& profile_by_name(const std::string& name);
+
+}  // namespace swing::device

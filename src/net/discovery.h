@@ -1,0 +1,77 @@
+// Service discovery, modelling Android Network Service Discovery (NSD).
+//
+// The Swing master "broadcasts itself by registering a Network Service on
+// the network"; each worker runs a background service that listens for the
+// master and connects upon discovery (§IV-C). We model NSD as a registry
+// with a propagation delay: watchers learn about services (existing and
+// future) a short mDNS-style delay after registration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace swing::net {
+
+class Discovery {
+ public:
+  using FoundFn = std::function<void(DeviceId provider, const Bytes& info)>;
+
+  explicit Discovery(Simulator& sim, SimDuration propagation = millis(120))
+      : sim_(sim), propagation_(propagation) {}
+
+  Discovery(const Discovery&) = delete;
+  Discovery& operator=(const Discovery&) = delete;
+
+  // Registers `provider` as offering `service`; `info` carries
+  // service-specific details (e.g. the master's listen address).
+  void advertise(const std::string& service, DeviceId provider, Bytes info) {
+    services_[service][provider.value()] = info;
+    for (const auto& watcher : watchers_[service]) {
+      notify(watcher, provider, info);
+    }
+  }
+
+  void withdraw(const std::string& service, DeviceId provider) {
+    auto it = services_.find(service);
+    if (it != services_.end()) it->second.erase(provider.value());
+  }
+
+  // Subscribes to a service type. The callback fires (after the propagation
+  // delay) once per already-registered provider and for each future one.
+  void watch(const std::string& service, FoundFn fn) {
+    auto it = services_.find(service);
+    if (it != services_.end()) {
+      for (const auto& [provider, info] : it->second) {
+        notify(fn, DeviceId{provider}, info);
+      }
+    }
+    watchers_[service].push_back(std::move(fn));
+  }
+
+  [[nodiscard]] std::size_t provider_count(const std::string& service) const {
+    auto it = services_.find(service);
+    return it == services_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  void notify(const FoundFn& fn, DeviceId provider, Bytes info) {
+    sim_.schedule_after(propagation_, [fn, provider, info = std::move(info)] {
+      fn(provider, info);
+    });
+  }
+
+  Simulator& sim_;
+  SimDuration propagation_;
+  std::unordered_map<std::string, std::unordered_map<std::uint64_t, Bytes>>
+      services_;
+  std::unordered_map<std::string, std::vector<FoundFn>> watchers_;
+};
+
+}  // namespace swing::net

@@ -1,0 +1,351 @@
+#include "net/medium.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace swing::net {
+
+Medium::Medium(Simulator& sim, MediumConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.interference.duty > 0.0) {
+    assert(config_.interference.duty < 1.0);
+    // Foreign bursts at a fixed cadence: period = burst / duty.
+    const SimDuration period =
+        config_.interference.burst * (1.0 / config_.interference.duty);
+    auto hog = std::make_shared<std::function<void()>>();
+    *hog = [this, period, hog] {
+      external_busy_until_ = sim_.now() + config_.interference.burst;
+      sim_.schedule_at(external_busy_until_, [this] { serve_next(); });
+      sim_.schedule_after(period, *hog);
+    };
+    sim_.schedule_after(period, *hog);
+  }
+}
+
+void Medium::attach(DeviceId id, Position pos) {
+  stations_[id.value()] = Station{pos, std::nullopt};
+  stats_.try_emplace(id.value());
+}
+
+void Medium::detach(DeviceId id) {
+  stations_.erase(id.value());
+  // In-flight traffic involving the device dies; hops are skipped lazily in
+  // serve_next() once their message is marked dead.
+  for (auto& [key, queue] : flows_) {
+    for (auto& hop : queue) {
+      if (hop.msg->src == id || hop.msg->dst == id) {
+        drop_message(hop.msg, hop.msg->dst == id
+                                  ? DropReason::kReceiverDisconnected
+                                  : DropReason::kSenderDisconnected);
+      }
+    }
+  }
+}
+
+void Medium::set_position(DeviceId id, Position pos) {
+  auto it = stations_.find(id.value());
+  assert(it != stations_.end());
+  it->second.pos = pos;
+}
+
+void Medium::set_rssi_override(DeviceId id, std::optional<double> rssi_dbm) {
+  auto it = stations_.find(id.value());
+  assert(it != stations_.end());
+  it->second.rssi_override = rssi_dbm;
+}
+
+bool Medium::attached(DeviceId id) const {
+  return stations_.contains(id.value());
+}
+
+Position Medium::position(DeviceId id) const {
+  auto it = stations_.find(id.value());
+  return it == stations_.end() ? Position{} : it->second.pos;
+}
+
+double Medium::rssi(DeviceId id) const {
+  auto it = stations_.find(id.value());
+  if (it == stations_.end()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (it->second.rssi_override) return *it->second.rssi_override;
+  return rssi_from_distance(distance(it->second.pos, Position{}),
+                            config_.path_loss);
+}
+
+double Medium::phy_rate_bps(DeviceId id) const {
+  const auto lq = link_quality(rssi(id));
+  return lq ? lq->mcs.rate_bps : 0.0;
+}
+
+double Medium::pair_rssi(DeviceId a, DeviceId b) const {
+  auto ia = stations_.find(a.value());
+  auto ib = stations_.find(b.value());
+  if (ia == stations_.end() || ib == stations_.end()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double direct = rssi_from_distance(
+      distance(ia->second.pos, ib->second.pos), config_.path_loss);
+  // A device pinned to a weak "zone" is weak for direct links too: its
+  // zone RSSI caps what any link involving it can achieve.
+  double capped = direct;
+  if (ia->second.rssi_override) {
+    capped = std::min(capped, *ia->second.rssi_override);
+  }
+  if (ib->second.rssi_override) {
+    capped = std::min(capped, *ib->second.rssi_override);
+  }
+  return capped;
+}
+
+bool Medium::reachable(DeviceId a, DeviceId b) const {
+  if (a == b) return attached(a);
+  if (config_.mode == MediumMode::kAdhoc) {
+    return link_quality(pair_rssi(a, b)).has_value();
+  }
+  return connected(a) && connected(b);
+}
+
+double Medium::goodput_bps(DeviceId id) const {
+  const auto lq = link_quality(rssi(id));
+  if (!lq) return 0.0;
+  // Effective bits/s for a full packet including overhead, retries and
+  // recovery stalls — what a single saturating flow would see on this
+  // device's AP link.
+  const double payload_s = double(config_.packet_bytes) * 8.0 /
+                           (lq->mcs.rate_bps * config_.mac_efficiency);
+  const SimDuration per_packet =
+      (SimDuration(config_.per_packet_overhead) + seconds(payload_s)) *
+      lq->tries;
+  return double(config_.packet_bytes) * 8.0 / per_packet.seconds();
+}
+
+std::size_t Medium::packets_for(std::size_t bytes) const {
+  return bytes == 0 ? 1 : (bytes + config_.packet_bytes - 1) /
+                              config_.packet_bytes;
+}
+
+std::size_t Medium::inflight_packets(DeviceId src, DeviceId dst) const {
+  auto it = pair_inflight_.find(pair_key(src, dst));
+  return it == pair_inflight_.end() ? 0 : it->second;
+}
+
+bool Medium::can_accept(DeviceId src, DeviceId dst,
+                        std::size_t bytes) const {
+  (void)bytes;
+  if (!connected(src) || !connected(dst)) return true;  // Fails as an error.
+  if (src == dst) return true;  // Loopback has no window.
+  // TCP semantics: a write is admitted whenever the window has any room;
+  // a message larger than the remaining window simply overshoots it (the
+  // kernel buffers one application write beyond the advertised window).
+  return inflight_packets(src, dst) < config_.tcp_window_packets;
+}
+
+bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
+                  DeliverFn on_deliver, DropFn on_drop) {
+  auto fail = [&](DropReason reason) {
+    ++dropped_;
+    if (attached(src)) ++stats_[src.value()].dropped_messages;
+    if (on_drop) on_drop(reason);
+    return false;
+  };
+
+  if (config_.mode == MediumMode::kAdhoc && src != dst) {
+    if (!attached(src)) return fail(DropReason::kSenderDisconnected);
+    if (!attached(dst) || !reachable(src, dst)) {
+      return fail(DropReason::kReceiverDisconnected);
+    }
+  } else {
+    if (!connected(src)) return fail(DropReason::kSenderDisconnected);
+    if (!connected(dst)) return fail(DropReason::kReceiverDisconnected);
+  }
+
+  // Local loopback (master and worker threads co-located on one device, or
+  // adjacent function units deployed to the same device) skips the radio.
+  if (src == dst) {
+    ++delivered_;
+    sim_.schedule_after(config_.delivery_latency,
+                        [cb = std::move(on_deliver)] { cb(); });
+    return true;
+  }
+
+  const std::size_t npackets = packets_for(bytes);
+  std::size_t& inflight = pair_inflight_[pair_key(src, dst)];
+  if (inflight >= config_.tcp_window_packets) {
+    return fail(DropReason::kQueueFull);
+  }
+  inflight += npackets;
+
+  auto msg = std::make_shared<MessageState>();
+  msg->src = src;
+  msg->dst = dst;
+  msg->total_bytes = bytes;
+  msg->packets_remaining_uplink = npackets;
+  msg->packets_remaining_downlink = npackets;
+  msg->on_deliver = std::move(on_deliver);
+  msg->on_drop = std::move(on_drop);
+
+  // Ad-hoc mode: the packet reaches the peer in one direct hop, so there
+  // is no separate uplink phase.
+  const bool direct = config_.mode == MediumMode::kAdhoc;
+  const std::size_t last = bytes == 0 ? 0 : bytes % config_.packet_bytes;
+  for (std::size_t i = 0; i < npackets; ++i) {
+    const std::size_t pbytes =
+        (i + 1 == npackets && last != 0) ? last : config_.packet_bytes;
+    PacketHop hop{msg, src, /*downlink=*/direct, direct, pbytes};
+    enqueue_hop(std::move(hop));
+  }
+  return true;
+}
+
+void Medium::enqueue_hop(PacketHop hop) {
+  // Direct (ad-hoc) hops queue per connection: a stalled pair must not
+  // hold up the sender's traffic to other peers.
+  const FlowKey key{hop.direct ? pair_key(hop.msg->src, hop.msg->dst)
+                               : hop.link_device.value(),
+                    hop.downlink};
+  auto [it, inserted] = flows_.try_emplace(key);
+  it->second.push_back(std::move(hop));
+  if (inserted || it->second.size() == 1) {
+    active_flows_.push_back(key);
+  }
+  if (!channel_busy_) serve_next();
+}
+
+void Medium::serve_next() {
+  if (channel_busy_) return;  // One transmission at a time: CSMA serialises.
+  const SimTime now = sim_.now();
+  if (now < external_busy_until_) {
+    // A foreign network holds the channel; CSMA defers until it frees.
+    sim_.schedule_at(external_busy_until_, [this] { serve_next(); });
+    return;
+  }
+  SimTime earliest_wakeup = SimTime::max();
+  // One full rotation over the active flows at most; flows in recovery
+  // cooldown rotate to the back without being counted as served.
+  std::size_t budget = active_flows_.size();
+  while (!active_flows_.empty() && budget-- > 0) {
+    const FlowKey key = active_flows_.front();
+    active_flows_.pop_front();
+    auto it = flows_.find(key);
+    if (it == flows_.end() || it->second.empty()) continue;
+
+    if (auto cd = cooldown_.find(key); cd != cooldown_.end()) {
+      if (cd->second > now) {
+        earliest_wakeup = std::min(earliest_wakeup, cd->second);
+        active_flows_.push_back(key);
+        continue;
+      }
+      cooldown_.erase(cd);
+    }
+
+    PacketHop hop = std::move(it->second.front());
+    it->second.pop_front();
+    // Keep the flow in rotation while it still has packets.
+    if (!it->second.empty()) {
+      active_flows_.push_back(key);
+    } else {
+      flows_.erase(it);
+    }
+
+    if (hop.msg->dead) continue;  // Message dropped while queued.
+
+    // A station can lose association (or, ad-hoc, the pair can drift out
+    // of range) while packets are queued.
+    const bool path_ok = hop.direct
+                             ? reachable(hop.msg->src, hop.msg->dst)
+                             : connected(hop.link_device);
+    if (!path_ok) {
+      drop_message(hop.msg, hop.downlink ? DropReason::kReceiverDisconnected
+                                         : DropReason::kSenderDisconnected);
+      continue;
+    }
+
+    const HopTiming timing = hop_timing(hop);
+    channel_busy_ = true;
+    busy_airtime_s_ += timing.airtime.seconds();
+    stats_[hop.link_device.value()].airtime_s += timing.airtime.seconds();
+    if (timing.stall.nanos() > 0) {
+      cooldown_[key] = now + timing.airtime + timing.stall;
+    }
+    // The channel frees after the airtime; the packet completes after any
+    // recovery stall on top (during which other flows transmit).
+    sim_.schedule_after(timing.airtime, [this] {
+      channel_busy_ = false;
+      serve_next();
+    });
+    sim_.schedule_after(timing.airtime + timing.stall,
+                        [this, hop = std::move(hop)]() mutable {
+                          complete_hop(std::move(hop));
+                        });
+    return;
+  }
+  if (earliest_wakeup != SimTime::max()) {
+    sim_.schedule_at(earliest_wakeup, [this] { serve_next(); });
+  }
+}
+
+void Medium::complete_hop(PacketHop hop) {
+  if (hop.msg->dead) return;
+  if (hop.direct) {
+    stats_[hop.msg->src.value()].tx_bytes += hop.bytes;
+  }
+  if (!hop.downlink) {
+    stats_[hop.msg->src.value()].tx_bytes += hop.bytes;
+    --hop.msg->packets_remaining_uplink;
+    // The AP forwards the packet on the receiver's downlink.
+    enqueue_hop(PacketHop{hop.msg, hop.msg->dst, /*downlink=*/true,
+                          /*direct=*/false, hop.bytes});
+  } else {
+    stats_[hop.msg->dst.value()].rx_bytes += hop.bytes;
+    --hop.msg->packets_remaining_downlink;
+    auto window = pair_inflight_.find(pair_key(hop.msg->src, hop.msg->dst));
+    if (window != pair_inflight_.end() && window->second > 0) {
+      --window->second;
+    }
+    if (hop.msg->packets_remaining_downlink == 0) {
+      ++delivered_;
+      sim_.schedule_after(config_.delivery_latency,
+                          [cb = std::move(hop.msg->on_deliver)] { cb(); });
+    }
+  }
+}
+
+void Medium::drop_message(const MessagePtr& msg, DropReason reason) {
+  if (msg->dead) return;
+  msg->dead = true;
+  // Release the window space its undelivered packets held.
+  auto window = pair_inflight_.find(pair_key(msg->src, msg->dst));
+  if (window != pair_inflight_.end()) {
+    window->second -= std::min(window->second,
+                               msg->packets_remaining_downlink);
+  }
+  ++dropped_;
+  if (attached(msg->src)) ++stats_[msg->src.value()].dropped_messages;
+  if (msg->on_drop) msg->on_drop(reason);
+}
+
+Medium::HopTiming Medium::hop_timing(const PacketHop& hop) const {
+  const auto lq = link_quality(hop.direct
+                                   ? pair_rssi(hop.msg->src, hop.msg->dst)
+                                   : rssi(hop.link_device));
+  assert(lq);
+  const double payload_s =
+      double(hop.bytes) * 8.0 / (lq->mcs.rate_bps * config_.mac_efficiency);
+  const SimDuration single_try =
+      SimDuration(config_.per_packet_overhead) + seconds(payload_s);
+  const double air_tries =
+      std::min(lq->tries, config_.mac_retry_airtime_cap);
+  return HopTiming{single_try * air_tries,
+                   single_try * (lq->tries - air_tries)};
+}
+
+const Medium::DeviceStats& Medium::stats(DeviceId id) const {
+  static const DeviceStats kEmpty{};
+  auto it = stats_.find(id.value());
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+}  // namespace swing::net

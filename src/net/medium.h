@@ -1,0 +1,240 @@
+// Shared 802.11 medium with per-packet round-robin airtime scheduling.
+//
+// All devices associate with one access point (infrastructure mode, like the
+// paper's Linksys E1200 testbed). A message from device S to device D is
+// split into MTU-sized packets; each packet consumes channel airtime twice —
+// once on S's uplink and once on D's downlink — at the PHY rate dictated by
+// that device's RSSI, inflated by the retry factor of weak links. The channel
+// serves one packet at a time, round-robin across flows, which reproduces the
+// well-known 802.11 rate anomaly: a single weak-signal receiver consumes
+// disproportionate airtime and drags down every flow in the BSS. This is the
+// exact mechanism that penalises RR/PR routing in the paper (§VI-B1).
+//
+// Sender-side buffering is bounded per flow (modelling finite TCP socket
+// buffers); when the bound is hit new messages are dropped at the sender,
+// which bounds measured transmission delay the way TCP backpressure does.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/wifi.h"
+#include "sim/simulator.h"
+
+namespace swing::net {
+
+// How devices reach each other (paper §II: Swing "can utilize mobile
+// hotspot APs, Wi-Fi Direct, WLAN or cellular, as networking technologies").
+enum class MediumMode {
+  // All traffic relays through one access point: two hops per message,
+  // each at the endpoint's AP-link rate (the paper's testbed).
+  kInfrastructure,
+  // Wi-Fi Direct / ad-hoc: one hop per message at the rate the *pairwise*
+  // link supports. Halves airtime for device-to-device traffic but the
+  // link quality now depends on where both peers stand.
+  kAdhoc,
+};
+
+struct MediumConfig {
+  MediumMode mode = MediumMode::kInfrastructure;
+  PathLossConfig path_loss{};
+  // Fraction of PHY rate usable as goodput (MAC/ACK/TCP overhead).
+  double mac_efficiency = 0.6;
+  std::size_t packet_bytes = 1500;
+  // Per-packet fixed MAC overhead (DIFS + preamble + MAC ACK), amortised by
+  // A-MPDU aggregation; dominates airtime for small packets.
+  SimDuration per_packet_overhead = micros(30);
+  // The MAC retries a packet at most this many times before giving up and
+  // leaving recovery to TCP. Channel airtime per packet is capped at this
+  // multiple; the remaining expected tries show up as *idle* stall time on
+  // the flow (TCP timeout/backoff) rather than channel occupancy. Without
+  // the cap a near-dead link would monopolise the BSS, which real MACs
+  // specifically prevent.
+  double mac_retry_airtime_cap = 4.0;
+  // Processing latency added at final delivery.
+  SimDuration delivery_latency = micros(500);
+  // External co-channel interference. The paper ran its experiments "during
+  // the night to reduce chances of interference from other wireless
+  // communications"; this knob simulates daytime: a neighbouring network
+  // periodically occupies the channel for `burst` at the given duty cycle,
+  // deferring our transmissions. Zero duty = the paper's quiet night.
+  struct Interference {
+    double duty = 0.0;  // Fraction of airtime stolen, [0, 1).
+    SimDuration burst = millis(20);
+  } interference;
+
+  // End-to-end inflight bound per (src, dst) pair, in packets — the TCP
+  // send window / socket buffer (16 x 1500 B = 24 kB, a typical Android
+  // default). A full window means a write() would block; senders that do
+  // not check can_accept() first get a kQueueFull drop. A message larger
+  // than the whole window is admitted when the window is empty (a blocking
+  // write pushes it through in pieces; we account it atomically).
+  std::size_t tcp_window_packets = 16;
+};
+
+// Reason a message failed to deliver.
+enum class DropReason {
+  kSenderDisconnected,
+  kReceiverDisconnected,
+  kQueueFull,
+};
+
+class Medium {
+ public:
+  using DeliverFn = std::function<void()>;
+  using DropFn = std::function<void(DropReason)>;
+
+  Medium(Simulator& sim, MediumConfig config = {});
+
+  // --- Topology -----------------------------------------------------------
+
+  void attach(DeviceId id, Position pos);
+  // Detaching drops all in-flight traffic to/from the device.
+  void detach(DeviceId id);
+  void set_position(DeviceId id, Position pos);
+  // Pins a device's RSSI regardless of position (paper's signal "zones").
+  void set_rssi_override(DeviceId id, std::optional<double> rssi_dbm);
+
+  [[nodiscard]] bool attached(DeviceId id) const;
+  [[nodiscard]] Position position(DeviceId id) const;
+
+  // RSSI of the direct link between two devices (ad-hoc mode). Devices in
+  // an override "zone" contribute their zone RSSI: the direct link cannot
+  // beat the worse endpoint.
+  [[nodiscard]] double pair_rssi(DeviceId a, DeviceId b) const;
+
+  // Whether a message from a to b would currently find a usable path.
+  [[nodiscard]] bool reachable(DeviceId a, DeviceId b) const;
+  // RSSI of the device's link to the AP; -infinity when not attached.
+  [[nodiscard]] double rssi(DeviceId id) const;
+  // PHY rate for the device's current RSSI; 0 when out of range.
+  [[nodiscard]] double phy_rate_bps(DeviceId id) const;
+  [[nodiscard]] bool connected(DeviceId id) const {
+    return phy_rate_bps(id) > 0.0;
+  }
+
+  // Application-level goodput estimate for a 1-hop transmission to/from the
+  // device (used by benches for calibration, not by the framework).
+  [[nodiscard]] double goodput_bps(DeviceId id) const;
+
+  // --- Data plane ---------------------------------------------------------
+
+  // Queues a message of `bytes` from `src` to `dst`. `on_deliver` fires at
+  // the destination when the last packet arrives; `on_drop` (optional) fires
+  // if the message is dropped. Returns false iff dropped immediately.
+  bool send(DeviceId src, DeviceId dst, std::size_t bytes,
+            DeliverFn on_deliver, DropFn on_drop = nullptr);
+
+  // Whether a message of `bytes` from `src` to `dst` fits the connection's
+  // send window right now. Lets callers model TCP backpressure (block
+  // instead of drop) — a false result means a write() would block. Returns
+  // true for disconnected peers: that send fails with a link error instead.
+  [[nodiscard]] bool can_accept(DeviceId src, DeviceId dst,
+                                std::size_t bytes) const;
+
+  // Inflight packets on the (src, dst) connection.
+  [[nodiscard]] std::size_t inflight_packets(DeviceId src, DeviceId dst) const;
+
+  // --- Accounting ---------------------------------------------------------
+
+  struct DeviceStats {
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_bytes = 0;
+    double airtime_s = 0.0;  // Channel time consumed by this device's link.
+    std::uint64_t dropped_messages = 0;
+  };
+
+  [[nodiscard]] const DeviceStats& stats(DeviceId id) const;
+  [[nodiscard]] double total_busy_airtime_s() const { return busy_airtime_s_; }
+  [[nodiscard]] std::uint64_t delivered_messages() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+
+  // Airtime utilisation of the channel over the whole run so far.
+  [[nodiscard]] double utilisation() const {
+    const double elapsed = sim_.now().seconds();
+    return elapsed > 0.0 ? busy_airtime_s_ / elapsed : 0.0;
+  }
+
+ private:
+  struct Station {
+    Position pos{};
+    std::optional<double> rssi_override;
+  };
+
+  struct MessageState {
+    DeviceId src;
+    DeviceId dst;
+    std::size_t total_bytes;
+    std::size_t packets_remaining_uplink;
+    std::size_t packets_remaining_downlink;
+    DeliverFn on_deliver;
+    DropFn on_drop;
+    bool dead = false;
+  };
+  using MessagePtr = std::shared_ptr<MessageState>;
+
+  struct PacketHop {
+    MessagePtr msg;
+    DeviceId link_device;  // Whose link's airtime this hop consumes.
+    bool downlink;
+    // Ad-hoc: the hop runs at the pairwise link rate instead of the
+    // device-to-AP rate.
+    bool direct = false;
+    std::size_t bytes;
+  };
+
+  // Flow key: device ID + direction. Uplink and downlink queues of the same
+  // station are distinct flows, matching per-TID MAC queues.
+  struct FlowKey {
+    std::uint64_t device;
+    bool downlink;
+    friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const {
+      return std::hash<std::uint64_t>{}(k.device * 2 + (k.downlink ? 1 : 0));
+    }
+  };
+
+  struct HopTiming {
+    SimDuration airtime;  // Channel occupancy (busy time).
+    SimDuration stall;    // Extra idle recovery time before completion.
+  };
+
+  void enqueue_hop(PacketHop hop);
+  void serve_next();
+  void complete_hop(PacketHop hop);
+  void drop_message(const MessagePtr& msg, DropReason reason);
+  [[nodiscard]] HopTiming hop_timing(const PacketHop& hop) const;
+  std::size_t packets_for(std::size_t bytes) const;
+  static std::uint64_t pair_key(DeviceId src, DeviceId dst) {
+    return src.value() * 0x9e3779b97f4a7c15ULL ^ dst.value();
+  }
+
+  Simulator& sim_;
+  MediumConfig config_;
+  std::unordered_map<std::uint64_t, Station> stations_;
+  std::unordered_map<FlowKey, std::deque<PacketHop>, FlowKeyHash> flows_;
+  // Round-robin order of flows with pending packets.
+  std::list<FlowKey> active_flows_;
+  // Flows in TCP-recovery stall: not served until the stated time.
+  std::unordered_map<FlowKey, SimTime, FlowKeyHash> cooldown_;
+  bool channel_busy_ = false;
+  // Channel occupied by a foreign network until this time.
+  SimTime external_busy_until_{};
+  double busy_airtime_s_ = 0.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  // Inflight packets per (src, dst) connection, for TCP-window accounting.
+  std::unordered_map<std::uint64_t, std::size_t> pair_inflight_;
+  mutable std::unordered_map<std::uint64_t, DeviceStats> stats_;
+};
+
+}  // namespace swing::net

@@ -1,0 +1,133 @@
+// Message transport over the shared medium.
+//
+// Provides what SEEP gets from TCP sockets on the testbed: typed, framed
+// messages between devices, delivery to a per-device handler, and link-
+// failure notification (the analogue of a TCP reset / broken socket that
+// lets upstream function units detect departed downstreams, §IV-C "Handling
+// Joining and Leaving").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/medium.h"
+#include "sim/simulator.h"
+
+namespace swing::net {
+
+struct Message {
+  MessageId id;
+  DeviceId src;
+  DeviceId dst;
+  std::uint8_t type = 0;  // Protocol-defined tag (see runtime/messages.h).
+  Bytes payload;
+  SimTime sent_at;        // Stamped by the transport at send time.
+};
+
+struct TransportConfig {
+  // Per-message framing overhead on the wire (TCP/IP headers + SEEP frame).
+  std::size_t header_bytes = 66;
+  // Time from a failed delivery to the sender learning the link is down
+  // (TCP reset / keepalive expiry on the real system).
+  SimDuration link_down_detection = millis(150);
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using LinkDownFn = std::function<void(DeviceId peer)>;
+
+  Transport(Simulator& sim, Medium& medium, TransportConfig config = {})
+      : sim_(sim), medium_(medium), config_(config) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Registers the device's inbound message handler. A device must be
+  // attached to the medium separately.
+  void register_device(DeviceId id, Handler handler) {
+    handlers_[id.value()] = std::move(handler);
+  }
+
+  void unregister_device(DeviceId id) {
+    handlers_.erase(id.value());
+    watchers_.erase(id.value());
+  }
+
+  [[nodiscard]] bool registered(DeviceId id) const {
+    return handlers_.contains(id.value());
+  }
+
+  // Installs `fn` to be told when a message from `id` fails because the
+  // peer's link is gone.
+  void set_link_watcher(DeviceId id, LinkDownFn fn) {
+    watchers_[id.value()] = std::move(fn);
+  }
+
+  // Sends a typed message. Returns false iff the message was refused
+  // immediately (sender down / receiver down / queue full); link-down
+  // notifications still arrive asynchronously in that case.
+  //
+  // `wire_bytes` overrides the on-air size when nonzero: tuple payloads
+  // carry synthetic Blob fields whose bytes are not materialised in the
+  // encoded buffer, so the caller passes the true wire footprint.
+  bool send(DeviceId src, DeviceId dst, std::uint8_t type, Bytes payload,
+            std::size_t wire_bytes = 0) {
+    Message msg;
+    msg.id = MessageId{next_id_++};
+    msg.src = src;
+    msg.dst = dst;
+    msg.type = type;
+    msg.payload = std::move(payload);
+    msg.sent_at = sim_.now();
+    const std::size_t wire =
+        (wire_bytes ? wire_bytes : msg.payload.size()) + config_.header_bytes;
+
+    auto on_deliver = [this, msg = std::move(msg)]() mutable {
+      auto it = handlers_.find(msg.dst.value());
+      // The handler can have unregistered while the message was in flight
+      // (device left); the data simply disappears, like a closed socket.
+      if (it != handlers_.end()) it->second(msg);
+    };
+    auto on_drop = [this, src, dst](DropReason reason) {
+      if (reason == DropReason::kQueueFull) return;  // Congestion, not loss.
+      notify_link_down(src, dst);
+    };
+    return medium_.send(src, dst, wire, std::move(on_deliver),
+                        std::move(on_drop));
+  }
+
+  // Whether a send of this size would be accepted right now (TCP window has
+  // room). Senders that must not lose data block on this instead of sending.
+  [[nodiscard]] bool can_send(DeviceId src, DeviceId dst,
+                              std::size_t payload_bytes,
+                              std::size_t wire_bytes = 0) const {
+    const std::size_t wire =
+        (wire_bytes ? wire_bytes : payload_bytes) + config_.header_bytes;
+    return medium_.can_accept(src, dst, wire);
+  }
+
+  [[nodiscard]] Medium& medium() { return medium_; }
+
+ private:
+  void notify_link_down(DeviceId src, DeviceId dst) {
+    sim_.schedule_after(config_.link_down_detection, [this, src, dst] {
+      auto it = watchers_.find(src.value());
+      if (it != watchers_.end()) it->second(dst);
+    });
+  }
+
+  Simulator& sim_;
+  Medium& medium_;
+  TransportConfig config_;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+  std::unordered_map<std::uint64_t, LinkDownFn> watchers_;
+};
+
+}  // namespace swing::net

@@ -1,0 +1,198 @@
+#include "runtime/master.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace swing::runtime {
+
+Master::Master(Simulator& sim, DeviceId device, net::Transport& transport,
+               net::Discovery& discovery, const dataflow::AppGraph& graph,
+               MasterConfig config)
+    : sim_(sim),
+      device_(device),
+      transport_(transport),
+      discovery_(discovery),
+      graph_(graph),
+      config_(config) {
+  graph_.validate();
+}
+
+void Master::launch() {
+  discovery_.advertise(kSwingService, device_, Bytes{});
+  admit(device_);  // The master's device hosts sources and sinks.
+  if (config_.member_timeout.nanos() > 0) {
+    sweep_task_ = std::make_unique<PeriodicTask>(
+        sim_, config_.member_timeout * 0.5, [this] { sweep_members(); });
+    sweep_task_->start();
+  }
+}
+
+void Master::handle_message(const net::Message& msg) {
+  last_seen_[msg.src.value()] = sim_.now();
+  try {
+    switch (MsgType(msg.type)) {
+      case MsgType::kHello:
+        admit(msg.src);
+        break;
+      case MsgType::kHeartbeat:
+        break;  // Liveness already noted above.
+      case MsgType::kLeaveReport:
+        remove_device(DeviceMsg::from_bytes(msg.payload).device);
+        break;
+      case MsgType::kBye:
+        remove_device(msg.src);
+        break;
+      default:
+        break;  // Worker-bound messages; the runtime routes them elsewhere.
+    }
+  } catch (const WireFormatError& e) {
+    SWING_LOG(kWarn) << "master dropped malformed message from " << msg.src
+                     << ": " << e.what();
+  }
+}
+
+void Master::sweep_members() {
+  std::vector<DeviceId> dead;
+  for (const auto& [member, instances] : members_) {
+    if (member == device_.value()) continue;  // We are always here.
+    auto it = last_seen_.find(member);
+    const SimTime seen = it == last_seen_.end() ? SimTime{} : it->second;
+    if (sim_.now() - seen > config_.member_timeout) {
+      dead.emplace_back(member);
+    }
+  }
+  for (DeviceId id : dead) {
+    SWING_LOG(kInfo) << "master: member " << id
+                     << " silent past timeout; removing";
+    remove_device(id);
+  }
+}
+
+bool Master::placeable(const dataflow::OperatorDecl& op,
+                       DeviceId device) const {
+  switch (op.placement) {
+    case dataflow::Placement::kMaster:
+      return device == device_;
+    case dataflow::Placement::kWorkers:
+      if (device == device_ && !config_.transforms_on_master) return false;
+      if (op.max_replicas != 0) {
+        auto it = by_op_.find(op.id.value());
+        if (it != by_op_.end() && it->second.size() >= op.max_replicas) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+void Master::admit(DeviceId device) {
+  if (members_.contains(device.value())) return;  // Duplicate Hello.
+  members_[device.value()] = {};
+  SWING_LOG(kInfo) << "master admits device " << device;
+  deploy_to(device);
+  if (started_) send(device, MsgType::kStart, Bytes{});
+}
+
+void Master::deploy_to(DeviceId device) {
+  DeployMsg deploy;
+  std::vector<InstanceInfo> created;
+
+  for (const auto& op : graph_.operators()) {
+    if (!placeable(op, device)) continue;
+    InstanceInfo info{InstanceId{next_instance_++}, op.id, device};
+    created.push_back(info);
+
+    DeployMsg::Assignment assignment;
+    assignment.self = info;
+    for (OperatorId down_op : graph_.downstreams(op.id)) {
+      auto it = by_op_.find(down_op.value());
+      if (it == by_op_.end()) continue;
+      for (const auto& down : it->second) {
+        assignment.downstreams.push_back(down);
+      }
+    }
+    deploy.assignments.push_back(std::move(assignment));
+  }
+
+  if (!deploy.assignments.empty()) {
+    send(device, MsgType::kDeploy, deploy.to_bytes());
+  }
+
+  // Register the new instances, then tell the hosts of upstream instances
+  // about their new downstreams.
+  for (const auto& info : created) {
+    members_[device.value()].push_back(info);
+    by_op_[info.op.value()].push_back(info);
+  }
+  for (const auto& info : created) {
+    for (OperatorId up_op : graph_.upstreams(info.op)) {
+      auto it = by_op_.find(up_op.value());
+      if (it == by_op_.end()) continue;
+      // Covers both pre-existing upstream instances and ones created in
+      // this same Deploy batch (whose downstream lists could not include
+      // their new siblings yet).
+      for (const auto& up : it->second) {
+        RouteUpdateMsg update{up.instance, info};
+        send(up.device, MsgType::kAddDownstream, update.to_bytes());
+      }
+    }
+  }
+}
+
+void Master::remove_device(DeviceId device) {
+  auto it = members_.find(device.value());
+  if (it == members_.end()) return;
+  const std::vector<InstanceInfo> gone = std::move(it->second);
+  members_.erase(it);
+  SWING_LOG(kInfo) << "master removes device " << device << " ("
+                   << gone.size() << " instances)";
+
+  for (const auto& info : gone) {
+    auto& list = by_op_[info.op.value()];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const InstanceInfo& x) {
+                                return x.instance == info.instance;
+                              }),
+               list.end());
+  }
+  // Broadcast removals so every upstream drops the dead instances.
+  for (const auto& [member, instances] : members_) {
+    for (const auto& info : gone) {
+      RouteUpdateMsg update{InstanceId{}, info};
+      send(DeviceId{member}, MsgType::kRemoveDownstream, update.to_bytes());
+    }
+  }
+}
+
+void Master::start() {
+  started_ = true;
+  for (const auto& [member, instances] : members_) {
+    send(DeviceId{member}, MsgType::kStart, Bytes{});
+  }
+}
+
+void Master::stop() {
+  started_ = false;
+  for (const auto& [member, instances] : members_) {
+    send(DeviceId{member}, MsgType::kStop, Bytes{});
+  }
+}
+
+std::vector<InstanceInfo> Master::instances_of(OperatorId op) const {
+  auto it = by_op_.find(op.value());
+  return it == by_op_.end() ? std::vector<InstanceInfo>{} : it->second;
+}
+
+std::size_t Master::instance_count() const {
+  std::size_t n = 0;
+  for (const auto& [op, list] : by_op_) n += list.size();
+  return n;
+}
+
+void Master::send(DeviceId to, MsgType type, Bytes payload) {
+  transport_.send(device_, to, std::uint8_t(type), std::move(payload));
+}
+
+}  // namespace swing::runtime

@@ -1,0 +1,104 @@
+// The Swing master thread (paper §IV-B/C).
+//
+// The master is control-plane only: it advertises itself on the network,
+// accepts worker connections, decides which function-unit instances each
+// device activates, wires up routing tables (who is downstream of whom),
+// and broadcasts start/stop. It never touches data tuples. It can (and in
+// the paper does) co-locate with worker threads on the same device.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/graph.h"
+#include "net/discovery.h"
+#include "net/transport.h"
+#include "runtime/messages.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+
+inline constexpr const char* kSwingService = "_swing._tcp";
+
+struct MasterConfig {
+  // Whether transform operators may be placed on the master's own device.
+  // The paper's testbed keeps device A control/sensing-only.
+  bool transforms_on_master = false;
+  // Members silent (no heartbeat, hello or leave-report) for longer than
+  // this are presumed dead and removed. Must comfortably exceed the
+  // workers' heartbeat period. Zero disables the sweep.
+  SimDuration member_timeout = seconds(6.0);
+};
+
+class Master {
+ public:
+  Master(Simulator& sim, DeviceId device, net::Transport& transport,
+         net::Discovery& discovery, const dataflow::AppGraph& graph,
+         MasterConfig config = {});
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  // Advertises the Swing service so workers can find and join us. The
+  // master's own device joins immediately (it hosts sources and sinks).
+  void launch();
+
+  // Inbound control messages: Hello, LeaveReport, Bye.
+  void handle_message(const net::Message& msg);
+
+  // Tells every member to start sensing / stop.
+  void start();
+  void stop();
+
+  // Adds a device to the swarm and deploys instances to it. Called from
+  // Hello handling; public so tests can drive membership directly.
+  void admit(DeviceId device);
+
+  // Removes a departed device: deletes its instances from the registry and
+  // broadcasts RemoveDownstream for each to all remaining members.
+  void remove_device(DeviceId device);
+
+  // --- Introspection -----------------------------------------------------
+
+  [[nodiscard]] DeviceId device() const { return device_; }
+  [[nodiscard]] bool is_member(DeviceId id) const {
+    return members_.contains(id.value());
+  }
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+  [[nodiscard]] std::vector<InstanceInfo> instances_of(OperatorId op) const;
+  [[nodiscard]] std::size_t instance_count() const;
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  // Builds and sends the Deploy for a new member, then notifies upstream
+  // hosts of the new downstream instances.
+  void deploy_to(DeviceId device);
+  [[nodiscard]] bool placeable(const dataflow::OperatorDecl& op,
+                               DeviceId device) const;
+  void send(DeviceId to, MsgType type, Bytes payload);
+
+  Simulator& sim_;
+  DeviceId device_;
+  net::Transport& transport_;
+  net::Discovery& discovery_;
+  const dataflow::AppGraph& graph_;
+  MasterConfig config_;
+
+  void sweep_members();
+
+  std::uint64_t next_instance_ = 0;
+  bool started_ = false;
+  // device id -> instances hosted there.
+  std::map<std::uint64_t, std::vector<InstanceInfo>> members_;
+  // operator id -> all its instances, in deployment order.
+  std::map<std::uint64_t, std::vector<InstanceInfo>> by_op_;
+  // device id -> last time we heard from it (heartbeat or control).
+  std::map<std::uint64_t, SimTime> last_seen_;
+  std::unique_ptr<PeriodicTask> sweep_task_;
+};
+
+}  // namespace swing::runtime

@@ -1,0 +1,250 @@
+// Swing control/data protocol (paper §IV-B workflow).
+//
+// Master and workers exchange typed messages over the transport:
+//
+//   worker -> master : Hello (join), LeaveReport (peer vanished), Bye
+//   master -> worker : Deploy (activate instances + initial routing),
+//                      AddDownstream / RemoveDownstream (routing updates),
+//                      Start / Stop
+//   worker -> worker : Data (tuple + envelope), Ack (latency measurement)
+//
+// Every payload serializes through ByteWriter/ByteReader; the structs below
+// are the in-memory forms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace swing::runtime {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kDeploy = 2,
+  kAddDownstream = 3,
+  kRemoveDownstream = 4,
+  kStart = 5,
+  kStop = 6,
+  kData = 7,
+  kAck = 8,
+  kLeaveReport = 9,
+  kBye = 10,
+  // Several DataMsgs to instances on one device, coalesced by the sender's
+  // batching service (SEEP batches tuples per connection; so do we).
+  kDataBatch = 11,
+  // Several AckMsgs to one device, coalesced the same way.
+  kAckBatch = 12,
+  // Worker -> master liveness beacon; lets the master garbage-collect
+  // members that die while idle (no data flowing to reveal the loss).
+  kHeartbeat = 13,
+};
+
+// A deployed function-unit instance and where it lives.
+struct InstanceInfo {
+  InstanceId instance;
+  OperatorId op;
+  DeviceId device;
+
+  friend bool operator==(const InstanceInfo&, const InstanceInfo&) = default;
+
+  void serialize(ByteWriter& w) const {
+    w.write_u64(instance.value());
+    w.write_u64(op.value());
+    w.write_u64(device.value());
+  }
+  static InstanceInfo deserialize(ByteReader& r) {
+    InstanceInfo info;
+    info.instance = InstanceId{r.read_u64()};
+    info.op = OperatorId{r.read_u64()};
+    info.device = DeviceId{r.read_u64()};
+    return info;
+  }
+};
+
+// Master -> worker: activate these instances; each comes with the current
+// set of downstream instances to seed its routing table.
+struct DeployMsg {
+  struct Assignment {
+    InstanceInfo self;
+    std::vector<InstanceInfo> downstreams;
+  };
+  std::vector<Assignment> assignments;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_varint(assignments.size());
+    for (const auto& a : assignments) {
+      a.self.serialize(w);
+      w.write_varint(a.downstreams.size());
+      for (const auto& d : a.downstreams) d.serialize(w);
+    }
+    return w.take();
+  }
+  static DeployMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    DeployMsg msg;
+    const auto n = r.read_varint();
+    msg.assignments.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Assignment a;
+      a.self = InstanceInfo::deserialize(r);
+      const auto m = r.read_varint();
+      a.downstreams.reserve(m);
+      for (std::uint64_t j = 0; j < m; ++j) {
+        a.downstreams.push_back(InstanceInfo::deserialize(r));
+      }
+      msg.assignments.push_back(std::move(a));
+    }
+    return msg;
+  }
+};
+
+// Master -> worker: the named upstream instance gained/lost a downstream.
+struct RouteUpdateMsg {
+  InstanceId upstream;
+  InstanceInfo downstream;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_u64(upstream.value());
+    downstream.serialize(w);
+    return w.take();
+  }
+  static RouteUpdateMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    RouteUpdateMsg msg;
+    msg.upstream = InstanceId{r.read_u64()};
+    msg.downstream = InstanceInfo::deserialize(r);
+    return msg;
+  }
+};
+
+// Per-stage delay decomposition accumulated as a tuple traverses the graph
+// (used to reproduce Fig. 2's transmission/queuing/processing breakdown).
+struct DelayBreakdown {
+  double transmission_ms = 0.0;
+  double queuing_ms = 0.0;
+  double processing_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const {
+    return transmission_ms + queuing_ms + processing_ms;
+  }
+};
+
+// Upstream -> downstream: one tuple on an edge.
+struct DataMsg {
+  InstanceId src_instance;
+  DeviceId src_device;  // Where to address the ACK (the socket peer).
+  InstanceId dst_instance;
+  std::int64_t sent_ns = 0;  // Upstream clock at send; echoed in the ACK.
+  DelayBreakdown accumulated;
+  Bytes tuple_bytes;               // Serialized dataflow::Tuple.
+  std::uint64_t tuple_wire_size = 0;  // Includes synthetic Blob payloads.
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_u64(src_instance.value());
+    w.write_u64(src_device.value());
+    w.write_u64(dst_instance.value());
+    w.write_i64(sent_ns);
+    w.write_f64(accumulated.transmission_ms);
+    w.write_f64(accumulated.queuing_ms);
+    w.write_f64(accumulated.processing_ms);
+    w.write_varint(tuple_wire_size);
+    w.write_bytes(tuple_bytes);
+    return w.take();
+  }
+  static DataMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    DataMsg msg;
+    msg.src_instance = InstanceId{r.read_u64()};
+    msg.src_device = DeviceId{r.read_u64()};
+    msg.dst_instance = InstanceId{r.read_u64()};
+    msg.sent_ns = r.read_i64();
+    msg.accumulated.transmission_ms = r.read_f64();
+    msg.accumulated.queuing_ms = r.read_f64();
+    msg.accumulated.processing_ms = r.read_f64();
+    msg.tuple_wire_size = r.read_varint();
+    msg.tuple_bytes = r.read_bytes();
+    return msg;
+  }
+
+  // Envelope bytes on the wire beyond the tuple itself.
+  static constexpr std::uint64_t kEnvelopeBytes = 64;
+};
+
+// Downstream -> upstream: ACK after processing, echoing the original send
+// timestamp (paper §V-B) plus the measured processing time.
+struct AckMsg {
+  InstanceId from_instance;  // The downstream that processed the tuple.
+  InstanceId to_instance;    // The upstream that sent it.
+  TupleId tuple;
+  std::int64_t echoed_sent_ns = 0;
+  double processing_ms = 0.0;
+  // Remaining battery on the processing device [0, 1]; piggybacked so
+  // energy-aware policies can spare nearly-empty peers.
+  double battery_fraction = 1.0;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_u64(from_instance.value());
+    w.write_u64(to_instance.value());
+    w.write_u64(tuple.value());
+    w.write_i64(echoed_sent_ns);
+    w.write_f64(processing_ms);
+    w.write_f64(battery_fraction);
+    return w.take();
+  }
+  static AckMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    AckMsg msg;
+    msg.from_instance = InstanceId{r.read_u64()};
+    msg.to_instance = InstanceId{r.read_u64()};
+    msg.tuple = TupleId{r.read_u64()};
+    msg.echoed_sent_ns = r.read_i64();
+    msg.processing_ms = r.read_f64();
+    msg.battery_fraction = r.read_f64();
+    return msg;
+  }
+};
+
+// A batch of DataMsgs (or AckMsgs) bound for instances on one device.
+struct DataBatchMsg {
+  std::vector<Bytes> datas;  // Each element is one inner message's bytes.
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_varint(datas.size());
+    for (const auto& d : datas) w.write_bytes(d);
+    return w.take();
+  }
+  static DataBatchMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    DataBatchMsg msg;
+    const auto n = r.read_varint();
+    msg.datas.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) msg.datas.push_back(r.read_bytes());
+    return msg;
+  }
+};
+
+// Worker -> master: `device` is unreachable (LeaveReport) — or, with the
+// sender's own device, a graceful goodbye (Bye). Hello carries no payload.
+struct DeviceMsg {
+  DeviceId device;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_u64(device.value());
+    return w.take();
+  }
+  static DeviceMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    return DeviceMsg{DeviceId{r.read_u64()}};
+  }
+};
+
+}  // namespace swing::runtime

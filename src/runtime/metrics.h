@@ -1,0 +1,176 @@
+// Experiment measurement plane.
+//
+// Collects everything the paper's evaluation reports: per-frame end-to-end
+// latency with transmission/queuing/processing decomposition, arrival and
+// playback timings (Fig. 8), throughput over time (Figs. 9-10), per-device
+// input rates, bytes, CPU utilisation samples (Fig. 5), and drop counts.
+// Pure observer: framework behaviour never reads the collector.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "dataflow/tuple.h"
+#include "runtime/messages.h"
+#include "sim/trace.h"
+
+namespace swing::runtime {
+
+struct FrameRecord {
+  TupleId id;
+  SimTime source_time;
+  SimTime arrival;
+  SimTime display{};
+  bool displayed = false;
+  DelayBreakdown breakdown;
+
+  [[nodiscard]] double e2e_ms() const {
+    return (arrival - source_time).millis();
+  }
+};
+
+struct DeviceCounters {
+  std::uint64_t frames_in = 0;       // Data tuples routed to this device.
+  std::uint64_t bytes_in = 0;        // Wire bytes of those tuples.
+  std::uint64_t frames_from_source = 0;  // Subset sent by source units.
+  SampleStats cpu_util;              // Sampled utilisation, [0, 1].
+};
+
+class MetricsCollector {
+ public:
+  // --- Sink events ----------------------------------------------------
+
+  void on_sink_arrival(const dataflow::Tuple& tuple,
+                       const DelayBreakdown& breakdown, SimTime arrival) {
+    FrameRecord rec;
+    rec.id = tuple.id();
+    rec.source_time = tuple.source_time();
+    rec.arrival = arrival;
+    rec.breakdown = breakdown;
+    index_[tuple.id().value()] = frames_.size();
+    frames_.push_back(rec);
+    arrivals_.record(arrival, double(tuple.id().value()));
+  }
+
+  void on_play(TupleId id, SimTime when) {
+    auto it = index_.find(id.value());
+    if (it == index_.end()) return;
+    frames_[it->second].display = when;
+    frames_[it->second].displayed = true;
+    plays_.record(when, double(id.value()));
+  }
+
+  // --- Data-plane events ----------------------------------------------
+
+  void on_routed(DeviceId to, std::uint64_t wire_bytes, bool from_source) {
+    auto& c = devices_[to.value()];
+    ++c.frames_in;
+    c.bytes_in += wire_bytes;
+    if (from_source) ++c.frames_from_source;
+  }
+
+  void on_send_failed() { ++send_failures_; }
+  // A sensed frame was dropped at the source: no downstream to route to, or
+  // the dispatch connection was blocked (TCP backpressure) so the camera
+  // overran.
+  void on_source_dropped() { ++source_drops_; }
+  // A tuple was dropped at a worker whose compute queue was full.
+  void on_compute_dropped() { ++compute_drops_; }
+  // A tuple outlived its TTL before processing and was shed.
+  void on_stale_dropped() { ++stale_drops_; }
+
+  // --- Sampling (driven by the runtime's 1 s sampler) ------------------
+
+  void record_cpu_sample(DeviceId id, double utilisation, SimTime now) {
+    devices_[id.value()].cpu_util.add(utilisation);
+    cpu_series_[id.value()].record(now, utilisation);
+  }
+
+  // --- Queries ----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<FrameRecord>& frames() const {
+    return frames_;
+  }
+
+  [[nodiscard]] std::size_t frames_arrived() const { return frames_.size(); }
+
+  // End-to-end latency stats over frames arriving in [from, to).
+  [[nodiscard]] SampleStats latency_stats(SimTime from = SimTime{},
+                                          SimTime to = SimTime::max()) const {
+    SampleStats stats;
+    for (const auto& f : frames_) {
+      if (f.arrival >= from && f.arrival < to) stats.add(f.e2e_ms());
+    }
+    return stats;
+  }
+
+  // Mean delivered frame rate over [from, to).
+  [[nodiscard]] double throughput_fps(SimTime from, SimTime to) const {
+    const double span = (to - from).seconds();
+    if (span <= 0.0) return 0.0;
+    std::size_t n = 0;
+    for (const auto& f : frames_) {
+      if (f.arrival >= from && f.arrival < to) ++n;
+    }
+    return double(n) / span;
+  }
+
+  // Frames delivered per one-second bin over [from, to).
+  [[nodiscard]] std::vector<std::size_t> throughput_bins(SimTime from,
+                                                         SimTime to) const {
+    return arrivals_.binned_count(from, to, seconds(1.0));
+  }
+
+  [[nodiscard]] const TraceSeries& arrivals() const { return arrivals_; }
+  [[nodiscard]] const TraceSeries& plays() const { return plays_; }
+
+  [[nodiscard]] const DeviceCounters& device(DeviceId id) const {
+    static const DeviceCounters kEmpty{};
+    auto it = devices_.find(id.value());
+    return it == devices_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] const TraceSeries& cpu_series(DeviceId id) {
+    return cpu_series_[id.value()];
+  }
+
+  [[nodiscard]] std::uint64_t send_failures() const { return send_failures_; }
+  [[nodiscard]] std::uint64_t source_drops() const { return source_drops_; }
+  [[nodiscard]] std::uint64_t compute_drops() const { return compute_drops_; }
+  [[nodiscard]] std::uint64_t stale_drops() const { return stale_drops_; }
+
+  // Mean delay decomposition over all frames (Fig. 2).
+  [[nodiscard]] DelayBreakdown mean_breakdown() const {
+    DelayBreakdown sum;
+    if (frames_.empty()) return sum;
+    for (const auto& f : frames_) {
+      sum.transmission_ms += f.breakdown.transmission_ms;
+      sum.queuing_ms += f.breakdown.queuing_ms;
+      sum.processing_ms += f.breakdown.processing_ms;
+    }
+    const double n = double(frames_.size());
+    sum.transmission_ms /= n;
+    sum.queuing_ms /= n;
+    sum.processing_ms /= n;
+    return sum;
+  }
+
+ private:
+  std::vector<FrameRecord> frames_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::unordered_map<std::uint64_t, DeviceCounters> devices_;
+  std::map<std::uint64_t, TraceSeries> cpu_series_;
+  TraceSeries arrivals_;
+  TraceSeries plays_;
+  std::uint64_t send_failures_ = 0;
+  std::uint64_t source_drops_ = 0;
+  std::uint64_t compute_drops_ = 0;
+  std::uint64_t stale_drops_ = 0;
+};
+
+}  // namespace swing::runtime

@@ -1,0 +1,83 @@
+// Reordering Service (paper §IV-C, §VI-B "Tuple Order", Fig. 8).
+//
+// Heterogeneity and dynamism make tuples arrive at the sink out of order.
+// The service buffers arrivals and releases them in sequence-id order for
+// playback. The buffer is sized by timespan — the paper uses one second of
+// source data (24 tuples at 24 FPS): a larger buffer orders better but
+// delays display. When the buffer overflows its capacity the smallest id is
+// released; a tuple arriving after a larger id was already played is late
+// and is dropped (it would cause a visible glitch to show it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "dataflow/tuple.h"
+
+namespace swing::runtime {
+
+class ReorderBuffer {
+ public:
+  // `on_play` fires, in non-decreasing id order, when a tuple is released.
+  using PlayFn = std::function<void(const dataflow::Tuple&, SimTime played)>;
+
+  ReorderBuffer(std::size_t capacity, PlayFn on_play)
+      : capacity_(capacity ? capacity : 1), on_play_(std::move(on_play)) {}
+
+  // Convenience: capacity = rate x timespan (the paper's sizing rule).
+  static std::size_t capacity_for(double rate_per_s, SimDuration span) {
+    const double n = rate_per_s * span.seconds();
+    return n < 1.0 ? 1 : std::size_t(n);
+  }
+
+  void push(dataflow::Tuple tuple, SimTime now) {
+    if (played_any_ && tuple.id() <= last_played_) {
+      ++late_;
+      return;
+    }
+    heap_.push(std::move(tuple));
+    if (heap_.size() > capacity_) pop_and_play(now);
+  }
+
+  // Releases everything (end of stream).
+  void flush(SimTime now) {
+    while (!heap_.empty()) pop_and_play(now);
+  }
+
+  [[nodiscard]] std::size_t buffered() const { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t played() const { return played_count_; }
+  [[nodiscard]] std::uint64_t late_drops() const { return late_; }
+
+ private:
+  struct LargerId {
+    bool operator()(const dataflow::Tuple& a, const dataflow::Tuple& b) const {
+      return a.id() > b.id();  // Min-heap on tuple id.
+    }
+  };
+
+  void pop_and_play(SimTime now) {
+    const dataflow::Tuple& top = heap_.top();
+    last_played_ = top.id();
+    played_any_ = true;
+    ++played_count_;
+    if (on_play_) on_play_(top, now);
+    heap_.pop();
+  }
+
+  std::size_t capacity_;
+  PlayFn on_play_;
+  std::priority_queue<dataflow::Tuple, std::vector<dataflow::Tuple>, LargerId>
+      heap_;
+  TupleId last_played_{};
+  bool played_any_ = false;
+  std::uint64_t played_count_ = 0;
+  std::uint64_t late_ = 0;
+};
+
+}  // namespace swing::runtime

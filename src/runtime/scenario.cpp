@@ -1,0 +1,47 @@
+#include "runtime/scenario.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace swing::runtime {
+
+void Scenario::arm() {
+  if (armed_) throw std::logic_error("scenario already armed");
+  armed_ = true;
+  armed_at_ = swarm_.sim().now();
+  frames_at_last_sample_ = swarm_.metrics().frames_arrived();
+
+  Simulator& sim = swarm_.sim();
+  SimDuration latest{};
+  for (const auto& action : actions_) {
+    latest = std::max(latest, action.when);
+    sim.schedule_at(armed_at_ + action.when,
+                    [this, label = action.label, fn = action.action] {
+                      pending_label_ = label;
+                      fn(swarm_);
+                    });
+  }
+
+  // Self-rescheduling sampler: one throughput sample per period, labelled
+  // with whatever event fired inside the interval. Keeps sampling until
+  // well past the last declared event, then stops on its own.
+  const SimTime stop_after = armed_at_ + latest + seconds(300.0);
+  auto sample = std::make_shared<std::function<void()>>();
+  *sample = [this, sample, stop_after] {
+    const std::size_t frames = swarm_.metrics().frames_arrived();
+    Sample s;
+    s.t_s = (swarm_.sim().now() - armed_at_).seconds();
+    s.fps = double(frames - frames_at_last_sample_) /
+            sample_period_.seconds();
+    s.label = std::move(pending_label_);
+    pending_label_.clear();
+    samples_.push_back(std::move(s));
+    frames_at_last_sample_ = frames;
+    if (swarm_.sim().now() < stop_after) {
+      swarm_.sim().schedule_after(sample_period_, *sample);
+    }
+  };
+  sim.schedule_after(sample_period_, *sample);
+}
+
+}  // namespace swing::runtime

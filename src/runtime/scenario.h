@@ -1,0 +1,137 @@
+// Declarative experiment scenarios.
+//
+// The paper's dynamism experiments (§VI-C) are timed scripts: "start with
+// B and D, launch G after a minute, walk G to a weak zone, kill it".
+// Scenario captures that shape once so benches, tests and examples stop
+// hand-rolling event scheduling: declare timed actions (with labels for
+// reporting), arm the script, run the simulator, then read back the
+// per-interval throughput samples aligned with the timeline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "runtime/swarm.h"
+
+namespace swing::runtime {
+
+class Scenario {
+ public:
+  using Action = std::function<void(Swarm&)>;
+
+  struct Event {
+    SimDuration when;  // Relative to arm().
+    std::string label;
+  };
+
+  struct Sample {
+    double t_s = 0.0;       // Relative to arm().
+    double fps = 0.0;       // Frames delivered per second over the interval.
+    std::string label;      // Event label if one fired in this interval.
+  };
+
+  explicit Scenario(Swarm& swarm) : swarm_(swarm) {}
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // --- Declaring the script -----------------------------------------------
+
+  Scenario& at(SimDuration when, std::string label, Action action) {
+    actions_.push_back({when, std::move(label), std::move(action)});
+    return *this;
+  }
+
+  Scenario& join_at(SimDuration when, DeviceId id,
+                    std::string label = "join") {
+    return at(when, std::move(label),
+              [id](Swarm& s) { s.launch_worker(id); });
+  }
+
+  Scenario& leave_abruptly_at(SimDuration when, DeviceId id,
+                              std::string label = "abrupt leave") {
+    return at(when, std::move(label),
+              [id](Swarm& s) { s.leave_abruptly(id); });
+  }
+
+  Scenario& leave_gracefully_at(SimDuration when, DeviceId id,
+                                std::string label = "graceful leave") {
+    return at(when, std::move(label),
+              [id](Swarm& s) { s.leave_gracefully(id); });
+  }
+
+  Scenario& jump_rssi_at(SimDuration when, DeviceId id, double rssi_dbm,
+                         std::string label = "zone change") {
+    return at(when, std::move(label), [id, rssi_dbm](Swarm& s) {
+      s.walker(id).jump_to_rssi(rssi_dbm);
+    });
+  }
+
+  Scenario& walk_at(SimDuration when, DeviceId id, net::Position dest,
+                    double speed_mps, std::string label = "walk") {
+    return at(when, std::move(label), [id, dest, speed_mps](Swarm& s) {
+      s.walker(id).walk_to(dest, speed_mps);
+    });
+  }
+
+  Scenario& background_load_at(SimDuration when, DeviceId id,
+                               double fraction,
+                               std::string label = "background load") {
+    return at(when, std::move(label), [id, fraction](Swarm& s) {
+      s.device(id).set_background_load(fraction);
+    });
+  }
+
+  // Collect a throughput sample every `period` (default 1 s).
+  Scenario& sample_every(SimDuration period) {
+    sample_period_ = period;
+    return *this;
+  }
+
+  // --- Running ------------------------------------------------------------
+
+  // Schedules every declared action and the sampling loop, relative to the
+  // simulator's current time. Call once, then drive the simulator.
+  void arm();
+
+  // Runs the script to completion: arms, then advances the simulator until
+  // `horizon` past the arm time.
+  void run_for(SimDuration horizon) {
+    arm();
+    swarm_.sim().run_for(horizon);
+  }
+
+  // --- Results ------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::vector<Event> timeline() const {
+    std::vector<Event> out;
+    out.reserve(actions_.size());
+    for (const auto& a : actions_) out.push_back({a.when, a.label});
+    return out;
+  }
+
+ private:
+  struct TimedAction {
+    SimDuration when;
+    std::string label;
+    Action action;
+  };
+
+  Swarm& swarm_;
+  std::vector<TimedAction> actions_;
+  SimDuration sample_period_ = seconds(1.0);
+  SimTime armed_at_{};
+  std::size_t frames_at_last_sample_ = 0;
+  std::vector<Sample> samples_;
+  std::string pending_label_;
+  bool armed_ = false;
+};
+
+}  // namespace swing::runtime

@@ -1,0 +1,209 @@
+#include "runtime/swarm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace swing::runtime {
+
+Swarm::Swarm(Simulator& sim, SwarmConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      medium_(sim, config.medium),
+      transport_(sim, medium_, config.transport),
+      discovery_(sim),
+      cpu_sampler_(sim, config.cpu_sample_period, [this] { sample_cpu(); }) {
+  cpu_sampler_.start();
+}
+
+Swarm::~Swarm() = default;
+
+DeviceId Swarm::add_device(const device::DeviceProfile& profile,
+                           net::Position pos) {
+  const DeviceId id{next_device_++};
+  Node n;
+  n.device = std::make_unique<device::Device>(sim_, id, profile, rng_.fork());
+  n.home_position = pos;
+  medium_.attach(id, pos);
+  n.walker = std::make_unique<device::Walker>(sim_, medium_, id);
+  nodes_.emplace(id.value(), std::move(n));
+  return id;
+}
+
+DeviceId Swarm::add_device_at_rssi(const device::DeviceProfile& profile,
+                                   double rssi_dbm) {
+  const DeviceId id = add_device(profile, net::Position{1.0, 0.0});
+  medium_.set_rssi_override(id, rssi_dbm);
+  node(id).home_rssi_override = rssi_dbm;
+  return id;
+}
+
+Swarm::Node& Swarm::node(DeviceId id) {
+  auto it = nodes_.find(id.value());
+  if (it == nodes_.end()) throw std::out_of_range("unknown device");
+  return it->second;
+}
+
+const Swarm::Node& Swarm::node(DeviceId id) const {
+  auto it = nodes_.find(id.value());
+  if (it == nodes_.end()) throw std::out_of_range("unknown device");
+  return it->second;
+}
+
+device::Device& Swarm::device(DeviceId id) { return *node(id).device; }
+device::Walker& Swarm::walker(DeviceId id) { return *node(id).walker; }
+
+Worker* Swarm::worker(DeviceId id) {
+  auto it = nodes_.find(id.value());
+  return it == nodes_.end() ? nullptr : it->second.worker.get();
+}
+
+std::vector<DeviceId> Swarm::devices() const {
+  std::vector<DeviceId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.emplace_back(id);
+  return out;
+}
+
+void Swarm::register_dispatch(DeviceId id) {
+  transport_.register_device(id, [this, id](const net::Message& msg) {
+    // The master co-locates with a worker thread on its device; control
+    // messages addressed to the master peel off here.
+    if (master_ && master_->device() == id) {
+      const auto type = MsgType(msg.type);
+      if (type == MsgType::kHello || type == MsgType::kHeartbeat ||
+          type == MsgType::kLeaveReport || type == MsgType::kBye) {
+        master_->handle_message(msg);
+        return;
+      }
+    }
+    if (Worker* w = worker(id)) w->handle_message(msg);
+  });
+  transport_.set_link_watcher(id, [this, id](DeviceId peer) {
+    if (Worker* w = worker(id)) w->on_link_down(peer);
+  });
+}
+
+void Swarm::launch_master(DeviceId id, dataflow::AppGraph graph) {
+  if (master_) throw std::logic_error("master already launched");
+  graph.validate();
+  graph_ = std::move(graph);
+
+  Node& n = node(id);
+  n.worker = std::make_unique<Worker>(sim_, *n.device, transport_, graph_,
+                                      config_.worker, rng_.fork(), metrics_);
+  register_dispatch(id);
+  master_ = std::make_unique<Master>(sim_, id, transport_, discovery_, graph_,
+                                     config_.master);
+  master_->launch();
+}
+
+void Swarm::launch_worker(DeviceId id) {
+  if (!master_) throw std::logic_error("launch_master first");
+  Node& n = node(id);
+  if (n.worker && n.worker->alive()) return;
+  if (n.worker) {
+    // The device left earlier (worker shut down, radio detached) and is
+    // back: re-attach with its original placement and start fresh.
+    if (!medium_.attached(id)) {
+      medium_.attach(id, n.home_position);
+      if (n.home_rssi_override) {
+        medium_.set_rssi_override(id, *n.home_rssi_override);
+      }
+    }
+  }
+  n.worker = std::make_unique<Worker>(sim_, *n.device, transport_, graph_,
+                                      config_.worker, rng_.fork(), metrics_);
+  register_dispatch(id);
+  // The worker's background discovery service finds the master and connects
+  // (paper §IV-C Discovery Service). Resolved through the node table so a
+  // stale watcher from a previous life of this device stays harmless.
+  discovery_.watch(kSwingService, [this, id](DeviceId provider, const Bytes&) {
+    if (Worker* w = worker(id); w != nullptr && w->alive()) {
+      w->connect_to_master(provider);
+    }
+  });
+}
+
+void Swarm::start() {
+  if (!master_) throw std::logic_error("launch_master first");
+  master_->start();
+}
+
+void Swarm::stop() {
+  if (master_) master_->stop();
+}
+
+void Swarm::leave_gracefully(DeviceId id) {
+  Node& n = node(id);
+  if (!n.worker) return;
+  n.worker->leave();
+  // Give the Bye a moment to clear the air before the radio goes away.
+  sim_.schedule_after(millis(50), [this, id] {
+    transport_.unregister_device(id);
+    medium_.detach(id);
+  });
+}
+
+void Swarm::leave_abruptly(DeviceId id) {
+  Node& n = node(id);
+  if (n.worker) n.worker->shutdown();
+  transport_.unregister_device(id);
+  medium_.detach(id);
+}
+
+void Swarm::shutdown() {
+  if (master_) master_->stop();
+  for (auto& [id, n] : nodes_) {
+    if (n.worker) n.worker->shutdown();
+  }
+}
+
+void Swarm::sample_cpu() {
+  const SimTime now = sim_.now();
+  for (auto& [id, n] : nodes_) {
+    const double total = n.device->total_cpu_seconds(now);
+    const double dt = (now - n.prev_sample).seconds();
+    if (dt > 0.0) {
+      double util = (total - n.prev_cpu_seconds) / dt;
+      // OS / background services keep even idle devices slightly busy.
+      util += config_.cpu_noise_floor + 0.02 * rng_.uniform();
+      util = std::min(util, 1.0);
+      metrics_.record_cpu_sample(DeviceId{id}, util, now);
+    }
+    n.prev_cpu_seconds = total;
+    n.prev_sample = now;
+  }
+}
+
+Swarm::EnergySnapshot Swarm::energy_snapshot(DeviceId id) const {
+  const Node& n = node(id);
+  const SimTime now = sim_.now();
+  const auto& profile = n.device->profile();
+  const auto& net_stats = medium_.stats(id);
+  EnergySnapshot snap;
+  snap.when = now;
+  snap.cpu_j = n.device->cpu_energy_j(now);
+  snap.wifi_j = profile.wifi_idle_w * now.seconds() +
+                (profile.wifi_peak_w - profile.wifi_idle_w) *
+                    net_stats.airtime_s;
+  return snap;
+}
+
+Swarm::PowerReport Swarm::power_between(const EnergySnapshot& a,
+                                        const EnergySnapshot& b) {
+  const double dt = (b.when - a.when).seconds();
+  if (dt <= 0.0) return {};
+  return PowerReport{(b.cpu_j - a.cpu_j) / dt, (b.wifi_j - a.wifi_j) / dt};
+}
+
+Swarm::PowerReport Swarm::average_power(DeviceId id) const {
+  const EnergySnapshot snap = energy_snapshot(id);
+  const double t = snap.when.seconds();
+  if (t <= 0.0) return {};
+  return PowerReport{snap.cpu_j / t, snap.wifi_j / t};
+}
+
+}  // namespace swing::runtime

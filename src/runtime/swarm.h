@@ -1,0 +1,160 @@
+// Swarm: the top-level Swing runtime facade and primary public API.
+//
+// A Swarm owns the simulated testbed (medium, transport, discovery, devices)
+// and the Swing processes on it (one master, one worker per device). Typical
+// use:
+//
+//   Simulator sim;
+//   Swarm swarm{sim};
+//   auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+//   auto b = swarm.add_device(device::profile_B(), {2.0, 0.0});
+//   swarm.launch_master(a, face_recognition_graph());
+//   swarm.launch_worker(b);          // Joins via discovery.
+//   swarm.start();
+//   sim.run_for(seconds(60));
+//   swarm.metrics().throughput_fps(...);
+//
+// Devices can join mid-run (launch_worker later), leave gracefully or
+// abruptly, and move (walker()), reproducing the paper's dynamism
+// experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "dataflow/graph.h"
+#include "device/device.h"
+#include "device/mobility.h"
+#include "net/discovery.h"
+#include "net/medium.h"
+#include "net/transport.h"
+#include "runtime/master.h"
+#include "runtime/metrics.h"
+#include "runtime/worker.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+
+struct SwarmConfig {
+  net::MediumConfig medium{};
+  net::TransportConfig transport{};
+  WorkerConfig worker{};
+  MasterConfig master{};
+  std::uint64_t seed = 42;
+  // CPU utilisation sampling for metrics (the paper polls `top` periodically).
+  SimDuration cpu_sample_period = seconds(1.0);
+  // Background OS activity visible in CPU samples even on unselected
+  // devices (the paper notes this in §VI-B2).
+  double cpu_noise_floor = 0.03;
+};
+
+class Swarm {
+ public:
+  explicit Swarm(Simulator& sim, SwarmConfig config = {});
+  ~Swarm();
+
+  Swarm(const Swarm&) = delete;
+  Swarm& operator=(const Swarm&) = delete;
+
+  // --- Testbed construction ---------------------------------------------
+
+  DeviceId add_device(const device::DeviceProfile& profile,
+                      net::Position pos);
+  // Places the device in a fixed-RSSI "zone" (paper-style placement).
+  DeviceId add_device_at_rssi(const device::DeviceProfile& profile,
+                              double rssi_dbm);
+
+  [[nodiscard]] device::Device& device(DeviceId id);
+  [[nodiscard]] device::Walker& walker(DeviceId id);
+
+  // --- App lifecycle -------------------------------------------------------
+
+  // Starts the master (and its co-located worker) on `id` with the app.
+  void launch_master(DeviceId id, dataflow::AppGraph graph);
+
+  // Starts a worker on `id`; it discovers the master and joins. Can be
+  // called before or after start() (late join), and again after the
+  // device left (the user walks back into range): the device re-attaches
+  // to the network with its original placement and joins as a fresh
+  // worker.
+  void launch_worker(DeviceId id);
+
+  void start();  // Master broadcasts Start: sources begin sensing.
+  void stop();   // Master broadcasts Stop.
+
+  // Worker announces Bye, then its device drops off the network.
+  void leave_gracefully(DeviceId id);
+  // Device vanishes without warning (user walks away / battery dies):
+  // upstreams find out through failed sends.
+  void leave_abruptly(DeviceId id);
+
+  // Flushes sink reorder buffers and halts all workers (end of experiment).
+  void shutdown();
+
+  // --- Access ---------------------------------------------------------
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Medium& medium() { return medium_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
+  [[nodiscard]] net::Discovery& discovery() { return discovery_; }
+  [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+  [[nodiscard]] Master* master() { return master_.get(); }
+  [[nodiscard]] Worker* worker(DeviceId id);
+  [[nodiscard]] const dataflow::AppGraph& graph() const { return graph_; }
+  [[nodiscard]] std::vector<DeviceId> devices() const;
+
+  // --- Energy accounting (paper §VI-B2 modelling methodology) ----------
+
+  struct EnergySnapshot {
+    SimTime when;
+    double cpu_j = 0.0;
+    double wifi_j = 0.0;
+  };
+  struct PowerReport {
+    double cpu_w = 0.0;
+    double wifi_w = 0.0;
+    [[nodiscard]] double total_w() const { return cpu_w + wifi_w; }
+  };
+
+  [[nodiscard]] EnergySnapshot energy_snapshot(DeviceId id) const;
+  // Average power between two snapshots of the same device.
+  [[nodiscard]] static PowerReport power_between(const EnergySnapshot& a,
+                                                 const EnergySnapshot& b);
+  // Average power from simulation start to now.
+  [[nodiscard]] PowerReport average_power(DeviceId id) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<device::Device> device;
+    std::unique_ptr<device::Walker> walker;
+    std::unique_ptr<Worker> worker;
+    // Original placement, for re-attachment after a leave.
+    net::Position home_position{};
+    std::optional<double> home_rssi_override;
+    double prev_cpu_seconds = 0.0;
+    SimTime prev_sample{};
+  };
+
+  Node& node(DeviceId id);
+  const Node& node(DeviceId id) const;
+  void register_dispatch(DeviceId id);
+  void sample_cpu();
+
+  Simulator& sim_;
+  SwarmConfig config_;
+  Rng rng_;
+  net::Medium medium_;
+  net::Transport transport_;
+  net::Discovery discovery_;
+  MetricsCollector metrics_;
+  dataflow::AppGraph graph_;
+  std::unique_ptr<Master> master_;
+  std::map<std::uint64_t, Node> nodes_;
+  std::uint64_t next_device_ = 0;
+  PeriodicTask cpu_sampler_;
+};
+
+}  // namespace swing::runtime

@@ -1,0 +1,711 @@
+#include "runtime/worker.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace swing::runtime {
+
+// ---------------------------------------------------------------------------
+// Instance state
+
+// A data message committed to a connection whose TCP window is full; the
+// sending instance blocks on it and retries.
+struct Worker::PendingSend {
+  DataMsg data;
+  DeviceId dst_device;
+  std::uint64_t wire = 0;
+  bool from_source = false;
+};
+
+struct Worker::Instance {
+  // Routing state for one outgoing graph edge: dataflow semantics require
+  // every emitted tuple to reach EVERY downstream operator, so each edge
+  // has its own swarm manager choosing among that operator's instances.
+  struct Edge {
+    OperatorId down_op;
+    std::unique_ptr<core::SwarmManager> manager;
+    std::unique_ptr<PeriodicTask> tick_task;  // Manager update loop (1 s).
+  };
+
+  InstanceInfo info;
+  const dataflow::OperatorDecl* decl = nullptr;
+  std::unique_ptr<dataflow::FunctionUnit> unit;
+  std::vector<Edge> edges;
+  // Source pacing (sources only): the next generation event, the current
+  // rate (mutable via SourceSpec::rate_schedule) and whether the schedule
+  // of rate changes has been armed.
+  EventId source_fire_event{};
+  double source_rate = 0.0;
+  bool rate_schedule_armed = false;
+  std::unique_ptr<ReorderBuffer> reorder;     // Sinks only.
+  std::unique_ptr<InstanceContext> ctx;
+  std::optional<PendingSend> blocked;  // Head-of-line blocked dispatch.
+  Rng rng{0};
+  std::uint64_t seq = 0;  // Source tuple sequence numbers.
+  // Tuple-id namespacing for multi-source graphs: source k of n emits ids
+  // seq*n + k, so ids stay unique across sources yet strictly increasing
+  // per pipeline (which the reordering service relies on).
+  std::uint64_t source_ordinal = 0;
+  std::uint64_t source_count = 1;
+
+  Edge* edge_for(OperatorId down_op) {
+    for (auto& edge : edges) {
+      if (edge.down_op == down_op) return &edge;
+    }
+    return nullptr;
+  }
+};
+
+// The Context handed to user function units. Holds the in-flight tuple's
+// accumulated delay breakdown so emitted tuples inherit it.
+class Worker::InstanceContext final : public dataflow::Context {
+ public:
+  InstanceContext(Worker& worker, Instance& inst)
+      : worker_(worker), inst_(inst) {}
+
+  void emit(dataflow::Tuple tuple) override {
+    worker_.route_and_send(inst_, std::move(tuple), accumulated_);
+  }
+
+  SimTime now() const override { return worker_.sim_.now(); }
+  DeviceId device() const override { return worker_.device_.id(); }
+  InstanceId instance() const override { return inst_.info.instance; }
+  Rng& rng() override { return inst_.rng; }
+
+  void set_accumulated(const DelayBreakdown& acc) { accumulated_ = acc; }
+
+ private:
+  Worker& worker_;
+  Instance& inst_;
+  DelayBreakdown accumulated_{};
+};
+
+// ---------------------------------------------------------------------------
+
+Worker::Worker(Simulator& sim, device::Device& device,
+               net::Transport& transport, const dataflow::AppGraph& graph,
+               WorkerConfig config, Rng rng, MetricsCollector& metrics)
+    : sim_(sim),
+      device_(device),
+      transport_(transport),
+      graph_(graph),
+      config_(config),
+      rng_(rng),
+      metrics_(metrics) {}
+
+Worker::~Worker() = default;
+
+void Worker::connect_to_master(DeviceId master_device) {
+  master_device_ = master_device;
+  transport_.send(device_.id(), master_device,
+                  std::uint8_t(MsgType::kHello), Bytes{});
+  // Keep the master convinced we exist even when no data flows our way.
+  if (config_.heartbeat_period.nanos() > 0 &&
+      master_device != device_.id() && heartbeat_task_ == nullptr) {
+    heartbeat_task_ = std::make_unique<PeriodicTask>(
+        sim_, config_.heartbeat_period, [this] {
+          transport_.send(device_.id(), master_device_,
+                          std::uint8_t(MsgType::kHeartbeat), Bytes{});
+        });
+    heartbeat_task_->start();
+  }
+}
+
+void Worker::handle_message(const net::Message& msg) {
+  if (!alive_) return;
+  try {
+    dispatch_message(msg);
+  } catch (const WireFormatError& e) {
+    // A malformed payload (bit rot, version skew, hostile peer) must not
+    // take the worker down; drop it like a bad packet.
+    ++malformed_messages_;
+    SWING_LOG(kWarn) << "device " << device_.id()
+                     << " dropped malformed message from " << msg.src << ": "
+                     << e.what();
+  }
+}
+
+void Worker::dispatch_message(const net::Message& msg) {
+  switch (MsgType(msg.type)) {
+    case MsgType::kDeploy: {
+      const DeployMsg deploy = DeployMsg::from_bytes(msg.payload);
+      master_device_ = msg.src;
+      for (const auto& assignment : deploy.assignments) activate(assignment);
+      break;
+    }
+    case MsgType::kAddDownstream:
+      add_downstream(RouteUpdateMsg::from_bytes(msg.payload));
+      break;
+    case MsgType::kRemoveDownstream: {
+      const auto update = RouteUpdateMsg::from_bytes(msg.payload);
+      remove_downstream_instance(update.downstream.instance, update.upstream);
+      break;
+    }
+    case MsgType::kStart:
+      start_sources();
+      break;
+    case MsgType::kStop:
+      stop_sources();
+      break;
+    case MsgType::kData:
+      handle_data(msg);
+      break;
+    case MsgType::kDataBatch:
+    case MsgType::kAckBatch:
+      handle_data_batch(msg);
+      break;
+    case MsgType::kAck:
+      handle_ack(AckMsg::from_bytes(msg.payload));
+      break;
+    default:
+      break;  // Master-bound messages; ignore.
+  }
+}
+
+void Worker::activate(const DeployMsg::Assignment& assignment) {
+  if (instances_.contains(assignment.self.instance.value())) return;
+
+  auto inst = std::make_unique<Instance>();
+  inst->info = assignment.self;
+  inst->decl = &graph_.op(assignment.self.op);
+  inst->rng = rng_.fork();
+  if (inst->decl->factory) inst->unit = inst->decl->factory();
+
+  // One swarm manager per outgoing graph edge.
+  for (OperatorId down_op : graph_.downstreams(inst->decl->id)) {
+    Instance::Edge edge;
+    edge.down_op = down_op;
+    edge.manager =
+        std::make_unique<core::SwarmManager>(config_.manager, rng_.fork());
+    edge.tick_task = std::make_unique<PeriodicTask>(
+        sim_, config_.manager.update_period,
+        [this, m = edge.manager.get()] { m->tick(sim_.now()); });
+    edge.tick_task->start();
+    inst->edges.push_back(std::move(edge));
+  }
+  for (const auto& down : assignment.downstreams) {
+    peers_[down.instance.value()] = down;
+    if (Instance::Edge* edge = inst->edge_for(down.op)) {
+      edge->manager->add_downstream(down.instance);
+    }
+  }
+
+  Instance& ref = *inst;
+  inst->ctx = std::make_unique<InstanceContext>(*this, ref);
+
+  if (inst->decl->kind == dataflow::OperatorKind::kSource) {
+    const auto& spec = *inst->decl->source;
+    const auto sources = graph_.sources();
+    inst->source_count = sources.size();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i] == inst->decl->id) inst->source_ordinal = i;
+    }
+    inst->source_rate = spec.rate_per_s;
+    if (running_) start_source(ref);
+  }
+
+  if (inst->decl->kind == dataflow::OperatorKind::kSink &&
+      config_.enable_reorder) {
+    double rate = 24.0;
+    if (const auto srcs = graph_.sources(); !srcs.empty()) {
+      rate = graph_.op(srcs.front()).source->rate_per_s;
+    }
+    inst->reorder = std::make_unique<ReorderBuffer>(
+        ReorderBuffer::capacity_for(rate, config_.reorder_span),
+        [this](const dataflow::Tuple& t, SimTime played) {
+          metrics_.on_play(t.id(), played);
+        });
+  }
+
+  if (inst->unit) inst->unit->on_deploy(*inst->ctx);
+
+  SWING_LOG(kInfo) << "device " << device_.id() << " activated "
+                   << inst->decl->name << " as instance "
+                   << inst->info.instance;
+
+  const std::uint64_t key = assignment.self.instance.value();
+  instances_[key] = std::move(inst);
+
+  // Replay tuples that arrived before the deploy.
+  if (auto it = pending_data_.find(key); it != pending_data_.end()) {
+    auto queued = std::move(it->second);
+    pending_data_.erase(it);
+    for (auto& data : queued) process_data(*instances_[key], std::move(data));
+  }
+}
+
+Worker::Instance* Worker::find_instance(InstanceId id) {
+  auto it = instances_.find(id.value());
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+void Worker::handle_data(const net::Message& msg) {
+  DataMsg data = DataMsg::from_bytes(msg.payload);
+  // Transmission component of this hop, measured receiver-side against the
+  // upstream's send timestamp (clocks are common in simulation; the real
+  // system piggybacks on the ACK echo instead).
+  data.accumulated.transmission_ms +=
+      (sim_.now() - SimTime{data.sent_ns}).millis();
+
+  Instance* inst = find_instance(data.dst_instance);
+  if (inst == nullptr) {
+    auto& queue = pending_data_[data.dst_instance.value()];
+    if (queue.size() < config_.pending_data_cap) {
+      queue.push_back(std::move(data));
+    }
+    return;
+  }
+  process_data(*inst, std::move(data));
+}
+
+void Worker::process_data(Instance& inst, DataMsg data) {
+  for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
+
+  // Bounded input buffer: shedding load here is what the real system's
+  // stalled socket reader amounts to in steady state.
+  if (inst.decl->kind == dataflow::OperatorKind::kTransform &&
+      device_.backlog() >= config_.compute_backlog_cap) {
+    metrics_.on_compute_dropped();
+    return;
+  }
+
+  dataflow::Tuple tuple = dataflow::Tuple::from_bytes(data.tuple_bytes);
+
+  // Staleness shedding: results for old frames are worthless in a
+  // real-time app — drop before burning CPU on them.
+  if (config_.tuple_ttl.nanos() > 0 &&
+      inst.decl->kind == dataflow::OperatorKind::kTransform &&
+      sim_.now() - tuple.source_time() > config_.tuple_ttl) {
+    metrics_.on_stale_dropped();
+    return;
+  }
+
+  const double cost_ms = inst.decl->cost ? inst.decl->cost(tuple) : 0.0;
+
+  // A second staleness check runs as the job reaches the CPU: most of a
+  // stale tuple's age accrues while it waits in the compute queue.
+  std::function<bool()> admit;
+  if (config_.tuple_ttl.nanos() > 0 &&
+      inst.decl->kind == dataflow::OperatorKind::kTransform) {
+    admit = [this, source_time = tuple.source_time()] {
+      if (sim_.now() - source_time > config_.tuple_ttl) {
+        metrics_.on_stale_dropped();
+        return false;
+      }
+      return true;
+    };
+  }
+
+  device_.execute(
+      cost_ms,
+      [this, &inst, data = std::move(data),
+       tuple = std::move(tuple)](const device::JobTiming& timing) {
+        if (!alive_) return;
+        ++processed_;
+        DelayBreakdown acc = data.accumulated;
+        acc.queuing_ms += timing.queuing().millis();
+        acc.processing_ms += timing.processing().millis();
+
+        // ACK after processing (paper §V-B): echo the send timestamp and
+        // report the measured processing time. Addressed to the sending
+        // device (the socket peer); loopback covers co-located upstreams.
+        AckMsg ack;
+        ack.from_instance = inst.info.instance;
+        ack.to_instance = data.src_instance;
+        ack.tuple = tuple.id();
+        ack.echoed_sent_ns = data.sent_ns;
+        ack.processing_ms = timing.processing().millis();
+        ack.battery_fraction = device_.battery_fraction(sim_.now());
+        if (config_.batching.enabled && data.src_device != device_.id()) {
+          enqueue_batched_ack(data.src_device, ack.to_bytes());
+        } else {
+          transport_.send(device_.id(), data.src_device,
+                          std::uint8_t(MsgType::kAck), ack.to_bytes());
+        }
+
+        if (inst.decl->kind == dataflow::OperatorKind::kSink) {
+          deliver_to_sink(inst, tuple, acc);
+        } else if (inst.unit) {
+          inst.ctx->set_accumulated(acc);
+          inst.unit->process(tuple, *inst.ctx);
+        }
+      },
+      std::move(admit));
+}
+
+void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
+                             const DelayBreakdown& accumulated) {
+  metrics_.on_sink_arrival(tuple, accumulated, sim_.now());
+  if (inst.reorder) {
+    inst.reorder->push(tuple, sim_.now());
+  } else {
+    metrics_.on_play(tuple.id(), sim_.now());
+  }
+  if (inst.unit) {
+    inst.ctx->set_accumulated(accumulated);
+    inst.unit->process(tuple, *inst.ctx);
+  }
+}
+
+void Worker::handle_ack(const AckMsg& ack) {
+  Instance* inst = find_instance(ack.to_instance);
+  if (inst == nullptr) return;
+  const double latency_ms =
+      (sim_.now() - SimTime{ack.echoed_sent_ns}).millis();
+  for (auto& edge : inst->edges) {
+    if (edge.manager->estimator().tracks(ack.from_instance)) {
+      edge.manager->record_ack(ack.from_instance, latency_ms,
+                               ack.processing_ms, sim_.now(),
+                               ack.battery_fraction);
+      return;
+    }
+  }
+}
+
+void Worker::add_downstream(const RouteUpdateMsg& update) {
+  peers_[update.downstream.instance.value()] = update.downstream;
+  Instance* inst = find_instance(update.upstream);
+  if (inst != nullptr) {
+    if (Instance::Edge* edge = inst->edge_for(update.downstream.op)) {
+      edge->manager->add_downstream(update.downstream.instance);
+    }
+  }
+}
+
+void Worker::remove_downstream_instance(InstanceId down, InstanceId upstream) {
+  if (upstream.valid()) {
+    if (Instance* inst = find_instance(upstream)) {
+      for (auto& edge : inst->edges) edge.manager->remove_downstream(down);
+    }
+  } else {
+    for (auto& [id, inst] : instances_) {
+      for (auto& edge : inst->edges) edge.manager->remove_downstream(down);
+    }
+  }
+  peers_.erase(down.value());
+}
+
+void Worker::on_link_down(DeviceId peer) {
+  if (!alive_ || peer == device_.id()) return;
+  // Remove every known instance on the dead device from local routing
+  // tables and tell the master (paper §IV-C: the upstream removes the
+  // downstream and re-routes immediately).
+  std::vector<InstanceId> gone;
+  for (const auto& [id, info] : peers_) {
+    if (info.device == peer) gone.push_back(info.instance);
+  }
+  if (gone.empty()) return;
+  SWING_LOG(kInfo) << "device " << device_.id() << " lost link to " << peer
+                   << "; removing " << gone.size() << " downstream(s)";
+  for (InstanceId id : gone) {
+    remove_downstream_instance(id, InstanceId{});
+  }
+  if (master_device_.valid() && peer != master_device_) {
+    transport_.send(device_.id(), master_device_,
+                    std::uint8_t(MsgType::kLeaveReport),
+                    DeviceMsg{peer}.to_bytes());
+  }
+}
+
+void Worker::start_sources() {
+  running_ = true;
+  for (auto& [id, inst] : instances_) {
+    if (inst->decl->kind == dataflow::OperatorKind::kSource) {
+      start_source(*inst);
+    }
+  }
+}
+
+void Worker::stop_sources() {
+  running_ = false;
+  for (auto& [id, inst] : instances_) {
+    sim_.cancel(inst->source_fire_event);
+  }
+}
+
+void Worker::start_source(Instance& inst) {
+  // Arm the declared rate changes once, relative to the first start.
+  if (!inst.rate_schedule_armed) {
+    inst.rate_schedule_armed = true;
+    for (const auto& change : inst.decl->source->rate_schedule) {
+      sim_.schedule_after(change.after, [&inst, rate = change.rate_per_s] {
+        inst.source_rate = rate;
+      });
+    }
+  }
+  arm_source(inst);
+}
+
+void Worker::arm_source(Instance& inst) {
+  if (!running_ || !alive_ || inst.source_rate <= 0.0) return;
+  const double mean_gap_s = 1.0 / inst.source_rate;
+  const double gap_s = inst.decl->source->poisson
+                           ? inst.rng.exponential(mean_gap_s)
+                           : mean_gap_s;
+  inst.source_fire_event =
+      sim_.schedule_after(seconds(gap_s), [this, &inst] {
+        source_fire(inst);
+      });
+}
+
+void Worker::source_fire(Instance& inst) {
+  if (!running_ || !alive_) return;
+  const auto& spec = *inst.decl->source;
+  if (spec.max_tuples != 0 && inst.seq >= spec.max_tuples) {
+    return;  // Stream finished; do not re-arm.
+  }
+  arm_source(inst);
+  if (inst.blocked) {
+    // Dispatch is head-of-line blocked on a congested connection; the
+    // camera overruns and this frame is lost.
+    metrics_.on_source_dropped();
+    return;
+  }
+  const TupleId id{inst.seq++ * inst.source_count + inst.source_ordinal};
+  dataflow::Tuple tuple = spec.generate(id, sim_.now(), inst.rng);
+  tuple.set_id(id);
+  tuple.set_source_time(sim_.now());
+  for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
+  route_and_send(inst, std::move(tuple), DelayBreakdown{});
+}
+
+void Worker::route_and_send(Instance& from, dataflow::Tuple tuple,
+                            const DelayBreakdown& accumulated) {
+  // Dataflow semantics: the tuple goes to every downstream *operator*; the
+  // swarm manager of each edge picks which *instance* serves this tuple.
+  for (std::size_t i = 0; i < from.edges.size(); ++i) {
+    send_on_edge(from, i, tuple, accumulated);
+  }
+}
+
+void Worker::send_on_edge(Instance& from, std::size_t edge_index,
+                          const dataflow::Tuple& tuple,
+                          const DelayBreakdown& accumulated) {
+  Instance::Edge& edge = from.edges[edge_index];
+  const bool is_source =
+      from.decl->kind == dataflow::OperatorKind::kSource;
+
+  InstanceId target;
+  bool probe = false;
+  if (graph_.op(edge.down_op).partition_by_id) {
+    // Key-partitioned edge: tuple id decides the instance, identically at
+    // every upstream, so stateful fan-in sees all of a frame's pieces.
+    const auto& downs = edge.manager->downstreams();
+    if (downs.empty()) {
+      if (is_source) metrics_.on_source_dropped();
+      return;
+    }
+    target = downs[tuple.id().value() % downs.size()];
+  } else {
+    const auto choice = edge.manager->route(sim_.now());
+    if (!choice) {
+      if (is_source) metrics_.on_source_dropped();
+      return;
+    }
+    target = choice->id;
+    probe = choice->probe;
+  }
+
+  auto congested = [&](InstanceId id) {
+    auto it = peers_.find(id.value());
+    return it != peers_.end() &&
+           !transport_.can_send(device_.id(), it->second.device, 0,
+                                tuple.wire_size() + DataMsg::kEnvelopeBytes);
+  };
+  // Probes are opportunistic: never block the dispatch loop on a congested
+  // probe target — route the tuple through the normal decision instead.
+  if (probe && congested(target)) {
+    const auto fallback = edge.manager->route_selected(sim_.now());
+    if (fallback) target = *fallback;
+  }
+
+  auto peer = peers_.find(target.value());
+  if (peer == peers_.end()) {
+    metrics_.on_send_failed();
+    return;
+  }
+
+  PendingSend send;
+  send.data.src_instance = from.info.instance;
+  send.data.src_device = device_.id();
+  send.data.dst_instance = target;
+  send.data.accumulated = accumulated;
+  send.data.tuple_wire_size = tuple.wire_size();
+  send.data.tuple_bytes = tuple.to_bytes();
+  send.dst_device = peer->second.device;
+  send.wire = send.data.tuple_wire_size + DataMsg::kEnvelopeBytes;
+  send.from_source = is_source;
+
+  if (!transport_.can_send(device_.id(), send.dst_device, 0, send.wire)) {
+    // Connection window is full. Sources block on it (the dispatch loop is
+    // sequential — this is the straggler effect of §III); transforms shed
+    // the tuple like an overrun stream operator. A second edge blocking in
+    // the same dispatch sheds too: one head-of-line slot.
+    if (is_source && !from.blocked) {
+      from.blocked = std::move(send);
+      sim_.schedule_after(config_.blocked_retry,
+                          [this, &from] { retry_blocked(from); });
+    } else {
+      metrics_.on_send_failed();
+    }
+    return;
+  }
+  send_data(from, std::move(send));
+}
+
+void Worker::send_data(Instance& /*from*/, PendingSend send) {
+  send.data.sent_ns = sim_.now().nanos();
+  // Loopback never batches (no wire to amortise); remote sends may.
+  if (config_.batching.enabled && send.dst_device != device_.id()) {
+    metrics_.on_routed(send.dst_device, send.wire, send.from_source);
+    enqueue_batched(std::move(send));
+    return;
+  }
+  const bool ok = transport_.send(device_.id(), send.dst_device,
+                                  std::uint8_t(MsgType::kData),
+                                  send.data.to_bytes(), send.wire);
+  if (ok) {
+    metrics_.on_routed(send.dst_device, send.wire, send.from_source);
+  } else {
+    metrics_.on_send_failed();
+  }
+}
+
+void Worker::enqueue_batched(PendingSend send) {
+  Batch& batch = batch_for(send.dst_device, /*acks=*/false);
+  if (batch.datas.size() >= config_.batching.buffer_cap) {
+    metrics_.on_send_failed();
+    return;
+  }
+  batch.datas.push_back(send.data.to_bytes());
+  batch.wire += send.wire;
+  if (batch.datas.size() >= config_.batching.max_tuples) {
+    sim_.cancel(batch.flush_event);
+    flush_batch(send.dst_device, /*acks=*/false);
+  } else if (batch.datas.size() == 1) {
+    batch.flush_event = sim_.schedule_after(
+        config_.batching.max_delay,
+        [this, dst = send.dst_device] { flush_batch(dst, false); });
+  }
+}
+
+void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
+  Batch& batch = batch_for(dst, /*acks=*/true);
+  if (batch.datas.size() >= config_.batching.buffer_cap) return;
+  batch.wire += ack_bytes.size();
+  batch.datas.push_back(std::move(ack_bytes));
+  if (batch.datas.size() >= config_.batching.max_tuples) {
+    sim_.cancel(batch.flush_event);
+    flush_batch(dst, /*acks=*/true);
+  } else if (batch.datas.size() == 1) {
+    batch.flush_event = sim_.schedule_after(
+        config_.batching.max_delay,
+        [this, dst] { flush_batch(dst, true); });
+  }
+}
+
+void Worker::flush_batch(DeviceId dst, bool acks) {
+  auto it = batches_.find(dst.value() * 2 + (acks ? 1 : 0));
+  if (it == batches_.end() || it->second.datas.empty()) return;
+  if (!alive_) {
+    batches_.erase(it);
+    return;
+  }
+  // Congested connection: hold the batch and retry (it keeps absorbing
+  // new tuples up to the buffer cap in the meantime).
+  if (!transport_.can_send(device_.id(), dst, 0, it->second.wire)) {
+    it->second.flush_event = sim_.schedule_after(
+        config_.blocked_retry, [this, dst, acks] { flush_batch(dst, acks); });
+    return;
+  }
+  Batch batch = std::move(it->second);
+  batches_.erase(it);
+  DataBatchMsg msg;
+  msg.datas = std::move(batch.datas);
+  const bool ok = transport_.send(
+      device_.id(), dst,
+      std::uint8_t(acks ? MsgType::kAckBatch : MsgType::kDataBatch),
+      msg.to_bytes(), batch.wire);
+  if (!ok) metrics_.on_send_failed();
+}
+
+void Worker::handle_data_batch(const net::Message& msg) {
+  const DataBatchMsg batch = DataBatchMsg::from_bytes(msg.payload);
+  const bool acks = MsgType(msg.type) == MsgType::kAckBatch;
+  for (const auto& bytes : batch.datas) {
+    if (acks) {
+      handle_ack(AckMsg::from_bytes(bytes));
+    } else {
+      net::Message inner = msg;
+      inner.payload = bytes;
+      inner.type = std::uint8_t(MsgType::kData);
+      handle_data(inner);
+    }
+  }
+}
+
+void Worker::retry_blocked(Instance& inst) {
+  if (!alive_ || !inst.blocked) return;
+  PendingSend& pending = *inst.blocked;
+  // The blocked peer may have left in the meantime.
+  const bool peer_known = peers_.contains(pending.data.dst_instance.value());
+  if (!peer_known ||
+      transport_.can_send(device_.id(), pending.dst_device, 0,
+                          pending.wire)) {
+    if (peer_known) {
+      send_data(inst, std::move(pending));
+    } else {
+      metrics_.on_send_failed();
+    }
+    inst.blocked.reset();
+    return;
+  }
+  sim_.schedule_after(config_.blocked_retry,
+                      [this, &inst] { retry_blocked(inst); });
+}
+
+const core::SwarmManager* Worker::manager_of(OperatorId op,
+                                             OperatorId down_op) const {
+  for (const auto& [id, inst] : instances_) {
+    if (inst->info.op != op) continue;
+    if (!down_op.valid()) {
+      return inst->edges.empty() ? nullptr : inst->edges.front().manager.get();
+    }
+    for (const auto& edge : inst->edges) {
+      if (edge.down_op == down_op) return edge.manager.get();
+    }
+  }
+  return nullptr;
+}
+
+const ReorderBuffer* Worker::reorder_of(OperatorId op) const {
+  for (const auto& [id, inst] : instances_) {
+    if (inst->info.op == op) return inst->reorder.get();
+  }
+  return nullptr;
+}
+
+void Worker::shutdown() {
+  if (!alive_) return;
+  stop_sources();
+  if (heartbeat_task_) heartbeat_task_->stop();
+  for (auto& [id, inst] : instances_) {
+    for (auto& edge : inst->edges) {
+      if (edge.tick_task) edge.tick_task->stop();
+    }
+    if (inst->reorder) inst->reorder->flush(sim_.now());
+  }
+  alive_ = false;
+}
+
+void Worker::leave() {
+  if (master_device_.valid() && master_device_ != device_.id()) {
+    transport_.send(device_.id(), master_device_,
+                    std::uint8_t(MsgType::kBye),
+                    DeviceMsg{device_.id()}.to_bytes());
+  }
+  shutdown();
+}
+
+}  // namespace swing::runtime

@@ -1,0 +1,188 @@
+// The Swing worker: hosts function-unit instances on one device.
+//
+// A worker receives Deploy/route-update control messages from the master,
+// activates function units ("each device has already installed all the
+// function units, the master simply provides the names to activate",
+// §IV-B), and runs the data plane: receive tuple -> charge the device's CPU
+// for the operator's cost -> ACK the upstream -> run the unit -> route each
+// emitted tuple via the instance's SwarmManager and send it on. Source
+// instances generate sensed tuples on a timer at the app's input rate; sink
+// instances feed the metrics plane and the reordering service.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/swarm_manager.h"
+#include "dataflow/graph.h"
+#include "device/device.h"
+#include "net/transport.h"
+#include "runtime/messages.h"
+#include "runtime/metrics.h"
+#include "runtime/reorder.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+
+struct WorkerConfig {
+  core::SwarmManagerConfig manager{};
+  // Sink-side reorder buffer span (paper: 1 second of source data).
+  SimDuration reorder_span = seconds(1.0);
+  bool enable_reorder = true;
+  // Data arriving for a not-yet-activated instance is buffered up to this
+  // many tuples (covers the deploy/data race during joins).
+  std::size_t pending_data_cap = 256;
+  // SEEP-style bounded input buffer: a transform whose device already has
+  // this many queued jobs drops new tuples (the real system stops reading
+  // the socket; the effect on steady-state throughput is the same).
+  std::size_t compute_backlog_cap = 24;
+  // A source whose chosen connection has a full TCP window blocks on it
+  // (head-of-line!) and retries at this cadence; frames sensed while
+  // blocked are dropped, exactly like a stalled camera pipeline. This
+  // blocking dispatch is what makes stragglers poison RR (paper §III).
+  SimDuration blocked_retry = millis(20);
+
+  // Liveness beacon cadence toward the master (see
+  // MasterConfig::member_timeout). Zero disables heartbeats.
+  SimDuration heartbeat_period = seconds(2.0);
+
+  // Real-time staleness shedding: a tuple whose source timestamp is older
+  // than this when it reaches a transform is discarded — a face recognised
+  // five seconds late is a wasted battery, not a result. Zero disables
+  // (the paper's prototype processes everything; see the latency tails in
+  // Fig. 4).
+  SimDuration tuple_ttl{};
+
+  // SEEP-style per-connection tuple batching: coalesce up to `max_tuples`
+  // data messages bound for the same device (or whatever accumulates
+  // within `max_delay`) into one wire message, amortising header and MAC
+  // overhead. Worth it for high-rate small-tuple apps; off by default
+  // because it adds up to `max_delay` of latency per hop.
+  struct Batching {
+    bool enabled = false;
+    std::size_t max_tuples = 8;
+    SimDuration max_delay = millis(10);
+    std::size_t buffer_cap = 64;  // Pending tuples per device; beyond: drop.
+  } batching;
+};
+
+class Worker {
+ public:
+  Worker(Simulator& sim, device::Device& device, net::Transport& transport,
+         const dataflow::AppGraph& graph, WorkerConfig config, Rng rng,
+         MetricsCollector& metrics);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] DeviceId device_id() const { return device_.id(); }
+
+  // Sends Hello to the master (called on discovery, or directly).
+  void connect_to_master(DeviceId master_device);
+
+  // Inbound message entry point (wired into the transport by the runtime).
+  // Malformed payloads are counted and dropped, never propagated.
+  void handle_message(const net::Message& msg);
+
+  // Link-failure notification from the transport: a peer device vanished.
+  void on_link_down(DeviceId peer);
+
+  // Halts sources and managers (local shutdown; does not notify anyone).
+  void shutdown();
+
+  // Graceful leave: tell the master goodbye, then shut down.
+  void leave();
+
+  // --- Introspection (tests/benches) ---------------------------------
+
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  // The SwarmManager of this device's instance of `op` for the edge toward
+  // `down_op`; the first outgoing edge when `down_op` is invalid. Null when
+  // the operator has no instance here or no such edge (e.g. sinks).
+  [[nodiscard]] const core::SwarmManager* manager_of(
+      OperatorId op, OperatorId down_op = OperatorId{}) const;
+  [[nodiscard]] const ReorderBuffer* reorder_of(OperatorId op) const;
+  [[nodiscard]] std::uint64_t tuples_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t malformed_messages() const {
+    return malformed_messages_;
+  }
+
+ private:
+  struct Instance;
+
+  class InstanceContext;  // dataflow::Context implementation.
+
+  struct PendingSend;
+
+  void dispatch_message(const net::Message& msg);
+  void send_on_edge(Instance& from, std::size_t edge_index,
+                    const dataflow::Tuple& tuple,
+                    const DelayBreakdown& accumulated);
+  void activate(const DeployMsg::Assignment& assignment);
+  void handle_data(const net::Message& msg);
+  void process_data(Instance& inst, DataMsg data);
+  void handle_ack(const AckMsg& ack);
+  void add_downstream(const RouteUpdateMsg& update);
+  void remove_downstream_instance(InstanceId down, InstanceId upstream);
+  void start_sources();
+  void stop_sources();
+  void start_source(Instance& inst);
+  void arm_source(Instance& inst);
+  void source_fire(Instance& inst);
+  void route_and_send(Instance& from, dataflow::Tuple tuple,
+                      const DelayBreakdown& accumulated);
+  void send_data(Instance& from, PendingSend send);
+  void retry_blocked(Instance& inst);
+  void enqueue_batched(PendingSend send);
+  void enqueue_batched_ack(DeviceId dst, Bytes ack_bytes);
+  void flush_batch(DeviceId dst, bool acks);
+  void handle_data_batch(const net::Message& msg);
+  void deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
+                       const DelayBreakdown& accumulated);
+  Instance* find_instance(InstanceId id);
+
+  Simulator& sim_;
+  device::Device& device_;
+  net::Transport& transport_;
+  const dataflow::AppGraph& graph_;
+  WorkerConfig config_;
+  Rng rng_;
+  MetricsCollector& metrics_;
+
+  DeviceId master_device_{};
+  std::unique_ptr<PeriodicTask> heartbeat_task_;
+  bool running_ = false;
+  bool alive_ = true;
+  std::uint64_t processed_ = 0;
+  std::uint64_t malformed_messages_ = 0;
+
+  std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
+  // Every instance this worker knows about (routing address book).
+  std::map<std::uint64_t, InstanceInfo> peers_;
+  // Tuples that raced ahead of their instance's Deploy.
+  std::map<std::uint64_t, std::deque<DataMsg>> pending_data_;
+
+  // Batching service state, per (destination device, data|ack) stream.
+  struct Batch {
+    std::vector<Bytes> datas;
+    std::uint64_t wire = 0;
+    EventId flush_event{};
+  };
+  Batch& batch_for(DeviceId dst, bool acks) {
+    return batches_[dst.value() * 2 + (acks ? 1 : 0)];
+  }
+  std::map<std::uint64_t, Batch> batches_;
+};
+
+}  // namespace swing::runtime

@@ -1,0 +1,85 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace swing {
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId{id};
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id.value()) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // Cancelled; skip.
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    assert(entry.time >= now_);
+    now_ = entry.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime limit) {
+  while (!queue_.empty()) {
+    // Peek through cancelled entries without firing live ones early.
+    const Entry entry = queue_.top();
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > limit) break;
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_realtime(SimDuration duration, double speed) {
+  assert(speed > 0.0);
+  const SimTime limit = now_ + duration;
+  const SimTime sim_start = now_;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto wall_deadline = [&](SimTime t) {
+    const double sim_elapsed_s = (t - sim_start).seconds();
+    return wall_start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(sim_elapsed_s /
+                                                          speed));
+  };
+
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > limit) break;
+    std::this_thread::sleep_until(wall_deadline(entry.time));
+    step();
+  }
+  std::this_thread::sleep_until(wall_deadline(limit));
+  if (now_ < limit) now_ = limit;
+}
+
+}  // namespace swing

@@ -1,0 +1,139 @@
+// Deterministic discrete-event simulator.
+//
+// The entire Swing testbed (devices, radio medium, runtime services) runs on
+// one of these. Events at equal timestamps execute in scheduling order
+// (FIFO), which makes every run bit-for-bit reproducible. The simulator is
+// single-threaded on purpose: determinism is worth more than parallelism at
+// the scales we simulate (tens of devices, millions of events).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace swing {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t`. Scheduling in the past is a
+  // logic error; the event is clamped to `now` so a slightly-stale caller
+  // degrades gracefully instead of corrupting the clock.
+  EventId schedule_at(SimTime t, Callback fn);
+
+  EventId schedule_after(SimDuration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already-
+  // cancelled event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool pending(EventId id) const {
+    return callbacks_.contains(id.value());
+  }
+
+  // Executes the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  // Runs events with timestamp <= limit, then advances the clock to `limit`
+  // (so rate meters and traces see the full interval even if it was quiet).
+  void run_until(SimTime limit);
+
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  // Drains the queue completely.
+  void run();
+
+  // Runs for `duration` of simulated time, pacing event execution against
+  // the wall clock: one simulated second takes 1/speed real seconds. This
+  // turns any experiment into a live demo — the framework code cannot tell
+  // the difference, because it only ever reads this clock.
+  void run_realtime(SimDuration duration, double speed = 1.0);
+
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+  [[nodiscard]] std::size_t queued() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // Tie-break: FIFO among equal timestamps.
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Events live here until they fire or are cancelled. Cancelled entries are
+  // lazily skipped when popped.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+// A repeating task bound to a simulator. Starts on construction or start();
+// fires every `period` until stopped or destroyed. The first firing is one
+// period after start (matching the paper's "every 1 s" management loop).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimDuration period,
+               std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(pending_);
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimDuration period() const { return period_; }
+
+  // Takes effect from the next arming.
+  void set_period(SimDuration period) { period_ = period; }
+
+ private:
+  void arm() {
+    pending_ = sim_.schedule_after(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  SimDuration period_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace swing

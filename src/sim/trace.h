@@ -1,0 +1,84 @@
+// Time-series tracing for experiments.
+//
+// Benches record named series (e.g. "throughput_fps", "rssi_dbm.G") as
+// (time, value) points and bin or dump them afterwards. This is the
+// measurement side-channel; framework behaviour never depends on it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace swing {
+
+struct TracePoint {
+  SimTime time;
+  double value;
+};
+
+class TraceSeries {
+ public:
+  void record(SimTime t, double v) { points_.push_back({t, v}); }
+
+  [[nodiscard]] const std::vector<TracePoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  // Averages values into fixed-width bins over [start, end); bins with no
+  // points report 0. Useful for throughput-over-time plots.
+  [[nodiscard]] std::vector<double> binned_mean(SimTime start, SimTime end,
+                                                SimDuration bin) const {
+    const auto nbins = static_cast<std::size_t>((end - start) / bin) ;
+    std::vector<double> sums(nbins, 0.0);
+    std::vector<std::size_t> counts(nbins, 0);
+    for (const auto& p : points_) {
+      if (p.time < start || p.time >= end) continue;
+      const auto idx = static_cast<std::size_t>((p.time - start) / bin);
+      if (idx >= nbins) continue;
+      sums[idx] += p.value;
+      ++counts[idx];
+    }
+    for (std::size_t i = 0; i < nbins; ++i) {
+      if (counts[i] > 0) sums[i] /= double(counts[i]);
+    }
+    return sums;
+  }
+
+  // Counts points per fixed-width bin (e.g. frames completed per second).
+  [[nodiscard]] std::vector<std::size_t> binned_count(SimTime start,
+                                                      SimTime end,
+                                                      SimDuration bin) const {
+    const auto nbins = static_cast<std::size_t>((end - start) / bin);
+    std::vector<std::size_t> counts(nbins, 0);
+    for (const auto& p : points_) {
+      if (p.time < start || p.time >= end) continue;
+      const auto idx = static_cast<std::size_t>((p.time - start) / bin);
+      if (idx < nbins) ++counts[idx];
+    }
+    return counts;
+  }
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+class Tracer {
+ public:
+  TraceSeries& series(const std::string& name) { return series_[name]; }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return series_.contains(name);
+  }
+
+  [[nodiscard]] const std::map<std::string, TraceSeries>& all() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, TraceSeries> series_;
+};
+
+}  // namespace swing

@@ -1,0 +1,123 @@
+#include "apps/face_recognition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::apps {
+namespace {
+
+TEST(FaceEmbedding, Deterministic) {
+  EXPECT_EQ(face_embedding(42), face_embedding(42));
+  EXPECT_NE(face_embedding(42), face_embedding(43));
+}
+
+TEST(FaceEmbedding, UnitNorm) {
+  for (std::uint64_t tag : {0ULL, 1ULL, 99ULL, 123456ULL}) {
+    const auto e = face_embedding(tag);
+    double norm = 0.0;
+    for (float x : e) norm += double(x) * double(x);
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(FaceGallery, RequestedSize) {
+  EXPECT_EQ(face_gallery(5).size(), 5u);
+  EXPECT_EQ(face_gallery(64).size(), 64u);
+}
+
+TEST(FaceGallery, NamesUnique) {
+  const auto gallery = face_gallery(64);
+  for (std::size_t i = 0; i < gallery.size(); ++i) {
+    for (std::size_t j = i + 1; j < gallery.size(); ++j) {
+      EXPECT_NE(gallery[i], gallery[j]);
+    }
+  }
+}
+
+TEST(MatchFace, ExactMatchWins) {
+  std::vector<Embedding> gallery;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    gallery.push_back(face_embedding(100 + i));
+  }
+  for (std::size_t i = 0; i < gallery.size(); ++i) {
+    EXPECT_EQ(match_face(face_embedding(100 + i), gallery), i);
+  }
+}
+
+TEST(Graph, FourFunctionUnits) {
+  const auto g = face_recognition_graph();
+  EXPECT_EQ(g.operators().size(), 4u);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(Graph, CostsMatchTableOneReference) {
+  FaceRecognitionConfig config;
+  const auto g = face_recognition_graph(config);
+  double total = 0.0;
+  dataflow::Tuple t;
+  for (const auto& op : g.operators()) {
+    if (op.cost) total += op.cost(t);
+  }
+  // Detector + recognizer = 92.9 ms on the reference Galaxy Nexus.
+  EXPECT_NEAR(total, 92.9, 0.1);
+}
+
+TEST(Graph, SourceRateIs24Fps) {
+  const auto g = face_recognition_graph();
+  EXPECT_DOUBLE_EQ(g.op(g.sources()[0]).source->rate_per_s, 24.0);
+}
+
+TEST(Graph, FrameBlobHasPaperSize) {
+  const auto g = face_recognition_graph();
+  Rng rng{1};
+  const auto tuple =
+      g.op(g.sources()[0]).source->generate(TupleId{0}, SimTime{}, rng);
+  const auto* frame = tuple.get_as<dataflow::Blob>("frame");
+  ASSERT_NE(frame, nullptr);
+  EXPECT_EQ(frame->size, 6000u);  // 400x226 ~ 6.0 kB.
+}
+
+TEST(Pipeline, EndToEndRecognisesNames) {
+  Simulator sim;
+  runtime::Swarm swarm{sim};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+
+  FaceRecognitionConfig config;
+  config.fps = 12.0;  // Within H's single-device capacity (~14 FPS).
+  config.max_frames = 48;
+  swarm.launch_master(a, face_recognition_graph(config));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(15));
+  swarm.shutdown();
+
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 48u);
+}
+
+TEST(Pipeline, SingleDeviceMatchesTableOneThroughput) {
+  // Table I: H processes ~13-14 FPS when fed 24 FPS.
+  Simulator sim;
+  runtime::Swarm swarm{sim};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, face_recognition_graph());
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(30));
+  const auto t = sim.now();
+  const double fps = swarm.metrics().throughput_fps(t - seconds(20), t);
+  EXPECT_NEAR(fps, 14.0, 1.5);
+}
+
+}  // namespace
+}  // namespace swing::apps

@@ -1,0 +1,127 @@
+#include "apps/gesture_recognition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::apps {
+namespace {
+
+std::vector<AccelSample> window_for(std::uint64_t window_index,
+                                    std::size_t n = 25) {
+  std::vector<AccelSample> window;
+  for (std::size_t i = 0; i < n; ++i) {
+    window.push_back(synth_sample(window_index * n + i, n));
+  }
+  return window;
+}
+
+TEST(GestureSynth, Deterministic) {
+  const AccelSample a = synth_sample(123, 25);
+  const AccelSample b = synth_sample(123, 25);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.z, b.z);
+}
+
+TEST(GestureSynth, StillIsNearGravity) {
+  for (const auto& s : window_for(0)) {  // Window 0: "still".
+    EXPECT_NEAR(s.z, 9.81f, 0.5f);
+    EXPECT_NEAR(s.x, 0.0f, 0.5f);
+  }
+}
+
+TEST(GestureFeaturesTest, RoundTripSerialization) {
+  GestureFeatures f;
+  f.mean_magnitude = 9.9f;
+  f.variance = 1.5f;
+  f.energy = 4.25f;
+  f.dominant_axis = 2.0f;
+  const GestureFeatures back = GestureFeatures::from_bytes(f.to_bytes());
+  EXPECT_EQ(back.mean_magnitude, f.mean_magnitude);
+  EXPECT_EQ(back.variance, f.variance);
+  EXPECT_EQ(back.energy, f.energy);
+  EXPECT_EQ(back.dominant_axis, f.dominant_axis);
+}
+
+TEST(GestureFeaturesTest, EmptyWindowSafe) {
+  const GestureFeatures f = extract_features({});
+  EXPECT_EQ(f.mean_magnitude, 0.0f);
+}
+
+TEST(GestureClassifier, RecognisesEveryTrueGesture) {
+  // Windows 0..15 cycle through still/shake/tilt/circle (4 windows each);
+  // the classifier must label every window correctly.
+  for (std::uint64_t w = 0; w < 16; ++w) {
+    const auto features = extract_features(window_for(w));
+    EXPECT_EQ(classify_gesture(features), true_gesture(w))
+        << "window " << w << " energy " << features.energy << " var "
+        << features.variance << " axis " << features.dominant_axis;
+  }
+}
+
+TEST(GestureGraph, WindowerPinnedToMaster) {
+  const auto g = gesture_recognition_graph();
+  EXPECT_NO_THROW(g.validate());
+  for (const auto& op : g.operators()) {
+    if (op.name == "windower") {
+      EXPECT_EQ(op.placement, dataflow::Placement::kMaster);
+    }
+    if (op.name == "classifier") {
+      EXPECT_EQ(op.placement, dataflow::Placement::kWorkers);
+    }
+  }
+}
+
+TEST(GestureGraph, OnlyTransformsCanBeReplaced) {
+  dataflow::AppGraph g = gesture_recognition_graph();
+  EXPECT_THROW(g.place_on_master(g.sources()[0]), dataflow::GraphError);
+  EXPECT_THROW(g.place_on_master(g.sinks()[0]), dataflow::GraphError);
+}
+
+TEST(GesturePipeline, EndToEndClassification) {
+  Simulator sim;
+  runtime::Swarm swarm{sim};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+
+  GestureConfig config;
+  config.max_samples = 800;  // 16 seconds -> 32 windows.
+  swarm.launch_master(a, gesture_recognition_graph(config));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(25));
+  swarm.shutdown();
+
+  // 800 samples / 25 per window = 32 classified gestures at the sink.
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 32u);
+}
+
+TEST(GesturePipeline, WindowingReducesNetworkLoad) {
+  // Only 2 Hz of feature tuples cross the air, not 50 Hz of samples: the
+  // worker receives ~1/25th of the tuple count the master's windower sees.
+  Simulator sim;
+  runtime::Swarm swarm{sim};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, gesture_recognition_graph());
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(20));
+
+  const auto to_worker = swarm.metrics().device(b).frames_in;
+  const auto to_master = swarm.metrics().device(a).frames_in;
+  // Master receives the 50 Hz sample stream (loopback) + results; the
+  // worker only the 2 Hz windows.
+  EXPECT_LT(to_worker, 60u);
+  EXPECT_GT(to_master, 900u);
+}
+
+}  // namespace
+}  // namespace swing::apps

@@ -1,0 +1,67 @@
+#include "apps/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/face_recognition.h"
+
+namespace swing::apps {
+namespace {
+
+TEST(Testbed, BuildsNineDevices) {
+  Testbed bed;
+  EXPECT_NO_THROW(static_cast<void>(bed.id("A")));
+  EXPECT_NO_THROW(static_cast<void>(bed.id("I")));
+  EXPECT_THROW(static_cast<void>(bed.id("Z")), std::out_of_range);
+  EXPECT_EQ(bed.worker_names().size(), 8u);
+}
+
+TEST(Testbed, WeakSignalPlacement) {
+  Testbed bed;
+  auto& medium = bed.swarm().medium();
+  EXPECT_DOUBLE_EQ(medium.rssi(bed.id("B")), bed.config().weak_rssi_dbm);
+  EXPECT_DOUBLE_EQ(medium.rssi(bed.id("C")), bed.config().weak_rssi_dbm);
+  EXPECT_DOUBLE_EQ(medium.rssi(bed.id("D")), bed.config().weak_rssi_dbm);
+  EXPECT_DOUBLE_EQ(medium.rssi(bed.id("H")), bed.config().strong_rssi_dbm);
+}
+
+TEST(Testbed, StrongOnlyPlacementOption) {
+  TestbedConfig config;
+  config.weak_signal_bcd = false;
+  Testbed bed{config};
+  EXPECT_DOUBLE_EQ(bed.swarm().medium().rssi(bed.id("B")),
+                   config.strong_rssi_dbm);
+}
+
+TEST(Testbed, SubsetOfWorkers) {
+  TestbedConfig config;
+  config.workers = {"B", "G"};
+  Testbed bed{config};
+  EXPECT_NO_THROW(bed.id("B"));
+  EXPECT_THROW(static_cast<void>(bed.id("H")), std::out_of_range);
+}
+
+TEST(Testbed, LaunchDeploysAndStarts) {
+  TestbedConfig config;
+  config.workers = {"G", "H"};
+  Testbed bed{config};
+  bed.launch(face_recognition_graph());
+  EXPECT_EQ(bed.swarm().master()->member_count(), 3u);  // A + 2 workers.
+  EXPECT_TRUE(bed.swarm().master()->started());
+  bed.run(seconds(5));
+  EXPECT_GT(bed.swarm().metrics().frames_arrived(), 50u);
+}
+
+TEST(Testbed, PolicyConfigApplied) {
+  TestbedConfig config;
+  config.policy = core::PolicyKind::kRR;
+  config.workers = {"G"};
+  Testbed bed{config};
+  bed.launch(face_recognition_graph());
+  const auto* manager = bed.swarm().worker(bed.id("A"))->manager_of(
+      bed.swarm().graph().sources()[0]);
+  ASSERT_NE(manager, nullptr);
+  EXPECT_EQ(manager->policy(), core::PolicyKind::kRR);
+}
+
+}  // namespace
+}  // namespace swing::apps

@@ -1,0 +1,107 @@
+#include "apps/voice_translation.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::apps {
+namespace {
+
+TEST(SpeechRecognition, Deterministic) {
+  EXPECT_EQ(recognize_speech(7), recognize_speech(7));
+}
+
+TEST(SpeechRecognition, VariesWithContent) {
+  bool any_diff = false;
+  for (std::uint64_t tag = 1; tag < 20; ++tag) {
+    if (recognize_speech(tag) != recognize_speech(0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SpeechRecognition, ProducesGrammaticalTemplate) {
+  for (std::uint64_t tag = 0; tag < 50; ++tag) {
+    const std::string phrase = recognize_speech(tag);
+    std::istringstream in{phrase};
+    std::vector<std::string> words;
+    for (std::string w; in >> w;) words.push_back(w);
+    ASSERT_GE(words.size(), 4u) << phrase;
+    EXPECT_EQ(words[0], "the");
+  }
+}
+
+TEST(Translation, DictionaryLookup) {
+  EXPECT_EQ(translate_to_spanish("the dog runs"), "el perro corre");
+  EXPECT_EQ(translate_to_spanish("water"), "agua");
+}
+
+TEST(Translation, AdjectiveNounReordering) {
+  // English "red house" -> Spanish "casa rojo" (noun before adjective).
+  EXPECT_EQ(translate_to_spanish("the red house"), "el casa rojo");
+}
+
+TEST(Translation, PluralSuffixRule) {
+  EXPECT_EQ(translate_to_spanish("dogs"), "perros");     // Vowel + s.
+  EXPECT_EQ(translate_to_spanish("cats"), "gatos");
+}
+
+TEST(Translation, UnknownWordBracketed) {
+  EXPECT_EQ(translate_to_spanish("xylophone"), "[xylophone]");
+}
+
+TEST(Translation, EmptyString) {
+  EXPECT_EQ(translate_to_spanish(""), "");
+}
+
+TEST(Translation, RoundTripThroughRecognizer) {
+  // Every phrase the recognizer can produce must translate with no
+  // untranslated brackets.
+  for (std::uint64_t tag = 0; tag < 200; ++tag) {
+    const std::string es = translate_to_spanish(recognize_speech(tag));
+    EXPECT_EQ(es.find('['), std::string::npos) << es;
+  }
+}
+
+TEST(Graph, FourFunctionUnits) {
+  const auto g = voice_translation_graph();
+  EXPECT_EQ(g.operators().size(), 4u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, AudioFrameHasPaperSize) {
+  const auto g = voice_translation_graph();
+  Rng rng{1};
+  const auto tuple =
+      g.op(g.sources()[0]).source->generate(TupleId{3}, SimTime{}, rng);
+  const auto* audio = tuple.get_as<dataflow::Blob>("audio");
+  ASSERT_NE(audio, nullptr);
+  EXPECT_EQ(audio->size, 72000u);  // 72.0 kB per the paper.
+}
+
+TEST(Pipeline, EndToEndTranslation) {
+  Simulator sim;
+  runtime::Swarm swarm{sim};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm.add_device(device::profile_I(), {2.5, 0.0});
+
+  VoiceTranslationConfig config;
+  config.fps = 4.0;  // Two workers can sustain this.
+  config.max_frames = 20;
+  swarm.launch_master(a, voice_translation_graph(config));
+  swarm.launch_worker(b);
+  swarm.launch_worker(c);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(20));
+  swarm.shutdown();
+
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 20u);
+}
+
+}  // namespace
+}  // namespace swing::apps

@@ -1,0 +1,88 @@
+#include "common/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace swing {
+namespace {
+
+TEST(AsciiChart, EmptyDataHandled) {
+  EXPECT_EQ(render_chart({}), "(no data)\n");
+  EXPECT_EQ(render_chart({ChartSeries{"s", '*', {}}}), "(no data)\n");
+}
+
+TEST(AsciiChart, GlyphAppearsForEachSeries) {
+  ChartSeries a{"alpha", 'a', {{0, 0}, {1, 1}}};
+  ChartSeries b{"beta", 'b', {{0, 1}, {1, 0}}};
+  const std::string out = render_chart({a, b});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremesLandOnCorners) {
+  ChartOptions options;
+  options.width = 20;
+  options.height = 5;
+  ChartSeries s{"s", '*', {{0, 0}, {10, 100}}};
+  const std::string out = render_chart({s}, options);
+  std::vector<std::string> lines;
+  std::istringstream in{out};
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  // Max point on the first plot row (rightmost), min on the last plot row
+  // (leftmost of the plot area).
+  EXPECT_EQ(lines[0].back(), '*');
+  const std::string& bottom = lines[4];
+  EXPECT_EQ(bottom[11], '*');  // First plot column (after the 11-char gutter).
+}
+
+TEST(AsciiChart, FixedYRangeClips) {
+  ChartOptions options;
+  options.y_min = 0.0;
+  options.y_max = 10.0;
+  options.height = 5;
+  options.width = 10;
+  ChartSeries s{"s", '*', {{0, 500.0}}};  // Way above range: clipped out.
+  const std::string out = render_chart({s}, options);
+  // The glyph appears exactly once — in the legend, not the plot area.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 1);
+}
+
+TEST(AsciiChart, AxisLabelsShown) {
+  ChartOptions options;
+  options.x_label = "time (s)";
+  options.y_label = "FPS";
+  ChartSeries s{"tput", 't', {{0, 1}, {5, 2}}};
+  const std::string out = render_chart({s}, options);
+  EXPECT_NE(out.find("time (s)"), std::string::npos);
+  EXPECT_NE(out.find("FPS"), std::string::npos);
+}
+
+TEST(AsciiBars, ProportionalLengths) {
+  const std::string out = render_bars(
+      {{"half", 5.0}, {"full", 10.0}}, /*width=*/10);
+  // "full" bar should have 10 hashes, "half" 5.
+  std::istringstream in{out};
+  std::string half_line, full_line;
+  std::getline(in, half_line);
+  std::getline(in, full_line);
+  EXPECT_EQ(std::count(half_line.begin(), half_line.end(), '#'), 5);
+  EXPECT_EQ(std::count(full_line.begin(), full_line.end(), '#'), 10);
+}
+
+TEST(AsciiBars, UnitPrinted) {
+  const std::string out = render_bars({{"x", 1.0}}, 10, "FPS");
+  EXPECT_NE(out.find("FPS"), std::string::npos);
+}
+
+TEST(AsciiBars, ZeroValuesSafe) {
+  const std::string out = render_bars({{"zero", 0.0}});
+  EXPECT_NE(out.find("zero"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swing

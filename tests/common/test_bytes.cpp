@@ -1,0 +1,154 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace swing {
+namespace {
+
+TEST(ByteWriter, EmptyBuffer) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_TRUE(w.data().empty());
+}
+
+TEST(ByteRoundTrip, U8) {
+  ByteWriter w;
+  w.write_u8(0);
+  w.write_u8(255);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u8(), 0);
+  EXPECT_EQ(r.read_u8(), 255);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteRoundTrip, U32) {
+  ByteWriter w;
+  w.write_u32(0xdeadbeef);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+}
+
+TEST(ByteRoundTrip, U64) {
+  ByteWriter w;
+  w.write_u64(0x0123456789abcdefULL);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+}
+
+TEST(ByteRoundTrip, I64Negative) {
+  ByteWriter w;
+  w.write_i64(-42);
+  w.write_i64(std::numeric_limits<std::int64_t>::min());
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_i64(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ByteRoundTrip, F64) {
+  ByteWriter w;
+  w.write_f64(3.14159);
+  w.write_f64(-0.0);
+  w.write_f64(std::numeric_limits<double>::infinity());
+  ByteReader r{w.data()};
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -0.0);
+  EXPECT_EQ(r.read_f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(ByteRoundTrip, VarintSmall) {
+  ByteWriter w;
+  w.write_varint(0);
+  w.write_varint(127);
+  EXPECT_EQ(w.size(), 2u);  // One byte each.
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_varint(), 0u);
+  EXPECT_EQ(r.read_varint(), 127u);
+}
+
+TEST(ByteRoundTrip, VarintBoundaries) {
+  ByteWriter w;
+  w.write_varint(128);
+  w.write_varint(16383);
+  w.write_varint(16384);
+  w.write_varint(~std::uint64_t{0});
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_varint(), 128u);
+  EXPECT_EQ(r.read_varint(), 16383u);
+  EXPECT_EQ(r.read_varint(), 16384u);
+  EXPECT_EQ(r.read_varint(), ~std::uint64_t{0});
+}
+
+TEST(ByteRoundTrip, String) {
+  ByteWriter w;
+  w.write_string("hello swing");
+  w.write_string("");
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_string(), "hello swing");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST(ByteRoundTrip, BytesBlob) {
+  Bytes payload = {1, 2, 3, 250, 251};
+  ByteWriter w;
+  w.write_bytes(payload);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_bytes(), payload);
+}
+
+TEST(ByteRoundTrip, MixedSequence) {
+  ByteWriter w;
+  w.write_u8(9);
+  w.write_string("k");
+  w.write_varint(300);
+  w.write_f64(2.5);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.read_u8(), 9);
+  EXPECT_EQ(r.read_string(), "k");
+  EXPECT_EQ(r.read_varint(), 300u);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 2.5);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  ByteWriter w;
+  w.write_u8(1);
+  ByteReader r{w.data()};
+  r.read_u8();
+  EXPECT_THROW(r.read_u8(), WireFormatError);
+  EXPECT_THROW(r.read_u64(), WireFormatError);
+}
+
+TEST(ByteReader, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_varint(100);  // Claims 100 bytes follow; none do.
+  ByteReader r{w.data()};
+  EXPECT_THROW(r.read_string(), WireFormatError);
+}
+
+TEST(ByteReader, MalformedVarintThrows) {
+  // Eleven continuation bytes: > 64 bits of shift.
+  Bytes data(11, 0x80);
+  ByteReader r{data};
+  EXPECT_THROW(r.read_varint(), WireFormatError);
+}
+
+TEST(ByteReader, Remaining) {
+  ByteWriter w;
+  w.write_u32(1);
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.remaining(), 4u);
+  r.read_u8();
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.write_u8(7);
+  Bytes b = w.take();
+  EXPECT_EQ(b.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swing

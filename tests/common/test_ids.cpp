@@ -1,0 +1,59 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace swing {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  DeviceId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), StrongId<DeviceTag>::kInvalid);
+}
+
+TEST(StrongId, ConstructedIsValid) {
+  DeviceId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, MaxValueIsReservedAsInvalid) {
+  DeviceId id{~std::uint64_t{0}};
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, Equality) {
+  EXPECT_EQ(DeviceId{3}, DeviceId{3});
+  EXPECT_NE(DeviceId{3}, DeviceId{4});
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(DeviceId{1}, DeviceId{2});
+  EXPECT_GT(TupleId{9}, TupleId{8});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<DeviceId, OperatorId>);
+  static_assert(!std::is_same_v<InstanceId, TupleId>);
+}
+
+TEST(StrongId, Streaming) {
+  std::ostringstream os;
+  os << DeviceId{42};
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<DeviceId> set;
+  set.insert(DeviceId{1});
+  set.insert(DeviceId{2});
+  set.insert(DeviceId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(DeviceId{2}));
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace swing {
+namespace {
+
+TEST(Logging, LevelGatesOutput) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST(Logging, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().set_level(LogLevel::kWarn);  // Restore default.
+}
+
+TEST(Logging, MacroSkipsEvaluationWhenDisabled) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  SWING_LOG(kDebug) << "never built " << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Logging, WarnGoesToStderr) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  std::ostringstream captured;
+  auto* old = std::cerr.rdbuf(captured.rdbuf());
+  SWING_LOG(kWarn) << "alpha " << 7;
+  std::cerr.rdbuf(old);
+  EXPECT_NE(captured.str().find("WARN"), std::string::npos);
+  EXPECT_NE(captured.str().find("alpha 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,159 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swing {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedSensitivity) {
+  SplitMix64 a{1}, b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng{5};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Each bucket should get roughly 1000 draws.
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng{17};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{19};
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng rng{23};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_mean_cv(100.0, 0.1);
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, LognormalZeroCvIsExact) {
+  Rng rng{29};
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(42.0, 0.0), 42.0);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal_mean_cv(1.0, 2.0), 0.0);
+  }
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng{37};
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_NEAR(double(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(double(counts[1]) / n, 0.3, 0.015);
+  EXPECT_NEAR(double(counts[2]) / n, 0.6, 0.015);
+}
+
+TEST(Rng, WeightedPickSingleElement) {
+  Rng rng{41};
+  const std::vector<double> weights = {5.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_pick(weights), 0u);
+}
+
+TEST(Rng, WeightedPickZeroWeightNeverChosen) {
+  Rng rng{43};
+  const std::vector<double> weights = {0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(rng.weighted_pick(weights), 1u);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent{47};
+  Rng child = parent.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() != child.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{53}, b{53};
+  Rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(Rng, UsableWithStdDistributions) {
+  // Rng satisfies UniformRandomBitGenerator.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng{59};
+  EXPECT_GE(rng(), Rng::min());
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,190 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swing {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffset) {
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(OnlineStats, Reset) {
+  OnlineStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleStats, ExactQuantiles) {
+  SampleStats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+}
+
+TEST(SampleStats, InterpolatedQuantile) {
+  SampleStats s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 9.0);
+}
+
+TEST(SampleStats, EmptyQuantileIsZero) {
+  SampleStats s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(SampleStats, UnsortedInsertOrder) {
+  SampleStats s;
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(SampleStats, AddAfterQuantileQuery) {
+  SampleStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);  // Re-sorts lazily.
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Ewma, FirstSampleSetsValue) {
+  Ewma e{0.5};
+  EXPECT_FALSE(e.initialized());
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e{0.25};
+  e.add(0.0);
+  for (int i = 0; i < 100; ++i) e.add(50.0);
+  EXPECT_NEAR(e.value(), 50.0, 1e-6);
+}
+
+TEST(Ewma, StepResponse) {
+  Ewma e{0.5};
+  e.add(0.0);
+  e.add(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+  e.add(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 75.0);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e{1.0};
+  e.add(3.0);
+  e.add(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+TEST(Ewma, SetOverrides) {
+  Ewma e{0.25};
+  e.set(42.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, Reset) {
+  Ewma e{0.25};
+  e.add(1.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+}
+
+TEST(RateMeter, EmptyRateIsZero) {
+  RateMeter m{seconds(1.0)};
+  EXPECT_DOUBLE_EQ(m.rate(SimTime{} + seconds(5)), 0.0);
+}
+
+TEST(RateMeter, CountsEventsInWindow) {
+  RateMeter m{seconds(1.0)};
+  SimTime t;
+  for (int i = 0; i < 10; ++i) {
+    t += millis(50);
+    m.record(t);
+  }
+  // All 10 events within the last second.
+  EXPECT_DOUBLE_EQ(m.rate(t), 10.0);
+}
+
+TEST(RateMeter, EvictsOldEvents) {
+  RateMeter m{seconds(1.0)};
+  m.record(SimTime{} + millis(100));
+  m.record(SimTime{} + millis(200));
+  EXPECT_DOUBLE_EQ(m.rate(SimTime{} + millis(300)), 2.0);
+  EXPECT_DOUBLE_EQ(m.rate(SimTime{} + seconds(2)), 0.0);
+}
+
+TEST(RateMeter, SteadyRateMeasuredCorrectly) {
+  RateMeter m{seconds(1.0)};
+  SimTime t;
+  // 24 events/s for 3 seconds.
+  for (int i = 0; i < 72; ++i) {
+    t += millis(1000.0 / 24.0);
+    m.record(t);
+  }
+  EXPECT_NEAR(m.rate(t), 24.0, 1.5);
+}
+
+TEST(RateMeter, WindowScaling) {
+  RateMeter m{seconds(2.0)};
+  SimTime t;
+  for (int i = 0; i < 10; ++i) {
+    t += millis(100);
+    m.record(t);
+  }
+  // 10 events in a 2 s window = 5/s.
+  EXPECT_DOUBLE_EQ(m.rate(t), 5.0);
+}
+
+TEST(RateMeter, Reset) {
+  RateMeter m{seconds(1.0)};
+  m.record(SimTime{} + millis(1));
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.rate(SimTime{} + millis(2)), 0.0);
+}
+
+}  // namespace
+}  // namespace swing

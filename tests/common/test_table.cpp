@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace swing {
+namespace {
+
+TEST(TextTable, HeaderOnly) {
+  TextTable t({"a", "b"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+}
+
+TEST(TextTable, RowFormatting) {
+  TextTable t({"name", "value"});
+  t.row("x", 42);
+  t.row("y", 3.14159);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);  // 2-decimal default.
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"k", "v"});
+  t.row("long-name-here", 1);
+  t.row("s", 2);
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines{os.str()};
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+TEST(TextTable, Csv) {
+  TextTable t({"a", "b"});
+  t.row(1, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,77 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace swing {
+namespace {
+
+TEST(SimDuration, Constructors) {
+  EXPECT_EQ(nanos(5).nanos(), 5);
+  EXPECT_EQ(micros(2.0).nanos(), 2000);
+  EXPECT_EQ(millis(3.0).nanos(), 3'000'000);
+  EXPECT_EQ(seconds(1.5).nanos(), 1'500'000'000);
+}
+
+TEST(SimDuration, Conversions) {
+  const SimDuration d = millis(1.5);
+  EXPECT_DOUBLE_EQ(d.millis(), 1.5);
+  EXPECT_DOUBLE_EQ(d.micros(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.seconds(), 0.0015);
+}
+
+TEST(SimDuration, Arithmetic) {
+  EXPECT_EQ(millis(2) + millis(3), millis(5));
+  EXPECT_EQ(millis(5) - millis(3), millis(2));
+  EXPECT_EQ(millis(2) * 2.5, millis(5));
+  EXPECT_EQ(2.5 * millis(2), millis(5));
+  EXPECT_DOUBLE_EQ(millis(6) / millis(3), 2.0);
+}
+
+TEST(SimDuration, CompoundAssignment) {
+  SimDuration d = millis(1);
+  d += millis(2);
+  EXPECT_EQ(d, millis(3));
+  d -= millis(1);
+  EXPECT_EQ(d, millis(2));
+}
+
+TEST(SimDuration, NegativeRepresentable) {
+  const SimDuration d = millis(1) - millis(3);
+  EXPECT_EQ(d, millis(-2));
+  EXPECT_LT(d, SimDuration{});
+}
+
+TEST(SimDuration, Comparison) {
+  EXPECT_LT(millis(1), millis(2));
+  EXPECT_GE(seconds(1), millis(1000));
+}
+
+TEST(SimTime, StartsAtZero) {
+  EXPECT_EQ(SimTime{}.nanos(), 0);
+}
+
+TEST(SimTime, PlusDuration) {
+  const SimTime t = SimTime{} + seconds(2);
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((t + millis(500)).seconds(), 2.5);
+}
+
+TEST(SimTime, Difference) {
+  const SimTime a = SimTime{} + seconds(5);
+  const SimTime b = SimTime{} + seconds(2);
+  EXPECT_EQ(a - b, seconds(3));
+  EXPECT_EQ(b - a, seconds(-3));
+}
+
+TEST(SimTime, CompoundAdd) {
+  SimTime t;
+  t += millis(250);
+  EXPECT_DOUBLE_EQ(t.millis(), 250.0);
+}
+
+TEST(SimTime, MaxIsLarge) {
+  EXPECT_GT(SimTime::max(), SimTime{} + seconds(1e9));
+}
+
+}  // namespace
+}  // namespace swing

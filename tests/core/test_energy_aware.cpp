@@ -1,0 +1,113 @@
+// The ELRS extension policy: latency-based selection + battery-aware
+// weighting and a battery floor.
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace swing::core {
+namespace {
+
+DownstreamInfo info(std::uint64_t id, double latency_ms, double battery) {
+  return DownstreamInfo{InstanceId{id}, latency_ms, latency_ms * 0.6,
+                        battery};
+}
+
+TEST(Elrs, NameRoundTrip) {
+  EXPECT_EQ(policy_name(PolicyKind::kELRS), "ELRS");
+  EXPECT_EQ(policy_from_name("elrs"), PolicyKind::kELRS);
+}
+
+TEST(Elrs, NotInPaperPolicySweep) {
+  for (PolicyKind kind : kAllPolicies) {
+    EXPECT_NE(kind, PolicyKind::kELRS);
+  }
+}
+
+TEST(Elrs, Traits) {
+  EXPECT_TRUE(policy_uses_selection(PolicyKind::kELRS));
+  EXPECT_TRUE(policy_uses_latency(PolicyKind::kELRS));
+  EXPECT_TRUE(policy_uses_battery(PolicyKind::kELRS));
+  EXPECT_FALSE(policy_uses_battery(PolicyKind::kLRS));
+}
+
+TEST(Elrs, FullBatteriesDegenerateToLrs) {
+  const auto elrs = RoutingPolicy::make(PolicyKind::kELRS);
+  const auto lrs = RoutingPolicy::make(PolicyKind::kLRS);
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 1.0), info(2, 130.0, 1.0), info(3, 90.0, 1.0)};
+  const auto de = elrs->decide(downs, 24.0);
+  const auto dl = lrs->decide(downs, 24.0);
+  ASSERT_EQ(de.selected, dl.selected);
+  for (std::size_t i = 0; i < de.weights.size(); ++i) {
+    EXPECT_NEAR(de.weights[i], dl.weights[i], 1e-9);
+  }
+}
+
+TEST(Elrs, WeightsScaleWithBattery) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kELRS);
+  // Same latency, batteries 1.0 vs 0.25: weights must be 4:1.
+  const std::vector<DownstreamInfo> downs = {info(1, 100.0, 1.0),
+                                             info(2, 100.0, 0.25)};
+  const auto d = policy->decide(downs, 100.0);  // Rate forces both in.
+  ASSERT_EQ(d.selected.size(), 2u);
+  const std::size_t i1 = d.selected[0] == InstanceId{1} ? 0 : 1;
+  EXPECT_NEAR(d.weights[i1], 0.8, 1e-9);
+  EXPECT_NEAR(d.weights[1 - i1], 0.2, 1e-9);
+}
+
+TEST(Elrs, BatteryExponentTunesAggressiveness) {
+  PolicyOptions options;
+  options.battery_exponent = 2.0;
+  const auto policy = RoutingPolicy::make(PolicyKind::kELRS, options);
+  const std::vector<DownstreamInfo> downs = {info(1, 100.0, 1.0),
+                                             info(2, 100.0, 0.5)};
+  const auto d = policy->decide(downs, 100.0);
+  const std::size_t i1 = d.selected[0] == InstanceId{1} ? 0 : 1;
+  // 1 : 0.25 ratio.
+  EXPECT_NEAR(d.weights[i1] / d.weights[1 - i1], 4.0, 1e-6);
+}
+
+TEST(Elrs, ZeroExponentDisablesBatteryTerm) {
+  PolicyOptions options;
+  options.battery_exponent = 0.0;
+  options.min_battery = 0.0;  // Disable the floor too.
+  const auto policy = RoutingPolicy::make(PolicyKind::kELRS, options);
+  const std::vector<DownstreamInfo> downs = {info(1, 100.0, 1.0),
+                                             info(2, 100.0, 0.01)};
+  const auto d = policy->decide(downs, 100.0);
+  ASSERT_EQ(d.weights.size(), 2u);
+  EXPECT_NEAR(d.weights[0], d.weights[1], 1e-9);
+}
+
+TEST(Elrs, NearlyEmptyDeviceSpared) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kELRS);
+  // Fastest device is below the 5% battery floor: it must not be selected
+  // while healthy peers can cover the rate.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 50.0, 0.02), info(2, 90.0, 0.9), info(3, 100.0, 0.8)};
+  const auto d = policy->decide(downs, 20.0);
+  for (InstanceId id : d.selected) {
+    EXPECT_NE(id, InstanceId{1});
+  }
+}
+
+TEST(Elrs, AllEmptyFallsBackToEveryone) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kELRS);
+  const std::vector<DownstreamInfo> downs = {info(1, 50.0, 0.01),
+                                             info(2, 90.0, 0.02)};
+  const auto d = policy->decide(downs, 100.0);
+  // Better a dying device than no service at all.
+  EXPECT_EQ(d.selected.size(), 2u);
+}
+
+TEST(Elrs, LrsIgnoresBattery) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kLRS);
+  const std::vector<DownstreamInfo> downs = {info(1, 50.0, 0.01),
+                                             info(2, 90.0, 1.0)};
+  const auto d = policy->decide(downs, 15.0);
+  ASSERT_FALSE(d.selected.empty());
+  EXPECT_EQ(d.selected[0], InstanceId{1});  // Fastest wins, battery be damned.
+}
+
+}  // namespace
+}  // namespace swing::core

@@ -1,0 +1,112 @@
+#include "core/latency_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::core {
+namespace {
+
+TEST(Estimator, UnknownDownstreamGetsDefaults) {
+  EstimatorConfig config;
+  config.default_latency_ms = 40.0;
+  config.default_processing_ms = 30.0;
+  LatencyEstimator est{config};
+  const auto info = est.estimate(InstanceId{1});
+  EXPECT_DOUBLE_EQ(info.latency_ms, 40.0);
+  EXPECT_DOUBLE_EQ(info.processing_ms, 30.0);
+  EXPECT_FALSE(est.measured(InstanceId{1}));
+}
+
+TEST(Estimator, AddAndRemove) {
+  LatencyEstimator est;
+  est.add_downstream(InstanceId{1});
+  EXPECT_TRUE(est.tracks(InstanceId{1}));
+  EXPECT_EQ(est.downstream_count(), 1u);
+  est.remove_downstream(InstanceId{1});
+  EXPECT_FALSE(est.tracks(InstanceId{1}));
+}
+
+TEST(Estimator, AddIsIdempotent) {
+  LatencyEstimator est;
+  est.add_downstream(InstanceId{1});
+  est.record_ack(InstanceId{1}, 100.0, 50.0, SimTime{});
+  est.add_downstream(InstanceId{1});  // Must not reset the estimate.
+  EXPECT_TRUE(est.measured(InstanceId{1}));
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).latency_ms, 100.0);
+}
+
+TEST(Estimator, FirstAckSetsEstimate) {
+  LatencyEstimator est;
+  est.record_ack(InstanceId{1}, 123.0, 45.0, SimTime{});
+  EXPECT_TRUE(est.measured(InstanceId{1}));
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).latency_ms, 123.0);
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).processing_ms, 45.0);
+}
+
+TEST(Estimator, MovingAverageSmoothes) {
+  EstimatorConfig config;
+  config.ewma_alpha = 0.5;
+  LatencyEstimator est{config};
+  est.record_ack(InstanceId{1}, 100.0, 0.0, SimTime{});
+  est.record_ack(InstanceId{1}, 200.0, 0.0, SimTime{});
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).latency_ms, 150.0);
+}
+
+TEST(Estimator, ConvergesToSteadyValue) {
+  LatencyEstimator est;
+  for (int i = 0; i < 100; ++i) {
+    est.record_ack(InstanceId{1}, 80.0, 40.0, SimTime{});
+  }
+  EXPECT_NEAR(est.estimate(InstanceId{1}).latency_ms, 80.0, 1e-6);
+}
+
+TEST(Estimator, TracksMultipleDownstreamsIndependently) {
+  LatencyEstimator est;
+  est.record_ack(InstanceId{1}, 50.0, 25.0, SimTime{});
+  est.record_ack(InstanceId{2}, 500.0, 250.0, SimTime{});
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).latency_ms, 50.0);
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{2}).latency_ms, 500.0);
+}
+
+TEST(Estimator, EstimatesSortedById) {
+  LatencyEstimator est;
+  est.add_downstream(InstanceId{5});
+  est.add_downstream(InstanceId{1});
+  est.add_downstream(InstanceId{3});
+  const auto all = est.estimates();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, InstanceId{1});
+  EXPECT_EQ(all[1].id, InstanceId{3});
+  EXPECT_EQ(all[2].id, InstanceId{5});
+}
+
+TEST(Estimator, LastAckTimeTracked) {
+  LatencyEstimator est;
+  EXPECT_EQ(est.last_ack(InstanceId{1}), SimTime{});
+  est.record_ack(InstanceId{1}, 10.0, 5.0, SimTime{} + seconds(3));
+  EXPECT_EQ(est.last_ack(InstanceId{1}), SimTime{} + seconds(3));
+}
+
+TEST(Estimator, RemoveClearsHistory) {
+  LatencyEstimator est;
+  est.record_ack(InstanceId{1}, 999.0, 1.0, SimTime{});
+  est.remove_downstream(InstanceId{1});
+  EXPECT_FALSE(est.measured(InstanceId{1}));
+  EXPECT_DOUBLE_EQ(est.estimate(InstanceId{1}).latency_ms,
+                   EstimatorConfig{}.default_latency_ms);
+}
+
+TEST(Estimator, ReactsToRegimeChange) {
+  // A device whose latency jumps (user walked away) must be re-estimated
+  // within a handful of ACKs.
+  LatencyEstimator est;  // alpha = 0.3.
+  for (int i = 0; i < 50; ++i) {
+    est.record_ack(InstanceId{1}, 80.0, 40.0, SimTime{});
+  }
+  for (int i = 0; i < 10; ++i) {
+    est.record_ack(InstanceId{1}, 2000.0, 40.0, SimTime{});
+  }
+  EXPECT_GT(est.estimate(InstanceId{1}).latency_ms, 1800.0);
+}
+
+}  // namespace
+}  // namespace swing::core

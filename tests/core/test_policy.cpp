@@ -1,0 +1,238 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace swing::core {
+namespace {
+
+DownstreamInfo info(std::uint64_t id, double latency_ms,
+                    double processing_ms) {
+  return DownstreamInfo{InstanceId{id}, latency_ms, processing_ms};
+}
+
+TEST(PolicyNames, RoundTrip) {
+  for (PolicyKind kind : kAllPolicies) {
+    EXPECT_EQ(policy_from_name(policy_name(kind)), kind);
+  }
+}
+
+TEST(PolicyNames, CaseInsensitive) {
+  EXPECT_EQ(policy_from_name("lrs"), PolicyKind::kLRS);
+  EXPECT_EQ(policy_from_name("rr"), PolicyKind::kRR);
+}
+
+TEST(PolicyNames, UnknownThrows) {
+  EXPECT_THROW(policy_from_name("xyz"), std::invalid_argument);
+}
+
+TEST(PolicyTraits, SelectionAndLatencyFlags) {
+  EXPECT_FALSE(policy_uses_selection(PolicyKind::kRR));
+  EXPECT_FALSE(policy_uses_selection(PolicyKind::kPR));
+  EXPECT_FALSE(policy_uses_selection(PolicyKind::kLR));
+  EXPECT_TRUE(policy_uses_selection(PolicyKind::kPRS));
+  EXPECT_TRUE(policy_uses_selection(PolicyKind::kLRS));
+  EXPECT_TRUE(policy_uses_latency(PolicyKind::kLR));
+  EXPECT_TRUE(policy_uses_latency(PolicyKind::kLRS));
+  EXPECT_FALSE(policy_uses_latency(PolicyKind::kPR));
+  EXPECT_FALSE(policy_uses_latency(PolicyKind::kPRS));
+}
+
+// --- Worker Selection (paper §V-A) ----------------------------------------
+
+TEST(WorkerSelection, PicksMinimumPrefix) {
+  // mu = 1000/L: 20/s, 10/s, 5/s. Target 25/s needs the first two.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 50.0, 50.0), info(2, 100.0, 100.0), info(3, 200.0, 200.0)};
+  const auto selected = select_workers(downs, 25.0, /*by_latency=*/true);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].id, InstanceId{1});
+  EXPECT_EQ(selected[1].id, InstanceId{2});
+}
+
+TEST(WorkerSelection, SingleFastWorkerSuffices) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 10.0, 10.0), info(2, 100.0, 100.0)};
+  const auto selected = select_workers(downs, 50.0, true);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].id, InstanceId{1});
+}
+
+TEST(WorkerSelection, InfeasibleSelectsAll) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 100.0, 100.0), info(2, 100.0, 100.0)};
+  // Sum rate = 20/s < 1000/s target: use everything (paper rule).
+  const auto selected = select_workers(downs, 1000.0, true);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(WorkerSelection, SortsByDelayAscending) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 300.0, 1.0), info(2, 100.0, 1.0), info(3, 200.0, 1.0)};
+  const auto selected = select_workers(downs, 1e9, true);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].id, InstanceId{2});
+  EXPECT_EQ(selected[1].id, InstanceId{3});
+  EXPECT_EQ(selected[2].id, InstanceId{1});
+}
+
+TEST(WorkerSelection, ByProcessingUsesProcessingDelay) {
+  // Latency ordering and processing ordering disagree.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 50.0, 200.0), info(2, 500.0, 40.0)};
+  const auto by_latency = select_workers(downs, 1.0, true);
+  const auto by_processing = select_workers(downs, 1.0, false);
+  EXPECT_EQ(by_latency[0].id, InstanceId{1});
+  EXPECT_EQ(by_processing[0].id, InstanceId{2});
+}
+
+TEST(WorkerSelection, ZeroRateSelectsOne) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 50.0, 50.0), info(2, 60.0, 60.0)};
+  const auto selected = select_workers(downs, 0.0, true);
+  EXPECT_EQ(selected.size(), 1u);
+}
+
+TEST(WorkerSelection, HeadroomScalesTarget) {
+  // mu = 20/s each. Target 30 needs 2; with headroom 2.0 it needs 3.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 50.0, 1.0), info(2, 50.0, 1.0), info(3, 50.0, 1.0)};
+  EXPECT_EQ(select_workers(downs, 30.0, true, 1.0).size(), 2u);
+  EXPECT_EQ(select_workers(downs, 30.0, true, 2.0).size(), 3u);
+}
+
+TEST(WorkerSelection, EmptyInput) {
+  EXPECT_TRUE(select_workers({}, 10.0, true).empty());
+}
+
+// --- Weights (paper §V-A Data Routing) -------------------------------------
+
+TEST(Weights, ProportionalToInverseLatency) {
+  const std::vector<DownstreamInfo> downs = {info(1, 100.0, 1.0),
+                                             info(2, 200.0, 1.0)};
+  const auto w = inverse_delay_weights(downs, true);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(w[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Weights, SumToOne) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 1.0), info(2, 130.0, 1.0), info(3, 460.0, 1.0),
+      info(4, 90.0, 1.0)};
+  const auto w = inverse_delay_weights(downs, true);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Weights, ZeroDelayGuarded) {
+  const std::vector<DownstreamInfo> downs = {info(1, 0.0, 0.0),
+                                             info(2, 100.0, 100.0)};
+  const auto w = inverse_delay_weights(downs, true);
+  EXPECT_GT(w[0], 0.99);  // Treated as extremely fast, not a div-by-zero.
+}
+
+// --- Full policies, parameterized -------------------------------------------
+
+class PolicyTest : public ::testing::TestWithParam<PolicyKind> {
+ protected:
+  std::unique_ptr<RoutingPolicy> policy_ =
+      RoutingPolicy::make(GetParam());
+};
+
+TEST_P(PolicyTest, EmptyDownstreamsGivesEmptyDecision) {
+  const auto d = policy_->decide({}, 24.0);
+  EXPECT_TRUE(d.selected.empty());
+}
+
+TEST_P(PolicyTest, WeightsAlignWithSelection) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 46.0), info(2, 130.0, 93.0), info(3, 460.0, 302.0)};
+  const auto d = policy_->decide(downs, 24.0);
+  EXPECT_EQ(d.selected.size(), d.weights.size());
+  EXPECT_FALSE(d.selected.empty());
+}
+
+TEST_P(PolicyTest, WeightsNormalised) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 46.0), info(2, 130.0, 93.0), info(3, 460.0, 302.0),
+      info(4, 80.0, 55.0)};
+  const auto d = policy_->decide(downs, 24.0);
+  EXPECT_NEAR(std::accumulate(d.weights.begin(), d.weights.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST_P(PolicyTest, SelectionSubsetOfDownstreams) {
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 46.0), info(2, 130.0, 93.0), info(3, 460.0, 302.0)};
+  const auto d = policy_->decide(downs, 24.0);
+  for (InstanceId id : d.selected) {
+    EXPECT_TRUE(id == InstanceId{1} || id == InstanceId{2} ||
+                id == InstanceId{3});
+  }
+}
+
+TEST_P(PolicyTest, KindReported) {
+  EXPECT_EQ(policy_->kind(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& i) { return policy_name(i.param); });
+
+TEST(RRPolicy, SelectsAllEqually) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kRR);
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 10.0, 10.0), info(2, 1000.0, 1000.0)};
+  const auto d = policy->decide(downs, 24.0);
+  EXPECT_TRUE(d.round_robin);
+  EXPECT_EQ(d.selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.weights[0], d.weights[1]);
+}
+
+TEST(LRSPolicy, SelectsSubsetAndWeightsByLatency) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kLRS);
+  // Two fast units satisfy 24/s; the slow ones must be excluded.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 46.0), info(2, 80.0, 50.0), info(3, 2000.0, 300.0),
+      info(4, 5000.0, 460.0)};
+  const auto d = policy->decide(downs, 24.0);
+  ASSERT_EQ(d.selected.size(), 2u);
+  EXPECT_FALSE(d.round_robin);
+  EXPECT_EQ(d.selected[0], InstanceId{1});
+  EXPECT_GT(d.weights[0], d.weights[1]);
+}
+
+TEST(LRPolicy, UsesAllDownstreams) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kLR);
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 70.0, 46.0), info(2, 80.0, 50.0), info(3, 2000.0, 300.0)};
+  const auto d = policy->decide(downs, 24.0);
+  EXPECT_EQ(d.selected.size(), 3u);
+}
+
+TEST(PRSPolicy, BlindToNetworkLatency) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kPRS);
+  // Unit 1: terrible latency (weak signal) but fast processor. PRS must
+  // still pick it first — that is its paper-documented failure mode.
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 3000.0, 40.0), info(2, 90.0, 80.0), info(3, 100.0, 90.0)};
+  const auto d = policy->decide(downs, 24.0);
+  ASSERT_FALSE(d.selected.empty());
+  EXPECT_EQ(d.selected[0], InstanceId{1});
+}
+
+TEST(PRPolicy, WeightsByProcessingOnly) {
+  const auto policy = RoutingPolicy::make(PolicyKind::kPR);
+  const std::vector<DownstreamInfo> downs = {
+      info(1, 5000.0, 50.0), info(2, 50.0, 100.0)};
+  const auto d = policy->decide(downs, 24.0);
+  ASSERT_EQ(d.selected.size(), 2u);
+  // Unit 1 has half the processing delay, so twice the weight — despite
+  // its 100x worse latency.
+  const std::size_t i1 = d.selected[0] == InstanceId{1} ? 0 : 1;
+  EXPECT_NEAR(d.weights[i1], 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace swing::core

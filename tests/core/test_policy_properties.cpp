@@ -1,0 +1,122 @@
+// Property tests over random inputs: invariants every routing policy must
+// satisfy for ANY downstream set and rate, plus LRS-specific minimality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/policy.h"
+
+namespace swing::core {
+namespace {
+
+std::vector<DownstreamInfo> random_downstreams(Rng& rng, std::size_t n) {
+  std::vector<DownstreamInfo> downs;
+  downs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DownstreamInfo d;
+    d.id = InstanceId{i + 1};
+    d.latency_ms = rng.uniform(1.0, 5000.0);
+    d.processing_ms = rng.uniform(1.0, d.latency_ms);
+    d.battery = rng.uniform();
+    downs.push_back(d);
+  }
+  return downs;
+}
+
+class PolicyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyPropertyTest, InvariantsForAllPoliciesAndInputs) {
+  Rng rng{GetParam()};
+  static constexpr PolicyKind kEvery[] = {
+      PolicyKind::kRR,  PolicyKind::kPR,  PolicyKind::kLR,
+      PolicyKind::kPRS, PolicyKind::kLRS, PolicyKind::kELRS};
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 1 + rng.uniform_int(12);
+    const auto downs = random_downstreams(rng, n);
+    const double rate = rng.uniform(0.0, 100.0);
+
+    for (PolicyKind kind : kEvery) {
+      const auto policy = RoutingPolicy::make(kind);
+      const auto d = policy->decide(downs, rate);
+
+      // Non-empty selection whenever downstreams exist.
+      ASSERT_FALSE(d.selected.empty())
+          << policy_name(kind) << " n=" << n << " rate=" << rate;
+      // Weights aligned and normalised.
+      ASSERT_EQ(d.weights.size(), d.selected.size());
+      const double total =
+          std::accumulate(d.weights.begin(), d.weights.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-6) << policy_name(kind);
+      for (double w : d.weights) {
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0 + 1e-9);
+      }
+      // Selected ids are distinct members of the input.
+      std::vector<InstanceId> sorted = d.selected;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_TRUE(
+          std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+      for (InstanceId id : d.selected) {
+        EXPECT_TRUE(std::any_of(
+            downs.begin(), downs.end(),
+            [&](const DownstreamInfo& x) { return x.id == id; }));
+      }
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, LrsSelectionIsMinimalPrefix) {
+  Rng rng{GetParam() * 131 + 7};
+  const auto policy = RoutingPolicy::make(PolicyKind::kLRS);
+
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.uniform_int(10);
+    const auto downs = random_downstreams(rng, n);
+    const double rate = rng.uniform(0.1, 60.0);
+    const auto d = policy->decide(downs, rate);
+
+    // Sum of selected service rates.
+    auto mu = [&](InstanceId id) {
+      for (const auto& x : downs) {
+        if (x.id == id) return 1000.0 / std::max(x.latency_ms, 1e-3);
+      }
+      return 0.0;
+    };
+    double sum = 0.0;
+    for (InstanceId id : d.selected) sum += mu(id);
+
+    if (d.selected.size() < downs.size()) {
+      // Feasible: the sum meets the rate, and dropping the slowest
+      // selected member must break it (minimality).
+      EXPECT_GE(sum, rate - 1e-9);
+      double slowest = 1e18;
+      for (InstanceId id : d.selected) slowest = std::min(slowest, mu(id));
+      EXPECT_LT(sum - slowest, rate);
+    } else {
+      // All selected: either exactly enough or infeasible.
+      SUCCEED();
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, SelectionMonotoneInRate) {
+  // A higher target rate never selects fewer workers.
+  Rng rng{GetParam() * 733 + 3};
+  const auto policy = RoutingPolicy::make(PolicyKind::kLRS);
+  for (int round = 0; round < 20; ++round) {
+    const auto downs = random_downstreams(rng, 2 + rng.uniform_int(10));
+    const double r1 = rng.uniform(0.1, 40.0);
+    const double r2 = r1 + rng.uniform(0.1, 40.0);
+    EXPECT_LE(policy->decide(downs, r1).selected.size(),
+              policy->decide(downs, r2).selected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace swing::core

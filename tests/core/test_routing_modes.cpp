@@ -1,0 +1,149 @@
+// Tests for the routing-mode ablation (probabilistic vs deterministic
+// smooth weighted round-robin), selection headroom, and the
+// programmer-declared target rate (paper §IV-A).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/swarm_manager.h"
+
+namespace swing::core {
+namespace {
+
+SwarmManagerConfig base_config(PolicyKind policy) {
+  SwarmManagerConfig config;
+  config.policy = policy;
+  config.probe_every_ticks = 0;
+  config.probe_unmeasured_every = 0;
+  return config;
+}
+
+void seed(SwarmManager& m, std::map<std::uint64_t, double> latencies) {
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& [id, latency] : latencies) {
+      m.record_ack(InstanceId{id}, latency, latency * 0.6, SimTime{});
+    }
+  }
+}
+
+TEST(DeterministicRouting, SplitMatchesWeightsExactly) {
+  SwarmManagerConfig config = base_config(PolicyKind::kLR);
+  config.routing_mode = RoutingMode::kDeterministic;
+  SwarmManager m{config, Rng{1}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed(m, {{1, 50.0}, {2, 100.0}});  // Weights 2:1.
+  m.tick(SimTime{} + seconds(1));
+
+  std::map<std::uint64_t, int> counts;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[m.route(SimTime{} + seconds(1))->id.value()];
+  }
+  // Zero-variance split: exact to within one tuple.
+  EXPECT_NEAR(counts[1], 2000, 1);
+  EXPECT_NEAR(counts[2], 1000, 1);
+}
+
+TEST(DeterministicRouting, LowerShortWindowVarianceThanProbabilistic) {
+  auto max_window_dev = [](RoutingMode mode) {
+    SwarmManagerConfig config = base_config(PolicyKind::kLR);
+    config.routing_mode = mode;
+    SwarmManager m{config, Rng{2}};
+    m.add_downstream(InstanceId{1});
+    m.add_downstream(InstanceId{2});
+    seed(m, {{1, 50.0}, {2, 50.0}});  // Equal weights.
+    m.tick(SimTime{} + seconds(1));
+    // Largest deviation from the expected 12 per 24-tuple window.
+    double worst = 0.0;
+    for (int w = 0; w < 50; ++w) {
+      int to_first = 0;
+      for (int i = 0; i < 24; ++i) {
+        if (m.route(SimTime{} + seconds(1))->id == InstanceId{1}) ++to_first;
+      }
+      worst = std::max(worst, std::abs(to_first - 12.0));
+    }
+    return worst;
+  };
+  EXPECT_LT(max_window_dev(RoutingMode::kDeterministic), 2.0);
+  EXPECT_GT(max_window_dev(RoutingMode::kProbabilistic), 2.0);
+}
+
+TEST(DeterministicRouting, ThreeWayWeightsConverge) {
+  SwarmManagerConfig config = base_config(PolicyKind::kLR);
+  config.routing_mode = RoutingMode::kDeterministic;
+  SwarmManager m{config, Rng{3}};
+  for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+  seed(m, {{1, 50.0}, {2, 100.0}, {3, 200.0}});  // 4:2:1.
+  m.tick(SimTime{} + seconds(1));
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 7000; ++i) {
+    ++counts[m.route(SimTime{} + seconds(1))->id.value()];
+  }
+  EXPECT_NEAR(counts[1], 4000, 5);
+  EXPECT_NEAR(counts[2], 2000, 5);
+  EXPECT_NEAR(counts[3], 1000, 5);
+}
+
+TEST(DeterministicRouting, CreditsResetOnDecisionChange) {
+  SwarmManagerConfig config = base_config(PolicyKind::kLR);
+  config.routing_mode = RoutingMode::kDeterministic;
+  SwarmManager m{config, Rng{4}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed(m, {{1, 50.0}, {2, 50.0}});
+  m.tick(SimTime{} + seconds(1));
+  for (int i = 0; i < 11; ++i) m.route(SimTime{} + seconds(1));
+  // Membership change mid-stream: no stale credit may be charged.
+  m.add_downstream(InstanceId{3});
+  seed(m, {{3, 50.0}});
+  m.tick(SimTime{} + seconds(2));
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 300; ++i) {
+    ++counts[m.route(SimTime{} + seconds(2))->id.value()];
+  }
+  EXPECT_NEAR(counts[1], 100, 2);
+  EXPECT_NEAR(counts[2], 100, 2);
+  EXPECT_NEAR(counts[3], 100, 2);
+}
+
+TEST(SelectionHeadroom, AddsSlackWorkers) {
+  // Three equal workers, mu = 10/s each, input 12/s: headroom 1 keeps 2,
+  // headroom 1.8 keeps 3.
+  auto selected_count = [](double headroom) {
+    SwarmManagerConfig config = base_config(PolicyKind::kLRS);
+    config.policy_options.selection_headroom = headroom;
+    config.target_rate_override = 12.0;
+    SwarmManager m{config, Rng{5}};
+    for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+    seed(m, {{1, 100.0}, {2, 100.0}, {3, 100.0}});
+    m.tick(SimTime{} + seconds(1));
+    return m.decision().selected.size();
+  };
+  EXPECT_EQ(selected_count(1.0), 2u);
+  EXPECT_EQ(selected_count(1.8), 3u);
+}
+
+TEST(TargetRateOverride, UsedInsteadOfMeasuredRate) {
+  SwarmManagerConfig config = base_config(PolicyKind::kLRS);
+  config.target_rate_override = 24.0;
+  SwarmManager m{config, Rng{6}};
+  for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+  seed(m, {{1, 100.0}, {2, 100.0}, {3, 100.0}});  // mu = 10/s each.
+  // No tuples measured at all; the declared 24/s still demands 3 workers.
+  m.tick(SimTime{} + seconds(1));
+  EXPECT_EQ(m.decision().selected.size(), 3u);
+}
+
+TEST(TargetRateOverride, ZeroMeansMeasured) {
+  SwarmManagerConfig config = base_config(PolicyKind::kLRS);
+  config.target_rate_override = 0.0;
+  SwarmManager m{config, Rng{7}};
+  for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+  seed(m, {{1, 100.0}, {2, 100.0}, {3, 100.0}});
+  m.tick(SimTime{} + seconds(1));  // Measured rate ~0: one worker enough.
+  EXPECT_EQ(m.decision().selected.size(), 1u);
+}
+
+}  // namespace
+}  // namespace swing::core

@@ -1,0 +1,256 @@
+#include "core/swarm_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace swing::core {
+namespace {
+
+SwarmManagerConfig config_for(PolicyKind policy) {
+  SwarmManagerConfig config;
+  config.policy = policy;
+  return config;
+}
+
+// Feeds steady ACKs so the manager has measured estimates.
+void seed_acks(SwarmManager& m, std::map<std::uint64_t, double> latencies,
+               SimTime now = SimTime{}) {
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& [id, latency] : latencies) {
+      m.record_ack(InstanceId{id}, latency, latency * 0.6, now);
+    }
+  }
+}
+
+TEST(SwarmManager, NoDownstreamsRoutesNowhere) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{1}};
+  EXPECT_FALSE(m.route(SimTime{}).has_value());
+  EXPECT_FALSE(m.has_downstreams());
+}
+
+TEST(SwarmManager, MembershipAddRemove) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{1}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  m.add_downstream(InstanceId{1});  // Duplicate ignored.
+  EXPECT_EQ(m.downstreams().size(), 2u);
+  m.remove_downstream(InstanceId{1});
+  EXPECT_EQ(m.downstreams().size(), 1u);
+  m.remove_downstream(InstanceId{99});  // Unknown: no-op.
+  EXPECT_EQ(m.downstreams().size(), 1u);
+}
+
+TEST(SwarmManager, SetDownstreamsReplaces) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{1}};
+  m.add_downstream(InstanceId{1});
+  m.set_downstreams({InstanceId{2}, InstanceId{3}});
+  EXPECT_EQ(m.downstreams().size(), 2u);
+  EXPECT_FALSE(m.estimator().tracks(InstanceId{1}));
+}
+
+TEST(SwarmManager, RoutesToKnownDownstream) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{1}};
+  m.add_downstream(InstanceId{7});
+  const auto choice = m.route(SimTime{});
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->id, InstanceId{7});
+}
+
+TEST(SwarmManager, UnmeasuredBootstrapRoundRobins) {
+  // With nothing measured, routing must spread across all downstreams
+  // rather than flooding one (cold-start behaviour).
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{1}};
+  for (std::uint64_t i = 1; i <= 4; ++i) m.add_downstream(InstanceId{i});
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    ++counts[m.route(SimTime{})->id.value()];
+  }
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(counts[i], 100, 10) << "downstream " << i;
+  }
+}
+
+TEST(SwarmManager, RoutingFollowsWeightsAfterMeasurement) {
+  SwarmManager m{config_for(PolicyKind::kLR), Rng{2}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed_acks(m, {{1, 50.0}, {2, 100.0}});
+  m.tick(SimTime{} + seconds(1));
+
+  std::map<std::uint64_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[m.route(SimTime{} + seconds(1))->id.value()];
+  }
+  // Weights 2:1 by inverse latency.
+  EXPECT_NEAR(double(counts[1]) / n, 2.0 / 3.0, 0.02);
+  EXPECT_NEAR(double(counts[2]) / n, 1.0 / 3.0, 0.02);
+}
+
+TEST(SwarmManager, LrsExcludesStragglersAfterTick) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{3}};
+  for (std::uint64_t i = 1; i <= 4; ++i) m.add_downstream(InstanceId{i});
+  seed_acks(m, {{1, 60.0}, {2, 70.0}, {3, 3000.0}, {4, 5000.0}});
+  // Measured input rate ~24/s.
+  SimTime t;
+  for (int i = 0; i < 24; ++i) {
+    t += millis(1000.0 / 24.0);
+    m.on_tuple_in(t);
+  }
+  m.tick(t);
+  // mu1 + mu2 = 16.7 + 14.3 = 31 >= 24: stragglers excluded.
+  EXPECT_EQ(m.decision().selected.size(), 2u);
+
+  // Outside probe bursts, tuples only go to the selected pair.
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 1000; ++i) ++counts[m.route(t)->id.value()];
+  EXPECT_EQ(counts[3] + counts[4], 0);
+}
+
+TEST(SwarmManager, RrCyclesDeterministically) {
+  SwarmManager m{config_for(PolicyKind::kRR), Rng{4}};
+  for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 300; ++i) ++counts[m.route(SimTime{})->id.value()];
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+  EXPECT_EQ(counts[3], 100);
+}
+
+TEST(SwarmManager, ProbeBurstTouchesAllDownstreams) {
+  SwarmManagerConfig config = config_for(PolicyKind::kLRS);
+  config.probe_every_ticks = 2;
+  SwarmManager m{config, Rng{5}};
+  for (std::uint64_t i = 1; i <= 4; ++i) m.add_downstream(InstanceId{i});
+  seed_acks(m, {{1, 50.0}, {2, 60.0}, {3, 4000.0}, {4, 6000.0}});
+  m.tick(SimTime{} + seconds(1));
+  ASSERT_FALSE(m.probing());
+  m.tick(SimTime{} + seconds(2));  // Second tick triggers a probe burst.
+  ASSERT_TRUE(m.probing());
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 4; ++i) {
+    const auto choice = m.route(SimTime{} + seconds(2));
+    EXPECT_TRUE(choice->probe);
+    ++counts[choice->id.value()];
+  }
+  EXPECT_FALSE(m.probing());
+  for (std::uint64_t i = 1; i <= 4; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+TEST(SwarmManager, ProbingDisabledWhenConfiguredOff) {
+  SwarmManagerConfig config = config_for(PolicyKind::kLRS);
+  config.probe_every_ticks = 0;
+  config.probe_unmeasured_every = 0;
+  SwarmManager m{config, Rng{6}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed_acks(m, {{1, 50.0}, {2, 50.0}});
+  for (int t = 1; t <= 20; ++t) {
+    m.tick(SimTime{} + seconds(t));
+    EXPECT_FALSE(m.probing());
+  }
+}
+
+TEST(SwarmManager, RrNeverProbes) {
+  SwarmManagerConfig config = config_for(PolicyKind::kRR);
+  config.probe_every_ticks = 1;
+  SwarmManager m{config, Rng{7}};
+  m.add_downstream(InstanceId{1});
+  for (int t = 1; t <= 5; ++t) {
+    m.tick(SimTime{} + seconds(t));
+    EXPECT_FALSE(m.probing());
+  }
+}
+
+TEST(SwarmManager, NewJoinerGetsBootstrapProbes) {
+  SwarmManagerConfig config = config_for(PolicyKind::kLRS);
+  config.probe_unmeasured_every = 8;
+  SwarmManager m{config, Rng{8}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed_acks(m, {{1, 50.0}, {2, 60.0}});
+  m.tick(SimTime{} + seconds(1));
+
+  m.add_downstream(InstanceId{3});  // Joins mid-run, unmeasured.
+  int probes_to_3 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto choice = m.route(SimTime{} + seconds(1));
+    if (choice->id == InstanceId{3}) {
+      EXPECT_TRUE(choice->probe);
+      ++probes_to_3;
+    }
+  }
+  EXPECT_EQ(probes_to_3, 8);  // Every 8th tuple.
+}
+
+TEST(SwarmManager, RemovedDownstreamNeverRouted) {
+  SwarmManager m{config_for(PolicyKind::kLR), Rng{9}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed_acks(m, {{1, 50.0}, {2, 50.0}});
+  m.tick(SimTime{} + seconds(1));
+  m.remove_downstream(InstanceId{2});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(m.route(SimTime{} + seconds(1))->id, InstanceId{1});
+  }
+}
+
+TEST(SwarmManager, InputRateMeasured) {
+  SwarmManager m{config_for(PolicyKind::kLRS), Rng{10}};
+  SimTime t;
+  for (int i = 0; i < 48; ++i) {
+    t += millis(1000.0 / 24.0);
+    m.on_tuple_in(t);
+  }
+  EXPECT_NEAR(m.input_rate(t), 24.0, 1.5);
+}
+
+TEST(SwarmManager, SelectionRespondsToRate) {
+  // At a low input rate LRS selects one worker; at a high rate, more.
+  SwarmManagerConfig config = config_for(PolicyKind::kLRS);
+  SwarmManager m{config, Rng{11}};
+  for (std::uint64_t i = 1; i <= 3; ++i) m.add_downstream(InstanceId{i});
+  seed_acks(m, {{1, 100.0}, {2, 100.0}, {3, 100.0}});  // mu = 10/s each.
+
+  SimTime t;
+  for (int i = 0; i < 5; ++i) {  // ~5/s input.
+    t += millis(200);
+    m.on_tuple_in(t);
+  }
+  m.tick(t);
+  EXPECT_EQ(m.decision().selected.size(), 1u);
+
+  for (int i = 0; i < 50; ++i) {  // Burst to ~25/s or more.
+    t += millis(20);
+    m.on_tuple_in(t);
+  }
+  m.tick(t);
+  EXPECT_EQ(m.decision().selected.size(), 3u);
+}
+
+TEST(SwarmManager, RouteSelectedNeverProbes) {
+  SwarmManagerConfig config = config_for(PolicyKind::kLRS);
+  config.probe_every_ticks = 1;
+  SwarmManager m{config, Rng{12}};
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  seed_acks(m, {{1, 50.0}, {2, 5000.0}});
+  SimTime t;
+  for (int i = 0; i < 24; ++i) {
+    t += millis(40);
+    m.on_tuple_in(t);
+  }
+  m.tick(t);  // Triggers probe burst too.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*m.route_selected(t), InstanceId{1});
+  }
+}
+
+TEST(SwarmManager, PolicyReported) {
+  SwarmManager m{config_for(PolicyKind::kPRS), Rng{13}};
+  EXPECT_EQ(m.policy(), PolicyKind::kPRS);
+}
+
+}  // namespace
+}  // namespace swing::core

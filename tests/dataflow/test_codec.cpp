@@ -1,0 +1,79 @@
+#include "dataflow/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/gesture_recognition.h"
+
+namespace swing::dataflow {
+namespace {
+
+struct Reading {
+  std::int64_t sensor = 0;
+  double value = 0.0;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_i64(sensor);
+    w.write_f64(value);
+    return w.take();
+  }
+  static Reading from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    Reading out;
+    out.sensor = r.read_i64();
+    out.value = r.read_f64();
+    return out;
+  }
+};
+
+static_assert(Packable<Reading>);
+static_assert(Packable<apps::GestureFeatures>);
+static_assert(!Packable<int>);
+
+TEST(Codec, RoundTrip) {
+  Tuple t;
+  set_packed(t, "reading", Reading{7, 3.25});
+  const auto back = get_packed<Reading>(t, "reading");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sensor, 7);
+  EXPECT_DOUBLE_EQ(back->value, 3.25);
+}
+
+TEST(Codec, MissingKeyIsNullopt) {
+  Tuple t;
+  EXPECT_FALSE(get_packed<Reading>(t, "nope").has_value());
+}
+
+TEST(Codec, WrongFieldTypeIsNullopt) {
+  Tuple t;
+  t.set("reading", std::string{"not bytes"});
+  EXPECT_FALSE(get_packed<Reading>(t, "reading").has_value());
+}
+
+TEST(Codec, TruncatedBytesThrow) {
+  Tuple t;
+  t.set("reading", Bytes{1, 2});
+  EXPECT_THROW(get_packed<Reading>(t, "reading"), WireFormatError);
+}
+
+TEST(Codec, SurvivesTupleSerialization) {
+  Tuple t{TupleId{5}, SimTime{}};
+  set_packed(t, "reading", Reading{42, -1.5});
+  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  const auto reading = get_packed<Reading>(back, "reading");
+  ASSERT_TRUE(reading.has_value());
+  EXPECT_EQ(reading->sensor, 42);
+}
+
+TEST(Codec, WorksWithAppTypes) {
+  apps::GestureFeatures f;
+  f.energy = 4.5f;
+  Tuple t;
+  set_packed(t, "features", f);
+  const auto back = get_packed<apps::GestureFeatures>(t, "features");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->energy, 4.5f);
+}
+
+}  // namespace
+}  // namespace swing::dataflow

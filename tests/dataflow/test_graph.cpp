@@ -1,0 +1,217 @@
+#include "dataflow/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace swing::dataflow {
+namespace {
+
+SourceSpec test_source(double rate = 10.0) {
+  SourceSpec spec;
+  spec.rate_per_s = rate;
+  spec.generate = [](TupleId, SimTime, Rng&) { return Tuple{}; };
+  return spec;
+}
+
+AppGraph linear_graph() {
+  AppGraph g;
+  const auto src = g.add_source("src", test_source());
+  const auto mid = g.add_transform("mid", passthrough_unit(),
+                                   constant_cost(10.0));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, mid).connect(mid, snk);
+  return g;
+}
+
+TEST(AppGraph, LinearGraphValidates) {
+  EXPECT_NO_THROW(linear_graph().validate());
+}
+
+TEST(AppGraph, OperatorMetadata) {
+  AppGraph g = linear_graph();
+  ASSERT_EQ(g.operators().size(), 3u);
+  EXPECT_EQ(g.op(g.sources()[0]).kind, OperatorKind::kSource);
+  EXPECT_EQ(g.op(g.sources()[0]).placement, Placement::kMaster);
+  EXPECT_EQ(g.op(g.sinks()[0]).placement, Placement::kMaster);
+}
+
+TEST(AppGraph, TransformDefaultsToWorkers) {
+  AppGraph g = linear_graph();
+  for (const auto& op : g.operators()) {
+    if (op.kind == OperatorKind::kTransform) {
+      EXPECT_EQ(op.placement, Placement::kWorkers);
+    }
+  }
+}
+
+TEST(AppGraph, UpDownstreams) {
+  AppGraph g = linear_graph();
+  const auto src = g.sources()[0];
+  const auto snk = g.sinks()[0];
+  ASSERT_EQ(g.downstreams(src).size(), 1u);
+  const auto mid = g.downstreams(src)[0];
+  EXPECT_EQ(g.upstreams(mid), std::vector<OperatorId>{src});
+  EXPECT_EQ(g.downstreams(mid), std::vector<OperatorId>{snk});
+  EXPECT_TRUE(g.downstreams(snk).empty());
+}
+
+TEST(AppGraph, DuplicateNameRejected) {
+  AppGraph g;
+  g.add_source("x", test_source());
+  EXPECT_THROW(g.add_transform("x", passthrough_unit(), nullptr), GraphError);
+}
+
+TEST(AppGraph, SourceNeedsGenerator) {
+  AppGraph g;
+  EXPECT_THROW(g.add_source("s", SourceSpec{}), GraphError);
+}
+
+TEST(AppGraph, SourceNeedsPositiveRate) {
+  AppGraph g;
+  SourceSpec spec = test_source(0.0);
+  EXPECT_THROW(g.add_source("s", std::move(spec)), GraphError);
+}
+
+TEST(AppGraph, TransformNeedsFactory) {
+  AppGraph g;
+  EXPECT_THROW(g.add_transform("t", nullptr, nullptr), GraphError);
+}
+
+TEST(AppGraph, SelfEdgeRejected) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  EXPECT_THROW(g.connect(src, src), GraphError);
+}
+
+TEST(AppGraph, DuplicateEdgeRejected) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto snk = g.add_sink("k");
+  g.connect(src, snk);
+  EXPECT_THROW(g.connect(src, snk), GraphError);
+}
+
+TEST(AppGraph, UnknownIdRejected) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  EXPECT_THROW(g.connect(src, OperatorId{999}), GraphError);
+  EXPECT_THROW(static_cast<void>(g.op(OperatorId{999})), GraphError);
+}
+
+TEST(AppGraph, NoSourceFailsValidation) {
+  AppGraph g;
+  const auto a = g.add_transform("a", passthrough_unit(), nullptr);
+  const auto snk = g.add_sink("k");
+  g.connect(a, snk);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(AppGraph, NoSinkFailsValidation) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto a = g.add_transform("a", passthrough_unit(), nullptr);
+  g.connect(src, a);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(AppGraph, DisconnectedTransformFailsValidation) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto snk = g.add_sink("k");
+  g.add_transform("orphan", passthrough_unit(), nullptr);
+  g.connect(src, snk);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(AppGraph, SourceWithNoDownstreamFailsValidation) {
+  AppGraph g;
+  g.add_source("s", test_source());
+  const auto src2 = g.add_source("s2", test_source());
+  const auto snk = g.add_sink("k");
+  g.connect(src2, snk);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(AppGraph, CycleDetected) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto a = g.add_transform("a", passthrough_unit(), nullptr);
+  const auto b = g.add_transform("b", passthrough_unit(), nullptr);
+  const auto snk = g.add_sink("k");
+  g.connect(src, a).connect(a, b).connect(b, a);
+  g.connect(b, snk);
+  EXPECT_THROW(g.topological_order(), GraphError);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(AppGraph, TopologicalOrderRespectsEdges) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto a = g.add_transform("a", passthrough_unit(), nullptr);
+  const auto b = g.add_transform("b", passthrough_unit(), nullptr);
+  const auto snk = g.add_sink("k");
+  g.connect(src, a).connect(src, b).connect(a, snk).connect(b, snk);
+
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](OperatorId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(src), pos(a));
+  EXPECT_LT(pos(src), pos(b));
+  EXPECT_LT(pos(a), pos(snk));
+  EXPECT_LT(pos(b), pos(snk));
+}
+
+TEST(AppGraph, FanOutFanInValidates) {
+  AppGraph g;
+  const auto src = g.add_source("s", test_source());
+  const auto a = g.add_transform("a", passthrough_unit(), nullptr);
+  const auto b = g.add_transform("b", passthrough_unit(), nullptr);
+  const auto snk = g.add_sink("k");
+  g.connect(src, a).connect(src, b).connect(a, snk).connect(b, snk);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(AppGraph, MaxReplicasStored) {
+  AppGraph g;
+  const auto t = g.add_transform("t", passthrough_unit(), nullptr, 3);
+  EXPECT_EQ(g.op(t).max_replicas, 3u);
+}
+
+TEST(AppGraph, DefaultSinkCostIsZero) {
+  AppGraph g;
+  const auto snk = g.add_sink("k");
+  Tuple t;
+  EXPECT_DOUBLE_EQ(g.op(snk).cost(t), 0.0);
+}
+
+TEST(FunctionUnits, MapUnitTransforms) {
+  auto factory = map_unit([](const Tuple& in) {
+    Tuple out = in.derive();
+    out.set("doubled", *in.get_as<std::int64_t>("x") * 2);
+    return out;
+  });
+  auto unit = factory();
+
+  // Minimal context capturing emissions.
+  struct CaptureCtx final : Context {
+    void emit(Tuple t) override { out.push_back(std::move(t)); }
+    SimTime now() const override { return SimTime{}; }
+    DeviceId device() const override { return DeviceId{0}; }
+    InstanceId instance() const override { return InstanceId{0}; }
+    Rng& rng() override { return rng_; }
+    std::vector<Tuple> out;
+    Rng rng_{1};
+  } ctx;
+
+  Tuple in;
+  in.set("x", std::int64_t{21});
+  unit->process(in, ctx);
+  ASSERT_EQ(ctx.out.size(), 1u);
+  EXPECT_EQ(*ctx.out[0].get_as<std::int64_t>("doubled"), 42);
+}
+
+}  // namespace
+}  // namespace swing::dataflow

@@ -1,0 +1,113 @@
+#include "dataflow/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::dataflow {
+namespace {
+
+TEST(Tuple, SetAndGet) {
+  Tuple t;
+  t.set("k", std::int64_t{42});
+  const auto* v = t.get_as<std::int64_t>("k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Tuple, MissingKeyIsNull) {
+  Tuple t;
+  EXPECT_EQ(t.get("nope"), nullptr);
+  EXPECT_EQ(t.get_as<double>("nope"), nullptr);
+}
+
+TEST(Tuple, WrongTypeIsNull) {
+  Tuple t;
+  t.set("k", std::string{"text"});
+  EXPECT_EQ(t.get_as<std::int64_t>("k"), nullptr);
+  EXPECT_NE(t.get_as<std::string>("k"), nullptr);
+}
+
+TEST(Tuple, SetOverwritesExistingKey) {
+  Tuple t;
+  t.set("k", std::int64_t{1});
+  t.set("k", std::int64_t{2});
+  EXPECT_EQ(t.field_count(), 1u);
+  EXPECT_EQ(*t.get_as<std::int64_t>("k"), 2);
+}
+
+TEST(Tuple, FieldOrderPreserved) {
+  Tuple t;
+  t.set("z", std::int64_t{1});
+  t.set("a", std::int64_t{2});
+  EXPECT_EQ(t.fields()[0].first, "z");
+  EXPECT_EQ(t.fields()[1].first, "a");
+}
+
+TEST(Tuple, DeriveKeepsIdentityDropsFields) {
+  Tuple t{TupleId{7}, SimTime{} + seconds(3)};
+  t.set("k", std::int64_t{1});
+  const Tuple d = t.derive();
+  EXPECT_EQ(d.id(), TupleId{7});
+  EXPECT_EQ(d.source_time(), SimTime{} + seconds(3));
+  EXPECT_EQ(d.field_count(), 0u);
+}
+
+TEST(TupleSerialization, RoundTripAllTypes) {
+  Tuple t{TupleId{99}, SimTime{} + millis(1234)};
+  t.set("null", std::monostate{});
+  t.set("int", std::int64_t{-5});
+  t.set("float", 2.75);
+  t.set("str", std::string{"hola"});
+  t.set("bytes", Bytes{1, 2, 3});
+  t.set("blob", Blob{6000, 17});
+
+  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  EXPECT_EQ(back, t);
+}
+
+TEST(TupleSerialization, EmptyTuple) {
+  Tuple t{TupleId{1}, SimTime{}};
+  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  EXPECT_EQ(back.id(), TupleId{1});
+  EXPECT_EQ(back.field_count(), 0u);
+}
+
+TEST(TupleSerialization, CorruptBufferThrows) {
+  Bytes garbage = {0xff, 0x01, 0x02};
+  EXPECT_THROW(Tuple::from_bytes(garbage), WireFormatError);
+}
+
+TEST(TupleSerialization, BlobNotMaterialised) {
+  // A 1 MB blob must serialize to a handful of bytes but count fully in
+  // wire_size.
+  Tuple t{TupleId{1}, SimTime{}};
+  t.set("frame", Blob{1'000'000, 1});
+  EXPECT_LT(t.to_bytes().size(), 64u);
+  EXPECT_GT(t.wire_size(), 1'000'000u);
+}
+
+TEST(TupleSerialization, WireSizeTracksPayload) {
+  Tuple small{TupleId{1}, SimTime{}};
+  small.set("frame", Blob{100, 1});
+  Tuple large{TupleId{1}, SimTime{}};
+  large.set("frame", Blob{72000, 1});
+  EXPECT_GT(large.wire_size(), small.wire_size() + 70000);
+}
+
+TEST(TupleSerialization, RealBytesCopiedVerbatim) {
+  Tuple t{TupleId{1}, SimTime{}};
+  Bytes payload(1000, 0xab);
+  t.set("img", payload);
+  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  EXPECT_EQ(*back.get_as<Bytes>("img"), payload);
+}
+
+TEST(ValueWireSize, Sizes) {
+  EXPECT_EQ(value_wire_size(Value{std::monostate{}}), 1u);
+  EXPECT_EQ(value_wire_size(Value{std::int64_t{1}}), 9u);
+  EXPECT_EQ(value_wire_size(Value{1.0}), 9u);
+  EXPECT_EQ(value_wire_size(Value{std::string("abc")}), 9u);
+  EXPECT_EQ(value_wire_size(Value{Blob{500, 0}}), 511u);
+}
+
+}  // namespace
+}  // namespace swing::dataflow

@@ -1,0 +1,213 @@
+#include "device/device.h"
+
+#include <gtest/gtest.h>
+
+#include "device/profile.h"
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace swing::device {
+namespace {
+
+DeviceProfile exact_profile(double perf = 1.0) {
+  DeviceProfile p = profile_B();
+  p.perf_index = perf;
+  p.service_cv = 0.0;  // Deterministic service times for timing asserts.
+  return p;
+}
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(DeviceTest, ExecutesJob) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  bool done = false;
+  dev.execute(50.0, [&](const JobTiming&) { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dev.jobs_completed(), 1u);
+}
+
+TEST_F(DeviceTest, ServiceTimeScalesWithPerf) {
+  Device fast{sim_, DeviceId{0}, exact_profile(2.0), Rng{1}};
+  SimTime done;
+  fast.execute(100.0, [&](const JobTiming& t) { done = t.finished; });
+  sim_.run();
+  EXPECT_EQ(done, SimTime{} + millis(50));  // 100 ms ref / 2.0 perf.
+}
+
+TEST_F(DeviceTest, SlowDeviceTakesLonger) {
+  Device slow{sim_, DeviceId{0}, exact_profile(0.2), Rng{1}};
+  SimTime done;
+  slow.execute(100.0, [&](const JobTiming& t) { done = t.finished; });
+  sim_.run();
+  EXPECT_EQ(done, SimTime{} + millis(500));
+}
+
+TEST_F(DeviceTest, JobsRunFifo) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    dev.execute(10.0, [&order, i](const JobTiming&) { order.push_back(i); });
+  }
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(DeviceTest, QueuingDelayMeasured) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  JobTiming second{};
+  dev.execute(100.0, [](const JobTiming&) {});
+  dev.execute(100.0, [&](const JobTiming& t) { second = t; });
+  sim_.run();
+  EXPECT_EQ(second.queuing(), millis(100));   // Waited for job 1.
+  EXPECT_EQ(second.processing(), millis(100));
+  EXPECT_EQ(second.finished, SimTime{} + millis(200));
+}
+
+TEST_F(DeviceTest, BacklogCountsQueuedAndRunning) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  EXPECT_EQ(dev.backlog(), 0u);
+  dev.execute(100.0, [](const JobTiming&) {});
+  dev.execute(100.0, [](const JobTiming&) {});
+  // Nothing has started (no events run yet): 2 queued... after first event
+  // the head job is in service.
+  EXPECT_EQ(dev.backlog(), 2u);
+  sim_.run_for(millis(150));
+  EXPECT_EQ(dev.backlog(), 1u);
+  sim_.run();
+  EXPECT_EQ(dev.backlog(), 0u);
+}
+
+TEST_F(DeviceTest, BackgroundLoadInflatesServiceTime) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  dev.set_background_load(1.0);
+  SimTime done;
+  dev.execute(100.0, [&](const JobTiming& t) { done = t.finished; });
+  sim_.run();
+  // Multiplier 1 + 1.5*1.0 = 2.5.
+  EXPECT_EQ(done, SimTime{} + millis(250));
+}
+
+TEST_F(DeviceTest, NominalServiceTimeMatchesExecution) {
+  Device dev{sim_, DeviceId{0}, exact_profile(0.5), Rng{1}};
+  dev.set_background_load(0.6);
+  SimTime done;
+  dev.execute(40.0, [&](const JobTiming& t) { done = t.finished; });
+  sim_.run();
+  EXPECT_EQ(done - SimTime{}, dev.nominal_service_time(40.0));
+}
+
+TEST_F(DeviceTest, BusySecondsAccumulate) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  dev.execute(100.0, [](const JobTiming&) {});
+  dev.execute(200.0, [](const JobTiming&) {});
+  sim_.run();
+  EXPECT_NEAR(dev.busy_seconds(), 0.3, 1e-9);
+}
+
+TEST_F(DeviceTest, BackgroundLoadCountsTowardCpuSeconds) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  dev.set_background_load(0.5);
+  sim_.run_for(seconds(10));
+  EXPECT_NEAR(dev.total_cpu_seconds(sim_.now()), 5.0, 1e-9);
+}
+
+TEST_F(DeviceTest, BackgroundLoadChangeSettlesCorrectly) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  dev.set_background_load(1.0);
+  sim_.run_for(seconds(2));
+  dev.set_background_load(0.0);
+  sim_.run_for(seconds(10));
+  EXPECT_NEAR(dev.total_cpu_seconds(sim_.now()), 2.0, 1e-9);
+}
+
+TEST_F(DeviceTest, CpuEnergyIdleBaseline) {
+  DeviceProfile p = exact_profile();
+  p.cpu_idle_w = 0.1;
+  p.cpu_peak_w = 1.1;
+  Device dev{sim_, DeviceId{0}, p, Rng{1}};
+  sim_.run_for(seconds(100));
+  EXPECT_NEAR(dev.cpu_energy_j(sim_.now()), 10.0, 1e-6);  // Idle only.
+}
+
+TEST_F(DeviceTest, CpuEnergyGrowsWithWork) {
+  DeviceProfile p = exact_profile();
+  p.cpu_idle_w = 0.1;
+  p.cpu_peak_w = 1.1;
+  Device dev{sim_, DeviceId{0}, p, Rng{1}};
+  dev.execute(10000.0, [](const JobTiming&) {});  // 10 s of work.
+  sim_.run_for(seconds(100));
+  // 100 s idle (10 J) + 10 busy-seconds * (1.1-0.1) = 10 J.
+  EXPECT_NEAR(dev.cpu_energy_j(sim_.now()), 20.0, 1e-6);
+}
+
+TEST_F(DeviceTest, EnergyMonotoneInTime) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    dev.execute(20.0, [](const JobTiming&) {});
+    sim_.run_for(seconds(1));
+    const double e = dev.cpu_energy_j(sim_.now());
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST_F(DeviceTest, ServiceJitterIsMultiplicative) {
+  DeviceProfile p = profile_B();  // cv = 0.10
+  Device dev{sim_, DeviceId{0}, p, Rng{7}};
+  OnlineStats times;
+  for (int i = 0; i < 300; ++i) {
+    dev.execute(100.0, [&](const JobTiming& t) {
+      times.add(t.processing().millis());
+    });
+  }
+  sim_.run();
+  EXPECT_NEAR(times.mean(), 100.0, 3.0);
+  EXPECT_NEAR(times.stddev() / times.mean(), 0.10, 0.03);
+}
+
+TEST_F(DeviceTest, CallbackCanResubmit) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  int completed = 0;
+  std::function<void(const JobTiming&)> again = [&](const JobTiming&) {
+    if (++completed < 5) dev.execute(10.0, again);
+  };
+  dev.execute(10.0, again);
+  sim_.run();
+  EXPECT_EQ(completed, 5);
+}
+
+
+TEST_F(DeviceTest, AdmitHookShedsAtServiceStart) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  int completed = 0;
+  int shed = 0;
+  // First job runs 100 ms; the second declines admission once it waited.
+  dev.execute(100.0, [&](const JobTiming&) { ++completed; });
+  dev.execute(100.0, [&](const JobTiming&) { ++completed; }, [&] {
+    ++shed;
+    return false;
+  });
+  dev.execute(50.0, [&](const JobTiming&) { ++completed; });
+  sim_.run();
+  EXPECT_EQ(completed, 2);  // First and third ran.
+  EXPECT_EQ(shed, 1);
+  // The shed job consumed no CPU: 150 ms total busy.
+  EXPECT_NEAR(dev.busy_seconds(), 0.15, 1e-9);
+}
+
+TEST_F(DeviceTest, AdmitHookAcceptingRunsNormally) {
+  Device dev{sim_, DeviceId{0}, exact_profile(), Rng{1}};
+  bool done = false;
+  dev.execute(10.0, [&](const JobTiming&) { done = true; },
+              [] { return true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace swing::device

@@ -1,0 +1,97 @@
+#include "device/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace swing::device {
+namespace {
+
+class WalkerTest : public ::testing::Test {
+ protected:
+  WalkerTest() : medium_(sim_) {
+    medium_.attach(id_, net::Position{2.0, 0.0});
+  }
+
+  Simulator sim_;
+  net::Medium medium_;
+  DeviceId id_{0};
+};
+
+TEST_F(WalkerTest, WalkReachesDestination) {
+  Walker walker{sim_, medium_, id_};
+  bool arrived = false;
+  walker.walk_to({20.0, 0.0}, 1.5, [&] { arrived = true; });
+  sim_.run_for(seconds(30));
+  EXPECT_TRUE(arrived);
+  EXPECT_FALSE(walker.walking());
+  EXPECT_NEAR(medium_.position(id_).x, 20.0, 1e-9);
+}
+
+TEST_F(WalkerTest, WalkTakesRealisticTime) {
+  Walker walker{sim_, medium_, id_};
+  SimTime arrival;
+  walker.walk_to({20.0, 0.0}, 1.5, [&] { arrival = sim_.now(); });
+  sim_.run_for(seconds(30));
+  // 18 m at 1.5 m/s = 12 s.
+  EXPECT_NEAR(arrival.seconds(), 12.0, 0.5);
+}
+
+TEST_F(WalkerTest, RssiDegradesWhileWalkingAway) {
+  Walker walker{sim_, medium_, id_};
+  const double start_rssi = medium_.rssi(id_);
+  walker.walk_to({30.0, 0.0}, 1.5);
+  sim_.run_for(seconds(5));
+  const double mid_rssi = medium_.rssi(id_);
+  sim_.run_for(seconds(30));
+  const double end_rssi = medium_.rssi(id_);
+  EXPECT_LT(mid_rssi, start_rssi);
+  EXPECT_LT(end_rssi, mid_rssi);
+}
+
+TEST_F(WalkerTest, JumpToRssiOverrides) {
+  Walker walker{sim_, medium_, id_};
+  walker.jump_to_rssi(-72.5);
+  EXPECT_DOUBLE_EQ(medium_.rssi(id_), -72.5);
+}
+
+TEST_F(WalkerTest, ScheduledJump) {
+  Walker walker{sim_, medium_, id_};
+  walker.jump_to_rssi_at(SimTime{} + seconds(60), -75.0);
+  sim_.run_for(seconds(59));
+  EXPECT_GT(medium_.rssi(id_), -50.0);
+  sim_.run_for(seconds(2));
+  EXPECT_DOUBLE_EQ(medium_.rssi(id_), -75.0);
+}
+
+TEST_F(WalkerTest, WalkClearsOverride) {
+  Walker walker{sim_, medium_, id_};
+  walker.jump_to_rssi(-75.0);
+  walker.walk_to({2.0, 1.0}, 1.5);
+  sim_.run_for(seconds(5));
+  EXPECT_GT(medium_.rssi(id_), -50.0);  // Position-driven again.
+}
+
+TEST_F(WalkerTest, CancelWalkStops) {
+  Walker walker{sim_, medium_, id_};
+  walker.walk_to({100.0, 0.0}, 1.5);
+  sim_.run_for(seconds(2));
+  walker.cancel_walk();
+  const auto pos = medium_.position(id_);
+  sim_.run_for(seconds(10));
+  EXPECT_EQ(medium_.position(id_), pos);
+}
+
+TEST_F(WalkerTest, NewWalkPreemptsOld) {
+  Walker walker{sim_, medium_, id_};
+  walker.walk_to({100.0, 0.0}, 1.5);
+  sim_.run_for(seconds(2));
+  bool arrived = false;
+  walker.walk_to({2.0, 0.0}, 5.0, [&] { arrived = true; });
+  sim_.run_for(seconds(10));
+  EXPECT_TRUE(arrived);
+  EXPECT_NEAR(medium_.position(id_).x, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace swing::device

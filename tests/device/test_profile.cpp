@@ -1,0 +1,83 @@
+#include "device/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace swing::device {
+namespace {
+
+TEST(Profiles, NineTestbedDevices) {
+  EXPECT_EQ(testbed_profiles().size(), 9u);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("A").model, "Galaxy S3");
+  EXPECT_EQ(profile_by_name("H").model, "LG Nexus 4");
+  EXPECT_THROW(profile_by_name("Z"), std::out_of_range);
+}
+
+TEST(Profiles, ReferenceDeviceIsGalaxyNexus) {
+  EXPECT_DOUBLE_EQ(profile_B().perf_index, 1.0);
+  EXPECT_EQ(profile_B().model, "Galaxy Nexus");
+}
+
+// Table I calibration: perf_index must reproduce the measured per-frame
+// face-recognition processing delays (92.9 ms reference workload).
+struct TableOneRow {
+  const char* name;
+  double delay_ms;
+};
+
+class TableOneTest : public ::testing::TestWithParam<TableOneRow> {};
+
+TEST_P(TableOneTest, ProcessingDelayMatchesPaper) {
+  const auto& row = GetParam();
+  const DeviceProfile& profile = profile_by_name(row.name);
+  const double simulated_delay = 92.9 / profile.perf_index;
+  EXPECT_NEAR(simulated_delay, row.delay_ms, row.delay_ms * 0.03)
+      << "device " << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableI, TableOneTest,
+    ::testing::Values(TableOneRow{"B", 92.9}, TableOneRow{"C", 121.6},
+                      TableOneRow{"D", 167.7}, TableOneRow{"E", 463.4},
+                      TableOneRow{"F", 166.4}, TableOneRow{"G", 82.2},
+                      TableOneRow{"H", 71.3}, TableOneRow{"I", 78.0}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Profiles, HeterogeneityIsSixFold) {
+  // Paper §III: fastest device (H) ~6x the slowest (E).
+  const double ratio = profile_H().perf_index / profile_E().perf_index;
+  EXPECT_GT(ratio, 5.5);
+  EXPECT_LT(ratio, 7.5);
+}
+
+TEST(Profiles, NewerDevicesAreMoreEfficient) {
+  // The PRS-vs-LRS energy story depends on fast devices also being
+  // efficient: H (Nexus 4) must beat E (Galaxy S) on work per watt.
+  EXPECT_GT(profile_H().efficiency(), 3.0 * profile_E().efficiency());
+}
+
+TEST(Profiles, PowerValuesSane) {
+  for (const auto& p : testbed_profiles()) {
+    EXPECT_GT(p.cpu_idle_w, 0.0);
+    EXPECT_GT(p.cpu_peak_w, p.cpu_idle_w);
+    EXPECT_LT(p.cpu_peak_w, 5.0);
+    EXPECT_GT(p.wifi_peak_w, p.wifi_idle_w);
+    EXPECT_GT(p.battery_wh, 1.0);
+  }
+}
+
+TEST(Profiles, NamesAreUnique) {
+  const auto& all = testbed_profiles();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swing::device

@@ -1,0 +1,118 @@
+// The app x policy matrix: every bundled sensing app under every routing
+// policy on a small swarm, checking the universal invariants — frames
+// deliver, nothing duplicates, playback stays ordered, the run is
+// deterministic-safe. Catches app/policy interactions no single-scenario
+// test would.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/face_recognition.h"
+#include "apps/gesture_recognition.h"
+#include "apps/scene_analysis.h"
+#include "apps/testbed.h"
+#include "apps/voice_translation.h"
+
+namespace swing {
+namespace {
+
+enum class AppKind { kFace, kVoice, kScene, kGesture };
+
+const char* app_name(AppKind app) {
+  switch (app) {
+    case AppKind::kFace:    return "Face";
+    case AppKind::kVoice:   return "Voice";
+    case AppKind::kScene:   return "Scene";
+    case AppKind::kGesture: return "Gesture";
+  }
+  return "?";
+}
+
+dataflow::AppGraph make_graph(AppKind app) {
+  switch (app) {
+    case AppKind::kFace: {
+      apps::FaceRecognitionConfig c;
+      c.fps = 12.0;
+      return apps::face_recognition_graph(c);
+    }
+    case AppKind::kVoice: {
+      apps::VoiceTranslationConfig c;
+      c.fps = 4.0;
+      return apps::voice_translation_graph(c);
+    }
+    case AppKind::kScene: {
+      apps::SceneAnalysisConfig c;
+      c.fps = 8.0;
+      return apps::scene_analysis_graph(c);
+    }
+    case AppKind::kGesture:
+      return apps::gesture_recognition_graph();
+  }
+  throw std::logic_error("unreachable");
+}
+
+// Expected sink tuples per second for each app (gesture emits one window
+// per 25 samples).
+double expected_rate(AppKind app) {
+  switch (app) {
+    case AppKind::kFace:    return 12.0;
+    case AppKind::kVoice:   return 4.0;
+    case AppKind::kScene:   return 8.0;
+    case AppKind::kGesture: return 2.0;
+  }
+  return 0.0;
+}
+
+using MatrixParam = std::tuple<AppKind, core::PolicyKind>;
+
+class AppMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(AppMatrixTest, DeliversOrderedUniqueFrames) {
+  const auto [app, policy] = GetParam();
+  apps::TestbedConfig config;
+  config.policy = policy;
+  config.workers = {"G", "H", "I"};
+  config.weak_signal_bcd = false;
+  apps::Testbed bed{config};
+  bed.launch(make_graph(app));
+  bed.run(seconds(30));
+  bed.swarm().shutdown();
+
+  const auto& metrics = bed.swarm().metrics();
+
+  // Substantial delivery: at least half the nominal output rate even for
+  // the weakest policy on this all-strong-signal roster.
+  EXPECT_GT(double(metrics.frames_arrived()),
+            0.5 * expected_rate(app) * 28.0)
+      << app_name(app) << "/" << core::policy_name(policy);
+
+  // No duplicate frames at the sink.
+  std::set<std::uint64_t> ids;
+  for (const auto& f : metrics.frames()) {
+    EXPECT_TRUE(ids.insert(f.id.value()).second);
+    EXPECT_GE(f.e2e_ms(), 0.0);
+  }
+
+  // Playback strictly ordered per sink... frame ids are globally unique,
+  // and each sink's reorder buffer releases in order; with one sink the
+  // full sequence is monotone. Multi-sink apps interleave, so check
+  // per-parity for the two-source case (none bundled) — here: global.
+  double prev = -1.0;
+  for (const auto& p : metrics.plays().points()) {
+    EXPECT_GT(p.value, prev);
+    prev = p.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AppMatrixTest,
+    ::testing::Combine(::testing::Values(AppKind::kFace, AppKind::kVoice,
+                                         AppKind::kScene, AppKind::kGesture),
+                       ::testing::ValuesIn(core::kAllPolicies)),
+    [](const auto& info) {
+      return std::string(app_name(std::get<0>(info.param))) + "_" +
+             core::policy_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,134 @@
+// Integration: policy behaviour on the paper's testbed (shortened runs).
+// These assert the *shape* of Fig. 4/5 — who wins and why — not absolute
+// numbers; the bench binaries regenerate the full figures.
+#include <gtest/gtest.h>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+
+namespace swing {
+namespace {
+
+using apps::Testbed;
+using apps::TestbedConfig;
+using core::PolicyKind;
+
+struct RunResult {
+  double fps = 0.0;
+  double mean_latency_ms = 0.0;
+  std::map<std::string, std::uint64_t> frames_to;
+};
+
+RunResult run_fr(PolicyKind policy, double measure_s = 25.0) {
+  TestbedConfig config;
+  config.policy = policy;
+  Testbed bed{config};
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(10));  // Warmup: estimates converge.
+  const SimTime t0 = bed.sim().now();
+  std::map<std::string, std::uint64_t> before;
+  for (const auto& name : bed.worker_names()) {
+    before[name] =
+        bed.swarm().metrics().device(bed.id(name)).frames_from_source;
+  }
+  bed.run(seconds(measure_s));
+  RunResult r;
+  r.fps = bed.swarm().metrics().throughput_fps(t0, bed.sim().now());
+  r.mean_latency_ms =
+      bed.swarm().metrics().latency_stats(t0, bed.sim().now()).mean();
+  for (const auto& name : bed.worker_names()) {
+    r.frames_to[name] =
+        bed.swarm().metrics().device(bed.id(name)).frames_from_source -
+        before[name];
+  }
+  return r;
+}
+
+class PolicyIntegration : public ::testing::Test {
+ protected:
+  // Runs are deterministic, so share them across assertions.
+  static const RunResult& rr() {
+    static const RunResult r = run_fr(PolicyKind::kRR);
+    return r;
+  }
+  static const RunResult& lrs() {
+    static const RunResult r = run_fr(PolicyKind::kLRS);
+    return r;
+  }
+  static const RunResult& lr() {
+    static const RunResult r = run_fr(PolicyKind::kLR);
+    return r;
+  }
+  static const RunResult& pr() {
+    static const RunResult r = run_fr(PolicyKind::kPR);
+    return r;
+  }
+};
+
+TEST_F(PolicyIntegration, LrsMeetsRealTimeTarget) {
+  // Paper Fig. 4: LRS sustains the 24 FPS input rate.
+  EXPECT_GT(lrs().fps, 22.0);
+}
+
+TEST_F(PolicyIntegration, RrCollapsesUnderStragglers) {
+  // Paper: RR achieves a fraction of the target (they report 2.7x less).
+  EXPECT_LT(rr().fps, 16.0);
+  EXPECT_GT(lrs().fps / rr().fps, 1.5);
+}
+
+TEST_F(PolicyIntegration, LrsLatencyFarBelowRr) {
+  // Paper: 6.7x lower mean latency; require at least 3x here.
+  EXPECT_GT(rr().mean_latency_ms / lrs().mean_latency_ms, 3.0);
+}
+
+TEST_F(PolicyIntegration, PrMissesTarget) {
+  // Processing-delay routing keeps hitting weak-signal devices.
+  EXPECT_LT(pr().fps, 20.0);
+}
+
+TEST_F(PolicyIntegration, RrSpreadsInputEqually) {
+  // Paper Fig. 5: RR sends an equal share to every device.
+  const auto& frames = rr().frames_to;
+  const double mean =
+      double(frames.at("B") + frames.at("C") + frames.at("D") +
+             frames.at("E") + frames.at("F") + frames.at("G") +
+             frames.at("H") + frames.at("I")) /
+      8.0;
+  for (const auto& [name, n] : frames) {
+    EXPECT_NEAR(double(n), mean, mean * 0.25) << name;
+  }
+}
+
+TEST_F(PolicyIntegration, LrsAvoidsWeakSignalDevices) {
+  // Paper Fig. 5: LRS minimises usage of B, C, D (weak signal) and E
+  // (latency straggler).
+  const auto& frames = lrs().frames_to;
+  const auto weak = frames.at("B") + frames.at("C") + frames.at("D");
+  const auto strong = frames.at("G") + frames.at("H") + frames.at("I");
+  EXPECT_LT(double(weak), 0.15 * double(strong));
+  EXPECT_LT(frames.at("E"), frames.at("H") / 4);
+}
+
+TEST_F(PolicyIntegration, LrSendsLessToStragglersThanRr) {
+  const auto rr_weak =
+      rr().frames_to.at("B") + rr().frames_to.at("C") + rr().frames_to.at("D");
+  const auto lr_weak =
+      lr().frames_to.at("B") + lr().frames_to.at("C") + lr().frames_to.at("D");
+  EXPECT_LT(lr_weak, rr_weak);
+}
+
+TEST_F(PolicyIntegration, SelectionConcentratesLoad) {
+  // LRS (selection) uses fewer devices than LR (no selection): count
+  // devices receiving a meaningful share.
+  auto active = [](const RunResult& r) {
+    int n = 0;
+    for (const auto& [name, frames] : r.frames_to) {
+      if (frames > 30) ++n;
+    }
+    return n;
+  };
+  EXPECT_LE(active(lrs()), active(lr()));
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,154 @@
+// Randomized end-to-end invariants ("fuzz-lite"): build swarms with random
+// rosters, placements, app shapes and policies, subject them to random
+// dynamism (joins, abrupt leaves, zone jumps, background load), and check
+// invariants that must hold regardless of what happened:
+//
+//   1. No crash, no wedge (the run completes).
+//   2. Conservation: frames delivered <= frames generated.
+//   3. No duplicates at the sink.
+//   4. Playback is strictly monotone in frame id.
+//   5. CPU energy is non-negative and finite; battery in [0, 1].
+//   6. Delay components are non-negative.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/face_recognition.h"
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing {
+namespace {
+
+class RandomSwarmTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSwarmTest, InvariantsHoldUnderRandomDynamism) {
+  Rng rng{GetParam()};
+  Simulator sim;
+  runtime::SwarmConfig config;
+  config.seed = GetParam() * 977 + 1;
+  config.worker.manager.policy =
+      core::kAllPolicies[rng.uniform_int(std::size(core::kAllPolicies))];
+  if (rng.uniform() < 0.3) {
+    config.medium.mode = net::MediumMode::kAdhoc;
+  }
+  runtime::Swarm swarm{sim, config};
+
+  // Random roster: master + 2..6 workers with random profiles and zones.
+  const auto& profiles = device::testbed_profiles();
+  const DeviceId master =
+      swarm.add_device(device::profile_A(), {1.0, 0.0});
+  std::vector<DeviceId> workers;
+  const std::size_t n_workers = 2 + rng.uniform_int(5);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    const auto& profile = profiles[1 + rng.uniform_int(8)];
+    if (rng.uniform() < 0.3) {
+      workers.push_back(
+          swarm.add_device_at_rssi(profile, -40.0 - rng.uniform() * 38.0));
+    } else {
+      workers.push_back(swarm.add_device(
+          profile, {1.0 + rng.uniform() * 30.0, rng.uniform() * 10.0}));
+    }
+  }
+
+  apps::FaceRecognitionConfig app;
+  app.fps = 4.0 + rng.uniform() * 20.0;
+  app.max_frames = 0;
+  swarm.launch_master(master, apps::face_recognition_graph(app));
+  // Launch a random prefix now, the rest join later.
+  const std::size_t initial = 1 + rng.uniform_int(workers.size());
+  for (std::size_t i = 0; i < initial; ++i) swarm.launch_worker(workers[i]);
+  sim.run_for(seconds(1));
+  swarm.start();
+
+  // Random dynamism for ~30 simulated seconds.
+  std::set<std::uint64_t> gone;
+  std::size_t next_join = initial;
+  for (int step = 0; step < 15; ++step) {
+    sim.run_for(seconds(2));
+    switch (rng.uniform_int(5)) {
+      case 0:
+        if (next_join < workers.size()) {
+          swarm.launch_worker(workers[next_join++]);
+        }
+        break;
+      case 1: {
+        const auto victim = workers[rng.uniform_int(workers.size())];
+        // Keep at least one worker alive; never kill the master.
+        if (gone.size() + 1 < next_join && !gone.contains(victim.value())) {
+          if (rng.uniform() < 0.5) {
+            swarm.leave_abruptly(victim);
+          } else {
+            swarm.leave_gracefully(victim);
+          }
+          gone.insert(victim.value());
+        }
+        break;
+      }
+      case 2: {
+        const auto mover = workers[rng.uniform_int(workers.size())];
+        if (!gone.contains(mover.value())) {
+          swarm.walker(mover).jump_to_rssi(-40.0 - rng.uniform() * 38.0);
+        }
+        break;
+      }
+      case 3: {
+        const auto busy = workers[rng.uniform_int(workers.size())];
+        if (!gone.contains(busy.value())) {
+          swarm.device(busy).set_background_load(rng.uniform());
+        }
+        break;
+      }
+      default:
+        break;  // Quiet step.
+    }
+  }
+  sim.run_for(seconds(5));
+  swarm.shutdown();
+  sim.run_for(seconds(1));
+
+  // --- Invariants ---------------------------------------------------------
+  const auto& metrics = swarm.metrics();
+
+  // (2) Conservation.
+  const double total_s = sim.now().seconds();
+  const auto generated_upper = std::size_t(app.fps * total_s) + 2;
+  EXPECT_LE(metrics.frames_arrived(), generated_upper);
+
+  // (3) No duplicate sink arrivals.
+  std::set<std::uint64_t> ids;
+  for (const auto& f : metrics.frames()) {
+    EXPECT_TRUE(ids.insert(f.id.value()).second)
+        << "duplicate frame " << f.id;
+    // (6) Delay components sane.
+    EXPECT_GE(f.breakdown.transmission_ms, 0.0);
+    EXPECT_GE(f.breakdown.queuing_ms, 0.0);
+    EXPECT_GE(f.breakdown.processing_ms, 0.0);
+    EXPECT_GE(f.e2e_ms(), 0.0);
+    EXPECT_LT(f.e2e_ms(), 120'000.0);  // Nothing absurd.
+  }
+
+  // (4) Playback monotone.
+  double prev = -1.0;
+  for (const auto& p : metrics.plays().points()) {
+    EXPECT_GT(p.value, prev);
+    prev = p.value;
+  }
+
+  // (5) Energy/battery sanity on every device.
+  for (DeviceId id : swarm.devices()) {
+    const double e = swarm.device(id).cpu_energy_j(sim.now());
+    EXPECT_GE(e, 0.0);
+    EXPECT_TRUE(std::isfinite(e));
+    const double b = swarm.device(id).battery_fraction(sim.now());
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSwarmTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace swing

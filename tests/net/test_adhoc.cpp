@@ -1,0 +1,116 @@
+// Wi-Fi Direct / ad-hoc medium mode: one hop per message at the pairwise
+// link rate (vs two AP-relayed hops in infrastructure mode).
+#include <gtest/gtest.h>
+
+#include "net/medium.h"
+#include "sim/simulator.h"
+
+namespace swing::net {
+namespace {
+
+MediumConfig adhoc_config() {
+  MediumConfig config;
+  config.mode = MediumMode::kAdhoc;
+  return config;
+}
+
+class AdhocTest : public ::testing::Test {
+ protected:
+  AdhocTest() : medium_(sim_, adhoc_config()) {
+    medium_.attach(a_, Position{0.0, 0.0});
+    medium_.attach(b_, Position{3.0, 0.0});
+  }
+
+  Simulator sim_;
+  Medium medium_;
+  DeviceId a_{0}, b_{1};
+};
+
+TEST_F(AdhocTest, DeliversDirectly) {
+  bool delivered = false;
+  EXPECT_TRUE(medium_.send(a_, b_, 6000, [&] { delivered = true; }));
+  sim_.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(AdhocTest, HalvesAirtimeVsInfrastructure) {
+  medium_.send(a_, b_, 30000, [] {});
+  sim_.run();
+  const double adhoc_air = medium_.total_busy_airtime_s();
+
+  Simulator sim2;
+  Medium infra{sim2};
+  infra.attach(a_, Position{0.0, 0.0});
+  infra.attach(b_, Position{3.0, 0.0});
+  infra.send(a_, b_, 30000, [] {});
+  sim2.run();
+  // Two hops vs one at comparable rates: ~2x the airtime.
+  EXPECT_NEAR(infra.total_busy_airtime_s() / adhoc_air, 2.0, 0.5);
+}
+
+TEST_F(AdhocTest, PairRssiFollowsPairDistance) {
+  // b close to a but far from the AP at the origin: the direct link is
+  // what matters in ad-hoc mode.
+  medium_.set_position(a_, Position{40.0, 0.0});
+  medium_.set_position(b_, Position{41.0, 0.0});
+  EXPECT_GT(medium_.pair_rssi(a_, b_), -50.0);  // 1 m apart.
+  EXPECT_LT(medium_.rssi(a_), -70.0);           // Far from origin.
+  bool delivered = false;
+  medium_.send(a_, b_, 3000, [&] { delivered = true; });
+  sim_.run_for(millis(100));
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(AdhocTest, OutOfRangePairUnreachable) {
+  medium_.set_position(b_, Position{5000.0, 0.0});
+  EXPECT_FALSE(medium_.reachable(a_, b_));
+  DropReason reason{};
+  EXPECT_FALSE(
+      medium_.send(a_, b_, 100, [] {}, [&](DropReason r) { reason = r; }));
+  EXPECT_EQ(reason, DropReason::kReceiverDisconnected);
+}
+
+TEST_F(AdhocTest, ZoneOverrideCapsDirectLink) {
+  // b pinned to a weak zone: even a physically-adjacent direct link
+  // inherits the interference.
+  medium_.set_rssi_override(b_, -78.0);
+  EXPECT_DOUBLE_EQ(medium_.pair_rssi(a_, b_), -78.0);
+}
+
+TEST_F(AdhocTest, DriftOutOfRangeMidTransferDrops) {
+  bool delivered = false;
+  bool dropped = false;
+  medium_.send(a_, b_, 150000, [&] { delivered = true; },
+               [&](DropReason) { dropped = true; });
+  sim_.run_for(millis(1));
+  medium_.set_position(b_, Position{5000.0, 0.0});
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(AdhocTest, BytesAccountedOnce) {
+  medium_.send(a_, b_, 4000, [] {});
+  sim_.run();
+  EXPECT_EQ(medium_.stats(a_).tx_bytes, 4000u);
+  EXPECT_EQ(medium_.stats(b_).rx_bytes, 4000u);
+}
+
+TEST_F(AdhocTest, LoopbackStillFree) {
+  bool delivered = false;
+  medium_.send(a_, a_, 100000, [&] { delivered = true; });
+  sim_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(medium_.total_busy_airtime_s(), 0.0);
+}
+
+TEST_F(AdhocTest, WindowAccountingStillHolds) {
+  medium_.set_rssi_override(b_, -78.0);
+  medium_.send(a_, b_, 30000, [] {});
+  EXPECT_FALSE(medium_.can_accept(a_, b_, 1500));
+  sim_.run();
+  EXPECT_TRUE(medium_.can_accept(a_, b_, 30000));
+}
+
+}  // namespace
+}  // namespace swing::net

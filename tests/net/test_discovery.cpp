@@ -1,0 +1,93 @@
+#include "net/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace swing::net {
+namespace {
+
+TEST(Discovery, WatcherSeesExistingService) {
+  Simulator sim;
+  Discovery discovery{sim};
+  discovery.advertise("svc", DeviceId{1}, Bytes{9});
+
+  DeviceId found{};
+  Bytes info;
+  discovery.watch("svc", [&](DeviceId provider, const Bytes& i) {
+    found = provider;
+    info = i;
+  });
+  sim.run();
+  EXPECT_EQ(found, DeviceId{1});
+  EXPECT_EQ(info, Bytes{9});
+}
+
+TEST(Discovery, WatcherSeesFutureService) {
+  Simulator sim;
+  Discovery discovery{sim};
+  DeviceId found{};
+  discovery.watch("svc", [&](DeviceId provider, const Bytes&) {
+    found = provider;
+  });
+  sim.run();
+  EXPECT_FALSE(found.valid());
+  discovery.advertise("svc", DeviceId{2}, Bytes{});
+  sim.run();
+  EXPECT_EQ(found, DeviceId{2});
+}
+
+TEST(Discovery, PropagationDelay) {
+  Simulator sim;
+  Discovery discovery{sim, millis(120)};
+  SimTime seen;
+  discovery.watch("svc", [&](DeviceId, const Bytes&) { seen = sim.now(); });
+  discovery.advertise("svc", DeviceId{1}, Bytes{});
+  sim.run();
+  EXPECT_EQ(seen, SimTime{} + millis(120));
+}
+
+TEST(Discovery, ServiceNamesAreIsolated) {
+  Simulator sim;
+  Discovery discovery{sim};
+  int calls = 0;
+  discovery.watch("svc-a", [&](DeviceId, const Bytes&) { ++calls; });
+  discovery.advertise("svc-b", DeviceId{1}, Bytes{});
+  sim.run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Discovery, MultipleWatchers) {
+  Simulator sim;
+  Discovery discovery{sim};
+  int calls = 0;
+  discovery.watch("svc", [&](DeviceId, const Bytes&) { ++calls; });
+  discovery.watch("svc", [&](DeviceId, const Bytes&) { ++calls; });
+  discovery.advertise("svc", DeviceId{1}, Bytes{});
+  sim.run();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Discovery, WithdrawHidesFromNewWatchers) {
+  Simulator sim;
+  Discovery discovery{sim};
+  discovery.advertise("svc", DeviceId{1}, Bytes{});
+  discovery.withdraw("svc", DeviceId{1});
+  int calls = 0;
+  discovery.watch("svc", [&](DeviceId, const Bytes&) { ++calls; });
+  sim.run();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(discovery.provider_count("svc"), 0u);
+}
+
+TEST(Discovery, ProviderCount) {
+  Simulator sim;
+  Discovery discovery{sim};
+  EXPECT_EQ(discovery.provider_count("svc"), 0u);
+  discovery.advertise("svc", DeviceId{1}, Bytes{});
+  discovery.advertise("svc", DeviceId{2}, Bytes{});
+  EXPECT_EQ(discovery.provider_count("svc"), 2u);
+}
+
+}  // namespace
+}  // namespace swing::net

@@ -1,0 +1,247 @@
+#include "net/medium.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace swing::net {
+namespace {
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_(sim_) {
+    medium_.attach(a_, Position{1.0, 0.0});
+    medium_.attach(b_, Position{2.0, 0.0});
+    medium_.attach(c_, Position{2.0, 1.0});
+  }
+
+  Simulator sim_;
+  Medium medium_;
+  DeviceId a_{0}, b_{1}, c_{2};
+};
+
+TEST_F(MediumTest, AttachDetach) {
+  EXPECT_TRUE(medium_.attached(a_));
+  medium_.detach(a_);
+  EXPECT_FALSE(medium_.attached(a_));
+}
+
+TEST_F(MediumTest, RssiFollowsPosition) {
+  const double near = medium_.rssi(a_);
+  medium_.set_position(a_, Position{40.0, 0.0});
+  EXPECT_LT(medium_.rssi(a_), near);
+}
+
+TEST_F(MediumTest, RssiOverrideWins) {
+  medium_.set_rssi_override(a_, -75.0);
+  EXPECT_DOUBLE_EQ(medium_.rssi(a_), -75.0);
+  medium_.set_rssi_override(a_, std::nullopt);
+  EXPECT_GT(medium_.rssi(a_), -40.0);
+}
+
+TEST_F(MediumTest, UnattachedRssiIsMinusInfinity) {
+  EXPECT_LT(medium_.rssi(DeviceId{99}), -1000.0);
+  EXPECT_FALSE(medium_.connected(DeviceId{99}));
+}
+
+TEST_F(MediumTest, DeliversMessage) {
+  bool delivered = false;
+  EXPECT_TRUE(medium_.send(a_, b_, 3000, [&] { delivered = true; }));
+  sim_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(medium_.delivered_messages(), 1u);
+}
+
+TEST_F(MediumTest, DeliveryTakesAirtime) {
+  SimTime delivered_at;
+  medium_.send(a_, b_, 6000, [&] { delivered_at = sim_.now(); });
+  sim_.run();
+  // 6 kB over two strong hops: ~a few ms, definitely not zero.
+  EXPECT_GT(delivered_at, SimTime{});
+  EXPECT_LT(delivered_at, SimTime{} + millis(50));
+}
+
+TEST_F(MediumTest, LargerMessagesTakeLonger) {
+  SimTime small_done, large_done;
+  medium_.send(a_, b_, 1000, [&] { small_done = sim_.now(); });
+  sim_.run();
+  Simulator sim2;
+  Medium medium2{sim2};
+  medium2.attach(a_, Position{1.0, 0.0});
+  medium2.attach(b_, Position{2.0, 0.0});
+  medium2.send(a_, b_, 60000, [&] { large_done = sim2.now(); });
+  sim2.run();
+  EXPECT_GT(large_done - SimTime{}, small_done - SimTime{});
+}
+
+TEST_F(MediumTest, LoopbackSkipsRadio) {
+  bool delivered = false;
+  medium_.send(a_, a_, 100000, [&] { delivered = true; });
+  sim_.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(medium_.stats(a_).airtime_s, 0.0);
+}
+
+TEST_F(MediumTest, SenderDisconnectedFails) {
+  medium_.set_rssi_override(a_, -100.0);
+  bool dropped = false;
+  DropReason reason{};
+  EXPECT_FALSE(medium_.send(a_, b_, 100, [] {}, [&](DropReason r) {
+    dropped = true;
+    reason = r;
+  }));
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(reason, DropReason::kSenderDisconnected);
+}
+
+TEST_F(MediumTest, ReceiverDisconnectedFails) {
+  medium_.set_rssi_override(b_, -100.0);
+  DropReason reason{};
+  EXPECT_FALSE(
+      medium_.send(a_, b_, 100, [] {}, [&](DropReason r) { reason = r; }));
+  EXPECT_EQ(reason, DropReason::kReceiverDisconnected);
+}
+
+TEST_F(MediumTest, DetachDropsInFlight) {
+  bool delivered = false;
+  bool dropped = false;
+  medium_.send(a_, b_, 150000, [&] { delivered = true; },
+               [&](DropReason) { dropped = true; });
+  sim_.run_for(micros(100));  // Transfer started, not finished.
+  medium_.detach(b_);
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(MediumTest, UtilisationNeverExceedsOne) {
+  // Saturating offered load: many large messages at once.
+  for (int i = 0; i < 50; ++i) {
+    medium_.send(a_, b_, 60000, [] {});
+    medium_.send(a_, c_, 60000, [] {});
+  }
+  sim_.run();
+  EXPECT_LE(medium_.utilisation(), 1.0001);
+}
+
+TEST_F(MediumTest, AirtimeAccountedToLinkDevice) {
+  medium_.send(a_, b_, 15000, [] {});
+  sim_.run();
+  EXPECT_GT(medium_.stats(a_).airtime_s, 0.0);  // Uplink.
+  EXPECT_GT(medium_.stats(b_).airtime_s, 0.0);  // Downlink.
+  EXPECT_DOUBLE_EQ(medium_.stats(c_).airtime_s, 0.0);
+}
+
+TEST_F(MediumTest, BytesAccounted) {
+  medium_.send(a_, b_, 4000, [] {});
+  sim_.run();
+  EXPECT_EQ(medium_.stats(a_).tx_bytes, 4000u);
+  EXPECT_EQ(medium_.stats(b_).rx_bytes, 4000u);
+}
+
+TEST_F(MediumTest, WeakLinkConsumesMoreAirtime) {
+  medium_.set_rssi_override(b_, -76.0);
+  medium_.send(a_, b_, 6000, [] {});
+  sim_.run();
+  const double weak_airtime = medium_.stats(b_).airtime_s;
+
+  Simulator sim2;
+  Medium medium2{sim2};
+  medium2.attach(a_, Position{1.0, 0.0});
+  medium2.attach(b_, Position{2.0, 0.0});
+  medium2.send(a_, b_, 6000, [] {});
+  sim2.run();
+  EXPECT_GT(weak_airtime, 5.0 * medium2.stats(b_).airtime_s);
+}
+
+// The 802.11 rate anomaly: traffic to a weak-signal receiver slows down an
+// unrelated strong-signal flow sharing the channel.
+TEST_F(MediumTest, RateAnomalySlowsOtherFlows) {
+  // Baseline: strong-only flow completion time.
+  Simulator sim2;
+  Medium medium2{sim2};
+  medium2.attach(a_, Position{1.0, 0.0});
+  medium2.attach(c_, Position{2.0, 1.0});
+  SimTime baseline;
+  medium2.send(a_, c_, 30000, [&] { baseline = sim2.now(); });
+  sim2.run();
+
+  // Same flow, now sharing the channel with a weak-receiver flow.
+  medium_.set_rssi_override(b_, -77.0);
+  SimTime contended;
+  medium_.send(a_, b_, 30000, [] {});
+  medium_.send(a_, c_, 30000, [&] { contended = sim_.now(); });
+  sim_.run();
+  EXPECT_GT((contended - SimTime{}) / (baseline - SimTime{}), 2.0);
+}
+
+TEST_F(MediumTest, TcpWindowBlocksWhenFull) {
+  medium_.set_rssi_override(b_, -78.0);  // Slow drain.
+  // A message larger than the 16-packet window overshoots it (TCP buffers
+  // one application write beyond the window)...
+  EXPECT_TRUE(medium_.send(a_, b_, 30000, [] {}));
+  // ...after which the connection admits nothing further.
+  EXPECT_FALSE(medium_.can_accept(a_, b_, 1500));
+  DropReason reason{};
+  EXPECT_FALSE(
+      medium_.send(a_, b_, 1500, [] {}, [&](DropReason r) { reason = r; }));
+  EXPECT_EQ(reason, DropReason::kQueueFull);
+}
+
+TEST_F(MediumTest, WindowFreesAfterDelivery) {
+  medium_.send(a_, b_, 30000, [] {});
+  EXPECT_FALSE(medium_.can_accept(a_, b_, 1500));
+  sim_.run();
+  EXPECT_TRUE(medium_.can_accept(a_, b_, 30000));
+  EXPECT_EQ(medium_.inflight_packets(a_, b_), 0u);
+}
+
+TEST_F(MediumTest, OversizeMessageAdmittedOnEmptyWindow) {
+  // 100 kB >> 16-packet window, but admitted when nothing is inflight.
+  EXPECT_TRUE(medium_.can_accept(a_, b_, 100000));
+  bool delivered = false;
+  EXPECT_TRUE(medium_.send(a_, b_, 100000, [&] { delivered = true; }));
+  sim_.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(MediumTest, WindowsArePerPair) {
+  medium_.set_rssi_override(b_, -78.0);
+  medium_.send(a_, b_, 30000, [] {});
+  EXPECT_FALSE(medium_.can_accept(a_, b_, 1500));
+  EXPECT_TRUE(medium_.can_accept(a_, c_, 30000));
+}
+
+TEST_F(MediumTest, ManyMessagesAllDelivered) {
+  int delivered = 0;
+  int sent = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (medium_.can_accept(a_, b_, 1500)) {
+      medium_.send(a_, b_, 1500, [&] { ++delivered; });
+      ++sent;
+    }
+    sim_.run_for(millis(2));
+  }
+  sim_.run();
+  EXPECT_GT(sent, 50);
+  EXPECT_EQ(delivered, sent);
+}
+
+TEST_F(MediumTest, GoodputPositiveWhenConnected) {
+  EXPECT_GT(medium_.goodput_bps(a_), 1e6);
+  medium_.set_rssi_override(a_, -78.0);
+  EXPECT_GT(medium_.goodput_bps(a_), 0.0);
+  EXPECT_LT(medium_.goodput_bps(a_), 1e6);
+  medium_.set_rssi_override(a_, -100.0);
+  EXPECT_DOUBLE_EQ(medium_.goodput_bps(a_), 0.0);
+}
+
+TEST_F(MediumTest, ZeroByteMessageDelivers) {
+  bool delivered = false;
+  medium_.send(a_, b_, 0, [&] { delivered = true; });
+  sim_.run();
+  EXPECT_TRUE(delivered);
+}
+
+}  // namespace
+}  // namespace swing::net

@@ -1,0 +1,106 @@
+// Physics invariants of the shared medium under random traffic: byte
+// conservation, bounded utilisation, airtime lower bounds, window
+// accounting returning to zero. Parameterized over seeds and both modes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "net/medium.h"
+#include "sim/simulator.h"
+
+namespace swing::net {
+namespace {
+
+struct Traffic {
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  int sent = 0;
+  int delivered = 0;
+  int dropped = 0;
+};
+
+class MediumPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, MediumMode>> {
+};
+
+TEST_P(MediumPropertyTest, InvariantsUnderRandomTraffic) {
+  const auto [seed, mode] = GetParam();
+  Rng rng{seed};
+  Simulator sim;
+  MediumConfig config;
+  config.mode = mode;
+  Medium medium{sim, config};
+
+  const std::size_t n_devices = 3 + rng.uniform_int(6);
+  std::vector<DeviceId> devices;
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    devices.emplace_back(i);
+    if (rng.uniform() < 0.3) {
+      medium.attach(devices.back(), Position{1.0, 0.0});
+      medium.set_rssi_override(devices.back(),
+                               -40.0 - rng.uniform() * 38.0);
+    } else {
+      medium.attach(devices.back(),
+                    Position{rng.uniform() * 30.0, rng.uniform() * 10.0});
+    }
+  }
+
+  Traffic traffic;
+  for (int step = 0; step < 300; ++step) {
+    sim.run_for(millis(rng.uniform(1.0, 30.0)));
+    const DeviceId src = devices[rng.uniform_int(devices.size())];
+    const DeviceId dst = devices[rng.uniform_int(devices.size())];
+    if (src == dst) continue;
+    const std::size_t bytes = 100 + rng.uniform_int(50000);
+    if (!medium.can_accept(src, dst, bytes)) continue;
+    const bool accepted = medium.send(
+        src, dst, bytes,
+        [&traffic, bytes] {
+          ++traffic.delivered;
+          traffic.delivered_bytes += bytes;
+        },
+        [&traffic](DropReason) { ++traffic.dropped; });
+    if (accepted) {
+      ++traffic.sent;
+      traffic.sent_bytes += bytes;
+    }
+  }
+  sim.run();  // Drain everything.
+
+  // Conservation: every accepted message either delivered or dropped.
+  EXPECT_EQ(traffic.sent, traffic.delivered + traffic.dropped);
+  // Nothing materialises out of thin air.
+  EXPECT_LE(traffic.delivered_bytes, traffic.sent_bytes);
+  // Utilisation is a fraction of wall time.
+  EXPECT_GE(medium.utilisation(), 0.0);
+  EXPECT_LE(medium.utilisation(), 1.0001);
+  // All windows returned to zero after draining.
+  for (DeviceId a : devices) {
+    for (DeviceId b : devices) {
+      EXPECT_EQ(medium.inflight_packets(a, b), 0u)
+          << a << "->" << b;
+    }
+  }
+  // Airtime lower bound: delivered bytes cannot beat the top PHY rate.
+  const double total_airtime = medium.total_busy_airtime_s();
+  const double hops = mode == MediumMode::kAdhoc ? 1.0 : 2.0;
+  EXPECT_GE(total_airtime * kMcsTable[0].rate_bps * 1.01 + 1.0,
+            double(traffic.delivered_bytes) * 8.0 * hops *
+                MediumConfig{}.mac_efficiency)
+      << "more bytes than the channel could physically carry";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, MediumPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(MediumMode::kInfrastructure,
+                                         MediumMode::kAdhoc)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == MediumMode::kAdhoc ? "_adhoc"
+                                                            : "_infra");
+    });
+
+}  // namespace
+}  // namespace swing::net

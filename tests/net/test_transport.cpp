@@ -1,0 +1,132 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace swing::net {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : medium_(sim_), transport_(sim_, medium_) {
+    medium_.attach(a_, Position{1.0, 0.0});
+    medium_.attach(b_, Position{2.0, 0.0});
+  }
+
+  Simulator sim_;
+  Medium medium_;
+  Transport transport_;
+  DeviceId a_{0}, b_{1};
+};
+
+TEST_F(TransportTest, DeliversTypedMessage) {
+  Message received;
+  bool got = false;
+  transport_.register_device(b_, [&](const Message& m) {
+    received = m;
+    got = true;
+  });
+  Bytes payload = {1, 2, 3};
+  EXPECT_TRUE(transport_.send(a_, b_, 7, payload));
+  sim_.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(received.type, 7);
+  EXPECT_EQ(received.payload, payload);
+  EXPECT_EQ(received.src, a_);
+  EXPECT_EQ(received.dst, b_);
+}
+
+TEST_F(TransportTest, SentAtStamped) {
+  Message received;
+  transport_.register_device(b_, [&](const Message& m) { received = m; });
+  sim_.run_for(millis(100));
+  transport_.send(a_, b_, 1, Bytes{});
+  sim_.run();
+  EXPECT_EQ(received.sent_at, SimTime{} + millis(100));
+}
+
+TEST_F(TransportTest, MessageIdsUnique) {
+  std::vector<MessageId> ids;
+  transport_.register_device(b_, [&](const Message& m) {
+    ids.push_back(m.id);
+  });
+  for (int i = 0; i < 5; ++i) transport_.send(a_, b_, 1, Bytes{});
+  sim_.run();
+  ASSERT_EQ(ids.size(), 5u);
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_NE(ids[i - 1], ids[i]);
+}
+
+TEST_F(TransportTest, UnregisteredHandlerDropsSilently) {
+  EXPECT_TRUE(transport_.send(a_, b_, 1, Bytes{}));
+  sim_.run();  // No crash, nothing delivered.
+}
+
+TEST_F(TransportTest, UnregisterStopsDelivery) {
+  int count = 0;
+  transport_.register_device(b_, [&](const Message&) { ++count; });
+  transport_.send(a_, b_, 1, Bytes{});
+  sim_.run();
+  transport_.unregister_device(b_);
+  transport_.send(a_, b_, 1, Bytes{});
+  sim_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(TransportTest, LinkWatcherFiresOnDeadPeer) {
+  DeviceId reported{};
+  transport_.set_link_watcher(a_, [&](DeviceId peer) { reported = peer; });
+  medium_.set_rssi_override(b_, -100.0);
+  EXPECT_FALSE(transport_.send(a_, b_, 1, Bytes{}));
+  sim_.run();
+  EXPECT_EQ(reported, b_);
+}
+
+TEST_F(TransportTest, LinkWatcherHasDetectionDelay) {
+  SimTime fired;
+  transport_.set_link_watcher(a_, [&](DeviceId) { fired = sim_.now(); });
+  medium_.set_rssi_override(b_, -100.0);
+  transport_.send(a_, b_, 1, Bytes{});
+  sim_.run();
+  EXPECT_GE(fired - SimTime{}, millis(100));  // Default detection 150 ms.
+}
+
+TEST_F(TransportTest, QueueFullIsNotLinkDown) {
+  bool link_down = false;
+  transport_.set_link_watcher(a_, [&](DeviceId) { link_down = true; });
+  medium_.set_rssi_override(b_, -78.0);
+  // Fill the window, then overflow it.
+  transport_.send(a_, b_, 1, Bytes(20000));
+  transport_.send(a_, b_, 1, Bytes(20000));
+  sim_.run();
+  EXPECT_FALSE(link_down);
+}
+
+TEST_F(TransportTest, CanSendTracksWindow) {
+  EXPECT_TRUE(transport_.can_send(a_, b_, 1000));
+  medium_.set_rssi_override(b_, -78.0);
+  transport_.send(a_, b_, 0, Bytes{}, 30000);
+  EXPECT_FALSE(transport_.can_send(a_, b_, 1500));
+}
+
+TEST_F(TransportTest, WireBytesOverrideUsed) {
+  // A tiny payload declared as 60 kB on the wire must take far longer than
+  // the same payload at its literal size.
+  SimTime t_small, t_large;
+  transport_.register_device(b_, [&](const Message&) { t_small = sim_.now(); });
+  transport_.send(a_, b_, 1, Bytes{1});
+  sim_.run();
+
+  Simulator sim2;
+  Medium medium2{sim2};
+  Transport transport2{sim2, medium2};
+  medium2.attach(a_, Position{1.0, 0.0});
+  medium2.attach(b_, Position{2.0, 0.0});
+  transport2.register_device(b_, [&](const Message&) { t_large = sim2.now(); });
+  transport2.send(a_, b_, 1, Bytes{1}, 60000);
+  sim2.run();
+  EXPECT_GT((t_large - SimTime{}) / (t_small - SimTime{}), 5.0);
+}
+
+}  // namespace
+}  // namespace swing::net

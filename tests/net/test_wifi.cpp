@@ -1,0 +1,118 @@
+#include "net/wifi.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::net {
+namespace {
+
+TEST(PathLoss, RssiDecreasesWithDistance) {
+  double prev = rssi_from_distance(1.0);
+  for (double d : {2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const double r = rssi_from_distance(d);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PathLoss, CloseRangeIsStrong) {
+  EXPECT_GT(rssi_from_distance(0.5), -40.0);
+}
+
+TEST(PathLoss, InverseRoundTrips) {
+  for (double rssi : {-40.0, -55.0, -65.0, -75.0}) {
+    const double d = distance_for_rssi(rssi);
+    EXPECT_NEAR(rssi_from_distance(d), rssi, 0.01);
+  }
+}
+
+TEST(PathLoss, MinDistanceClamped) {
+  EXPECT_DOUBLE_EQ(distance_for_rssi(0.0), PathLossConfig{}.min_distance_m);
+}
+
+TEST(LinkQuality, StrongSignalGetsTopMcs) {
+  const auto lq = link_quality(-30.0);
+  ASSERT_TRUE(lq.has_value());
+  EXPECT_EQ(lq->mcs.index, 7);
+  EXPECT_NEAR(lq->tries, 1.0, 0.05);
+}
+
+TEST(LinkQuality, OutOfRangeIsDisconnected) {
+  EXPECT_FALSE(link_quality(-85.0).has_value());
+  EXPECT_FALSE(link_quality(-100.0).has_value());
+}
+
+TEST(LinkQuality, EdgeOfRangeStillConnects) {
+  EXPECT_TRUE(link_quality(kMcsTable[7].sensitivity_dbm).has_value());
+}
+
+// Property: effective goodput (rate / tries) is non-increasing as RSSI
+// falls. This is what a rate controller guarantees and what the routing
+// policies implicitly rely on.
+TEST(LinkQuality, GoodputMonotoneInRssi) {
+  double prev = 1e18;
+  for (double rssi = -30.0; rssi >= -80.0; rssi -= 0.5) {
+    const auto lq = link_quality(rssi);
+    ASSERT_TRUE(lq.has_value()) << "rssi " << rssi;
+    const double goodput = lq->mcs.rate_bps / lq->tries;
+    EXPECT_LE(goodput, prev * 1.0001) << "rssi " << rssi;
+    prev = goodput;
+  }
+}
+
+TEST(LinkQuality, TriesAtLeastOne) {
+  for (double rssi = -30.0; rssi >= -80.0; rssi -= 1.0) {
+    const auto lq = link_quality(rssi);
+    ASSERT_TRUE(lq.has_value());
+    EXPECT_GE(lq->tries, 1.0);
+  }
+}
+
+TEST(LinkQuality, WeakZoneCollapses) {
+  // The paper's "Bad" zone (-80..-70) must be drastically slower than the
+  // strong zone: that differential is what the L* policies exploit.
+  const auto good = link_quality(-35.0);
+  const auto bad = link_quality(-78.0);
+  ASSERT_TRUE(good && bad);
+  const double ratio = (good->mcs.rate_bps / good->tries) /
+                       (bad->mcs.rate_bps / bad->tries);
+  EXPECT_GT(ratio, 50.0);
+}
+
+TEST(ResidualLoss, ZeroAboveThreshold) {
+  EXPECT_DOUBLE_EQ(residual_loss(-60.0), 0.0);
+  EXPECT_DOUBLE_EQ(residual_loss(-65.0), 0.0);
+}
+
+TEST(ResidualLoss, GrowsBelowThreshold) {
+  EXPECT_GT(residual_loss(-70.0), 0.0);
+  EXPECT_GT(residual_loss(-78.0), residual_loss(-70.0));
+}
+
+TEST(ResidualLoss, Capped) {
+  EXPECT_LE(residual_loss(-120.0), 0.92);
+}
+
+TEST(McsPer, HighAtZeroMargin) {
+  const McsEntry mcs = kMcsTable[0];
+  EXPECT_NEAR(mcs_packet_error_rate(mcs.sensitivity_dbm, mcs), 0.88, 1e-9);
+}
+
+TEST(McsPer, LowWithMargin) {
+  const McsEntry mcs = kMcsTable[0];
+  EXPECT_NEAR(mcs_packet_error_rate(mcs.sensitivity_dbm + 10.0, mcs), 0.01,
+              1e-9);
+}
+
+TEST(McsPer, TotalLossBelowSensitivity) {
+  const McsEntry mcs = kMcsTable[0];
+  EXPECT_DOUBLE_EQ(mcs_packet_error_rate(mcs.sensitivity_dbm - 1.0, mcs),
+                   1.0);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace swing::net

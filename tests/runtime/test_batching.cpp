@@ -1,0 +1,155 @@
+// The batching service: coalescing small data messages per connection.
+#include <gtest/gtest.h>
+
+#include "device/profile.h"
+#include "runtime/messages.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+// High-rate tiny-tuple app: 100 Hz of 200 B sensor readings.
+dataflow::AppGraph sensor_app(double hz = 100.0, std::uint64_t max = 0) {
+  dataflow::AppGraph g;
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = hz;
+  spec.max_tuples = max;
+  spec.generate = [](TupleId id, SimTime, Rng&) {
+    dataflow::Tuple t;
+    t.set("reading", dataflow::Blob{200, id.value()});
+    return t;
+  };
+  const auto src = g.add_source("sensor", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(2.0));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  return g;
+}
+
+runtime::SwarmConfig batched_config(bool enabled) {
+  runtime::SwarmConfig config;
+  config.worker.batching.enabled = enabled;
+  // Five 100 Hz tuples fit a window, so batches actually form.
+  config.worker.batching.max_delay = millis(50);
+  return config;
+}
+
+TEST(Messages, DataBatchRoundTrip) {
+  DataBatchMsg msg;
+  msg.datas.push_back(Bytes{1, 2, 3});
+  msg.datas.push_back(Bytes{});
+  msg.datas.push_back(Bytes{9});
+  const DataBatchMsg back = DataBatchMsg::from_bytes(msg.to_bytes());
+  ASSERT_EQ(back.datas.size(), 3u);
+  EXPECT_EQ(back.datas[0], (Bytes{1, 2, 3}));
+  EXPECT_TRUE(back.datas[1].empty());
+  EXPECT_EQ(back.datas[2], Bytes{9});
+}
+
+TEST(Messages, CorruptBatchThrows) {
+  EXPECT_THROW(DataBatchMsg::from_bytes(Bytes{0x05, 0x01}),
+               WireFormatError);
+}
+
+class BatchingTest : public ::testing::Test {
+ protected:
+  std::size_t run(bool batching, std::uint64_t frames = 300) {
+    Simulator sim;
+    runtime::Swarm swarm{sim, batched_config(batching)};
+    const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+    const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+    swarm.launch_master(a, sensor_app(100.0, frames));
+    swarm.launch_worker(b);
+    sim.run_for(seconds(1));
+    swarm.start();
+    sim.run_for(seconds(10));
+    swarm.shutdown();
+    sim.run_for(seconds(1));
+    delivered_ = swarm.metrics().frames_arrived();
+    mean_latency_ = swarm.metrics().latency_stats().mean();
+    return swarm.medium().delivered_messages();
+  }
+
+  std::size_t delivered_ = 0;
+  double mean_latency_ = 0.0;
+};
+
+TEST_F(BatchingTest, AllTuplesStillDelivered) {
+  run(true);
+  EXPECT_EQ(delivered_, 300u);
+}
+
+TEST_F(BatchingTest, FarFewerWireMessages) {
+  const auto unbatched = run(false);
+  const auto delivered_unbatched = delivered_;
+  const auto batched = run(true);
+  EXPECT_EQ(delivered_, delivered_unbatched);
+  // 100 Hz with a 10 ms window or 8-tuple cap: several-fold reduction in
+  // radio messages (data only; control/ACK traffic unchanged).
+  EXPECT_LT(double(batched), 0.7 * double(unbatched));
+}
+
+TEST_F(BatchingTest, AddsBoundedLatency) {
+  run(false);
+  const double base = mean_latency_;
+  run(true);
+  // Batching adds at most max_delay (50 ms here) of hold time per network
+  // hop; this pipeline has two (source->worker, worker->sink).
+  EXPECT_LT(mean_latency_, base + 2.0 * 50.0 + 10.0);
+  EXPECT_GT(mean_latency_, base);  // It is not free.
+}
+
+TEST_F(BatchingTest, FlushOnCount) {
+  // With a huge window, only the 8-tuple cap can trigger sends; everything
+  // must still arrive.
+  Simulator sim;
+  runtime::SwarmConfig config;
+  config.worker.batching.enabled = true;
+  config.worker.batching.max_delay = seconds(60);
+  runtime::Swarm swarm{sim, config};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, sensor_app(100.0, 160));  // 20 full batches.
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(5));
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 160u);
+}
+
+TEST_F(BatchingTest, FlushOnTimerForStragglerTuples) {
+  // 3 tuples then silence: only the timer can flush them.
+  Simulator sim;
+  runtime::Swarm swarm{sim, batched_config(true)};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, sensor_app(100.0, 3));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(2));
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 3u);
+}
+
+TEST_F(BatchingTest, SurvivesPeerLeaving) {
+  Simulator sim;
+  runtime::Swarm swarm{sim, batched_config(true)};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm.add_device(device::profile_I(), {2.5, 0.0});
+  swarm.launch_master(a, sensor_app(100.0));
+  swarm.launch_worker(b);
+  swarm.launch_worker(c);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(3));
+  swarm.leave_abruptly(c);
+  sim.run_for(seconds(5));
+  const auto t = sim.now();
+  EXPECT_GT(swarm.metrics().throughput_fps(t - seconds(2), t), 60.0);
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,144 @@
+// Tests for the interference model and tuple-TTL staleness shedding.
+#include <gtest/gtest.h>
+
+#include "device/profile.h"
+#include "net/medium.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+dataflow::AppGraph tiny_app(double rate, double cost_ms,
+                            std::uint64_t max = 0) {
+  dataflow::AppGraph g;
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = rate;
+  spec.max_tuples = max;
+  spec.generate = [](TupleId id, SimTime, Rng&) {
+    dataflow::Tuple t;
+    t.set("payload", dataflow::Blob{6000, id.value()});
+    return t;
+  };
+  const auto src = g.add_source("src", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(cost_ms));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  return g;
+}
+
+// --- Interference -----------------------------------------------------
+
+TEST(Interference, StealsAirtimeProportionally) {
+  auto transfer_time = [](double duty) {
+    Simulator sim;
+    net::MediumConfig config;
+    config.interference.duty = duty;
+    config.interference.burst = millis(5);
+    net::Medium medium{sim, config};
+    medium.attach(DeviceId{0}, net::Position{1.0, 0.0});
+    medium.attach(DeviceId{1}, net::Position{2.0, 0.0});
+    SimTime done;
+    medium.send(DeviceId{0}, DeviceId{1}, 200000, [&] { done = sim.now(); });
+    sim.run_until(SimTime{} + seconds(30));
+    return done.seconds();
+  };
+  const double quiet = transfer_time(0.0);
+  const double busy = transfer_time(0.5);
+  // Half the channel gone: about twice the completion time.
+  EXPECT_GT(busy / quiet, 1.6);
+  EXPECT_LT(busy / quiet, 2.6);
+}
+
+TEST(Interference, SwarmSurvivesDaytimeChannel) {
+  Simulator sim;
+  SwarmConfig config;
+  config.medium.interference.duty = 0.3;
+  Swarm swarm{sim, config};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, tiny_app(10.0, 20.0));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(10));
+  const auto t = sim.now();
+  // Light traffic: throughput holds, latency absorbs the deferrals.
+  EXPECT_GT(swarm.metrics().throughput_fps(t - seconds(5), t), 9.0);
+}
+
+TEST(Interference, ZeroDutyIsTheQuietNight) {
+  Simulator sim;
+  net::MediumConfig config;  // duty = 0.
+  net::Medium medium{sim, config};
+  medium.attach(DeviceId{0}, net::Position{1.0, 0.0});
+  medium.attach(DeviceId{1}, net::Position{2.0, 0.0});
+  bool delivered = false;
+  medium.send(DeviceId{0}, DeviceId{1}, 1500, [&] { delivered = true; });
+  sim.run_for(millis(10));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(sim.queued(), 0u);  // No interference machinery scheduled.
+}
+
+// --- Tuple TTL ----------------------------------------------------------
+
+TEST(TupleTtl, StaleTuplesShedBeforeCompute) {
+  // Overloaded slow device: without a TTL its queue serves frames that are
+  // seconds old; with one, stale frames are shed on arrival.
+  Simulator sim;
+  SwarmConfig config;
+  config.worker.tuple_ttl = millis(800);
+  config.worker.compute_backlog_cap = 1000;
+  Swarm swarm{sim, config};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_E(), {2.0, 0.0});
+  swarm.launch_master(a, tiny_app(10.0, 100.0));  // E does ~2 FPS.
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(20));
+
+  EXPECT_GT(swarm.metrics().stale_drops(), 50u);
+  // Everything that *was* delivered is fresh.
+  for (const auto& f : swarm.metrics().frames()) {
+    EXPECT_LT(f.e2e_ms(), 1500.0);
+  }
+}
+
+TEST(TupleTtl, DisabledByDefault) {
+  Simulator sim;
+  SwarmConfig config;
+  config.worker.compute_backlog_cap = 1000;
+  Swarm swarm{sim, config};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_E(), {2.0, 0.0});
+  swarm.launch_master(a, tiny_app(10.0, 100.0));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(20));
+  EXPECT_EQ(swarm.metrics().stale_drops(), 0u);
+  // Queues grow instead: some frames arrive very late.
+  EXPECT_GT(swarm.metrics().latency_stats().max(), 3000.0);
+}
+
+TEST(TupleTtl, FreshTuplesUnaffected) {
+  Simulator sim;
+  SwarmConfig config;
+  config.worker.tuple_ttl = seconds(2.0);
+  Swarm swarm{sim, config};
+  const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+  swarm.launch_master(a, tiny_app(10.0, 20.0, 80));
+  swarm.launch_worker(b);
+  sim.run_for(seconds(1));
+  swarm.start();
+  sim.run_for(seconds(12));
+  swarm.shutdown();
+  EXPECT_EQ(swarm.metrics().frames_arrived(), 80u);
+  EXPECT_EQ(swarm.metrics().stale_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,193 @@
+// Failure injection: corrupt payloads, hostile message sequences, races
+// between control and data planes, and repeated membership churn. The
+// framework must degrade (drop, log, count) — never crash or wedge.
+#include <gtest/gtest.h>
+
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+dataflow::AppGraph tiny_app(double rate = 10.0, double cost = 20.0) {
+  dataflow::AppGraph g;
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = rate;
+  spec.generate = [](TupleId id, SimTime, Rng&) {
+    dataflow::Tuple t;
+    t.set("payload", dataflow::Blob{4000, id.value()});
+    return t;
+  };
+  const auto src = g.add_source("src", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(cost));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  return g;
+}
+
+class FailureInjection : public ::testing::Test {
+ protected:
+  void start_two_device_swarm() {
+    a_ = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+    b_ = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+    swarm_.launch_master(a_, tiny_app());
+    swarm_.launch_worker(b_);
+    sim_.run_for(seconds(1));
+    swarm_.start();
+    sim_.run_for(seconds(2));
+  }
+
+  Simulator sim_;
+  runtime::Swarm swarm_{sim_};
+  DeviceId a_, b_;
+};
+
+TEST_F(FailureInjection, CorruptDataPayloadDroppedAndCounted) {
+  start_two_device_swarm();
+  const auto before = swarm_.metrics().frames_arrived();
+  // Garbage bytes labelled as data, control, and ACK messages.
+  swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kData),
+                          Bytes{0xde, 0xad});
+  swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kDeploy),
+                          Bytes{0xff});
+  swarm_.transport().send(b_, a_, std::uint8_t(MsgType::kAck), Bytes{0x01});
+  sim_.run_for(seconds(3));
+  // The stream keeps flowing and the junk is accounted for.
+  EXPECT_GT(swarm_.metrics().frames_arrived(), before + 20);
+  EXPECT_GE(swarm_.worker(b_)->malformed_messages(), 2u);
+  EXPECT_GE(swarm_.worker(a_)->malformed_messages(), 1u);
+}
+
+TEST_F(FailureInjection, CorruptControlToMasterIgnored) {
+  start_two_device_swarm();
+  swarm_.transport().send(b_, a_, std::uint8_t(MsgType::kLeaveReport),
+                          Bytes{0x80, 0x80});  // Malformed device id.
+  sim_.run_for(seconds(1));
+  EXPECT_TRUE(swarm_.master()->is_member(b_));  // Nothing was removed.
+}
+
+TEST_F(FailureInjection, UnknownMessageTypeIgnored) {
+  start_two_device_swarm();
+  swarm_.transport().send(a_, b_, 0xEE, Bytes{1, 2, 3});
+  sim_.run_for(seconds(1));
+  EXPECT_GT(swarm_.metrics().frames_arrived(), 0u);
+}
+
+TEST_F(FailureInjection, DataForUnknownInstanceBuffered) {
+  start_two_device_swarm();
+  DataMsg stray;
+  stray.src_instance = InstanceId{900};
+  stray.src_device = a_;
+  stray.dst_instance = InstanceId{901};  // Never deployed.
+  stray.sent_ns = sim_.now().nanos();
+  stray.tuple_bytes = dataflow::Tuple{TupleId{1}, sim_.now()}.to_bytes();
+  stray.tuple_wire_size = 100;
+  for (int i = 0; i < 500; ++i) {  // Past the pending cap.
+    swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kData),
+                            stray.to_bytes());
+    sim_.run_for(millis(20));
+  }
+  sim_.run_for(seconds(1));  // No crash, no unbounded growth.
+  EXPECT_GT(swarm_.metrics().frames_arrived(), 0u);
+}
+
+TEST_F(FailureInjection, DuplicateDeployIgnored) {
+  start_two_device_swarm();
+  const auto instances = swarm_.worker(b_)->instance_count();
+  // Replay the deploy of an instance the worker already activated.
+  const auto existing =
+      swarm_.master()->instances_of(swarm_.graph().operators()[1].id);
+  ASSERT_FALSE(existing.empty());
+  DeployMsg replay;
+  DeployMsg::Assignment assign;
+  assign.self = existing.front();
+  replay.assignments.push_back(assign);
+  swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kDeploy),
+                          replay.to_bytes());
+  sim_.run_for(seconds(1));
+  EXPECT_EQ(swarm_.worker(b_)->instance_count(), instances);
+}
+
+TEST_F(FailureInjection, RemoveDownstreamForUnknownInstanceIsNoop) {
+  start_two_device_swarm();
+  RouteUpdateMsg update{InstanceId{},
+                        InstanceInfo{InstanceId{999}, OperatorId{1}, b_}};
+  swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kRemoveDownstream),
+                          update.to_bytes());
+  sim_.run_for(seconds(2));
+  EXPECT_GT(swarm_.metrics().frames_arrived(), 20u);
+}
+
+TEST_F(FailureInjection, LeaveDuringBlockedSend) {
+  // A source blocked on a congested connection whose peer then dies must
+  // unblock and not send to the dead peer.
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(24.0, 30.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(2));
+  swarm_.medium().set_rssi_override(b, -78.0);  // Congest the connection.
+  sim_.run_for(seconds(2));
+  swarm_.leave_abruptly(b);
+  sim_.run_for(seconds(5));  // Must not crash or livelock.
+  EXPECT_FALSE(swarm_.master()->is_member(b));
+}
+
+TEST_F(FailureInjection, RepeatedChurnSurvives) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  std::vector<DeviceId> churners;
+  for (int i = 0; i < 4; ++i) {
+    churners.push_back(
+        swarm_.add_device(device::profile_G(), {2.0 + i, 0.0}));
+  }
+  swarm_.launch_master(a, tiny_app(20.0, 60.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+
+  // Join and abruptly kill helpers in waves.
+  for (DeviceId id : churners) {
+    swarm_.launch_worker(id);
+    sim_.run_for(seconds(3));
+    swarm_.leave_abruptly(id);
+    sim_.run_for(seconds(2));
+  }
+  sim_.run_for(seconds(5));
+  // The persistent worker keeps the stream alive throughout.
+  const SimTime t = sim_.now();
+  EXPECT_GT(swarm_.metrics().throughput_fps(t - seconds(4), t), 8.0);
+  EXPECT_EQ(swarm_.master()->member_count(), 2u);
+}
+
+TEST_F(FailureInjection, AllWorkersLeave) {
+  start_two_device_swarm();
+  swarm_.leave_abruptly(b_);
+  sim_.run_for(seconds(5));
+  const auto stalled = swarm_.metrics().source_drops();
+  EXPECT_GT(stalled, 0u);  // Source has nowhere to route.
+  // A replacement shows up and the stream resumes.
+  const auto c = swarm_.add_device(device::profile_I(), {2.0, 1.0});
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(5));
+  const SimTime t = sim_.now();
+  EXPECT_GT(swarm_.metrics().throughput_fps(t - seconds(2), t), 8.0);
+}
+
+TEST_F(FailureInjection, SinkDeviceNeverLosesItsOwnServices) {
+  start_two_device_swarm();
+  // Hostile LeaveReport claiming the master's own device is gone.
+  swarm_.transport().send(b_, a_, std::uint8_t(MsgType::kLeaveReport),
+                          DeviceMsg{a_}.to_bytes());
+  sim_.run_for(seconds(3));
+  // The master removed its own registration; behaviour must stay sane —
+  // in particular no crash and the worker b remains a member.
+  EXPECT_TRUE(swarm_.master()->is_member(b_));
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,327 @@
+#include "runtime/master.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/function_unit.h"
+#include "runtime/messages.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+dataflow::SourceSpec test_source() {
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = 24.0;
+  spec.generate = [](TupleId, SimTime, Rng&) { return dataflow::Tuple{}; };
+  return spec;
+}
+
+dataflow::AppGraph pipeline(std::size_t max_replicas = 0) {
+  dataflow::AppGraph g;
+  const auto src = g.add_source("src", test_source());
+  const auto t1 = g.add_transform("stage1", dataflow::passthrough_unit(),
+                                  dataflow::constant_cost(10.0),
+                                  max_replicas);
+  const auto t2 = g.add_transform("stage2", dataflow::passthrough_unit(),
+                                  dataflow::constant_cost(10.0),
+                                  max_replicas);
+  const auto snk = g.add_sink("snk");
+  g.connect(src, t1).connect(t1, t2).connect(t2, snk);
+  return g;
+}
+
+// Captures every message each device receives.
+class MasterTest : public ::testing::Test {
+ protected:
+  MasterTest()
+      : medium_(sim_), transport_(sim_, medium_), discovery_(sim_) {}
+
+  void attach(DeviceId id) {
+    medium_.attach(id, net::Position{1.0, 0.0});
+    transport_.register_device(id, [this, id](const net::Message& m) {
+      inbox_[id.value()].push_back(m);
+      if (master_ && id == master_->device()) master_->handle_message(m);
+    });
+  }
+
+  std::vector<net::Message> of_type(DeviceId id, MsgType type) {
+    std::vector<net::Message> out;
+    for (const auto& m : inbox_[id.value()]) {
+      if (MsgType(m.type) == type) out.push_back(m);
+    }
+    return out;
+  }
+
+  void make_master(dataflow::AppGraph graph, MasterConfig config = {}) {
+    graph_ = std::move(graph);
+    master_ = std::make_unique<Master>(sim_, a_, transport_, discovery_,
+                                       graph_, config);
+    master_->launch();
+    sim_.run_for(millis(10));
+  }
+
+  Simulator sim_;
+  net::Medium medium_;
+  net::Transport transport_;
+  net::Discovery discovery_;
+  dataflow::AppGraph graph_;
+  std::unique_ptr<Master> master_;
+  std::map<std::uint64_t, std::vector<net::Message>> inbox_;
+  DeviceId a_{0}, b_{1}, c_{2};
+};
+
+TEST_F(MasterTest, InvalidGraphRejectedAtConstruction) {
+  attach(a_);
+  dataflow::AppGraph bad;
+  bad.add_source("s", test_source());
+  EXPECT_THROW(
+      Master(sim_, a_, transport_, discovery_, bad, MasterConfig{}),
+      dataflow::GraphError);
+}
+
+TEST_F(MasterTest, LaunchAdvertisesService) {
+  attach(a_);
+  make_master(pipeline());
+  EXPECT_EQ(discovery_.provider_count(kSwingService), 1u);
+}
+
+TEST_F(MasterTest, MasterDeviceHostsSourceAndSinkOnly) {
+  attach(a_);
+  make_master(pipeline());
+  EXPECT_TRUE(master_->is_member(a_));
+  const auto deploys = of_type(a_, MsgType::kDeploy);
+  ASSERT_EQ(deploys.size(), 1u);
+  const auto deploy = DeployMsg::from_bytes(deploys[0].payload);
+  EXPECT_EQ(deploy.assignments.size(), 2u);  // Source + sink, no transforms.
+}
+
+TEST_F(MasterTest, TransformsOnMasterWhenAllowed) {
+  attach(a_);
+  MasterConfig config;
+  config.transforms_on_master = true;
+  make_master(pipeline(), config);
+  const auto deploy =
+      DeployMsg::from_bytes(of_type(a_, MsgType::kDeploy)[0].payload);
+  EXPECT_EQ(deploy.assignments.size(), 4u);
+}
+
+TEST_F(MasterTest, HelloDeploysTransformsToWorker) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+
+  EXPECT_TRUE(master_->is_member(b_));
+  const auto deploys = of_type(b_, MsgType::kDeploy);
+  ASSERT_EQ(deploys.size(), 1u);
+  const auto deploy = DeployMsg::from_bytes(deploys[0].payload);
+  EXPECT_EQ(deploy.assignments.size(), 2u);  // stage1 + stage2.
+}
+
+TEST_F(MasterTest, DuplicateHelloIgnored) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  EXPECT_EQ(of_type(b_, MsgType::kDeploy).size(), 1u);
+  EXPECT_EQ(master_->member_count(), 2u);
+}
+
+TEST_F(MasterTest, UpstreamsToldAboutNewDownstreams) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  // The source instance on A must learn about B's stage1 instance.
+  const auto updates = of_type(a_, MsgType::kAddDownstream);
+  ASSERT_FALSE(updates.empty());
+  bool found = false;
+  for (const auto& m : updates) {
+    const auto update = RouteUpdateMsg::from_bytes(m.payload);
+    if (update.downstream.device == b_) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MasterTest, SameBatchStagesWiredTogether) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  // B's stage1 must be told about B's stage2 (created in the same deploy).
+  const auto stage1 = master_->instances_of(graph_.operators()[1].id);
+  const auto stage2 = master_->instances_of(graph_.operators()[2].id);
+  ASSERT_EQ(stage1.size(), 1u);
+  ASSERT_EQ(stage2.size(), 1u);
+  bool wired = false;
+  for (const auto& m : of_type(b_, MsgType::kAddDownstream)) {
+    const auto update = RouteUpdateMsg::from_bytes(m.payload);
+    if (update.upstream == stage1[0].instance &&
+        update.downstream.instance == stage2[0].instance) {
+      wired = true;
+    }
+  }
+  EXPECT_TRUE(wired);
+}
+
+TEST_F(MasterTest, MaxReplicasRespected) {
+  attach(a_);
+  attach(b_);
+  attach(c_);
+  make_master(pipeline(/*max_replicas=*/1));
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  transport_.send(c_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  // Only B got the single replica of each stage; C is a member but idle.
+  EXPECT_TRUE(master_->is_member(c_));
+  EXPECT_TRUE(of_type(c_, MsgType::kDeploy).empty());
+  EXPECT_EQ(master_->instances_of(graph_.operators()[1].id).size(), 1u);
+}
+
+TEST_F(MasterTest, StartBroadcastsToMembers) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  master_->start();
+  sim_.run_for(millis(50));
+  EXPECT_EQ(of_type(a_, MsgType::kStart).size(), 1u);
+  EXPECT_EQ(of_type(b_, MsgType::kStart).size(), 1u);
+  EXPECT_TRUE(master_->started());
+}
+
+TEST_F(MasterTest, LateJoinerGetsStartImmediately) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  master_->start();
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  EXPECT_EQ(of_type(b_, MsgType::kStart).size(), 1u);
+}
+
+TEST_F(MasterTest, RemoveDeviceBroadcastsRemovals) {
+  attach(a_);
+  attach(b_);
+  attach(c_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  transport_.send(c_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+
+  master_->remove_device(b_);
+  sim_.run_for(millis(50));
+  EXPECT_FALSE(master_->is_member(b_));
+  // Each remaining member hears about each of B's two instances.
+  EXPECT_EQ(of_type(c_, MsgType::kRemoveDownstream).size(), 2u);
+  EXPECT_EQ(of_type(a_, MsgType::kRemoveDownstream).size(), 2u);
+  EXPECT_EQ(master_->instances_of(graph_.operators()[1].id).size(), 1u);
+}
+
+TEST_F(MasterTest, RemoveUnknownDeviceIsNoop) {
+  attach(a_);
+  make_master(pipeline());
+  master_->remove_device(DeviceId{77});
+  EXPECT_EQ(master_->member_count(), 1u);
+}
+
+TEST_F(MasterTest, ByeRemovesSender) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  transport_.send(b_, a_, std::uint8_t(MsgType::kBye),
+                  DeviceMsg{b_}.to_bytes());
+  sim_.run_for(millis(50));
+  EXPECT_FALSE(master_->is_member(b_));
+}
+
+TEST_F(MasterTest, LeaveReportRemovesReportedDevice) {
+  attach(a_);
+  attach(b_);
+  attach(c_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  transport_.send(c_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  transport_.send(c_, a_, std::uint8_t(MsgType::kLeaveReport),
+                  DeviceMsg{b_}.to_bytes());
+  sim_.run_for(millis(50));
+  EXPECT_FALSE(master_->is_member(b_));
+  EXPECT_TRUE(master_->is_member(c_));
+}
+
+TEST_F(MasterTest, InstanceCountTracksMembership) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  EXPECT_EQ(master_->instance_count(), 2u);  // src + sink.
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  EXPECT_EQ(master_->instance_count(), 4u);
+  master_->remove_device(b_);
+  EXPECT_EQ(master_->instance_count(), 2u);
+}
+
+
+TEST_F(MasterTest, MasterPinnedTransformDeploysToMasterDevice) {
+  attach(a_);
+  attach(b_);
+  dataflow::AppGraph g;
+  const auto src = g.add_source("src", test_source());
+  const auto pre = g.add_transform("preprocess", dataflow::passthrough_unit(),
+                                   dataflow::constant_cost(1.0));
+  g.place_on_master(pre);
+  const auto heavy = g.add_transform("heavy", dataflow::passthrough_unit(),
+                                     dataflow::constant_cost(50.0));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, pre).connect(pre, heavy).connect(heavy, snk);
+  make_master(std::move(g));
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+
+  // The pinned transform lives on A even though transforms_on_master is
+  // false by default; the heavy stage went to B.
+  const auto pre_instances = master_->instances_of(graph_.operators()[1].id);
+  ASSERT_EQ(pre_instances.size(), 1u);
+  EXPECT_EQ(pre_instances[0].device, a_);
+  const auto heavy_instances =
+      master_->instances_of(graph_.operators()[2].id);
+  ASSERT_EQ(heavy_instances.size(), 1u);
+  EXPECT_EQ(heavy_instances[0].device, b_);
+}
+
+TEST_F(MasterTest, SilentMemberSweptAfterTimeout) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  sim_.run_for(millis(50));
+  ASSERT_TRUE(master_->is_member(b_));
+  // B never heartbeats (no Worker behind it): the sweep evicts it.
+  sim_.run_for(seconds(10));
+  EXPECT_FALSE(master_->is_member(b_));
+}
+
+TEST_F(MasterTest, HeartbeatsKeepMemberAlive) {
+  attach(a_);
+  attach(b_);
+  make_master(pipeline());
+  transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
+  for (int i = 0; i < 10; ++i) {
+    sim_.run_for(seconds(1));
+    transport_.send(b_, a_, std::uint8_t(MsgType::kHeartbeat), Bytes{});
+  }
+  EXPECT_TRUE(master_->is_member(b_));
+}
+
+}  // namespace
+}  // namespace swing::runtime

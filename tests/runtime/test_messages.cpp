@@ -1,0 +1,111 @@
+#include "runtime/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::runtime {
+namespace {
+
+TEST(Messages, InstanceInfoRoundTrip) {
+  const InstanceInfo info{InstanceId{3}, OperatorId{1}, DeviceId{7}};
+  ByteWriter w;
+  info.serialize(w);
+  ByteReader r{w.data()};
+  EXPECT_EQ(InstanceInfo::deserialize(r), info);
+}
+
+TEST(Messages, DeployRoundTrip) {
+  DeployMsg msg;
+  DeployMsg::Assignment a;
+  a.self = {InstanceId{1}, OperatorId{2}, DeviceId{3}};
+  a.downstreams.push_back({InstanceId{4}, OperatorId{5}, DeviceId{6}});
+  a.downstreams.push_back({InstanceId{7}, OperatorId{8}, DeviceId{9}});
+  msg.assignments.push_back(a);
+  DeployMsg::Assignment b;
+  b.self = {InstanceId{10}, OperatorId{11}, DeviceId{3}};
+  msg.assignments.push_back(b);
+
+  const DeployMsg back = DeployMsg::from_bytes(msg.to_bytes());
+  ASSERT_EQ(back.assignments.size(), 2u);
+  EXPECT_EQ(back.assignments[0].self, a.self);
+  ASSERT_EQ(back.assignments[0].downstreams.size(), 2u);
+  EXPECT_EQ(back.assignments[0].downstreams[1], a.downstreams[1]);
+  EXPECT_TRUE(back.assignments[1].downstreams.empty());
+}
+
+TEST(Messages, EmptyDeploy) {
+  const DeployMsg back = DeployMsg::from_bytes(DeployMsg{}.to_bytes());
+  EXPECT_TRUE(back.assignments.empty());
+}
+
+TEST(Messages, RouteUpdateRoundTrip) {
+  RouteUpdateMsg msg{InstanceId{5},
+                     InstanceInfo{InstanceId{6}, OperatorId{7}, DeviceId{8}}};
+  const RouteUpdateMsg back = RouteUpdateMsg::from_bytes(msg.to_bytes());
+  EXPECT_EQ(back.upstream, msg.upstream);
+  EXPECT_EQ(back.downstream, msg.downstream);
+}
+
+TEST(Messages, RouteUpdateInvalidUpstreamSurvives) {
+  // A broadcast removal uses an invalid upstream id.
+  RouteUpdateMsg msg{InstanceId{},
+                     InstanceInfo{InstanceId{1}, OperatorId{2}, DeviceId{3}}};
+  const RouteUpdateMsg back = RouteUpdateMsg::from_bytes(msg.to_bytes());
+  EXPECT_FALSE(back.upstream.valid());
+}
+
+TEST(Messages, DataRoundTrip) {
+  DataMsg msg;
+  msg.src_instance = InstanceId{1};
+  msg.src_device = DeviceId{2};
+  msg.dst_instance = InstanceId{3};
+  msg.sent_ns = 123456789;
+  msg.accumulated = {1.5, 2.5, 3.5};
+  msg.tuple_wire_size = 6066;
+  msg.tuple_bytes = {9, 8, 7};
+
+  const DataMsg back = DataMsg::from_bytes(msg.to_bytes());
+  EXPECT_EQ(back.src_instance, msg.src_instance);
+  EXPECT_EQ(back.src_device, msg.src_device);
+  EXPECT_EQ(back.dst_instance, msg.dst_instance);
+  EXPECT_EQ(back.sent_ns, msg.sent_ns);
+  EXPECT_DOUBLE_EQ(back.accumulated.transmission_ms, 1.5);
+  EXPECT_DOUBLE_EQ(back.accumulated.queuing_ms, 2.5);
+  EXPECT_DOUBLE_EQ(back.accumulated.processing_ms, 3.5);
+  EXPECT_EQ(back.tuple_wire_size, 6066u);
+  EXPECT_EQ(back.tuple_bytes, msg.tuple_bytes);
+}
+
+TEST(Messages, AckRoundTrip) {
+  AckMsg msg;
+  msg.from_instance = InstanceId{1};
+  msg.to_instance = InstanceId{2};
+  msg.tuple = TupleId{99};
+  msg.echoed_sent_ns = -5;
+  msg.processing_ms = 46.5;
+  const AckMsg back = AckMsg::from_bytes(msg.to_bytes());
+  EXPECT_EQ(back.from_instance, msg.from_instance);
+  EXPECT_EQ(back.to_instance, msg.to_instance);
+  EXPECT_EQ(back.tuple, msg.tuple);
+  EXPECT_EQ(back.echoed_sent_ns, -5);
+  EXPECT_DOUBLE_EQ(back.processing_ms, 46.5);
+}
+
+TEST(Messages, DeviceMsgRoundTrip) {
+  const DeviceMsg back = DeviceMsg::from_bytes(DeviceMsg{DeviceId{42}}.to_bytes());
+  EXPECT_EQ(back.device, DeviceId{42});
+}
+
+TEST(Messages, DelayBreakdownTotal) {
+  const DelayBreakdown b{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(b.total_ms(), 60.0);
+}
+
+TEST(Messages, CorruptPayloadThrows) {
+  Bytes garbage = {1, 2};
+  EXPECT_THROW(DeployMsg::from_bytes(garbage), WireFormatError);
+  EXPECT_THROW(DataMsg::from_bytes(garbage), WireFormatError);
+  EXPECT_THROW(AckMsg::from_bytes(garbage), WireFormatError);
+}
+
+}  // namespace
+}  // namespace swing::runtime

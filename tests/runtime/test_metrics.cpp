@@ -1,0 +1,122 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::runtime {
+namespace {
+
+using dataflow::Tuple;
+
+Tuple frame(std::uint64_t id, SimTime source_time) {
+  return Tuple{TupleId{id}, source_time};
+}
+
+TEST(Metrics, RecordsSinkArrival) {
+  MetricsCollector m;
+  m.on_sink_arrival(frame(1, SimTime{}), DelayBreakdown{10, 20, 30},
+                    SimTime{} + millis(60));
+  ASSERT_EQ(m.frames_arrived(), 1u);
+  const auto& f = m.frames()[0];
+  EXPECT_EQ(f.id, TupleId{1});
+  EXPECT_DOUBLE_EQ(f.e2e_ms(), 60.0);
+  EXPECT_DOUBLE_EQ(f.breakdown.queuing_ms, 20.0);
+  EXPECT_FALSE(f.displayed);
+}
+
+TEST(Metrics, PlayMarksDisplayed) {
+  MetricsCollector m;
+  m.on_sink_arrival(frame(1, SimTime{}), {}, SimTime{} + millis(10));
+  m.on_play(TupleId{1}, SimTime{} + millis(50));
+  EXPECT_TRUE(m.frames()[0].displayed);
+  EXPECT_EQ(m.frames()[0].display, SimTime{} + millis(50));
+}
+
+TEST(Metrics, PlayForUnknownTupleIgnored) {
+  MetricsCollector m;
+  m.on_play(TupleId{7}, SimTime{});
+  EXPECT_EQ(m.frames_arrived(), 0u);
+}
+
+TEST(Metrics, LatencyStatsWindowed) {
+  MetricsCollector m;
+  m.on_sink_arrival(frame(1, SimTime{}), {}, SimTime{} + millis(100));
+  m.on_sink_arrival(frame(2, SimTime{} + seconds(10)), {},
+                    SimTime{} + seconds(10) + millis(300));
+  const auto all = m.latency_stats();
+  EXPECT_EQ(all.count(), 2u);
+  EXPECT_DOUBLE_EQ(all.mean(), 200.0);
+  const auto late =
+      m.latency_stats(SimTime{} + seconds(5), SimTime::max());
+  EXPECT_EQ(late.count(), 1u);
+  EXPECT_DOUBLE_EQ(late.mean(), 300.0);
+}
+
+TEST(Metrics, ThroughputFps) {
+  MetricsCollector m;
+  for (int i = 0; i < 48; ++i) {
+    m.on_sink_arrival(frame(i, SimTime{}), {},
+                      SimTime{} + millis(i * 1000.0 / 24.0));
+  }
+  EXPECT_NEAR(m.throughput_fps(SimTime{}, SimTime{} + seconds(2)), 24.0,
+              0.5);
+}
+
+TEST(Metrics, ThroughputBins) {
+  MetricsCollector m;
+  m.on_sink_arrival(frame(1, SimTime{}), {}, SimTime{} + millis(500));
+  m.on_sink_arrival(frame(2, SimTime{}), {}, SimTime{} + millis(700));
+  m.on_sink_arrival(frame(3, SimTime{}), {}, SimTime{} + millis(1500));
+  const auto bins = m.throughput_bins(SimTime{}, SimTime{} + seconds(2));
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0], 2u);
+  EXPECT_EQ(bins[1], 1u);
+}
+
+TEST(Metrics, DeviceCounters) {
+  MetricsCollector m;
+  m.on_routed(DeviceId{1}, 6000, true);
+  m.on_routed(DeviceId{1}, 6000, false);
+  m.on_routed(DeviceId{2}, 100, true);
+  EXPECT_EQ(m.device(DeviceId{1}).frames_in, 2u);
+  EXPECT_EQ(m.device(DeviceId{1}).frames_from_source, 1u);
+  EXPECT_EQ(m.device(DeviceId{1}).bytes_in, 12000u);
+  EXPECT_EQ(m.device(DeviceId{2}).frames_in, 1u);
+  EXPECT_EQ(m.device(DeviceId{3}).frames_in, 0u);
+}
+
+TEST(Metrics, CpuSamples) {
+  MetricsCollector m;
+  m.record_cpu_sample(DeviceId{1}, 0.5, SimTime{} + seconds(1));
+  m.record_cpu_sample(DeviceId{1}, 0.7, SimTime{} + seconds(2));
+  EXPECT_NEAR(m.device(DeviceId{1}).cpu_util.mean(), 0.6, 1e-9);
+  EXPECT_EQ(m.cpu_series(DeviceId{1}).points().size(), 2u);
+}
+
+TEST(Metrics, DropCounters) {
+  MetricsCollector m;
+  m.on_send_failed();
+  m.on_source_dropped();
+  m.on_source_dropped();
+  m.on_compute_dropped();
+  EXPECT_EQ(m.send_failures(), 1u);
+  EXPECT_EQ(m.source_drops(), 2u);
+  EXPECT_EQ(m.compute_drops(), 1u);
+}
+
+TEST(Metrics, MeanBreakdown) {
+  MetricsCollector m;
+  m.on_sink_arrival(frame(1, SimTime{}), {10, 0, 20}, SimTime{});
+  m.on_sink_arrival(frame(2, SimTime{}), {30, 10, 40}, SimTime{});
+  const auto mean = m.mean_breakdown();
+  EXPECT_DOUBLE_EQ(mean.transmission_ms, 20.0);
+  EXPECT_DOUBLE_EQ(mean.queuing_ms, 5.0);
+  EXPECT_DOUBLE_EQ(mean.processing_ms, 30.0);
+}
+
+TEST(Metrics, EmptyBreakdownIsZero) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.mean_breakdown().total_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,148 @@
+#include "runtime/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace swing::runtime {
+namespace {
+
+using dataflow::Tuple;
+
+Tuple tuple(std::uint64_t id) { return Tuple{TupleId{id}, SimTime{}}; }
+
+class Capture {
+ public:
+  ReorderBuffer::PlayFn fn() {
+    return [this](const Tuple& t, SimTime) { ids.push_back(t.id().value()); };
+  }
+  std::vector<std::uint64_t> ids;
+};
+
+TEST(ReorderBuffer, CapacityForRateAndSpan) {
+  EXPECT_EQ(ReorderBuffer::capacity_for(24.0, seconds(1.0)), 24u);
+  EXPECT_EQ(ReorderBuffer::capacity_for(24.0, seconds(0.5)), 12u);
+  EXPECT_EQ(ReorderBuffer::capacity_for(0.1, seconds(1.0)), 1u);  // Min 1.
+}
+
+TEST(ReorderBuffer, HoldsUntilCapacityExceeded) {
+  Capture cap;
+  ReorderBuffer buf{3, cap.fn()};
+  buf.push(tuple(2), SimTime{});
+  buf.push(tuple(1), SimTime{});
+  buf.push(tuple(3), SimTime{});
+  EXPECT_TRUE(cap.ids.empty());
+  buf.push(tuple(4), SimTime{});  // Overflow: smallest id plays.
+  EXPECT_EQ(cap.ids, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(buf.buffered(), 3u);
+}
+
+TEST(ReorderBuffer, PlaysInIdOrder) {
+  Capture cap;
+  ReorderBuffer buf{2, cap.fn()};
+  for (std::uint64_t id : {5, 3, 1, 4, 2, 6, 7}) {
+    buf.push(tuple(id), SimTime{});
+  }
+  buf.flush(SimTime{});
+  auto sorted = cap.ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(cap.ids, sorted);
+}
+
+TEST(ReorderBuffer, FlushEmitsEverything) {
+  Capture cap;
+  ReorderBuffer buf{100, cap.fn()};
+  buf.push(tuple(2), SimTime{});
+  buf.push(tuple(1), SimTime{});
+  buf.flush(SimTime{});
+  EXPECT_EQ(cap.ids, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(buf.buffered(), 0u);
+  EXPECT_EQ(buf.played(), 2u);
+}
+
+TEST(ReorderBuffer, LateTupleDropped) {
+  Capture cap;
+  ReorderBuffer buf{1, cap.fn()};
+  buf.push(tuple(5), SimTime{});
+  buf.push(tuple(6), SimTime{});  // Overflow plays 5.
+  ASSERT_EQ(cap.ids, std::vector<std::uint64_t>{5});
+  buf.push(tuple(3), SimTime{});  // 3 < 5: too late to display.
+  EXPECT_EQ(buf.late_drops(), 1u);
+  buf.flush(SimTime{});
+  EXPECT_EQ(cap.ids, (std::vector<std::uint64_t>{5, 6}));
+}
+
+TEST(ReorderBuffer, ZeroCapacityBehavesAsOne) {
+  Capture cap;
+  ReorderBuffer buf{0, cap.fn()};
+  buf.push(tuple(1), SimTime{});
+  EXPECT_EQ(buf.capacity(), 1u);
+}
+
+// Property: for any arrival permutation with bounded displacement <= the
+// buffer capacity, playback is the fully sorted sequence with no drops.
+class ReorderPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderPropertyTest, BoundedDisplacementFullyOrdered) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+  const std::size_t capacity = 24;
+  const std::size_t n = 500;
+
+  // Build an arrival order with bounded displacement: sorting ids by a key
+  // perturbed by less than half the capacity displaces each element by at
+  // most capacity/2 positions.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keyed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed[i] = {i + rng.uniform_int(capacity / 2), i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end());
+  std::vector<std::uint64_t> arrival(n);
+  for (std::size_t i = 0; i < n; ++i) arrival[i] = keyed[i].second;
+
+  Capture cap;
+  ReorderBuffer buf{capacity, cap.fn()};
+  for (std::uint64_t id : arrival) buf.push(tuple(id), SimTime{});
+  buf.flush(SimTime{});
+
+  ASSERT_EQ(cap.ids.size(), n);
+  EXPECT_EQ(buf.late_drops(), 0u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cap.ids[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: playback ids are strictly increasing regardless of arrival
+// chaos (unordered beyond capacity: some drops allowed, order never broken).
+class ReorderChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderChaosTest, PlaybackAlwaysMonotone) {
+  Rng rng{GetParam()};
+  ReorderBuffer::PlayFn noop;
+  std::vector<std::uint64_t> played;
+  ReorderBuffer buf{8, [&](const Tuple& t, SimTime) {
+    played.push_back(t.id().value());
+  }};
+  std::vector<std::uint64_t> ids(300);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  // Full shuffle: displacement unbounded.
+  for (std::size_t i = ids.size() - 1; i > 0; --i) {
+    std::swap(ids[i], ids[rng.uniform_int(i + 1)]);
+  }
+  for (std::uint64_t id : ids) buf.push(tuple(id), SimTime{});
+  buf.flush(SimTime{});
+  for (std::size_t i = 1; i < played.size(); ++i) {
+    EXPECT_GT(played[i], played[i - 1]);
+  }
+  EXPECT_EQ(played.size() + buf.late_drops(), ids.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderChaosTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace swing::runtime

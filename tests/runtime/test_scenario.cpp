@@ -1,0 +1,134 @@
+#include "runtime/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+#include "device/profile.h"
+
+namespace swing::runtime {
+namespace {
+
+struct ScenarioRig {
+  ScenarioRig() {
+    apps::TestbedConfig config;
+    config.workers = {"B", "G", "H"};
+    config.weak_signal_bcd = false;
+    bed = std::make_unique<apps::Testbed>(config);
+  }
+
+  void launch_partial(std::vector<std::string> initial) {
+    auto& swarm = bed->swarm();
+    swarm.launch_master(bed->id("A"), apps::face_recognition_graph());
+    for (const auto& name : initial) swarm.launch_worker(bed->id(name));
+    bed->sim().run_for(seconds(1));
+    swarm.start();
+  }
+
+  std::unique_ptr<apps::Testbed> bed;
+};
+
+TEST(Scenario, ActionsFireAtDeclaredTimes) {
+  ScenarioRig rig;
+  rig.launch_partial({"B"});
+  auto& swarm = rig.bed->swarm();
+
+  std::vector<double> fired;
+  Scenario scenario{swarm};
+  scenario.at(seconds(3), "first", [&](Swarm& s) {
+    fired.push_back((s.sim().now()).seconds());
+  });
+  scenario.at(seconds(7), "second", [&](Swarm& s) {
+    fired.push_back((s.sim().now()).seconds());
+  });
+  const double t0 = rig.bed->sim().now().seconds();
+  scenario.run_for(seconds(10));
+
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_NEAR(fired[0] - t0, 3.0, 1e-9);
+  EXPECT_NEAR(fired[1] - t0, 7.0, 1e-9);
+}
+
+TEST(Scenario, SamplesAlignWithEvents) {
+  ScenarioRig rig;
+  rig.launch_partial({"B"});
+  Scenario scenario{rig.bed->swarm()};
+  scenario.join_at(seconds(5), rig.bed->id("G"), "G joins");
+  scenario.run_for(seconds(12));
+
+  const auto& samples = scenario.samples();
+  ASSERT_GE(samples.size(), 11u);
+  bool labelled = false;
+  for (const auto& s : samples) {
+    if (s.label == "G joins") {
+      labelled = true;
+      EXPECT_NEAR(s.t_s, 6.0, 1.1);  // Label shows on the next sample.
+    }
+  }
+  EXPECT_TRUE(labelled);
+}
+
+TEST(Scenario, JoinHelperRaisesThroughput) {
+  ScenarioRig rig;
+  rig.launch_partial({"B"});  // B alone: ~10 FPS.
+  Scenario scenario{rig.bed->swarm()};
+  scenario.join_at(seconds(6), rig.bed->id("G"))
+      .join_at(seconds(6), rig.bed->id("H"));
+  scenario.run_for(seconds(20));
+
+  const auto& samples = scenario.samples();
+  double before = 0.0, after = 0.0;
+  int n_before = 0, n_after = 0;
+  for (const auto& s : samples) {
+    if (s.t_s <= 5.0) {
+      before += s.fps;
+      ++n_before;
+    } else if (s.t_s >= 12.0) {
+      after += s.fps;
+      ++n_after;
+    }
+  }
+  ASSERT_GT(n_before, 0);
+  ASSERT_GT(n_after, 0);
+  EXPECT_LT(before / n_before, 14.0);
+  EXPECT_GT(after / n_after, 20.0);
+}
+
+TEST(Scenario, LeaveAndZoneHelpers) {
+  ScenarioRig rig;
+  rig.launch_partial({"B", "G", "H"});
+  auto& swarm = rig.bed->swarm();
+  Scenario scenario{swarm};
+  scenario.jump_rssi_at(seconds(4), rig.bed->id("B"), -78.0)
+      .leave_abruptly_at(seconds(8), rig.bed->id("G"))
+      .background_load_at(seconds(8), rig.bed->id("H"), 0.5);
+  scenario.run_for(seconds(15));
+
+  EXPECT_DOUBLE_EQ(swarm.medium().rssi(rig.bed->id("B")), -78.0);
+  EXPECT_FALSE(swarm.master()->is_member(rig.bed->id("G")));
+  EXPECT_DOUBLE_EQ(swarm.device(rig.bed->id("H")).background_load(), 0.5);
+}
+
+TEST(Scenario, TimelineReportsDeclaredEvents) {
+  ScenarioRig rig;
+  rig.launch_partial({"B"});
+  Scenario scenario{rig.bed->swarm()};
+  scenario.join_at(seconds(2), rig.bed->id("G"), "G");
+  scenario.at(seconds(4), "custom", [](Swarm&) {});
+  const auto timeline = scenario.timeline();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].label, "G");
+  EXPECT_EQ(timeline[1].label, "custom");
+  EXPECT_EQ(timeline[1].when, seconds(4));
+}
+
+TEST(Scenario, DoubleArmThrows) {
+  ScenarioRig rig;
+  rig.launch_partial({"B"});
+  Scenario scenario{rig.bed->swarm()};
+  scenario.arm();
+  EXPECT_THROW(scenario.arm(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,132 @@
+// Source-rate dynamism (paper §III: "changes in the input data rate"):
+// piecewise rate schedules and Poisson (bursty) arrivals.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+dataflow::AppGraph app_with_source(dataflow::SourceSpec spec) {
+  dataflow::AppGraph g;
+  const auto src = g.add_source("src", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(1.0));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  return g;
+}
+
+dataflow::SourceSpec base_spec(double rate) {
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = rate;
+  spec.generate = [](TupleId id, SimTime, Rng&) {
+    dataflow::Tuple t;
+    t.set("payload", dataflow::Blob{500, id.value()});
+    return t;
+  };
+  return spec;
+}
+
+struct Rig {
+  Rig(dataflow::AppGraph graph) : swarm(sim) {
+    const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+    const auto b = swarm.add_device(device::profile_H(), {2.0, 0.0});
+    swarm.launch_master(a, std::move(graph));
+    swarm.launch_worker(b);
+    sim.run_for(seconds(1));
+    swarm.start();
+    start = sim.now();
+  }
+
+  double fps_between(double from_s, double to_s) {
+    return swarm.metrics().throughput_fps(start + seconds(from_s),
+                                          start + seconds(to_s));
+  }
+
+  Simulator sim;
+  runtime::Swarm swarm;
+  SimTime start;
+};
+
+TEST(SourceDynamics, RateScheduleSwitchesRates) {
+  dataflow::SourceSpec spec = base_spec(5.0);
+  spec.rate_schedule = {{seconds(10), 20.0}, {seconds(20), 2.0}};
+  Rig rig{app_with_source(std::move(spec))};
+  rig.sim.run_for(seconds(30));
+
+  EXPECT_NEAR(rig.fps_between(1, 9), 5.0, 1.0);
+  EXPECT_NEAR(rig.fps_between(11, 19), 20.0, 2.0);
+  EXPECT_NEAR(rig.fps_between(22, 30), 2.0, 1.0);
+}
+
+TEST(SourceDynamics, ScheduleSurvivesStopStart) {
+  dataflow::SourceSpec spec = base_spec(5.0);
+  spec.rate_schedule = {{seconds(4), 20.0}};
+  Rig rig{app_with_source(std::move(spec))};
+  rig.sim.run_for(seconds(2));
+  rig.swarm.stop();
+  rig.sim.run_for(seconds(4));  // The schedule fires while stopped.
+  rig.swarm.start();
+  rig.sim.run_for(seconds(10));
+  // After restart the new 20/s rate applies.
+  EXPECT_NEAR(rig.fps_between(8, 15), 20.0, 2.5);
+}
+
+TEST(SourceDynamics, PoissonMeanRateConverges) {
+  dataflow::SourceSpec spec = base_spec(20.0);
+  spec.poisson = true;
+  Rig rig{app_with_source(std::move(spec))};
+  rig.sim.run_for(seconds(60));
+  EXPECT_NEAR(rig.fps_between(1, 59), 20.0, 2.0);
+}
+
+TEST(SourceDynamics, PoissonIsBurstierThanPeriodic) {
+  auto gap_cv = [](bool poisson) {
+    dataflow::SourceSpec spec = base_spec(20.0);
+    spec.poisson = poisson;
+    Rig rig{app_with_source(std::move(spec))};
+    rig.sim.run_for(seconds(40));
+    // Coefficient of variation of sink inter-arrival gaps.
+    OnlineStats gaps;
+    const auto& points = rig.swarm.metrics().arrivals().points();
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      gaps.add((points[i].time - points[i - 1].time).millis());
+    }
+    return gaps.stddev() / gaps.mean();
+  };
+  EXPECT_GT(gap_cv(true), 2.0 * gap_cv(false));
+}
+
+TEST(SourceDynamics, QueueingRespondsToRateStep) {
+  // Step the rate past the worker's capacity: latency explodes, then
+  // recovers when the rate steps back down (Fig. 2c's mechanism, live).
+  dataflow::SourceSpec spec = base_spec(5.0);
+  spec.rate_schedule = {{seconds(10), 40.0}, {seconds(20), 5.0}};
+  dataflow::AppGraph g;
+  const auto src = g.add_source("src", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(60.0));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  Rig rig{std::move(g)};
+  rig.sim.run_for(seconds(45));
+
+  const auto calm =
+      rig.swarm.metrics().latency_stats(rig.start + seconds(1),
+                                        rig.start + seconds(9));
+  const auto overloaded =
+      rig.swarm.metrics().latency_stats(rig.start + seconds(14),
+                                        rig.start + seconds(20));
+  const auto recovered =
+      rig.swarm.metrics().latency_stats(rig.start + seconds(35),
+                                        rig.start + seconds(45));
+  EXPECT_GT(overloaded.mean(), 3.0 * calm.mean());
+  EXPECT_LT(recovered.mean(), 2.0 * calm.mean());
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,472 @@
+// Worker/Swarm integration: end-to-end behaviour of the runtime on small
+// swarms — delivery, ACK-driven estimation, joins, leaves, link failures.
+#include <gtest/gtest.h>
+
+#include "apps/face_recognition.h"
+#include "dataflow/function_unit.h"
+#include "device/profile.h"
+#include "runtime/swarm.h"
+#include "sim/simulator.h"
+
+#include <chrono>
+
+namespace swing::runtime {
+namespace {
+
+dataflow::AppGraph tiny_app(double rate = 10.0, std::uint64_t max = 0,
+                            double cost_ms = 20.0) {
+  dataflow::AppGraph g;
+  dataflow::SourceSpec spec;
+  spec.rate_per_s = rate;
+  spec.max_tuples = max;
+  spec.generate = [](TupleId id, SimTime, Rng&) {
+    dataflow::Tuple t;
+    t.set("payload", dataflow::Blob{4000, id.value()});
+    return t;
+  };
+  const auto src = g.add_source("src", std::move(spec));
+  const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                    dataflow::constant_cost(cost_ms));
+  const auto snk = g.add_sink("snk");
+  g.connect(src, work).connect(work, snk);
+  return g;
+}
+
+class SwarmTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  runtime::Swarm swarm_{sim_};
+};
+
+TEST_F(SwarmTest, EndToEndDelivery) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 50));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(10));
+  swarm_.shutdown();
+  EXPECT_EQ(swarm_.metrics().frames_arrived(), 50u);
+}
+
+TEST_F(SwarmTest, FramesCarryLatencyBreakdown) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 20));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+  ASSERT_GT(swarm_.metrics().frames_arrived(), 0u);
+  for (const auto& f : swarm_.metrics().frames()) {
+    EXPECT_GT(f.breakdown.transmission_ms, 0.0);
+    EXPECT_GT(f.breakdown.processing_ms, 0.0);
+    EXPECT_GT(f.e2e_ms(), 0.0);
+    // End-to-end must be at least the sum of attributed components (it also
+    // includes ack-free segments like the final hop to the sink).
+    EXPECT_GE(f.e2e_ms() * 1.01, f.breakdown.processing_ms);
+  }
+}
+
+TEST_F(SwarmTest, MasterOnlySwarmDropsAtSource) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 0));
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+  // No workers: the transform has no instances, frames are dropped.
+  EXPECT_EQ(swarm_.metrics().frames_arrived(), 0u);
+  EXPECT_GT(swarm_.metrics().source_drops(), 30u);
+}
+
+TEST_F(SwarmTest, WorkersShareLoadWhenNeitherSuffices) {
+  // 20 fps of 120 ms reference work: no single device can absorb it, so
+  // LRS must select and feed both.
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0, 0, 120.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(20));
+  EXPECT_GT(swarm_.metrics().device(b).frames_in, 50u);
+  EXPECT_GT(swarm_.metrics().device(c).frames_in, 50u);
+}
+
+TEST_F(SwarmTest, LrsConcentratesLoadWhenOneDeviceSuffices) {
+  // 20 fps of 20 ms reference work: the Nexus 4 alone sustains it, so
+  // worker selection leaves the second device nearly idle (probes only).
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_C(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(20));
+  EXPECT_GT(swarm_.metrics().device(b).frames_in,
+            10 * swarm_.metrics().device(c).frames_in);
+}
+
+TEST_F(SwarmTest, AckLatencyEstimatesConverge) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_B(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 0, 50.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(10));
+
+  const auto* source_manager = swarm_.worker(a)->manager_of(
+      swarm_.graph().sources()[0]);
+  ASSERT_NE(source_manager, nullptr);
+  const auto estimates = source_manager->estimator().estimates();
+  ASSERT_EQ(estimates.size(), 1u);
+  // 50 ms reference work on a perf-1.0 device plus transport: the latency
+  // estimate must sit near that, not at the 40 ms default.
+  EXPECT_GT(estimates[0].latency_ms, 45.0);
+  EXPECT_LT(estimates[0].latency_ms, 120.0);
+  EXPECT_NEAR(estimates[0].processing_ms, 50.0, 10.0);
+}
+
+TEST_F(SwarmTest, LateJoinerIsAdopted) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_E(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_H(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0, 0, 60.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+  const auto before = swarm_.metrics().device(c).frames_in;
+  EXPECT_EQ(before, 0u);
+
+  swarm_.launch_worker(c);  // Joins mid-run via discovery.
+  sim_.run_for(seconds(5));
+  EXPECT_GT(swarm_.metrics().device(c).frames_in, 20u);
+}
+
+TEST_F(SwarmTest, JoinLosesNoData) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 100));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(3));
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(15));
+  swarm_.shutdown();
+  // Paper §VI-C: "the system preserves all the existing links during the
+  // transition and no data is lost".
+  EXPECT_EQ(swarm_.metrics().frames_arrived(), 100u);
+}
+
+TEST_F(SwarmTest, GracefulLeaveReroutes) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+
+  swarm_.leave_gracefully(c);
+  sim_.run_for(seconds(2));
+  const auto at_leave = swarm_.metrics().device(c).frames_in;
+  sim_.run_for(seconds(5));
+  // No more traffic to the departed device; work continues on B.
+  EXPECT_LE(swarm_.metrics().device(c).frames_in, at_leave + 1);
+  EXPECT_FALSE(swarm_.master()->is_member(c));
+  const auto t = sim_.now();
+  EXPECT_GT(swarm_.metrics().throughput_fps(t - seconds(3), t), 8.0);
+}
+
+TEST_F(SwarmTest, AbruptLeaveDetectedAndRerouted) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+
+  swarm_.leave_abruptly(c);
+  sim_.run_for(seconds(5));
+  // Master learned via a worker's LeaveReport (triggered by send failure).
+  EXPECT_FALSE(swarm_.master()->is_member(c));
+  // Throughput recovered on the remaining device.
+  const auto t = sim_.now();
+  EXPECT_GT(swarm_.metrics().throughput_fps(t - seconds(2), t), 15.0);
+}
+
+TEST_F(SwarmTest, StopHaltsSources) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(3));
+  swarm_.stop();
+  sim_.run_for(seconds(1));  // Drain in-flight frames.
+  const auto arrived = swarm_.metrics().frames_arrived();
+  sim_.run_for(seconds(5));
+  EXPECT_EQ(swarm_.metrics().frames_arrived(), arrived);
+}
+
+TEST_F(SwarmTest, RestartResumesGeneration) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(2));
+  swarm_.stop();
+  sim_.run_for(seconds(2));
+  const auto paused = swarm_.metrics().frames_arrived();
+  swarm_.start();
+  sim_.run_for(seconds(3));
+  EXPECT_GT(swarm_.metrics().frames_arrived(), paused + 20);
+}
+
+TEST_F(SwarmTest, SinkReorderBufferInstalled) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  const auto* reorder =
+      swarm_.worker(a)->reorder_of(swarm_.graph().sinks()[0]);
+  ASSERT_NE(reorder, nullptr);
+  EXPECT_EQ(reorder->capacity(), 10u);  // 10 FPS x 1 s span.
+}
+
+TEST_F(SwarmTest, PlaybackMonotoneUnderRealTraffic) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_B(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_E(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(15.0, 150, 40.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(20));
+  swarm_.shutdown();
+
+  const auto& plays = swarm_.metrics().plays().points();
+  ASSERT_GT(plays.size(), 50u);
+  for (std::size_t i = 1; i < plays.size(); ++i) {
+    EXPECT_GT(plays[i].value, plays[i - 1].value);
+  }
+}
+
+TEST_F(SwarmTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    SwarmConfig config;
+    config.seed = seed;
+    Swarm swarm{sim, config};
+    const auto a = swarm.add_device(device::profile_A(), {1.0, 0.0});
+    const auto b = swarm.add_device(device::profile_B(), {2.0, 0.0});
+    const auto c = swarm.add_device(device::profile_H(), {2.5, 0.0});
+    swarm.launch_master(a, tiny_app(20.0, 200));
+    swarm.launch_worker(b);
+    swarm.launch_worker(c);
+    sim.run_for(seconds(1));
+    swarm.start();
+    sim.run_for(seconds(15));
+    swarm.shutdown();
+    return std::make_tuple(swarm.metrics().frames_arrived(),
+                           swarm.metrics().latency_stats().mean(),
+                           swarm.metrics().device(b).frames_in);
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  // Different seeds change service-time jitter, hence measured latency.
+  EXPECT_NE(std::get<1>(run_once(7)), std::get<1>(run_once(8)));
+}
+
+TEST_F(SwarmTest, CpuSamplesCollected) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_E(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0, 0, 100.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(10));
+  // E (perf 0.2) at 10 fps x 100 ms ref = heavily loaded.
+  EXPECT_GT(swarm_.metrics().device(b).cpu_util.mean(), 0.5);
+}
+
+TEST_F(SwarmTest, EnergyAccountingSane) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  const auto before = swarm_.energy_snapshot(b);
+  sim_.run_for(seconds(30));
+  const auto after = swarm_.energy_snapshot(b);
+  const auto power = Swarm::power_between(before, after);
+  EXPECT_GT(power.cpu_w, device::profile_H().cpu_idle_w * 0.9);
+  EXPECT_LT(power.cpu_w, device::profile_H().cpu_peak_w);
+  EXPECT_GT(power.wifi_w, 0.0);
+  EXPECT_LT(power.wifi_w, device::profile_H().wifi_peak_w);
+}
+
+TEST_F(SwarmTest, UnknownDeviceThrows) {
+  EXPECT_THROW(static_cast<void>(swarm_.device(DeviceId{99})), std::out_of_range);
+}
+
+TEST_F(SwarmTest, WorkerBeforeMasterThrows) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  EXPECT_THROW(swarm_.launch_worker(a), std::logic_error);
+  EXPECT_THROW(swarm_.start(), std::logic_error);
+}
+
+TEST_F(SwarmTest, SecondMasterThrows) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  swarm_.launch_master(a, tiny_app());
+  EXPECT_THROW(swarm_.launch_master(a, tiny_app()), std::logic_error);
+}
+
+
+TEST_F(SwarmTest, DeviceCanRejoinAfterLeaving) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0, 0, 60.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(5));
+
+  // C walks away...
+  swarm_.leave_abruptly(c);
+  sim_.run_for(seconds(5));
+  EXPECT_FALSE(swarm_.master()->is_member(c));
+  const auto frames_while_gone = swarm_.metrics().device(c).frames_in;
+
+  // ...and comes back: rediscovers the master, re-deploys, carries load.
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(8));
+  EXPECT_TRUE(swarm_.master()->is_member(c));
+  EXPECT_GT(swarm_.metrics().device(c).frames_in, frames_while_gone + 20);
+}
+
+TEST_F(SwarmTest, RejoinAfterGracefulLeave) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(3));
+  swarm_.leave_gracefully(b);
+  sim_.run_for(seconds(3));
+  EXPECT_GT(swarm_.metrics().source_drops(), 0u);  // Nobody to compute.
+
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(6));
+  const auto t = sim_.now();
+  EXPECT_GT(swarm_.metrics().throughput_fps(t - seconds(2), t), 8.0);
+}
+
+
+TEST_F(SwarmTest, SilentDeathOfIdleDeviceDetectedByHeartbeats) {
+  // No data ever flows (app not started), so only heartbeats can reveal
+  // that an idle member died.
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  const auto c = swarm_.add_device(device::profile_I(), {2.5, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  swarm_.launch_worker(c);
+  sim_.run_for(seconds(2));
+  ASSERT_TRUE(swarm_.master()->is_member(c));
+
+  swarm_.leave_abruptly(c);  // Radio gone, no goodbye, no data to miss.
+  sim_.run_for(seconds(10));  // Past the 6 s member timeout.
+  EXPECT_FALSE(swarm_.master()->is_member(c));
+  EXPECT_TRUE(swarm_.master()->is_member(b));  // Heartbeats kept B alive.
+}
+
+TEST_F(SwarmTest, HealthyIdleMembersNeverSweptOut) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(10.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(30));  // Long idle stretch, app never started.
+  EXPECT_TRUE(swarm_.master()->is_member(b));
+  EXPECT_EQ(swarm_.master()->member_count(), 2u);
+}
+
+
+TEST_F(SwarmTest, MultiSourceGraphKeepsTupleIdsDistinct) {
+  // Two independent sensing pipelines in one app (camera + mic): tuple ids
+  // must stay unique across sources so the metrics and reordering planes
+  // never confuse frames.
+  dataflow::AppGraph g;
+  for (const std::string name : {"camera", "mic"}) {
+    dataflow::SourceSpec spec;
+    spec.rate_per_s = 10.0;
+    spec.max_tuples = 40;
+    spec.generate = [](TupleId id, SimTime, Rng&) {
+      dataflow::Tuple t;
+      t.set("payload", dataflow::Blob{1000, id.value()});
+      return t;
+    };
+    const auto src = g.add_source(name, std::move(spec));
+    const auto work = g.add_transform(name + "_work",
+                                      dataflow::passthrough_unit(),
+                                      dataflow::constant_cost(5.0));
+    const auto snk = g.add_sink(name + "_snk");
+    g.connect(src, work).connect(work, snk);
+  }
+
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, std::move(g));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+  sim_.run_for(seconds(10));
+  swarm_.shutdown();
+
+  // Both pipelines delivered everything, with no id collisions swallowed.
+  EXPECT_EQ(swarm_.metrics().frames_arrived(), 80u);
+}
+
+TEST_F(SwarmTest, RealtimePacingMatchesWallClock) {
+  const auto a = swarm_.add_device(device::profile_A(), {1.0, 0.0});
+  const auto b = swarm_.add_device(device::profile_H(), {2.0, 0.0});
+  swarm_.launch_master(a, tiny_app(20.0));
+  swarm_.launch_worker(b);
+  sim_.run_for(seconds(1));
+  swarm_.start();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  sim_.run_realtime(millis(300), /*speed=*/1.0);
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  // Paced: takes at least most of the simulated span in wall time (upper
+  // bound left loose for noisy CI machines).
+  EXPECT_GE(wall_s, 0.25);
+  EXPECT_GT(swarm_.metrics().frames_arrived(), 3u);
+}
+
+}  // namespace
+}  // namespace swing::runtime

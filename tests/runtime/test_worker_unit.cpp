@@ -1,0 +1,259 @@
+// Worker unit tests: drive one Worker directly with hand-crafted protocol
+// messages (no Master, no discovery) and observe its behaviour at the
+// transport boundary. Complements the Swarm-level integration tests with
+// precise protocol-sequencing coverage.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "dataflow/function_unit.h"
+#include "device/profile.h"
+#include "runtime/worker.h"
+#include "sim/simulator.h"
+
+namespace swing::runtime {
+namespace {
+
+class WorkerUnitTest : public ::testing::Test {
+ protected:
+  WorkerUnitTest()
+      : medium_(sim_),
+        transport_(sim_, medium_),
+        device_(sim_, worker_id_, device::profile_H(), Rng{1}) {
+    medium_.attach(master_id_, net::Position{1.0, 0.0});
+    medium_.attach(worker_id_, net::Position{2.0, 0.0});
+    medium_.attach(peer_id_, net::Position{2.5, 0.0});
+    // Capture everything the worker sends to "master" and "peer".
+    transport_.register_device(master_id_, [this](const net::Message& m) {
+      outbox_[master_id_.value()].push_back(m);
+    });
+    transport_.register_device(peer_id_, [this](const net::Message& m) {
+      outbox_[peer_id_.value()].push_back(m);
+    });
+  }
+
+  dataflow::AppGraph one_stage_graph() {
+    dataflow::AppGraph g;
+    dataflow::SourceSpec spec;
+    spec.rate_per_s = 10.0;
+    spec.generate = [](TupleId, SimTime, Rng&) { return dataflow::Tuple{}; };
+    const auto src = g.add_source("src", std::move(spec));
+    const auto work = g.add_transform("work", dataflow::passthrough_unit(),
+                                      dataflow::constant_cost(10.0));
+    const auto snk = g.add_sink("snk");
+    g.connect(src, work).connect(work, snk);
+    return g;
+  }
+
+  std::unique_ptr<Worker> make_worker(const dataflow::AppGraph& graph) {
+    return std::make_unique<Worker>(sim_, device_, transport_, graph,
+                                    config_, Rng{7}, metrics_);
+  }
+
+  // Delivers a message object to the worker as if it came off the wire.
+  net::Message msg_from(DeviceId src, MsgType type, Bytes payload) {
+    net::Message m;
+    m.src = src;
+    m.dst = worker_id_;
+    m.type = std::uint8_t(type);
+    m.payload = std::move(payload);
+    m.sent_at = sim_.now();
+    return m;
+  }
+
+  std::vector<net::Message> sent_to(DeviceId id, MsgType type) {
+    std::vector<net::Message> out;
+    for (const auto& m : outbox_[id.value()]) {
+      if (MsgType(m.type) == type) out.push_back(m);
+    }
+    return out;
+  }
+
+  DataMsg make_data(InstanceId src_inst, InstanceId dst_inst,
+                    TupleId tuple_id) {
+    DataMsg data;
+    data.src_instance = src_inst;
+    data.src_device = master_id_;
+    data.dst_instance = dst_inst;
+    data.sent_ns = sim_.now().nanos();
+    dataflow::Tuple t{tuple_id, sim_.now()};
+    t.set("payload", dataflow::Blob{1000, tuple_id.value()});
+    data.tuple_bytes = t.to_bytes();
+    data.tuple_wire_size = t.wire_size();
+    return data;
+  }
+
+  Simulator sim_;
+  net::Medium medium_;
+  net::Transport transport_;
+  DeviceId master_id_{0}, worker_id_{1}, peer_id_{2};
+  device::Device device_{sim_, DeviceId{1}, device::profile_H(), Rng{1}};
+  WorkerConfig config_{};
+  MetricsCollector metrics_;
+  std::map<std::uint64_t, std::vector<net::Message>> outbox_;
+};
+
+TEST_F(WorkerUnitTest, HelloSentOnConnect) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  w.connect_to_master(master_id_);
+  sim_.run_for(millis(50));
+  EXPECT_EQ(sent_to(master_id_, MsgType::kHello).size(), 1u);
+}
+
+TEST_F(WorkerUnitTest, HeartbeatsFlowAfterConnect) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  w.connect_to_master(master_id_);
+  sim_.run_for(seconds(7));
+  // 2 s cadence: ~3 heartbeats in 7 s.
+  EXPECT_GE(sent_to(master_id_, MsgType::kHeartbeat).size(), 3u);
+}
+
+TEST_F(WorkerUnitTest, DeployActivatesInstance) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  DeployMsg deploy;
+  deploy.assignments.push_back(
+      {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
+       {}});
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy,
+                            deploy.to_bytes()));
+  EXPECT_EQ(w.instance_count(), 1u);
+}
+
+TEST_F(WorkerUnitTest, DataProcessedAndAcked) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  DeployMsg deploy;
+  deploy.assignments.push_back(
+      {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
+       {}});
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+
+  const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{5});
+  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  sim_.run_for(millis(200));
+
+  EXPECT_EQ(w.tuples_processed(), 1u);
+  const auto acks = sent_to(master_id_, MsgType::kAck);
+  ASSERT_EQ(acks.size(), 1u);
+  const AckMsg ack = AckMsg::from_bytes(acks[0].payload);
+  EXPECT_EQ(ack.tuple, TupleId{5});
+  EXPECT_EQ(ack.from_instance, InstanceId{10});
+  EXPECT_EQ(ack.to_instance, InstanceId{1});
+  EXPECT_EQ(ack.echoed_sent_ns, data.sent_ns);
+  EXPECT_GT(ack.processing_ms, 1.0);
+  EXPECT_GT(ack.battery_fraction, 0.9);
+}
+
+TEST_F(WorkerUnitTest, DataBeforeDeployReplaysAfterActivation) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  // Data races ahead of the deploy...
+  const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{0});
+  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  sim_.run_for(millis(50));
+  EXPECT_EQ(w.tuples_processed(), 0u);
+
+  // ...and is processed once the instance exists.
+  DeployMsg deploy;
+  deploy.assignments.push_back(
+      {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
+       {}});
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  sim_.run_for(millis(200));
+  EXPECT_EQ(w.tuples_processed(), 1u);
+}
+
+TEST_F(WorkerUnitTest, EmittedTupleForwardedToDownstreamPeer) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  DeployMsg deploy;
+  DeployMsg::Assignment assignment;
+  assignment.self =
+      InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_};
+  assignment.downstreams.push_back(
+      InstanceInfo{InstanceId{20}, graph.operators()[2].id, peer_id_});
+  deploy.assignments.push_back(assignment);
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+
+  const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{3});
+  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  sim_.run_for(millis(300));
+
+  const auto forwarded = sent_to(peer_id_, MsgType::kData);
+  ASSERT_EQ(forwarded.size(), 1u);
+  const DataMsg out = DataMsg::from_bytes(forwarded[0].payload);
+  EXPECT_EQ(out.dst_instance, InstanceId{20});
+  EXPECT_EQ(out.src_instance, InstanceId{10});
+  EXPECT_EQ(out.src_device, worker_id_);
+  // The forwarded tuple keeps its identity.
+  const auto tuple = dataflow::Tuple::from_bytes(out.tuple_bytes);
+  EXPECT_EQ(tuple.id(), TupleId{3});
+  // Accumulated breakdown includes this stage's processing.
+  EXPECT_GT(out.accumulated.processing_ms, 1.0);
+}
+
+TEST_F(WorkerUnitTest, RemoveDownstreamStopsForwarding) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  DeployMsg deploy;
+  DeployMsg::Assignment assignment;
+  assignment.self =
+      InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_};
+  assignment.downstreams.push_back(
+      InstanceInfo{InstanceId{20}, graph.operators()[2].id, peer_id_});
+  deploy.assignments.push_back(assignment);
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+
+  RouteUpdateMsg removal{InstanceId{},
+                         InstanceInfo{InstanceId{20},
+                                      graph.operators()[2].id, peer_id_}};
+  w.handle_message(
+      msg_from(master_id_, MsgType::kRemoveDownstream, removal.to_bytes()));
+
+  const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{4});
+  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  sim_.run_for(millis(300));
+  EXPECT_TRUE(sent_to(peer_id_, MsgType::kData).empty());
+}
+
+TEST_F(WorkerUnitTest, ShutdownStopsProcessing) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  DeployMsg deploy;
+  deploy.assignments.push_back(
+      {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
+       {}});
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.shutdown();
+  EXPECT_FALSE(w.alive());
+  const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{9});
+  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  sim_.run_for(millis(200));
+  EXPECT_EQ(w.tuples_processed(), 0u);
+}
+
+TEST_F(WorkerUnitTest, LeaveSendsBye) {
+  const auto graph = one_stage_graph();
+  auto worker = make_worker(graph);
+  Worker& w = *worker;
+  w.connect_to_master(master_id_);
+  sim_.run_for(millis(10));
+  w.leave();
+  sim_.run_for(millis(50));
+  EXPECT_EQ(sent_to(master_id_, MsgType::kBye).size(), 1u);
+}
+
+}  // namespace
+}  // namespace swing::runtime

@@ -1,0 +1,228 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace swing {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime{});
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{} + millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{} + millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{} + millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime{} + millis(5), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(millis(250), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime{} + millis(250));
+  EXPECT_EQ(sim.now(), SimTime{} + millis(250));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  sim.schedule_after(millis(10), [&] {
+    sim.schedule_after(millis(10), [&] {
+      EXPECT_EQ(sim.now(), SimTime{} + millis(20));
+    });
+  });
+  sim.run();
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_after(millis(100), [&] {
+    bool ran = false;
+    sim.schedule_at(SimTime{} + millis(1), [&] { ran = true; });
+    // The stale event must still run, at the current time.
+    while (sim.step()) {
+    }
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.now(), SimTime{} + millis(100));
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(millis(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(millis(5), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(millis(5), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime{} + seconds(i), [&] { ++count; });
+  }
+  sim.run_until(SimTime{} + seconds(5));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), SimTime{} + seconds(5));
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockThroughQuietPeriod) {
+  Simulator sim;
+  sim.run_until(SimTime{} + seconds(42));
+  EXPECT_EQ(sim.now(), SimTime{} + seconds(42));
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(seconds(1));
+  sim.run_for(seconds(2));
+  EXPECT_EQ(sim.now(), SimTime{} + seconds(3));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(millis(1), recurse);
+  };
+  sim.schedule_after(millis(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, ExecutedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, QueuedExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_after(millis(1), [] {});
+  const EventId id = sim.schedule_after(millis(2), [] {});
+  EXPECT_EQ(sim.queued(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.queued(), 1u);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(100), [&] { ++fires; }};
+  task.start();
+  sim.run_until(SimTime{} + millis(1050));
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTask, DoesNotFireBeforeStart) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(10), [&] { ++fires; }};
+  sim.run_until(SimTime{} + seconds(1));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(PeriodicTask, StopHalts) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(100), [&] { ++fires; }};
+  task.start();
+  sim.run_until(SimTime{} + millis(350));
+  task.stop();
+  sim.run_until(SimTime{} + seconds(10));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, StopFromWithinCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(10), [&] {
+    if (++fires == 3) task.stop();
+  }};
+  task.start();
+  sim.run_until(SimTime{} + seconds(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTask, RestartAfterStop) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(10), [&] { ++fires; }};
+  task.start();
+  sim.run_until(SimTime{} + millis(25));
+  task.stop();
+  task.start();
+  sim.run_until(SimTime{} + millis(55));
+  EXPECT_EQ(fires, 5);  // 2 before stop (10,20) + 3 after (35,45,55).
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task{sim, millis(10), [&] { ++fires; }};
+    task.start();
+  }
+  sim.run_until(SimTime{} + seconds(1));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(PeriodicTask, StartIsIdempotent) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task{sim, millis(100), [&] { ++fires; }};
+  task.start();
+  task.start();
+  sim.run_until(SimTime{} + millis(250));
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,64 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace swing {
+namespace {
+
+TEST(TraceSeries, Empty) {
+  TraceSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.points().empty());
+}
+
+TEST(TraceSeries, RecordsPoints) {
+  TraceSeries s;
+  s.record(SimTime{} + seconds(1), 10.0);
+  s.record(SimTime{} + seconds(2), 20.0);
+  ASSERT_EQ(s.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.points()[1].value, 20.0);
+}
+
+TEST(TraceSeries, BinnedMean) {
+  TraceSeries s;
+  s.record(SimTime{} + millis(100), 10.0);
+  s.record(SimTime{} + millis(200), 20.0);
+  s.record(SimTime{} + millis(1500), 30.0);
+  const auto bins =
+      s.binned_mean(SimTime{}, SimTime{} + seconds(3), seconds(1));
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0], 15.0);
+  EXPECT_DOUBLE_EQ(bins[1], 30.0);
+  EXPECT_DOUBLE_EQ(bins[2], 0.0);  // Empty bin.
+}
+
+TEST(TraceSeries, BinnedCount) {
+  TraceSeries s;
+  for (int i = 0; i < 10; ++i) {
+    s.record(SimTime{} + millis(100 * i), 1.0);
+  }
+  const auto counts =
+      s.binned_count(SimTime{}, SimTime{} + seconds(2), seconds(1));
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 10u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(TraceSeries, BinningIgnoresOutOfRange) {
+  TraceSeries s;
+  s.record(SimTime{} + seconds(10), 1.0);
+  const auto counts =
+      s.binned_count(SimTime{}, SimTime{} + seconds(2), seconds(1));
+  EXPECT_EQ(counts[0] + counts[1], 0u);
+}
+
+TEST(Tracer, NamedSeries) {
+  Tracer tracer;
+  tracer.series("fps").record(SimTime{}, 24.0);
+  EXPECT_TRUE(tracer.has("fps"));
+  EXPECT_FALSE(tracer.has("other"));
+  EXPECT_EQ(tracer.all().size(), 1u);
+}
+
+}  // namespace
+}  // namespace swing

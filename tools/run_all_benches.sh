@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Regenerates every paper figure/table plus the ablation and extension
+# studies. Pass a build dir (default: build).
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done
