@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_estimator.dir/ablate_estimator.cpp.o"
+  "CMakeFiles/ablate_estimator.dir/ablate_estimator.cpp.o.d"
+  "ablate_estimator"
+  "ablate_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

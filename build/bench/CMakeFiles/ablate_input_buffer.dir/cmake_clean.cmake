@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_input_buffer.dir/ablate_input_buffer.cpp.o"
+  "CMakeFiles/ablate_input_buffer.dir/ablate_input_buffer.cpp.o.d"
+  "ablate_input_buffer"
+  "ablate_input_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_input_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

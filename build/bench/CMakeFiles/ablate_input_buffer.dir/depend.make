@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_input_buffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_probing.dir/ablate_probing.cpp.o"
+  "CMakeFiles/ablate_probing.dir/ablate_probing.cpp.o.d"
+  "ablate_probing"
+  "ablate_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reorder.dir/ablate_reorder.cpp.o"
+  "CMakeFiles/ablate_reorder.dir/ablate_reorder.cpp.o.d"
+  "ablate_reorder"
+  "ablate_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

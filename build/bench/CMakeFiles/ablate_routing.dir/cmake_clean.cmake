@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_routing.dir/ablate_routing.cpp.o"
+  "CMakeFiles/ablate_routing.dir/ablate_routing.cpp.o.d"
+  "ablate_routing"
+  "ablate_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_selection.dir/ablate_selection.cpp.o"
+  "CMakeFiles/ablate_selection.dir/ablate_selection.cpp.o.d"
+  "ablate_selection"
+  "ablate_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

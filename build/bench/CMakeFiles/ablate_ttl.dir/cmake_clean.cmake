@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ttl.dir/ablate_ttl.cpp.o"
+  "CMakeFiles/ablate_ttl.dir/ablate_ttl.cpp.o.d"
+  "ablate_ttl"
+  "ablate_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

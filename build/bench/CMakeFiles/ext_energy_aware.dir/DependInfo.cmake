@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_energy_aware.cpp" "bench/CMakeFiles/ext_energy_aware.dir/ext_energy_aware.cpp.o" "gcc" "bench/CMakeFiles/ext_energy_aware.dir/ext_energy_aware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swing_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swing_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_aware.dir/ext_energy_aware.cpp.o"
+  "CMakeFiles/ext_energy_aware.dir/ext_energy_aware.cpp.o.d"
+  "ext_energy_aware"
+  "ext_energy_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_transport_modes.dir/ext_transport_modes.cpp.o"
+  "CMakeFiles/ext_transport_modes.dir/ext_transport_modes.cpp.o.d"
+  "ext_transport_modes"
+  "ext_transport_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_transport_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_single_device.dir/fig01_single_device.cpp.o"
+  "CMakeFiles/fig01_single_device.dir/fig01_single_device.cpp.o.d"
+  "fig01_single_device"
+  "fig01_single_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_single_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

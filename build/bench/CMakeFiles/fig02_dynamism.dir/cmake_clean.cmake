@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dynamism.dir/fig02_dynamism.cpp.o"
+  "CMakeFiles/fig02_dynamism.dir/fig02_dynamism.cpp.o.d"
+  "fig02_dynamism"
+  "fig02_dynamism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_policies.dir/fig04_policies.cpp.o"
+  "CMakeFiles/fig04_policies.dir/fig04_policies.cpp.o.d"
+  "fig04_policies"
+  "fig04_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_usage.dir/fig05_usage.cpp.o"
+  "CMakeFiles/fig05_usage.dir/fig05_usage.cpp.o.d"
+  "fig05_usage"
+  "fig05_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

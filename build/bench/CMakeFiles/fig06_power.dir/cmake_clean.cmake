@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_power.dir/fig06_power.cpp.o"
+  "CMakeFiles/fig06_power.dir/fig06_power.cpp.o.d"
+  "fig06_power"
+  "fig06_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_efficiency.dir/fig07_efficiency.cpp.o"
+  "CMakeFiles/fig07_efficiency.dir/fig07_efficiency.cpp.o.d"
+  "fig07_efficiency"
+  "fig07_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

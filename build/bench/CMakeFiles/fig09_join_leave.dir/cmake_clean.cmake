@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_join_leave.dir/fig09_join_leave.cpp.o"
+  "CMakeFiles/fig09_join_leave.dir/fig09_join_leave.cpp.o.d"
+  "fig09_join_leave"
+  "fig09_join_leave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_join_leave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mobility.dir/fig10_mobility.cpp.o"
+  "CMakeFiles/fig10_mobility.dir/fig10_mobility.cpp.o.d"
+  "fig10_mobility"
+  "fig10_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_heterogeneity.dir/table1_heterogeneity.cpp.o"
+  "CMakeFiles/table1_heterogeneity.dir/table1_heterogeneity.cpp.o.d"
+  "table1_heterogeneity"
+  "table1_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudlet_mode.dir/cloudlet_mode.cpp.o"
+  "CMakeFiles/cloudlet_mode.dir/cloudlet_mode.cpp.o.d"
+  "cloudlet_mode"
+  "cloudlet_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudlet_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_recognition_swarm.dir/face_recognition_swarm.cpp.o"
+  "CMakeFiles/face_recognition_swarm.dir/face_recognition_swarm.cpp.o.d"
+  "face_recognition_swarm"
+  "face_recognition_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_recognition_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

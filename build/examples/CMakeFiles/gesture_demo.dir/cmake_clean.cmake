@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_demo.dir/gesture_demo.cpp.o"
+  "CMakeFiles/gesture_demo.dir/gesture_demo.cpp.o.d"
+  "gesture_demo"
+  "gesture_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

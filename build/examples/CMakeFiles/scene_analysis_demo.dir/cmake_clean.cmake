@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_analysis_demo.dir/scene_analysis_demo.cpp.o"
+  "CMakeFiles/scene_analysis_demo.dir/scene_analysis_demo.cpp.o.d"
+  "scene_analysis_demo"
+  "scene_analysis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_analysis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_translation_swarm.dir/voice_translation_swarm.cpp.o"
+  "CMakeFiles/voice_translation_swarm.dir/voice_translation_swarm.cpp.o.d"
+  "voice_translation_swarm"
+  "voice_translation_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_translation_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

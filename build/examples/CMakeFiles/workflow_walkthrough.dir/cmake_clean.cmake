@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_walkthrough.dir/workflow_walkthrough.cpp.o"
+  "CMakeFiles/workflow_walkthrough.dir/workflow_walkthrough.cpp.o.d"
+  "workflow_walkthrough"
+  "workflow_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

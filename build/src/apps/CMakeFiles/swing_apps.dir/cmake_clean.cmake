@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_apps.dir/face_recognition.cpp.o"
+  "CMakeFiles/swing_apps.dir/face_recognition.cpp.o.d"
+  "CMakeFiles/swing_apps.dir/gesture_recognition.cpp.o"
+  "CMakeFiles/swing_apps.dir/gesture_recognition.cpp.o.d"
+  "CMakeFiles/swing_apps.dir/scene_analysis.cpp.o"
+  "CMakeFiles/swing_apps.dir/scene_analysis.cpp.o.d"
+  "CMakeFiles/swing_apps.dir/testbed.cpp.o"
+  "CMakeFiles/swing_apps.dir/testbed.cpp.o.d"
+  "CMakeFiles/swing_apps.dir/voice_translation.cpp.o"
+  "CMakeFiles/swing_apps.dir/voice_translation.cpp.o.d"
+  "libswing_apps.a"
+  "libswing_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/latency_estimator.cpp" "src/core/CMakeFiles/swing_core.dir/latency_estimator.cpp.o" "gcc" "src/core/CMakeFiles/swing_core.dir/latency_estimator.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/swing_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/swing_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/swarm_manager.cpp" "src/core/CMakeFiles/swing_core.dir/swarm_manager.cpp.o" "gcc" "src/core/CMakeFiles/swing_core.dir/swarm_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

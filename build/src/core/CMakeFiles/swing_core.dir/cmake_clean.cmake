@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_core.dir/latency_estimator.cpp.o"
+  "CMakeFiles/swing_core.dir/latency_estimator.cpp.o.d"
+  "CMakeFiles/swing_core.dir/policy.cpp.o"
+  "CMakeFiles/swing_core.dir/policy.cpp.o.d"
+  "CMakeFiles/swing_core.dir/swarm_manager.cpp.o"
+  "CMakeFiles/swing_core.dir/swarm_manager.cpp.o.d"
+  "libswing_core.a"
+  "libswing_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_dataflow.dir/graph.cpp.o"
+  "CMakeFiles/swing_dataflow.dir/graph.cpp.o.d"
+  "CMakeFiles/swing_dataflow.dir/tuple.cpp.o"
+  "CMakeFiles/swing_dataflow.dir/tuple.cpp.o.d"
+  "libswing_dataflow.a"
+  "libswing_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for swing_dataflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_device.dir/device.cpp.o"
+  "CMakeFiles/swing_device.dir/device.cpp.o.d"
+  "CMakeFiles/swing_device.dir/mobility.cpp.o"
+  "CMakeFiles/swing_device.dir/mobility.cpp.o.d"
+  "CMakeFiles/swing_device.dir/profile.cpp.o"
+  "CMakeFiles/swing_device.dir/profile.cpp.o.d"
+  "libswing_device.a"
+  "libswing_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_net.dir/medium.cpp.o"
+  "CMakeFiles/swing_net.dir/medium.cpp.o.d"
+  "libswing_net.a"
+  "libswing_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/master.cpp" "src/runtime/CMakeFiles/swing_runtime.dir/master.cpp.o" "gcc" "src/runtime/CMakeFiles/swing_runtime.dir/master.cpp.o.d"
+  "/root/repo/src/runtime/scenario.cpp" "src/runtime/CMakeFiles/swing_runtime.dir/scenario.cpp.o" "gcc" "src/runtime/CMakeFiles/swing_runtime.dir/scenario.cpp.o.d"
+  "/root/repo/src/runtime/swarm.cpp" "src/runtime/CMakeFiles/swing_runtime.dir/swarm.cpp.o" "gcc" "src/runtime/CMakeFiles/swing_runtime.dir/swarm.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/runtime/CMakeFiles/swing_runtime.dir/worker.cpp.o" "gcc" "src/runtime/CMakeFiles/swing_runtime.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_runtime.dir/master.cpp.o"
+  "CMakeFiles/swing_runtime.dir/master.cpp.o.d"
+  "CMakeFiles/swing_runtime.dir/scenario.cpp.o"
+  "CMakeFiles/swing_runtime.dir/scenario.cpp.o.d"
+  "CMakeFiles/swing_runtime.dir/swarm.cpp.o"
+  "CMakeFiles/swing_runtime.dir/swarm.cpp.o.d"
+  "CMakeFiles/swing_runtime.dir/worker.cpp.o"
+  "CMakeFiles/swing_runtime.dir/worker.cpp.o.d"
+  "libswing_runtime.a"
+  "libswing_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swing_sim.dir/simulator.cpp.o"
+  "CMakeFiles/swing_sim.dir/simulator.cpp.o.d"
+  "libswing_sim.a"
+  "libswing_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swing_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_face_recognition.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_face_recognition.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_face_recognition.cpp.o.d"
+  "/root/repo/tests/apps/test_gesture_recognition.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_gesture_recognition.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_gesture_recognition.cpp.o.d"
+  "/root/repo/tests/apps/test_scene_analysis.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_scene_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_scene_analysis.cpp.o.d"
+  "/root/repo/tests/apps/test_testbed.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o.d"
+  "/root/repo/tests/apps/test_voice_translation.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_voice_translation.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_voice_translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swing_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swing_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

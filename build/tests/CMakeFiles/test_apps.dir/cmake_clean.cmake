@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_face_recognition.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_face_recognition.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_gesture_recognition.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_gesture_recognition.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_scene_analysis.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_scene_analysis.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_testbed.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_voice_translation.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_voice_translation.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

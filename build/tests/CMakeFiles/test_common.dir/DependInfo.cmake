@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_ascii_chart.cpp" "tests/CMakeFiles/test_common.dir/common/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/common/test_bytes.cpp" "tests/CMakeFiles/test_common.dir/common/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bytes.cpp.o.d"
+  "/root/repo/tests/common/test_ids.cpp" "tests/CMakeFiles/test_common.dir/common/test_ids.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_ids.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_time.cpp" "tests/CMakeFiles/test_common.dir/common/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swing_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swing_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

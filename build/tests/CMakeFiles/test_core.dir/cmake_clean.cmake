@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_energy_aware.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_energy_aware.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_estimator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policy_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_routing_modes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_routing_modes.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_swarm_manager.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_swarm_manager.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

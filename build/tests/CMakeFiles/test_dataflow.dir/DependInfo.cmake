@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataflow/test_codec.cpp" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_codec.cpp.o" "gcc" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_codec.cpp.o.d"
+  "/root/repo/tests/dataflow/test_graph.cpp" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_graph.cpp.o.d"
+  "/root/repo/tests/dataflow/test_tuple.cpp" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_tuple.cpp.o" "gcc" "tests/CMakeFiles/test_dataflow.dir/dataflow/test_tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swing_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swing_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

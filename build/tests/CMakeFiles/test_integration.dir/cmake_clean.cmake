@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_app_matrix.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_app_matrix.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_dynamics.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_dynamics.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_policies.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_policies.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_swarms.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_swarms.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

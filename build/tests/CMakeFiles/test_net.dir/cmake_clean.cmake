@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_adhoc.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_adhoc.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_discovery.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_discovery.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_medium.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_medium.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_medium_properties.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_medium_properties.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_transport.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_transport.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_wifi.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_wifi.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

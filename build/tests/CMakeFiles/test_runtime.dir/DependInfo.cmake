@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_batching.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_batching.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_batching.cpp.o.d"
+  "/root/repo/tests/runtime/test_extensions.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_extensions.cpp.o.d"
+  "/root/repo/tests/runtime/test_failure_injection.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/runtime/test_master.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_master.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_master.cpp.o.d"
+  "/root/repo/tests/runtime/test_messages.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_messages.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_messages.cpp.o.d"
+  "/root/repo/tests/runtime/test_metrics.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_metrics.cpp.o.d"
+  "/root/repo/tests/runtime/test_reorder.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_reorder.cpp.o.d"
+  "/root/repo/tests/runtime/test_scenario.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_scenario.cpp.o.d"
+  "/root/repo/tests/runtime/test_source_dynamics.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_source_dynamics.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_source_dynamics.cpp.o.d"
+  "/root/repo/tests/runtime/test_worker_integration.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_worker_integration.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_worker_integration.cpp.o.d"
+  "/root/repo/tests/runtime/test_worker_unit.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_worker_unit.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_worker_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/swing_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/swing_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/swing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/swing_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swing_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/swing_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/swing_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_batching.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_batching.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_extensions.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_extensions.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_failure_injection.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_master.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_master.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_messages.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_messages.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_metrics.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_metrics.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_reorder.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_reorder.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_scenario.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_scenario.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_source_dynamics.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_source_dynamics.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_worker_integration.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_worker_integration.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_worker_unit.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_worker_unit.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
