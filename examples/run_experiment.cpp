@@ -2,7 +2,7 @@
 // writing code — pick an app, a routing policy, a device roster, signal
 // zones and a duration, and get the standard report.
 //
-//   run_experiment --app=fr --policy=LRS --workers=B,C,G,H \
+//   run_experiment --app=fr --policy=LRS --workers=B,C,G,H
 //                  --weak=B,C --seconds=60 --fps=24
 //
 // Apps: fr (face recognition), vt (voice translation), scene (diamond

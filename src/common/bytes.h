@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.h"
+
 namespace swing {
 
 using Bytes = std::vector<std::uint8_t>;
@@ -85,7 +87,7 @@ class ByteReader {
   [[nodiscard]] bool done() const { return remaining() == 0; }
 
   std::uint8_t read_u8() {
-    require(1);
+    require(1, "u8");
     return data_[pos_++];
   }
 
@@ -116,35 +118,52 @@ class ByteReader {
 
   Bytes read_bytes() {
     const std::uint64_t n = read_varint();
-    require(n);
+    require(n, "bytes body");
     Bytes out(data_.begin() + long(pos_), data_.begin() + long(pos_ + n));
     pos_ += n;
+    SWING_DCHECK_LE(pos_, data_.size());
     return out;
   }
 
   std::string read_string() {
     const std::uint64_t n = read_varint();
-    require(n);
+    require(n, "string body");
+    // require() proved [pos_, pos_ + n) lies inside the buffer, so this
+    // aliased read cannot run past the end.
     std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
+    SWING_DCHECK_LE(pos_, data_.size());
     return out;
   }
 
  private:
-  void require(std::uint64_t n) const {
-    if (remaining() < n) {
-      throw WireFormatError("buffer underrun");
-    }
+  // Every read validates its length against the unconsumed suffix before
+  // touching the buffer. Wire data is untrusted, so failures throw a typed,
+  // recoverable error (with enough detail to debug a corrupt frame) rather
+  // than aborting the process — see the contract policy in DESIGN.md.
+  // The guard stays tiny so it inlines into every read; the cold message
+  // formatting lives in the noreturn slow path.
+  void require(std::uint64_t n, const char* what) const {
+    if (remaining() < n) fail_underrun(n, what);
+  }
+
+  [[noreturn]] void fail_underrun(std::uint64_t n, const char* what) const {
+    throw WireFormatError("buffer underrun reading " + std::string(what) +
+                          ": need " + std::to_string(n) + " bytes, " +
+                          std::to_string(remaining()) + " remain at offset " +
+                          std::to_string(pos_) + "/" +
+                          std::to_string(data_.size()));
   }
 
   template <typename T>
   T read_le() {
-    require(sizeof(T));
+    require(sizeof(T), "fixed-width value");
     T v = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       v |= T(data_[pos_ + i]) << (8 * i);
     }
     pos_ += sizeof(T);
+    SWING_DCHECK_LE(pos_, data_.size());
     return v;
   }
 

@@ -1,0 +1,115 @@
+// Runtime contract macros.
+//
+// The simulated runtime underpins every benchmark figure, so a silently
+// violated invariant (an out-of-bounds codec read, a heap that outgrew its
+// capacity, a negative latency estimate) invalidates results without
+// failing a test. These macros make contracts explicit and fatal:
+//
+//   SWING_CHECK(cond)            always-on contract; aborts on failure.
+//   SWING_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                                as above, printing both operands.
+//   SWING_DCHECK(cond)           debug-only internal invariant; compiled to
+//                                nothing when NDEBUG is set (still parsed).
+//   SWING_DCHECK_EQ/... (a, b)   debug-only operand-printing variants.
+//   SWING_UNREACHABLE(msg)       marks impossible control flow; aborts.
+//
+// All macros support glog-style message streaming, evaluated only on the
+// failure path:
+//
+//   SWING_CHECK(n > 0) << "capacity for rate " << rate;
+//
+// Policy (see DESIGN.md "Correctness tooling"): SWING_CHECK guards caller
+// contracts and states the runtime relies on for benchmark validity;
+// SWING_DCHECK guards internal invariants that are too hot to verify in
+// release runs. Untrusted wire input must NOT abort the process — codec code
+// throws WireFormatError instead (see common/bytes.h) so malformed frames
+// are recoverable and testable.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace swing::check_detail {
+
+// Accumulates the failure message; aborts in the destructor, after the
+// caller's streamed operands (if any) have been appended.
+class Failure {
+ public:
+  Failure(const char* file, int line, const char* kind, const char* expr) {
+    stream_ << file << ":" << line << ": " << kind << " failed: " << expr;
+  }
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+
+  ~Failure() {
+    std::cerr << "[SWING_CHECK] " << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  Failure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the streamed failure expression type void so it can sit in the
+// else-branch of the ?: in SWING_CHECK (glog's Voidify trick). operator&
+// binds looser than << so all streamed operands attach to the Failure first.
+struct Voidify {
+  // const& so both a bare Failure temporary and the lvalue returned by a
+  // chain of operator<< bind here.
+  void operator&(const Failure&) const {}
+};
+
+[[noreturn]] inline void unreachable(const char* file, int line,
+                                     std::string_view message) {
+  std::cerr << "[SWING_CHECK] " << file << ":" << line
+            << ": reached SWING_UNREACHABLE: " << message << std::endl;
+  std::abort();
+}
+
+}  // namespace swing::check_detail
+
+#define SWING_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                        \
+         : ::swing::check_detail::Voidify() &                             \
+               ::swing::check_detail::Failure(__FILE__, __LINE__,         \
+                                              "SWING_CHECK", #cond)
+
+// Operand-printing comparisons. The operands are re-evaluated for printing
+// on the failure path only; the process aborts immediately after, so side
+// effects cannot leak into subsequent execution.
+#define SWING_CHECK_OP_(a, op, b)                                         \
+  SWING_CHECK((a) op (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define SWING_CHECK_EQ(a, b) SWING_CHECK_OP_(a, ==, b)
+#define SWING_CHECK_NE(a, b) SWING_CHECK_OP_(a, !=, b)
+#define SWING_CHECK_LT(a, b) SWING_CHECK_OP_(a, <, b)
+#define SWING_CHECK_LE(a, b) SWING_CHECK_OP_(a, <=, b)
+#define SWING_CHECK_GT(a, b) SWING_CHECK_OP_(a, >, b)
+#define SWING_CHECK_GE(a, b) SWING_CHECK_OP_(a, >=, b)
+
+// Debug-only variants: free in release builds, but the condition and any
+// streamed operands stay compiled (a while(false) body), so they cannot rot.
+#ifdef NDEBUG
+#define SWING_DCHECK_ACTIVE_() while (false)
+#else
+#define SWING_DCHECK_ACTIVE_()
+#endif
+
+#define SWING_DCHECK(cond) SWING_DCHECK_ACTIVE_() SWING_CHECK(cond)
+#define SWING_DCHECK_EQ(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_EQ(a, b)
+#define SWING_DCHECK_NE(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_NE(a, b)
+#define SWING_DCHECK_LT(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_LT(a, b)
+#define SWING_DCHECK_LE(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_LE(a, b)
+#define SWING_DCHECK_GT(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_GT(a, b)
+#define SWING_DCHECK_GE(a, b) SWING_DCHECK_ACTIVE_() SWING_CHECK_GE(a, b)
+
+#define SWING_UNREACHABLE(msg) \
+  ::swing::check_detail::unreachable(__FILE__, __LINE__, msg)

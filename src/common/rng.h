@@ -8,11 +8,12 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
 #include <span>
+
+#include "common/check.h"
 
 namespace swing {
 
@@ -69,7 +70,7 @@ class Rng {
 
   // Uniform integer in [0, n). n must be > 0.
   std::uint64_t uniform_int(std::uint64_t n) {
-    assert(n > 0);
+    SWING_DCHECK_GT(n, 0u) << "uniform_int over an empty range";
     // Lemire's nearly-divisionless method would be overkill; modulo bias is
     // negligible for the n (< 2^32) we use.
     return next() % n;
@@ -100,8 +101,10 @@ class Rng {
   // variation (stddev/mean). Used for service-time jitter: multiplicative,
   // strictly positive, right-skewed like real processing delays.
   double lognormal_mean_cv(double mean, double cv) {
-    assert(mean > 0.0);
-    if (cv <= 0.0) return mean;
+    SWING_DCHECK_GE(mean, 0.0) << "lognormal mean must be non-negative";
+    // A zero-cost job has zero jitter; keep the degenerate case out of the
+    // log-space math below (log(0) = -inf).
+    if (mean <= 0.0 || cv <= 0.0) return mean;
     const double sigma2 = std::log(1.0 + cv * cv);
     const double mu = std::log(mean) - 0.5 * sigma2;
     return std::exp(mu + std::sqrt(sigma2) * normal());
@@ -112,10 +115,12 @@ class Rng {
   std::size_t weighted_pick(std::span<const double> weights) {
     double total = 0.0;
     for (double w : weights) {
-      assert(w >= 0.0);
+      SWING_DCHECK_GE(w, 0.0) << "negative routing weight";
       total += w;
     }
-    assert(total > 0.0);
+    SWING_CHECK_GT(total, 0.0)
+        << "weighted_pick needs a positive weight sum over "
+        << weights.size() << " weights";
     double r = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
       r -= weights[i];

@@ -9,13 +9,13 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <deque>
 #include <limits>
 #include <vector>
 
+#include "common/check.h"
 #include "common/time.h"
 
 namespace swing {
@@ -70,6 +70,7 @@ class SampleStats {
 
   // Linear-interpolated quantile, q in [0, 1]. Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const {
+    SWING_DCHECK(q >= 0.0 && q <= 1.0) << "quantile " << q;
     if (samples_.empty()) return 0.0;
     ensure_sorted();
     const double pos = q * double(samples_.size() - 1);
@@ -105,7 +106,8 @@ class SampleStats {
 class Ewma {
  public:
   explicit Ewma(double alpha = 0.25) : alpha_(alpha) {
-    assert(alpha > 0.0 && alpha <= 1.0);
+    SWING_CHECK(alpha > 0.0 && alpha <= 1.0)
+        << "EWMA alpha " << alpha << " outside (0, 1]";
   }
 
   void add(double x) {
@@ -140,7 +142,7 @@ class Ewma {
 class RateMeter {
  public:
   explicit RateMeter(SimDuration window = seconds(1.0)) : window_(window) {
-    assert(window.nanos() > 0);
+    SWING_CHECK_GT(window.nanos(), 0) << "rate meter window must be positive";
   }
 
   void record(SimTime now) {

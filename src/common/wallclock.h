@@ -1,0 +1,46 @@
+// Wall-clock access, quarantined.
+//
+// Framework code must be deterministic: the only clock it may read is the
+// simulator's (common/time.h), and swing_lint forbids std::chrono clocks
+// everywhere outside src/common/. The one legitimate consumer of real time
+// is demo pacing — run_realtime() slows simulated time down to wall time so
+// a human can watch the dashboard. That single capability lives here.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace swing {
+
+// Paces simulated time against the wall clock: one simulated second takes
+// 1/speed wall seconds, measured from construction. sleep_until_sim(t)
+// blocks the calling thread until the wall-clock deadline for simulated
+// offset `t` has arrived (returns immediately if already past).
+class WallClockPacer {
+ public:
+  explicit WallClockPacer(SimTime sim_start, double speed)
+      : sim_start_(sim_start),
+        speed_(speed),
+        wall_start_(std::chrono::steady_clock::now()) {
+    SWING_CHECK_GT(speed, 0.0) << "realtime pacing speed";
+  }
+
+  void sleep_until_sim(SimTime t) const {
+    const double sim_elapsed_s = (t - sim_start_).seconds();
+    const auto deadline =
+        wall_start_ +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(sim_elapsed_s / speed_));
+    std::this_thread::sleep_until(deadline);
+  }
+
+ private:
+  SimTime sim_start_;
+  double speed_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+}  // namespace swing

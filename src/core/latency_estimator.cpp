@@ -1,6 +1,9 @@
 #include "core/latency_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace swing::core {
 
@@ -22,11 +25,23 @@ void LatencyEstimator::remove_downstream(InstanceId id) {
 void LatencyEstimator::record_ack(InstanceId id, double latency_ms,
                                   double processing_ms, SimTime now,
                                   double battery) {
+  // ACK measurements come off the (simulated) wire; a negative or NaN sample
+  // would silently poison the EWMA and every routing decision after it.
+  SWING_CHECK(latency_ms >= 0.0 && std::isfinite(latency_ms))
+      << "ACK latency sample " << latency_ms << " ms from downstream " << id;
+  SWING_CHECK(processing_ms >= 0.0 && std::isfinite(processing_ms))
+      << "ACK processing sample " << processing_ms << " ms from downstream "
+      << id;
+  SWING_CHECK(battery >= 0.0 && battery <= 1.0)
+      << "ACK battery fraction " << battery << " from downstream " << id;
   Entry& entry = entry_for(id);
   entry.latency.add(latency_ms);
   entry.processing.add(processing_ms);
   entry.battery = battery;
   entry.last_ack = now;
+  SWING_DCHECK_GE(entry.latency.value(), 0.0)
+      << "EWMA of non-negative samples went negative";
+  SWING_DCHECK_GE(entry.processing.value(), 0.0);
 }
 
 std::vector<DownstreamInfo> LatencyEstimator::estimates() const {

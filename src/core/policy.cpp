@@ -1,10 +1,11 @@
 #include "core/policy.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cctype>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace swing::core {
 
@@ -17,7 +18,7 @@ std::string policy_name(PolicyKind kind) {
     case PolicyKind::kLRS:  return "LRS";
     case PolicyKind::kELRS: return "ELRS";
   }
-  return "?";
+  SWING_UNREACHABLE("invalid PolicyKind");
 }
 
 PolicyKind policy_from_name(const std::string& name) {
@@ -58,10 +59,16 @@ std::vector<DownstreamInfo> select_workers(
     sum_rate += 1000.0 / delay_of(sorted[i], by_latency);  // mu_i in 1/s.
     if (sum_rate >= target) {
       sorted.resize(i + 1);
+      // Postcondition (paper §V-A): the selected prefix's service rate
+      // covers the input rate.
+      SWING_DCHECK_GE(sum_rate, target)
+          << "worker selection returned an underprovisioned prefix";
       return sorted;
     }
   }
   // Sum-rate constraint unsatisfiable: use every downstream (paper §V-A).
+  SWING_DCHECK_EQ(sorted.size(), downstreams.size())
+      << "infeasible selection must fall back to every downstream";
   return sorted;
 }
 
@@ -75,6 +82,8 @@ std::vector<double> inverse_delay_weights(
     weights.push_back(w);
     total += w;
   }
+  SWING_DCHECK(downstreams.empty() || total > 0.0)
+      << "delay_of() clamps to 1e-3 ms, so every weight is positive";
   for (double& w : weights) w /= total;
   return weights;
 }
@@ -135,6 +144,21 @@ class BasePolicy : public RoutingPolicy {
     }
     decision.selected.reserve(chosen.size());
     for (const auto& d : chosen) decision.selected.push_back(d.id);
+
+    // Postconditions every policy must satisfy: at least one downstream is
+    // selected (the pool was non-empty), weights align with selections, and
+    // the distribution is normalized.
+    SWING_CHECK(!decision.selected.empty())
+        << policy_name(kind_) << " selected no downstreams from a pool of "
+        << downstreams.size();
+    SWING_CHECK_EQ(decision.selected.size(), decision.weights.size());
+    double weight_sum = 0.0;
+    for (double w : decision.weights) {
+      SWING_DCHECK_GE(w, 0.0);
+      weight_sum += w;
+    }
+    SWING_DCHECK(std::abs(weight_sum - 1.0) < 1e-9)
+        << policy_name(kind_) << " weights sum to " << weight_sum;
     return decision;
   }
 

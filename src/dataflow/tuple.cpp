@@ -95,6 +95,14 @@ Tuple Tuple::from_bytes(const Bytes& data) {
   t.id_ = TupleId{r.read_u64()};
   t.source_time_ = SimTime{r.read_i64()};
   const std::uint64_t n = r.read_varint();
+  // Bound the claimed field count by the bytes actually present (a field is
+  // at least 2 bytes: empty-key length + value tag) before reserving, so a
+  // corrupt count fails cleanly instead of attempting a huge allocation.
+  if (n > r.remaining() / 2) {
+    throw WireFormatError("field count " + std::to_string(n) +
+                          " exceeds what " + std::to_string(r.remaining()) +
+                          " remaining bytes could hold");
+  }
   t.fields_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string key = r.read_string();

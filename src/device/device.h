@@ -9,11 +9,11 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
 
+#include "common/check.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -71,7 +71,8 @@ class Device {
   // Fraction [0, 1] of CPU consumed by other apps. Inflates service times
   // and reported utilisation.
   void set_background_load(double fraction) {
-    assert(fraction >= 0.0 && fraction <= 1.0);
+    SWING_CHECK(fraction >= 0.0 && fraction <= 1.0)
+        << "background load " << fraction;
     settle_background(sim_.now());
     background_load_ = fraction;
   }

@@ -1,8 +1,8 @@
 #include "net/medium.h"
 
-#include <cassert>
 #include <limits>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace swing::net {
@@ -10,17 +10,17 @@ namespace swing::net {
 Medium::Medium(Simulator& sim, MediumConfig config)
     : sim_(sim), config_(config) {
   if (config_.interference.duty > 0.0) {
-    assert(config_.interference.duty < 1.0);
+    SWING_CHECK_LT(config_.interference.duty, 1.0)
+        << "interference duty cycle must leave the channel some airtime";
     // Foreign bursts at a fixed cadence: period = burst / duty.
     const SimDuration period =
         config_.interference.burst * (1.0 / config_.interference.duty);
-    auto hog = std::make_shared<std::function<void()>>();
-    *hog = [this, period, hog] {
+    interference_hog_ = [this, period] {
       external_busy_until_ = sim_.now() + config_.interference.burst;
       sim_.schedule_at(external_busy_until_, [this] { serve_next(); });
-      sim_.schedule_after(period, *hog);
+      sim_.schedule_after(period, interference_hog_);
     };
-    sim_.schedule_after(period, *hog);
+    sim_.schedule_after(period, interference_hog_);
   }
 }
 
@@ -46,13 +46,15 @@ void Medium::detach(DeviceId id) {
 
 void Medium::set_position(DeviceId id, Position pos) {
   auto it = stations_.find(id.value());
-  assert(it != stations_.end());
+  SWING_CHECK(it != stations_.end())
+      << "set_position on unattached device " << id;
   it->second.pos = pos;
 }
 
 void Medium::set_rssi_override(DeviceId id, std::optional<double> rssi_dbm) {
   auto it = stations_.find(id.value());
-  assert(it != stations_.end());
+  SWING_CHECK(it != stations_.end())
+      << "set_rssi_override on unattached device " << id;
   it->second.rssi_override = rssi_dbm;
 }
 
@@ -172,6 +174,10 @@ bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
   }
 
   const std::size_t npackets = packets_for(bytes);
+  // Even an empty message occupies one packet (an empty frame still rides
+  // the air); zero packets would enqueue nothing and never complete.
+  SWING_DCHECK_GT(npackets, 0u)
+      << "message " << src << " -> " << dst << " produced no packets";
   std::size_t& inflight = pair_inflight_[pair_key(src, dst)];
   if (inflight >= config_.tcp_window_packets) {
     return fail(DropReason::kQueueFull);
@@ -294,12 +300,16 @@ void Medium::complete_hop(PacketHop hop) {
   }
   if (!hop.downlink) {
     stats_[hop.msg->src.value()].tx_bytes += hop.bytes;
+    SWING_DCHECK_GT(hop.msg->packets_remaining_uplink, 0u)
+        << "uplink hop completed for a fully-sent message";
     --hop.msg->packets_remaining_uplink;
     // The AP forwards the packet on the receiver's downlink.
     enqueue_hop(PacketHop{hop.msg, hop.msg->dst, /*downlink=*/true,
                           /*direct=*/false, hop.bytes});
   } else {
     stats_[hop.msg->dst.value()].rx_bytes += hop.bytes;
+    SWING_DCHECK_GT(hop.msg->packets_remaining_downlink, 0u)
+        << "downlink hop completed for a fully-delivered message";
     --hop.msg->packets_remaining_downlink;
     auto window = pair_inflight_.find(pair_key(hop.msg->src, hop.msg->dst));
     if (window != pair_inflight_.end() && window->second > 0) {
@@ -331,7 +341,8 @@ Medium::HopTiming Medium::hop_timing(const PacketHop& hop) const {
   const auto lq = link_quality(hop.direct
                                    ? pair_rssi(hop.msg->src, hop.msg->dst)
                                    : rssi(hop.link_device));
-  assert(lq);
+  SWING_CHECK(lq) << "hop scheduled over a dead link (device "
+                  << hop.link_device << ")";
   const double payload_s =
       double(hop.bytes) * 8.0 / (lq->mcs.rate_bps * config_.mac_efficiency);
   const SimDuration single_try =

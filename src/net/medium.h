@@ -229,6 +229,10 @@ class Medium {
   bool channel_busy_ = false;
   // Channel occupied by a foreign network until this time.
   SimTime external_busy_until_{};
+  // Recurring foreign-interference burst; reschedules itself each period.
+  // Held as a member (not a self-capturing shared_ptr) so it is released
+  // with the Medium instead of leaking through a reference cycle.
+  std::function<void()> interference_hog_;
   double busy_airtime_s_ = 0.0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "net/medium.h"
@@ -78,6 +79,8 @@ class Transport {
   // encoded buffer, so the caller passes the true wire footprint.
   bool send(DeviceId src, DeviceId dst, std::uint8_t type, Bytes payload,
             std::size_t wire_bytes = 0) {
+    SWING_CHECK(src.valid() && dst.valid())
+        << "transport send with invalid endpoint " << src << " -> " << dst;
     Message msg;
     msg.id = MessageId{next_id_++};
     msg.src = src;

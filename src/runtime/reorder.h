@@ -15,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/check.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "dataflow/tuple.h"
@@ -42,6 +43,8 @@ class ReorderBuffer {
     }
     heap_.push(std::move(tuple));
     if (heap_.size() > capacity_) pop_and_play(now);
+    SWING_DCHECK_LE(heap_.size(), capacity_)
+        << "reorder buffer exceeded its timespan capacity";
   }
 
   // Releases everything (end of stream).
@@ -62,7 +65,14 @@ class ReorderBuffer {
   };
 
   void pop_and_play(SimTime now) {
+    SWING_DCHECK(!heap_.empty());
     const dataflow::Tuple& top = heap_.top();
+    // The ordering contract the service exists to provide: release ids are
+    // non-decreasing (late arrivals were dropped in push(); duplicates that
+    // were both buffered before either played may tie).
+    SWING_DCHECK(!played_any_ || last_played_ <= top.id())
+        << "reorder buffer released id " << top.id()
+        << " after already playing " << last_played_;
     last_played_ = top.id();
     played_any_ = true;
     ++played_count_;

@@ -1,6 +1,5 @@
 #include "runtime/scenario.h"
 
-#include <memory>
 #include <stdexcept>
 
 namespace swing::runtime {
@@ -26,8 +25,7 @@ void Scenario::arm() {
   // with whatever event fired inside the interval. Keeps sampling until
   // well past the last declared event, then stops on its own.
   const SimTime stop_after = armed_at_ + latest + seconds(300.0);
-  auto sample = std::make_shared<std::function<void()>>();
-  *sample = [this, sample, stop_after] {
+  sampler_ = [this, stop_after] {
     const std::size_t frames = swarm_.metrics().frames_arrived();
     Sample s;
     s.t_s = (swarm_.sim().now() - armed_at_).seconds();
@@ -38,10 +36,10 @@ void Scenario::arm() {
     samples_.push_back(std::move(s));
     frames_at_last_sample_ = frames;
     if (swarm_.sim().now() < stop_after) {
-      swarm_.sim().schedule_after(sample_period_, *sample);
+      swarm_.sim().schedule_after(sample_period_, sampler_);
     }
   };
-  sim.schedule_after(sample_period_, *sample);
+  sim.schedule_after(sample_period_, sampler_);
 }
 
 }  // namespace swing::runtime

@@ -131,6 +131,9 @@ class Scenario {
   std::size_t frames_at_last_sample_ = 0;
   std::vector<Sample> samples_;
   std::string pending_label_;
+  // Self-rescheduling throughput sampler; a member rather than a
+  // self-capturing shared_ptr so it cannot leak through a reference cycle.
+  std::function<void()> sampler_;
   bool armed_ = false;
 };
 

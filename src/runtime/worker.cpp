@@ -1,7 +1,6 @@
 #include "runtime/worker.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace swing::runtime {

@@ -1,8 +1,7 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <chrono>
-#include <thread>
+#include "common/check.h"
+#include "common/wallclock.h"
 
 namespace swing {
 
@@ -26,7 +25,8 @@ bool Simulator::step() {
     if (it == callbacks_.end()) continue;  // Cancelled; skip.
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
-    assert(entry.time >= now_);
+    SWING_DCHECK_GE(entry.time.nanos(), now_.nanos())
+        << "event queue released an event from the past";
     now_ = entry.time;
     ++executed_;
     fn();
@@ -55,18 +55,8 @@ void Simulator::run() {
 }
 
 void Simulator::run_realtime(SimDuration duration, double speed) {
-  assert(speed > 0.0);
   const SimTime limit = now_ + duration;
-  const SimTime sim_start = now_;
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  auto wall_deadline = [&](SimTime t) {
-    const double sim_elapsed_s = (t - sim_start).seconds();
-    return wall_start + std::chrono::duration_cast<
-                            std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(sim_elapsed_s /
-                                                          speed));
-  };
+  const WallClockPacer pacer(now_, speed);
 
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
@@ -75,10 +65,10 @@ void Simulator::run_realtime(SimDuration duration, double speed) {
       continue;
     }
     if (entry.time > limit) break;
-    std::this_thread::sleep_until(wall_deadline(entry.time));
+    pacer.sleep_until_sim(entry.time);
     step();
   }
-  std::this_thread::sleep_until(wall_deadline(limit));
+  pacer.sleep_until_sim(limit);
   if (now_ < limit) now_ = limit;
 }
 

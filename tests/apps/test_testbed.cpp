@@ -36,7 +36,7 @@ TEST(Testbed, SubsetOfWorkers) {
   TestbedConfig config;
   config.workers = {"B", "G"};
   Testbed bed{config};
-  EXPECT_NO_THROW(bed.id("B"));
+  EXPECT_NO_THROW(static_cast<void>(bed.id("B")));
   EXPECT_THROW(static_cast<void>(bed.id("H")), std::out_of_range);
 }
 

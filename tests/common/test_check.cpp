@@ -1,0 +1,85 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace swing {
+namespace {
+
+TEST(Check, PassingChecksAreSilent) {
+  SWING_CHECK(1 + 1 == 2);
+  SWING_CHECK_EQ(4, 4);
+  SWING_CHECK_NE(4, 5);
+  SWING_CHECK_LT(3, 4);
+  SWING_CHECK_LE(4, 4);
+  SWING_CHECK_GT(5, 4);
+  SWING_CHECK_GE(4, 4);
+}
+
+TEST(Check, StreamedMessageNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  SWING_CHECK(true) << "never built: " << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  SWING_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureAbortsWithConditionText) {
+  EXPECT_DEATH(SWING_CHECK(2 + 2 == 5),
+               "SWING_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailureIncludesStreamedMessage) {
+  const int frame = 17;
+  EXPECT_DEATH(SWING_CHECK(false) << "while decoding frame " << frame,
+               "while decoding frame 17");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsBothOperands) {
+  const int lhs = 3, rhs = 9;
+  EXPECT_DEATH(SWING_CHECK_EQ(lhs, rhs), "\\(3 vs 9\\)");
+  EXPECT_DEATH(SWING_CHECK_LT(rhs, lhs), "\\(9 vs 3\\)");
+  EXPECT_DEATH(SWING_CHECK_LE(rhs, lhs), "\\(9 vs 3\\)");
+}
+
+TEST(CheckDeathTest, FailureNamesSourceLocation) {
+  EXPECT_DEATH(SWING_CHECK(false), "test_check\\.cpp");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(SWING_UNREACHABLE("impossible policy kind"),
+               "SWING_UNREACHABLE: impossible policy kind");
+}
+
+#ifdef NDEBUG
+
+TEST(Check, DcheckCompiledOutInReleaseBuilds) {
+  int evaluations = 0;
+  // The condition must not run — and must not abort despite being false.
+  SWING_DCHECK(++evaluations > 100) << "unseen";
+  SWING_DCHECK_EQ(++evaluations, -1);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#else
+
+TEST(Check, DcheckEvaluatesInDebugBuilds) {
+  int evaluations = 0;
+  SWING_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, DcheckFailureAbortsInDebugBuilds) {
+  EXPECT_DEATH(SWING_DCHECK(false) << "debug invariant", "debug invariant");
+  EXPECT_DEATH(SWING_DCHECK_GE(1, 2), "\\(1 vs 2\\)");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace swing

@@ -24,7 +24,8 @@ TEST(PolicyNames, CaseInsensitive) {
 }
 
 TEST(PolicyNames, UnknownThrows) {
-  EXPECT_THROW(policy_from_name("xyz"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(policy_from_name("xyz")),
+               std::invalid_argument);
 }
 
 TEST(PolicyTraits, SelectionAndLatencyFlags) {

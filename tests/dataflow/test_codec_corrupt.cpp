@@ -1,0 +1,119 @@
+// Bounds handling for untrusted byte streams (DESIGN.md "Correctness
+// tooling"): every malformed frame must surface as a WireFormatError with
+// the buffer intact — never an out-of-bounds read, abort, or huge
+// allocation.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "dataflow/codec.h"
+#include "dataflow/tuple.h"
+
+namespace swing::dataflow {
+namespace {
+
+Tuple sample_tuple() {
+  Tuple t{TupleId{42}, SimTime{1'000'000}};
+  t.set("camera", std::string("front"));
+  t.set("frame", std::int64_t{7});
+  t.set("score", 0.625);
+  t.set("payload", Bytes{1, 2, 3, 4, 5});
+  t.set("blob", Blob{.size = 64 * 1024, .tag = 3});
+  return t;
+}
+
+TEST(CodecCorrupt, EveryTruncationThrowsCleanly) {
+  const Bytes full = sample_tuple().to_bytes();
+  ASSERT_GT(full.size(), 0u);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Bytes cut(full.begin(), full.begin() + long(len));
+    EXPECT_THROW(Tuple::from_bytes(cut), WireFormatError)
+        << "prefix of " << len << "/" << full.size()
+        << " bytes decoded without error";
+  }
+  EXPECT_NO_THROW(Tuple::from_bytes(full));
+}
+
+TEST(CodecCorrupt, UnknownValueTagThrows) {
+  ByteWriter w;
+  w.write_u64(1);    // id
+  w.write_i64(0);    // source_time
+  w.write_varint(1); // one field
+  w.write_string("k");
+  w.write_u8(0xEE);  // no such value tag
+  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+}
+
+TEST(CodecCorrupt, HugeFieldCountThrowsWithoutAllocating) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_i64(0);
+  w.write_varint(std::uint64_t{1} << 60);  // Claims ~10^18 fields.
+  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+}
+
+TEST(CodecCorrupt, OversizedStringLengthThrows) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_i64(0);
+  w.write_varint(1);
+  w.write_varint(1'000'000);  // Key claims a megabyte; buffer ends here.
+  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+}
+
+TEST(CodecCorrupt, OversizedBytesLengthThrows) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_i64(0);
+  w.write_varint(1);
+  w.write_string("payload");
+  w.write_u8(4);               // kBytes tag.
+  w.write_varint(1 << 30);     // Claims 1 GiB body; none present.
+  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+}
+
+TEST(CodecCorrupt, MalformedVarintFieldCountThrows) {
+  ByteWriter w;
+  w.write_u64(1);
+  w.write_i64(0);
+  for (int i = 0; i < 11; ++i) w.write_u8(0x80);  // Endless continuation.
+  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+}
+
+TEST(CodecCorrupt, UnderrunErrorReportsOffsets) {
+  ByteWriter w;
+  w.write_varint(100);  // String claims 100 bytes; zero follow.
+  ByteReader r{w.data()};
+  try {
+    r.read_string();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("string body"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+  }
+}
+
+TEST(CodecCorrupt, PackedDecodeFailureThrowsTyped) {
+  struct Pair {
+    std::int64_t a = 0, b = 0;
+    [[nodiscard]] Bytes to_bytes() const {
+      ByteWriter w;
+      w.write_i64(a);
+      w.write_i64(b);
+      return w.take();
+    }
+    static Pair from_bytes(const Bytes& data) {
+      ByteReader r{data};
+      Pair out;
+      out.a = r.read_i64();
+      out.b = r.read_i64();
+      return out;
+    }
+  };
+  Tuple t;
+  t.set("pair", Bytes{1, 2, 3});  // Too short to hold two i64s.
+  EXPECT_THROW(get_packed<Pair>(t, "pair"), WireFormatError);
+}
+
+}  // namespace
+}  // namespace swing::dataflow

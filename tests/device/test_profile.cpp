@@ -45,7 +45,7 @@ INSTANTIATE_TEST_SUITE_P(
                       TableOneRow{"D", 167.7}, TableOneRow{"E", 463.4},
                       TableOneRow{"F", 166.4}, TableOneRow{"G", 82.2},
                       TableOneRow{"H", 71.3}, TableOneRow{"I", 78.0}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) { return std::string(param_info.param.name); });
 
 TEST(Profiles, HeterogeneityIsSixFold) {
   // Paper §III: fastest device (H) ~6x the slowest (E).

@@ -109,9 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(AppKind::kFace, AppKind::kVoice,
                                          AppKind::kScene, AppKind::kGesture),
                        ::testing::ValuesIn(core::kAllPolicies)),
-    [](const auto& info) {
-      return std::string(app_name(std::get<0>(info.param))) + "_" +
-             core::policy_name(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(app_name(std::get<0>(param_info.param))) + "_" +
+             core::policy_name(std::get<1>(param_info.param));
     });
 
 }  // namespace

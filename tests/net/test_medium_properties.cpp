@@ -96,10 +96,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
                        ::testing::Values(MediumMode::kInfrastructure,
                                          MediumMode::kAdhoc)),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == MediumMode::kAdhoc ? "_adhoc"
-                                                            : "_infra");
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) == MediumMode::kAdhoc ? "_adhoc"
+                                                                  : "_infra");
     });
 
 }  // namespace

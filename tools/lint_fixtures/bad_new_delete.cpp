@@ -1,0 +1,10 @@
+// Fixture: raw new/delete expressions must be flagged (one finding each).
+// expect-lint: raw-new-delete
+// expect-lint: raw-new-delete
+
+int leak_prone() {
+  int* scratch = new int[16];
+  int total = scratch[0];
+  delete[] scratch;
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: ambient randomness must be flagged — all three forms.
+// expect-lint: ambient-rand
+// expect-lint: ambient-rand
+// expect-lint: ambient-rand
+#include <cstdlib>
+#include <random>
+
+int noisy() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + rand();
+}

@@ -1,0 +1,13 @@
+// Fixture: framework code reading the wall clock must be flagged.
+// expect-lint: wall-clock
+// expect-lint: wall-clock
+#include <chrono>
+
+long wall_nanos() {
+  auto t = std::chrono::steady_clock::now();
+  auto u = std::chrono::system_clock::now();
+  (void)t;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             u.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,17 @@
+// Fixture: must produce zero findings. Exercises the false-positive traps:
+// forbidden tokens inside comments and string literals, defaulted special
+// members (`= delete`), and smart-pointer allocation.
+#include <memory>
+#include <string>
+
+// A comment mentioning steady_clock and rand() must not trigger anything.
+struct Holder {
+  Holder() = default;
+  Holder(const Holder&) = delete;
+  Holder& operator=(const Holder&) = delete;
+  std::unique_ptr<int> value = std::make_unique<int>(7);
+};
+
+inline std::string describe() {
+  return "uses system_clock and new int[] only inside this string";
+}

@@ -1,0 +1,7 @@
+// Fixture: cycle_a.h -> cycle_b.h -> cycle_a.h must be flagged once.
+// expect-lint: include-cycle
+#pragma once
+
+#include "cycle_b.h"
+
+inline int fixture_a() { return 1; }

@@ -1,0 +1,7 @@
+// Fixture: second half of the cycle_a.h <-> cycle_b.h cycle. The finding is
+// attributed to cycle_a.h, where the walk closes the loop.
+#pragma once
+
+#include "cycle_a.h"
+
+inline int fixture_b() { return 2; }

@@ -1,0 +1,11 @@
+// Fixture: files under src/common/ are exempt from the determinism rules
+// (the self-test maps the exemption onto the "exempt" filename marker).
+// Rng seeding and the wallclock pacer legitimately live there.
+#include <chrono>
+#include <random>
+
+unsigned seed_entropy() {
+  std::random_device rd;
+  auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return rd() + static_cast<unsigned>(now);
+}

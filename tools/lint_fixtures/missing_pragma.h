@@ -1,0 +1,4 @@
+// Fixture: a header without '#pragma once' must be flagged.
+// expect-lint: pragma-once
+
+inline int fixture_value() { return 42; }

@@ -1,0 +1,7 @@
+// Fixture: an explicit same-line suppression must silence the rule.
+#include <chrono>
+
+long suppressed_wall_read() {
+  auto t = std::chrono::steady_clock::now();  // swing-lint: allow(wall-clock)
+  return t.time_since_epoch().count();
+}

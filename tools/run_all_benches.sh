@@ -1,10 +1,57 @@
 #!/usr/bin/env sh
 # Regenerates every paper figure/table plus the ablation and extension
-# studies. Pass a build dir (default: build).
+# studies.
+#
+# Usage: run_all_benches.sh [--smoke] [build_dir]
+#
+#   --smoke    CI mode: only verify that every bench binary exists and is
+#              runnable (SWING_BENCH_SMOKE=1 is exported so benches that
+#              honour it can shorten their runs). Fails if any binary exits
+#              nonzero; skips nothing silently.
+#   build_dir  Build tree to look in (default: build).
+SMOKE=0
+if [ "$1" = "--smoke" ]; then
+  SMOKE=1
+  shift
+fi
 BUILD="${1:-build}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "run_all_benches: no bench dir under '$BUILD' (build first)" >&2
+  exit 2
+fi
+
+FAILED=0
+RAN=0
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  echo "===== $(basename "$b") ====="
-  "$b"
-  echo
+  RAN=$((RAN + 1))
+  if [ "$SMOKE" = "1" ]; then
+    # Smoke: run under the env flag; a bench that ignores it still runs,
+    # just longer. micro_components understands benchmark's own filters.
+    case "$(basename "$b")" in
+      micro_components)
+        SWING_BENCH_SMOKE=1 "$b" --benchmark_min_time=0.01 >/dev/null 2>&1
+        ;;
+      *)
+        SWING_BENCH_SMOKE=1 "$b" >/dev/null 2>&1
+        ;;
+    esac
+    if [ "$?" = "0" ]; then
+      echo "ok $(basename "$b")"
+    else
+      echo "FAIL $(basename "$b")"
+      FAILED=1
+    fi
+  else
+    echo "===== $(basename "$b") ====="
+    "$b" || FAILED=1
+    echo
+  fi
 done
+
+if [ "$RAN" = "0" ]; then
+  echo "run_all_benches: no bench binaries found under $BUILD/bench" >&2
+  exit 2
+fi
+exit "$FAILED"

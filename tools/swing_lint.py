@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""swing-lint: repo-specific correctness lint for the Swing codebase.
+
+Rules (see DESIGN.md "Correctness tooling"):
+
+  wall-clock      No std::chrono clocks / C time syscalls outside
+                  src/common/. Framework code must read only the simulator
+                  clock (common/time.h); the only wall-clock consumer is the
+                  realtime pacer quarantined in src/common/wallclock.h.
+  ambient-rand    No std::rand/srand, std::random_device, or standard-library
+                  engines outside src/common/. All randomness flows through
+                  the deterministic common/rng.h so runs replay bit-for-bit.
+  pragma-once     Every header starts its include guard with #pragma once.
+  include-cycle   The quoted-include graph under src/ must be acyclic.
+  raw-new-delete  No raw new/delete expressions in src/; ownership is
+                  expressed with containers and smart pointers.
+
+Suppression: append `// swing-lint: allow(<rule>)` to the offending line.
+
+Usage:
+  swing_lint.py [--root REPO_ROOT]      scan the repo; nonzero exit on findings
+  swing_lint.py --self-test             run the rules against tools/lint_fixtures
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock"
+    r"|clock_gettime|gettimeofday|timespec_get)\b"
+)
+AMBIENT_RAND_RE = re.compile(
+    r"(?:\bstd\s*::\s*rand\b|(?<![\w:])s?rand\s*\("
+    r"|\brandom_device\b|\bmt19937(?:_64)?\b|\bdefault_random_engine\b"
+    r"|\bminstd_rand0?\b|\branlux\d+\b)"
+)
+RAW_NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")
+RAW_DELETE_RE = re.compile(r"(?<![\w:])delete\b(?!\s*\()")
+DEFAULTED_DELETE_RE = re.compile(r"=\s*delete\b")
+ALLOW_RE = re.compile(r"//\s*swing-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+
+Finding = collections.namedtuple("Finding", "path line rule message")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string-literal contents with spaces.
+
+    Newlines are preserved so offsets still map to the original line
+    numbers. Handles //, /* */, "..." (with escapes), '...', and R"(...)"
+    raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+
+    def blank(segment: str) -> str:
+        return "".join(c if c == "\n" else " " for c in segment)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(blank(text[i:end]))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append(blank(text[i:end]))
+            i = end
+        elif c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^(]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, i + m.end())
+            end = n if end == -1 else end + len(closer)
+            out.append('""' + blank(text[i + 2 : end]))
+            i = end
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + blank(text[i + 1 : j - 1]) + (c if j <= n else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {rule.strip() for rule in m.group(1).split(",")}
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.findings: list[Finding] = []
+
+    def report(self, path: pathlib.Path, line: int, rule: str, message: str):
+        rel = path.relative_to(self.root) if path.is_relative_to(self.root) else path
+        self.findings.append(Finding(str(rel), line, rule, message))
+
+    # --- Per-file pattern rules --------------------------------------------
+
+    def scan_file(self, path: pathlib.Path, *, determinism_exempt: bool,
+                  check_new_delete: bool):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        code_lines = code.splitlines()
+
+        if path.suffix in {".h", ".hpp"} and not PRAGMA_ONCE_RE.search(raw):
+            self.report(path, 1, "pragma-once",
+                        "header is missing '#pragma once'")
+
+        for lineno, line in enumerate(code_lines, start=1):
+            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            allowed = allowed_rules(raw_line)
+
+            if not determinism_exempt:
+                if WALL_CLOCK_RE.search(line) and "wall-clock" not in allowed:
+                    self.report(
+                        path, lineno, "wall-clock",
+                        "wall-clock access outside src/common/ "
+                        "(use the simulator clock, common/time.h, or "
+                        "common/wallclock.h for demo pacing)")
+                if AMBIENT_RAND_RE.search(line) and "ambient-rand" not in allowed:
+                    self.report(
+                        path, lineno, "ambient-rand",
+                        "nondeterministic randomness outside src/common/ "
+                        "(use the seeded common/rng.h Rng)")
+
+            if check_new_delete and "raw-new-delete" not in allowed:
+                if RAW_NEW_RE.search(line):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw 'new' in src/ (use std::make_unique / "
+                                "containers)")
+                deleted = DEFAULTED_DELETE_RE.sub(" ", line)
+                if RAW_DELETE_RE.search(deleted):
+                    self.report(path, lineno, "raw-new-delete",
+                                "raw 'delete' in src/ (use RAII ownership)")
+
+    # --- Include-cycle rule -------------------------------------------------
+
+    def scan_include_cycles(self, src_root: pathlib.Path):
+        graph: dict[str, list[str]] = {}
+        known = {
+            str(p.relative_to(src_root)): p
+            for p in sorted(src_root.rglob("*.h")) + sorted(src_root.rglob("*.hpp"))
+        }
+        for rel, path in known.items():
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            # Strip comments but keep string contents: the include path IS a
+            # string literal. Commented-out includes blank to nothing.
+            stripped = strip_comments_and_strings(raw).splitlines()
+            raw_lines = raw.splitlines()
+            live = "\n".join(
+                raw_lines[i] for i in range(len(raw_lines))
+                if i < len(stripped) and "include" in stripped[i])
+            deps = []
+            for inc in INCLUDE_RE.findall(live):
+                if inc in known:
+                    deps.append(inc)
+                else:
+                    sibling = (path.parent / inc).resolve()
+                    if sibling.is_relative_to(src_root.resolve()):
+                        rel_sib = str(sibling.relative_to(src_root.resolve()))
+                        if rel_sib in known:
+                            deps.append(rel_sib)
+            graph[rel] = deps
+
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = dict.fromkeys(graph, WHITE)
+        stack: list[str] = []
+        reported: set[frozenset] = set()
+
+        def visit(node: str):
+            color[node] = GRAY
+            stack.append(node)
+            for dep in graph[node]:
+                if color[dep] == GRAY:
+                    cycle = stack[stack.index(dep):] + [dep]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        self.report(known[dep], 1, "include-cycle",
+                                    "include cycle: " + " -> ".join(cycle))
+                elif color[dep] == WHITE:
+                    visit(dep)
+            stack.pop()
+            color[node] = BLACK
+
+        for node in graph:
+            if color[node] == WHITE:
+                visit(node)
+
+    # --- Tree walks ---------------------------------------------------------
+
+    def scan_tree(self):
+        src = self.root / "src"
+        for path in sorted(src.rglob("*")):
+            if path.suffix in CXX_SUFFIXES:
+                exempt = path.is_relative_to(src / "common")
+                self.scan_file(path, determinism_exempt=exempt,
+                               check_new_delete=True)
+        self.scan_include_cycles(src)
+        for tree in ("tests", "bench", "examples"):
+            for path in sorted((self.root / tree).rglob("*")):
+                if path.suffix in CXX_SUFFIXES:
+                    self.scan_file(path, determinism_exempt=False,
+                                   check_new_delete=False)
+
+
+def run_scan(root: pathlib.Path) -> int:
+    linter = Linter(root)
+    linter.scan_tree()
+    for f in linter.findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if linter.findings:
+        print(f"swing-lint: {len(linter.findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("swing-lint: clean")
+    return 0
+
+
+# --- Self-test against tools/lint_fixtures ----------------------------------
+#
+# Each fixture file declares the findings it must produce with lines of the
+# form `// expect-lint: <rule>` (one per expected finding of that rule).
+# Fixtures with no expect-lint lines must scan clean. The include-cycle rule
+# is exercised by the cycle_*.h fixture pair.
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z-]+)")
+
+
+def run_self_test(fixtures: pathlib.Path) -> int:
+    failures = []
+    fixture_files = [p for p in sorted(fixtures.rglob("*")) if p.suffix in CXX_SUFFIXES]
+    if not fixture_files:
+        print(f"swing-lint self-test: no fixtures under {fixtures}", file=sys.stderr)
+        return 1
+
+    linter = Linter(fixtures)
+    for path in fixture_files:
+        exempt = "exempt" in path.name
+        linter.scan_file(path, determinism_exempt=exempt,
+                         check_new_delete="no_new_delete" not in path.name)
+    linter.scan_include_cycles(fixtures)
+
+    got = collections.Counter((f.path, f.rule) for f in linter.findings)
+    want = collections.Counter()
+    for path in fixture_files:
+        rel = str(path.relative_to(fixtures))
+        for rule in EXPECT_RE.findall(path.read_text(encoding="utf-8")):
+            want[(rel, rule)] += 1
+
+    for key in sorted(set(want) | set(got)):
+        if want[key] != got[key]:
+            failures.append(
+                f"{key[0]}: rule '{key[1]}': expected {want[key]} finding(s), "
+                f"got {got[key]}")
+
+    if failures:
+        for line in failures:
+            print(f"swing-lint self-test FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"swing-lint self-test: {len(fixture_files)} fixtures, "
+          f"{sum(got.values())} expected findings matched")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rules against tools/lint_fixtures")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(root / "tools" / "lint_fixtures")
+    return run_scan(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
