@@ -1,0 +1,10 @@
+// Fuzz target: AckMsg::from_bytes (downstream -> upstream latency echo).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::AckMsg msg =
+      swing::runtime::AckMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,12 @@
+// Fuzz target: DataMsg::from_bytes (the per-tuple data-plane envelope).
+// Carries doubles, so the fixpoint check (not operator==) is what makes
+// NaN-bearing inputs verifiable.
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::DataMsg msg =
+      swing::runtime::DataMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

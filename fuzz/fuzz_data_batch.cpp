@@ -1,0 +1,14 @@
+// Fuzz target: DataBatchMsg::from_bytes (coalesced per-connection batches).
+//
+// History: the wire-claimed element count hit vector::reserve unchecked;
+// varint 2^64-1 aborted the worker with std::length_error
+// (corpus/fuzz_data_batch/crash_huge_count).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::DataBatchMsg msg =
+      swing::runtime::DataBatchMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

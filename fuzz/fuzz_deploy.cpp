@@ -1,0 +1,14 @@
+// Fuzz target: DeployMsg::from_bytes (master -> worker activation).
+//
+// History: a wire-claimed assignment/downstream count used to reach
+// vector::reserve unchecked; varint 2^64-1 aborted the worker with
+// std::length_error (corpus/fuzz_deploy/crash_huge_count).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::DeployMsg msg =
+      swing::runtime::DeployMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,10 @@
+// Fuzz target: DeviceMsg::from_bytes (LeaveReport / Bye payloads).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::DeviceMsg msg =
+      swing::runtime::DeviceMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

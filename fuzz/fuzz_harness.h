@@ -1,0 +1,99 @@
+// Shared harness glue for the wire-format fuzzers.
+//
+// Every decoder that parses bytes "from the network" has one harness built
+// from SWING_FUZZ_TARGET. The body must uphold two properties on ARBITRARY
+// input:
+//
+//   never crash    malformed bytes throw WireFormatError (caught here) —
+//                  any other escape (std::length_error from a hostile
+//                  element count, abort, UB caught by sanitizers) is a bug.
+//   round-trip     when decoding succeeds, encode must be a fixpoint:
+//                  decode(bytes).to_bytes() decoded and re-encoded yields
+//                  the same bytes. Compared byte-wise, not via operator==,
+//                  so NaN payloads (NaN != NaN) still verify.
+//
+// The same translation unit builds two ways:
+//
+//   libFuzzer      Clang + -DSWING_FUZZ=ON (the `fuzz` preset): libFuzzer
+//                  provides main() and drives LLVMFuzzerTestOneInput.
+//   corpus replay  every other toolchain (the GCC default build): the
+//                  SWING_FUZZ_REPLAY main below replays the checked-in
+//                  corpus — including past crash inputs — as a ctest
+//                  regression, so decoder fixes stay fixed everywhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+// Defines the per-input fuzz body. WireFormatError is the one legal way to
+// reject input; everything else propagates and fails the run.
+#define SWING_FUZZ_TARGET                                                  \
+  static void swing_fuzz_one(const std::uint8_t* data, std::size_t size); \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,          \
+                                        std::size_t size) {                \
+    try {                                                                  \
+      swing_fuzz_one(data, size);                                          \
+    } catch (const swing::WireFormatError&) {                              \
+      /* Malformed input correctly rejected. */                            \
+    }                                                                      \
+    return 0;                                                              \
+  }                                                                        \
+  static void swing_fuzz_one(const std::uint8_t* data, std::size_t size)
+
+// Fixpoint check shared by the harness bodies: Msg must already have been
+// decoded once from arbitrary bytes; its encoding must then survive a
+// decode/encode cycle unchanged.
+template <typename Msg>
+void swing_fuzz_roundtrip(const Msg& decoded) {
+  const swing::Bytes enc1 = decoded.to_bytes();
+  const Msg again = Msg::from_bytes(enc1);  // Own output must re-decode.
+  const swing::Bytes enc2 = again.to_bytes();
+  SWING_CHECK(enc1 == enc2) << "decode/encode is not a fixpoint: "
+                            << enc1.size() << " vs " << enc2.size()
+                            << " bytes";
+}
+
+#if defined(SWING_FUZZ_REPLAY)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+// Corpus replay: each argument is a corpus file or a directory of them.
+// Exit status is non-zero if any input escapes the harness (the process
+// dies on the uncaught exception / contract failure, which ctest reports).
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg{argv[i]};
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg)) {
+      inputs.push_back(arg);
+    }
+  }
+  // Deterministic replay order regardless of directory enumeration.
+  std::sort(inputs.begin(), inputs.end());
+  for (const auto& path : inputs) {
+    std::ifstream in{path, std::ios::binary};
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %zu corpus input(s)\n", inputs.size());
+  return 0;
+}
+
+#endif  // SWING_FUZZ_REPLAY

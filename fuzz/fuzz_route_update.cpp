@@ -1,0 +1,10 @@
+// Fuzz target: RouteUpdateMsg::from_bytes (Add/RemoveDownstream updates).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::runtime::RouteUpdateMsg msg =
+      swing::runtime::RouteUpdateMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

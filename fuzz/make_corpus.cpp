@@ -1,0 +1,122 @@
+// Seed-corpus generator for the wire-format fuzzers.
+//
+//   make_corpus <corpus-root>
+//
+// Writes real encoded messages — the shapes the runtime actually sends —
+// under <corpus-root>/fuzz_<target>/seed_<name>. Seeds are deterministic so
+// regenerating produces identical files; regression entries for past
+// decoder crashes (crash_*) are checked in alongside and never overwritten
+// by this tool.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "apps/gesture_recognition.h"
+#include "common/bytes.h"
+#include "dataflow/tuple.h"
+#include "runtime/messages.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace swing;
+using namespace swing::runtime;
+
+int g_written = 0;
+
+void write_seed(const fs::path& root, const std::string& target,
+                const std::string& name, const Bytes& bytes) {
+  const fs::path dir = root / target;
+  fs::create_directories(dir);
+  std::ofstream out{dir / ("seed_" + name), std::ios::binary};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ++g_written;
+}
+
+dataflow::Tuple sample_tuple() {
+  dataflow::Tuple t{TupleId{42}, SimTime{std::int64_t(1'500'000'000)}};
+  t.set("frame", dataflow::Blob{32768, 7});
+  t.set("label", std::string{"face:alice"});
+  t.set("score", 0.875);
+  t.set("count", std::int64_t{3});
+  t.set("accel", Bytes{0x00, 0x11, 0x22, 0x33});
+  t.set("none", dataflow::Value{});
+  return t;
+}
+
+DataMsg sample_data_msg() {
+  DataMsg msg;
+  msg.src_instance = InstanceId{3};
+  msg.src_device = DeviceId{1};
+  msg.dst_instance = InstanceId{5};
+  msg.sent_ns = 2'000'000'000;
+  msg.accumulated = DelayBreakdown{1.5, 0.25, 12.0};
+  msg.tuple_bytes = sample_tuple().to_bytes();
+  msg.tuple_wire_size = sample_tuple().wire_size();
+  return msg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <corpus-root>\n");
+    return 2;
+  }
+  const fs::path root{argv[1]};
+
+  write_seed(root, "fuzz_tuple", "typical", sample_tuple().to_bytes());
+  write_seed(root, "fuzz_tuple", "empty",
+             dataflow::Tuple{TupleId{0}, SimTime{}}.to_bytes());
+
+  DeployMsg deploy;
+  DeployMsg::Assignment a;
+  a.self = InstanceInfo{InstanceId{0}, OperatorId{0}, DeviceId{0}};
+  a.downstreams.push_back(
+      InstanceInfo{InstanceId{1}, OperatorId{1}, DeviceId{1}});
+  a.downstreams.push_back(
+      InstanceInfo{InstanceId{2}, OperatorId{1}, DeviceId{2}});
+  deploy.assignments.push_back(a);
+  DeployMsg::Assignment sink;
+  sink.self = InstanceInfo{InstanceId{3}, OperatorId{2}, DeviceId{0}};
+  deploy.assignments.push_back(sink);
+  write_seed(root, "fuzz_deploy", "two_assignments", deploy.to_bytes());
+  write_seed(root, "fuzz_deploy", "empty", DeployMsg{}.to_bytes());
+
+  const RouteUpdateMsg update{
+      InstanceId{0}, InstanceInfo{InstanceId{4}, OperatorId{1}, DeviceId{3}}};
+  write_seed(root, "fuzz_route_update", "add", update.to_bytes());
+
+  write_seed(root, "fuzz_data", "typical", sample_data_msg().to_bytes());
+
+  AckMsg ack;
+  ack.from_instance = InstanceId{5};
+  ack.to_instance = InstanceId{3};
+  ack.tuple = TupleId{42};
+  ack.echoed_sent_ns = 2'000'000'000;
+  ack.processing_ms = 11.75;
+  ack.battery_fraction = 0.5;
+  write_seed(root, "fuzz_ack", "typical", ack.to_bytes());
+
+  DataBatchMsg batch;
+  batch.datas.push_back(sample_data_msg().to_bytes());
+  batch.datas.push_back(sample_data_msg().to_bytes());
+  write_seed(root, "fuzz_data_batch", "two_msgs", batch.to_bytes());
+  write_seed(root, "fuzz_data_batch", "empty", DataBatchMsg{}.to_bytes());
+
+  write_seed(root, "fuzz_device_msg", "typical",
+             DeviceMsg{DeviceId{7}}.to_bytes());
+
+  apps::GestureFeatures features;
+  features.mean_magnitude = 9.81f;
+  features.variance = 0.125f;
+  features.energy = 16.5f;
+  features.dominant_axis = 1.0f;
+  features.mean_bias = 0.25f;
+  write_seed(root, "fuzz_gesture_features", "shake", features.to_bytes());
+
+  std::printf("wrote %d seed(s) under %s\n", g_written, root.string().c_str());
+  return 0;
+}

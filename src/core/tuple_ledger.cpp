@@ -1,0 +1,223 @@
+#include "core/tuple_ledger.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace swing::core {
+
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNoDownstream:
+      return "no-downstream";
+    case DropReason::kSendFailed:
+      return "send-failed";
+    case DropReason::kBackpressureShed:
+      return "backpressure-shed";
+    case DropReason::kComputeBacklog:
+      return "compute-backlog";
+    case DropReason::kStaleTtl:
+      return "stale-ttl";
+    case DropReason::kPendingOverflow:
+      return "pending-overflow";
+    case DropReason::kBatchOverflow:
+      return "batch-overflow";
+    case DropReason::kLateReorder:
+      return "late-reorder";
+  }
+  return "unknown";
+}
+
+void TupleLedger::violation(std::string message) {
+  if (violations_.size() < kMaxViolations) {
+    violations_.push_back(std::move(message));
+  } else {
+    ++dropped_violations_;
+  }
+}
+
+void TupleLedger::fold(std::uint8_t kind, std::uint64_t a, std::uint64_t b) {
+  ++events_;
+  const auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (8 * i)) & 0xff;
+      digest_ *= 0x100000001b3ULL;  // FNV-1a prime.
+    }
+  };
+  digest_ ^= kind;
+  digest_ *= 0x100000001b3ULL;
+  mix(a);
+  mix(b);
+}
+
+void TupleLedger::on_emitted(TupleId id, SimTime now) {
+  fold(1, id.value(), std::uint64_t(now.nanos()));
+  Record& rec = record(id);
+  if (rec.emitted) {
+    std::ostringstream os;
+    os << "tuple " << id << " emitted more than once";
+    violation(os.str());
+    return;
+  }
+  rec.emitted = true;
+}
+
+void TupleLedger::on_reemitted(TupleId id, SimTime now) {
+  fold(8, id.value(), std::uint64_t(now.nanos()));
+  ++reemissions_;
+  // Open (or re-open) the id: a fresh id becomes accountable like a source
+  // emission; a colliding id keeps its record and the delivered-wins
+  // bucketing in audit() resolves the shared id to one terminal state.
+  record(id).emitted = true;
+}
+
+void TupleLedger::on_delivered(TupleId id, SimTime now) {
+  fold(2, id.value(), std::uint64_t(now.nanos()));
+  Record& rec = record(id);
+  if (!rec.emitted) {
+    std::ostringstream os;
+    os << "ghost delivery: tuple " << id << " reached a sink but was never "
+       << "emitted by a source";
+    violation(os.str());
+  }
+  if (rec.delivered) ++duplicate_deliveries_;
+  rec.delivered = true;
+  if (rec.delivery_count < 0xff) ++rec.delivery_count;
+}
+
+void TupleLedger::on_consumed(TupleId id) {
+  fold(3, id.value(), 0);
+  Record& rec = record(id);
+  if (!rec.emitted) {
+    std::ostringstream os;
+    os << "ghost consumption: tuple " << id << " absorbed by an operator "
+       << "but never emitted by a source";
+    violation(os.str());
+  }
+  rec.consumed = true;
+}
+
+void TupleLedger::on_dropped(TupleId id, DropReason reason) {
+  fold(4, id.value(), std::uint64_t(reason));
+  ++drop_events_[reason];
+  Record& rec = record(id);
+  if (!rec.emitted) {
+    std::ostringstream os;
+    os << "ghost drop: tuple " << id << " dropped ("
+       << drop_reason_name(reason) << ") but never emitted by a source";
+    violation(os.str());
+  }
+  rec.drop_mask |= std::uint16_t(1u << std::uint8_t(reason));
+}
+
+void TupleLedger::on_in_flight_at_shutdown(TupleId id) {
+  fold(5, id.value(), 0);
+  Record& rec = record(id);
+  if (!rec.emitted) {
+    std::ostringstream os;
+    os << "ghost residue: tuple " << id << " queued at shutdown but never "
+       << "emitted by a source";
+    violation(os.str());
+  }
+  rec.noted_in_flight = true;
+}
+
+void TupleLedger::on_played(InstanceId sink, TupleId id, SimTime now) {
+  fold(6, id.value(), sink.value());
+  (void)now;
+  auto [it, fresh] = last_played_.try_emplace(sink.value(), id);
+  if (!fresh) {
+    if (id < it->second) {
+      std::ostringstream os;
+      os << "reorder monotonicity broken at sink " << sink << ": released "
+         << id << " after " << it->second;
+      violation(os.str());
+    } else {
+      it->second = id;
+    }
+  }
+}
+
+void TupleLedger::on_latency_sample(double latency_ms) {
+  ++latency_samples_;
+  // Latency folds into the digest via its bit pattern: same-seed runs must
+  // measure identical latencies, not merely finite ones.
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof latency_ms);
+  std::memcpy(&bits, &latency_ms, sizeof bits);
+  fold(7, bits, 0);
+  if (!std::isfinite(latency_ms) || latency_ms < 0.0) {
+    std::ostringstream os;
+    os << "latency sample " << latency_ms
+       << " ms is not finite and non-negative";
+    violation(os.str());
+  }
+}
+
+void TupleLedger::on_control_event(std::uint8_t kind, std::uint64_t detail,
+                                   SimTime now) {
+  ++control_events_;
+  fold(std::uint8_t(0x80u | kind), detail, std::uint64_t(now.nanos()));
+}
+
+AuditReport TupleLedger::audit() const {
+  AuditReport report;
+  report.duplicate_deliveries = duplicate_deliveries_;
+  report.reemissions = reemissions_;
+  report.latency_samples = latency_samples_;
+  report.control_events = control_events_;
+  report.drops_by_reason = drop_events_;
+  report.violations = violations_;
+  if (dropped_violations_ > 0) {
+    report.violations.push_back(
+        "... and " + std::to_string(dropped_violations_) + " more");
+  }
+  // Only emitted ids are bucketed (ghosts were already flagged as
+  // violations when their events arrived), and each lands in exactly one
+  // bucket, so the conservation identity
+  //   emitted == delivered + consumed + dropped + in-flight
+  // holds by construction; what audit() adds is the residual count and the
+  // accumulated violations.
+  for (const auto& [raw, rec] : tuples_) {
+    if (!rec.emitted) continue;
+    ++report.emitted;
+    if (rec.delivered) {
+      ++report.delivered;
+    } else if (rec.consumed) {
+      ++report.consumed;
+    } else if (rec.drop_mask != 0) {
+      ++report.dropped;
+    } else if (rec.noted_in_flight) {
+      ++report.in_flight_recorded;
+    } else {
+      ++report.in_flight_residual;
+    }
+  }
+  SWING_DCHECK_EQ(report.emitted,
+                  report.delivered + report.consumed + report.dropped +
+                      report.in_flight_recorded + report.in_flight_residual)
+      << "tuple ledger accounting identity broken";
+  return report;
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  os << "emitted " << emitted << " (+" << reemissions
+     << " reemitted), delivered " << delivered << " (+"
+     << duplicate_deliveries << " dup), consumed " << consumed
+     << ", dropped " << dropped << " {";
+  bool first = true;
+  for (const auto& [reason, n] : drops_by_reason) {
+    if (!first) os << ", ";
+    first = false;
+    os << drop_reason_name(reason) << ": " << n;
+  }
+  os << "}, in-flight " << in_flight_recorded << " recorded + "
+     << in_flight_residual << " residual, " << latency_samples
+     << " latency samples, " << control_events << " control events, "
+     << violations.size() << " violation(s)";
+  return os.str();
+}
+
+}  // namespace swing::core

@@ -1,0 +1,168 @@
+// swing-audit: global tuple-conservation and ordering invariant auditor.
+//
+// The LRS routing claims (throughput, latency vs RR) rest on every tuple
+// being routed, ACKed, and reordered exactly once. Nothing in the data plane
+// enforces that globally: a routing regression that silently loses tuples
+// under skew still "passes" throughput-shaped tests, just with worse
+// numbers (SWARM observes exactly this failure mode in streaming load
+// balancers). The ledger closes that hole: every source emission must be
+// accounted for — delivered to a sink, dropped with a recorded reason,
+// noted as in-flight at shutdown, or absorbed by a stateful operator
+// (e.g. the gesture windower consumes 25 samples per emitted window).
+//
+// Audited invariants (see DESIGN.md "swing-audit"):
+//   conservation   emitted == delivered + consumed + dropped + in-flight
+//                  (per tuple id; ghost events — a delivery or drop for an
+//                  id that was never emitted — are hard violations)
+//   monotonicity   reorder-buffer releases are non-decreasing in id per
+//                  sink instance (release-mode check; the buffer's own
+//                  SWING_DCHECK only guards debug builds)
+//   finiteness     every ACK-derived latency sample is finite and >= 0
+//   determinism    the event stream folds into a digest; identical seeds
+//                  must yield identical digests across runs
+//
+// The ledger is a passive observer threaded through the runtime (worker,
+// reorder, master) by the Swarm; framework behaviour never reads it. All
+// bookkeeping is deterministic so the digest doubles as a replay check.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace swing::core {
+
+// Why a tuple left the pipeline without reaching a sink. Every drop site in
+// the runtime must pick one; an unexplained disappearance is the bug class
+// this ledger exists to catch.
+enum class DropReason : std::uint8_t {
+  kNoDownstream = 0,    // No routable downstream instance on an edge.
+  kSendFailed = 1,      // Transport refused the send / peer unknown.
+  kBackpressureShed = 2,  // Transform shed on a congested connection.
+  kComputeBacklog = 3,  // Receiving device's compute queue was full.
+  kStaleTtl = 4,        // Outlived tuple_ttl before processing.
+  kPendingOverflow = 5,  // Deploy/data race buffer overflowed.
+  kBatchOverflow = 6,   // Batching service buffer was full.
+  kLateReorder = 7,     // Arrived after a larger id already played.
+};
+
+[[nodiscard]] const char* drop_reason_name(DropReason reason);
+
+// The audit outcome. `violations` lists hard invariant breaches (ghost
+// events, duplicate emission, non-monotone release, non-finite latency);
+// `in_flight_residual` counts tuples with no terminal event — legitimate
+// for tuples still traversing the network at shutdown, and expected to be
+// zero after a stop + drain (see conserved()).
+struct AuditReport {
+  std::uint64_t emitted = 0;
+  std::uint64_t delivered = 0;   // Unique ids that reached a sink.
+  std::uint64_t consumed = 0;    // Unique ids absorbed by stateful units.
+  std::uint64_t dropped = 0;     // Unique ids with a recorded drop.
+  std::uint64_t in_flight_recorded = 0;  // Noted queued at worker shutdown.
+  std::uint64_t in_flight_residual = 0;  // Emitted, no terminal event.
+  std::uint64_t duplicate_deliveries = 0;  // Extra sink arrivals (fan-in).
+  std::uint64_t reemissions = 0;  // Transform-minted ids (windowing).
+  std::uint64_t latency_samples = 0;
+  std::uint64_t control_events = 0;
+  std::map<DropReason, std::uint64_t> drops_by_reason;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  // Strict conservation: ok() and nothing unaccounted. Holds after the
+  // sources stop and the swarm drains before shutdown.
+  [[nodiscard]] bool conserved() const {
+    return ok() && in_flight_residual == 0;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+class TupleLedger {
+ public:
+  // --- Data-plane events (recorded by the worker) -----------------------
+
+  // A source generated a tuple. Each id must be emitted exactly once
+  // (sources namespace ids as seq * n_sources + ordinal); a repeat here is
+  // a hard violation (e.g. a rejoin double-starting a source).
+  void on_emitted(TupleId id, SimTime now);
+
+  // A stateful transform minted a tuple whose id differs from its input's
+  // (the gesture windower numbers windows 0, 1, 2, ... independently of
+  // sample ids). Opens the id like on_emitted but an already-known id is
+  // legal — window ids intentionally collide with the sample-id space, and
+  // the record simply continues under the delivered-wins bucketing.
+  void on_reemitted(TupleId id, SimTime now);
+
+  // A sink received the tuple (pre-reorder arrival).
+  void on_delivered(TupleId id, SimTime now);
+
+  // A stateful transform absorbed the tuple without emitting a successor
+  // (windowing, filtering): a legitimate terminal state.
+  void on_consumed(TupleId id);
+
+  void on_dropped(TupleId id, DropReason reason);
+
+  // Still queued somewhere inside a worker when it shut down.
+  void on_in_flight_at_shutdown(TupleId id);
+
+  // A reorder buffer released `id` for playback at sink `sink`. Release
+  // ids must be non-decreasing per sink instance.
+  void on_played(InstanceId sink, TupleId id, SimTime now);
+
+  // An ACK-derived latency measurement, before it reaches the estimator.
+  // Must be finite and non-negative.
+  void on_latency_sample(double latency_ms);
+
+  // --- Control-plane events (recorded by the master) --------------------
+
+  // Folded into the digest so membership/deployment divergence between
+  // same-seed runs is detected even when the data plane happens to agree.
+  void on_control_event(std::uint8_t kind, std::uint64_t detail,
+                        SimTime now);
+
+  // --- Audit ------------------------------------------------------------
+
+  [[nodiscard]] AuditReport audit() const;
+
+  // Order-sensitive FNV-1a hash of every recorded event. Two runs with the
+  // same seed must produce identical digests (tested in
+  // tests/integration/test_determinism.cpp).
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  struct Record {
+    bool emitted = false;
+    bool delivered = false;
+    bool consumed = false;
+    bool noted_in_flight = false;
+    std::uint16_t drop_mask = 0;      // Bit per DropReason.
+    std::uint8_t delivery_count = 0;  // Saturating; duplicates beyond 1.
+  };
+
+  Record& record(TupleId id) { return tuples_[id.value()]; }
+  void violation(std::string message);
+  void fold(std::uint8_t kind, std::uint64_t a, std::uint64_t b);
+
+  // Keyed by raw id; std::map so audit() iterates deterministically.
+  std::map<std::uint64_t, Record> tuples_;
+  std::map<std::uint64_t, TupleId> last_played_;  // Per sink instance.
+  std::map<DropReason, std::uint64_t> drop_events_;
+  std::vector<std::string> violations_;
+  std::uint64_t dropped_violations_ = 0;  // Beyond the cap below.
+  std::uint64_t duplicate_deliveries_ = 0;
+  std::uint64_t reemissions_ = 0;
+  std::uint64_t latency_samples_ = 0;
+  std::uint64_t control_events_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+
+  static constexpr std::size_t kMaxViolations = 32;
+};
+
+}  // namespace swing::core

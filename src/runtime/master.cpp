@@ -18,6 +18,12 @@ Master::Master(Simulator& sim, DeviceId device, net::Transport& transport,
   graph_.validate();
 }
 
+void Master::note_event(MasterEvent kind, std::uint64_t detail) {
+  if (config_.ledger != nullptr) {
+    config_.ledger->on_control_event(std::uint8_t(kind), detail, sim_.now());
+  }
+}
+
 void Master::launch() {
   discovery_.advertise(kSwingService, device_, Bytes{});
   admit(device_);  // The master's device hosts sources and sinks.
@@ -91,6 +97,7 @@ void Master::admit(DeviceId device) {
   if (members_.contains(device.value())) return;  // Duplicate Hello.
   members_[device.value()] = {};
   SWING_LOG(kInfo) << "master admits device " << device;
+  note_event(MasterEvent::kAdmit, device.value());
   deploy_to(device);
   if (started_) send(device, MsgType::kStart, Bytes{});
 }
@@ -118,6 +125,8 @@ void Master::deploy_to(DeviceId device) {
 
   if (!deploy.assignments.empty()) {
     send(device, MsgType::kDeploy, deploy.to_bytes());
+    note_event(MasterEvent::kDeploy,
+               device.value() << 16 | deploy.assignments.size());
   }
 
   // Register the new instances, then tell the hosts of upstream instances
@@ -148,6 +157,7 @@ void Master::remove_device(DeviceId device) {
   members_.erase(it);
   SWING_LOG(kInfo) << "master removes device " << device << " ("
                    << gone.size() << " instances)";
+  note_event(MasterEvent::kRemove, device.value());
 
   for (const auto& info : gone) {
     auto& list = by_op_[info.op.value()];
@@ -168,6 +178,7 @@ void Master::remove_device(DeviceId device) {
 
 void Master::start() {
   started_ = true;
+  note_event(MasterEvent::kStart, members_.size());
   for (const auto& [member, instances] : members_) {
     send(DeviceId{member}, MsgType::kStart, Bytes{});
   }
@@ -175,6 +186,7 @@ void Master::start() {
 
 void Master::stop() {
   started_ = false;
+  note_event(MasterEvent::kStop, members_.size());
   for (const auto& [member, instances] : members_) {
     send(DeviceId{member}, MsgType::kStop, Bytes{});
   }

@@ -14,6 +14,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "core/tuple_ledger.h"
 #include "dataflow/graph.h"
 #include "net/discovery.h"
 #include "net/transport.h"
@@ -32,6 +33,21 @@ struct MasterConfig {
   // this are presumed dead and removed. Must comfortably exceed the
   // workers' heartbeat period. Zero disables the sweep.
   SimDuration member_timeout = seconds(6.0);
+
+  // swing-audit hook: control-plane events (admit, deploy, removal,
+  // start/stop) fold into the ledger digest so same-seed runs must agree
+  // on membership history, not just on the data plane. Installed by the
+  // Swarm; null disables. Pure observer.
+  core::TupleLedger* ledger = nullptr;
+};
+
+// Control-event kinds the master records in the audit ledger.
+enum class MasterEvent : std::uint8_t {
+  kAdmit = 1,
+  kDeploy = 2,
+  kRemove = 3,
+  kStart = 4,
+  kStop = 5,
 };
 
 class Master {
@@ -80,6 +96,7 @@ class Master {
   [[nodiscard]] bool placeable(const dataflow::OperatorDecl& op,
                                DeviceId device) const;
   void send(DeviceId to, MsgType type, Bytes payload);
+  void note_event(MasterEvent kind, std::uint64_t detail);
 
   Simulator& sim_;
   DeviceId device_;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -66,12 +67,30 @@ struct InstanceInfo {
 
 // Master -> worker: activate these instances; each comes with the current
 // set of downstream instances to seed its routing table.
+// Bounds a wire-claimed element count by what the unread suffix could
+// actually hold (`min_bytes` per element) BEFORE it reaches reserve(): a
+// hostile count must fail as a recoverable WireFormatError, not as an
+// uncaught std::length_error/OOM aborting the worker. Found by the fuzz
+// harnesses (fuzz/corpus/*/crash_huge_count_*).
+inline void check_wire_count(std::uint64_t n, const ByteReader& r,
+                             std::uint64_t min_bytes, const char* what) {
+  if (min_bytes == 0 || n > r.remaining() / min_bytes) {
+    throw WireFormatError(std::string(what) + " count " + std::to_string(n) +
+                          " exceeds what " + std::to_string(r.remaining()) +
+                          " remaining bytes could hold");
+  }
+}
+
 struct DeployMsg {
   struct Assignment {
     InstanceInfo self;
     std::vector<InstanceInfo> downstreams;
+
+    friend bool operator==(const Assignment&, const Assignment&) = default;
   };
   std::vector<Assignment> assignments;
+
+  friend bool operator==(const DeployMsg&, const DeployMsg&) = default;
 
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;
@@ -87,11 +106,15 @@ struct DeployMsg {
     ByteReader r{data};
     DeployMsg msg;
     const auto n = r.read_varint();
+    // An assignment is at least one InstanceInfo (24 bytes) plus a one-byte
+    // downstream count.
+    check_wire_count(n, r, 25, "assignment");
     msg.assignments.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       Assignment a;
       a.self = InstanceInfo::deserialize(r);
       const auto m = r.read_varint();
+      check_wire_count(m, r, 24, "downstream");
       a.downstreams.reserve(m);
       for (std::uint64_t j = 0; j < m; ++j) {
         a.downstreams.push_back(InstanceInfo::deserialize(r));
@@ -106,6 +129,9 @@ struct DeployMsg {
 struct RouteUpdateMsg {
   InstanceId upstream;
   InstanceInfo downstream;
+
+  friend bool operator==(const RouteUpdateMsg&,
+                         const RouteUpdateMsg&) = default;
 
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;
@@ -132,6 +158,9 @@ struct DelayBreakdown {
   [[nodiscard]] double total_ms() const {
     return transmission_ms + queuing_ms + processing_ms;
   }
+
+  friend bool operator==(const DelayBreakdown&,
+                         const DelayBreakdown&) = default;
 };
 
 // Upstream -> downstream: one tuple on an edge.
@@ -143,6 +172,8 @@ struct DataMsg {
   DelayBreakdown accumulated;
   Bytes tuple_bytes;               // Serialized dataflow::Tuple.
   std::uint64_t tuple_wire_size = 0;  // Includes synthetic Blob payloads.
+
+  friend bool operator==(const DataMsg&, const DataMsg&) = default;
 
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;
@@ -188,6 +219,8 @@ struct AckMsg {
   // energy-aware policies can spare nearly-empty peers.
   double battery_fraction = 1.0;
 
+  friend bool operator==(const AckMsg&, const AckMsg&) = default;
+
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(from_instance.value());
@@ -215,6 +248,8 @@ struct AckMsg {
 struct DataBatchMsg {
   std::vector<Bytes> datas;  // Each element is one inner message's bytes.
 
+  friend bool operator==(const DataBatchMsg&, const DataBatchMsg&) = default;
+
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;
     w.write_varint(datas.size());
@@ -225,6 +260,8 @@ struct DataBatchMsg {
     ByteReader r{data};
     DataBatchMsg msg;
     const auto n = r.read_varint();
+    // Each inner message costs at least its one-byte length prefix.
+    check_wire_count(n, r, 1, "batch element");
     msg.datas.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) msg.datas.push_back(r.read_bytes());
     return msg;
@@ -235,6 +272,8 @@ struct DataBatchMsg {
 // sender's own device, a graceful goodbye (Bye). Hello carries no payload.
 struct DeviceMsg {
   DeviceId device;
+
+  friend bool operator==(const DeviceMsg&, const DeviceMsg&) = default;
 
   [[nodiscard]] Bytes to_bytes() const {
     ByteWriter w;

@@ -26,9 +26,14 @@ class ReorderBuffer {
  public:
   // `on_play` fires, in non-decreasing id order, when a tuple is released.
   using PlayFn = std::function<void(const dataflow::Tuple&, SimTime played)>;
+  // `on_late` fires when an arrival is discarded because a larger id
+  // already played (swing-audit records these as late-reorder drops).
+  using LateFn = std::function<void(const dataflow::Tuple&)>;
 
-  ReorderBuffer(std::size_t capacity, PlayFn on_play)
-      : capacity_(capacity ? capacity : 1), on_play_(std::move(on_play)) {}
+  ReorderBuffer(std::size_t capacity, PlayFn on_play, LateFn on_late = {})
+      : capacity_(capacity ? capacity : 1),
+        on_play_(std::move(on_play)),
+        on_late_(std::move(on_late)) {}
 
   // Convenience: capacity = rate x timespan (the paper's sizing rule).
   static std::size_t capacity_for(double rate_per_s, SimDuration span) {
@@ -39,6 +44,7 @@ class ReorderBuffer {
   void push(dataflow::Tuple tuple, SimTime now) {
     if (played_any_ && tuple.id() <= last_played_) {
       ++late_;
+      if (on_late_) on_late_(tuple);
       return;
     }
     heap_.push(std::move(tuple));
@@ -82,6 +88,7 @@ class ReorderBuffer {
 
   std::size_t capacity_;
   PlayFn on_play_;
+  LateFn on_late_;
   std::priority_queue<dataflow::Tuple, std::vector<dataflow::Tuple>, LargerId>
       heap_;
   TupleId last_played_{};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace swing::runtime {
@@ -15,6 +16,11 @@ Swarm::Swarm(Simulator& sim, SwarmConfig config)
       transport_(sim, medium_, config.transport),
       discovery_(sim),
       cpu_sampler_(sim, config.cpu_sample_period, [this] { sample_cpu(); }) {
+  if (config_.audit) {
+    // Every master/worker launched from this config reports to the ledger.
+    config_.worker.ledger = &ledger_;
+    config_.master.ledger = &ledger_;
+  }
   cpu_sampler_.start();
 }
 
@@ -158,6 +164,19 @@ void Swarm::shutdown() {
   if (master_) master_->stop();
   for (auto& [id, n] : nodes_) {
     if (n.worker) n.worker->shutdown();
+  }
+  if (config_.audit) {
+    // The audit gate: a hard invariant violation (ghost tuple, duplicate
+    // source emission, non-monotone reorder release, non-finite latency)
+    // fails the run right here, in every test that shuts a swarm down.
+    // Residual in-flight tuples are legitimate unless the caller drained
+    // first — tests assert report.conserved() for that stronger claim.
+    const core::AuditReport report = ledger_.audit();
+    SWING_LOG(kInfo) << "swing-audit: " << report.summary();
+    SWING_CHECK(report.ok()) << "swing-audit failed: " << report.summary()
+                             << (report.violations.empty()
+                                     ? ""
+                                     : "; first: " + report.violations.front());
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "core/tuple_ledger.h"
 #include "dataflow/graph.h"
 #include "device/device.h"
 #include "device/mobility.h"
@@ -49,6 +50,11 @@ struct SwarmConfig {
   // Background OS activity visible in CPU samples even on unselected
   // devices (the paper notes this in §VI-B2).
   double cpu_noise_floor = 0.03;
+  // swing-audit: thread a TupleLedger through master and workers and fail
+  // shutdown() on any hard invariant violation (ghost events, duplicate
+  // source emission, broken reorder monotonicity, non-finite latency).
+  // On by default: every scenario/integration test audits for free.
+  bool audit = true;
 };
 
 class Swarm {
@@ -101,6 +107,10 @@ class Swarm {
   [[nodiscard]] net::Transport& transport() { return transport_; }
   [[nodiscard]] net::Discovery& discovery() { return discovery_; }
   [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+  // The swing-audit ledger (see core/tuple_ledger.h). audit() snapshots
+  // the conservation report at any point; shutdown() checks it.
+  [[nodiscard]] const core::TupleLedger& ledger() const { return ledger_; }
+  [[nodiscard]] core::AuditReport audit() const { return ledger_.audit(); }
   [[nodiscard]] Master* master() { return master_.get(); }
   [[nodiscard]] Worker* worker(DeviceId id);
   [[nodiscard]] const dataflow::AppGraph& graph() const { return graph_; }
@@ -146,6 +156,7 @@ class Swarm {
   Simulator& sim_;
   SwarmConfig config_;
   Rng rng_;
+  core::TupleLedger ledger_;
   net::Medium medium_;
   net::Transport transport_;
   net::Discovery discovery_;

@@ -5,6 +5,20 @@
 
 namespace swing::runtime {
 
+namespace {
+
+// The tuple id is the first fixed-width field of a serialized Tuple; reading
+// it back cheaply lets drop sites that hold only wire bytes (pending-data
+// overflow, compute backlog) attribute the loss in the audit ledger without
+// a full decode. Returns an invalid id for truncated buffers.
+TupleId peek_tuple_id(const Bytes& tuple_bytes) {
+  if (tuple_bytes.size() < 8) return TupleId{};
+  ByteReader r{tuple_bytes};
+  return TupleId{r.read_u64()};
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Instance state
 
@@ -13,6 +27,7 @@ namespace swing::runtime {
 struct Worker::PendingSend {
   DataMsg data;
   DeviceId dst_device;
+  TupleId tuple_id;  // For audit attribution if the send ultimately fails.
   std::uint64_t wire = 0;
   bool from_source = false;
 };
@@ -64,6 +79,14 @@ class Worker::InstanceContext final : public dataflow::Context {
       : worker_(worker), inst_(inst) {}
 
   void emit(dataflow::Tuple tuple) override {
+    if (tuple.id() == current_input_) {
+      forwarded_input_ = true;
+    } else if (worker_.config_.ledger != nullptr) {
+      // The unit minted a new logical stream id (e.g. the gesture windower
+      // numbers windows independently of sample ids): open it in the audit
+      // ledger so its downstream delivery is not a ghost.
+      worker_.config_.ledger->on_reemitted(tuple.id(), worker_.sim_.now());
+    }
     worker_.route_and_send(inst_, std::move(tuple), accumulated_);
   }
 
@@ -74,10 +97,22 @@ class Worker::InstanceContext final : public dataflow::Context {
 
   void set_accumulated(const DelayBreakdown& acc) { accumulated_ = acc; }
 
+  // Called before each process() with the in-flight input's id; afterwards
+  // forwarded_input() tells whether the unit re-emitted that id (tuple
+  // continues downstream) or absorbed it (windowing/filtering — the audit
+  // ledger records it consumed).
+  void begin_process(TupleId input) {
+    current_input_ = input;
+    forwarded_input_ = false;
+  }
+  [[nodiscard]] bool forwarded_input() const { return forwarded_input_; }
+
  private:
   Worker& worker_;
   Instance& inst_;
   DelayBreakdown accumulated_{};
+  TupleId current_input_{};
+  bool forwarded_input_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -212,8 +247,18 @@ void Worker::activate(const DeployMsg::Assignment& assignment) {
     }
     inst->reorder = std::make_unique<ReorderBuffer>(
         ReorderBuffer::capacity_for(rate, config_.reorder_span),
-        [this](const dataflow::Tuple& t, SimTime played) {
+        [this, sink = assignment.self.instance](const dataflow::Tuple& t,
+                                                SimTime played) {
           metrics_.on_play(t.id(), played);
+          if (config_.ledger != nullptr) {
+            config_.ledger->on_played(sink, t.id(), played);
+          }
+        },
+        [this](const dataflow::Tuple& t) {
+          if (config_.ledger != nullptr) {
+            config_.ledger->on_dropped(t.id(),
+                                       core::DropReason::kLateReorder);
+          }
         });
   }
 
@@ -252,6 +297,10 @@ void Worker::handle_data(const net::Message& msg) {
     auto& queue = pending_data_[data.dst_instance.value()];
     if (queue.size() < config_.pending_data_cap) {
       queue.push_back(std::move(data));
+    } else if (config_.ledger != nullptr) {
+      if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+        config_.ledger->on_dropped(id, core::DropReason::kPendingOverflow);
+      }
     }
     return;
   }
@@ -266,6 +315,11 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   if (inst.decl->kind == dataflow::OperatorKind::kTransform &&
       device_.backlog() >= config_.compute_backlog_cap) {
     metrics_.on_compute_dropped();
+    if (config_.ledger != nullptr) {
+      if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+        config_.ledger->on_dropped(id, core::DropReason::kComputeBacklog);
+      }
+    }
     return;
   }
 
@@ -277,6 +331,9 @@ void Worker::process_data(Instance& inst, DataMsg data) {
       inst.decl->kind == dataflow::OperatorKind::kTransform &&
       sim_.now() - tuple.source_time() > config_.tuple_ttl) {
     metrics_.on_stale_dropped();
+    if (config_.ledger != nullptr) {
+      config_.ledger->on_dropped(tuple.id(), core::DropReason::kStaleTtl);
+    }
     return;
   }
 
@@ -287,9 +344,12 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   std::function<bool()> admit;
   if (config_.tuple_ttl.nanos() > 0 &&
       inst.decl->kind == dataflow::OperatorKind::kTransform) {
-    admit = [this, source_time = tuple.source_time()] {
+    admit = [this, id = tuple.id(), source_time = tuple.source_time()] {
       if (sim_.now() - source_time > config_.tuple_ttl) {
         metrics_.on_stale_dropped();
+        if (config_.ledger != nullptr) {
+          config_.ledger->on_dropped(id, core::DropReason::kStaleTtl);
+        }
         return false;
       }
       return true;
@@ -327,7 +387,16 @@ void Worker::process_data(Instance& inst, DataMsg data) {
           deliver_to_sink(inst, tuple, acc);
         } else if (inst.unit) {
           inst.ctx->set_accumulated(acc);
+          inst.ctx->begin_process(tuple.id());
           inst.unit->process(tuple, *inst.ctx);
+          if (config_.ledger != nullptr && !inst.ctx->forwarded_input()) {
+            // The unit absorbed the input (buffered into a window, filtered
+            // it out, or joined it into a sibling's id): a legal terminal.
+            config_.ledger->on_consumed(tuple.id());
+          }
+        } else if (config_.ledger != nullptr) {
+          // A transform declared without a unit is a black hole.
+          config_.ledger->on_consumed(tuple.id());
         }
       },
       std::move(admit));
@@ -336,13 +405,19 @@ void Worker::process_data(Instance& inst, DataMsg data) {
 void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
                              const DelayBreakdown& accumulated) {
   metrics_.on_sink_arrival(tuple, accumulated, sim_.now());
+  if (config_.ledger != nullptr) {
+    config_.ledger->on_delivered(tuple.id(), sim_.now());
+  }
   if (inst.reorder) {
     inst.reorder->push(tuple, sim_.now());
   } else {
+    // No reordering service: playback follows arrival order by design, so
+    // the ledger's monotonicity check (on_played) does not apply here.
     metrics_.on_play(tuple.id(), sim_.now());
   }
   if (inst.unit) {
     inst.ctx->set_accumulated(accumulated);
+    inst.ctx->begin_process(tuple.id());
     inst.unit->process(tuple, *inst.ctx);
   }
 }
@@ -354,6 +429,9 @@ void Worker::handle_ack(const AckMsg& ack) {
       (sim_.now() - SimTime{ack.echoed_sent_ns}).millis();
   for (auto& edge : inst->edges) {
     if (edge.manager->estimator().tracks(ack.from_instance)) {
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_latency_sample(latency_ms);
+      }
       edge.manager->record_ack(ack.from_instance, latency_ms,
                                ack.processing_ms, sim_.now(),
                                ack.battery_fraction);
@@ -465,6 +543,9 @@ void Worker::source_fire(Instance& inst) {
   dataflow::Tuple tuple = spec.generate(id, sim_.now(), inst.rng);
   tuple.set_id(id);
   tuple.set_source_time(sim_.now());
+  // Audit: the tuple exists from here on; the blocked-overrun drop above
+  // never allocated an id and is a camera-side non-event to the ledger.
+  if (config_.ledger != nullptr) config_.ledger->on_emitted(id, sim_.now());
   for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
   route_and_send(inst, std::move(tuple), DelayBreakdown{});
 }
@@ -493,6 +574,10 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     const auto& downs = edge.manager->downstreams();
     if (downs.empty()) {
       if (is_source) metrics_.on_source_dropped();
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_dropped(tuple.id(),
+                                   core::DropReason::kNoDownstream);
+      }
       return;
     }
     target = downs[tuple.id().value() % downs.size()];
@@ -500,6 +585,10 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     const auto choice = edge.manager->route(sim_.now());
     if (!choice) {
       if (is_source) metrics_.on_source_dropped();
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_dropped(tuple.id(),
+                                   core::DropReason::kNoDownstream);
+      }
       return;
     }
     target = choice->id;
@@ -522,6 +611,9 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   auto peer = peers_.find(target.value());
   if (peer == peers_.end()) {
     metrics_.on_send_failed();
+    if (config_.ledger != nullptr) {
+      config_.ledger->on_dropped(tuple.id(), core::DropReason::kSendFailed);
+    }
     return;
   }
 
@@ -533,6 +625,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   send.data.tuple_wire_size = tuple.wire_size();
   send.data.tuple_bytes = tuple.to_bytes();
   send.dst_device = peer->second.device;
+  send.tuple_id = tuple.id();
   send.wire = send.data.tuple_wire_size + DataMsg::kEnvelopeBytes;
   send.from_source = is_source;
 
@@ -547,6 +640,10 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
                           [this, &from] { retry_blocked(from); });
     } else {
       metrics_.on_send_failed();
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_dropped(tuple.id(),
+                                   core::DropReason::kBackpressureShed);
+      }
     }
     return;
   }
@@ -568,6 +665,10 @@ void Worker::send_data(Instance& /*from*/, PendingSend send) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
   } else {
     metrics_.on_send_failed();
+    if (config_.ledger != nullptr) {
+      config_.ledger->on_dropped(send.tuple_id,
+                                 core::DropReason::kSendFailed);
+    }
   }
 }
 
@@ -575,9 +676,14 @@ void Worker::enqueue_batched(PendingSend send) {
   Batch& batch = batch_for(send.dst_device, /*acks=*/false);
   if (batch.datas.size() >= config_.batching.buffer_cap) {
     metrics_.on_send_failed();
+    if (config_.ledger != nullptr) {
+      config_.ledger->on_dropped(send.tuple_id,
+                                 core::DropReason::kBatchOverflow);
+    }
     return;
   }
   batch.datas.push_back(send.data.to_bytes());
+  batch.ids.push_back(send.tuple_id);
   batch.wire += send.wire;
   if (batch.datas.size() >= config_.batching.max_tuples) {
     sim_.cancel(batch.flush_event);
@@ -626,7 +732,15 @@ void Worker::flush_batch(DeviceId dst, bool acks) {
       device_.id(), dst,
       std::uint8_t(acks ? MsgType::kAckBatch : MsgType::kDataBatch),
       msg.to_bytes(), batch.wire);
-  if (!ok) metrics_.on_send_failed();
+  if (!ok) {
+    metrics_.on_send_failed();
+    if (config_.ledger != nullptr) {
+      // Ack batches carry no tuple ids; data batches lose every tuple.
+      for (TupleId id : batch.ids) {
+        config_.ledger->on_dropped(id, core::DropReason::kSendFailed);
+      }
+    }
+  }
 }
 
 void Worker::handle_data_batch(const net::Message& msg) {
@@ -656,6 +770,10 @@ void Worker::retry_blocked(Instance& inst) {
       send_data(inst, std::move(pending));
     } else {
       metrics_.on_send_failed();
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_dropped(pending.tuple_id,
+                                   core::DropReason::kSendFailed);
+      }
     }
     inst.blocked.reset();
     return;
@@ -694,6 +812,26 @@ void Worker::shutdown() {
       if (edge.tick_task) edge.tick_task->stop();
     }
     if (inst->reorder) inst->reorder->flush(sim_.now());
+    if (config_.ledger != nullptr && inst->blocked) {
+      config_.ledger->on_in_flight_at_shutdown(inst->blocked->tuple_id);
+    }
+  }
+  // Account every tuple still queued inside this worker so a quiescent
+  // shutdown audits clean: deploy-race buffers and unflushed batches.
+  // (std::map iteration keeps the event order deterministic.)
+  if (config_.ledger != nullptr) {
+    for (const auto& [key, queue] : pending_data_) {
+      for (const auto& data : queue) {
+        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+          config_.ledger->on_in_flight_at_shutdown(id);
+        }
+      }
+    }
+    for (const auto& [key, batch] : batches_) {
+      for (TupleId id : batch.ids) {
+        config_.ledger->on_in_flight_at_shutdown(id);
+      }
+    }
   }
   alive_ = false;
 }

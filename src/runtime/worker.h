@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "core/swarm_manager.h"
+#include "core/tuple_ledger.h"
 #include "dataflow/graph.h"
 #include "device/device.h"
 #include "net/transport.h"
@@ -70,6 +71,12 @@ struct WorkerConfig {
     SimDuration max_delay = millis(10);
     std::size_t buffer_cap = 64;  // Pending tuples per device; beyond: drop.
   } batching;
+
+  // swing-audit hook (see core/tuple_ledger.h): when set, the worker
+  // reports every tuple emission, delivery, drop, reorder release and
+  // latency sample to the ledger. Installed by the Swarm; null (off) for
+  // bare unit-test workers. Pure observer — never read back.
+  core::TupleLedger* ledger = nullptr;
 };
 
 class Worker {
@@ -176,6 +183,8 @@ class Worker {
   // Batching service state, per (destination device, data|ack) stream.
   struct Batch {
     std::vector<Bytes> datas;
+    // Tuple id per element for audit attribution (empty for ack batches).
+    std::vector<TupleId> ids;
     std::uint64_t wire = 0;
     EventId flush_event{};
   };

@@ -29,10 +29,22 @@ bool Simulator::step() {
         << "event queue released an event from the past";
     now_ = entry.time;
     ++executed_;
+    fold_digest(entry.time, entry.id);
     fn();
     return true;
   }
   return false;
+}
+
+void Simulator::fold_digest(SimTime t, std::uint64_t id) {
+  const auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (8 * i)) & 0xff;
+      digest_ *= 0x100000001b3ULL;  // FNV-1a prime.
+    }
+  };
+  mix(std::uint64_t(t.nanos()));
+  mix(id);
 }
 
 void Simulator::run_until(SimTime limit) {

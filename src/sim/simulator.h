@@ -66,6 +66,13 @@ class Simulator {
   [[nodiscard]] std::size_t executed() const { return executed_; }
   [[nodiscard]] std::size_t queued() const { return callbacks_.size(); }
 
+  // Order-sensitive FNV-1a hash over (timestamp, event id) of every
+  // executed event: a fingerprint of the whole run. Two runs that schedule
+  // or execute anything differently — an extra retry, a reordered tick —
+  // diverge here even when their end metrics agree. swing-audit's
+  // determinism check asserts equal digests for equal seeds.
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -79,10 +86,13 @@ class Simulator {
     }
   };
 
+  void fold_digest(SimTime t, std::uint64_t id);
+
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 0;
   std::size_t executed_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   // Events live here until they fire or are cancelled. Cancelled entries are
   // lazily skipped when popped.

@@ -1,0 +1,237 @@
+// Unit tests for the swing-audit TupleLedger: conservation bucketing, ghost
+// events, ordering and finiteness violations, and digest determinism.
+#include "core/tuple_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace swing::core {
+namespace {
+
+SimTime at(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+
+TEST(TupleLedger, EmptyLedgerIsConserved) {
+  TupleLedger ledger;
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.emitted, 0u);
+  EXPECT_EQ(ledger.events(), 0u);
+}
+
+TEST(TupleLedger, BucketsEveryTerminalState) {
+  TupleLedger ledger;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ledger.on_emitted(TupleId{i}, at(std::int64_t(i)));
+  }
+  ledger.on_delivered(TupleId{0}, at(10));
+  ledger.on_delivered(TupleId{1}, at(11));
+  ledger.on_consumed(TupleId{2});
+  ledger.on_dropped(TupleId{3}, DropReason::kStaleTtl);
+  ledger.on_in_flight_at_shutdown(TupleId{4});
+
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.emitted, 5u);
+  EXPECT_EQ(report.delivered, 2u);
+  EXPECT_EQ(report.consumed, 1u);
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.in_flight_recorded, 1u);
+  EXPECT_EQ(report.in_flight_residual, 0u);
+  EXPECT_EQ(report.drops_by_reason.at(DropReason::kStaleTtl), 1u);
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TupleLedger, ResidualBreaksConservationButNotOk) {
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{7}, at(1));
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());  // No violation: it may still be in transit.
+  EXPECT_EQ(report.in_flight_residual, 1u);
+  EXPECT_FALSE(report.conserved());
+}
+
+TEST(TupleLedger, DeliveredWinsOverOtherStates) {
+  // An id can legitimately accumulate several states (fan-out: one branch
+  // delivers, the other is shed). The audit buckets it once, best outcome.
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{1}, at(0));
+  ledger.on_dropped(TupleId{1}, DropReason::kBackpressureShed);
+  ledger.on_delivered(TupleId{1}, at(5));
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.dropped, 0u);  // Bucketed as delivered, not dropped.
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TupleLedger, GhostDeliveryIsViolation) {
+  TupleLedger ledger;
+  ledger.on_delivered(TupleId{99}, at(1));
+  const AuditReport report = ledger.audit();
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("never emitted"),
+            std::string::npos);
+}
+
+TEST(TupleLedger, GhostConsumptionAndDropAreViolations) {
+  TupleLedger consumed;
+  consumed.on_consumed(TupleId{5});
+  EXPECT_FALSE(consumed.audit().ok());
+
+  TupleLedger dropped;
+  dropped.on_dropped(TupleId{6}, DropReason::kSendFailed);
+  EXPECT_FALSE(dropped.audit().ok());
+}
+
+TEST(TupleLedger, DuplicateSourceEmissionIsViolation) {
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{3}, at(0));
+  ledger.on_emitted(TupleId{3}, at(1));
+  const AuditReport report = ledger.audit();
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("more than once"),
+            std::string::npos);
+}
+
+TEST(TupleLedger, ReemissionOfKnownIdIsLegal) {
+  // The gesture windower mints window ids that collide with sample ids;
+  // on_reemitted must tolerate that and count it as a stat, not a breach.
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{0}, at(0));
+  ledger.on_consumed(TupleId{0});       // Sample absorbed by the windower.
+  ledger.on_reemitted(TupleId{0}, at(2));  // Window 0 reuses the id.
+  ledger.on_delivered(TupleId{0}, at(3));
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.reemissions, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_TRUE(report.conserved());
+}
+
+TEST(TupleLedger, ReemittedFreshIdNeedsNoSourceEmission) {
+  TupleLedger ledger;
+  ledger.on_reemitted(TupleId{42}, at(1));
+  ledger.on_delivered(TupleId{42}, at(2));
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+}
+
+TEST(TupleLedger, DuplicateDeliveryIsCountedNotViolation) {
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{1}, at(0));
+  ledger.on_delivered(TupleId{1}, at(1));
+  ledger.on_delivered(TupleId{1}, at(2));
+  const AuditReport report = ledger.audit();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.duplicate_deliveries, 1u);
+}
+
+TEST(TupleLedger, ReorderReleasesMustBeMonotonePerSink) {
+  TupleLedger ledger;
+  const InstanceId sink{11};
+  ledger.on_played(sink, TupleId{1}, at(1));
+  ledger.on_played(sink, TupleId{2}, at(2));
+  ledger.on_played(sink, TupleId{2}, at(3));  // Equal is fine.
+  EXPECT_TRUE(ledger.audit().ok());
+
+  ledger.on_played(sink, TupleId{1}, at(4));  // Regression.
+  const AuditReport report = ledger.audit();
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("monotonicity"),
+            std::string::npos);
+}
+
+TEST(TupleLedger, MonotonicityIsPerSinkInstance) {
+  TupleLedger ledger;
+  ledger.on_played(InstanceId{1}, TupleId{9}, at(1));
+  ledger.on_played(InstanceId{2}, TupleId{3}, at(2));  // Different sink: ok.
+  EXPECT_TRUE(ledger.audit().ok());
+}
+
+TEST(TupleLedger, NonFiniteOrNegativeLatencyIsViolation) {
+  TupleLedger fine;
+  fine.on_latency_sample(0.0);
+  fine.on_latency_sample(123.5);
+  EXPECT_TRUE(fine.audit().ok());
+  EXPECT_EQ(fine.audit().latency_samples, 2u);
+
+  TupleLedger negative;
+  negative.on_latency_sample(-1.0);
+  EXPECT_FALSE(negative.audit().ok());
+
+  TupleLedger nan;
+  nan.on_latency_sample(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(nan.audit().ok());
+
+  TupleLedger inf;
+  inf.on_latency_sample(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(inf.audit().ok());
+}
+
+TEST(TupleLedger, ViolationListIsCapped) {
+  TupleLedger ledger;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ledger.on_delivered(TupleId{1000 + i}, at(std::int64_t(i)));  // Ghosts.
+  }
+  const AuditReport report = ledger.audit();
+  EXPECT_FALSE(report.ok());
+  EXPECT_LE(report.violations.size(), 33u);  // Cap plus the overflow note.
+}
+
+TEST(TupleLedger, DigestIsOrderSensitiveAndDeterministic) {
+  TupleLedger a;
+  a.on_emitted(TupleId{1}, at(1));
+  a.on_emitted(TupleId{2}, at(2));
+  a.on_delivered(TupleId{1}, at(3));
+
+  TupleLedger b;  // Same events, same order.
+  b.on_emitted(TupleId{1}, at(1));
+  b.on_emitted(TupleId{2}, at(2));
+  b.on_delivered(TupleId{1}, at(3));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.events(), b.events());
+
+  TupleLedger c;  // Same events, swapped order.
+  c.on_emitted(TupleId{2}, at(2));
+  c.on_emitted(TupleId{1}, at(1));
+  c.on_delivered(TupleId{1}, at(3));
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(TupleLedger, ControlEventsFoldIntoDigest) {
+  TupleLedger a;
+  TupleLedger b;
+  a.on_control_event(1, 7, at(1));
+  EXPECT_NE(a.digest(), b.digest());
+  b.on_control_event(1, 7, at(1));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.audit().control_events, 1u);
+}
+
+TEST(TupleLedger, SummaryMentionsEveryBucket) {
+  TupleLedger ledger;
+  ledger.on_emitted(TupleId{1}, at(0));
+  ledger.on_delivered(TupleId{1}, at(1));
+  const std::string s = ledger.audit().summary();
+  EXPECT_NE(s.find("emitted"), std::string::npos);
+  EXPECT_NE(s.find("delivered"), std::string::npos);
+}
+
+TEST(TupleLedger, DropReasonNamesAreDistinct) {
+  EXPECT_STRNE(drop_reason_name(DropReason::kNoDownstream),
+               drop_reason_name(DropReason::kSendFailed));
+  EXPECT_STRNE(drop_reason_name(DropReason::kStaleTtl),
+               drop_reason_name(DropReason::kLateReorder));
+}
+
+}  // namespace
+}  // namespace swing::core

@@ -1,0 +1,18 @@
+// Fixture: bare assert() must be flagged; the assert-shaped lines below
+// (static_assert, gtest ASSERT_EQ, member access) must not.
+#include <cassert>
+
+void checks(int x) {
+  assert(x > 0);  // expect-lint: bare-assert
+  static_assert(sizeof(int) >= 4, "not a bare assert");
+}
+
+struct Harness {
+  void assert_ready();
+};
+
+void gtest_style(Harness& h) {
+  h.assert_ready();  // Member call, not the macro.
+  // ASSERT_EQ(1, 1) in tests is fine; this file only proves no match:
+  // the rule is scoped to src/ anyway.
+}

@@ -1,0 +1,8 @@
+// Fixture: a decoder referenced by a harness under fuzz/ scans clean.
+#pragma once
+
+using Bytes = unsigned char*;
+
+struct CoveredMsg {
+  static CoveredMsg from_bytes(const Bytes& data);
+};

@@ -1,0 +1,4 @@
+// Fixture harness: marks CoveredMsg as fuzz-covered for the self-test.
+#include "../covered_decoder.h"
+
+void drive(const Bytes& data) { (void)CoveredMsg::from_bytes(data); }

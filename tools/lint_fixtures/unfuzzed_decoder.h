@@ -1,0 +1,13 @@
+// Fixture: a wire decoder with no fuzz harness must be flagged at the decl;
+// an explicit allow() suppresses it.
+#pragma once
+
+using Bytes = unsigned char*;
+
+struct UnfuzzedMsg {
+  static UnfuzzedMsg from_bytes(const Bytes& data);  // expect-lint: fuzz-harness
+};
+
+struct ToleratedMsg {
+  static ToleratedMsg from_bytes(const Bytes& data);  // swing-lint: allow(fuzz-harness)
+};

@@ -14,6 +14,14 @@ Rules (see DESIGN.md "Correctness tooling"):
   include-cycle   The quoted-include graph under src/ must be acyclic.
   raw-new-delete  No raw new/delete expressions in src/; ownership is
                   expressed with containers and smart pointers.
+  bare-assert     No bare assert() in src/; use SWING_CHECK (always on) or
+                  SWING_DCHECK (debug) from common/check.h so contract
+                  failures carry context and behave uniformly across builds.
+  fuzz-harness    Every wire decoder in src/ (a `static T from_bytes(...)`
+                  declaration) must be exercised by a fuzz harness: some
+                  fuzz/*.cpp must reference T::from_bytes. Decoders parse
+                  untrusted bytes; an unfuzzed decoder is an untested
+                  attack surface (see fuzz/fuzz_harness.h).
 
 Suppression: append `// swing-lint: allow(<rule>)` to the offending line.
 
@@ -43,6 +51,11 @@ AMBIENT_RAND_RE = re.compile(
 )
 RAW_NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")
 RAW_DELETE_RE = re.compile(r"(?<![\w:])delete\b(?!\s*\()")
+# Bare assert( — but not static_assert, ASSERT_EQ, foo.assert_x or
+# qualified names (the look-behind excludes word chars, '.', ':').
+BARE_ASSERT_RE = re.compile(r"(?<![\w.:])assert\s*\(")
+FROM_BYTES_DECL_RE = re.compile(r"\bstatic\s+(\w+)\s+from_bytes\s*\(")
+FUZZ_REF_RE = re.compile(r"\b(\w+)\s*::\s*from_bytes\b")
 DEFAULTED_DELETE_RE = re.compile(r"=\s*delete\b")
 ALLOW_RE = re.compile(r"//\s*swing-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
@@ -120,7 +133,7 @@ class Linter:
     # --- Per-file pattern rules --------------------------------------------
 
     def scan_file(self, path: pathlib.Path, *, determinism_exempt: bool,
-                  check_new_delete: bool):
+                  check_new_delete: bool, check_bare_assert: bool = False):
         raw = path.read_text(encoding="utf-8", errors="replace")
         raw_lines = raw.splitlines()
         code = strip_comments_and_strings(raw)
@@ -156,6 +169,12 @@ class Linter:
                 if RAW_DELETE_RE.search(deleted):
                     self.report(path, lineno, "raw-new-delete",
                                 "raw 'delete' in src/ (use RAII ownership)")
+
+            if (check_bare_assert and "bare-assert" not in allowed
+                    and BARE_ASSERT_RE.search(line)):
+                self.report(path, lineno, "bare-assert",
+                            "bare assert() in src/ (use SWING_CHECK / "
+                            "SWING_DCHECK from common/check.h)")
 
     # --- Include-cycle rule -------------------------------------------------
 
@@ -211,6 +230,41 @@ class Linter:
             if color[node] == WHITE:
                 visit(node)
 
+    # --- Fuzz-coverage rule -------------------------------------------------
+
+    def scan_fuzz_coverage(self, src_root: pathlib.Path,
+                           fuzz_root: pathlib.Path):
+        """Every `static T from_bytes(...)` in src/ needs a fuzz harness.
+
+        Coverage means some fuzz/*.cpp references `T::from_bytes` (the
+        harness pattern in fuzz/fuzz_harness.h). Reported at the decl site.
+        """
+        covered: set[str] = set()
+        if fuzz_root.is_dir():
+            for harness in sorted(fuzz_root.glob("*.cpp")):
+                code = strip_comments_and_strings(
+                    harness.read_text(encoding="utf-8", errors="replace"))
+                covered.update(FUZZ_REF_RE.findall(code))
+
+        for path in sorted(src_root.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES:
+                continue
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            raw_lines = raw.splitlines()
+            code_lines = strip_comments_and_strings(raw).splitlines()
+            for lineno, line in enumerate(code_lines, start=1):
+                m = FROM_BYTES_DECL_RE.search(line)
+                if not m or m.group(1) in covered:
+                    continue
+                raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                if "fuzz-harness" in allowed_rules(raw_line):
+                    continue
+                self.report(
+                    path, lineno, "fuzz-harness",
+                    f"wire decoder {m.group(1)}::from_bytes has no fuzz "
+                    f"harness (add fuzz/fuzz_<name>.cpp; see "
+                    f"fuzz/fuzz_harness.h)")
+
     # --- Tree walks ---------------------------------------------------------
 
     def scan_tree(self):
@@ -219,9 +273,10 @@ class Linter:
             if path.suffix in CXX_SUFFIXES:
                 exempt = path.is_relative_to(src / "common")
                 self.scan_file(path, determinism_exempt=exempt,
-                               check_new_delete=True)
+                               check_new_delete=True, check_bare_assert=True)
         self.scan_include_cycles(src)
-        for tree in ("tests", "bench", "examples"):
+        self.scan_fuzz_coverage(src, self.root / "fuzz")
+        for tree in ("tests", "bench", "examples", "fuzz"):
             for path in sorted((self.root / tree).rglob("*")):
                 if path.suffix in CXX_SUFFIXES:
                     self.scan_file(path, determinism_exempt=False,
@@ -261,8 +316,10 @@ def run_self_test(fixtures: pathlib.Path) -> int:
     for path in fixture_files:
         exempt = "exempt" in path.name
         linter.scan_file(path, determinism_exempt=exempt,
-                         check_new_delete="no_new_delete" not in path.name)
+                         check_new_delete="no_new_delete" not in path.name,
+                         check_bare_assert="no_bare_assert" not in path.name)
     linter.scan_include_cycles(fixtures)
+    linter.scan_fuzz_coverage(fixtures, fixtures / "fuzz")
 
     got = collections.Counter((f.path, f.rule) for f in linter.findings)
     want = collections.Counter()
