@@ -34,12 +34,14 @@ struct Row {
   double airtime_util;
 };
 
-Row run(bool batching, double window_ms, double measure_s) {
+Row run(bool batching, double window_ms, double measure_s,
+        std::uint64_t seed) {
   apps::TestbedConfig config;
   config.workers = {"G", "H", "I"};
   config.weak_signal_bcd = false;
   config.swarm.worker.batching.enabled = batching;
   config.swarm.worker.batching.max_delay = millis(window_ms);
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(sensor_app());
   bed.run(seconds(5));
@@ -61,22 +63,37 @@ Row run(bool batching, double window_ms, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 30.0);
+  const BenchCli cli = parse_standard(args, "ablate_batching", 30.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: tuple batching (100 Hz x 200 B sensor "
                "stream over G,H,I) ===\n";
   TextTable table({"batching", "throughput (tuple/s)", "lat mean (ms)",
                    "radio msgs/s", "airtime util"});
-  const Row off = run(false, 10.0, measure_s);
+  auto add_row = [&report](const std::string& label, double window_ms,
+                           const Row& r) {
+    obs::Json& row = report.add_result();
+    row["batching"] = label;
+    row["window_ms"] = window_ms;
+    row["throughput_fps"] = r.fps;
+    row["latency_mean_ms"] = r.mean_ms;
+    row["messages_per_s"] = r.messages_per_s;
+    row["airtime_util"] = r.airtime_util;
+  };
+  const Row off = run(false, 10.0, measure_s, cli.seed);
   table.row("off", off.fps, off.mean_ms, off.messages_per_s,
             off.airtime_util);
+  add_row("off", 0.0, off);
   for (double window : {5.0, 10.0, 25.0, 50.0}) {
-    const Row r = run(true, window, measure_s);
+    const Row r = run(true, window, measure_s, cli.seed);
     table.row("window " + fmt(window, 0) + " ms", r.fps, r.mean_ms,
               r.messages_per_s, r.airtime_util);
+    add_row("on", window, r);
   }
   table.print(std::cout);
   std::cout << "(expected: message count falls with the window while "
                "latency grows by about one hold time per hop)\n";
+  cli.finish(report);
   return 0;
 }

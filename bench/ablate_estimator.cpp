@@ -16,11 +16,12 @@ struct Row {
   double recovery_s;  // Until throughput is back >= 22 FPS after the event.
 };
 
-Row run(double alpha, double measure_s) {
+Row run(double alpha, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.workers = {"B", "G", "H"};
   config.weak_signal_bcd = false;
   config.swarm.worker.manager.estimator.ewma_alpha = alpha;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -52,19 +53,28 @@ Row run(double alpha, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 40.0);
+  const BenchCli cli = parse_standard(args, "ablate_estimator", 40.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: latency-estimator EWMA alpha (LRS; B,G,H; G's "
                "signal collapses mid-run) ===\n";
   TextTable table({"alpha", "steady mean (ms)", "steady stddev (ms)",
                    "recovery after collapse (s)"});
   for (double alpha : {0.05, 0.1, 0.3, 0.5, 0.9}) {
-    const Row r = run(alpha, measure_s);
+    const Row r = run(alpha, measure_s, cli.seed);
     table.row(alpha, r.steady_mean_ms, r.steady_stddev_ms, r.recovery_s);
+
+    obs::Json& row = report.add_result();
+    row["alpha"] = alpha;
+    row["steady_mean_ms"] = r.steady_mean_ms;
+    row["steady_stddev_ms"] = r.steady_stddev_ms;
+    row["recovery_s"] = r.recovery_s;
   }
   table.print(std::cout);
   std::cout << "(expected: very small alpha reacts slowly to the collapse; "
                "very large alpha twitches on noise; the default 0.3 "
                "balances both)\n";
+  cli.finish(report);
   return 0;
 }

@@ -18,7 +18,7 @@ struct Row {
   std::uint64_t compute_drops;
 };
 
-Row run(std::size_t cap, double measure_s) {
+Row run(std::size_t cap, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   // All-strong signal + RR: the network carries the full 24 FPS, so the
   // slow CPUs (E at ~2 FPS capacity against a 3 FPS share) are what
@@ -26,11 +26,12 @@ Row run(std::size_t cap, double measure_s) {
   config.policy = core::PolicyKind::kRR;
   config.weak_signal_bcd = false;
   config.swarm.worker.compute_backlog_cap = cap;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
   const SimTime t0 = bed.sim().now();
-  const auto drops0 = bed.swarm().metrics().compute_drops();
+  const auto drops0 = bed.swarm().metrics().drops(swing::core::DropReason::kComputeBacklog);
   bed.run(seconds(measure_s));
 
   Row r{};
@@ -38,7 +39,7 @@ Row run(std::size_t cap, double measure_s) {
   const auto stats = bed.swarm().metrics().latency_stats(t0, bed.sim().now());
   r.mean_ms = stats.mean();
   r.max_ms = stats.max();
-  r.compute_drops = bed.swarm().metrics().compute_drops() - drops0;
+  r.compute_drops = bed.swarm().metrics().drops(swing::core::DropReason::kComputeBacklog) - drops0;
   return r;
 }
 
@@ -46,19 +47,29 @@ Row run(std::size_t cap, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ablate_input_buffer", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: bounded input buffer under RR (face "
                "recognition testbed) ===\n";
   TextTable table({"backlog cap", "throughput (FPS)", "lat mean (ms)",
                    "lat max (ms)", "tuples shed"});
   for (std::size_t cap : {8UL, 24UL, 100UL, 1000UL}) {
-    const Row r = run(cap, measure_s);
+    const Row r = run(cap, measure_s, cli.seed);
     table.row(cap, r.fps, r.mean_ms, r.max_ms, r.compute_drops);
+
+    obs::Json& row = report.add_result();
+    row["backlog_cap"] = std::uint64_t(cap);
+    row["throughput_fps"] = r.fps;
+    row["latency_mean_ms"] = r.mean_ms;
+    row["latency_max_ms"] = r.max_ms;
+    row["tuples_shed"] = r.compute_drops;
   }
   table.print(std::cout);
   std::cout << "(expected: small caps bound latency by shedding on the "
                "slow device; huge caps let queues grow toward Fig. 1's "
                "unbounded build-up)\n";
+  cli.finish(report);
   return 0;
 }

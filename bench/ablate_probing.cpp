@@ -17,11 +17,12 @@ struct Row {
   double rediscovery_s;  // Until a recovered device carries load again.
 };
 
-Row run(int probe_every_ticks, double measure_s) {
+Row run(int probe_every_ticks, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.workers = {"G", "H"};
   config.weak_signal_bcd = false;
   config.swarm.worker.manager.probe_every_ticks = probe_every_ticks;
+  config.seed = seed;
   apps::Testbed bed{config};
   // 12 FPS is feasible for H alone, so worker selection legitimately
   // *excludes* G while it is in the dead zone — after G heals, probes are
@@ -66,21 +67,31 @@ Row run(int probe_every_ticks, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 40.0);
+  const BenchCli cli = parse_standard(args, "ablate_probing", 40.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: probe cadence (LRS; G,H,I with G in a dead "
                "zone that later heals) ===\n";
   TextTable table({"probe every N ticks", "steady FPS", "lat mean (ms)",
                    "lat max (ms)", "rediscovery (s)"});
   for (int n : {0, 2, 5, 10, 20}) {
-    const Row r = run(n, measure_s);
+    const Row r = run(n, measure_s, cli.seed);
     table.row(n == 0 ? std::string("never") : std::to_string(n),
               r.steady_fps, r.steady_mean_ms, r.steady_max_ms,
               r.rediscovery_s);
+
+    obs::Json& row = report.add_result();
+    row["probe_every_ticks"] = std::int64_t(n);
+    row["steady_fps"] = r.steady_fps;
+    row["latency_mean_ms"] = r.steady_mean_ms;
+    row["latency_max_ms"] = r.steady_max_ms;
+    row["rediscovery_s"] = r.rediscovery_s;
   }
   table.print(std::cout);
   std::cout << "(expected: frequent probing inflates max latency via probe "
                "tuples on the bad link; no probing never rediscovers G — "
                "the paper's 'every few rounds' is the compromise)\n";
+  cli.finish(report);
   return 0;
 }

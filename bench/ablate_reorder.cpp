@@ -17,9 +17,10 @@ struct Row {
   double playback_gap_stddev_ms;
 };
 
-Row run(double span_s, double measure_s) {
+Row run(double span_s, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.swarm.worker.reorder_span = seconds(span_s);
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -57,19 +58,29 @@ Row run(double span_s, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ablate_reorder", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: reorder-buffer span (LRS, face recognition "
                "testbed, 24 FPS) ===\n";
   TextTable table({"span (s)", "capacity (tuples)", "late drops",
                    "added display delay (ms)", "playback gap stddev (ms)"});
   for (double span : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-    const Row r = run(span, measure_s);
+    const Row r = run(span, measure_s, cli.seed);
     table.row(span, r.capacity, r.late_drops, r.added_display_delay_ms,
               r.playback_gap_stddev_ms);
+
+    obs::Json& row = report.add_result();
+    row["span_s"] = span;
+    row["capacity_tuples"] = std::uint64_t(r.capacity);
+    row["late_drops"] = r.late_drops;
+    row["added_display_delay_ms"] = r.added_display_delay_ms;
+    row["playback_gap_stddev_ms"] = r.playback_gap_stddev_ms;
   }
   table.print(std::cout);
   std::cout << "(expected: tiny buffers drop late tuples; big buffers add "
                "display delay; the paper's 1 s span sits at the knee)\n";
+  cli.finish(report);
   return 0;
 }

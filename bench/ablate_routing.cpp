@@ -18,9 +18,10 @@ struct Row {
   double inversions_pct;
 };
 
-Row run(core::RoutingMode mode, double measure_s) {
+Row run(core::RoutingMode mode, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.swarm.worker.manager.routing_mode = mode;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -50,20 +51,30 @@ Row run(core::RoutingMode mode, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ablate_routing", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: per-tuple routing mechanism (LRS, face "
                "recognition testbed) ===\n";
   TextTable table({"mode", "throughput (FPS)", "lat mean (ms)",
                    "lat stddev (ms)", "arrival inversions (%)"});
-  const auto prob = run(core::RoutingMode::kProbabilistic, measure_s);
-  const auto det = run(core::RoutingMode::kDeterministic, measure_s);
-  table.row("probabilistic (paper)", prob.fps, prob.mean_ms, prob.stddev_ms,
-            prob.inversions_pct);
-  table.row("deterministic SWRR", det.fps, det.mean_ms, det.stddev_ms,
-            det.inversions_pct);
+  auto add_row = [&](const char* mode, const Row& r) {
+    table.row(mode, r.fps, r.mean_ms, r.stddev_ms, r.inversions_pct);
+    obs::Json& row = report.add_result();
+    row["mode"] = mode;
+    row["throughput_fps"] = r.fps;
+    row["latency_mean_ms"] = r.mean_ms;
+    row["latency_stddev_ms"] = r.stddev_ms;
+    row["inversions_pct"] = r.inversions_pct;
+  };
+  add_row("probabilistic (paper)",
+          run(core::RoutingMode::kProbabilistic, measure_s, cli.seed));
+  add_row("deterministic SWRR",
+          run(core::RoutingMode::kDeterministic, measure_s, cli.seed));
   table.print(std::cout);
   std::cout << "(expected: deterministic slightly smoother ordering, same "
                "throughput — the paper's cheap choice loses little)\n";
+  cli.finish(report);
   return 0;
 }

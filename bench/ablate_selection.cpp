@@ -20,9 +20,10 @@ struct Row {
   double aggregate_w;
 };
 
-Row run(double headroom, double measure_s) {
+Row run(double headroom, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.swarm.worker.manager.policy_options.selection_headroom = headroom;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -72,20 +73,32 @@ Row run(double headroom, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ablate_selection", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: worker-selection headroom (LRS, face "
                "recognition testbed) ===\n";
   TextTable table({"headroom", "FPS", "lat mean (ms)", "lat p95 (ms)",
                    "mean #selected", "selection changes", "power (W)"});
   for (double h : {1.0, 1.2, 1.5, 2.0, 3.0}) {
-    const Row r = run(h, measure_s);
+    const Row r = run(h, measure_s, cli.seed);
     table.row(h, r.fps, r.mean_ms, r.p95_ms, r.mean_selected,
               r.selection_changes, r.aggregate_w);
+
+    obs::Json& row = report.add_result();
+    row["headroom"] = h;
+    row["throughput_fps"] = r.fps;
+    row["latency_mean_ms"] = r.mean_ms;
+    row["latency_p95_ms"] = r.p95_ms;
+    row["mean_selected"] = r.mean_selected;
+    row["selection_changes"] = std::int64_t(r.selection_changes);
+    row["aggregate_w"] = r.aggregate_w;
   }
   table.print(std::cout);
   std::cout << "(expected: more headroom -> more devices selected, more "
                "power, lower tail latency, fewer oscillations; the paper's "
                "h=1 is the energy-optimal edge)\n";
+  cli.finish(report);
   return 0;
 }

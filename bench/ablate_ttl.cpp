@@ -16,16 +16,17 @@ struct Row {
   std::uint64_t shed;
 };
 
-Row run(double ttl_ms, double measure_s) {
+Row run(double ttl_ms, double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.policy = core::PolicyKind::kRR;
   config.weak_signal_bcd = false;  // Compute-side overload (E, D, F).
   if (ttl_ms > 0) config.swarm.worker.tuple_ttl = millis(ttl_ms);
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
   const SimTime t0 = bed.sim().now();
-  const auto shed0 = bed.swarm().metrics().stale_drops();
+  const auto shed0 = bed.swarm().metrics().drops(swing::core::DropReason::kStaleTtl);
   bed.run(seconds(measure_s));
 
   Row r{};
@@ -33,7 +34,7 @@ Row run(double ttl_ms, double measure_s) {
   const auto stats = bed.swarm().metrics().latency_stats(t0, bed.sim().now());
   r.mean_ms = stats.mean();
   r.p95_ms = stats.quantile(0.95);
-  r.shed = bed.swarm().metrics().stale_drops() - shed0;
+  r.shed = bed.swarm().metrics().drops(swing::core::DropReason::kStaleTtl) - shed0;
   return r;
 }
 
@@ -41,20 +42,33 @@ Row run(double ttl_ms, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ablate_ttl", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Ablation: tuple TTL under RR overload (all-strong "
                "signal, 24 FPS) ===\n";
   TextTable table({"TTL", "throughput (FPS)", "lat mean (ms)",
                    "lat p95 (ms)", "stale shed"});
-  const Row off = run(0.0, measure_s);
+  auto add_row = [&report](double ttl_ms, const Row& r) {
+    obs::Json& row = report.add_result();
+    row["ttl_ms"] = ttl_ms;
+    row["throughput_fps"] = r.fps;
+    row["latency_mean_ms"] = r.mean_ms;
+    row["latency_p95_ms"] = r.p95_ms;
+    row["stale_shed"] = r.shed;
+  };
+  const Row off = run(0.0, measure_s, cli.seed);
   table.row("off (paper)", off.fps, off.mean_ms, off.p95_ms, off.shed);
+  add_row(0.0, off);
   for (double ttl : {2000.0, 1000.0, 500.0, 250.0}) {
-    const Row r = run(ttl, measure_s);
+    const Row r = run(ttl, measure_s, cli.seed);
     table.row(fmt(ttl, 0) + " ms", r.fps, r.mean_ms, r.p95_ms, r.shed);
+    add_row(ttl, r);
   }
   table.print(std::cout);
   std::cout << "(expected: tighter TTLs cap the latency tail by shedding "
                "what the slow devices cannot finish in time)\n";
+  cli.finish(report);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -13,6 +14,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/policy.h"
+#include "obs/bench_report.h"
 
 namespace swing::bench {
 
@@ -30,6 +32,16 @@ class Args {
   [[nodiscard]] int get_int(const std::string& key, int def) const {
     const auto v = find(key);
     return v.empty() ? def : std::stoi(v);
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t def) const {
+    const auto v = find(key);
+    return v.empty() ? def : std::stoull(v);
+  }
+  [[nodiscard]] std::string get_str(const std::string& key,
+                                    const std::string& def) const {
+    const auto v = find(key);
+    return v.empty() ? def : v;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     for (const auto& a : args_) {
@@ -49,6 +61,60 @@ class Args {
   }
   std::vector<std::string> args_;
 };
+
+// The standard bench CLI, shared by every bench binary:
+//   --seed=N          RNG seed (default 42)
+//   --duration=S      measurement window in seconds (--seconds still works)
+//   --out[=path]      write BENCH_<name>.json (bare --out uses that default)
+struct BenchCli {
+  std::string bench_name;
+  std::uint64_t seed = 42;
+  double duration_s = 0.0;
+  std::string out;  // Empty: no report requested.
+
+  [[nodiscard]] bool wants_report() const { return !out.empty(); }
+
+  // A report pre-filled with the standard config block. The output path is
+  // deliberately NOT recorded: two runs writing to different paths must
+  // stay byte-identical.
+  [[nodiscard]] obs::BenchReport make_report() const {
+    obs::BenchReport report{bench_name, seed};
+    report.set_config("duration_s", duration_s);
+    return report;
+  }
+
+  // Writes the report when --out was given; prints where it went.
+  void finish(const obs::BenchReport& report) const {
+    if (!wants_report()) return;
+    if (report.write(out)) {
+      std::cout << "wrote " << out << '\n';
+    } else {
+      std::cerr << "failed to write " << out << '\n';
+    }
+  }
+};
+
+inline BenchCli parse_standard(const Args& args, std::string bench_name,
+                               double default_duration_s) {
+  BenchCli cli;
+  cli.bench_name = std::move(bench_name);
+  cli.seed = args.get_u64("seed", 42);
+  // --duration is the standard spelling; --seconds remains as an alias for
+  // scripts written against the original CLI.
+  cli.duration_s = args.get_double(
+      "duration", args.get_double("seconds", default_duration_s));
+  // CI smoke runs (tools/run_all_benches.sh --smoke) shorten every bench
+  // that wasn't given an explicit window.
+  if (!args.has("duration") && !args.has("seconds") &&
+      std::getenv("SWING_BENCH_SMOKE") != nullptr) {
+    cli.duration_s = std::min(cli.duration_s, 5.0);
+  }
+  if (args.has("out")) {
+    cli.out = args.get_str("out", "");
+    if (cli.out.empty()) cli.out = "BENCH_" + cli.bench_name + ".json";
+  }
+  return cli;
+}
 
 enum class App { kFaceRecognition, kVoiceTranslation };
 

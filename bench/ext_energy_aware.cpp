@@ -22,11 +22,12 @@ struct Row {
   double min_battery_end;
 };
 
-Row run(core::PolicyKind policy, double horizon_s) {
+Row run(core::PolicyKind policy, double horizon_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.policy = policy;
   config.workers = {"F", "G", "H", "I"};
   config.weak_signal_bcd = false;
+  config.seed = seed;
   // Shrink batteries so depletion happens within the experiment; the
   // devices report these real (scaled) levels in their ACKs, which is what
   // ELRS acts on.
@@ -79,7 +80,9 @@ Row run(core::PolicyKind policy, double horizon_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double horizon_s = args.get_double("seconds", 240.0);
+  const BenchCli cli = parse_standard(args, "ext_energy_aware", 240.0);
+  const double horizon_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Extension: battery-aware routing (F,G,H,I with scaled "
                "batteries, FR @ 24 FPS) ===\n";
@@ -87,13 +90,21 @@ int main(int argc, char** argv) {
                    "stream below 8 FPS at (s)"});
   for (core::PolicyKind policy :
        {core::PolicyKind::kLRS, core::PolicyKind::kELRS}) {
-    const Row r = run(policy, horizon_s);
+    const Row r = run(policy, horizon_s, cli.seed);
     table.row(core::policy_name(policy), r.fps_first_minute,
               r.first_death_s, r.swarm_dead_s);
+
+    obs::Json& row = report.add_result();
+    row["policy"] = core::policy_name(policy);
+    row["fps_first_minute"] = r.fps_first_minute;
+    row["first_death_s"] = r.first_death_s;
+    row["swarm_dead_s"] = r.swarm_dead_s;
+    row["min_battery_end"] = r.min_battery_end;
   }
   table.print(std::cout);
   std::cout << "(expected: ELRS postpones the first battery death "
                "substantially at equal early throughput; total swarm "
                "energy bounds the final collapse either way)\n";
+  cli.finish(report);
   return 0;
 }

@@ -15,10 +15,12 @@ struct Row {
   double mean_ms;
 };
 
-Row run(core::PolicyKind policy, double duty, double measure_s) {
+Row run(core::PolicyKind policy, double duty, double measure_s,
+        std::uint64_t seed) {
   apps::TestbedConfig config;
   config.policy = policy;
   config.swarm.medium.interference.duty = duty;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -32,7 +34,9 @@ Row run(core::PolicyKind policy, double duty, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ext_interference", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Extension: co-channel interference (face recognition "
                "testbed) ===\n";
@@ -41,9 +45,19 @@ int main(int argc, char** argv) {
   for (core::PolicyKind policy :
        {core::PolicyKind::kRR, core::PolicyKind::kPRS,
         core::PolicyKind::kLRS}) {
-    const Row quiet = run(policy, 0.0, measure_s);
-    const Row light = run(policy, 0.2, measure_s);
-    const Row heavy = run(policy, 0.4, measure_s);
+    auto add_row = [&](double duty, const Row& r) {
+      obs::Json& row = report.add_result();
+      row["policy"] = core::policy_name(policy);
+      row["interference_duty"] = duty;
+      row["throughput_fps"] = r.fps;
+      row["latency_mean_ms"] = r.mean_ms;
+    };
+    const Row quiet = run(policy, 0.0, measure_s, cli.seed);
+    const Row light = run(policy, 0.2, measure_s, cli.seed);
+    const Row heavy = run(policy, 0.4, measure_s, cli.seed);
+    add_row(0.0, quiet);
+    add_row(0.2, light);
+    add_row(0.4, heavy);
     table.row(core::policy_name(policy), quiet.fps, light.fps, heavy.fps,
               heavy.mean_ms);
   }
@@ -51,5 +65,6 @@ int main(int argc, char** argv) {
   std::cout << "(expected: interference eats everyone's headroom; LRS "
                "degrades most gracefully because its estimates absorb the "
                "extra channel delay)\n";
+  cli.finish(report);
   return 0;
 }

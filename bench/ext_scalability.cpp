@@ -11,7 +11,9 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 40.0);
+  const BenchCli cli = parse_standard(args, "ext_scalability", 40.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   // Join order: fastest devices first.
   const std::vector<std::string> order = {"H", "I", "G", "B", "C", "F",
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
     apps::TestbedConfig config;
     config.workers.assign(order.begin(), order.begin() + long(n));
     config.weak_signal_bcd = false;
+    config.seed = cli.seed;
     apps::Testbed bed{config};
     bed.launch(apps::face_recognition_graph());
     bed.run(seconds(10));
@@ -39,6 +42,13 @@ int main(int argc, char** argv) {
     for (const auto& name : config.workers) roster += name;
     table.row(n, roster, fps, lat, fps >= 23.0 ? "yes" : "no");
     curve.points.emplace_back(double(n), fps);
+
+    obs::Json& row = report.add_result();
+    row["devices"] = std::uint64_t(n);
+    row["roster"] = roster;
+    row["throughput_fps"] = fps;
+    row["latency_mean_ms"] = lat;
+    row["meets_target"] = fps >= 23.0;
   }
   table.print(std::cout);
 
@@ -52,5 +62,6 @@ int main(int argc, char** argv) {
   std::cout << render_chart({curve}, options);
   std::cout << "(one fast phone does ~14 FPS; the target needs two-plus; "
                "extra devices beyond the knee buy headroom, not rate)\n";
+  cli.finish(report);
   return 0;
 }

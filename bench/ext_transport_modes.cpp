@@ -15,9 +15,11 @@ struct Row {
   double channel_util;
 };
 
-Row run(App app, net::MediumMode mode, double measure_s) {
+Row run(App app, net::MediumMode mode, double measure_s,
+        std::uint64_t seed) {
   apps::TestbedConfig config;
   config.swarm.medium.mode = mode;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(make_app_graph(app));
   bed.run(seconds(10));
@@ -35,22 +37,36 @@ Row run(App app, net::MediumMode mode, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "ext_transport_modes", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Extension: transport mode (LRS, 9-device testbed) ===\n";
   for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
     TextTable table({"mode", "throughput (FPS)", "lat mean (ms)",
                      "channel utilisation"});
+    auto add_row = [&](const char* mode, const Row& r) {
+      obs::Json& row = report.add_result();
+      row["app"] = app_name(app);
+      row["mode"] = mode;
+      row["throughput_fps"] = r.fps;
+      row["latency_mean_ms"] = r.mean_ms;
+      row["channel_util"] = r.channel_util;
+    };
     const Row infra =
-        run(app, net::MediumMode::kInfrastructure, measure_s);
-    const Row adhoc = run(app, net::MediumMode::kAdhoc, measure_s);
+        run(app, net::MediumMode::kInfrastructure, measure_s, cli.seed);
+    const Row adhoc =
+        run(app, net::MediumMode::kAdhoc, measure_s, cli.seed);
     std::cout << "--- " << app_name(app) << " ---\n";
     table.row("infrastructure (AP)", infra.fps, infra.mean_ms,
               infra.channel_util);
     table.row("Wi-Fi Direct", adhoc.fps, adhoc.mean_ms, adhoc.channel_util);
+    add_row("infrastructure", infra);
+    add_row("wifi-direct", adhoc);
     table.print(std::cout);
   }
   std::cout << "(direct links skip the AP relay: half the airtime per "
                "message, which matters most for the 72 kB voice frames)\n";
+  cli.finish(report);
   return 0;
 }

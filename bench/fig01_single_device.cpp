@@ -12,8 +12,10 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const int horizon_s = args.get_int("seconds", 5);
+  const BenchCli cli = parse_standard(args, "fig01_single_device", 5.0);
+  const int horizon_s = int(cli.duration_s);
 
+  obs::BenchReport report = cli.make_report();
   TextTable table({"device", "model", "t=1s (ms)", "t=2s (ms)", "t=3s (ms)",
                    "t=4s (ms)", "t=5s (ms)"});
   std::vector<ChartSeries> curves;
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
        {"B", "C", "D", "E", "F", "G", "H", "I"}) {
     apps::TestbedConfig config;
     config.workers = {name};
+    config.seed = cli.seed;
     config.weak_signal_bcd = false;  // Fig. 1 is about compute, not radio.
     // The paper's instrumentation lets queues grow unboundedly over the
     // 5 s window; lift the SEEP input-buffer bound accordingly.
@@ -35,12 +38,16 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells = {name,
                                       device::profile_by_name(name).model};
     ChartSeries curve{name, name[0], {}};
+    obs::Json& row = report.add_result();
+    row["device"] = name;
+    row["model"] = device::profile_by_name(name).model;
     for (int s = 1; s <= 5; ++s) {
       const auto stats = bed.swarm().metrics().latency_stats(
           start + seconds(double(s - 1)), start + seconds(double(s)));
       cells.push_back(stats.count() ? fmt(stats.mean(), 0) : "-");
       if (stats.count()) {
         curve.points.emplace_back(double(s), stats.mean());
+        row["delay_ms_t" + std::to_string(s)] = stats.mean();
       }
     }
     table.add_row(std::move(cells));
@@ -61,5 +68,6 @@ int main(int argc, char** argv) {
   std::cout << render_chart(curves, options);
   std::cout << "(paper: delays reach 1.2s-15s after 5s; no device keeps "
                "up with 24 FPS)\n";
+  cli.finish(report);
   return 0;
 }

@@ -17,9 +17,10 @@ struct Breakdown {
 };
 
 Breakdown run_pair(double rssi_b, double bg_load, double fps,
-                   double measure_s) {
+                   double measure_s, std::uint64_t seed) {
   apps::TestbedConfig config;
   config.workers = {"B"};
+  config.seed = seed;
   config.weak_signal_bcd = false;
   // Fig. 2's instrumentation lets queues grow further than the runtime
   // default before shedding; match its horizon.
@@ -56,8 +57,19 @@ Breakdown run_pair(double rssi_b, double bg_load, double fps,
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 30.0);
+  const BenchCli cli = parse_standard(args, "fig02_dynamism", 30.0);
+  const double measure_s = cli.duration_s;
   const bool csv = args.has("csv");
+  obs::BenchReport report = cli.make_report();
+  auto add_row = [&report](const std::string& sweep, const std::string& knob,
+                           const Breakdown& b) {
+    obs::Json& row = report.add_result();
+    row["sweep"] = sweep;
+    row["knob"] = knob;
+    row["transmission_ms"] = b.transmission;
+    row["processing_ms"] = b.processing;
+    row["queuing_ms"] = b.queuing;
+  };
 
   auto print = [&](TextTable& t) {
     if (csv) {
@@ -74,8 +86,9 @@ int main(int argc, char** argv) {
     const std::pair<const char*, double> zones[] = {
         {"Good", -35.0}, {"Fair", -65.0}, {"Bad", -79.0}};
     for (const auto& [name, rssi] : zones) {
-      const auto b = run_pair(rssi, 0.0, 24.0, measure_s);
+      const auto b = run_pair(rssi, 0.0, 24.0, measure_s, cli.seed);
       t.row(name, rssi, b.transmission, b.processing);
+      add_row("signal", name, b);
     }
     print(t);
     std::cout << "(paper: Bad-zone transmission dominates, ~2-3 s)\n\n";
@@ -85,8 +98,9 @@ int main(int argc, char** argv) {
   {
     TextTable t({"bg CPU", "transmission (ms)", "processing (ms)"});
     for (double load : {0.2, 0.6, 1.0}) {
-      const auto b = run_pair(-35.0, load, 24.0, measure_s);
+      const auto b = run_pair(-35.0, load, 24.0, measure_s, cli.seed);
       t.row(fmt(load * 100, 0) + "%", b.transmission, b.processing);
+      add_row("cpu", fmt(load * 100, 0) + "%", b);
     }
     print(t);
     std::cout << "(paper: processing delay grows with contention)\n\n";
@@ -97,12 +111,14 @@ int main(int argc, char** argv) {
     TextTable t({"FPS", "transmission (ms)", "processing (ms)",
                  "queuing (ms)"});
     for (double fps : {5.0, 10.0, 20.0}) {
-      const auto b = run_pair(-35.0, 0.0, fps, measure_s);
+      const auto b = run_pair(-35.0, 0.0, fps, measure_s, cli.seed);
       t.row(fps, b.transmission, b.processing, b.queuing);
+      add_row("rate", fmt(fps, 0) + "fps", b);
     }
     print(t);
     std::cout << "(paper: queuing explodes once the rate exceeds B's "
                  "~10 FPS capacity)\n";
   }
+  cli.finish(report);
   return 0;
 }

@@ -14,8 +14,10 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 120.0);
+  const BenchCli cli = parse_standard(args, "fig04_policies", 120.0);
   const bool csv = args.has("csv");
+
+  obs::BenchReport report = cli.make_report();
 
   for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
     std::cout << "=== Fig 4: " << app_name(app) << " ===\n";
@@ -25,12 +27,20 @@ int main(int argc, char** argv) {
     std::vector<std::pair<std::string, double>> lat_bars;
     double rr_fps = 0.0, rr_lat = 0.0, lrs_fps = 0.0, lrs_lat = 0.0;
     for (core::PolicyKind policy : core::kAllPolicies) {
-      const auto r = run_policy_experiment(app, policy, measure_s);
+      const auto r =
+          run_policy_experiment(app, policy, cli.duration_s, 10.0, cli.seed);
       table.row(core::policy_name(policy), r.throughput_fps,
                 r.latency_ms.min(), r.latency_ms.max(), r.latency_ms.mean(),
                 r.latency_ms.stddev());
       fps_bars.emplace_back(core::policy_name(policy), r.throughput_fps);
       lat_bars.emplace_back(core::policy_name(policy), r.latency_ms.mean());
+
+      obs::Json& row = report.add_result();
+      row["app"] = app_name(app);
+      row["policy"] = core::policy_name(policy);
+      row["throughput_fps"] = r.throughput_fps;
+      obs::BenchReport::add_stats(row, "latency_ms", r.latency_ms);
+
       if (policy == core::PolicyKind::kRR) {
         rr_fps = r.throughput_fps;
         rr_lat = r.latency_ms.mean();
@@ -51,8 +61,15 @@ int main(int argc, char** argv) {
       std::cout << "LRS vs RR: " << fmt(lrs_fps / rr_fps, 2)
                 << "x throughput, " << fmt(rr_lat / lrs_lat, 2)
                 << "x lower mean latency (paper: 2.7x, 6.7x)\n";
+      const std::string prefix =
+          app == App::kFaceRecognition ? "face" : "voice";
+      report.set_summary(prefix + "_lrs_vs_rr_throughput",
+                         lrs_fps / rr_fps);
+      report.set_summary(prefix + "_rr_vs_lrs_mean_latency",
+                         rr_lat / lrs_lat);
     }
     std::cout << '\n';
   }
+  cli.finish(report);
   return 0;
 }

@@ -12,8 +12,10 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 120.0);
+  const BenchCli cli = parse_standard(args, "fig05_usage", 120.0);
+  const double measure_s = cli.duration_s;
   const bool csv = args.has("csv");
+  obs::BenchReport report = cli.make_report();
 
   for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
     std::cout << "=== Fig 5: " << app_name(app)
@@ -21,12 +23,21 @@ int main(int argc, char** argv) {
     TextTable cpu({"policy", "B", "C", "D", "E", "F", "G", "H", "I"});
     TextTable rate({"policy", "B", "C", "D", "E", "F", "G", "H", "I"});
     for (core::PolicyKind policy : core::kAllPolicies) {
-      const auto r = run_policy_experiment(app, policy, measure_s);
+      const auto r =
+          run_policy_experiment(app, policy, measure_s, 10.0, cli.seed);
       std::vector<std::string> cpu_row = {core::policy_name(policy)};
       std::vector<std::string> rate_row = {core::policy_name(policy)};
       for (const auto& [name, d] : r.devices) {
         cpu_row.push_back(fmt(100.0 * d.cpu_util, 0));
         rate_row.push_back(fmt(d.input_fps, 1));
+
+        obs::Json& row = report.add_result();
+        row["app"] = app_name(app);
+        row["policy"] = core::policy_name(policy);
+        row["device"] = name;
+        row["cpu_util"] = d.cpu_util;
+        row["input_fps"] = d.input_fps;
+        row["input_kbps"] = d.input_kbps;
       }
       cpu.add_row(std::move(cpu_row));
       rate.add_row(std::move(rate_row));
@@ -46,5 +57,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "(paper: RR equal split; L* avoid weak-signal B/C/D; *S "
                "select a subset; E burns more CPU per frame)\n";
+  cli.finish(report);
   return 0;
 }

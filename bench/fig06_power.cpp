@@ -14,8 +14,10 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 120.0);
+  const BenchCli cli = parse_standard(args, "fig06_power", 120.0);
+  const double measure_s = cli.duration_s;
   const bool csv = args.has("csv");
+  obs::BenchReport report = cli.make_report();
 
   for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
     std::cout << "=== Fig 6: " << app_name(app)
@@ -23,15 +25,30 @@ int main(int argc, char** argv) {
     TextTable table({"policy", "B", "C", "D", "E", "F", "G", "H", "I",
                      "aggregate (W)"});
     std::vector<std::pair<std::string, double>> bars;
+    TextTable split({"policy", "CPU (W)", "WiFi (W)"});
     for (core::PolicyKind policy : core::kAllPolicies) {
-      const auto r = run_policy_experiment(app, policy, measure_s);
+      // One run per policy feeds both tables (the original ran each policy
+      // twice for the split table; the numbers are identical by seed).
+      const auto r =
+          run_policy_experiment(app, policy, measure_s, 10.0, cli.seed);
       std::vector<std::string> row = {core::policy_name(policy)};
+      double cpu = 0.0, wifi = 0.0;
       for (const auto& [name, d] : r.devices) {
         row.push_back(fmt(d.cpu_power_w + d.wifi_power_w, 2));
+        cpu += d.cpu_power_w;
+        wifi += d.wifi_power_w;
       }
       row.push_back(fmt(r.aggregate_power_w(), 2));
       table.add_row(std::move(row));
       bars.emplace_back(core::policy_name(policy), r.aggregate_power_w());
+      split.row(core::policy_name(policy), cpu, wifi);
+
+      obs::Json& out = report.add_result();
+      out["app"] = app_name(app);
+      out["policy"] = core::policy_name(policy);
+      out["aggregate_w"] = r.aggregate_power_w();
+      out["cpu_w"] = cpu;
+      out["wifi_w"] = wifi;
     }
     if (csv) {
       table.print_csv(std::cout);
@@ -40,16 +57,6 @@ int main(int argc, char** argv) {
       std::cout << render_bars(bars, 40, "W");
     }
     std::cout << "--- CPU / WiFi split per policy ---\n";
-    TextTable split({"policy", "CPU (W)", "WiFi (W)"});
-    for (core::PolicyKind policy : core::kAllPolicies) {
-      const auto r = run_policy_experiment(app, policy, measure_s);
-      double cpu = 0.0, wifi = 0.0;
-      for (const auto& [name, d] : r.devices) {
-        cpu += d.cpu_power_w;
-        wifi += d.wifi_power_w;
-      }
-      split.row(core::policy_name(policy), cpu, wifi);
-    }
     if (csv) {
       split.print_csv(std::cout);
     } else {
@@ -60,5 +67,6 @@ int main(int argc, char** argv) {
   std::cout << "(paper aggregates, FR: RR 2.35 PR 2.45 LR 3.44 PRS 1.88 "
                "LRS 3.67 W; VT: RR 5.44 PR 4.60 LR 4.35 PRS 3.76 LRS "
                "5.17 W)\n";
+  cli.finish(report);
   return 0;
 }

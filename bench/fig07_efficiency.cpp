@@ -12,7 +12,9 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 120.0);
+  const BenchCli cli = parse_standard(args, "fig07_efficiency", 120.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   for (App app : {App::kFaceRecognition, App::kVoiceTranslation}) {
     std::cout << "=== Fig 7: " << app_name(app) << " — FPS per Watt ===\n";
@@ -20,13 +22,21 @@ int main(int argc, char** argv) {
         {"policy", "throughput (FPS)", "power (W)", "FPS/Watt"});
     std::vector<std::pair<std::string, double>> bars;
     for (core::PolicyKind policy : core::kAllPolicies) {
-      const auto r = run_policy_experiment(app, policy, measure_s);
+      const auto r =
+          run_policy_experiment(app, policy, measure_s, 10.0, cli.seed);
       const double watts = r.aggregate_power_w();
       const double efficiency =
           watts > 0.0 ? r.throughput_fps / watts : 0.0;
       table.row(core::policy_name(policy), r.throughput_fps, watts,
                 efficiency);
       bars.emplace_back(core::policy_name(policy), efficiency);
+
+      obs::Json& row = report.add_result();
+      row["app"] = app_name(app);
+      row["policy"] = core::policy_name(policy);
+      row["throughput_fps"] = r.throughput_fps;
+      row["power_w"] = watts;
+      row["fps_per_watt"] = efficiency;
     }
     if (args.has("csv")) {
       table.print_csv(std::cout);
@@ -36,5 +46,6 @@ int main(int argc, char** argv) {
     }
     std::cout << '\n';
   }
+  cli.finish(report);
   return 0;
 }

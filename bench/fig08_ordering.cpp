@@ -24,9 +24,11 @@ struct OrderingResult {
   ChartSeries playback{"playback", 'o', {}};
 };
 
-OrderingResult run(core::PolicyKind policy, double measure_s) {
+OrderingResult run(core::PolicyKind policy, double measure_s,
+                   std::uint64_t seed) {
   apps::TestbedConfig config;
   config.policy = policy;
+  config.seed = seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   bed.run(seconds(10));
@@ -96,7 +98,9 @@ OrderingResult run(core::PolicyKind policy, double measure_s) {
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "fig08_ordering", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   std::cout << "=== Fig 8: tuple ordering at the sink (face recognition, "
                "24-tuple reorder buffer) ===\n";
@@ -105,10 +109,19 @@ int main(int argc, char** argv) {
                    "late drops"});
   std::vector<std::pair<std::string, OrderingResult>> charts;
   for (core::PolicyKind policy : core::kAllPolicies) {
-    auto r = run(policy, measure_s);
+    auto r = run(policy, measure_s, cli.seed);
     table.row(core::policy_name(policy), r.frames,
               100.0 * r.inversion_fraction, r.mean_displacement,
               r.playback_gap_stddev_ms, r.late_drops);
+
+    obs::Json& row = report.add_result();
+    row["policy"] = core::policy_name(policy);
+    row["frames"] = std::uint64_t(r.frames);
+    row["inversion_fraction"] = r.inversion_fraction;
+    row["mean_displacement"] = r.mean_displacement;
+    row["playback_gap_stddev_ms"] = r.playback_gap_stddev_ms;
+    row["late_drops"] = r.late_drops;
+
     if (policy == core::PolicyKind::kRR ||
         policy == core::PolicyKind::kLRS) {
       charts.emplace_back(core::policy_name(policy), std::move(r));
@@ -132,5 +145,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n(paper: dots scatter except under LRS; *S policies play "
                "back smoothest because fewer devices mean less skew)\n";
+  cli.finish(report);
   return 0;
 }

@@ -40,6 +40,20 @@ int main(int argc, char** argv) {
   const Args args{argc, argv};
   const int before_s = args.get_int("before", 10);
   const int after_s = args.get_int("after", 15);
+  const BenchCli cli =
+      parse_standard(args, "fig09_join_leave", double(before_s + after_s));
+  obs::BenchReport report = cli.make_report();
+  report.set_config("before_s", std::int64_t(before_s));
+  report.set_config("after_s", std::int64_t(after_s));
+  auto add_rows = [&report](const char* scenario,
+                            const std::vector<std::size_t>& bins) {
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      obs::Json& row = report.add_result();
+      row["scenario"] = scenario;
+      row["t_s"] = std::uint64_t(i);
+      row["throughput_fps"] = std::uint64_t(bins[i]);
+    }
+  };
 
   std::cout << "=== Fig 9 (left): device G joins at t=" << before_s
             << "s ===\n";
@@ -47,6 +61,7 @@ int main(int argc, char** argv) {
     apps::TestbedConfig config;
     config.workers = {"B", "D", "G"};
     config.weak_signal_bcd = false;
+    config.seed = cli.seed;
     apps::Testbed bed{config};
     auto& swarm = bed.swarm();
     swarm.launch_master(bed.id("A"), apps::face_recognition_graph());
@@ -58,9 +73,9 @@ int main(int argc, char** argv) {
     bed.run(seconds(double(before_s)));
     swarm.launch_worker(bed.id("G"));
     bed.run(seconds(double(after_s)));
-    print_bins(bed,
-               swarm.metrics().throughput_bins(t0, bed.sim().now()),
-               before_s, "<- G joins");
+    const auto bins = swarm.metrics().throughput_bins(t0, bed.sim().now());
+    add_rows("join", bins);
+    print_bins(bed, bins, before_s, "<- G joins");
     std::cout << "(paper: rises to 24 FPS within a second of G's arrival; "
                  "no data lost)\n\n";
   }
@@ -71,6 +86,7 @@ int main(int argc, char** argv) {
     apps::TestbedConfig config;
     config.workers = {"B", "G", "H"};
     config.weak_signal_bcd = false;
+    config.seed = cli.seed;
     apps::Testbed bed{config};
     bed.launch(apps::face_recognition_graph());
     auto& swarm = bed.swarm();
@@ -79,15 +95,17 @@ int main(int argc, char** argv) {
     const auto sent_before = swarm.metrics().frames_arrived();
     swarm.leave_abruptly(bed.id("G"));
     bed.run(seconds(double(after_s)));
-    print_bins(bed,
-               swarm.metrics().throughput_bins(t0, bed.sim().now()),
-               before_s, "<- G leaves");
+    const auto bins = swarm.metrics().throughput_bins(t0, bed.sim().now());
+    add_rows("leave", bins);
+    print_bins(bed, bins, before_s, "<- G leaves");
     const auto source_total =
         swarm.metrics().frames_arrived() - sent_before;
     const auto expected = std::size_t(24 * after_s);
     const auto lost = expected > source_total ? expected - source_total : 0;
     std::cout << "frames lost around the departure: ~" << lost
               << " (paper: 13; recovery to ~16 FPS within one second)\n";
+    report.set_summary("leave_frames_lost", std::uint64_t(lost));
   }
+  cli.finish(report);
   return 0;
 }

@@ -14,11 +14,16 @@ int main(int argc, char** argv) {
   const Args args{argc, argv};
   const double phase_s = args.get_double("phase", 60.0);
   const double bin_s = args.get_double("bin", 10.0);
+  const BenchCli cli = parse_standard(args, "fig10_mobility", 3.0 * phase_s);
+  obs::BenchReport report = cli.make_report();
+  report.set_config("phase_s", phase_s);
+  report.set_config("bin_s", bin_s);
 
   apps::TestbedConfig config;
   config.workers = {"B", "G", "H"};
   config.weak_signal_bcd = false;
   config.strong_rssi_dbm = -28.0;  // Paper zone 1: > -30 dBm.
+  config.seed = cli.seed;
   apps::Testbed bed{config};
   bed.launch(apps::face_recognition_graph());
   auto& swarm = bed.swarm();
@@ -64,6 +69,14 @@ int main(int argc, char** argv) {
                    "H FPS"});
   for (const auto& s : samples) {
     table.row(s.t, s.rssi_g, s.overall_fps, s.b_fps, s.g_fps, s.h_fps);
+
+    obs::Json& row = report.add_result();
+    row["t_s"] = s.t;
+    row["rssi_g_dbm"] = s.rssi_g;
+    row["overall_fps"] = s.overall_fps;
+    row["b_fps"] = s.b_fps;
+    row["g_fps"] = s.g_fps;
+    row["h_fps"] = s.h_fps;
   }
   if (args.has("csv")) {
     table.print_csv(std::cout);
@@ -91,5 +104,6 @@ int main(int argc, char** argv) {
   std::cout << render_chart({overall, b_fps, g_fps, h_fps}, options);
   std::cout << "(paper: overall throughput recovers quickly after each "
                "move as Swing re-routes G's share to B and H)\n";
+  cli.finish(report);
   return 0;
 }

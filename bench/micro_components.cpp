@@ -5,6 +5,9 @@
 // generation") — BM_Route quantifies that.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
+#include "bench/bench_util.h"
 #include "core/swarm_manager.h"
 #include "dataflow/tuple.h"
 #include "net/medium.h"
@@ -132,7 +135,58 @@ void BM_ReorderPush(benchmark::State& state) {
 }
 BENCHMARK(BM_ReorderPush);
 
+// Console output plus a row per benchmark run in the standard report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(obs::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::Json& row = report_->add_result();
+      row["name"] = run.benchmark_name();
+      row["iterations"] = std::uint64_t(run.iterations);
+      row["real_time_ns"] = run.GetAdjustedRealTime();
+      row["cpu_time_ns"] = run.GetAdjustedCPUTime();
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace swing
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace swing;
+  const bench::Args args{argc, argv};
+  const bench::BenchCli cli =
+      bench::parse_standard(args, "micro_components", 0.0);
+
+  // Strip the standard swing flags before handing argv to google-benchmark
+  // (it rejects flags it does not recognise).
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a{argv[i]};
+    if (a.rfind("--seed", 0) == 0 || a.rfind("--duration", 0) == 0 ||
+        a.rfind("--seconds", 0) == 0 || a.rfind("--out", 0) == 0) {
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = int(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             filtered.data())) {
+    return 1;
+  }
+
+  obs::BenchReport report = cli.make_report();
+  CollectingReporter reporter{&report};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  cli.finish(report);
+  return 0;
+}

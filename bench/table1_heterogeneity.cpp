@@ -9,7 +9,9 @@ using namespace swing::bench;
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
-  const double measure_s = args.get_double("seconds", 60.0);
+  const BenchCli cli = parse_standard(args, "table1_heterogeneity", 60.0);
+  const double measure_s = cli.duration_s;
+  obs::BenchReport report = cli.make_report();
 
   struct PaperRow {
     const char* name;
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   for (const auto& row : paper) {
     apps::TestbedConfig config;
     config.workers = {row.name};
+    config.seed = cli.seed;
     config.weak_signal_bcd = false;
     apps::Testbed bed{config};
     bed.launch(apps::face_recognition_graph());
@@ -45,6 +48,14 @@ int main(int argc, char** argv) {
         measure_s;
     table.row(row.name, device::profile_by_name(row.name).model,
               processing.mean(), row.delay_ms, fps, row.fps);
+
+    obs::Json& out_row = report.add_result();
+    out_row["device"] = row.name;
+    out_row["model"] = device::profile_by_name(row.name).model;
+    out_row["processing_ms"] = processing.mean();
+    out_row["throughput_fps"] = fps;
+    out_row["paper_processing_ms"] = row.delay_ms;
+    out_row["paper_throughput_fps"] = row.fps;
   }
 
   std::cout << "=== Table I: performance heterogeneity (24 FPS offered) ===\n";
@@ -53,5 +64,6 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  cli.finish(report);
   return 0;
 }

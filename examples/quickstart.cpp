@@ -61,7 +61,11 @@ dataflow::AppGraph make_app() {
 
 int main() {
   Simulator sim;
-  runtime::Swarm swarm{sim};
+  runtime::SwarmConfig config;
+  // Record every tuple's hop-level lifecycle (emit -> route -> tx -> queue
+  // -> process -> ack -> display) for Perfetto.
+  config.trace.enabled = true;
+  runtime::Swarm swarm{sim, config};
 
   // Three phones near the access point; the user's own phone (a Galaxy S3)
   // runs the master plus source and sink.
@@ -93,5 +97,12 @@ int main() {
               fmt(100.0 * counters.cpu_util.mean(), 1) + "%");
   }
   table.print(std::cout);
+
+  const char* trace_path = "swing_trace.json";
+  if (swarm.tracer().write_chrome_trace_file(trace_path)) {
+    std::printf("wrote %zu trace events to %s — open it at "
+                "https://ui.perfetto.dev (or chrome://tracing)\n",
+                swarm.tracer().events(), trace_path);
+  }
   return 0;
 }

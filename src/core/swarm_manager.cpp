@@ -11,7 +11,12 @@ SwarmManager::SwarmManager(SwarmManagerConfig config, Rng rng)
       rng_(rng),
       policy_(RoutingPolicy::make(config.policy, config.policy_options)),
       estimator_(config.estimator),
-      rate_meter_(config.rate_window) {}
+      rate_meter_(config.rate_window) {
+  if (config_.registry != nullptr) {
+    routed_counter_ = &config_.registry->counter(
+        "manager_routed_tuples", {{"policy", policy_name(config_.policy)}});
+  }
+}
 
 void SwarmManager::add_downstream(InstanceId id) {
   if (std::find(downstreams_.begin(), downstreams_.end(), id) !=
@@ -49,6 +54,7 @@ void SwarmManager::set_downstreams(const std::vector<InstanceId>& ids) {
 std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
   if (downstreams_.empty()) return std::nullopt;
   ++routed_;
+  if (routed_counter_ != nullptr) routed_counter_->inc();
 
   // Probe mode: one tuple to each downstream in turn, so estimates of
   // unselected units stay fresh.

@@ -18,6 +18,7 @@
 #include "common/time.h"
 #include "core/latency_estimator.h"
 #include "core/policy.h"
+#include "obs/registry.h"
 
 namespace swing::core {
 
@@ -54,6 +55,12 @@ struct SwarmManagerConfig {
   int probe_unmeasured_every = 8;
   // Window over which the incoming rate Lambda is measured.
   SimDuration rate_window = seconds(1.0);
+
+  // swing-obs: when set, routed-tuple counts aggregate into the swarm-wide
+  // registry as "manager_routed_tuples"{policy=...} (all edge managers of
+  // one swarm share the counter). Null keeps the manager registry-free —
+  // per-manager counts stay available via routed_tuples().
+  obs::Registry* registry = nullptr;
 };
 
 class SwarmManager {
@@ -120,6 +127,7 @@ class SwarmManager {
 
   SwarmManagerConfig config_;
   Rng rng_;
+  obs::Counter* routed_counter_ = nullptr;  // Null when no registry is set.
   std::unique_ptr<RoutingPolicy> policy_;
   LatencyEstimator estimator_;
   RateMeter rate_meter_;

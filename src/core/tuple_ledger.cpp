@@ -25,6 +25,8 @@ const char* drop_reason_name(DropReason reason) {
       return "batch-overflow";
     case DropReason::kLateReorder:
       return "late-reorder";
+    case DropReason::kSourceOverrun:
+      return "source-overrun";
   }
   return "unknown";
 }

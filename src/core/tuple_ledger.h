@@ -49,7 +49,13 @@ enum class DropReason : std::uint8_t {
   kPendingOverflow = 5,  // Deploy/data race buffer overflowed.
   kBatchOverflow = 6,   // Batching service buffer was full.
   kLateReorder = 7,     // Arrived after a larger id already played.
+  // The camera overran while its dispatch was head-of-line blocked. The
+  // frame never received a tuple id, so the ledger records nothing — this
+  // reason exists for the metrics plane, which shares this taxonomy.
+  kSourceOverrun = 8,
 };
+
+inline constexpr int kDropReasonCount = 9;
 
 [[nodiscard]] const char* drop_reason_name(DropReason reason);
 

@@ -7,8 +7,32 @@
 
 namespace swing::net {
 
+const char* net_drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kSenderDisconnected:
+      return "sender-disconnected";
+    case DropReason::kReceiverDisconnected:
+      return "receiver-disconnected";
+    case DropReason::kQueueFull:
+      return "queue-full";
+  }
+  return "unknown";
+}
+
 Medium::Medium(Simulator& sim, MediumConfig config)
     : sim_(sim), config_(config) {
+  obs::Registry* registry = config_.registry;
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry = own_registry_.get();
+  }
+  delivered_counter_ = &registry->counter("net_messages_delivered");
+  for (int r = 0; r < kNetDropReasonCount; ++r) {
+    dropped_counters_[r] = &registry->counter(
+        "net_messages_dropped",
+        {{"reason", net_drop_reason_name(DropReason(r))}});
+  }
+  busy_airtime_gauge_ = &registry->gauge("net_busy_airtime_s");
   if (config_.interference.duty > 0.0) {
     SWING_CHECK_LT(config_.interference.duty, 1.0)
         << "interference duty cycle must leave the channel some airtime";
@@ -148,7 +172,7 @@ bool Medium::can_accept(DeviceId src, DeviceId dst,
 bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
                   DeliverFn on_deliver, DropFn on_drop) {
   auto fail = [&](DropReason reason) {
-    ++dropped_;
+    dropped_counters_[std::size_t(reason)]->inc();
     if (attached(src)) ++stats_[src.value()].dropped_messages;
     if (on_drop) on_drop(reason);
     return false;
@@ -167,7 +191,7 @@ bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
   // Local loopback (master and worker threads co-located on one device, or
   // adjacent function units deployed to the same device) skips the radio.
   if (src == dst) {
-    ++delivered_;
+    delivered_counter_->inc();
     sim_.schedule_after(config_.delivery_latency,
                         [cb = std::move(on_deliver)] { cb(); });
     return true;
@@ -272,6 +296,7 @@ void Medium::serve_next() {
     const HopTiming timing = hop_timing(hop);
     channel_busy_ = true;
     busy_airtime_s_ += timing.airtime.seconds();
+    busy_airtime_gauge_->set(busy_airtime_s_);
     stats_[hop.link_device.value()].airtime_s += timing.airtime.seconds();
     if (timing.stall.nanos() > 0) {
       cooldown_[key] = now + timing.airtime + timing.stall;
@@ -316,7 +341,7 @@ void Medium::complete_hop(PacketHop hop) {
       --window->second;
     }
     if (hop.msg->packets_remaining_downlink == 0) {
-      ++delivered_;
+      delivered_counter_->inc();
       sim_.schedule_after(config_.delivery_latency,
                           [cb = std::move(hop.msg->on_deliver)] { cb(); });
     }
@@ -332,7 +357,7 @@ void Medium::drop_message(const MessagePtr& msg, DropReason reason) {
     window->second -= std::min(window->second,
                                msg->packets_remaining_downlink);
   }
-  ++dropped_;
+  dropped_counters_[std::size_t(reason)]->inc();
   if (attached(msg->src)) ++stats_[msg->src.value()].dropped_messages;
   if (msg->on_drop) msg->on_drop(reason);
 }

@@ -26,6 +26,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "net/wifi.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 
 namespace swing::net {
@@ -77,6 +78,11 @@ struct MediumConfig {
   // than the whole window is admitted when the window is empty (a blocking
   // write pushes it through in pieces; we account it atomically).
   std::size_t tcp_window_packets = 16;
+
+  // swing-obs: where delivery/drop counters and the busy-airtime gauge
+  // register. Installed by the Swarm (one registry for the whole swarm);
+  // a bare Medium owns a private registry.
+  obs::Registry* registry = nullptr;
 };
 
 // Reason a message failed to deliver.
@@ -85,6 +91,10 @@ enum class DropReason {
   kReceiverDisconnected,
   kQueueFull,
 };
+
+inline constexpr int kNetDropReasonCount = 3;
+
+[[nodiscard]] const char* net_drop_reason_name(DropReason reason);
 
 class Medium {
  public:
@@ -153,8 +163,17 @@ class Medium {
 
   [[nodiscard]] const DeviceStats& stats(DeviceId id) const;
   [[nodiscard]] double total_busy_airtime_s() const { return busy_airtime_s_; }
-  [[nodiscard]] std::uint64_t delivered_messages() const { return delivered_; }
-  [[nodiscard]] std::uint64_t dropped_messages() const { return dropped_; }
+  [[nodiscard]] std::uint64_t delivered_messages() const {
+    return delivered_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t dropped_messages() const {
+    std::uint64_t total = 0;
+    for (const auto* c : dropped_counters_) total += c->value();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t dropped_messages(DropReason reason) const {
+    return dropped_counters_[std::size_t(reason)]->value();
+  }
 
   // Airtime utilisation of the channel over the whole run so far.
   [[nodiscard]] double utilisation() const {
@@ -220,6 +239,11 @@ class Medium {
 
   Simulator& sim_;
   MediumConfig config_;
+  // Declared before the cached counter pointers below (destruction order).
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counters_[kNetDropReasonCount] = {};
+  obs::Gauge* busy_airtime_gauge_ = nullptr;
   std::unordered_map<std::uint64_t, Station> stations_;
   std::unordered_map<FlowKey, std::deque<PacketHop>, FlowKeyHash> flows_;
   // Round-robin order of flows with pending packets.
@@ -234,8 +258,6 @@ class Medium {
   // with the Medium instead of leaking through a reference cycle.
   std::function<void()> interference_hog_;
   double busy_airtime_s_ = 0.0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
   // Inflight packets per (src, dst) connection, for TCP-window accounting.
   std::unordered_map<std::uint64_t, std::size_t> pair_inflight_;
   mutable std::unordered_map<std::uint64_t, DeviceStats> stats_;

@@ -1,0 +1,41 @@
+#include "obs/bench_report.h"
+
+#include <fstream>
+
+namespace swing::obs {
+
+#ifndef SWING_GIT_DESCRIBE
+#define SWING_GIT_DESCRIBE "unknown"
+#endif
+
+const char* build_git_describe() { return SWING_GIT_DESCRIBE; }
+
+BenchReport::BenchReport(std::string bench_name, std::uint64_t seed)
+    : name_(std::move(bench_name)), root_(Json::object()) {
+  root_["bench"] = name_;
+  root_["git"] = build_git_describe();
+  root_["seed"] = seed;
+  root_["config"] = Json::object();
+  root_["results"] = Json::array();
+}
+
+void BenchReport::add_stats(Json& row, const std::string& prefix,
+                            const SampleStats& stats) {
+  row[prefix + "_count"] = std::uint64_t(stats.count());
+  row[prefix + "_min"] = stats.min();
+  row[prefix + "_mean"] = stats.mean();
+  row[prefix + "_p50"] = stats.quantile(0.50);
+  row[prefix + "_p95"] = stats.quantile(0.95);
+  row[prefix + "_p99"] = stats.quantile(0.99);
+  row[prefix + "_max"] = stats.max();
+  row[prefix + "_stddev"] = stats.stddev();
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << to_json() << '\n';
+  return bool(out);
+}
+
+}  // namespace swing::obs

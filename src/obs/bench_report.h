@@ -1,0 +1,67 @@
+// Machine-readable bench telemetry: the BENCH_<name>.json report.
+//
+// Every bench binary emits one of these next to its ASCII tables so the
+// repo accumulates a perf trajectory that optimisation PRs are judged
+// against. The schema (validated by tools/check_bench_json.py and the CI
+// bench-smoke job):
+//
+//   {
+//     "bench":   "fig04_policies",          // binary name
+//     "git":     "<git describe at build>", // provenance of the numbers
+//     "seed":    42,                        // RNG seed of the run
+//     "config":  { ... },                   // knobs that shaped the run
+//     "results": [ {..}, {..} ],            // one object per table row
+//     "summary": { ... }                    // optional headline scalars
+//   }
+//
+// Reports are fully deterministic: same binary + same seed + same flags =>
+// byte-identical bytes (no timestamps, no environment leakage), which is
+// what makes them diffable across PRs.
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace swing::obs {
+
+// `git describe` captured at configure time; "unknown" outside a git
+// checkout.
+[[nodiscard]] const char* build_git_describe();
+
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Run configuration (flags, durations, topology knobs...).
+  void set_config(const std::string& key, Json value) {
+    root_["config"][key] = std::move(value);
+  }
+
+  // Appends a result row; callers fill in its fields.
+  Json& add_result() { return root_["results"].push_back(Json::object()); }
+
+  // Headline scalars (speedups, totals).
+  void set_summary(const std::string& key, Json value) {
+    root_["summary"][key] = std::move(value);
+  }
+
+  // Expands `stats` into <prefix>_{count,min,mean,p50,p95,p99,max,stddev}
+  // fields on `row` — the standard latency-percentile block.
+  static void add_stats(Json& row, const std::string& prefix,
+                        const SampleStats& stats);
+
+  [[nodiscard]] std::string to_json() const { return root_.dump(1); }
+
+  // Writes the report (with trailing newline); returns false on I/O error.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  Json root_;
+};
+
+}  // namespace swing::obs

@@ -1,0 +1,106 @@
+// HDR-style latency histogram: log-linear buckets, bounded relative error.
+//
+// Values (milliseconds, or any non-negative unit) are recorded into integer
+// sub-microsecond buckets arranged as 32 linear sub-buckets per power of
+// two, the classic HdrHistogram layout: quantile queries are O(buckets)
+// with ~3% worst-case relative error while recording stays O(1) with no
+// allocation on the hot path after warm-up. Exact count/sum/min/max are
+// tracked alongside so mean and extremes are precise.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace swing::obs {
+
+class Histogram {
+ public:
+  void record(double value) {
+    if (!(value >= 0.0) || !std::isfinite(value)) value = 0.0;
+    ++count_;
+    sum_ += value;
+    if (value < min_ || count_ == 1) min_ = value;
+    if (value > max_ || count_ == 1) max_ = value;
+    const std::size_t idx = bucket_index(to_units(value));
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / double(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Bucket-resolution quantile, q in [0, 1]. Returns the representative
+  // (midpoint) value of the bucket containing the q-th ranked sample,
+  // clamped to the exact observed [min, max].
+  [[nodiscard]] double quantile(double q) const {
+    SWING_DCHECK(q >= 0.0 && q <= 1.0) << "quantile " << q;
+    if (count_ == 0) return 0.0;
+    const auto target = std::uint64_t(std::ceil(q * double(count_)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cumulative += buckets_[i];
+      if (cumulative >= target && buckets_[i] > 0) {
+        const double v = from_units(bucket_midpoint(i));
+        return v < min_ ? min_ : (v > max_ ? max_ : v);
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void reset() { *this = Histogram{}; }
+
+ private:
+  // 32 linear sub-buckets per octave.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  // Unit scale: 1/1024 of the recorded unit (sub-milliunit resolution for
+  // latencies in ms), power of two so the scaling is exact.
+  static constexpr double kScale = 1024.0;
+
+  static std::uint64_t to_units(double value) {
+    const double scaled = value * kScale;
+    constexpr double kCeiling = 9.0e18;
+    return scaled >= kCeiling ? std::uint64_t(kCeiling)
+                              : std::uint64_t(scaled);
+  }
+  static double from_units(double units) { return units / kScale; }
+
+  static std::size_t bucket_index(std::uint64_t u) {
+    if (u < kSub) return std::size_t(u);
+    const int top = 63 - std::countl_zero(u);  // u >= 32, so top >= 5.
+    const int shift = top - kSubBits;
+    const auto sub = std::size_t((u >> shift) - kSub);  // [0, 32).
+    return kSub + std::size_t(shift) * kSub + sub;
+  }
+
+  // Midpoint of the value range covered by bucket i, in units.
+  static double bucket_midpoint(std::size_t i) {
+    if (i < kSub) return double(i);
+    const std::size_t shift = (i - kSub) / kSub;
+    const std::size_t sub = (i - kSub) % kSub;
+    const double lo = double((kSub + sub) << shift);
+    const double width = double(std::uint64_t{1} << shift);
+    return lo + width / 2.0;
+  }
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace swing::obs

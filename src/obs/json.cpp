@@ -1,0 +1,379 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace swing::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(std::size_t(indent) * std::size_t(depth), ' ');
+}
+
+}  // namespace
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Integral doubles print without an exponent or trailing ".0" so counters
+  // surfaced as doubles stay readable; everything else is shortest
+  // round-trip, which is deterministic for a given value.
+  if (v == std::int64_t(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), std::int64_t(v));
+    SWING_CHECK(ec == std::errc{});
+    out.append(buf, ptr);
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SWING_CHECK(ec == std::errc{});
+  out.append(buf, ptr);
+}
+
+double Json::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return double(*i);
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return double(*u);
+  return std::get<double>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return std::int64_t(*u);
+  }
+  if (const auto* d = std::get_if<double>(&value_)) return std::int64_t(*d);
+  return std::get<std::int64_t>(value_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  auto& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(std::string{key}, Json{});
+  return obj.back().second;
+}
+
+Json& Json::push_back(Json element) {
+  if (is_null()) value_ = Array{};
+  auto& arr = std::get<Array>(value_);
+  arr.push_back(std::move(element));
+  return arr.back();
+}
+
+std::size_t Json::size() const {
+  if (const auto* arr = std::get_if<Array>(&value_)) return arr->size();
+  if (const auto* obj = std::get_if<Object>(&value_)) return obj->size();
+  return 0;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* n = std::get_if<std::int64_t>(&value_)) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), *n);
+    SWING_CHECK(ec == std::errc{});
+    out.append(buf, ptr);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), *u);
+    SWING_CHECK(ec == std::errc{});
+    out.append(buf, ptr);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    append_json_number(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    append_escaped(out, *s);
+  } else if (const auto* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      (*arr)[i].dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_newline_indent(out, indent, depth + 1);
+      append_escaped(out, obj[i].first);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      obj[i].second.dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: strict recursive descent over the emitted subset.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // Trailing garbage.
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return Json{std::move(*s)};
+      }
+      case 't':
+        return literal("true") ? std::optional<Json>{Json{true}}
+                               : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Json>{Json{false}}
+                                : std::nullopt;
+      case 'n':
+        return literal("null") ? std::optional<Json>{Json{}} : std::nullopt;
+      default:
+        return number();
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj[*key] = std::move(*v);
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return obj;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return arr;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            const auto [ptr, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || ptr != text_.data() + pos_ + 4) {
+              return std::nullopt;
+            }
+            pos_ += 4;
+            // We only emit \u00xx control escapes; decode the BMP subset as
+            // a single byte when it fits, else substitute '?'.
+            out.push_back(code < 0x80 ? char(code) : '?');
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // Unterminated.
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) return std::nullopt;
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json{v};
+      }
+      // Fall through for out-of-range integers.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      return std::nullopt;
+    }
+    return Json{d};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser{text}.run();
+}
+
+}  // namespace swing::obs

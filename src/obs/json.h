@@ -1,0 +1,120 @@
+// Minimal deterministic JSON document model for the observability plane.
+//
+// Every machine-readable artifact this repo emits (metrics snapshots,
+// Chrome trace exports, BENCH_*.json reports) is built through this type so
+// the output is byte-identical across same-seed runs: objects preserve
+// insertion order, doubles print via std::to_chars shortest round-trip, and
+// there is no locale or wall-clock dependence anywhere. The parser exists
+// for the test/validation side (trace-format checks, schema checks) — it is
+// not a general-purpose JSON library and keeps to the subset we emit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace swing::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // Insertion-ordered object; keys are unique (set replaces).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(std::int64_t{v}) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::uint64_t v) : value_(v) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string{s}) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  // --- Type queries -----------------------------------------------------
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_) ||
+           std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  // --- Accessors (tests / validators) -----------------------------------
+
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(value_);
+  }
+
+  // Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  // --- Builders ----------------------------------------------------------
+
+  // Object element access: inserts a null member on first use. The Json must
+  // be (or become) an object.
+  Json& operator[](std::string_view key);
+  // Appends to an array (the Json must be, or becomes, an array).
+  Json& push_back(Json element);
+
+  [[nodiscard]] std::size_t size() const;
+
+  // --- Serialization ------------------------------------------------------
+
+  // Compact deterministic encoding when indent < 0; pretty-printed with the
+  // given indent width otherwise.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  // Strict parse of a complete JSON document; nullopt on any error.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_ = nullptr;
+};
+
+// Deterministic shortest-round-trip rendering of a double (std::to_chars).
+// NaN/inf are not representable in JSON and render as null.
+void append_json_number(std::string& out, double v);
+
+}  // namespace swing::obs

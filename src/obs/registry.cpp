@@ -1,0 +1,113 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace swing::obs {
+
+std::string Registry::encode_key(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  if (!labels.empty()) {
+    key.push_back('{');
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key.push_back(',');
+      key += labels[i].first;
+      key.push_back('=');
+      key += labels[i].second;
+    }
+    key.push_back('}');
+  }
+  return key;
+}
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 const Labels& labels) {
+  return entries_[encode_key(name, labels)];
+}
+
+const Registry::Entry* Registry::find(const std::string& name,
+                                      const Labels& labels) const {
+  const auto it = entries_.find(encode_key(name, labels));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  Entry& e = entry(name, labels);
+  SWING_CHECK(!e.gauge && !e.histogram)
+      << "metric '" << name << "' already registered as a different kind";
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  Entry& e = entry(name, labels);
+  SWING_CHECK(!e.counter && !e.histogram)
+      << "metric '" << name << "' already registered as a different kind";
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  Entry& e = entry(name, labels);
+  SWING_CHECK(!e.counter && !e.gauge)
+      << "metric '" << name << "' already registered as a different kind";
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name,
+                                  const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const Labels& labels) const {
+  const Entry* e = find(name, labels);
+  return e ? e->histogram.get() : nullptr;
+}
+
+std::uint64_t Registry::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  // Encoded keys sort name-first, so the name's metrics are contiguous:
+  // `name` exactly, or `name{...}`.
+  for (auto it = entries_.lower_bound(name); it != entries_.end(); ++it) {
+    const std::string& key = it->first;
+    if (key.rfind(name, 0) != 0) break;
+    if (key.size() != name.size() && key[name.size()] != '{') continue;
+    if (it->second.counter) total += it->second.counter->value();
+  }
+  return total;
+}
+
+Json Registry::snapshot() const {
+  Json out = Json::object();
+  for (const auto& [key, e] : entries_) {
+    if (e.counter) {
+      out[key] = e.counter->value();
+    } else if (e.gauge) {
+      out[key] = e.gauge->value();
+    } else if (e.histogram) {
+      Json h = Json::object();
+      h["count"] = e.histogram->count();
+      h["mean"] = e.histogram->mean();
+      h["min"] = e.histogram->min();
+      h["p50"] = e.histogram->p50();
+      h["p95"] = e.histogram->p95();
+      h["p99"] = e.histogram->p99();
+      h["max"] = e.histogram->max();
+      out[key] = std::move(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace swing::obs

@@ -1,0 +1,103 @@
+// The unified metrics registry: every runtime subsystem reports here.
+//
+// A metric is identified by {name, labels}: asking twice for the same key
+// returns the same instrument, so call sites cache a reference once and hit
+// a plain integer/double on the hot path. Three instrument kinds:
+//
+//   Counter    monotone uint64 (tuples routed, messages dropped, ...)
+//   Gauge      last-written double (airtime, queue depth, ...)
+//   Histogram  HDR-style latency distribution with p50/p95/p99/max
+//
+// The registry is a passive observation plane — framework behaviour never
+// reads it — and iteration order is deterministic (sorted by encoded key)
+// so snapshots of same-seed runs are byte-identical. Not thread-safe by
+// design: the runtime is a single-threaded discrete-event simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/json.h"
+
+namespace swing::obs {
+
+// Label set for one metric, e.g. {{"reason", "stale-ttl"}}. Order given by
+// the caller is irrelevant: keys are normalised (sorted) on registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Each returns the unique instrument for {name, labels}, creating it on
+  // first use. Requesting an existing key as a different kind is a contract
+  // violation (SWING_CHECK).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  // Read-side lookups (queries/tests); nullptr when the key was never
+  // registered or holds a different kind.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name, const Labels& labels = {}) const;
+
+  // Sum of every counter sharing `name`, across all label sets.
+  [[nodiscard]] std::uint64_t counter_total(const std::string& name) const;
+
+  // Deterministic full snapshot, keyed "name{k=v,...}"; histograms expand
+  // to {count, mean, min, p50, p95, p99, max}.
+  [[nodiscard]] Json snapshot() const;
+
+  // Canonical encoded key, e.g. `tuples_dropped{reason=stale-ttl}`.
+  static std::string encode_key(const std::string& name, Labels labels);
+
+ private:
+  struct Entry {
+    // Exactly one is set; unique_ptr keeps instrument addresses stable
+    // across map rehashes so cached references never dangle.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, const Labels& labels);
+  [[nodiscard]] const Entry* find(const std::string& name,
+                                  const Labels& labels) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace swing::obs

@@ -1,0 +1,120 @@
+#include "obs/tracer.h"
+
+#include <fstream>
+
+namespace swing::obs {
+
+const char* trace_phase_name(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kEmit:
+      return "emit";
+    case TracePhase::kRoute:
+      return "route";
+    case TracePhase::kTx:
+      return "tx";
+    case TracePhase::kQueue:
+      return "queue";
+    case TracePhase::kProcess:
+      return "process";
+    case TracePhase::kAck:
+      return "ack";
+    case TracePhase::kRelease:
+      return "reorder-release";
+    case TracePhase::kDisplay:
+      return "display";
+  }
+  return "unknown";
+}
+
+void Tracer::span(TracePhase phase, TupleId tuple, DeviceId track,
+                  SimTime start, SimDuration duration) {
+  if (!config_.enabled) return;
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  tracks_.try_emplace(track.value(), tracks_.size());
+  events_.push_back(Event{phase, true, tuple.value(), track.value(),
+                          start.nanos(),
+                          duration.nanos() < 0 ? 0 : duration.nanos()});
+}
+
+void Tracer::instant(TracePhase phase, TupleId tuple, DeviceId track,
+                     SimTime at) {
+  if (!config_.enabled) return;
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  tracks_.try_emplace(track.value(), tracks_.size());
+  events_.push_back(
+      Event{phase, false, tuple.value(), track.value(), at.nanos(), 0});
+}
+
+Json Tracer::chrome_trace() const {
+  Json root = Json::object();
+  Json& trace_events = root["traceEvents"];
+  trace_events = Json::array();
+
+  // Track metadata: one process for the swarm, one named thread per device.
+  {
+    Json meta = Json::object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = std::int64_t{1};
+    meta["tid"] = std::int64_t{0};
+    meta["args"]["name"] = "swing swarm";
+    trace_events.push_back(std::move(meta));
+  }
+  for (const auto& [device, order] : tracks_) {
+    Json meta = Json::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = std::int64_t{1};
+    meta["tid"] = std::int64_t(device);
+    meta["args"]["name"] = "device " + std::to_string(device);
+    trace_events.push_back(std::move(meta));
+    // Keep device tracks listed in device order in the UI.
+    Json sort = Json::object();
+    sort["name"] = "thread_sort_index";
+    sort["ph"] = "M";
+    sort["pid"] = std::int64_t{1};
+    sort["tid"] = std::int64_t(device);
+    sort["args"]["sort_index"] = std::int64_t(order);
+    trace_events.push_back(std::move(sort));
+  }
+
+  for (const Event& e : events_) {
+    Json ev = Json::object();
+    ev["name"] = trace_phase_name(e.phase);
+    ev["cat"] = "tuple";
+    ev["ph"] = e.complete ? "X" : "i";
+    // Chrome trace timestamps are microseconds; sub-microsecond precision
+    // survives as a fractional part.
+    ev["ts"] = double(e.ts_ns) / 1000.0;
+    if (e.complete) {
+      ev["dur"] = double(e.dur_ns) / 1000.0;
+    } else {
+      ev["s"] = "t";  // Thread-scoped instant.
+    }
+    ev["pid"] = std::int64_t{1};
+    ev["tid"] = std::int64_t(e.track);
+    ev["args"]["tuple"] = e.tuple;
+    trace_events.push_back(std::move(ev));
+  }
+
+  root["displayTimeUnit"] = "ms";
+  if (dropped_ > 0) {
+    root["droppedEvents"] = std::uint64_t(dropped_);
+  }
+  return root;
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_chrome_trace(out);
+  return bool(out);
+}
+
+}  // namespace swing::obs

@@ -1,0 +1,109 @@
+// Hop-level tuple tracing: the tuple lifecycle as Chrome trace events.
+//
+// Every phase a tuple passes through — source-emit, route-decision,
+// transmission, compute-queue wait, processing, ACK, reorder-release,
+// display — is recorded as a span or instant on the simulation clock and
+// exported as Chrome trace-event JSON (the `{"traceEvents": [...]}` format)
+// that loads directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Each device is one track (tid), so a tuple's journey
+// reads as a staircase across the devices it visited.
+//
+// Tracing the full tuple rate of a long run is expensive; the sampling knob
+// keeps full-rate runs cheap: only tuples whose id falls on the sampling
+// stride are recorded, and a hard event cap bounds memory regardless.
+// Like the metrics registry and the audit ledger, the tracer is a passive
+// observer: framework behaviour never reads it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "obs/json.h"
+
+namespace swing::obs {
+
+// One lifecycle phase of a tuple; span names in the exported trace.
+enum class TracePhase : std::uint8_t {
+  kEmit = 0,     // Source generated the tuple (instant).
+  kRoute = 1,    // Swarm manager picked a downstream instance (instant).
+  kTx = 2,       // Wire transmission, send timestamp -> receive (span).
+  kQueue = 3,    // Waiting in the receiving device's compute queue (span).
+  kProcess = 4,  // Function-unit execution (span).
+  kAck = 5,      // Upstream received the ACK (instant).
+  kRelease = 6,  // Reorder buffer released the tuple (instant).
+  kDisplay = 7,  // Sink played the tuple (instant).
+};
+
+[[nodiscard]] const char* trace_phase_name(TracePhase phase);
+
+struct TraceConfig {
+  bool enabled = false;
+  // Record only tuples with id % sample_every == 0. 1 = trace everything.
+  std::uint64_t sample_every = 1;
+  // Hard memory bound; events beyond it are counted, not stored.
+  std::size_t max_events = 1u << 20;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = {}) : config_(config) {
+    if (config_.sample_every == 0) config_.sample_every = 1;
+  }
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+
+  // Whether this tuple's lifecycle is being recorded. The fast pre-check
+  // call sites gate on before doing any other trace work.
+  [[nodiscard]] bool sampled(TupleId id) const {
+    return config_.enabled && id.valid() &&
+           id.value() % config_.sample_every == 0;
+  }
+
+  // A phase with duration (Chrome "X" complete event).
+  void span(TracePhase phase, TupleId tuple, DeviceId track, SimTime start,
+            SimDuration duration);
+  // A point-in-time phase (Chrome "i" instant event, thread scope).
+  void instant(TracePhase phase, TupleId tuple, DeviceId track, SimTime at);
+
+  [[nodiscard]] std::size_t events() const { return events_.size(); }
+  [[nodiscard]] std::size_t dropped_events() const { return dropped_; }
+
+  // --- Export -----------------------------------------------------------
+
+  // Chrome trace-event JSON: {"traceEvents": [...], ...}. Events are
+  // emitted in recording order (sim-time order per device), preceded by
+  // process/thread metadata naming each device track.
+  [[nodiscard]] Json chrome_trace() const;
+  [[nodiscard]] std::string chrome_trace_json() const {
+    return chrome_trace().dump(1);
+  }
+  void write_chrome_trace(std::ostream& os) const {
+    os << chrome_trace_json() << '\n';
+  }
+  // Writes to `path`; returns false (and records nothing) on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    TracePhase phase;
+    bool complete;  // X (span) vs i (instant).
+    std::uint64_t tuple;
+    std::uint64_t track;
+    std::int64_t ts_ns;
+    std::int64_t dur_ns;
+  };
+
+  TraceConfig config_;
+  std::vector<Event> events_;
+  // Devices seen, in first-seen order (value = order index), for stable
+  // thread-name metadata.
+  std::map<std::uint64_t, std::size_t> tracks_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace swing::obs

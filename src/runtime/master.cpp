@@ -18,9 +18,30 @@ Master::Master(Simulator& sim, DeviceId device, net::Transport& transport,
   graph_.validate();
 }
 
+const char* master_event_name(MasterEvent kind) {
+  switch (kind) {
+    case MasterEvent::kAdmit:
+      return "admit";
+    case MasterEvent::kDeploy:
+      return "deploy";
+    case MasterEvent::kRemove:
+      return "remove";
+    case MasterEvent::kStart:
+      return "start";
+    case MasterEvent::kStop:
+      return "stop";
+  }
+  return "unknown";
+}
+
 void Master::note_event(MasterEvent kind, std::uint64_t detail) {
   if (config_.ledger != nullptr) {
     config_.ledger->on_control_event(std::uint8_t(kind), detail, sim_.now());
+  }
+  if (config_.registry != nullptr) {
+    config_.registry
+        ->counter("master_events", {{"kind", master_event_name(kind)}})
+        .inc();
   }
 }
 

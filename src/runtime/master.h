@@ -18,6 +18,7 @@
 #include "dataflow/graph.h"
 #include "net/discovery.h"
 #include "net/transport.h"
+#include "obs/registry.h"
 #include "runtime/messages.h"
 #include "sim/simulator.h"
 
@@ -39,6 +40,11 @@ struct MasterConfig {
   // on membership history, not just on the data plane. Installed by the
   // Swarm; null disables. Pure observer.
   core::TupleLedger* ledger = nullptr;
+
+  // swing-obs: when set, control events also count into the registry as
+  // "master_events"{kind=admit|deploy|remove|start|stop}. Installed by the
+  // Swarm; null disables.
+  obs::Registry* registry = nullptr;
 };
 
 // Control-event kinds the master records in the audit ledger.
@@ -49,6 +55,8 @@ enum class MasterEvent : std::uint8_t {
   kStart = 4,
   kStop = 5,
 };
+
+[[nodiscard]] const char* master_event_name(MasterEvent kind);
 
 class Master {
  public:

@@ -5,17 +5,28 @@
 // playback timings (Fig. 8), throughput over time (Figs. 9-10), per-device
 // input rates, bytes, CPU utilisation samples (Fig. 5), and drop counts.
 // Pure observer: framework behaviour never reads the collector.
+//
+// The collector reports into an obs::Registry (the unified metrics plane,
+// see src/obs/registry.h): drop counters are keyed by the audit ledger's
+// DropReason taxonomy so the metrics plane and the audit plane agree on
+// why tuples disappear, and latency distributions feed HDR histograms with
+// p50/p95/p99. By default the collector owns a private registry; the Swarm
+// passes its swarm-wide one so Medium/SwarmManager/Master metrics land in
+// the same namespace.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/stats.h"
 #include "common/time.h"
+#include "core/tuple_ledger.h"
 #include "dataflow/tuple.h"
+#include "obs/registry.h"
 #include "runtime/messages.h"
 #include "sim/trace.h"
 
@@ -43,6 +54,30 @@ struct DeviceCounters {
 
 class MetricsCollector {
  public:
+  // With no argument the collector owns a private registry (unit tests,
+  // standalone use); the Swarm passes its swarm-wide registry instead.
+  explicit MetricsCollector(obs::Registry* registry = nullptr) {
+    if (registry == nullptr) {
+      own_registry_ = std::make_unique<obs::Registry>();
+      registry = own_registry_.get();
+    }
+    registry_ = registry;
+    for (int r = 0; r < core::kDropReasonCount; ++r) {
+      drop_counters_[r] = &registry_->counter(
+          "tuples_dropped",
+          {{"reason", core::drop_reason_name(core::DropReason(r))}});
+    }
+    delivered_counter_ = &registry_->counter("frames_delivered");
+    played_counter_ = &registry_->counter("frames_played");
+    e2e_hist_ = &registry_->histogram("e2e_latency_ms");
+    transmission_hist_ = &registry_->histogram("delay_transmission_ms");
+    queuing_hist_ = &registry_->histogram("delay_queuing_ms");
+    processing_hist_ = &registry_->histogram("delay_processing_ms");
+  }
+
+  [[nodiscard]] obs::Registry& registry() { return *registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return *registry_; }
+
   // --- Sink events ----------------------------------------------------
 
   void on_sink_arrival(const dataflow::Tuple& tuple,
@@ -53,6 +88,11 @@ class MetricsCollector {
     rec.arrival = arrival;
     rec.breakdown = breakdown;
     index_[tuple.id().value()] = frames_.size();
+    delivered_counter_->inc();
+    e2e_hist_->record(rec.e2e_ms());
+    transmission_hist_->record(breakdown.transmission_ms);
+    queuing_hist_->record(breakdown.queuing_ms);
+    processing_hist_->record(breakdown.processing_ms);
     frames_.push_back(rec);
     arrivals_.record(arrival, double(tuple.id().value()));
   }
@@ -62,6 +102,7 @@ class MetricsCollector {
     if (it == index_.end()) return;
     frames_[it->second].display = when;
     frames_[it->second].displayed = true;
+    played_counter_->inc();
     plays_.record(when, double(id.value()));
   }
 
@@ -74,15 +115,12 @@ class MetricsCollector {
     if (from_source) ++c.frames_from_source;
   }
 
-  void on_send_failed() { ++send_failures_; }
-  // A sensed frame was dropped at the source: no downstream to route to, or
-  // the dispatch connection was blocked (TCP backpressure) so the camera
-  // overran.
-  void on_source_dropped() { ++source_drops_; }
-  // A tuple was dropped at a worker whose compute queue was full.
-  void on_compute_dropped() { ++compute_drops_; }
-  // A tuple outlived its TTL before processing and was shed.
-  void on_stale_dropped() { ++stale_drops_; }
+  // A tuple left the pipeline without reaching a sink. One entry point for
+  // every drop site, keyed by the audit ledger's taxonomy — the drop sites
+  // that also report to the TupleLedger pass the identical reason.
+  void on_drop(core::DropReason reason) {
+    drop_counters_[std::size_t(reason)]->inc();
+  }
 
   // --- Sampling (driven by the runtime's 1 s sampler) ------------------
 
@@ -135,14 +173,27 @@ class MetricsCollector {
     return it == devices_.end() ? kEmpty : it->second;
   }
 
-  [[nodiscard]] const TraceSeries& cpu_series(DeviceId id) {
-    return cpu_series_[id.value()];
+  [[nodiscard]] const TraceSeries& cpu_series(DeviceId id) const {
+    static const TraceSeries kEmptySeries{};
+    auto it = cpu_series_.find(id.value());
+    return it == cpu_series_.end() ? kEmptySeries : it->second;
   }
 
-  [[nodiscard]] std::uint64_t send_failures() const { return send_failures_; }
-  [[nodiscard]] std::uint64_t source_drops() const { return source_drops_; }
-  [[nodiscard]] std::uint64_t compute_drops() const { return compute_drops_; }
-  [[nodiscard]] std::uint64_t stale_drops() const { return stale_drops_; }
+  // Drops recorded for one reason / across all reasons.
+  [[nodiscard]] std::uint64_t drops(core::DropReason reason) const {
+    return drop_counters_[std::size_t(reason)]->value();
+  }
+  [[nodiscard]] std::uint64_t total_drops() const {
+    std::uint64_t total = 0;
+    for (const auto* c : drop_counters_) total += c->value();
+    return total;
+  }
+
+  // The whole-run end-to-end latency distribution (HDR histogram; exact
+  // per-window stats come from latency_stats()).
+  [[nodiscard]] const obs::Histogram& e2e_latency() const {
+    return *e2e_hist_;
+  }
 
   // Mean delay decomposition over all frames (Fig. 2).
   [[nodiscard]] DelayBreakdown mean_breakdown() const {
@@ -161,16 +212,24 @@ class MetricsCollector {
   }
 
  private:
+  // Order matters: the owned registry (when used) must outlive the cached
+  // instrument pointers below, and destruction runs bottom-up.
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* drop_counters_[core::kDropReasonCount] = {};
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* played_counter_ = nullptr;
+  obs::Histogram* e2e_hist_ = nullptr;
+  obs::Histogram* transmission_hist_ = nullptr;
+  obs::Histogram* queuing_hist_ = nullptr;
+  obs::Histogram* processing_hist_ = nullptr;
+
   std::vector<FrameRecord> frames_;
   std::unordered_map<std::uint64_t, std::size_t> index_;
   std::unordered_map<std::uint64_t, DeviceCounters> devices_;
   std::map<std::uint64_t, TraceSeries> cpu_series_;
   TraceSeries arrivals_;
   TraceSeries plays_;
-  std::uint64_t send_failures_ = 0;
-  std::uint64_t source_drops_ = 0;
-  std::uint64_t compute_drops_ = 0;
-  std::uint64_t stale_drops_ = 0;
 };
 
 }  // namespace swing::runtime

@@ -8,19 +8,36 @@
 
 namespace swing::runtime {
 
+namespace {
+
+net::MediumConfig with_registry(net::MediumConfig config,
+                                obs::Registry* registry) {
+  config.registry = registry;
+  return config;
+}
+
+}  // namespace
+
 Swarm::Swarm(Simulator& sim, SwarmConfig config)
     : sim_(sim),
       config_(config),
       rng_(config.seed),
-      medium_(sim, config.medium),
+      tracer_(config.trace),
+      medium_(sim, with_registry(config.medium, &registry_)),
       transport_(sim, medium_, config.transport),
       discovery_(sim),
+      metrics_(&registry_),
       cpu_sampler_(sim, config.cpu_sample_period, [this] { sample_cpu(); }) {
   if (config_.audit) {
     // Every master/worker launched from this config reports to the ledger.
     config_.worker.ledger = &ledger_;
     config_.master.ledger = &ledger_;
   }
+  // Every component constructed from this config reports into the one
+  // swarm-wide registry.
+  config_.worker.manager.registry = &registry_;
+  config_.master.registry = &registry_;
+  if (config_.trace.enabled) config_.worker.tracer = &tracer_;
   cpu_sampler_.start();
 }
 

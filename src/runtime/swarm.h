@@ -32,6 +32,8 @@
 #include "net/discovery.h"
 #include "net/medium.h"
 #include "net/transport.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "runtime/master.h"
 #include "runtime/metrics.h"
 #include "runtime/worker.h"
@@ -55,6 +57,10 @@ struct SwarmConfig {
   // source emission, broken reorder monotonicity, non-finite latency).
   // On by default: every scenario/integration test audits for free.
   bool audit = true;
+  // swing-obs hop-level tracing (see obs/tracer.h): when enabled, workers
+  // record each sampled tuple's lifecycle as Chrome trace events, exported
+  // via Swarm::tracer(). Off by default — the registry is always on.
+  obs::TraceConfig trace{};
 };
 
 class Swarm {
@@ -107,6 +113,13 @@ class Swarm {
   [[nodiscard]] net::Transport& transport() { return transport_; }
   [[nodiscard]] net::Discovery& discovery() { return discovery_; }
   [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+  // The swarm-wide metrics registry: every component (collector, medium,
+  // swarm managers, master) registers its instruments here.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+  // The hop-level tracer; records nothing unless SwarmConfig::trace.enabled.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
   // The swing-audit ledger (see core/tuple_ledger.h). audit() snapshots
   // the conservation report at any point; shutdown() checks it.
   [[nodiscard]] const core::TupleLedger& ledger() const { return ledger_; }
@@ -157,6 +170,9 @@ class Swarm {
   SwarmConfig config_;
   Rng rng_;
   core::TupleLedger ledger_;
+  // Declared before medium_ (whose config carries a pointer to it).
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   net::Medium medium_;
   net::Transport transport_;
   net::Discovery discovery_;

@@ -253,6 +253,12 @@ void Worker::activate(const DeployMsg::Assignment& assignment) {
           if (config_.ledger != nullptr) {
             config_.ledger->on_played(sink, t.id(), played);
           }
+          if (config_.tracer != nullptr && config_.tracer->sampled(t.id())) {
+            config_.tracer->instant(obs::TracePhase::kRelease, t.id(),
+                                    device_.id(), played);
+            config_.tracer->instant(obs::TracePhase::kDisplay, t.id(),
+                                    device_.id(), played);
+          }
         },
         [this](const dataflow::Tuple& t) {
           if (config_.ledger != nullptr) {
@@ -292,6 +298,16 @@ void Worker::handle_data(const net::Message& msg) {
   data.accumulated.transmission_ms +=
       (sim_.now() - SimTime{data.sent_ns}).millis();
 
+  if (config_.tracer != nullptr) {
+    if (const TupleId id = peek_tuple_id(data.tuple_bytes);
+        config_.tracer->sampled(id)) {
+      // Wire hop: send timestamp to receipt, on the receiving track.
+      const SimTime sent{data.sent_ns};
+      config_.tracer->span(obs::TracePhase::kTx, id, device_.id(), sent,
+                           sim_.now() - sent);
+    }
+  }
+
   Instance* inst = find_instance(data.dst_instance);
   if (inst == nullptr) {
     auto& queue = pending_data_[data.dst_instance.value()];
@@ -314,7 +330,7 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   // stalled socket reader amounts to in steady state.
   if (inst.decl->kind == dataflow::OperatorKind::kTransform &&
       device_.backlog() >= config_.compute_backlog_cap) {
-    metrics_.on_compute_dropped();
+    metrics_.on_drop(core::DropReason::kComputeBacklog);
     if (config_.ledger != nullptr) {
       if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
         config_.ledger->on_dropped(id, core::DropReason::kComputeBacklog);
@@ -330,7 +346,7 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   if (config_.tuple_ttl.nanos() > 0 &&
       inst.decl->kind == dataflow::OperatorKind::kTransform &&
       sim_.now() - tuple.source_time() > config_.tuple_ttl) {
-    metrics_.on_stale_dropped();
+    metrics_.on_drop(core::DropReason::kStaleTtl);
     if (config_.ledger != nullptr) {
       config_.ledger->on_dropped(tuple.id(), core::DropReason::kStaleTtl);
     }
@@ -346,7 +362,7 @@ void Worker::process_data(Instance& inst, DataMsg data) {
       inst.decl->kind == dataflow::OperatorKind::kTransform) {
     admit = [this, id = tuple.id(), source_time = tuple.source_time()] {
       if (sim_.now() - source_time > config_.tuple_ttl) {
-        metrics_.on_stale_dropped();
+        metrics_.on_drop(core::DropReason::kStaleTtl);
         if (config_.ledger != nullptr) {
           config_.ledger->on_dropped(id, core::DropReason::kStaleTtl);
         }
@@ -365,6 +381,20 @@ void Worker::process_data(Instance& inst, DataMsg data) {
         DelayBreakdown acc = data.accumulated;
         acc.queuing_ms += timing.queuing().millis();
         acc.processing_ms += timing.processing().millis();
+
+        if (config_.tracer != nullptr &&
+            config_.tracer->sampled(tuple.id())) {
+          // The job finished now; reconstruct queue-wait and execution
+          // spans from the timing the device reported.
+          const SimTime done = sim_.now();
+          config_.tracer->span(obs::TracePhase::kQueue, tuple.id(),
+                               device_.id(),
+                               done - timing.processing() - timing.queuing(),
+                               timing.queuing());
+          config_.tracer->span(obs::TracePhase::kProcess, tuple.id(),
+                               device_.id(), done - timing.processing(),
+                               timing.processing());
+        }
 
         // ACK after processing (paper §V-B): echo the send timestamp and
         // report the measured processing time. Addressed to the sending
@@ -414,6 +444,10 @@ void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
     // No reordering service: playback follows arrival order by design, so
     // the ledger's monotonicity check (on_played) does not apply here.
     metrics_.on_play(tuple.id(), sim_.now());
+    if (config_.tracer != nullptr && config_.tracer->sampled(tuple.id())) {
+      config_.tracer->instant(obs::TracePhase::kDisplay, tuple.id(),
+                              device_.id(), sim_.now());
+    }
   }
   if (inst.unit) {
     inst.ctx->set_accumulated(accumulated);
@@ -425,6 +459,10 @@ void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
 void Worker::handle_ack(const AckMsg& ack) {
   Instance* inst = find_instance(ack.to_instance);
   if (inst == nullptr) return;
+  if (config_.tracer != nullptr && config_.tracer->sampled(ack.tuple)) {
+    config_.tracer->instant(obs::TracePhase::kAck, ack.tuple, device_.id(),
+                            sim_.now());
+  }
   const double latency_ms =
       (sim_.now() - SimTime{ack.echoed_sent_ns}).millis();
   for (auto& edge : inst->edges) {
@@ -536,7 +574,7 @@ void Worker::source_fire(Instance& inst) {
   if (inst.blocked) {
     // Dispatch is head-of-line blocked on a congested connection; the
     // camera overruns and this frame is lost.
-    metrics_.on_source_dropped();
+    metrics_.on_drop(core::DropReason::kSourceOverrun);
     return;
   }
   const TupleId id{inst.seq++ * inst.source_count + inst.source_ordinal};
@@ -546,6 +584,10 @@ void Worker::source_fire(Instance& inst) {
   // Audit: the tuple exists from here on; the blocked-overrun drop above
   // never allocated an id and is a camera-side non-event to the ledger.
   if (config_.ledger != nullptr) config_.ledger->on_emitted(id, sim_.now());
+  if (config_.tracer != nullptr && config_.tracer->sampled(id)) {
+    config_.tracer->instant(obs::TracePhase::kEmit, id, device_.id(),
+                            sim_.now());
+  }
   for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
   route_and_send(inst, std::move(tuple), DelayBreakdown{});
 }
@@ -573,7 +615,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     // every upstream, so stateful fan-in sees all of a frame's pieces.
     const auto& downs = edge.manager->downstreams();
     if (downs.empty()) {
-      if (is_source) metrics_.on_source_dropped();
+      metrics_.on_drop(core::DropReason::kNoDownstream);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(tuple.id(),
                                    core::DropReason::kNoDownstream);
@@ -584,7 +626,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   } else {
     const auto choice = edge.manager->route(sim_.now());
     if (!choice) {
-      if (is_source) metrics_.on_source_dropped();
+      metrics_.on_drop(core::DropReason::kNoDownstream);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(tuple.id(),
                                    core::DropReason::kNoDownstream);
@@ -610,11 +652,16 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
 
   auto peer = peers_.find(target.value());
   if (peer == peers_.end()) {
-    metrics_.on_send_failed();
+    metrics_.on_drop(core::DropReason::kSendFailed);
     if (config_.ledger != nullptr) {
       config_.ledger->on_dropped(tuple.id(), core::DropReason::kSendFailed);
     }
     return;
+  }
+  if (config_.tracer != nullptr && config_.tracer->sampled(tuple.id())) {
+    // The routing decision, stamped on the sending device's track.
+    config_.tracer->instant(obs::TracePhase::kRoute, tuple.id(),
+                            device_.id(), sim_.now());
   }
 
   PendingSend send;
@@ -639,7 +686,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
       sim_.schedule_after(config_.blocked_retry,
                           [this, &from] { retry_blocked(from); });
     } else {
-      metrics_.on_send_failed();
+      metrics_.on_drop(core::DropReason::kBackpressureShed);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(tuple.id(),
                                    core::DropReason::kBackpressureShed);
@@ -664,7 +711,7 @@ void Worker::send_data(Instance& /*from*/, PendingSend send) {
   if (ok) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
   } else {
-    metrics_.on_send_failed();
+    metrics_.on_drop(core::DropReason::kSendFailed);
     if (config_.ledger != nullptr) {
       config_.ledger->on_dropped(send.tuple_id,
                                  core::DropReason::kSendFailed);
@@ -675,7 +722,7 @@ void Worker::send_data(Instance& /*from*/, PendingSend send) {
 void Worker::enqueue_batched(PendingSend send) {
   Batch& batch = batch_for(send.dst_device, /*acks=*/false);
   if (batch.datas.size() >= config_.batching.buffer_cap) {
-    metrics_.on_send_failed();
+    metrics_.on_drop(core::DropReason::kBatchOverflow);
     if (config_.ledger != nullptr) {
       config_.ledger->on_dropped(send.tuple_id,
                                  core::DropReason::kBatchOverflow);
@@ -733,10 +780,14 @@ void Worker::flush_batch(DeviceId dst, bool acks) {
       std::uint8_t(acks ? MsgType::kAckBatch : MsgType::kDataBatch),
       msg.to_bytes(), batch.wire);
   if (!ok) {
-    metrics_.on_send_failed();
-    if (config_.ledger != nullptr) {
-      // Ack batches carry no tuple ids; data batches lose every tuple.
-      for (TupleId id : batch.ids) {
+    // Ack batches carry no tuple ids (one failed send); data batches lose
+    // every coalesced tuple, so each counts as its own drop.
+    if (batch.ids.empty()) {
+      metrics_.on_drop(core::DropReason::kSendFailed);
+    }
+    for (TupleId id : batch.ids) {
+      metrics_.on_drop(core::DropReason::kSendFailed);
+      if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(id, core::DropReason::kSendFailed);
       }
     }
@@ -769,7 +820,7 @@ void Worker::retry_blocked(Instance& inst) {
     if (peer_known) {
       send_data(inst, std::move(pending));
     } else {
-      metrics_.on_send_failed();
+      metrics_.on_drop(core::DropReason::kSendFailed);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(pending.tuple_id,
                                    core::DropReason::kSendFailed);

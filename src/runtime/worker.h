@@ -24,6 +24,7 @@
 #include "dataflow/graph.h"
 #include "device/device.h"
 #include "net/transport.h"
+#include "obs/tracer.h"
 #include "runtime/messages.h"
 #include "runtime/metrics.h"
 #include "runtime/reorder.h"
@@ -77,6 +78,12 @@ struct WorkerConfig {
   // latency sample to the ledger. Installed by the Swarm; null (off) for
   // bare unit-test workers. Pure observer — never read back.
   core::TupleLedger* ledger = nullptr;
+
+  // swing-obs hook (see obs/tracer.h): when set, the worker records each
+  // sampled tuple's lifecycle phases as trace spans. Installed by the
+  // Swarm when tracing is enabled; same pure-observer contract as the
+  // ledger.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Worker {

@@ -1,0 +1,89 @@
+// The BENCH_<name>.json report writer: schema shape, stats expansion,
+// determinism, and file output.
+#include "obs/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace swing::obs {
+namespace {
+
+TEST(BenchReport, TopLevelSchema) {
+  BenchReport report{"unit_test_bench", 7};
+  report.set_config("duration_s", 5.0);
+  Json& row = report.add_result();
+  row["metric"] = 1.5;
+  report.set_summary("speedup", 2.0);
+
+  const auto parsed = Json::parse(report.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("bench")->as_string(), "unit_test_bench");
+  EXPECT_TRUE(parsed->find("git")->is_string());
+  EXPECT_EQ(parsed->find("seed")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(parsed->find("config")->find("duration_s")->as_double(),
+                   5.0);
+  ASSERT_TRUE(parsed->find("results")->is_array());
+  EXPECT_EQ(parsed->find("results")->size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->find("summary")->find("speedup")->as_double(),
+                   2.0);
+}
+
+TEST(BenchReport, GitDescribeIsBakedIn) {
+  EXPECT_STRNE(build_git_describe(), "");
+}
+
+TEST(BenchReport, AddStatsExpandsPercentileBlock) {
+  SampleStats stats;
+  for (int i = 1; i <= 200; ++i) stats.add(double(i));
+  Json row = Json::object();
+  BenchReport::add_stats(row, "latency_ms", stats);
+
+  EXPECT_EQ(row.find("latency_ms_count")->as_int(), 200);
+  EXPECT_DOUBLE_EQ(row.find("latency_ms_min")->as_double(), 1.0);
+  EXPECT_NEAR(row.find("latency_ms_mean")->as_double(), 100.5, 1e-9);
+  EXPECT_NEAR(row.find("latency_ms_p50")->as_double(), 100.0, 2.0);
+  EXPECT_NEAR(row.find("latency_ms_p95")->as_double(), 190.0, 2.0);
+  EXPECT_NEAR(row.find("latency_ms_p99")->as_double(), 198.0, 3.0);
+  EXPECT_DOUBLE_EQ(row.find("latency_ms_max")->as_double(), 200.0);
+  EXPECT_TRUE(row.contains("latency_ms_stddev"));
+}
+
+TEST(BenchReport, IdenticalInputsProduceIdenticalBytes) {
+  auto build = [] {
+    BenchReport report{"determinism", 42};
+    report.set_config("duration_s", 1.0);
+    Json& row = report.add_result();
+    row["throughput_fps"] = 23.75;
+    row["policy"] = "LRS";
+    report.set_summary("total", std::uint64_t{95});
+    return report.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(BenchReport, WriteProducesParseableFileWithTrailingNewline) {
+  BenchReport report{"file_io", 1};
+  report.add_result()["x"] = 1;
+  const std::string path = testing::TempDir() + "swing_bench_report_test.json";
+  ASSERT_TRUE(report.write(path));
+
+  std::ifstream in{path};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_TRUE(Json::parse(text).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteFailsOnBadPath) {
+  BenchReport report{"bad_path", 1};
+  EXPECT_FALSE(report.write("/nonexistent_dir_xyz/report.json"));
+}
+
+}  // namespace
+}  // namespace swing::obs

@@ -1,0 +1,118 @@
+// The deterministic JSON document model: build, dump, parse round-trips.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace swing::obs {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json{true}.dump(), "true");
+  EXPECT_EQ(Json{false}.dump(), "false");
+  EXPECT_EQ(Json{42}.dump(), "42");
+  EXPECT_EQ(Json{std::int64_t{-7}}.dump(), "-7");
+  EXPECT_EQ(Json{std::uint64_t{18446744073709551615ull}}.dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json{"hi"}.dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesUseShortestRoundTrip) {
+  EXPECT_EQ(Json{0.5}.dump(), "0.5");
+  EXPECT_EQ(Json{1.0}.dump(), "1");
+  EXPECT_EQ(Json{2432.4990359591834}.dump(), "2432.4990359591834");
+}
+
+TEST(Json, NonFiniteDoublesRenderAsNull) {
+  EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(), "null");
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["apple"] = 2;
+  j["mango"] = 3;
+  EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, ObjectSetReplacesInPlace) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = 2;
+  j["a"] = 9;
+  EXPECT_EQ(j.dump(), "{\"a\":9,\"b\":2}");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json{std::string{"quote\" backslash\\ newline\n tab\t"}};
+  EXPECT_EQ(j.dump(), "\"quote\\\" backslash\\\\ newline\\n tab\\t\"");
+}
+
+TEST(Json, ArrayPushBack) {
+  Json j = Json::array();
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json::object());
+  EXPECT_EQ(j.dump(), "[1,\"two\",{}]");
+  EXPECT_EQ(j.size(), 3u);
+}
+
+TEST(Json, FindAndContains) {
+  Json j = Json::object();
+  j["present"] = 5;
+  EXPECT_TRUE(j.contains("present"));
+  EXPECT_FALSE(j.contains("absent"));
+  ASSERT_NE(j.find("present"), nullptr);
+  EXPECT_EQ(j.find("present")->as_int(), 5);
+  EXPECT_EQ(j.find("absent"), nullptr);
+  EXPECT_EQ(Json{3}.find("anything"), nullptr);
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = Json::array();
+  j["b"].push_back(2);
+  EXPECT_EQ(j.dump(1), "{\n \"a\": 1,\n \"b\": [\n  2\n ]\n}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"name\":\"x\",\"n\":3,\"f\":0.25,\"ok\":true,\"none\":null,"
+      "\"xs\":[1,2,3]}";
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), text);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(Json, ParseNestedStructure) {
+  const auto parsed =
+      Json::parse("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":1.5}]}");
+  ASSERT_TRUE(parsed.has_value());
+  const Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->as_array()[0].find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(events->as_array()[0].find("ts")->as_double(), 1.5);
+}
+
+}  // namespace
+}  // namespace swing::obs

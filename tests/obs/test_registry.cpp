@@ -1,0 +1,126 @@
+// The metrics registry: identity semantics, label normalisation, lookup,
+// and deterministic snapshots.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace swing::obs {
+namespace {
+
+TEST(Registry, SameKeyReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("tuples", {{"policy", "LRS"}});
+  Counter& b = r.counter("tuples", {{"policy", "LRS"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, LabelOrderIsNormalised) {
+  Registry r;
+  Counter& a = r.counter("x", {{"b", "2"}, {"a", "1"}});
+  Counter& b = r.counter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, DistinctLabelsAreDistinctInstruments) {
+  Registry r;
+  Counter& lrs = r.counter("routed", {{"policy", "LRS"}});
+  Counter& rr = r.counter("routed", {{"policy", "RR"}});
+  EXPECT_NE(&lrs, &rr);
+  lrs.inc(5);
+  rr.inc(2);
+  EXPECT_EQ(r.counter_total("routed"), 7u);
+}
+
+TEST(Registry, InstrumentAddressesSurviveLaterRegistrations) {
+  Registry r;
+  Counter& first = r.counter("stable");
+  for (int i = 0; i < 100; ++i) {
+    r.counter("filler", {{"i", std::to_string(i)}});
+  }
+  first.inc();
+  EXPECT_EQ(r.find_counter("stable")->value(), 1u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry r;
+  Gauge& g = r.gauge("airtime");
+  g.set(1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(r.find_gauge("airtime")->value(), 2.0);
+}
+
+TEST(Registry, HistogramRecordsAndQuantiles) {
+  Registry r;
+  Histogram& h = r.histogram("latency_ms");
+  for (int i = 1; i <= 100; ++i) h.record(double(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.p50(), 50.0, 50.0 * 0.04);
+  EXPECT_NEAR(h.p95(), 95.0, 95.0 * 0.04);
+  EXPECT_NEAR(h.p99(), 99.0, 99.0 * 0.04);
+}
+
+TEST(Registry, FindReturnsNullForMissingOrWrongKind) {
+  Registry r;
+  r.counter("c");
+  r.gauge("g");
+  EXPECT_EQ(r.find_counter("absent"), nullptr);
+  EXPECT_EQ(r.find_gauge("c"), nullptr);
+  EXPECT_EQ(r.find_histogram("g"), nullptr);
+  EXPECT_NE(r.find_counter("c"), nullptr);
+}
+
+TEST(Registry, CounterTotalSumsAcrossLabelSets) {
+  Registry r;
+  r.counter("drops", {{"reason", "stale-ttl"}}).inc(4);
+  r.counter("drops", {{"reason", "send-failed"}}).inc(6);
+  r.counter("unrelated").inc(100);
+  EXPECT_EQ(r.counter_total("drops"), 10u);
+  EXPECT_EQ(r.counter_total("absent"), 0u);
+}
+
+TEST(Registry, EncodeKey) {
+  EXPECT_EQ(Registry::encode_key("plain", {}), "plain");
+  EXPECT_EQ(Registry::encode_key("x", {{"b", "2"}, {"a", "1"}}),
+            "x{a=1,b=2}");
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  Registry r;
+  r.counter("z_last").inc(1);
+  r.gauge("a_first").set(0.5);
+  r.histogram("m_mid").record(10.0);
+
+  const Json snap = r.snapshot();
+  ASSERT_TRUE(snap.is_object());
+  const auto& obj = snap.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  // Sorted by encoded key regardless of registration order.
+  EXPECT_EQ(obj[0].first, "a_first");
+  EXPECT_EQ(obj[1].first, "m_mid");
+  EXPECT_EQ(obj[2].first, "z_last");
+  EXPECT_TRUE(obj[1].second.contains("p95"));
+  EXPECT_EQ(obj[2].second.as_int(), 1);
+}
+
+TEST(Registry, SnapshotIsByteStableAcrossIdenticalSequences) {
+  auto build = [] {
+    Registry r;
+    r.counter("tuples_dropped", {{"reason", "stale-ttl"}}).inc(3);
+    r.gauge("net_busy_airtime_s").set(1.25);
+    auto& h = r.histogram("e2e_latency_ms");
+    h.record(12.0);
+    h.record(120.0);
+    return r.snapshot().dump(1);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace swing::obs

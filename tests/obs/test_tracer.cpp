@@ -1,0 +1,128 @@
+// Hop-level tracing: sampling, the event cap, and Chrome trace-event JSON
+// structural validity (the contract Perfetto / chrome://tracing relies on).
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swing::obs {
+namespace {
+
+TraceConfig enabled_config(std::uint64_t sample_every = 1) {
+  TraceConfig c;
+  c.enabled = true;
+  c.sample_every = sample_every;
+  return c;
+}
+
+TEST(Tracer, DisabledByDefaultSamplesNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.sampled(TupleId{4}));
+}
+
+TEST(Tracer, SamplingStride) {
+  Tracer t{enabled_config(4)};
+  EXPECT_TRUE(t.sampled(TupleId{4}));
+  EXPECT_TRUE(t.sampled(TupleId{8}));
+  EXPECT_FALSE(t.sampled(TupleId{5}));
+  EXPECT_FALSE(t.sampled(TupleId{})); // Invalid ids are never sampled.
+}
+
+TEST(Tracer, ZeroStrideIsCoercedToOne) {
+  Tracer t{enabled_config(0)};
+  EXPECT_TRUE(t.sampled(TupleId{1}));
+  EXPECT_TRUE(t.sampled(TupleId{2}));
+}
+
+TEST(Tracer, EventCapCountsDrops) {
+  TraceConfig c = enabled_config();
+  c.max_events = 3;
+  Tracer t{c};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    t.instant(TracePhase::kEmit, TupleId{i}, DeviceId{0}, SimTime{});
+  }
+  EXPECT_EQ(t.events(), 3u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+}
+
+TEST(Tracer, PhaseNames) {
+  EXPECT_STREQ(trace_phase_name(TracePhase::kEmit), "emit");
+  EXPECT_STREQ(trace_phase_name(TracePhase::kDisplay), "display");
+}
+
+TEST(Tracer, ChromeTraceStructure) {
+  Tracer t{enabled_config()};
+  const SimTime start = SimTime{} + millis(5);
+  t.instant(TracePhase::kEmit, TupleId{1}, DeviceId{0}, SimTime{});
+  t.span(TracePhase::kTx, TupleId{1}, DeviceId{2}, start, millis(3));
+  t.span(TracePhase::kProcess, TupleId{1}, DeviceId{2}, start + millis(3),
+         millis(40));
+  t.instant(TracePhase::kDisplay, TupleId{1}, DeviceId{0},
+            start + millis(50));
+
+  const Json trace = t.chrome_trace();
+  const Json* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t metadata = 0, spans = 0, instants = 0;
+  for (const Json& e : events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.contains("ph"));
+    ASSERT_TRUE(e.contains("pid"));
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_TRUE(e.contains("name"));
+      continue;
+    }
+    ASSERT_TRUE(e.contains("name"));
+    ASSERT_TRUE(e.contains("ts"));
+    ASSERT_TRUE(e.contains("tid"));
+    if (ph == "X") {
+      ++spans;
+      EXPECT_TRUE(e.contains("dur"));
+    } else {
+      EXPECT_EQ(ph, "i");
+      ++instants;
+    }
+  }
+  // Two devices seen -> at least one thread-name metadata record each.
+  EXPECT_GE(metadata, 2u);
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(instants, 2u);
+}
+
+TEST(Tracer, TimestampsAreMicrosecondsOnSimClock) {
+  Tracer t{enabled_config()};
+  t.span(TracePhase::kProcess, TupleId{1}, DeviceId{0}, SimTime{} + millis(2),
+         millis(1));
+  const Json trace = t.chrome_trace();
+  for (const Json& e : trace.find("traceEvents")->as_array()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    EXPECT_DOUBLE_EQ(e.find("ts")->as_double(), 2000.0);   // 2 ms = 2000 us.
+    EXPECT_DOUBLE_EQ(e.find("dur")->as_double(), 1000.0);  // 1 ms = 1000 us.
+  }
+}
+
+TEST(Tracer, ExportParsesAndIsDeterministic) {
+  auto build = [] {
+    Tracer t{enabled_config(2)};
+    for (std::uint64_t id = 1; id <= 10; ++id) {
+      if (!t.sampled(TupleId{id})) continue;
+      t.instant(TracePhase::kEmit, TupleId{id}, DeviceId{0},
+                SimTime{} + millis(double(id)));
+      t.span(TracePhase::kTx, TupleId{id}, DeviceId{1},
+             SimTime{} + millis(double(id)), millis(2));
+    }
+    return t.chrome_trace_json();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_TRUE(Json::parse(a).has_value());
+}
+
+}  // namespace
+}  // namespace swing::obs

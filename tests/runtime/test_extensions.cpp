@@ -99,7 +99,7 @@ TEST(TupleTtl, StaleTuplesShedBeforeCompute) {
   swarm.start();
   sim.run_for(seconds(20));
 
-  EXPECT_GT(swarm.metrics().stale_drops(), 50u);
+  EXPECT_GT(swarm.metrics().drops(core::DropReason::kStaleTtl), 50u);
   // Everything that *was* delivered is fresh.
   for (const auto& f : swarm.metrics().frames()) {
     EXPECT_LT(f.e2e_ms(), 1500.0);
@@ -118,7 +118,7 @@ TEST(TupleTtl, DisabledByDefault) {
   sim.run_for(seconds(1));
   swarm.start();
   sim.run_for(seconds(20));
-  EXPECT_EQ(swarm.metrics().stale_drops(), 0u);
+  EXPECT_EQ(swarm.metrics().drops(core::DropReason::kStaleTtl), 0u);
   // Queues grow instead: some frames arrive very late.
   EXPECT_GT(swarm.metrics().latency_stats().max(), 3000.0);
 }
@@ -137,7 +137,7 @@ TEST(TupleTtl, FreshTuplesUnaffected) {
   sim.run_for(seconds(12));
   swarm.shutdown();
   EXPECT_EQ(swarm.metrics().frames_arrived(), 80u);
-  EXPECT_EQ(swarm.metrics().stale_drops(), 0u);
+  EXPECT_EQ(swarm.metrics().drops(core::DropReason::kStaleTtl), 0u);
 }
 
 }  // namespace

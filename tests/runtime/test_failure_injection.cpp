@@ -168,7 +168,8 @@ TEST_F(FailureInjection, AllWorkersLeave) {
   start_two_device_swarm();
   swarm_.leave_abruptly(b_);
   sim_.run_for(seconds(5));
-  const auto stalled = swarm_.metrics().source_drops();
+  const auto stalled =
+      swarm_.metrics().drops(core::DropReason::kNoDownstream);
   EXPECT_GT(stalled, 0u);  // Source has nowhere to route.
   // A replacement shows up and the stream resumes.
   const auto c = swarm_.add_device(device::profile_I(), {2.0, 1.0});

@@ -94,13 +94,21 @@ TEST(Metrics, CpuSamples) {
 
 TEST(Metrics, DropCounters) {
   MetricsCollector m;
-  m.on_send_failed();
-  m.on_source_dropped();
-  m.on_source_dropped();
-  m.on_compute_dropped();
-  EXPECT_EQ(m.send_failures(), 1u);
-  EXPECT_EQ(m.source_drops(), 2u);
-  EXPECT_EQ(m.compute_drops(), 1u);
+  m.on_drop(core::DropReason::kSendFailed);
+  m.on_drop(core::DropReason::kSourceOverrun);
+  m.on_drop(core::DropReason::kSourceOverrun);
+  m.on_drop(core::DropReason::kComputeBacklog);
+  EXPECT_EQ(m.drops(core::DropReason::kSendFailed), 1u);
+  EXPECT_EQ(m.drops(core::DropReason::kSourceOverrun), 2u);
+  EXPECT_EQ(m.drops(core::DropReason::kComputeBacklog), 1u);
+  EXPECT_EQ(m.drops(core::DropReason::kStaleTtl), 0u);
+  EXPECT_EQ(m.total_drops(), 4u);
+  // The same counts are visible through the registry, labelled by reason.
+  EXPECT_EQ(m.registry().counter_total("tuples_dropped"), 4u);
+  const auto* c = m.registry().find_counter(
+      "tuples_dropped", {{"reason", "source-overrun"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2u);
 }
 
 TEST(Metrics, MeanBreakdown) {

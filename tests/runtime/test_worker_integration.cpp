@@ -77,7 +77,7 @@ TEST_F(SwarmTest, MasterOnlySwarmDropsAtSource) {
   sim_.run_for(seconds(5));
   // No workers: the transform has no instances, frames are dropped.
   EXPECT_EQ(swarm_.metrics().frames_arrived(), 0u);
-  EXPECT_GT(swarm_.metrics().source_drops(), 30u);
+  EXPECT_GT(swarm_.metrics().drops(core::DropReason::kNoDownstream), 30u);
 }
 
 TEST_F(SwarmTest, WorkersShareLoadWhenNeitherSuffices) {
@@ -376,7 +376,8 @@ TEST_F(SwarmTest, RejoinAfterGracefulLeave) {
   sim_.run_for(seconds(3));
   swarm_.leave_gracefully(b);
   sim_.run_for(seconds(3));
-  EXPECT_GT(swarm_.metrics().source_drops(), 0u);  // Nobody to compute.
+  // Nobody to compute.
+  EXPECT_GT(swarm_.metrics().drops(core::DropReason::kNoDownstream), 0u);
 
   swarm_.launch_worker(b);
   sim_.run_for(seconds(6));

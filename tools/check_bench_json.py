@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate Swing machine-readable telemetry artifacts (stdlib only).
+
+Two modes:
+
+  check_bench_json.py BENCH_foo.json [more.json ...]
+      Validates BENCH_*.json reports against the schema documented in
+      src/obs/bench_report.h: required top-level keys with the right types,
+      non-empty results, and finite numbers throughout.
+
+  check_bench_json.py --trace swing_trace.json
+      Validates a Chrome trace-event export (the {"traceEvents": [...]}
+      format Perfetto consumes): every event needs ph/pid, non-metadata
+      events need name/ts/tid, "X" spans need a dur, and timestamps must be
+      finite and non-negative.
+
+Exit status is 0 when every file passes, 1 otherwise; problems are printed
+one per line as `path: message`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+KNOWN_EVENT_PHASES = {"X", "i", "I", "B", "E", "M", "C"}
+
+
+def _finite_numbers(value, where: str, errors: list[str]) -> None:
+    """Recursively reject NaN/inf anywhere in the document."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            errors.append(f"non-finite number at {where}")
+    elif isinstance(value, list):
+        for i, element in enumerate(value):
+            _finite_numbers(element, f"{where}[{i}]", errors)
+    elif isinstance(value, dict):
+        for key, element in value.items():
+            _finite_numbers(element, f"{where}.{key}", errors)
+
+
+def check_bench_report(doc, errors: list[str]) -> None:
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+
+    for key, kind, label in [
+        ("bench", str, "string"),
+        ("git", str, "string"),
+        ("seed", int, "integer"),
+    ]:
+        if key not in doc:
+            errors.append(f"missing required key '{key}'")
+        elif not isinstance(doc[key], kind) or isinstance(doc[key], bool):
+            errors.append(f"'{key}' must be a {label}")
+
+    if isinstance(doc.get("bench"), str) and not doc["bench"]:
+        errors.append("'bench' must be non-empty")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("'config' must be an object")
+
+    results = doc.get("results")
+    if not isinstance(results, list):
+        errors.append("'results' must be an array")
+    elif not results:
+        errors.append("'results' is empty")
+    else:
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                errors.append(f"results[{i}] is not an object")
+            elif not row:
+                errors.append(f"results[{i}] is empty")
+
+    if "summary" in doc and not isinstance(doc["summary"], dict):
+        errors.append("'summary' must be an object")
+
+    _finite_numbers(doc, "$", errors)
+
+
+def check_chrome_trace(doc, errors: list[str]) -> None:
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing 'traceEvents' array")
+        return
+    if not events:
+        errors.append("'traceEvents' is empty")
+        return
+
+    non_meta = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in KNOWN_EVENT_PHASES:
+            errors.append(f"{where}: bad or missing 'ph' ({phase!r})")
+            continue
+        if "pid" not in event:
+            errors.append(f"{where}: missing 'pid'")
+        if phase == "M":
+            if not isinstance(event.get("name"), str):
+                errors.append(f"{where}: metadata event missing 'name'")
+            continue
+        non_meta += 1
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing 'name'")
+        if "tid" not in event:
+            errors.append(f"{where}: missing 'tid'")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            errors.append(f"{where}: missing numeric 'ts'")
+        elif not math.isfinite(ts) or ts < 0:
+            errors.append(f"{where}: 'ts' must be finite and >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                errors.append(f"{where}: span missing numeric 'dur'")
+            elif not math.isfinite(dur) or dur < 0:
+                errors.append(f"{where}: 'dur' must be finite and >= 0")
+
+    if non_meta == 0:
+        errors.append("trace has only metadata events")
+
+    _finite_numbers(doc, "$", errors)
+
+
+def check_file(path: Path, trace_mode: bool) -> list[str]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as e:
+        return [f"cannot read: {e}"]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"invalid JSON: {e}"]
+
+    errors: list[str] = []
+    if trace_mode:
+        check_chrome_trace(doc, errors)
+    else:
+        check_bench_report(doc, errors)
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=Path,
+                        help="JSON artifacts to validate")
+    parser.add_argument("--trace", action="store_true",
+                        help="validate as Chrome trace-event exports "
+                             "instead of bench reports")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.files:
+        errors = check_file(path, args.trace)
+        if errors:
+            failures += 1
+            for message in errors:
+                print(f"{path}: {message}", file=sys.stderr)
+        else:
+            kind = "trace" if args.trace else "bench report"
+            print(f"{path}: OK ({kind})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
