@@ -16,8 +16,19 @@ struct Breakdown {
   double queuing = 0.0;
 };
 
+// swing-chaos knobs threaded from the CLI: loss > 0 turns on the seeded
+// fault plan and the full recovery path for every sweep point.
+struct ChaosKnobs {
+  double loss = 0.0;
+  std::uint64_t seed = 1;
+  // Recovery traffic accumulated across every run_pair call.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t deduplications = 0;
+};
+
 Breakdown run_pair(double rssi_b, double bg_load, double fps,
-                   double measure_s, std::uint64_t seed) {
+                   double measure_s, std::uint64_t seed,
+                   ChaosKnobs& chaos) {
   apps::TestbedConfig config;
   config.workers = {"B"};
   config.seed = seed;
@@ -25,6 +36,12 @@ Breakdown run_pair(double rssi_b, double bg_load, double fps,
   // Fig. 2's instrumentation lets queues grow further than the runtime
   // default before shedding; match its horizon.
   config.swarm.worker.compute_backlog_cap = 48;
+  if (chaos.loss > 0.0) {
+    config.swarm.chaos_enabled = true;
+    config.swarm.chaos.seed = chaos.seed;
+    config.swarm.chaos.loss = chaos.loss;
+    config.swarm.with_recovery();
+  }
   apps::Testbed bed{config};
   bed.swarm().medium().set_rssi_override(bed.id("B"), rssi_b);
   bed.swarm().device(bed.id("B")).set_background_load(bg_load);
@@ -35,6 +52,9 @@ Breakdown run_pair(double rssi_b, double bg_load, double fps,
   bed.run(seconds(10));  // Warmup / queue fill.
   const SimTime t0 = bed.sim().now();
   bed.run(seconds(measure_s));
+
+  chaos.retransmissions += bed.swarm().metrics().retransmissions();
+  chaos.deduplications += bed.swarm().metrics().deduplications();
 
   Breakdown out;
   std::size_t n = 0;
@@ -60,7 +80,12 @@ int main(int argc, char** argv) {
   const BenchCli cli = parse_standard(args, "fig02_dynamism", 30.0);
   const double measure_s = cli.duration_s;
   const bool csv = args.has("csv");
+  ChaosKnobs chaos;
+  chaos.loss = args.get_double("loss", 0.0);
+  chaos.seed = std::uint64_t(args.get_int("chaos-seed", 1));
   obs::BenchReport report = cli.make_report();
+  report.set_config("loss", chaos.loss);
+  report.set_config("chaos_seed", std::int64_t(chaos.seed));
   auto add_row = [&report](const std::string& sweep, const std::string& knob,
                            const Breakdown& b) {
     obs::Json& row = report.add_result();
@@ -86,7 +111,7 @@ int main(int argc, char** argv) {
     const std::pair<const char*, double> zones[] = {
         {"Good", -35.0}, {"Fair", -65.0}, {"Bad", -79.0}};
     for (const auto& [name, rssi] : zones) {
-      const auto b = run_pair(rssi, 0.0, 24.0, measure_s, cli.seed);
+      const auto b = run_pair(rssi, 0.0, 24.0, measure_s, cli.seed, chaos);
       t.row(name, rssi, b.transmission, b.processing);
       add_row("signal", name, b);
     }
@@ -98,7 +123,7 @@ int main(int argc, char** argv) {
   {
     TextTable t({"bg CPU", "transmission (ms)", "processing (ms)"});
     for (double load : {0.2, 0.6, 1.0}) {
-      const auto b = run_pair(-35.0, load, 24.0, measure_s, cli.seed);
+      const auto b = run_pair(-35.0, load, 24.0, measure_s, cli.seed, chaos);
       t.row(fmt(load * 100, 0) + "%", b.transmission, b.processing);
       add_row("cpu", fmt(load * 100, 0) + "%", b);
     }
@@ -111,13 +136,20 @@ int main(int argc, char** argv) {
     TextTable t({"FPS", "transmission (ms)", "processing (ms)",
                  "queuing (ms)"});
     for (double fps : {5.0, 10.0, 20.0}) {
-      const auto b = run_pair(-35.0, 0.0, fps, measure_s, cli.seed);
+      const auto b = run_pair(-35.0, 0.0, fps, measure_s, cli.seed, chaos);
       t.row(fps, b.transmission, b.processing, b.queuing);
       add_row("rate", fmt(fps, 0) + "fps", b);
     }
     print(t);
     std::cout << "(paper: queuing explodes once the rate exceeds B's "
                  "~10 FPS capacity)\n";
+  }
+  if (chaos.loss > 0.0) {
+    report.set_summary("retransmissions", chaos.retransmissions);
+    report.set_summary("deduplications", chaos.deduplications);
+    std::cout << "\nchaos: loss=" << chaos.loss << " seed=" << chaos.seed
+              << " -> " << chaos.retransmissions << " retransmissions, "
+              << chaos.deduplications << " dedups across all sweeps\n";
   }
   cli.finish(report);
   return 0;

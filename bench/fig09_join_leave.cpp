@@ -34,17 +34,62 @@ void print_bins(const apps::Testbed& bed,
   std::cout << render_chart({tput}, options);
 }
 
+// Depth and duration of the throughput dip after the event at `event_s`.
+// Baseline is the mean of the pre-event bins (minus warmup); the dip lasts
+// while consecutive post-event bins stay under 90% of that baseline.
+struct DipStats {
+  double baseline_fps = 0.0;
+  double depth_fps = 0.0;
+  double duration_s = 0.0;
+};
+
+DipStats dip_stats(const std::vector<std::size_t>& bins, int event_s) {
+  DipStats out;
+  const std::size_t warmup = 2;
+  std::size_t n = 0;
+  for (std::size_t i = warmup; i < bins.size() && int(i) < event_s; ++i) {
+    out.baseline_fps += double(bins[i]);
+    ++n;
+  }
+  if (n > 0) out.baseline_fps /= double(n);
+  double lowest = out.baseline_fps;
+  for (std::size_t i = std::size_t(event_s); i < bins.size(); ++i) {
+    lowest = std::min(lowest, double(bins[i]));
+    if (double(bins[i]) < 0.9 * out.baseline_fps) {
+      out.duration_s += 1.0;
+    } else if (out.duration_s > 0.0) {
+      break;  // First recovered bin ends the dip.
+    }
+  }
+  out.depth_fps = out.baseline_fps - lowest;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
   const int before_s = args.get_int("before", 10);
   const int after_s = args.get_int("after", 15);
+  // swing-chaos: --loss=0.2 --chaos-seed=7 runs the same scripts on a lossy
+  // medium with the full recovery path (retransmit + dedup + failure
+  // detection + local fallback) enabled.
+  const double loss = args.get_double("loss", 0.0);
+  const int chaos_seed = args.get_int("chaos-seed", 1);
   const BenchCli cli =
       parse_standard(args, "fig09_join_leave", double(before_s + after_s));
   obs::BenchReport report = cli.make_report();
   report.set_config("before_s", std::int64_t(before_s));
   report.set_config("after_s", std::int64_t(after_s));
+  report.set_config("loss", loss);
+  report.set_config("chaos_seed", std::int64_t(chaos_seed));
+  auto apply_chaos = [&](apps::TestbedConfig& config) {
+    if (loss <= 0.0) return;
+    config.swarm.chaos_enabled = true;
+    config.swarm.chaos.seed = std::uint64_t(chaos_seed);
+    config.swarm.chaos.loss = loss;
+    config.swarm.with_recovery();
+  };
   auto add_rows = [&report](const char* scenario,
                             const std::vector<std::size_t>& bins) {
     for (std::size_t i = 0; i < bins.size(); ++i) {
@@ -62,6 +107,7 @@ int main(int argc, char** argv) {
     config.workers = {"B", "D", "G"};
     config.weak_signal_bcd = false;
     config.seed = cli.seed;
+    apply_chaos(config);
     apps::Testbed bed{config};
     auto& swarm = bed.swarm();
     swarm.launch_master(bed.id("A"), apps::face_recognition_graph());
@@ -87,6 +133,7 @@ int main(int argc, char** argv) {
     config.workers = {"B", "G", "H"};
     config.weak_signal_bcd = false;
     config.seed = cli.seed;
+    apply_chaos(config);
     apps::Testbed bed{config};
     bed.launch(apps::face_recognition_graph());
     auto& swarm = bed.swarm();
@@ -94,10 +141,38 @@ int main(int argc, char** argv) {
     bed.run(seconds(double(before_s)));
     const auto sent_before = swarm.metrics().frames_arrived();
     swarm.leave_abruptly(bed.id("G"));
-    bed.run(seconds(double(after_s)));
+    // Step the sim so we can time the master's eviction of the dead
+    // device (heartbeat sweep, or the faster ack-silence link reports).
+    const SimTime leave_at = bed.sim().now();
+    double evict_s = -1.0;
+    while ((bed.sim().now() - leave_at).seconds() < double(after_s)) {
+      bed.run(millis(100));
+      if (evict_s < 0.0 && !swarm.master()->is_member(bed.id("G"))) {
+        evict_s = (bed.sim().now() - leave_at).seconds();
+      }
+    }
     const auto bins = swarm.metrics().throughput_bins(t0, bed.sim().now());
     add_rows("leave", bins);
     print_bins(bed, bins, before_s, "<- G leaves");
+    // Recovery stats (swing-chaos): how hard the departure hit the sink
+    // and how fast the control plane noticed.
+    const DipStats dip = dip_stats(bins, before_s);
+    const auto frames = swarm.metrics().frames_arrived();
+    const double retransmit_rate =
+        frames > 0 ? double(swarm.metrics().retransmissions()) / double(frames)
+                   : 0.0;
+    report.set_summary("time_to_evict_s", evict_s);
+    report.set_summary("retransmissions",
+                       std::uint64_t(swarm.metrics().retransmissions()));
+    report.set_summary("retransmit_rate", retransmit_rate);
+    report.set_summary("fps_dip_depth", dip.depth_fps);
+    report.set_summary("fps_dip_duration_s", dip.duration_s);
+    std::cout << "time to evict: "
+              << (evict_s < 0.0 ? std::string("(not evicted)")
+                                : fmt(evict_s, 1) + " s")
+              << "; fps dip depth " << fmt(dip.depth_fps, 1) << " for "
+              << fmt(dip.duration_s, 0) << " s; retransmit rate "
+              << fmt(retransmit_rate, 3) << "\n";
     const auto source_total =
         swarm.metrics().frames_arrived() - sent_before;
     const auto expected = std::size_t(24 * after_s);

@@ -1,0 +1,106 @@
+#include "chaos/fault_plan.h"
+
+#include <utility>
+
+// For the ACK-class message tags only; the chaos library does not link
+// against the runtime (MsgType is a header-only enum).
+#include "runtime/messages.h"
+
+namespace swing::chaos {
+
+namespace {
+
+bool is_ack_class(std::uint8_t traffic_class) {
+  return traffic_class == std::uint8_t(runtime::MsgType::kAck) ||
+         traffic_class == std::uint8_t(runtime::MsgType::kAckBatch);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+void FaultPlan::set_loss_between(DeviceId a, DeviceId b, double p) {
+  pairs_[pair_key(a, b)].loss = p;
+}
+
+void FaultPlan::set_ack_loss_between(DeviceId a, DeviceId b, double p) {
+  pairs_[pair_key(a, b)].ack_loss = p;
+}
+
+void FaultPlan::partition(DeviceId a, DeviceId b, SimTime heal_at) {
+  auto& pair = pairs_[pair_key(a, b)];
+  pair.partitioned = true;
+  pair.heal_at = heal_at;
+}
+
+void FaultPlan::heal(DeviceId a, DeviceId b) {
+  auto it = pairs_.find(pair_key(a, b));
+  if (it != pairs_.end()) it->second.partitioned = false;
+}
+
+bool FaultPlan::partitioned(DeviceId a, DeviceId b, SimTime now) const {
+  auto it = pairs_.find(pair_key(a, b));
+  return it != pairs_.end() && it->second.partitioned &&
+         now < it->second.heal_at;
+}
+
+void FaultPlan::count(const char* fault) {
+  ++injected_;
+  if (config_.registry != nullptr) {
+    config_.registry->counter("chaos_injected", {{"fault", fault}}).inc();
+  }
+}
+
+net::FaultDecision FaultPlan::on_message(DeviceId src, DeviceId dst,
+                                         std::uint8_t traffic_class,
+                                         SimTime now) {
+  net::FaultDecision decision;
+
+  double loss = config_.loss;
+  double ack_loss = config_.ack_loss;
+  bool cut = false;
+  if (auto it = pairs_.find(pair_key(src, dst)); it != pairs_.end()) {
+    const PairFaults& pair = it->second;
+    if (pair.partitioned && now < pair.heal_at) cut = true;
+    if (pair.loss > loss) loss = pair.loss;
+    if (pair.ack_loss > ack_loss) ack_loss = pair.ack_loss;
+  }
+
+  if (cut) {
+    count("partition");
+    decision.drop = true;
+    return decision;
+  }
+
+  // One draw per potential fault, in fixed order, whether or not the fault
+  // is enabled — so turning a knob on mid-run does not shift the stream the
+  // other faults see. Determinism across runs only requires identical knob
+  // schedules, which the Scenario provides.
+  const double roll_loss = rng_.uniform();
+  const double roll_ack = rng_.uniform();
+  const double roll_dup = rng_.uniform();
+  const double roll_delay = rng_.uniform();
+
+  if (roll_loss < loss) {
+    count("loss");
+    decision.drop = true;
+    return decision;
+  }
+  if (is_ack_class(traffic_class) && roll_ack < ack_loss) {
+    count("ack-loss");
+    decision.drop = true;
+    return decision;
+  }
+  if (roll_dup < config_.duplicate) {
+    count("duplicate");
+    decision.duplicate = true;
+  }
+  if (roll_delay < config_.delay_p) {
+    count("delay");
+    decision.extra_delay = config_.delay_spike;
+  }
+  return decision;
+}
+
+}  // namespace swing::chaos

@@ -1,0 +1,105 @@
+// swing-chaos: a seeded, deterministic fault plan for the shared medium.
+//
+// The paper's dynamism experiments (§VI-C) script joins, abrupt leaves, and
+// weak-signal walks, but the failures in between — the lost ACK, the packet
+// that arrives twice, the link that silently dies for ten seconds — only
+// ever happened here by accident. FaultPlan makes them first-class and
+// reproducible: it implements net::FaultHook, draws every decision from one
+// seeded Rng in message order, and exposes knobs that the Scenario DSL
+// schedules (drop_acks_between, partition_at, ...). Two runs with the same
+// seed and the same script inject byte-identical fault sequences, so chaos
+// tests can assert registry-snapshot and ledger-digest equality.
+//
+// Faults are pairwise-symmetric where they model a link (partitions, pair
+// loss) and directional where they model the channel (global loss, dup,
+// delay spikes). Worker-side faults — crash-stop, freeze, slow-down — are
+// not injected here: they live on runtime::Worker (crash()/set_frozen()/
+// set_slowdown()) and are scripted through the same Scenario verbs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/fault_hook.h"
+#include "obs/registry.h"
+
+namespace swing::chaos {
+
+struct FaultPlanConfig {
+  // Seed for the per-message fault draws ("--chaos-seed" in the benches).
+  std::uint64_t seed = 1;
+  // Global probabilities applied to every non-loopback message.
+  double loss = 0.0;       // P(message lost on the air).
+  double duplicate = 0.0;  // P(a second copy is delivered).
+  double delay_p = 0.0;    // P(delivery delayed by `delay_spike`).
+  SimDuration delay_spike = millis(200);
+  // Additional loss applied to ACK-class messages only (kAck / kAckBatch),
+  // on top of `loss` — the fault that specifically exercises retransmission
+  // without ever losing data.
+  double ack_loss = 0.0;
+  // swing-obs: injected-fault counters land here as
+  // chaos_injected{fault=loss|ack-loss|duplicate|delay|partition}.
+  // Installed by the Swarm; null keeps the plan registry-free.
+  obs::Registry* registry = nullptr;
+};
+
+class FaultPlan final : public net::FaultHook {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  // --- Scriptable knobs (effective from the next message on) -------------
+
+  void set_loss(double p) { config_.loss = p; }
+  void set_ack_loss(double p) { config_.ack_loss = p; }
+  void set_duplicate(double p) { config_.duplicate = p; }
+  void set_delay_spike(double p, SimDuration spike) {
+    config_.delay_p = p;
+    config_.delay_spike = spike;
+  }
+
+  // Pairwise (both directions) probabilistic loss between two devices.
+  void set_loss_between(DeviceId a, DeviceId b, double p);
+  // ACK-only loss between two devices — the Scenario's drop_acks_between.
+  void set_ack_loss_between(DeviceId a, DeviceId b, double p);
+  // Hard partition: every message between a and b is lost until `heal_at`
+  // (SimTime::max() partitions forever). Silent — neither endpoint gets a
+  // link-down error, exactly like a half-dead AP association.
+  void partition(DeviceId a, DeviceId b, SimTime heal_at);
+  void heal(DeviceId a, DeviceId b);
+  [[nodiscard]] bool partitioned(DeviceId a, DeviceId b, SimTime now) const;
+
+  // --- net::FaultHook ----------------------------------------------------
+
+  net::FaultDecision on_message(DeviceId src, DeviceId dst,
+                                std::uint8_t traffic_class,
+                                SimTime now) override;
+
+  // Total faults injected so far (sum over kinds).
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  struct PairFaults {
+    double loss = 0.0;
+    double ack_loss = 0.0;
+    SimTime heal_at{};  // Partitioned while now < heal_at.
+    bool partitioned = false;
+  };
+
+  // Unordered pair key; std::map keeps iteration deterministic.
+  static std::uint64_t pair_key(DeviceId a, DeviceId b) {
+    const std::uint64_t lo = a.value() < b.value() ? a.value() : b.value();
+    const std::uint64_t hi = a.value() < b.value() ? b.value() : a.value();
+    return lo * 0x9e3779b97f4a7c15ULL ^ hi;
+  }
+  void count(const char* fault);
+
+  FaultPlanConfig config_;
+  Rng rng_;
+  std::map<std::uint64_t, PairFaults> pairs_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace swing::chaos

@@ -15,6 +15,8 @@ SwarmManager::SwarmManager(SwarmManagerConfig config, Rng rng)
   if (config_.registry != nullptr) {
     routed_counter_ = &config_.registry->counter(
         "manager_routed_tuples", {{"policy", policy_name(config_.policy)}});
+    evicted_counter_ = &config_.registry->counter(
+        "workers_evicted", {{"cause", "ack-silence"}});
   }
 }
 
@@ -34,6 +36,8 @@ void SwarmManager::remove_downstream(InstanceId id) {
   if (it == downstreams_.end()) return;
   downstreams_.erase(it);
   estimator_.remove_downstream(id);
+  pending_since_.erase(id.value());
+  suspects_.erase(id.value());
   update_decision(SimTime{});
 }
 
@@ -57,10 +61,12 @@ std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
   if (routed_counter_ != nullptr) routed_counter_->inc();
 
   // Probe mode: one tuple to each downstream in turn, so estimates of
-  // unselected units stay fresh.
+  // unselected units stay fresh. Probes deliberately include suspects —
+  // a suspect that ACKs a probe is rehabilitated (the heal path).
   if (probe_remaining_ > 0) {
     --probe_remaining_;
     probe_cursor_ = (probe_cursor_ + 1) % downstreams_.size();
+    note_routed(downstreams_[probe_cursor_], now);
     return RouteChoice{downstreams_[probe_cursor_], /*probe=*/true};
   }
 
@@ -75,12 +81,14 @@ std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
     }
     if (!unmeasured.empty()) {
       unmeasured_cursor_ = (unmeasured_cursor_ + 1) % unmeasured.size();
+      note_routed(unmeasured[unmeasured_cursor_], now);
       return RouteChoice{unmeasured[unmeasured_cursor_], /*probe=*/true};
     }
   }
 
   const auto selected = route_selected(now);
   if (!selected) return std::nullopt;
+  note_routed(*selected, now);
   return RouteChoice{*selected, /*probe=*/false};
 }
 
@@ -114,8 +122,75 @@ std::optional<InstanceId> SwarmManager::route_selected(SimTime now) {
   return decision_.selected[i];
 }
 
+std::optional<InstanceId> SwarmManager::route_avoiding(SimTime now,
+                                                       InstanceId avoid) {
+  if (downstreams_.empty()) return std::nullopt;
+  if (decision_.selected.empty()) update_decision(now);
+
+  // Weighted pick over the decision minus the avoided / suspected targets.
+  std::vector<InstanceId> candidates;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < decision_.selected.size(); ++i) {
+    const InstanceId id = decision_.selected[i];
+    if (id == avoid || suspected(id)) continue;
+    candidates.push_back(id);
+    weights.push_back(decision_.weights.empty() ? 1.0 : decision_.weights[i]);
+  }
+  if (candidates.empty()) {
+    // The decision offers nothing else; any non-suspect downstream will do
+    // (its estimate is stale, but a stale worker beats a dead one).
+    for (InstanceId id : downstreams_) {
+      if (id != avoid && !suspected(id)) candidates.push_back(id);
+    }
+    weights.assign(candidates.size(), 1.0);
+  }
+  InstanceId chosen;
+  if (!candidates.empty()) {
+    chosen = candidates[candidates.size() == 1
+                            ? 0
+                            : rng_.weighted_pick(weights)];
+  } else if (!suspected(avoid)) {
+    chosen = avoid;  // Sole live candidate: retry the same downstream.
+  } else {
+    return std::nullopt;
+  }
+  ++routed_;
+  if (routed_counter_ != nullptr) routed_counter_->inc();
+  note_routed(chosen, now);
+  return chosen;
+}
+
+void SwarmManager::record_ack(InstanceId id, double latency_ms,
+                              double processing_ms, SimTime now,
+                              double battery) {
+  if (config_.ack_silence_timeout.nanos() > 0) {
+    pending_since_.erase(id.value());
+    suspects_.erase(id.value());
+  }
+  estimator_.record_ack(id, latency_ms, processing_ms, now, battery);
+}
+
+void SwarmManager::note_routed(InstanceId id, SimTime now) {
+  if (config_.ack_silence_timeout.nanos() == 0) return;
+  // Keep the oldest un-ACKed route: the clock measures silence since the
+  // first outstanding tuple, not since the most recent one.
+  pending_since_.try_emplace(id.value(), now);
+}
+
 void SwarmManager::tick(SimTime now) {
   ++tick_count_;
+
+  // Failure detection: downstreams silent past the timeout are suspected
+  // and drop out of the next decision (computed just below).
+  if (config_.ack_silence_timeout.nanos() > 0) {
+    for (const auto& [raw, since] : pending_since_) {
+      if (now - since < config_.ack_silence_timeout) continue;
+      if (suspects_.insert(raw).second && evicted_counter_ != nullptr) {
+        evicted_counter_->inc();
+      }
+    }
+  }
+
   update_decision(now);
 
   const bool estimate_driven = policy_->kind() != PolicyKind::kRR;
@@ -123,6 +198,14 @@ void SwarmManager::tick(SimTime now) {
       tick_count_ % std::uint64_t(config_.probe_every_ticks) == 0) {
     probe_remaining_ =
         int(downstreams_.size()) * std::max(config_.probe_passes, 1);
+  }
+
+  // Desperation probing: with every downstream suspected there is nothing
+  // left to route to, so burn one probe pass per tick — either someone
+  // ACKs (partition healed, suspicion cleared) or the caller's recovery
+  // layer falls back to local execution in the meantime.
+  if (!downstreams_.empty() && suspects_.size() >= downstreams_.size()) {
+    probe_remaining_ = std::max(probe_remaining_, int(downstreams_.size()));
   }
 }
 
@@ -132,19 +215,35 @@ void SwarmManager::update_decision(SimTime now) {
                           : rate_meter_.rate(now);
 
   if (policy_->kind() == PolicyKind::kRR) {
-    decision_ = policy_->decide(estimator_.estimates(), rate);
+    if (suspects_.empty()) {
+      decision_ = policy_->decide(estimator_.estimates(), rate);
+    } else {
+      std::vector<DownstreamInfo> live;
+      for (const DownstreamInfo& info : estimator_.estimates()) {
+        if (!suspected(info.id)) live.push_back(info);
+      }
+      if (live.empty()) live = estimator_.estimates();  // All suspect.
+      decision_ = policy_->decide(live, rate);
+    }
   } else {
     // Estimate-driven policies decide over *measured* downstreams only;
     // unmeasured ones are fed by bootstrap probing until their first ACK.
-    // With nothing measured yet, fall back to round-robin over everyone.
+    // Suspects (ack-silent, likely dead) are excluded outright. With
+    // nothing measured yet, fall back to round-robin over everyone live.
     std::vector<DownstreamInfo> measured;
     for (const DownstreamInfo& info : estimator_.estimates()) {
-      if (estimator_.measured(info.id)) measured.push_back(info);
+      if (estimator_.measured(info.id) && !suspected(info.id)) {
+        measured.push_back(info);
+      }
     }
     if (measured.empty()) {
-      decision_.selected = downstreams_;
-      decision_.weights.assign(downstreams_.size(),
-                               1.0 / double(downstreams_.size()));
+      std::vector<InstanceId> live;
+      for (InstanceId id : downstreams_) {
+        if (!suspected(id)) live.push_back(id);
+      }
+      if (live.empty()) live = downstreams_;  // All suspect: last resort.
+      decision_.selected = live;
+      decision_.weights.assign(live.size(), 1.0 / double(live.size()));
       decision_.round_robin = true;
     } else {
       decision_ = policy_->decide(measured, rate);

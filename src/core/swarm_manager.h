@@ -9,7 +9,9 @@
 // downstreams (§V-B).
 #pragma once
 
+#include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -56,6 +58,14 @@ struct SwarmManagerConfig {
   // Window over which the incoming rate Lambda is measured.
   SimDuration rate_window = seconds(1.0);
 
+  // swing-chaos failure detection: a downstream that has had a tuple routed
+  // to it but produced no ACK for this long is *suspected* — excluded from
+  // the routing decision until an ACK clears it. This evicts dead workers
+  // far ahead of the estimator's slow EWMA decay (which would keep sending
+  // a crashed worker traffic for many update periods). Zero disables the
+  // detector (the seed behaviour).
+  SimDuration ack_silence_timeout{};
+
   // swing-obs: when set, routed-tuple counts aggregate into the swarm-wide
   // registry as "manager_routed_tuples"{policy=...} (all edge managers of
   // one swarm share the counter). Null keeps the manager registry-free —
@@ -98,11 +108,15 @@ class SwarmManager {
   // Chooses per the current decision only (never probes).
   std::optional<InstanceId> route_selected(SimTime now);
 
-  // Folds in an ACK measurement.
+  // Re-routes a retransmission: picks from the current decision while
+  // avoiding `avoid` (the downstream that timed out) and every suspect.
+  // Falls back to any non-suspect downstream, then to `avoid` itself if it
+  // is the only live candidate. nullopt when nothing routable remains.
+  std::optional<InstanceId> route_avoiding(SimTime now, InstanceId avoid);
+
+  // Folds in an ACK measurement; clears ack-silence suspicion.
   void record_ack(InstanceId id, double latency_ms, double processing_ms,
-                  SimTime now, double battery = 1.0) {
-    estimator_.record_ack(id, latency_ms, processing_ms, now, battery);
-  }
+                  SimTime now, double battery = 1.0);
 
   // --- Control loop ----------------------------------------------------
 
@@ -121,9 +135,17 @@ class SwarmManager {
   [[nodiscard]] PolicyKind policy() const { return policy_->kind(); }
   [[nodiscard]] bool probing() const { return probe_remaining_ > 0; }
   [[nodiscard]] std::uint64_t routed_tuples() const { return routed_; }
+  // Whether the ack-silence detector currently excludes this downstream.
+  [[nodiscard]] bool suspected(InstanceId id) const {
+    return suspects_.contains(id.value());
+  }
+  [[nodiscard]] std::size_t suspect_count() const { return suspects_.size(); }
 
  private:
   void update_decision(SimTime now);
+  // Starts the ack-silence clock for a routed-to downstream (no-op when the
+  // detector is off or a clock is already running).
+  void note_routed(InstanceId id, SimTime now);
 
   SwarmManagerConfig config_;
   Rng rng_;
@@ -143,6 +165,12 @@ class SwarmManager {
   int probe_remaining_ = 0;
   std::uint64_t tick_count_ = 0;
   std::uint64_t routed_ = 0;
+
+  // swing-chaos failure detection (ack_silence_timeout > 0). Ordered
+  // containers keep suspect iteration deterministic.
+  std::map<std::uint64_t, SimTime> pending_since_;  // Oldest un-ACKed route.
+  std::set<std::uint64_t> suspects_;
+  obs::Counter* evicted_counter_ = nullptr;
 };
 
 }  // namespace swing::core

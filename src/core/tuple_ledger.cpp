@@ -27,6 +27,10 @@ const char* drop_reason_name(DropReason reason) {
       return "late-reorder";
     case DropReason::kSourceOverrun:
       return "source-overrun";
+    case DropReason::kRetryExhausted:
+      return "retry-exhausted";
+    case DropReason::kAbruptLeave:
+      return "abrupt-leave";
   }
   return "unknown";
 }
@@ -125,6 +129,28 @@ void TupleLedger::on_in_flight_at_shutdown(TupleId id) {
   rec.noted_in_flight = true;
 }
 
+void TupleLedger::on_retransmitted(TupleId id, SimTime now) {
+  fold(9, id.value(), std::uint64_t(now.nanos()));
+  ++retransmissions_;
+  if (!record(id).emitted) {
+    std::ostringstream os;
+    os << "ghost retransmission: tuple " << id << " re-sent but never "
+       << "emitted by a source";
+    violation(os.str());
+  }
+}
+
+void TupleLedger::on_deduplicated(TupleId id, SimTime now) {
+  fold(10, id.value(), std::uint64_t(now.nanos()));
+  ++deduplications_;
+  if (!record(id).emitted) {
+    std::ostringstream os;
+    os << "ghost dedup: tuple " << id << " discarded as a duplicate but "
+       << "never emitted by a source";
+    violation(os.str());
+  }
+}
+
 void TupleLedger::on_played(InstanceId sink, TupleId id, SimTime now) {
   fold(6, id.value(), sink.value());
   (void)now;
@@ -167,6 +193,8 @@ AuditReport TupleLedger::audit() const {
   AuditReport report;
   report.duplicate_deliveries = duplicate_deliveries_;
   report.reemissions = reemissions_;
+  report.retransmissions = retransmissions_;
+  report.deduplications = deduplications_;
   report.latency_samples = latency_samples_;
   report.control_events = control_events_;
   report.drops_by_reason = drop_events_;
@@ -215,8 +243,10 @@ std::string AuditReport::summary() const {
     first = false;
     os << drop_reason_name(reason) << ": " << n;
   }
-  os << "}, in-flight " << in_flight_recorded << " recorded + "
-     << in_flight_residual << " residual, " << latency_samples
+  os << "}, retransmitted " << retransmissions << ", deduplicated "
+     << deduplications << ", in-flight " << in_flight_recorded
+     << " recorded + " << in_flight_residual << " residual, "
+     << latency_samples
      << " latency samples, " << control_events << " control events, "
      << violations.size() << " violation(s)";
   return os.str();

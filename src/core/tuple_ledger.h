@@ -53,9 +53,16 @@ enum class DropReason : std::uint8_t {
   // frame never received a tuple id, so the ledger records nothing — this
   // reason exists for the metrics plane, which shares this taxonomy.
   kSourceOverrun = 8,
+  // swing-chaos recovery: every retransmission attempt timed out without an
+  // ACK and no local fallback was possible. Terminal — the recovery layer
+  // gave the tuple up deliberately instead of letting it vanish.
+  kRetryExhausted = 9,
+  // The tuple was queued on a device that crashed (abrupt leave, §IV-C).
+  // Distinct from in-flight-at-shutdown: a crash is a fault, not a drain.
+  kAbruptLeave = 10,
 };
 
-inline constexpr int kDropReasonCount = 9;
+inline constexpr int kDropReasonCount = 11;
 
 [[nodiscard]] const char* drop_reason_name(DropReason reason);
 
@@ -73,6 +80,8 @@ struct AuditReport {
   std::uint64_t in_flight_residual = 0;  // Emitted, no terminal event.
   std::uint64_t duplicate_deliveries = 0;  // Extra sink arrivals (fan-in).
   std::uint64_t reemissions = 0;  // Transform-minted ids (windowing).
+  std::uint64_t retransmissions = 0;   // Recovery re-sends (swing-chaos).
+  std::uint64_t deduplications = 0;    // Receiver-side duplicate discards.
   std::uint64_t latency_samples = 0;
   std::uint64_t control_events = 0;
   std::map<DropReason, std::uint64_t> drops_by_reason;
@@ -114,6 +123,17 @@ class TupleLedger {
 
   // Still queued somewhere inside a worker when it shut down.
   void on_in_flight_at_shutdown(TupleId id);
+
+  // The recovery layer re-sent the tuple after an ACK timeout
+  // (swing-chaos). Not a terminal state — the retransmitted copy must still
+  // be delivered, dropped, or noted in flight. A retransmission of a tuple
+  // never emitted is a hard violation.
+  void on_retransmitted(TupleId id, SimTime now);
+
+  // A receiver discarded the tuple as a duplicate (retransmit raced the
+  // original, or the chaos layer cloned it on the wire). Not terminal —
+  // some copy was, or will be, accounted separately.
+  void on_deduplicated(TupleId id, SimTime now);
 
   // A reorder buffer released `id` for playback at sink `sink`. Release
   // ids must be non-decreasing per sink instance.
@@ -163,6 +183,8 @@ class TupleLedger {
   std::uint64_t dropped_violations_ = 0;  // Beyond the cap below.
   std::uint64_t duplicate_deliveries_ = 0;
   std::uint64_t reemissions_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t deduplications_ = 0;
   std::uint64_t latency_samples_ = 0;
   std::uint64_t control_events_ = 0;
   std::uint64_t events_ = 0;

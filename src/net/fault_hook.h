@@ -1,0 +1,38 @@
+// swing-chaos injection point (see src/chaos/fault_plan.h for the planner).
+//
+// The medium consults an installed FaultHook once per message before queuing
+// it on the air. The hook decides whether the wire loses the message, clones
+// it, or delays its delivery — faults a real 802.11/TCP stack produces and
+// the sender cannot observe synchronously (which is exactly why the runtime
+// needs ACK-timeout retransmission, src/runtime/worker.cpp). The interface
+// lives in net/ so the medium stays ignorant of chaos scheduling; the chaos
+// library implements it without net/ depending on chaos/.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace swing::net {
+
+// What the fault layer does to one message.
+struct FaultDecision {
+  bool drop = false;       // Lost on the air; the sender still sees success.
+  bool duplicate = false;  // A second copy rides the channel too.
+  SimDuration extra_delay{};  // Added to this message's delivery (spike).
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Consulted once per medium send (loopback excluded). `traffic_class` is
+  // the transport's message type tag (runtime::MsgType), which lets a plan
+  // target ACK traffic specifically.
+  virtual FaultDecision on_message(DeviceId src, DeviceId dst,
+                                   std::uint8_t traffic_class,
+                                   SimTime now) = 0;
+};
+
+}  // namespace swing::net

@@ -170,7 +170,8 @@ bool Medium::can_accept(DeviceId src, DeviceId dst,
 }
 
 bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
-                  DeliverFn on_deliver, DropFn on_drop) {
+                  DeliverFn on_deliver, DropFn on_drop,
+                  std::uint8_t traffic_class) {
   auto fail = [&](DropReason reason) {
     dropped_counters_[std::size_t(reason)]->inc();
     if (attached(src)) ++stats_[src.value()].dropped_messages;
@@ -186,6 +187,22 @@ bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
   } else {
     if (!connected(src)) return fail(DropReason::kSenderDisconnected);
     if (!connected(dst)) return fail(DropReason::kReceiverDisconnected);
+  }
+
+  // swing-chaos: the installed fault plan may lose, clone, or delay this
+  // message. A chaos drop happens after the sender's write already
+  // succeeded — upper layers see silence, never an error, which is exactly
+  // the blindness that forces ACK-timeout recovery upstream.
+  FaultDecision fault;
+  if (config_.faults != nullptr && src != dst) {
+    fault = config_.faults->on_message(src, dst, traffic_class, sim_.now());
+    if (fault.drop) return true;
+    if (fault.extra_delay.nanos() > 0) {
+      on_deliver = [this, extra = fault.extra_delay,
+                    cb = std::move(on_deliver)] {
+        sim_.schedule_after(extra, cb);
+      };
+    }
   }
 
   // Local loopback (master and worker threads co-located on one device, or
@@ -207,25 +224,37 @@ bool Medium::send(DeviceId src, DeviceId dst, std::size_t bytes,
     return fail(DropReason::kQueueFull);
   }
   inflight += npackets;
-
-  auto msg = std::make_shared<MessageState>();
-  msg->src = src;
-  msg->dst = dst;
-  msg->total_bytes = bytes;
-  msg->packets_remaining_uplink = npackets;
-  msg->packets_remaining_downlink = npackets;
-  msg->on_deliver = std::move(on_deliver);
-  msg->on_drop = std::move(on_drop);
+  // A chaos clone rides the channel (and occupies window accounting) like
+  // any other message; only the original's admission was window-checked,
+  // matching a below-the-window MAC/TCP retransmission artefact.
+  const int copies = fault.duplicate ? 2 : 1;
+  if (fault.duplicate) inflight += npackets;
 
   // Ad-hoc mode: the packet reaches the peer in one direct hop, so there
   // is no separate uplink phase.
   const bool direct = config_.mode == MediumMode::kAdhoc;
   const std::size_t last = bytes == 0 ? 0 : bytes % config_.packet_bytes;
-  for (std::size_t i = 0; i < npackets; ++i) {
-    const std::size_t pbytes =
-        (i + 1 == npackets && last != 0) ? last : config_.packet_bytes;
-    PacketHop hop{msg, src, /*downlink=*/direct, direct, pbytes};
-    enqueue_hop(std::move(hop));
+  for (int copy = 0; copy < copies; ++copy) {
+    auto msg = std::make_shared<MessageState>();
+    msg->src = src;
+    msg->dst = dst;
+    msg->total_bytes = bytes;
+    msg->packets_remaining_uplink = npackets;
+    msg->packets_remaining_downlink = npackets;
+    if (copy + 1 == copies) {
+      msg->on_deliver = std::move(on_deliver);
+      msg->on_drop = std::move(on_drop);
+    } else {
+      msg->on_deliver = on_deliver;
+      msg->on_drop = on_drop;
+    }
+
+    for (std::size_t i = 0; i < npackets; ++i) {
+      const std::size_t pbytes =
+          (i + 1 == npackets && last != 0) ? last : config_.packet_bytes;
+      PacketHop hop{msg, src, /*downlink=*/direct, direct, pbytes};
+      enqueue_hop(std::move(hop));
+    }
   }
   return true;
 }

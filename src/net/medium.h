@@ -25,6 +25,7 @@
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "net/fault_hook.h"
 #include "net/wifi.h"
 #include "obs/registry.h"
 #include "sim/simulator.h"
@@ -83,6 +84,11 @@ struct MediumConfig {
   // register. Installed by the Swarm (one registry for the whole swarm);
   // a bare Medium owns a private registry.
   obs::Registry* registry = nullptr;
+
+  // swing-chaos: consulted once per non-loopback message before it is
+  // queued on the air (see net/fault_hook.h). Null — the default — means a
+  // fault-free channel with zero overhead on the send path.
+  FaultHook* faults = nullptr;
 };
 
 // Reason a message failed to deliver.
@@ -139,8 +145,11 @@ class Medium {
   // Queues a message of `bytes` from `src` to `dst`. `on_deliver` fires at
   // the destination when the last packet arrives; `on_drop` (optional) fires
   // if the message is dropped. Returns false iff dropped immediately.
+  // `traffic_class` is an opaque tag forwarded to the fault hook (the
+  // transport passes its message type) — the medium itself ignores it.
   bool send(DeviceId src, DeviceId dst, std::size_t bytes,
-            DeliverFn on_deliver, DropFn on_drop = nullptr);
+            DeliverFn on_deliver, DropFn on_drop = nullptr,
+            std::uint8_t traffic_class = 0);
 
   // Whether a message of `bytes` from `src` to `dst` fits the connection's
   // send window right now. Lets callers model TCP backpressure (block

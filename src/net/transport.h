@@ -102,7 +102,7 @@ class Transport {
       notify_link_down(src, dst);
     };
     return medium_.send(src, dst, wire, std::move(on_deliver),
-                        std::move(on_drop));
+                        std::move(on_drop), type);
   }
 
   // Whether a send of this size would be accepted right now (TCP window has

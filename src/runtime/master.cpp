@@ -64,9 +64,15 @@ void Master::handle_message(const net::Message& msg) {
         break;
       case MsgType::kHeartbeat:
         break;  // Liveness already noted above.
-      case MsgType::kLeaveReport:
-        remove_device(DeviceMsg::from_bytes(msg.payload).device);
+      case MsgType::kLeaveReport: {
+        const DeviceId reported = DeviceMsg::from_bytes(msg.payload).device;
+        if (config_.registry != nullptr && members_.contains(reported.value())) {
+          config_.registry->counter("workers_evicted", {{"cause", "link-report"}})
+              .inc();
+        }
+        remove_device(reported);
         break;
+      }
       case MsgType::kBye:
         remove_device(msg.src);
         break;
@@ -92,6 +98,11 @@ void Master::sweep_members() {
   for (DeviceId id : dead) {
     SWING_LOG(kInfo) << "master: member " << id
                      << " silent past timeout; removing";
+    if (config_.registry != nullptr) {
+      config_.registry
+          ->counter("workers_evicted", {{"cause", "heartbeat-timeout"}})
+          .inc();
+    }
     remove_device(id);
   }
 }

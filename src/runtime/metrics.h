@@ -69,7 +69,11 @@ class MetricsCollector {
     }
     delivered_counter_ = &registry_->counter("frames_delivered");
     played_counter_ = &registry_->counter("frames_played");
+    retransmit_counter_ = &registry_->counter("tuples_retransmitted");
+    dedup_counter_ = &registry_->counter("tuples_deduplicated");
+    fallback_counter_ = &registry_->counter("tuples_local_fallback");
     e2e_hist_ = &registry_->histogram("e2e_latency_ms");
+    retry_hist_ = &registry_->histogram("retry_latency_ms");
     transmission_hist_ = &registry_->histogram("delay_transmission_ms");
     queuing_hist_ = &registry_->histogram("delay_queuing_ms");
     processing_hist_ = &registry_->histogram("delay_processing_ms");
@@ -121,6 +125,21 @@ class MetricsCollector {
   void on_drop(core::DropReason reason) {
     drop_counters_[std::size_t(reason)]->inc();
   }
+
+  // --- Recovery events (swing-chaos) -----------------------------------
+
+  // The recovery layer re-sent a tuple after an ACK timeout.
+  void on_retransmit() { retransmit_counter_->inc(); }
+
+  // A receiver discarded a tuple it had already processed.
+  void on_dedup() { dedup_counter_->inc(); }
+
+  // No reachable downstream: the tuple executed on the source device.
+  void on_local_fallback() { fallback_counter_->inc(); }
+
+  // A retransmitted tuple was finally ACKed `ms` after its *first* send —
+  // the latency cost paid by recovery (retry-latency histogram).
+  void on_retry_acked(double ms) { retry_hist_->record(ms); }
 
   // --- Sampling (driven by the runtime's 1 s sampler) ------------------
 
@@ -189,6 +208,19 @@ class MetricsCollector {
     return total;
   }
 
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmit_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t deduplications() const {
+    return dedup_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t local_fallbacks() const {
+    return fallback_counter_->value();
+  }
+  [[nodiscard]] const obs::Histogram& retry_latency() const {
+    return *retry_hist_;
+  }
+
   // The whole-run end-to-end latency distribution (HDR histogram; exact
   // per-window stats come from latency_stats()).
   [[nodiscard]] const obs::Histogram& e2e_latency() const {
@@ -219,7 +251,11 @@ class MetricsCollector {
   obs::Counter* drop_counters_[core::kDropReasonCount] = {};
   obs::Counter* delivered_counter_ = nullptr;
   obs::Counter* played_counter_ = nullptr;
+  obs::Counter* retransmit_counter_ = nullptr;
+  obs::Counter* dedup_counter_ = nullptr;
+  obs::Counter* fallback_counter_ = nullptr;
   obs::Histogram* e2e_hist_ = nullptr;
+  obs::Histogram* retry_hist_ = nullptr;
   obs::Histogram* transmission_hist_ = nullptr;
   obs::Histogram* queuing_hist_ = nullptr;
   obs::Histogram* processing_hist_ = nullptr;

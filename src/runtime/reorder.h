@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -29,11 +31,16 @@ class ReorderBuffer {
   // `on_late` fires when an arrival is discarded because a larger id
   // already played (swing-audit records these as late-reorder drops).
   using LateFn = std::function<void(const dataflow::Tuple&)>;
+  // `on_dup` fires when an arrival duplicates a *recently released* id —
+  // a retransmission that raced its original (swing-chaos), not data loss.
+  using DupFn = std::function<void(const dataflow::Tuple&)>;
 
-  ReorderBuffer(std::size_t capacity, PlayFn on_play, LateFn on_late = {})
+  ReorderBuffer(std::size_t capacity, PlayFn on_play, LateFn on_late = {},
+                DupFn on_dup = {})
       : capacity_(capacity ? capacity : 1),
         on_play_(std::move(on_play)),
-        on_late_(std::move(on_late)) {}
+        on_late_(std::move(on_late)),
+        on_dup_(std::move(on_dup)) {}
 
   // Convenience: capacity = rate x timespan (the paper's sizing rule).
   static std::size_t capacity_for(double rate_per_s, SimDuration span) {
@@ -43,8 +50,18 @@ class ReorderBuffer {
 
   void push(dataflow::Tuple tuple, SimTime now) {
     if (played_any_ && tuple.id() <= last_played_) {
-      ++late_;
-      if (on_late_) on_late_(tuple);
+      // Distinguish "this exact id already played" (a retransmitted
+      // duplicate — the data reached the screen) from "a larger id played
+      // first" (genuinely late — the frame is lost). The memory of played
+      // ids is bounded; a duplicate older than the window degrades to a
+      // late drop, which is conservative.
+      if (recent_played_.contains(tuple.id().value())) {
+        ++dups_;
+        if (on_dup_) on_dup_(tuple);
+      } else {
+        ++late_;
+        if (on_late_) on_late_(tuple);
+      }
       return;
     }
     heap_.push(std::move(tuple));
@@ -62,6 +79,7 @@ class ReorderBuffer {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t played() const { return played_count_; }
   [[nodiscard]] std::uint64_t late_drops() const { return late_; }
+  [[nodiscard]] std::uint64_t dup_drops() const { return dups_; }
 
  private:
   struct LargerId {
@@ -82,19 +100,36 @@ class ReorderBuffer {
     last_played_ = top.id();
     played_any_ = true;
     ++played_count_;
+    remember_played(top.id());
     if (on_play_) on_play_(top, now);
     heap_.pop();
+  }
+
+  void remember_played(TupleId id) {
+    // Sliding window of released ids, sized to outlast any plausible
+    // retransmission race (a few buffer-fills) without unbounded growth.
+    const std::size_t window = capacity_ * 4;
+    recent_played_.insert(id.value());
+    recent_order_.push_back(id.value());
+    while (recent_order_.size() > window) {
+      recent_played_.erase(recent_order_.front());
+      recent_order_.pop_front();
+    }
   }
 
   std::size_t capacity_;
   PlayFn on_play_;
   LateFn on_late_;
+  DupFn on_dup_;
   std::priority_queue<dataflow::Tuple, std::vector<dataflow::Tuple>, LargerId>
       heap_;
   TupleId last_played_{};
   bool played_any_ = false;
   std::uint64_t played_count_ = 0;
   std::uint64_t late_ = 0;
+  std::uint64_t dups_ = 0;
+  std::unordered_set<std::uint64_t> recent_played_;
+  std::deque<std::uint64_t> recent_order_;
 };
 
 }  // namespace swing::runtime

@@ -86,6 +86,63 @@ class Scenario {
     });
   }
 
+  // --- swing-chaos verbs ---------------------------------------------------
+  //
+  // These require SwarmConfig::chaos_enabled (a fault plan on the medium);
+  // armed without one they are no-ops so scripts stay portable. The worker
+  // verbs (freeze/slow/crash) need no plan.
+
+  Scenario& loss_at(SimDuration when, double p,
+                    std::string label = "packet loss") {
+    return at(when, std::move(label), [p](Swarm& s) {
+      if (auto* plan = s.fault_plan()) plan->set_loss(p);
+    });
+  }
+
+  Scenario& drop_acks_between(SimDuration when, DeviceId a, DeviceId b,
+                              double p, std::string label = "ack loss") {
+    return at(when, std::move(label), [a, b, p](Swarm& s) {
+      if (auto* plan = s.fault_plan()) plan->set_ack_loss_between(a, b, p);
+    });
+  }
+
+  // Hard pair partition for `duration` (zero or negative: forever).
+  Scenario& partition_at(SimDuration when, DeviceId a, DeviceId b,
+                         SimDuration duration,
+                         std::string label = "partition") {
+    return at(when, std::move(label), [a, b, duration](Swarm& s) {
+      if (auto* plan = s.fault_plan()) {
+        const SimTime heal_at = duration.nanos() > 0
+                                    ? s.sim().now() + duration
+                                    : SimTime::max();
+        plan->partition(a, b, heal_at);
+      }
+    });
+  }
+
+  // GC-pause-style freeze for `duration` (the thaw is scheduled here too).
+  Scenario& freeze_worker_at(SimDuration when, DeviceId id,
+                             SimDuration duration,
+                             std::string label = "freeze") {
+    return at(when, std::move(label), [id, duration](Swarm& s) {
+      s.freeze_worker(id, true);
+      s.sim().schedule_after(duration,
+                             [&s, id] { s.freeze_worker(id, false); });
+    });
+  }
+
+  Scenario& slow_worker_at(SimDuration when, DeviceId id, double factor,
+                           std::string label = "slowdown") {
+    return at(when, std::move(label),
+              [id, factor](Swarm& s) { s.slow_worker(id, factor); });
+  }
+
+  // Crash-stop: alias of leave_abruptly_at under its chaos name.
+  Scenario& crash_worker_at(SimDuration when, DeviceId id,
+                            std::string label = "crash") {
+    return leave_abruptly_at(when, id, std::move(label));
+  }
+
   // Collect a throughput sample every `period` (default 1 s).
   Scenario& sample_every(SimDuration period) {
     sample_period_ = period;

@@ -11,9 +11,19 @@ namespace swing::runtime {
 namespace {
 
 net::MediumConfig with_registry(net::MediumConfig config,
-                                obs::Registry* registry) {
+                                obs::Registry* registry,
+                                net::FaultHook* faults) {
   config.registry = registry;
+  if (faults != nullptr) config.faults = faults;
   return config;
+}
+
+std::unique_ptr<chaos::FaultPlan> make_fault_plan(const SwarmConfig& config,
+                                                  obs::Registry* registry) {
+  if (!config.chaos_enabled) return nullptr;
+  chaos::FaultPlanConfig plan = config.chaos;
+  plan.registry = registry;
+  return std::make_unique<chaos::FaultPlan>(plan);
 }
 
 }  // namespace
@@ -23,7 +33,9 @@ Swarm::Swarm(Simulator& sim, SwarmConfig config)
       config_(config),
       rng_(config.seed),
       tracer_(config.trace),
-      medium_(sim, with_registry(config.medium, &registry_)),
+      fault_plan_(make_fault_plan(config, &registry_)),
+      medium_(sim,
+              with_registry(config.medium, &registry_, fault_plan_.get())),
       transport_(sim, medium_, config.transport),
       discovery_(sim),
       metrics_(&registry_),
@@ -172,9 +184,22 @@ void Swarm::leave_gracefully(DeviceId id) {
 
 void Swarm::leave_abruptly(DeviceId id) {
   Node& n = node(id);
-  if (n.worker) n.worker->shutdown();
+  // Crash-stop, not an orderly shutdown: queued-but-unprocessed tuples on
+  // the vanishing device are booked as abrupt-leave drops rather than
+  // silently flushed as if they had been delivered.
+  if (n.worker) n.worker->crash();
   transport_.unregister_device(id);
   medium_.detach(id);
+}
+
+void Swarm::freeze_worker(DeviceId id, bool frozen) {
+  Node& n = node(id);
+  if (n.worker) n.worker->set_frozen(frozen);
+}
+
+void Swarm::slow_worker(DeviceId id, double factor) {
+  Node& n = node(id);
+  if (n.worker) n.worker->set_slowdown(factor);
 }
 
 void Swarm::shutdown() {

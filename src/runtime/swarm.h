@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 
+#include "chaos/fault_plan.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "core/tuple_ledger.h"
@@ -61,6 +62,23 @@ struct SwarmConfig {
   // record each sampled tuple's lifecycle as Chrome trace events, exported
   // via Swarm::tracer(). Off by default — the registry is always on.
   obs::TraceConfig trace{};
+  // swing-chaos: when enabled, a seeded chaos::FaultPlan is installed as the
+  // medium's fault hook. All fault draws come from chaos.seed, so two runs
+  // with identical scripts and seeds inject identical fault sequences.
+  bool chaos_enabled = false;
+  chaos::FaultPlanConfig chaos{};
+
+  // Turns on the full recovery path (ACK-timeout retransmission with
+  // re-routing, receiver dedup, ack-silence failure detection, local
+  // fallback). Off by default: the seed behaviour — drop on failure, wait
+  // for estimator decay — stays byte-identical unless a scenario opts in.
+  SwarmConfig& with_recovery() {
+    worker.recovery.retransmit = true;
+    worker.recovery.dedup_window = 1024;
+    worker.recovery.local_fallback = true;
+    worker.manager.ack_silence_timeout = seconds(4.0);
+    return *this;
+  }
 };
 
 class Swarm {
@@ -100,8 +118,17 @@ class Swarm {
   // Worker announces Bye, then its device drops off the network.
   void leave_gracefully(DeviceId id);
   // Device vanishes without warning (user walks away / battery dies):
-  // upstreams find out through failed sends.
+  // upstreams find out through failed sends. Tuples queued on the device
+  // but never processed are booked as abrupt-leave drops (swing-audit).
   void leave_abruptly(DeviceId id);
+
+  // --- swing-chaos worker faults (scriptable via Scenario) --------------
+
+  // GC-pause-style freeze: the worker buffers inbound messages and stops
+  // sensing/heartbeating until thawed, then replays the backlog.
+  void freeze_worker(DeviceId id, bool frozen);
+  // Multiplies the device's per-tuple compute cost (thermal throttling).
+  void slow_worker(DeviceId id, double factor);
 
   // Flushes sink reorder buffers and halts all workers (end of experiment).
   void shutdown();
@@ -124,6 +151,8 @@ class Swarm {
   // the conservation report at any point; shutdown() checks it.
   [[nodiscard]] const core::TupleLedger& ledger() const { return ledger_; }
   [[nodiscard]] core::AuditReport audit() const { return ledger_.audit(); }
+  // The installed fault plan; null unless SwarmConfig::chaos_enabled.
+  [[nodiscard]] chaos::FaultPlan* fault_plan() { return fault_plan_.get(); }
   [[nodiscard]] Master* master() { return master_.get(); }
   [[nodiscard]] Worker* worker(DeviceId id);
   [[nodiscard]] const dataflow::AppGraph& graph() const { return graph_; }
@@ -173,6 +202,9 @@ class Swarm {
   // Declared before medium_ (whose config carries a pointer to it).
   obs::Registry registry_;
   obs::Tracer tracer_;
+  // Declared (and constructed) before medium_, whose config carries the
+  // hook pointer; null when chaos is disabled.
+  std::unique_ptr<chaos::FaultPlan> fault_plan_;
   net::Medium medium_;
   net::Transport transport_;
   net::Discovery discovery_;

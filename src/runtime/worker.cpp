@@ -1,5 +1,8 @@
 #include "runtime/worker.h"
 
+#include <cmath>
+#include <unordered_set>
+
 #include "common/check.h"
 #include "common/logging.h"
 
@@ -21,16 +24,6 @@ TupleId peek_tuple_id(const Bytes& tuple_bytes) {
 
 // ---------------------------------------------------------------------------
 // Instance state
-
-// A data message committed to a connection whose TCP window is full; the
-// sending instance blocks on it and retries.
-struct Worker::PendingSend {
-  DataMsg data;
-  DeviceId dst_device;
-  TupleId tuple_id;  // For audit attribution if the send ultimately fails.
-  std::uint64_t wire = 0;
-  bool from_source = false;
-};
 
 struct Worker::Instance {
   // Routing state for one outgoing graph edge: dataflow semantics require
@@ -62,6 +55,19 @@ struct Worker::Instance {
   // per pipeline (which the reordering service relies on).
   std::uint64_t source_ordinal = 0;
   std::uint64_t source_count = 1;
+  // swing-chaos dedup memory (Recovery::dedup_window): ids this instance
+  // already accepted for processing, as a sliding window.
+  std::unordered_set<std::uint64_t> dedup_seen;
+  std::deque<std::uint64_t> dedup_order;
+
+  void remember_tuple(std::uint64_t id, std::size_t window) {
+    if (!dedup_seen.insert(id).second) return;
+    dedup_order.push_back(id);
+    while (dedup_order.size() > window) {
+      dedup_seen.erase(dedup_order.front());
+      dedup_order.pop_front();
+    }
+  }
 
   Edge* edge_for(OperatorId down_op) {
     for (auto& edge : edges) {
@@ -139,6 +145,7 @@ void Worker::connect_to_master(DeviceId master_device) {
       master_device != device_.id() && heartbeat_task_ == nullptr) {
     heartbeat_task_ = std::make_unique<PeriodicTask>(
         sim_, config_.heartbeat_period, [this] {
+          if (frozen_) return;  // A frozen app misses its beacons.
           transport_.send(device_.id(), master_device_,
                           std::uint8_t(MsgType::kHeartbeat), Bytes{});
         });
@@ -148,6 +155,27 @@ void Worker::connect_to_master(DeviceId master_device) {
 
 void Worker::handle_message(const net::Message& msg) {
   if (!alive_) return;
+  if (frozen_) {
+    // Frozen app: the socket keeps accepting until its buffer fills, then
+    // the wire's loss (and the upstreams' retransmission) takes over.
+    if (frozen_inbox_.size() < config_.pending_data_cap) {
+      frozen_inbox_.push_back(msg);
+    } else if (MsgType(msg.type) == MsgType::kData) {
+      try {
+        const DataMsg data = DataMsg::from_bytes(msg.payload);
+        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+          metrics_.on_drop(core::DropReason::kPendingOverflow);
+          if (config_.ledger != nullptr) {
+            config_.ledger->on_dropped(id,
+                                       core::DropReason::kPendingOverflow);
+          }
+        }
+      } catch (const WireFormatError&) {
+        ++malformed_messages_;
+      }
+    }
+    return;
+  }
   try {
     dispatch_message(msg);
   } catch (const WireFormatError& e) {
@@ -265,6 +293,14 @@ void Worker::activate(const DeployMsg::Assignment& assignment) {
             config_.ledger->on_dropped(t.id(),
                                        core::DropReason::kLateReorder);
           }
+        },
+        [this](const dataflow::Tuple& t) {
+          // A retransmitted duplicate raced its original past the reorder
+          // release point: harmless, the frame already played.
+          metrics_.on_dedup();
+          if (config_.ledger != nullptr) {
+            config_.ledger->on_deduplicated(t.id(), sim_.now());
+          }
         });
   }
 
@@ -324,6 +360,34 @@ void Worker::handle_data(const net::Message& msg) {
 }
 
 void Worker::process_data(Instance& inst, DataMsg data) {
+  // Duplicate suppression (swing-chaos): an id this instance already
+  // accepted is discarded before it pollutes the rate meter or burns CPU —
+  // but it is re-ACKed first, because the likeliest reason a duplicate
+  // exists is that the wire ate the original's ACK.
+  if (config_.recovery.dedup_window > 0) {
+    if (const TupleId id = peek_tuple_id(data.tuple_bytes);
+        id.valid() && inst.dedup_seen.contains(id.value())) {
+      AckMsg ack;
+      ack.from_instance = inst.info.instance;
+      ack.to_instance = data.src_instance;
+      ack.tuple = id;
+      ack.echoed_sent_ns = data.sent_ns;
+      ack.processing_ms = 0.0;
+      ack.battery_fraction = device_.battery_fraction(sim_.now());
+      if (config_.batching.enabled && data.src_device != device_.id()) {
+        enqueue_batched_ack(data.src_device, ack.to_bytes());
+      } else {
+        transport_.send(device_.id(), data.src_device,
+                        std::uint8_t(MsgType::kAck), ack.to_bytes());
+      }
+      metrics_.on_dedup();
+      if (config_.ledger != nullptr) {
+        config_.ledger->on_deduplicated(id, sim_.now());
+      }
+      return;
+    }
+  }
+
   for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
 
   // Bounded input buffer: shedding load here is what the real system's
@@ -353,7 +417,8 @@ void Worker::process_data(Instance& inst, DataMsg data) {
     return;
   }
 
-  const double cost_ms = inst.decl->cost ? inst.decl->cost(tuple) : 0.0;
+  const double cost_ms =
+      (inst.decl->cost ? inst.decl->cost(tuple) : 0.0) * slowdown_;
 
   // A second staleness check runs as the job reaches the CPU: most of a
   // stale tuple's age accrues while it waits in the compute queue.
@@ -362,6 +427,7 @@ void Worker::process_data(Instance& inst, DataMsg data) {
       inst.decl->kind == dataflow::OperatorKind::kTransform) {
     admit = [this, id = tuple.id(), source_time = tuple.source_time()] {
       if (sim_.now() - source_time > config_.tuple_ttl) {
+        note_compute_done(id);
         metrics_.on_drop(core::DropReason::kStaleTtl);
         if (config_.ledger != nullptr) {
           config_.ledger->on_dropped(id, core::DropReason::kStaleTtl);
@@ -372,10 +438,19 @@ void Worker::process_data(Instance& inst, DataMsg data) {
     };
   }
 
+  // From here the tuple is committed to processing: remember it for dedup
+  // (a copy arriving later is redundant, not lost data) and track it in
+  // the compute queue so a crash can attribute it.
+  if (config_.recovery.dedup_window > 0) {
+    inst.remember_tuple(tuple.id().value(), config_.recovery.dedup_window);
+  }
+  ++compute_queue_[tuple.id().value()];
+
   device_.execute(
       cost_ms,
       [this, &inst, data = std::move(data),
        tuple = std::move(tuple)](const device::JobTiming& timing) {
+        note_compute_done(tuple.id());
         if (!alive_) return;
         ++processed_;
         DelayBreakdown acc = data.accumulated;
@@ -459,6 +534,7 @@ void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
 void Worker::handle_ack(const AckMsg& ack) {
   Instance* inst = find_instance(ack.to_instance);
   if (inst == nullptr) return;
+  if (config_.recovery.retransmit) resolve_outstanding(*inst, ack);
   if (config_.tracer != nullptr && config_.tracer->sampled(ack.tuple)) {
     config_.tracer->instant(obs::TracePhase::kAck, ack.tuple, device_.id(),
                             sim_.now());
@@ -570,6 +646,12 @@ void Worker::source_fire(Instance& inst) {
   if (spec.max_tuples != 0 && inst.seq >= spec.max_tuples) {
     return;  // Stream finished; do not re-arm.
   }
+  if (frozen_) {
+    // A frozen app's camera pipeline is frozen too: nothing is sensed,
+    // nothing is lost. The clock keeps ticking for the thaw.
+    arm_source(inst);
+    return;
+  }
   arm_source(inst);
   if (inst.blocked) {
     // Dispatch is head-of-line blocked on a congested connection; the
@@ -608,6 +690,19 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   const bool is_source =
       from.decl->kind == dataflow::OperatorKind::kSource;
 
+  // Graceful degradation (swing-chaos): with no routable downstream the
+  // tuple runs on this device instead of being dropped.
+  auto fall_back_locally = [&] {
+    DataMsg local;
+    local.src_instance = from.info.instance;
+    local.src_device = device_.id();
+    local.sent_ns = sim_.now().nanos();
+    local.accumulated = accumulated;
+    local.tuple_wire_size = tuple.wire_size();
+    local.tuple_bytes = tuple.to_bytes();
+    execute_locally(from, edge_index, std::move(local));
+  };
+
   InstanceId target;
   bool probe = false;
   if (graph_.op(edge.down_op).partition_by_id) {
@@ -615,6 +710,10 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     // every upstream, so stateful fan-in sees all of a frame's pieces.
     const auto& downs = edge.manager->downstreams();
     if (downs.empty()) {
+      if (config_.recovery.local_fallback) {
+        fall_back_locally();
+        return;
+      }
       metrics_.on_drop(core::DropReason::kNoDownstream);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(tuple.id(),
@@ -626,6 +725,10 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   } else {
     const auto choice = edge.manager->route(sim_.now());
     if (!choice) {
+      if (config_.recovery.local_fallback) {
+        fall_back_locally();
+        return;
+      }
       metrics_.on_drop(core::DropReason::kNoDownstream);
       if (config_.ledger != nullptr) {
         config_.ledger->on_dropped(tuple.id(),
@@ -635,6 +738,18 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     }
     target = choice->id;
     probe = choice->probe;
+
+    // The decision can lag the failure detector between ticks (and falls
+    // back to suspects when nothing else is left). Steer regular picks
+    // away; probes go through — they are the heal path.
+    if (!probe && edge.manager->suspected(target)) {
+      if (const auto alt = edge.manager->route_avoiding(sim_.now(), target)) {
+        target = *alt;
+      } else if (config_.recovery.local_fallback) {
+        fall_back_locally();
+        return;
+      }
+    }
   }
 
   auto congested = [&](InstanceId id) {
@@ -675,6 +790,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   send.tuple_id = tuple.id();
   send.wire = send.data.tuple_wire_size + DataMsg::kEnvelopeBytes;
   send.from_source = is_source;
+  send.edge_index = edge_index;
 
   if (!transport_.can_send(device_.id(), send.dst_device, 0, send.wire)) {
     // Connection window is full. Sources block on it (the dispatch loop is
@@ -697,11 +813,12 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   send_data(from, std::move(send));
 }
 
-void Worker::send_data(Instance& /*from*/, PendingSend send) {
+void Worker::send_data(Instance& from, PendingSend send) {
   send.data.sent_ns = sim_.now().nanos();
   // Loopback never batches (no wire to amortise); remote sends may.
   if (config_.batching.enabled && send.dst_device != device_.id()) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
+    track_outstanding(from, send);
     enqueue_batched(std::move(send));
     return;
   }
@@ -710,6 +827,12 @@ void Worker::send_data(Instance& /*from*/, PendingSend send) {
                                   send.data.to_bytes(), send.wire);
   if (ok) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
+    track_outstanding(from, send);
+  } else if (config_.recovery.retransmit &&
+             send.dst_device != device_.id()) {
+    // Refused synchronously (window full / link just died): the retry
+    // timer recovers it instead of booking a loss.
+    track_outstanding(from, send);
   } else {
     metrics_.on_drop(core::DropReason::kSendFailed);
     if (config_.ledger != nullptr) {
@@ -868,7 +991,8 @@ void Worker::shutdown() {
     }
   }
   // Account every tuple still queued inside this worker so a quiescent
-  // shutdown audits clean: deploy-race buffers and unflushed batches.
+  // shutdown audits clean: deploy-race buffers, unflushed batches, the
+  // compute queue, un-ACKed tracked sends, and a frozen inbox.
   // (std::map iteration keeps the event order deterministic.)
   if (config_.ledger != nullptr) {
     for (const auto& [key, queue] : pending_data_) {
@@ -883,8 +1007,269 @@ void Worker::shutdown() {
         config_.ledger->on_in_flight_at_shutdown(id);
       }
     }
+    for (const auto& [raw, count] : compute_queue_) {
+      config_.ledger->on_in_flight_at_shutdown(TupleId{raw});
+    }
+    for (const auto& [key, out] : outstanding_) {
+      config_.ledger->on_in_flight_at_shutdown(out.send.tuple_id);
+    }
+    for (const auto& msg : frozen_inbox_) {
+      if (MsgType(msg.type) != MsgType::kData) continue;
+      try {
+        const DataMsg data = DataMsg::from_bytes(msg.payload);
+        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+          config_.ledger->on_in_flight_at_shutdown(id);
+        }
+      } catch (const WireFormatError&) {
+      }
+    }
   }
+  for (auto& [key, out] : outstanding_) sim_.cancel(out.timer);
+  outstanding_.clear();
   alive_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// swing-chaos: crash-stop, freeze, and the recovery path
+
+void Worker::drop_queued(TupleId id, core::DropReason reason) {
+  metrics_.on_drop(reason);
+  if (config_.ledger != nullptr && id.valid()) {
+    config_.ledger->on_dropped(id, reason);
+  }
+}
+
+void Worker::crash() {
+  if (!alive_) return;
+  stop_sources();
+  if (heartbeat_task_) heartbeat_task_->stop();
+  for (auto& [id, inst] : instances_) {
+    for (auto& edge : inst->edges) {
+      if (edge.tick_task) edge.tick_task->stop();
+    }
+    // No reorder flush: buffered frames at a crashed sink never play. They
+    // already counted as delivered, so the ledger stays conserved.
+    if (inst->blocked) {
+      drop_queued(inst->blocked->tuple_id, core::DropReason::kAbruptLeave);
+      inst->blocked.reset();
+    }
+  }
+  // Everything queued-but-unprocessed on this device dies with it; unlike
+  // a drained shutdown these are real losses, attributed as abrupt-leave.
+  for (const auto& [key, queue] : pending_data_) {
+    for (const auto& data : queue) {
+      drop_queued(peek_tuple_id(data.tuple_bytes),
+                  core::DropReason::kAbruptLeave);
+    }
+  }
+  pending_data_.clear();
+  for (const auto& [key, batch] : batches_) {
+    for (TupleId id : batch.ids) {
+      drop_queued(id, core::DropReason::kAbruptLeave);
+    }
+  }
+  batches_.clear();
+  for (const auto& [raw, count] : compute_queue_) {
+    for (int i = 0; i < count; ++i) {
+      drop_queued(TupleId{raw}, core::DropReason::kAbruptLeave);
+    }
+  }
+  compute_queue_.clear();
+  for (const auto& msg : frozen_inbox_) {
+    if (MsgType(msg.type) != MsgType::kData) continue;
+    try {
+      const DataMsg data = DataMsg::from_bytes(msg.payload);
+      drop_queued(peek_tuple_id(data.tuple_bytes),
+                  core::DropReason::kAbruptLeave);
+    } catch (const WireFormatError&) {
+    }
+  }
+  frozen_inbox_.clear();
+  // Tracked sends left the device before the crash: whatever happens to
+  // them happens downstream, so they are not this crash's losses.
+  for (auto& [key, out] : outstanding_) sim_.cancel(out.timer);
+  outstanding_.clear();
+  alive_ = false;
+}
+
+void Worker::set_frozen(bool frozen) {
+  if (!alive_ || frozen_ == frozen) return;
+  frozen_ = frozen;
+  if (frozen) return;
+  // Thaw: replay the buffered inbox in arrival order.
+  SWING_LOG(kInfo) << "device " << device_.id() << " thawed; replaying "
+                   << frozen_inbox_.size() << " buffered message(s)";
+  std::deque<net::Message> inbox = std::move(frozen_inbox_);
+  frozen_inbox_.clear();
+  for (const auto& msg : inbox) handle_message(msg);
+}
+
+void Worker::note_compute_done(TupleId id) {
+  auto it = compute_queue_.find(id.value());
+  if (it == compute_queue_.end()) return;
+  if (--it->second <= 0) compute_queue_.erase(it);
+}
+
+void Worker::track_outstanding(Instance& from, const PendingSend& send) {
+  if (!config_.recovery.retransmit) return;
+  if (send.dst_device == device_.id()) return;  // Loopback is lossless.
+  if (!send.tuple_id.valid()) return;
+  if (outstanding_.size() >= config_.recovery.max_outstanding) return;
+  const OutKey key{from.info.instance.value(), send.tuple_id.value(),
+                   send.edge_index};
+  auto [it, fresh] = outstanding_.try_emplace(key);
+  if (!fresh) return;  // Already tracked (e.g. a blocked-retry resend).
+  Outstanding& out = it->second;
+  out.send = send;
+  out.first_sent = sim_.now();
+  out.last_target = send.data.dst_instance;
+  out.timer = sim_.schedule_after(config_.recovery.ack_timeout,
+                                  [this, key] { on_retry_timeout(key); });
+}
+
+void Worker::on_retry_timeout(OutKey key) {
+  if (!alive_) return;
+  auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) return;
+  Outstanding& out = it->second;
+  Instance* from = find_instance(InstanceId{key.inst});
+  if (from == nullptr || key.edge >= from->edges.size()) {
+    outstanding_.erase(it);
+    return;
+  }
+
+  if (out.attempts >= config_.recovery.max_retries) {
+    // The recovery budget is spent. Degrade to local execution when
+    // allowed; otherwise give the tuple up *deliberately* — an attributed
+    // retry-exhausted drop, never a silent disappearance.
+    Outstanding spent = std::move(out);
+    outstanding_.erase(it);
+    if (config_.recovery.local_fallback) {
+      DataMsg data = std::move(spent.send.data);
+      data.src_device = device_.id();
+      execute_locally(*from, key.edge, std::move(data));
+      return;
+    }
+    drop_queued(spent.send.tuple_id, core::DropReason::kRetryExhausted);
+    return;
+  }
+
+  ++out.attempts;
+  // Prefer a different downstream: the silent one may be dead, and the LRS
+  // decision usually has an alternative (paper §V-A).
+  if (const auto alt = from->edges[key.edge].manager->route_avoiding(
+          sim_.now(), out.last_target)) {
+    if (auto peer = peers_.find(alt->value()); peer != peers_.end()) {
+      out.send.data.dst_instance = *alt;
+      out.send.dst_device = peer->second.device;
+      out.last_target = *alt;
+    }
+  }
+  out.send.data.sent_ns = sim_.now().nanos();
+  metrics_.on_retransmit();
+  if (config_.ledger != nullptr) {
+    config_.ledger->on_retransmitted(out.send.tuple_id, sim_.now());
+  }
+  // Direct send, bypassing the batching service: a retransmission has
+  // already waited an ACK timeout; it should not wait for co-travellers.
+  const bool ok = transport_.send(device_.id(), out.send.dst_device,
+                                  std::uint8_t(MsgType::kData),
+                                  out.send.data.to_bytes(), out.send.wire);
+  if (ok) {
+    metrics_.on_routed(out.send.dst_device, out.send.wire,
+                       out.send.from_source);
+  }
+  // Exponential backoff, whether or not the re-send was accepted.
+  const SimDuration timeout =
+      config_.recovery.ack_timeout *
+      std::pow(config_.recovery.backoff, double(out.attempts));
+  out.timer =
+      sim_.schedule_after(timeout, [this, key] { on_retry_timeout(key); });
+}
+
+void Worker::resolve_outstanding(Instance& inst, const AckMsg& ack) {
+  // Identify which edge this ACK settles via the ACKing instance's
+  // operator; a multi-edge tuple stays tracked on its other edges.
+  std::optional<std::uint64_t> edge_index;
+  if (auto peer = peers_.find(ack.from_instance.value());
+      peer != peers_.end()) {
+    for (std::size_t i = 0; i < inst.edges.size(); ++i) {
+      if (inst.edges[i].down_op == peer->second.op) {
+        edge_index = i;
+        break;
+      }
+    }
+  }
+  const auto settle = [&](std::map<OutKey, Outstanding>::iterator it) {
+    sim_.cancel(it->second.timer);
+    if (it->second.attempts > 0) {
+      metrics_.on_retry_acked((sim_.now() - it->second.first_sent).millis());
+    }
+    return outstanding_.erase(it);
+  };
+  if (edge_index) {
+    auto it = outstanding_.find(
+        OutKey{ack.to_instance.value(), ack.tuple.value(), *edge_index});
+    if (it != outstanding_.end()) settle(it);
+    return;
+  }
+  // The ACKing peer is unknown (it left): settle every entry for the
+  // tuple rather than retransmitting data that was in fact processed.
+  auto it = outstanding_.lower_bound(
+      OutKey{ack.to_instance.value(), ack.tuple.value(), 0});
+  while (it != outstanding_.end() &&
+         it->first.inst == ack.to_instance.value() &&
+         it->first.tuple == ack.tuple.value()) {
+    it = settle(it);
+  }
+}
+
+Worker::Instance* Worker::local_instance_of(OperatorId op) {
+  for (auto& [id, inst] : instances_) {
+    if (inst->info.op == op) return inst.get();
+  }
+  return nullptr;
+}
+
+Worker::Instance* Worker::spawn_fallback_instance(OperatorId op) {
+  auto inst = std::make_unique<Instance>();
+  // High-bit namespace keeps fallback ids clear of master-assigned ones.
+  inst->info.instance = InstanceId{(1ULL << 63) |
+                                   (device_.id().value() << 16) | op.value()};
+  inst->info.op = op;
+  inst->info.device = device_.id();
+  inst->decl = &graph_.op(op);
+  inst->rng = rng_.fork();
+  if (inst->decl->factory) inst->unit = inst->decl->factory();
+  // Downstream edges exist but know no peers, so the next hop recurses
+  // into local fallback too (or reaches a real local instance first).
+  for (OperatorId down : graph_.downstreams(op)) {
+    Instance::Edge edge;
+    edge.down_op = down;
+    edge.manager =
+        std::make_unique<core::SwarmManager>(config_.manager, rng_.fork());
+    inst->edges.push_back(std::move(edge));
+  }
+  Instance& ref = *inst;
+  inst->ctx = std::make_unique<InstanceContext>(*this, ref);
+  if (inst->unit) inst->unit->on_deploy(*inst->ctx);
+  SWING_LOG(kInfo) << "device " << device_.id()
+                   << " degraded to local execution of "
+                   << inst->decl->name;
+  instances_[inst->info.instance.value()] = std::move(inst);
+  return &ref;
+}
+
+void Worker::execute_locally(Instance& from, std::size_t edge_index,
+                             DataMsg data) {
+  const OperatorId down_op = from.edges[edge_index].down_op;
+  Instance* local = local_instance_of(down_op);
+  if (local == nullptr) local = spawn_fallback_instance(down_op);
+  metrics_.on_local_fallback();
+  data.dst_instance = local->info.instance;
+  data.src_device = device_.id();
+  data.sent_ns = sim_.now().nanos();
+  process_data(*local, std::move(data));
 }
 
 void Worker::leave() {

@@ -73,6 +73,35 @@ struct WorkerConfig {
     std::size_t buffer_cap = 64;  // Pending tuples per device; beyond: drop.
   } batching;
 
+  // swing-chaos recovery (see DESIGN.md §8). All knobs default to the
+  // seed's fault-free behaviour: no retransmission, no dedup memory, no
+  // local fallback. Swarm::with_recovery() turns the full path on.
+  struct Recovery {
+    // Upstream ACK-timeout retransmission: every non-loopback data send is
+    // tracked until its ACK; silence past the (exponentially backed-off)
+    // timeout re-sends the tuple, re-routed to a different downstream when
+    // the manager has one.
+    bool retransmit = false;
+    // The ACK is application-level (sent after processing, §IV-C), so the
+    // timeout must sit above typical queuing + compute delay, not RTT —
+    // too low and spurious retransmits of already-delivered tuples congest
+    // the very window the source dispatch blocks on.
+    SimDuration ack_timeout = seconds(2.0);
+    double backoff = 2.0;  // Timeout multiplier per attempt.
+    int max_retries = 3;
+    // Tracked-send table cap; sends beyond it are simply not tracked
+    // (bounded memory beats bounded loss here).
+    std::size_t max_outstanding = 2048;
+    // Receiver-side duplicate suppression: per-instance memory of the last
+    // N processed tuple ids. A duplicate is re-ACKed (the original ACK may
+    // be what the wire lost) and discarded. 0 disables.
+    std::size_t dedup_window = 0;
+    // Graceful degradation: when an edge has no reachable downstream (all
+    // suspected dead, or retries exhausted), execute the downstream
+    // operator on this device instead of dropping the tuple.
+    bool local_fallback = false;
+  } recovery;
+
   // swing-audit hook (see core/tuple_ledger.h): when set, the worker
   // reports every tuple emission, delivery, drop, reorder release and
   // latency sample to the ledger. Installed by the Swarm; null (off) for
@@ -114,6 +143,24 @@ class Worker {
   // Graceful leave: tell the master goodbye, then shut down.
   void leave();
 
+  // swing-chaos crash-stop: halts like shutdown() but as a *fault* — no
+  // reorder flush, no goodbye, and everything still queued on this device
+  // (deploy-race buffers, unflushed batches, the compute queue, a blocked
+  // dispatch) is recorded as a DropReason::kAbruptLeave loss rather than
+  // benign in-flight residue.
+  void crash();
+
+  // swing-chaos freeze: a frozen worker stops processing entirely — no
+  // message handling (inbound messages buffer up to pending_data_cap), no
+  // heartbeats, no source emissions — then replays the buffered inbox on
+  // thaw. Models a GC pause / suspended app.
+  void set_frozen(bool frozen);
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  // swing-chaos slow-down: multiplies every local operator cost (thermal
+  // throttling, background load). 1.0 restores normal speed.
+  void set_slowdown(double factor) { slowdown_ = factor < 0.0 ? 0.0 : factor; }
+
   // --- Introspection (tests/benches) ---------------------------------
 
   [[nodiscard]] std::size_t instance_count() const {
@@ -131,13 +178,42 @@ class Worker {
   [[nodiscard]] std::uint64_t malformed_messages() const {
     return malformed_messages_;
   }
+  [[nodiscard]] std::size_t outstanding_sends() const {
+    return outstanding_.size();
+  }
 
  private:
   struct Instance;
 
   class InstanceContext;  // dataflow::Context implementation.
 
-  struct PendingSend;
+  // A data message committed to a connection; also the unit of
+  // retransmission tracking (swing-chaos).
+  struct PendingSend {
+    DataMsg data;
+    DeviceId dst_device;
+    TupleId tuple_id;  // For audit attribution if the send ultimately fails.
+    std::uint64_t wire = 0;
+    bool from_source = false;
+    std::size_t edge_index = 0;  // Which edge of the sending instance.
+  };
+
+  // Key of one tracked (un-ACKed) send: the sending instance, the tuple,
+  // and the edge it went out on — a multi-edge tuple is tracked per edge.
+  struct OutKey {
+    std::uint64_t inst = 0;
+    std::uint64_t tuple = 0;
+    std::uint64_t edge = 0;
+    friend constexpr auto operator<=>(const OutKey&, const OutKey&) = default;
+  };
+
+  struct Outstanding {
+    PendingSend send;       // Kept verbatim for re-sending.
+    int attempts = 0;       // Retransmissions performed so far.
+    SimTime first_sent{};   // For the retry-latency histogram.
+    EventId timer{};
+    InstanceId last_target;  // Avoided on the next retransmit.
+  };
 
   void dispatch_message(const net::Message& msg);
   void send_on_edge(Instance& from, std::size_t edge_index,
@@ -166,6 +242,18 @@ class Worker {
                        const DelayBreakdown& accumulated);
   Instance* find_instance(InstanceId id);
 
+  // --- swing-chaos recovery (see WorkerConfig::Recovery) ----------------
+  void track_outstanding(Instance& from, const PendingSend& send);
+  void on_retry_timeout(OutKey key);
+  void resolve_outstanding(Instance& inst, const AckMsg& ack);
+  // Degraded-mode execution of edge `edge_index`'s downstream operator on
+  // this device (no reachable downstream / retries exhausted).
+  void execute_locally(Instance& from, std::size_t edge_index, DataMsg data);
+  Instance* local_instance_of(OperatorId op);
+  Instance* spawn_fallback_instance(OperatorId op);
+  void note_compute_done(TupleId id);
+  void drop_queued(TupleId id, core::DropReason reason);
+
   Simulator& sim_;
   device::Device& device_;
   net::Transport& transport_;
@@ -178,8 +266,18 @@ class Worker {
   std::unique_ptr<PeriodicTask> heartbeat_task_;
   bool running_ = false;
   bool alive_ = true;
+  bool frozen_ = false;
+  double slowdown_ = 1.0;
   std::uint64_t processed_ = 0;
   std::uint64_t malformed_messages_ = 0;
+
+  // Un-ACKed tracked sends (retransmission). std::map: deterministic order.
+  std::map<OutKey, Outstanding> outstanding_;
+  // Tuples accepted into the device's compute queue and not yet done, so a
+  // crash can attribute them (multiset semantics via a count).
+  std::map<std::uint64_t, int> compute_queue_;
+  // Messages received while frozen, replayed in order on thaw.
+  std::deque<net::Message> frozen_inbox_;
 
   std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
   // Every instance this worker knows about (routing address book).

@@ -75,6 +75,55 @@ TEST(ReorderBuffer, LateTupleDropped) {
   EXPECT_EQ(cap.ids, (std::vector<std::uint64_t>{5, 6}));
 }
 
+// swing-chaos regression: a retransmitted duplicate arriving after its
+// original was already released must be classified as a *duplicate*
+// (harmless — the sink saw the tuple) and not as a late drop (which the
+// ledger would book as data loss and the glitch counters would show).
+TEST(ReorderBuffer, RetransmittedDuplicateAfterReleaseIsDedupNotLate) {
+  Capture cap;
+  std::vector<std::uint64_t> lates;
+  std::vector<std::uint64_t> dups;
+  ReorderBuffer buf{
+      2, cap.fn(),
+      [&](const Tuple& t) { lates.push_back(t.id().value()); },
+      [&](const Tuple& t) { dups.push_back(t.id().value()); }};
+  buf.push(tuple(5), SimTime{});
+  buf.push(tuple(6), SimTime{});
+  buf.push(tuple(7), SimTime{});  // Overflow releases 5.
+  ASSERT_EQ(cap.ids, std::vector<std::uint64_t>{5});
+
+  buf.push(tuple(5), SimTime{});  // Retransmit raced the original: dup.
+  EXPECT_EQ(dups, std::vector<std::uint64_t>{5});
+  EXPECT_EQ(buf.dup_drops(), 1u);
+  EXPECT_EQ(buf.late_drops(), 0u);
+  EXPECT_TRUE(lates.empty());
+
+  buf.push(tuple(3), SimTime{});  // Never played before: genuinely late.
+  EXPECT_EQ(lates, std::vector<std::uint64_t>{3});
+  EXPECT_EQ(buf.late_drops(), 1u);
+  EXPECT_EQ(buf.dup_drops(), 1u);
+
+  buf.flush(SimTime{});
+  EXPECT_EQ(cap.ids, (std::vector<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(ReorderBuffer, DuplicateMemoryIsBounded) {
+  Capture cap;
+  ReorderBuffer buf{2, cap.fn()};
+  // Play a long run; the played-id memory must not grow without bound.
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    buf.push(tuple(id), SimTime{});
+  }
+  buf.flush(SimTime{});
+  // A duplicate of a recently played id still dedups...
+  buf.push(tuple(999), SimTime{});
+  EXPECT_EQ(buf.dup_drops(), 1u);
+  // ...while one far outside the memory window degrades to a late drop —
+  // the bounded-memory tradeoff, not data loss (the original played).
+  buf.push(tuple(1), SimTime{});
+  EXPECT_EQ(buf.late_drops(), 1u);
+}
+
 TEST(ReorderBuffer, ZeroCapacityBehavesAsOne) {
   Capture cap;
   ReorderBuffer buf{0, cap.fn()};

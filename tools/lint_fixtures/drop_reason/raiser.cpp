@@ -1,0 +1,6 @@
+// Fixture drop site: raises kWired and kUnnamed; nobody raises kUnraised.
+#include "tuple_ledger.h"
+
+DropReason raise_some(bool first) {
+  return first ? DropReason::kWired : DropReason::kUnnamed;
+}

@@ -1,0 +1,13 @@
+// Fixture name switch: covers kWired and kUnraised, misses kUnnamed.
+#include "tuple_ledger.h"
+
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kWired:
+      return "wired";
+    case DropReason::kUnraised:
+      return "unraised";
+    default:
+      return "unknown";
+  }
+}

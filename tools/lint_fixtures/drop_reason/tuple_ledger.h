@@ -1,0 +1,14 @@
+// Fixture for the drop-reason-wired rule: kWired is named in the .cpp and
+// raised in raiser.cpp (clean); kUnnamed is raised but missing from the
+// name switch; kUnraised is named but no drop site ever raises it.
+// expect-lint: drop-reason-wired
+// expect-lint: drop-reason-wired
+#pragma once
+
+#include <cstdint>
+
+enum class DropReason : std::uint8_t {
+  kWired = 0,
+  kUnnamed = 1,
+  kUnraised = 2,
+};

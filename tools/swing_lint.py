@@ -22,6 +22,14 @@ Rules (see DESIGN.md "Correctness tooling"):
                   fuzz/*.cpp must reference T::from_bytes. Decoders parse
                   untrusted bytes; an unfuzzed decoder is an untested
                   attack surface (see fuzz/fuzz_harness.h).
+  drop-reason-wired
+                  Every DropReason enumerator (src/core/tuple_ledger.h)
+                  must be named in tuple_ledger.cpp's drop_reason_name
+                  switch AND raised from at least one other src/ file. An
+                  enumerator nobody raises is dead taxonomy; one without a
+                  name breaks the tuples_dropped{reason=} counters and the
+                  audit summary (swing-chaos added kRetryExhausted and
+                  kAbruptLeave this way — keep the invariant mechanical).
 
 Suppression: append `// swing-lint: allow(<rule>)` to the offending line.
 
@@ -60,6 +68,8 @@ DEFAULTED_DELETE_RE = re.compile(r"=\s*delete\b")
 ALLOW_RE = re.compile(r"//\s*swing-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+DROP_ENUM_RE = re.compile(r"enum\s+class\s+DropReason[^{]*\{(.*?)\}", re.DOTALL)
+DROP_ENUMERATOR_RE = re.compile(r"\b(k\w+)\b")
 
 Finding = collections.namedtuple("Finding", "path line rule message")
 
@@ -265,6 +275,66 @@ class Linter:
                     f"harness (add fuzz/fuzz_<name>.cpp; see "
                     f"fuzz/fuzz_harness.h)")
 
+    # --- Drop-reason wiring rule -------------------------------------------
+
+    def scan_drop_reasons(self, header: pathlib.Path,
+                          ledger_cpp: pathlib.Path,
+                          src_root: pathlib.Path):
+        """Each DropReason enumerator must be named and actually raised.
+
+        "Named": referenced in the ledger .cpp (the drop_reason_name switch
+        that feeds counters and audit summaries). "Raised": referenced in at
+        least one src/ file other than the ledger pair — a reason nobody
+        raises is dead taxonomy. Findings land on the enumerator's decl line.
+        """
+        if not header.is_file():
+            return
+        raw = header.read_text(encoding="utf-8", errors="replace")
+        code = strip_comments_and_strings(raw)
+        m = DROP_ENUM_RE.search(code)
+        if not m:
+            return
+        enumerators = DROP_ENUMERATOR_RE.findall(m.group(1))
+        if not enumerators:
+            return
+
+        ledger_code = ""
+        if ledger_cpp.is_file():
+            ledger_code = strip_comments_and_strings(
+                ledger_cpp.read_text(encoding="utf-8", errors="replace"))
+        other_code = []
+        for path in sorted(src_root.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES:
+                continue
+            if path.resolve() in (header.resolve(), ledger_cpp.resolve()):
+                continue
+            other_code.append(strip_comments_and_strings(
+                path.read_text(encoding="utf-8", errors="replace")))
+
+        code_lines = code.splitlines()
+        raw_lines = raw.splitlines()
+        for name in enumerators:
+            word = re.compile(rf"\b{re.escape(name)}\b")
+            decl_line = next(
+                (i for i, line in enumerate(code_lines, start=1)
+                 if word.search(line)), 1)
+            raw_line = (raw_lines[decl_line - 1]
+                        if decl_line <= len(raw_lines) else "")
+            if "drop-reason-wired" in allowed_rules(raw_line):
+                continue
+            if not word.search(ledger_code):
+                self.report(
+                    header, decl_line, "drop-reason-wired",
+                    f"DropReason::{name} has no entry in "
+                    f"{ledger_cpp.name}'s drop_reason_name switch "
+                    f"(counters and audit summaries would say 'unknown')")
+            if not any(word.search(code) for code in other_code):
+                self.report(
+                    header, decl_line, "drop-reason-wired",
+                    f"DropReason::{name} is never raised outside the "
+                    f"ledger (dead taxonomy — wire a drop site or remove "
+                    f"the enumerator)")
+
     # --- Tree walks ---------------------------------------------------------
 
     def scan_tree(self):
@@ -276,6 +346,8 @@ class Linter:
                                check_new_delete=True, check_bare_assert=True)
         self.scan_include_cycles(src)
         self.scan_fuzz_coverage(src, self.root / "fuzz")
+        self.scan_drop_reasons(src / "core" / "tuple_ledger.h",
+                               src / "core" / "tuple_ledger.cpp", src)
         for tree in ("tests", "bench", "examples", "fuzz"):
             for path in sorted((self.root / tree).rglob("*")):
                 if path.suffix in CXX_SUFFIXES:
@@ -320,6 +392,9 @@ def run_self_test(fixtures: pathlib.Path) -> int:
                          check_bare_assert="no_bare_assert" not in path.name)
     linter.scan_include_cycles(fixtures)
     linter.scan_fuzz_coverage(fixtures, fixtures / "fuzz")
+    linter.scan_drop_reasons(fixtures / "drop_reason" / "tuple_ledger.h",
+                             fixtures / "drop_reason" / "tuple_ledger.cpp",
+                             fixtures / "drop_reason")
 
     got = collections.Counter((f.path, f.rule) for f in linter.findings)
     want = collections.Counter()
