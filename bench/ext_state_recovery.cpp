@@ -1,0 +1,263 @@
+// Extension study (swing-state): what operator-state checkpointing buys
+// when a device leaves mid-run, measured on the app where it matters —
+// scene analysis, whose fusion join holds cross-branch half-results in
+// memory. Reruns the Fig. 9 "leave" event (abrupt departure of a
+// fusion-hosting worker) and a chaos crash (same departure on a lossy
+// medium), each with checkpointing off (the swing-chaos recovery path
+// alone) and on (periodic snapshots shipped to the master, restore on a
+// survivor). With checkpoints the join's pending halves survive the
+// crash, so strictly fewer frames are lost; anything consumed since the
+// last checkpoint is booked as state-lost drops, never silently
+// vanished. The planned-departure path (quiesce -> drain -> final
+// snapshot -> restore on the target) is measured too: zero tuple loss,
+// ledger-audited.
+//
+// Frames lost is terminal: emitted minus delivered after stop + drain,
+// so late-but-recovered frames do not count (the fig09 windowed metric
+// would misread retransmission latency as loss).
+#include "bench/bench_util.h"
+#include "common/ascii_chart.h"
+
+#include "apps/scene_analysis.h"
+#include "core/tuple_ledger.h"
+#include "runtime/scenario.h"
+
+using namespace swing;
+using namespace swing::bench;
+
+namespace {
+
+OperatorId find_op(const dataflow::AppGraph& graph, const std::string& name) {
+  for (const auto& op : graph.operators()) {
+    if (op.name == name) return op.id;
+  }
+  return OperatorId{};
+}
+
+// Depth and duration of the delivered-scenes dip after the event; same
+// definition as fig09_join_leave (baseline = mean pre-event bins minus
+// warmup, dip lasts while bins stay under 90% of baseline).
+struct DipStats {
+  double baseline_fps = 0.0;
+  double depth_fps = 0.0;
+  double duration_s = 0.0;
+};
+
+DipStats dip_stats(const std::vector<std::size_t>& bins, int event_s) {
+  DipStats out;
+  const std::size_t warmup = 2;
+  std::size_t n = 0;
+  for (std::size_t i = warmup; i < bins.size() && int(i) < event_s; ++i) {
+    out.baseline_fps += double(bins[i]);
+    ++n;
+  }
+  if (n > 0) out.baseline_fps /= double(n);
+  double lowest = out.baseline_fps;
+  for (std::size_t i = std::size_t(event_s); i < bins.size(); ++i) {
+    lowest = std::min(lowest, double(bins[i]));
+    if (double(bins[i]) < 0.9 * out.baseline_fps) {
+      out.duration_s += 1.0;
+    } else if (out.duration_s > 0.0) {
+      break;
+    }
+  }
+  out.depth_fps = out.baseline_fps - lowest;
+  return out;
+}
+
+struct RunResult {
+  std::vector<std::size_t> bins;
+  DipStats dip;
+  std::uint64_t frames_lost = 0;    // Terminal: emitted - delivered, drained.
+  std::uint64_t state_lost = 0;     // Drops booked as DropReason::kStateLost.
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoints_restored = 0;
+  std::uint64_t migrations = 0;
+  bool conserved = false;
+  std::string audit;
+};
+
+enum class Event { kCrash, kMigrate };
+
+// One scene-analysis run on the strong-signal trio G/H/I with the event
+// fired at `before_s`. Checkpointing (100 ms interval) rides on top of the
+// swing-chaos recovery path when enabled; `loss` > 0 turns the clean leave
+// into a chaos crash on a lossy medium.
+RunResult run_scenario(Event event, bool checkpointing, double loss,
+                       int before_s, int after_s, std::uint64_t seed) {
+  apps::SceneAnalysisConfig app;
+  // Widen the branch asymmetry so the join genuinely holds state: face
+  // halves wait ~145 ms for their object half, so there are pending
+  // frames inside the fusion instances at any instant — exactly the state
+  // a crash destroys and a checkpoint preserves. Costs keep the object
+  // branch at ~60% utilisation so steady-state losses stay at zero and
+  // every lost frame is attributable to the event.
+  app.face_cost_ms = 5.0;
+  app.object_cost_ms = 150.0;
+  apps::TestbedConfig config;
+  config.workers = {"G", "H", "I"};
+  config.seed = seed;
+  config.swarm.with_recovery();
+  if (checkpointing) config.swarm.with_checkpointing(millis(100));
+  if (loss > 0.0) {
+    config.swarm.chaos_enabled = true;
+    config.swarm.chaos.seed = seed;
+    config.swarm.chaos.loss = loss;
+  }
+
+  apps::Testbed bed{config};
+  bed.launch(apps::scene_analysis_graph(app));
+  auto& swarm = bed.swarm();
+  const OperatorId fusion = find_op(swarm.graph(), "fusion");
+
+  // Deterministic victim: the first fusion instance hosted off the master
+  // device (the same rule the State* tests use). For migration the target
+  // is the next distinct fusion-hosting worker.
+  DeviceId victim{};
+  DeviceId target{};
+  for (const auto& info : swarm.master()->instances_of(fusion)) {
+    if (info.device == swarm.master()->device()) continue;
+    if (!victim.valid()) {
+      victim = info.device;
+    } else if (info.device != victim && !target.valid()) {
+      target = info.device;
+    }
+  }
+
+  const SimTime t0 = bed.sim().now();
+  bed.run(seconds(double(before_s)));
+
+  if (event == Event::kCrash) {
+    swarm.leave_abruptly(victim);
+  } else {
+    swarm.migrate_stateful(victim, target);
+  }
+  bed.run(seconds(double(after_s)));
+
+  RunResult out;
+  out.bins = swarm.metrics().throughput_bins(t0, bed.sim().now());
+  out.dip = dip_stats(out.bins, before_s);
+  out.checkpoints_taken = swarm.metrics().checkpoints_taken();
+  out.checkpoints_restored = swarm.metrics().checkpoints_restored();
+  out.migrations = swarm.metrics().migrations_completed();
+
+  // Drain before auditing so every in-flight tuple lands or drops
+  // deterministically; only then is emitted - delivered a loss count.
+  swarm.stop();
+  bed.run(seconds(8.0));
+  const core::AuditReport report = swarm.audit();
+  out.frames_lost = report.emitted - report.delivered;
+  out.conserved = report.conserved();
+  out.audit = report.summary();
+  const auto it = report.drops_by_reason.find(core::DropReason::kStateLost);
+  if (it != report.drops_by_reason.end()) out.state_lost = it->second;
+  return out;
+}
+
+void print_run(const char* label, const RunResult& run, int event_s) {
+  std::cout << "--- " << label << " ---\n";
+  ChartSeries tput{"delivered scenes/s", '*', {}};
+  for (std::size_t i = 0; i < run.bins.size(); ++i) {
+    tput.points.emplace_back(double(i), double(run.bins[i]));
+  }
+  ChartOptions options;
+  options.width = 60;
+  options.height = 8;
+  options.y_min = 0.0;
+  options.y_max = 15.0;
+  options.x_label = "time (s)";
+  std::cout << render_chart({tput}, options);
+  std::cout << "event at t=" << event_s << "s; frames lost " << run.frames_lost
+            << "; dip " << fmt(run.dip.depth_fps, 1) << " fps for "
+            << fmt(run.dip.duration_s, 0) << " s; checkpoints taken "
+            << run.checkpoints_taken << ", restored "
+            << run.checkpoints_restored << ", state-lost drops "
+            << run.state_lost << "\n"
+            << "audit: " << run.audit << "\n\n";
+}
+
+void add_rows(obs::BenchReport& report, const char* scenario,
+              const RunResult& run) {
+  for (std::size_t i = 0; i < run.bins.size(); ++i) {
+    obs::Json& row = report.add_result();
+    row["scenario"] = scenario;
+    row["t_s"] = std::uint64_t(i);
+    row["throughput_fps"] = std::uint64_t(run.bins[i]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args{argc, argv};
+  const int before_s = args.get_int("before", 8);
+  const int after_s = args.get_int("after", 12);
+  const double chaos_loss = args.get_double("loss", 0.05);
+  const BenchCli cli =
+      parse_standard(args, "ext_state_recovery", double(before_s + after_s));
+  obs::BenchReport report = cli.make_report();
+  report.set_config("before_s", std::int64_t(before_s));
+  report.set_config("after_s", std::int64_t(after_s));
+  report.set_config("chaos_loss", chaos_loss);
+
+  std::cout << "=== ext_state_recovery: scene-analysis join under leave, "
+               "chaos crash, and migration ===\n\n";
+
+  const RunResult leave_off =
+      run_scenario(Event::kCrash, false, 0.0, before_s, after_s, cli.seed);
+  print_run("leave, checkpointing OFF (recovery only)", leave_off, before_s);
+
+  const RunResult leave_on =
+      run_scenario(Event::kCrash, true, 0.0, before_s, after_s, cli.seed);
+  print_run("leave, checkpointing ON (100 ms interval)", leave_on, before_s);
+
+  const RunResult chaos_off = run_scenario(Event::kCrash, false, chaos_loss,
+                                           before_s, after_s, cli.seed);
+  print_run("chaos crash (lossy medium), checkpointing OFF", chaos_off,
+            before_s);
+
+  const RunResult chaos_on = run_scenario(Event::kCrash, true, chaos_loss,
+                                          before_s, after_s, cli.seed);
+  print_run("chaos crash (lossy medium), checkpointing ON", chaos_on,
+            before_s);
+
+  const RunResult moved =
+      run_scenario(Event::kMigrate, true, 0.0, before_s, after_s, cli.seed);
+  print_run("planned migration, checkpointing ON", moved, before_s);
+
+  add_rows(report, "leave_nockpt", leave_off);
+  add_rows(report, "leave_ckpt", leave_on);
+  add_rows(report, "chaos_nockpt", chaos_off);
+  add_rows(report, "chaos_ckpt", chaos_on);
+  add_rows(report, "migrate", moved);
+
+  report.set_summary("leave_nockpt_frames_lost", leave_off.frames_lost);
+  report.set_summary("leave_ckpt_frames_lost", leave_on.frames_lost);
+  report.set_summary("leave_nockpt_recovery_s", leave_off.dip.duration_s);
+  report.set_summary("leave_ckpt_recovery_s", leave_on.dip.duration_s);
+  report.set_summary("chaos_nockpt_frames_lost", chaos_off.frames_lost);
+  report.set_summary("chaos_ckpt_frames_lost", chaos_on.frames_lost);
+  report.set_summary("ckpt_state_lost", leave_on.state_lost);
+  report.set_summary("checkpoints_taken", leave_on.checkpoints_taken);
+  report.set_summary("checkpoints_restored", leave_on.checkpoints_restored);
+  report.set_summary("migrate_frames_lost", moved.frames_lost);
+  report.set_summary("migrate_state_lost", moved.state_lost);
+  report.set_summary("migrations_completed", moved.migrations);
+  report.set_summary("migrate_conserved", moved.conserved ? 1.0 : 0.0);
+
+  std::cout << "=== summary ===\n"
+            << "leave frames lost:       " << leave_off.frames_lost
+            << " (no checkpoint) vs " << leave_on.frames_lost
+            << " (checkpointed)\n"
+            << "chaos crash frames lost: " << chaos_off.frames_lost
+            << " (no checkpoint) vs " << chaos_on.frames_lost
+            << " (checkpointed)\n"
+            << "planned migration: " << moved.frames_lost << " frames lost, "
+            << moved.migrations << " instance(s) moved, state-lost drops "
+            << moved.state_lost
+            << (moved.conserved ? ", ledger conserved" : ", LEDGER IMBALANCE")
+            << "\n";
+
+  cli.finish(report);
+  return 0;
+}

@@ -20,6 +20,8 @@ struct Timeline {
 };
 
 // The display sink: records each recognised gesture with its window index.
+// swing-lint: stateless — the timeline is an output channel, not operator
+// state to checkpoint.
 class GestureDisplay final : public dataflow::FunctionUnit {
  public:
   explicit GestureDisplay(std::shared_ptr<Timeline> out)

@@ -22,6 +22,8 @@ struct Captions {
 
 // A custom sink: the paper's "display results" unit. Receives translated
 // tuples and renders them (here: records them for printing).
+// swing-lint: stateless — the caption list is an output channel, not
+// operator state to checkpoint.
 class CaptionDisplay final : public dataflow::FunctionUnit {
  public:
   explicit CaptionDisplay(std::shared_ptr<Captions> out)

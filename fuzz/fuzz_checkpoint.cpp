@@ -1,0 +1,14 @@
+// Fuzz target: CheckpointMsg::from_bytes (worker -> master snapshot ship).
+//
+// The state payload is an opaque length-prefixed blob here; the inner
+// envelope (dedup ids + unit state) is parsed on restore, not on store, so
+// this target covers the outer framing only.
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::state::CheckpointMsg msg =
+      swing::state::CheckpointMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,14 @@
+// Fuzz target: RestoreMsg::from_bytes (master -> worker redeploy+restore).
+//
+// Carries a routing seed list whose wire-claimed count must be bounds-
+// checked before reserve — the same hostile-count shape that once crashed
+// DeployMsg (see fuzz_deploy.cpp history).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::Bytes input(data, data + size);
+  const swing::state::RestoreMsg msg =
+      swing::state::RestoreMsg::from_bytes(input);
+  swing_fuzz_roundtrip(msg);
+}

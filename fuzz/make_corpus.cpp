@@ -16,6 +16,7 @@
 #include "common/bytes.h"
 #include "dataflow/tuple.h"
 #include "runtime/messages.h"
+#include "state/state_messages.h"
 
 namespace {
 
@@ -116,6 +117,42 @@ int main(int argc, char** argv) {
   features.dominant_axis = 1.0f;
   features.mean_bias = 0.25f;
   write_seed(root, "fuzz_gesture_features", "shake", features.to_bytes());
+
+  // swing-state messages. The checkpoint state payload is a realistic
+  // worker envelope: varint dedup count, dedup ids, then unit state.
+  ByteWriter envelope;
+  envelope.write_varint(2);
+  envelope.write_u64(40);
+  envelope.write_u64(41);
+  envelope.write_varint(1);  // FusionUnit: one pending half-result.
+  envelope.write_u64(42);
+  envelope.write_bytes(sample_tuple().to_bytes());
+  const Bytes state = envelope.take();
+
+  state::CheckpointMsg checkpoint;
+  checkpoint.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  checkpoint.epoch = 3;
+  checkpoint.taken_ns = 2'500'000'000;
+  checkpoint.state = state;
+  write_seed(root, "fuzz_checkpoint", "periodic", checkpoint.to_bytes());
+  checkpoint.epoch = 4;
+  checkpoint.migrate_to = DeviceId{2};
+  write_seed(root, "fuzz_checkpoint", "migration_final",
+             checkpoint.to_bytes());
+
+  state::RestoreMsg restore;
+  restore.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{2}};
+  restore.epoch = 3;
+  restore.sent_ns = 2'600'000'000;
+  restore.state = state;
+  restore.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  write_seed(root, "fuzz_restore", "with_downstream", restore.to_bytes());
+  write_seed(root, "fuzz_restore", "empty_state",
+             state::RestoreMsg{restore.instance, 0, 0, {}, {}}.to_bytes());
+
+  write_seed(root, "fuzz_migrate", "typical",
+             state::MigrateMsg{InstanceId{5}, DeviceId{2}}.to_bytes());
 
   std::printf("wrote %d seed(s) under %s\n", g_written, root.string().c_str());
   return 0;

@@ -67,6 +67,7 @@ namespace {
 
 // Detector: "finds" 1-2 faces in the frame and forwards the dominant face
 // region (a smaller blob) with its content tag, which encodes identity.
+// swing-lint: stateless — face_bytes_ is constructor configuration.
 class DetectorUnit final : public FunctionUnit {
  public:
   explicit DetectorUnit(std::uint64_t face_bytes)
@@ -87,6 +88,7 @@ class DetectorUnit final : public FunctionUnit {
 };
 
 // Recognizer: embeds the face region and matches the gallery.
+// swing-lint: stateless — the gallery is configuration, not tuple state.
 class RecognizerUnit final : public FunctionUnit {
  public:
   explicit RecognizerUnit(std::size_t gallery_size) {

@@ -133,12 +133,43 @@ class WindowUnit final : public FunctionUnit {
     ctx.emit(std::move(out));
   }
 
+  // --- swing-state contract ----------------------------------------------
+  // State = the window counter plus the partially filled buffer, in arrival
+  // order. Samples round-trip exactly: float widened to f64 and narrowed
+  // back is the identity. `window_samples_` is configuration.
+
+  [[nodiscard]] bool stateful() const override { return true; }
+
+  void snapshot_state(ByteWriter& out) const override {
+    out.write_u64(window_index_);
+    out.write_varint(buffer_.size());
+    for (const AccelSample& s : buffer_) {
+      out.write_f64(s.x);
+      out.write_f64(s.y);
+      out.write_f64(s.z);
+    }
+  }
+
+  void restore_state(ByteReader& in) override {
+    window_index_ = in.read_u64();
+    buffer_.clear();
+    const std::uint64_t n = in.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      AccelSample s;
+      s.x = float(in.read_f64());
+      s.y = float(in.read_f64());
+      s.z = float(in.read_f64());
+      buffer_.push_back(s);
+    }
+  }
+
  private:
   std::size_t window_samples_;
   std::vector<AccelSample> buffer_;
   std::uint64_t window_index_ = 0;
 };
 
+// swing-lint: stateless — pure per-tuple transform.
 class ClassifierUnit final : public FunctionUnit {
  public:
   void process(const Tuple& input, Context& ctx) override {

@@ -1,5 +1,6 @@
 #include "apps/scene_analysis.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -28,6 +29,8 @@ namespace {
 
 // Face branch: embeds and names the dominant face (same synthetic kernel
 // as the face-recognition app).
+// swing-lint: stateless — the gallery is configuration built in the
+// constructor, not state accumulated from tuples.
 class FaceBranchUnit final : public FunctionUnit {
  public:
   FaceBranchUnit() : names_(face_gallery(32)) {
@@ -83,6 +86,9 @@ class FusionUnit final : public FunctionUnit {
       merged.set(key, value);
     }
     pending_.erase(it);
+    // Keep order_ consistent with pending_: a stale id would both corrupt
+    // snapshots and make evict() drop live halves early.
+    order_.erase(std::find(order_.begin(), order_.end(), id));
 
     const auto* face = merged.get_as<std::string>("face_label");
     const auto* object = merged.get_as<std::string>("object_label");
@@ -90,6 +96,34 @@ class FusionUnit final : public FunctionUnit {
     Tuple out = merged.derive();
     out.set("scene", *face + " with a " + *object);
     ctx.emit(std::move(out));
+  }
+
+  // --- swing-state contract ----------------------------------------------
+  // The join state is the pending half-results; arrival order (the deque)
+  // is the canonical serialization order, so two instances holding the same
+  // state produce byte-identical snapshots. `window_` is configuration and
+  // is not serialized.
+
+  [[nodiscard]] bool stateful() const override { return true; }
+
+  void snapshot_state(ByteWriter& out) const override {
+    out.write_varint(order_.size());
+    for (const std::uint64_t id : order_) {
+      out.write_u64(id);
+      out.write_bytes(pending_.at(id).to_bytes());
+    }
+  }
+
+  void restore_state(ByteReader& in) override {
+    pending_.clear();
+    order_.clear();
+    const std::uint64_t n = in.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t id = in.read_u64();
+      pending_.emplace(id, Tuple::from_bytes(in.read_bytes()));
+      order_.push_back(id);
+    }
+    evict();  // A snapshot from a larger-window config still fits ours.
   }
 
   private:

@@ -31,6 +31,8 @@ const char* drop_reason_name(DropReason reason) {
       return "retry-exhausted";
     case DropReason::kAbruptLeave:
       return "abrupt-leave";
+    case DropReason::kStateLost:
+      return "state-lost";
   }
   return "unknown";
 }

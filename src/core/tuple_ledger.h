@@ -60,9 +60,14 @@ enum class DropReason : std::uint8_t {
   // The tuple was queued on a device that crashed (abrupt leave, §IV-C).
   // Distinct from in-flight-at-shutdown: a crash is a fault, not a drain.
   kAbruptLeave = 10,
+  // swing-state: the tuple's contribution to operator state was absorbed
+  // after the last shipped checkpoint, and the host crashed before the next
+  // one — the restored instance cannot replay it. Booked at crash time so
+  // conservation audits exactly even though the work itself is gone.
+  kStateLost = 11,
 };
 
-inline constexpr int kDropReasonCount = 11;
+inline constexpr int kDropReasonCount = 12;
 
 [[nodiscard]] const char* drop_reason_name(DropReason reason);
 

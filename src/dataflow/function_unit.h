@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -45,6 +46,21 @@ class FunctionUnit {
   // Called for each incoming tuple after the declared compute cost has been
   // charged to the hosting device.
   virtual void process(const Tuple& input, Context& ctx) = 0;
+
+  // --- Optional state contract (swing-state) ------------------------------
+  //
+  // A unit whose process() accumulates state across tuples opts in by
+  // returning true from stateful() and implementing snapshot_state() /
+  // restore_state(). Snapshots must be deterministic: iterate containers in
+  // a canonical order so that snapshot → restore → snapshot is a byte
+  // fixpoint (the determinism suite asserts this). The checkpoint epoch is
+  // carried alongside the snapshot by the runtime (see state::CheckpointMsg);
+  // units only serialize their own fields. restore_state() replaces — never
+  // merges with — the unit's current state and may throw WireFormatError on
+  // malformed bytes.
+  [[nodiscard]] virtual bool stateful() const { return false; }
+  virtual void snapshot_state(ByteWriter& /*out*/) const {}
+  virtual void restore_state(ByteReader& /*in*/) {}
 };
 
 using FunctionUnitFactory = std::function<std::unique_ptr<FunctionUnit>()>;
@@ -56,7 +72,9 @@ inline CostFn constant_cost(double ref_ms) {
   return [ref_ms](const Tuple&) { return ref_ms; };
 }
 
-// A function unit defined by a lambda; convenient for small stages.
+// A function unit defined by a lambda; convenient for small stages. The
+// callable is configuration, not accumulated tuple state.
+// swing-lint: stateless
 class LambdaUnit final : public FunctionUnit {
  public:
   using Fn = std::function<void(const Tuple&, Context&)>;

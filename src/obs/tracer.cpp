@@ -22,6 +22,12 @@ const char* trace_phase_name(TracePhase phase) {
       return "reorder-release";
     case TracePhase::kDisplay:
       return "display";
+    case TracePhase::kSnapshot:
+      return "snapshot";
+    case TracePhase::kTransfer:
+      return "state-transfer";
+    case TracePhase::kRestoreState:
+      return "restore";
   }
   return "unknown";
 }

@@ -37,6 +37,11 @@ enum class TracePhase : std::uint8_t {
   kAck = 5,      // Upstream received the ACK (instant).
   kRelease = 6,  // Reorder buffer released the tuple (instant).
   kDisplay = 7,  // Sink played the tuple (instant).
+  // swing-state checkpoint/migration lifecycle. The "tuple" id on these
+  // events is the instance id being snapshotted/moved, not a data tuple.
+  kSnapshot = 8,      // Worker serialized an instance's state (instant).
+  kTransfer = 9,      // Snapshot in flight, taken -> stored (span).
+  kRestoreState = 10,  // Target worker applied a restored snapshot (instant).
 };
 
 [[nodiscard]] const char* trace_phase_name(TracePhase phase);

@@ -30,6 +30,12 @@ const char* master_event_name(MasterEvent kind) {
       return "start";
     case MasterEvent::kStop:
       return "stop";
+    case MasterEvent::kCheckpoint:
+      return "checkpoint";
+    case MasterEvent::kRestore:
+      return "restore";
+    case MasterEvent::kMigrate:
+      return "migrate";
   }
   return "unknown";
 }
@@ -75,6 +81,9 @@ void Master::handle_message(const net::Message& msg) {
       }
       case MsgType::kBye:
         remove_device(msg.src);
+        break;
+      case MsgType::kCheckpoint:
+        handle_checkpoint(state::CheckpointMsg::from_bytes(msg.payload));
         break;
       default:
         break;  // Worker-bound messages; the runtime routes them elsewhere.
@@ -199,9 +208,31 @@ void Master::remove_device(DeviceId device) {
                               }),
                list.end());
   }
+  // swing-state redeploy-and-restore: a dead member's stateful instances
+  // with a stored checkpoint are relocated to a survivor instead of being
+  // torn down. The InstanceId is preserved, so key-partitioned fan-in keeps
+  // its mapping and pending retransmissions find the revived instance.
+  std::vector<InstanceInfo> lost;
+  for (const auto& info : gone) {
+    bool relocated = false;
+    if (config_.restore_from_checkpoint && op_stateful(info.op)) {
+      if (const auto* entry = checkpoints_.latest(info.instance)) {
+        const DeviceId target =
+            pick_restore_target(graph_.op(info.op), device);
+        if (target.valid()) {
+          const InstanceInfo revived{info.instance, info.op, target};
+          members_[target.value()].push_back(revived);
+          by_op_[info.op.value()].push_back(revived);
+          install_restore(*entry, target);
+          relocated = true;
+        }
+      }
+    }
+    if (!relocated) lost.push_back(info);
+  }
   // Broadcast removals so every upstream drops the dead instances.
   for (const auto& [member, instances] : members_) {
-    for (const auto& info : gone) {
+    for (const auto& info : lost) {
       RouteUpdateMsg update{InstanceId{}, info};
       send(DeviceId{member}, MsgType::kRemoveDownstream, update.to_bytes());
     }
@@ -233,6 +264,162 @@ std::size_t Master::instance_count() const {
   std::size_t n = 0;
   for (const auto& [op, list] : by_op_) n += list.size();
   return n;
+}
+
+// --- swing-state -----------------------------------------------------------
+
+bool Master::op_stateful(OperatorId op) const {
+  auto it = stateful_cache_.find(op.value());
+  if (it != stateful_cache_.end()) return it->second;
+  // Probe once: construct a throwaway unit from the declaration's factory.
+  // Statefulness is a property of the operator class, not of any instance.
+  const auto unit = graph_.op(op).factory();
+  const bool stateful = unit != nullptr && unit->stateful();
+  stateful_cache_[op.value()] = stateful;
+  return stateful;
+}
+
+DeviceId Master::pick_restore_target(const dataflow::OperatorDecl& op,
+                                     DeviceId exclude) const {
+  DeviceId best{};
+  std::size_t best_load = 0;
+  for (const auto& [member, instances] : members_) {
+    const DeviceId candidate{member};
+    if (candidate == exclude) continue;
+    if (!placeable(op, candidate)) continue;
+    if (!best.valid() || instances.size() < best_load) {
+      best = candidate;
+      best_load = instances.size();
+    }
+  }
+  return best;  // members_ is sorted, so ties land on the lowest device id.
+}
+
+void Master::relocate_record(const InstanceInfo& info, DeviceId target) {
+  auto member = members_.find(info.device.value());
+  if (member != members_.end()) {
+    auto& list = member->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const InstanceInfo& x) {
+                                return x.instance == info.instance;
+                              }),
+               list.end());
+  }
+  const InstanceInfo moved{info.instance, info.op, target};
+  members_[target.value()].push_back(moved);
+  for (auto& entry : by_op_[info.op.value()]) {
+    if (entry.instance == info.instance) entry.device = target;
+  }
+}
+
+void Master::install_restore(const state::CheckpointStore::Entry& entry,
+                             DeviceId target) {
+  state::RestoreMsg restore;
+  restore.instance =
+      InstanceInfo{entry.instance.instance, entry.instance.op, target};
+  restore.epoch = entry.epoch;
+  restore.sent_ns = sim_.now().nanos();
+  restore.state = entry.state;
+  for (OperatorId down_op : graph_.downstreams(entry.instance.op)) {
+    auto it = by_op_.find(down_op.value());
+    if (it == by_op_.end()) continue;
+    for (const auto& down : it->second) restore.downstreams.push_back(down);
+  }
+  send(target, MsgType::kRestore, restore.to_bytes());
+
+  // Re-announce the instance at its new address. AddDownstream overwrites
+  // the peer address book on hosts that already route to this InstanceId,
+  // so in-flight retransmissions converge on the revived instance.
+  for (OperatorId up_op : graph_.upstreams(entry.instance.op)) {
+    auto it = by_op_.find(up_op.value());
+    if (it == by_op_.end()) continue;
+    for (const auto& up : it->second) {
+      RouteUpdateMsg update{up.instance, restore.instance};
+      send(up.device, MsgType::kAddDownstream, update.to_bytes());
+    }
+  }
+  note_event(MasterEvent::kRestore, entry.instance.instance.value());
+}
+
+void Master::handle_checkpoint(const state::CheckpointMsg& msg) {
+  const bool stored = checkpoints_.store(msg);
+  if (stored) {
+    if (config_.registry != nullptr) {
+      config_.registry->counter("checkpoints_stored").inc();
+      config_.registry->histogram("checkpoint_latency_ms")
+          .record((sim_.now() - SimTime{msg.taken_ns}).millis());
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->span(obs::TracePhase::kTransfer,
+                           TupleId{msg.instance.instance.value()}, device_,
+                           SimTime{msg.taken_ns},
+                           sim_.now() - SimTime{msg.taken_ns});
+    }
+    note_event(MasterEvent::kCheckpoint, msg.instance.instance.value());
+  }
+  if (msg.migrate_to.valid()) complete_migration(msg);
+}
+
+void Master::complete_migration(const state::CheckpointMsg& msg) {
+  const auto* entry = checkpoints_.latest(msg.instance.instance);
+  if (entry == nullptr) return;  // Final snapshot lost an epoch race.
+  pending_migrations_.erase(msg.instance.instance.value());
+
+  DeviceId target = msg.migrate_to;
+  if (!members_.contains(target.value()) ||
+      !placeable(graph_.op(msg.instance.op), target)) {
+    // The planned target left mid-handoff; fall back to any survivor so the
+    // drained state is not stranded.
+    target = pick_restore_target(graph_.op(msg.instance.op),
+                                 msg.instance.device);
+    if (!target.valid()) return;
+  }
+  relocate_record(msg.instance, target);
+  install_restore(*entry, target);
+  if (config_.registry != nullptr) {
+    // Same (name, labels) key as the MetricsCollector's instrument, so this
+    // lands in the swarm-wide migrations_completed counter.
+    config_.registry->counter("migrations_completed").inc();
+  }
+}
+
+bool Master::migrate_instance(InstanceId instance, DeviceId to) {
+  if (!members_.contains(to.value())) return false;
+  const InstanceInfo* found = nullptr;
+  for (const auto& [member, instances] : members_) {
+    for (const auto& info : instances) {
+      if (info.instance == instance) found = &info;
+    }
+  }
+  if (found == nullptr) return false;
+  if (found->device == to) return false;
+  if (!op_stateful(found->op)) return false;
+  if (pending_migrations_.contains(instance.value())) return false;
+  const auto& decl = graph_.op(found->op);
+  switch (decl.placement) {
+    case dataflow::Placement::kMaster:
+      if (to != device_) return false;
+      break;
+    case dataflow::Placement::kWorkers:
+      if (to == device_ && !config_.transforms_on_master) return false;
+      break;
+  }
+  pending_migrations_[instance.value()] = to;
+  note_event(MasterEvent::kMigrate, instance.value());
+  send(found->device, MsgType::kMigrate,
+       state::MigrateMsg{instance, to}.to_bytes());
+  return true;
+}
+
+int Master::migrate_stateful(DeviceId from, DeviceId to) {
+  auto it = members_.find(from.value());
+  if (it == members_.end()) return 0;
+  const std::vector<InstanceInfo> hosted = it->second;  // Copy: we mutate.
+  int started = 0;
+  for (const auto& info : hosted) {
+    if (migrate_instance(info.instance, to)) ++started;
+  }
+  return started;
 }
 
 void Master::send(DeviceId to, MsgType type, Bytes payload) {

@@ -19,8 +19,11 @@
 #include "net/discovery.h"
 #include "net/transport.h"
 #include "obs/registry.h"
+#include "obs/tracer.h"
 #include "runtime/messages.h"
 #include "sim/simulator.h"
+#include "state/checkpoint_store.h"
+#include "state/state_messages.h"
 
 namespace swing::runtime {
 
@@ -45,6 +48,16 @@ struct MasterConfig {
   // "master_events"{kind=admit|deploy|remove|start|stop}. Installed by the
   // Swarm; null disables.
   obs::Registry* registry = nullptr;
+
+  // swing-state: when true, a removed member's stateful instances are
+  // redeployed on a surviving device and resumed from their latest stored
+  // checkpoint (same InstanceId, new address) instead of being broadcast
+  // away. Enabled by SwarmConfig::with_checkpointing().
+  bool restore_from_checkpoint = false;
+
+  // swing-obs: snapshot-transfer spans (taken -> stored). Installed by the
+  // Swarm when tracing is enabled.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Control-event kinds the master records in the audit ledger.
@@ -54,6 +67,11 @@ enum class MasterEvent : std::uint8_t {
   kRemove = 3,
   kStart = 4,
   kStop = 5,
+  // swing-state: a checkpoint was stored, an instance was redeployed with
+  // restored state, and a live migration was commanded.
+  kCheckpoint = 6,
+  kRestore = 7,
+  kMigrate = 8,
 };
 
 [[nodiscard]] const char* master_event_name(MasterEvent kind);
@@ -83,8 +101,23 @@ class Master {
   void admit(DeviceId device);
 
   // Removes a departed device: deletes its instances from the registry and
-  // broadcasts RemoveDownstream for each to all remaining members.
+  // broadcasts RemoveDownstream for each to all remaining members — except
+  // stateful instances with a stored checkpoint when restore_from_checkpoint
+  // is on: those are relocated to a survivor and resumed (same InstanceId).
   void remove_device(DeviceId device);
+
+  // --- swing-state live migration ----------------------------------------
+
+  // Planned handoff of one stateful instance to `to` (a current member).
+  // Returns false (and does nothing) when the instance is unknown, not
+  // stateful, already on `to`, or `to` cannot host its operator. The actual
+  // transfer completes asynchronously when the source's final snapshot
+  // arrives (see handle_checkpoint).
+  bool migrate_instance(InstanceId instance, DeviceId to);
+
+  // Migrates every stateful instance hosted on `from` to `to`; the planned
+  // counterpart of an abrupt leave. Returns how many handoffs started.
+  int migrate_stateful(DeviceId from, DeviceId to);
 
   // --- Introspection -----------------------------------------------------
 
@@ -96,6 +129,9 @@ class Master {
   [[nodiscard]] std::vector<InstanceInfo> instances_of(OperatorId op) const;
   [[nodiscard]] std::size_t instance_count() const;
   [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] const state::CheckpointStore& checkpoints() const {
+    return checkpoints_;
+  }
 
  private:
   // Builds and sends the Deploy for a new member, then notifies upstream
@@ -105,6 +141,24 @@ class Master {
                                DeviceId device) const;
   void send(DeviceId to, MsgType type, Bytes payload);
   void note_event(MasterEvent kind, std::uint64_t detail);
+
+  // --- swing-state ------------------------------------------------------
+  void handle_checkpoint(const state::CheckpointMsg& msg);
+  void complete_migration(const state::CheckpointMsg& msg);
+  // Sends RestoreMsg (snapshot + routing seeds) to `target` and re-announces
+  // the instance, at its new address, to every upstream host. The registry
+  // records (members_/by_op_) must already point at `target`.
+  void install_restore(const state::CheckpointStore::Entry& entry,
+                       DeviceId target);
+  // Re-homes the bookkeeping for `info` to `target` (same InstanceId).
+  void relocate_record(const InstanceInfo& info, DeviceId target);
+  // Deterministic survivor choice: fewest hosted instances, ties to the
+  // lowest device id; invalid when nobody placeable remains.
+  [[nodiscard]] DeviceId pick_restore_target(const dataflow::OperatorDecl& op,
+                                             DeviceId exclude) const;
+  // Whether `op`'s unit opts into the state contract (probed once via the
+  // factory and cached).
+  [[nodiscard]] bool op_stateful(OperatorId op) const;
 
   Simulator& sim_;
   DeviceId device_;
@@ -124,6 +178,11 @@ class Master {
   // device id -> last time we heard from it (heartbeat or control).
   std::map<std::uint64_t, SimTime> last_seen_;
   std::unique_ptr<PeriodicTask> sweep_task_;
+  // swing-state: latest snapshot per instance, in-flight planned handoffs
+  // (instance -> target), and the per-operator statefulness probe cache.
+  state::CheckpointStore checkpoints_;
+  std::map<std::uint64_t, DeviceId> pending_migrations_;
+  mutable std::map<std::uint64_t, bool> stateful_cache_;
 };
 
 }  // namespace swing::runtime

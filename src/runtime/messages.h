@@ -41,6 +41,12 @@ enum class MsgType : std::uint8_t {
   // Worker -> master liveness beacon; lets the master garbage-collect
   // members that die while idle (no data flowing to reveal the loss).
   kHeartbeat = 13,
+  // swing-state (src/state/state_messages.h): periodic operator-state
+  // snapshot shipped worker -> master, master -> worker redeploy-with-state,
+  // and the master's live-migration command.
+  kCheckpoint = 14,
+  kMigrate = 15,
+  kRestore = 16,
 };
 
 // A deployed function-unit instance and where it lives.

@@ -74,6 +74,12 @@ class MetricsCollector {
     fallback_counter_ = &registry_->counter("tuples_local_fallback");
     e2e_hist_ = &registry_->histogram("e2e_latency_ms");
     retry_hist_ = &registry_->histogram("retry_latency_ms");
+    checkpoint_taken_counter_ = &registry_->counter("checkpoints_taken");
+    checkpoint_restored_counter_ = &registry_->counter("checkpoints_restored");
+    migration_completed_counter_ = &registry_->counter("migrations_completed");
+    state_bytes_counter_ = &registry_->counter("state_bytes");
+    checkpoint_latency_hist_ = &registry_->histogram("checkpoint_latency_ms");
+    restore_latency_hist_ = &registry_->histogram("restore_latency_ms");
     transmission_hist_ = &registry_->histogram("delay_transmission_ms");
     queuing_hist_ = &registry_->histogram("delay_queuing_ms");
     processing_hist_ = &registry_->histogram("delay_processing_ms");
@@ -140,6 +146,28 @@ class MetricsCollector {
   // A retransmitted tuple was finally ACKed `ms` after its *first* send —
   // the latency cost paid by recovery (retry-latency histogram).
   void on_retry_acked(double ms) { retry_hist_->record(ms); }
+
+  // --- State events (swing-state) --------------------------------------
+
+  // A worker serialized one instance's state (periodic or migration-final).
+  void on_checkpoint_taken(std::uint64_t snapshot_bytes) {
+    checkpoint_taken_counter_->inc();
+    state_bytes_counter_->inc(snapshot_bytes);
+  }
+
+  // The master stored a checkpoint `ms` after the worker took it.
+  void on_checkpoint_stored(double ms) {
+    checkpoint_latency_hist_->record(ms);
+  }
+
+  // A worker applied a restored snapshot `ms` after the master sent it.
+  void on_checkpoint_restored(double ms) {
+    checkpoint_restored_counter_->inc();
+    restore_latency_hist_->record(ms);
+  }
+
+  // The master completed a quiesce/drain/snapshot/transfer/resume handoff.
+  void on_migration_completed() { migration_completed_counter_->inc(); }
 
   // --- Sampling (driven by the runtime's 1 s sampler) ------------------
 
@@ -220,6 +248,18 @@ class MetricsCollector {
   [[nodiscard]] const obs::Histogram& retry_latency() const {
     return *retry_hist_;
   }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const {
+    return checkpoint_taken_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t checkpoints_restored() const {
+    return checkpoint_restored_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t migrations_completed() const {
+    return migration_completed_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t state_bytes() const {
+    return state_bytes_counter_->value();
+  }
 
   // The whole-run end-to-end latency distribution (HDR histogram; exact
   // per-window stats come from latency_stats()).
@@ -254,6 +294,12 @@ class MetricsCollector {
   obs::Counter* retransmit_counter_ = nullptr;
   obs::Counter* dedup_counter_ = nullptr;
   obs::Counter* fallback_counter_ = nullptr;
+  obs::Counter* checkpoint_taken_counter_ = nullptr;
+  obs::Counter* checkpoint_restored_counter_ = nullptr;
+  obs::Counter* migration_completed_counter_ = nullptr;
+  obs::Counter* state_bytes_counter_ = nullptr;
+  obs::Histogram* checkpoint_latency_hist_ = nullptr;
+  obs::Histogram* restore_latency_hist_ = nullptr;
   obs::Histogram* e2e_hist_ = nullptr;
   obs::Histogram* retry_hist_ = nullptr;
   obs::Histogram* transmission_hist_ = nullptr;

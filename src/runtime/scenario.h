@@ -143,6 +143,16 @@ class Scenario {
     return leave_abruptly_at(when, id, std::move(label));
   }
 
+  // swing-state planned handoff: migrate every stateful instance on `from`
+  // to `to` before (say) a scripted departure. Needs
+  // SwarmConfig::with_checkpointing(); without it the master refuses and
+  // this is a no-op.
+  Scenario& migrate_at(SimDuration when, DeviceId from, DeviceId to,
+                       std::string label = "migrate") {
+    return at(when, std::move(label),
+              [from, to](Swarm& s) { s.migrate_stateful(from, to); });
+  }
+
   // Collect a throughput sample every `period` (default 1 s).
   Scenario& sample_every(SimDuration period) {
     sample_period_ = period;

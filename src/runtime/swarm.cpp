@@ -49,7 +49,10 @@ Swarm::Swarm(Simulator& sim, SwarmConfig config)
   // swarm-wide registry.
   config_.worker.manager.registry = &registry_;
   config_.master.registry = &registry_;
-  if (config_.trace.enabled) config_.worker.tracer = &tracer_;
+  if (config_.trace.enabled) {
+    config_.worker.tracer = &tracer_;
+    config_.master.tracer = &tracer_;
+  }
   cpu_sampler_.start();
 }
 
@@ -109,7 +112,8 @@ void Swarm::register_dispatch(DeviceId id) {
     if (master_ && master_->device() == id) {
       const auto type = MsgType(msg.type);
       if (type == MsgType::kHello || type == MsgType::kHeartbeat ||
-          type == MsgType::kLeaveReport || type == MsgType::kBye) {
+          type == MsgType::kLeaveReport || type == MsgType::kBye ||
+          type == MsgType::kCheckpoint) {
         master_->handle_message(msg);
         return;
       }
@@ -200,6 +204,11 @@ void Swarm::freeze_worker(DeviceId id, bool frozen) {
 void Swarm::slow_worker(DeviceId id, double factor) {
   Node& n = node(id);
   if (n.worker) n.worker->set_slowdown(factor);
+}
+
+int Swarm::migrate_stateful(DeviceId from, DeviceId to) {
+  if (!master_) return 0;
+  return master_->migrate_stateful(from, to);
 }
 
 void Swarm::shutdown() {

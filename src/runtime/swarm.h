@@ -79,6 +79,17 @@ struct SwarmConfig {
     worker.manager.ack_silence_timeout = seconds(4.0);
     return *this;
   }
+
+  // swing-state: workers periodically snapshot stateful instances to the
+  // master, which restores the latest checkpoint when the host crashes or
+  // leaves, and brokers live migration on planned departures. Off by
+  // default — checkpointing is a per-scenario opt-in like recovery.
+  SwarmConfig& with_checkpointing(SimDuration interval = seconds(1.0)) {
+    worker.checkpoint.enabled = true;
+    worker.checkpoint.interval = interval;
+    master.restore_from_checkpoint = true;
+    return *this;
+  }
 };
 
 class Swarm {
@@ -129,6 +140,13 @@ class Swarm {
   void freeze_worker(DeviceId id, bool frozen);
   // Multiplies the device's per-tuple compute cost (thermal throttling).
   void slow_worker(DeviceId id, double factor);
+
+  // --- swing-state live migration ----------------------------------------
+
+  // Planned handoff: every stateful instance on `from` quiesces, drains,
+  // snapshots, and resumes on `to` with zero tuple loss. Returns how many
+  // handoffs started (see Master::migrate_stateful).
+  int migrate_stateful(DeviceId from, DeviceId to);
 
   // Flushes sink reorder buffers and halts all workers (end of experiment).
   void shutdown();

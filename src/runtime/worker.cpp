@@ -56,9 +56,32 @@ struct Worker::Instance {
   std::uint64_t source_ordinal = 0;
   std::uint64_t source_count = 1;
   // swing-chaos dedup memory (Recovery::dedup_window): ids this instance
-  // already accepted for processing, as a sliding window.
+  // already accepted for processing, as a sliding window. Join fan-in
+  // (an operator with several upstream operators, e.g. the scene-analysis
+  // fusion) legitimately receives the SAME tuple id once per branch, so
+  // such instances key the window by (source instance, id); duplicates
+  // worth suppressing — retransmissions — repeat the source instance,
+  // and id-partitioned re-routing always re-targets the same join
+  // instance, so the narrower key loses nothing.
+  bool dedup_by_src = false;
   std::unordered_set<std::uint64_t> dedup_seen;
   std::deque<std::uint64_t> dedup_order;
+
+  [[nodiscard]] std::uint64_t dedup_key(std::uint64_t id,
+                                        InstanceId src) const {
+    return dedup_by_src ? id ^ (0x9e3779b97f4a7c15ULL * (src.value() + 1))
+                        : id;
+  }
+  // swing-state (stateful units with checkpointing enabled): the epoch of
+  // the last snapshot taken here, the ids absorbed into operator state
+  // since that snapshot shipped (lost if we crash — booked kStateLost),
+  // and live-migration progress. compute_pending counts this instance's
+  // jobs still queued on the device so a migration knows when it drained.
+  std::uint64_t checkpoint_epoch = 0;
+  std::vector<std::uint64_t> uncheckpointed;
+  bool migrating = false;
+  DeviceId migrate_target{};
+  int compute_pending = 0;
 
   void remember_tuple(std::uint64_t id, std::size_t window) {
     if (!dedup_seen.insert(id).second) return;
@@ -220,18 +243,26 @@ void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kAck:
       handle_ack(AckMsg::from_bytes(msg.payload));
       break;
+    case MsgType::kRestore:
+      handle_restore(state::RestoreMsg::from_bytes(msg.payload));
+      break;
+    case MsgType::kMigrate:
+      handle_migrate(state::MigrateMsg::from_bytes(msg.payload));
+      break;
     default:
       break;  // Master-bound messages; ignore.
   }
 }
 
-void Worker::activate(const DeployMsg::Assignment& assignment) {
+void Worker::activate(const DeployMsg::Assignment& assignment,
+                      const state::RestoreMsg* restore) {
   if (instances_.contains(assignment.self.instance.value())) return;
 
   auto inst = std::make_unique<Instance>();
   inst->info = assignment.self;
   inst->decl = &graph_.op(assignment.self.op);
   inst->rng = rng_.fork();
+  inst->dedup_by_src = graph_.upstreams(assignment.self.op).size() > 1;
   if (inst->decl->factory) inst->unit = inst->decl->factory();
 
   // One swarm manager per outgoing graph edge.
@@ -306,6 +337,40 @@ void Worker::activate(const DeployMsg::Assignment& assignment) {
 
   if (inst->unit) inst->unit->on_deploy(*inst->ctx);
 
+  // swing-state: apply a restored snapshot between on_deploy and the
+  // pending-data replay below, so buffered/retransmitted tuples meet the
+  // revived operator state (and its dedup memory) instead of a blank unit.
+  // A malformed envelope throws WireFormatError, aborting the activation —
+  // handle_message counts it and the master's next sweep can retry.
+  if (restore != nullptr && inst->unit) {
+    ByteReader r{restore->state};
+    const auto n = r.read_varint();
+    check_wire_count(n, r, 8, "restored dedup id");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t seen = r.read_u64();
+      if (config_.recovery.dedup_window > 0) {
+        ref.remember_tuple(seen, config_.recovery.dedup_window);
+      }
+    }
+    inst->unit->restore_state(r);
+    inst->checkpoint_epoch = restore->epoch;
+    metrics_.on_checkpoint_restored(
+        (sim_.now() - SimTime{restore->sent_ns}).millis());
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(obs::TracePhase::kRestoreState,
+                              TupleId{inst->info.instance.value()},
+                              device_.id(), sim_.now());
+    }
+    SWING_LOG(kInfo) << "device " << device_.id() << " restored "
+                     << inst->decl->name << " instance "
+                     << inst->info.instance << " at epoch "
+                     << restore->epoch;
+  }
+
+  if (config_.checkpoint.enabled && inst->unit && inst->unit->stateful()) {
+    ensure_checkpoint_task();
+  }
+
   SWING_LOG(kInfo) << "device " << device_.id() << " activated "
                    << inst->decl->name << " as instance "
                    << inst->info.instance;
@@ -346,6 +411,13 @@ void Worker::handle_data(const net::Message& msg) {
 
   Instance* inst = find_instance(data.dst_instance);
   if (inst == nullptr) {
+    // A migrated-away instance: relay to its new host (upstream routing
+    // tables lag the handoff by one AddDownstream round-trip).
+    if (auto fwd = forwards_.find(data.dst_instance.value());
+        fwd != forwards_.end()) {
+      forward_data(std::move(data), fwd->second);
+      return;
+    }
     auto& queue = pending_data_[data.dst_instance.value()];
     if (queue.size() < config_.pending_data_cap) {
       queue.push_back(std::move(data));
@@ -360,13 +432,21 @@ void Worker::handle_data(const net::Message& msg) {
 }
 
 void Worker::process_data(Instance& inst, DataMsg data) {
+  // A quiescing instance accepts nothing new: arrivals go to the migration
+  // target, where they buffer in pending_data_ until the restore lands.
+  if (inst.migrating) {
+    forward_data(std::move(data), inst.migrate_target);
+    return;
+  }
+
   // Duplicate suppression (swing-chaos): an id this instance already
   // accepted is discarded before it pollutes the rate meter or burns CPU —
   // but it is re-ACKed first, because the likeliest reason a duplicate
   // exists is that the wire ate the original's ACK.
   if (config_.recovery.dedup_window > 0) {
     if (const TupleId id = peek_tuple_id(data.tuple_bytes);
-        id.valid() && inst.dedup_seen.contains(id.value())) {
+        id.valid() && inst.dedup_seen.contains(
+                          inst.dedup_key(id.value(), data.src_instance))) {
       AckMsg ack;
       ack.from_instance = inst.info.instance;
       ack.to_instance = data.src_instance;
@@ -425,12 +505,17 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   std::function<bool()> admit;
   if (config_.tuple_ttl.nanos() > 0 &&
       inst.decl->kind == dataflow::OperatorKind::kTransform) {
-    admit = [this, id = tuple.id(), source_time = tuple.source_time()] {
+    admit = [this, &inst, id = tuple.id(),
+             source_time = tuple.source_time()] {
       if (sim_.now() - source_time > config_.tuple_ttl) {
         note_compute_done(id);
         metrics_.on_drop(core::DropReason::kStaleTtl);
         if (config_.ledger != nullptr) {
           config_.ledger->on_dropped(id, core::DropReason::kStaleTtl);
+        }
+        // Last action: a drained migration may retire `inst` right here.
+        if (--inst.compute_pending <= 0 && inst.migrating) {
+          finish_migration(inst);
         }
         return false;
       }
@@ -442,15 +527,19 @@ void Worker::process_data(Instance& inst, DataMsg data) {
   // (a copy arriving later is redundant, not lost data) and track it in
   // the compute queue so a crash can attribute it.
   if (config_.recovery.dedup_window > 0) {
-    inst.remember_tuple(tuple.id().value(), config_.recovery.dedup_window);
+    inst.remember_tuple(
+        inst.dedup_key(tuple.id().value(), data.src_instance),
+        config_.recovery.dedup_window);
   }
   ++compute_queue_[tuple.id().value()];
+  ++inst.compute_pending;
 
   device_.execute(
       cost_ms,
       [this, &inst, data = std::move(data),
        tuple = std::move(tuple)](const device::JobTiming& timing) {
         note_compute_done(tuple.id());
+        --inst.compute_pending;
         if (!alive_) return;
         ++processed_;
         DelayBreakdown acc = data.accumulated;
@@ -499,9 +588,23 @@ void Worker::process_data(Instance& inst, DataMsg data) {
             // it out, or joined it into a sibling's id): a legal terminal.
             config_.ledger->on_consumed(tuple.id());
           }
+          // swing-state: an absorbed tuple lives on only inside the unit's
+          // state. Until the next snapshot ships, a crash here loses it —
+          // remember the id so crash() can book it as kStateLost.
+          if (config_.checkpoint.enabled && inst.unit->stateful() &&
+              !inst.ctx->forwarded_input() &&
+              inst.uncheckpointed.size() <
+                  config_.checkpoint.max_uncheckpointed) {
+            inst.uncheckpointed.push_back(tuple.id().value());
+          }
         } else if (config_.ledger != nullptr) {
           // A transform declared without a unit is a black hole.
           config_.ledger->on_consumed(tuple.id());
+        }
+        // Last action: a drained migration retires `inst` here, so nothing
+        // below this line may touch it.
+        if (inst.migrating && inst.compute_pending <= 0) {
+          finish_migration(inst);
         }
       },
       std::move(admit));
@@ -981,6 +1084,7 @@ void Worker::shutdown() {
   if (!alive_) return;
   stop_sources();
   if (heartbeat_task_) heartbeat_task_->stop();
+  if (checkpoint_task_) checkpoint_task_->stop();
   for (auto& [id, inst] : instances_) {
     for (auto& edge : inst->edges) {
       if (edge.tick_task) edge.tick_task->stop();
@@ -1043,6 +1147,7 @@ void Worker::crash() {
   if (!alive_) return;
   stop_sources();
   if (heartbeat_task_) heartbeat_task_->stop();
+  if (checkpoint_task_) checkpoint_task_->stop();
   for (auto& [id, inst] : instances_) {
     for (auto& edge : inst->edges) {
       if (edge.tick_task) edge.tick_task->stop();
@@ -1052,6 +1157,16 @@ void Worker::crash() {
     if (inst->blocked) {
       drop_queued(inst->blocked->tuple_id, core::DropReason::kAbruptLeave);
       inst->blocked.reset();
+    }
+    // swing-state: operator state absorbed since the last shipped snapshot
+    // dies with the device. The restored instance resumes from the stale
+    // checkpoint, so each post-checkpoint absorbed tuple is a real,
+    // attributed loss — the conservation audit stays exact.
+    if (config_.checkpoint.enabled && inst->unit && inst->unit->stateful()) {
+      for (const std::uint64_t raw : inst->uncheckpointed) {
+        drop_queued(TupleId{raw}, core::DropReason::kStateLost);
+      }
+      inst->uncheckpointed.clear();
     }
   }
   // Everything queued-but-unprocessed on this device dies with it; unlike
@@ -1155,10 +1270,25 @@ void Worker::on_retry_timeout(OutKey key) {
   }
 
   ++out.attempts;
-  // Prefer a different downstream: the silent one may be dead, and the LRS
-  // decision usually has an alternative (paper §V-A).
-  if (const auto alt = from->edges[key.edge].manager->route_avoiding(
-          sim_.now(), out.last_target)) {
+  Instance::Edge& edge = from->edges[key.edge];
+  if (graph_.op(edge.down_op).partition_by_id) {
+    // Key-partitioned edge: the tuple id still decides the instance — a
+    // restored/migrated same-id instance must get the retransmit (its
+    // device may have changed; peers_ has the fresh address), never a
+    // sibling partition that would mismatch the stateful fan-in.
+    const auto& downs = edge.manager->downstreams();
+    if (!downs.empty()) {
+      const InstanceId target = downs[key.tuple % downs.size()];
+      if (auto peer = peers_.find(target.value()); peer != peers_.end()) {
+        out.send.data.dst_instance = target;
+        out.send.dst_device = peer->second.device;
+        out.last_target = target;
+      }
+    }
+  } else if (const auto alt = edge.manager->route_avoiding(
+                 sim_.now(), out.last_target)) {
+    // Prefer a different downstream: the silent one may be dead, and the
+    // LRS decision usually has an alternative (paper §V-A).
     if (auto peer = peers_.find(alt->value()); peer != peers_.end()) {
       out.send.data.dst_instance = *alt;
       out.send.dst_device = peer->second.device;
@@ -1240,6 +1370,7 @@ Worker::Instance* Worker::spawn_fallback_instance(OperatorId op) {
   inst->info.device = device_.id();
   inst->decl = &graph_.op(op);
   inst->rng = rng_.fork();
+  inst->dedup_by_src = graph_.upstreams(op).size() > 1;
   if (inst->decl->factory) inst->unit = inst->decl->factory();
   // Downstream edges exist but know no peers, so the next hop recurses
   // into local fallback too (or reaches a real local instance first).
@@ -1253,6 +1384,9 @@ Worker::Instance* Worker::spawn_fallback_instance(OperatorId op) {
   Instance& ref = *inst;
   inst->ctx = std::make_unique<InstanceContext>(*this, ref);
   if (inst->unit) inst->unit->on_deploy(*inst->ctx);
+  if (config_.checkpoint.enabled && inst->unit && inst->unit->stateful()) {
+    ensure_checkpoint_task();
+  }
   SWING_LOG(kInfo) << "device " << device_.id()
                    << " degraded to local execution of "
                    << inst->decl->name;
@@ -1270,6 +1404,122 @@ void Worker::execute_locally(Instance& from, std::size_t edge_index,
   data.src_device = device_.id();
   data.sent_ns = sim_.now().nanos();
   process_data(*local, std::move(data));
+}
+
+// ---------------------------------------------------------------------------
+// swing-state: checkpointing, restore, live migration (DESIGN.md §9)
+
+void Worker::ensure_checkpoint_task() {
+  if (checkpoint_task_ != nullptr || !config_.checkpoint.enabled ||
+      config_.checkpoint.interval.nanos() <= 0) {
+    return;
+  }
+  checkpoint_task_ = std::make_unique<PeriodicTask>(
+      sim_, config_.checkpoint.interval, [this] { checkpoint_tick(); });
+  checkpoint_task_->start();
+}
+
+void Worker::checkpoint_tick() {
+  if (!alive_ || frozen_) return;  // A suspended app checkpoints nothing.
+  // std::map order: same-seed runs snapshot instances in the same sequence.
+  for (auto& [id, inst] : instances_) {
+    if (inst->unit && inst->unit->stateful() && !inst->migrating) {
+      take_checkpoint(*inst);
+    }
+  }
+}
+
+void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
+  if (!master_device_.valid() || inst.unit == nullptr) return;
+  state::CheckpointMsg msg;
+  msg.instance = inst.info;
+  msg.epoch = ++inst.checkpoint_epoch;
+  msg.taken_ns = sim_.now().nanos();
+  msg.migrate_to = migrate_to;
+  // Worker-level envelope first (the dedup window, so a restored instance
+  // still recognises retransmits of tuples it already absorbed), then the
+  // unit's own state.
+  ByteWriter w;
+  w.write_varint(inst.dedup_order.size());
+  for (const std::uint64_t seen : inst.dedup_order) w.write_u64(seen);
+  inst.unit->snapshot_state(w);
+  msg.state = w.take();
+  metrics_.on_checkpoint_taken(msg.state.size());
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(obs::TracePhase::kSnapshot,
+                            TupleId{inst.info.instance.value()}, device_.id(),
+                            sim_.now());
+  }
+  // The snapshot is durable once the master stores it; only then is the
+  // absorbed-since-last-checkpoint list safe to forget. A lost/refused
+  // send is fine for periodic snapshots (the next interval covers it), so
+  // clearing here slightly over-trusts the wire — acceptable: kStateLost
+  // is a lower bound on crash losses, and the control plane is lossless
+  // in every shipped scenario.
+  inst.uncheckpointed.clear();
+  transport_.send(device_.id(), master_device_,
+                  std::uint8_t(MsgType::kCheckpoint), msg.to_bytes());
+}
+
+void Worker::handle_restore(const state::RestoreMsg& msg) {
+  if (!alive_) return;
+  // We host this instance (again): stop relaying its traffic elsewhere.
+  forwards_.erase(msg.instance.instance.value());
+  if (find_instance(msg.instance.instance) != nullptr) return;
+  DeployMsg::Assignment assignment;
+  assignment.self = msg.instance;
+  assignment.downstreams = msg.downstreams;
+  activate(assignment, &msg);
+}
+
+void Worker::handle_migrate(const state::MigrateMsg& msg) {
+  if (!alive_) return;
+  Instance* inst = find_instance(msg.instance);
+  if (inst == nullptr || inst->migrating) return;
+  if (inst->unit == nullptr || !inst->unit->stateful()) return;
+  if (msg.to_device == device_.id()) return;  // Nothing to move.
+  SWING_LOG(kInfo) << "device " << device_.id() << " migrating instance "
+                   << inst->info.instance << " to " << msg.to_device
+                   << " (" << inst->compute_pending << " job(s) to drain)";
+  inst->migrating = true;
+  inst->migrate_target = msg.to_device;
+  sim_.cancel(inst->source_fire_event);
+  if (inst->compute_pending <= 0) finish_migration(*inst);
+}
+
+void Worker::forward_data(DataMsg data, DeviceId target) {
+  // Source fields stay intact: the new host ACKs the original upstream,
+  // settling its retransmission timer. Re-stamp the send time so the
+  // receiver measures only the relay hop.
+  data.sent_ns = sim_.now().nanos();
+  const std::uint64_t wire =
+      data.tuple_wire_size + DataMsg::kEnvelopeBytes;
+  const bool ok =
+      transport_.send(device_.id(), target, std::uint8_t(MsgType::kData),
+                      data.to_bytes(), wire);
+  if (ok) {
+    metrics_.on_routed(target, wire, false);
+  } else {
+    drop_queued(peek_tuple_id(data.tuple_bytes),
+                core::DropReason::kSendFailed);
+  }
+}
+
+void Worker::finish_migration(Instance& inst) {
+  // Drained: every accepted job completed, so the unit's state is final.
+  // Snapshot (migration-final, epoch bumped), announce the handoff to the
+  // master, and retire the local copy. Data still in flight toward us is
+  // relayed via forwards_ until the upstreams learn the new address.
+  take_checkpoint(inst, inst.migrate_target);
+  forwards_[inst.info.instance.value()] = inst.migrate_target;
+  for (auto& edge : inst.edges) {
+    if (edge.tick_task) edge.tick_task->stop();
+  }
+  SWING_LOG(kInfo) << "device " << device_.id() << " handed off instance "
+                   << inst.info.instance << " to " << inst.migrate_target;
+  // Safe to erase: compute_pending == 0 means no queued job (admitted or
+  // not) still references this Instance.
+  instances_.erase(inst.info.instance.value());
 }
 
 void Worker::leave() {

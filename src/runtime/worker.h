@@ -29,6 +29,7 @@
 #include "runtime/metrics.h"
 #include "runtime/reorder.h"
 #include "sim/simulator.h"
+#include "state/state_messages.h"
 
 namespace swing::runtime {
 
@@ -101,6 +102,19 @@ struct WorkerConfig {
     // operator on this device instead of dropping the tuple.
     bool local_fallback = false;
   } recovery;
+
+  // swing-state checkpointing (see DESIGN.md §9). Off by default; the
+  // Swarm's with_checkpointing() enables it together with the master's
+  // restore-on-eviction path. The checkpoint clock is sim-time driven so
+  // same-seed runs checkpoint at identical instants.
+  struct Checkpoint {
+    bool enabled = false;
+    SimDuration interval = seconds(1.0);
+    // Per-instance cap on the "absorbed since the last shipped snapshot"
+    // id list a crash books as DropReason::kStateLost; beyond it the list
+    // stops growing (the ledger's drop bookkeeping stays bounded).
+    std::size_t max_uncheckpointed = 4096;
+  } checkpoint;
 
   // swing-audit hook (see core/tuple_ledger.h): when set, the worker
   // reports every tuple emission, delivery, drop, reorder release and
@@ -181,6 +195,10 @@ class Worker {
   [[nodiscard]] std::size_t outstanding_sends() const {
     return outstanding_.size();
   }
+  // Instances handed off by live migration (still forwarding to the target).
+  [[nodiscard]] std::size_t forwarded_instances() const {
+    return forwards_.size();
+  }
 
  private:
   struct Instance;
@@ -219,7 +237,8 @@ class Worker {
   void send_on_edge(Instance& from, std::size_t edge_index,
                     const dataflow::Tuple& tuple,
                     const DelayBreakdown& accumulated);
-  void activate(const DeployMsg::Assignment& assignment);
+  void activate(const DeployMsg::Assignment& assignment,
+                const state::RestoreMsg* restore = nullptr);
   void handle_data(const net::Message& msg);
   void process_data(Instance& inst, DataMsg data);
   void handle_ack(const AckMsg& ack);
@@ -254,6 +273,20 @@ class Worker {
   void note_compute_done(TupleId id);
   void drop_queued(TupleId id, core::DropReason reason);
 
+  // --- swing-state (see WorkerConfig::Checkpoint, DESIGN.md §9) ---------
+  void ensure_checkpoint_task();
+  void checkpoint_tick();
+  // Serializes `inst` (worker envelope + unit state) and ships it to the
+  // master; `migrate_to` marks a migration-final snapshot.
+  void take_checkpoint(Instance& inst, DeviceId migrate_to = DeviceId{});
+  void handle_restore(const state::RestoreMsg& msg);
+  void handle_migrate(const state::MigrateMsg& msg);
+  // Re-addresses an in-flight DataMsg to the device now hosting `data`'s
+  // migrated-away target instance (src fields preserved so the ACK still
+  // reaches the original upstream).
+  void forward_data(DataMsg data, DeviceId target);
+  void finish_migration(Instance& inst);
+
   Simulator& sim_;
   device::Device& device_;
   net::Transport& transport_;
@@ -264,6 +297,10 @@ class Worker {
 
   DeviceId master_device_{};
   std::unique_ptr<PeriodicTask> heartbeat_task_;
+  std::unique_ptr<PeriodicTask> checkpoint_task_;
+  // Migrated-away instances: data arriving for them is forwarded to the
+  // device that took them over (covers upstream routing-table lag).
+  std::map<std::uint64_t, DeviceId> forwards_;
   bool running_ = false;
   bool alive_ = true;
   bool frozen_ = false;

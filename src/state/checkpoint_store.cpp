@@ -1,0 +1,27 @@
+#include "state/checkpoint_store.h"
+
+namespace swing::state {
+
+bool CheckpointStore::store(const CheckpointMsg& msg) {
+  auto it = entries_.find(msg.instance.instance.value());
+  if (it != entries_.end() && msg.epoch < it->second.epoch) return false;
+  Entry entry;
+  entry.instance = msg.instance;
+  entry.epoch = msg.epoch;
+  entry.taken_ns = msg.taken_ns;
+  entry.state = msg.state;
+  entries_[msg.instance.instance.value()] = std::move(entry);
+  return true;
+}
+
+const CheckpointStore::Entry* CheckpointStore::latest(
+    InstanceId instance) const {
+  auto it = entries_.find(instance.value());
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CheckpointStore::erase(InstanceId instance) {
+  entries_.erase(instance.value());
+}
+
+}  // namespace swing::state

@@ -1,0 +1,44 @@
+// Master-side storage for the latest operator-state checkpoint per instance.
+//
+// The store is intentionally dumb: latest-epoch-wins per InstanceId, no
+// history (incremental/delta checkpoints are a ROADMAP follow-up). The
+// master consults it when a member dies (redeploy-and-restore) and when a
+// live migration's final snapshot arrives (transfer-to-target).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "state/state_messages.h"
+
+namespace swing::state {
+
+class CheckpointStore {
+ public:
+  struct Entry {
+    InstanceInfo instance;      // Where the snapshot was taken.
+    std::uint64_t epoch = 0;
+    std::int64_t taken_ns = 0;  // Sim time of serialization on the worker.
+    Bytes state;
+  };
+
+  // Records `msg` if it is at least as new as what is held for the instance
+  // (equal epochs overwrite: a migration-final snapshot re-announcing the
+  // current epoch must supersede the periodic one). Returns whether stored.
+  bool store(const CheckpointMsg& msg);
+
+  // The freshest snapshot for `instance`, or nullptr if none was ever taken.
+  [[nodiscard]] const Entry* latest(InstanceId instance) const;
+
+  // Forgets `instance` (e.g. after its operator is torn down for good).
+  void erase(InstanceId instance);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::uint64_t, Entry> entries_;  // Keyed by InstanceId value.
+};
+
+}  // namespace swing::state

@@ -1,0 +1,135 @@
+// swing-state wire protocol: checkpoint, restore, and migration messages.
+//
+// Three control-plane messages thread operator state through the swarm:
+//
+//   CheckpointMsg  worker -> master   periodic (or migration-final) snapshot
+//                                     of one instance's operator state.
+//   RestoreMsg     master -> worker   redeploy an instance WITH state: the
+//                                     target activates the instance from this
+//                                     message alone (it carries the routing
+//                                     seeds a DeployMsg would), then applies
+//                                     the snapshot before replaying any data
+//                                     buffered while the instance was absent.
+//   MigrateMsg     master -> worker   command the current host to quiesce,
+//                                     drain, snapshot, and hand the instance
+//                                     to `to_device`.
+//
+// Codec conventions follow runtime/messages.h: to_bytes()/from_bytes(),
+// WireFormatError as the only legal rejection, check_wire_count() before any
+// reserve so hostile counts fail recoverably, and byte-fixpoint round-trips
+// enforced by the fuzz harnesses (fuzz/fuzz_checkpoint.cpp and friends).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "runtime/messages.h"
+
+namespace swing::state {
+
+using runtime::check_wire_count;
+using runtime::InstanceInfo;
+
+// One instance's serialized operator state plus the worker-level envelope
+// (dedup window), stamped with a monotonically increasing epoch. A snapshot
+// taken as the final step of a live migration carries the handoff target in
+// `migrate_to` (invalid id for periodic checkpoints).
+struct CheckpointMsg {
+  InstanceInfo instance;
+  std::uint64_t epoch = 0;
+  std::int64_t taken_ns = 0;  // Sim time the worker serialized the state.
+  DeviceId migrate_to{};      // Valid only for migration-final snapshots.
+  Bytes state;
+
+  friend bool operator==(const CheckpointMsg&, const CheckpointMsg&) = default;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    instance.serialize(w);
+    w.write_u64(epoch);
+    w.write_i64(taken_ns);
+    w.write_u64(migrate_to.value());
+    w.write_bytes(state);
+    return w.take();
+  }
+  static CheckpointMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    CheckpointMsg msg;
+    msg.instance = InstanceInfo::deserialize(r);
+    msg.epoch = r.read_u64();
+    msg.taken_ns = r.read_i64();
+    msg.migrate_to = DeviceId{r.read_u64()};
+    msg.state = r.read_bytes();
+    return msg;
+  }
+};
+
+// Redeploy-with-state. `instance` names the SAME InstanceId the snapshot was
+// taken under but with the new hosting device — keeping the id stable is what
+// lets id-partitioned fan-in and the retransmission path find the revived
+// instance without a membership change. `downstreams` seeds the instance's
+// routing table exactly as a DeployMsg assignment would.
+struct RestoreMsg {
+  InstanceInfo instance;
+  std::uint64_t epoch = 0;
+  std::int64_t sent_ns = 0;  // Sim time the master dispatched the restore.
+  Bytes state;
+  std::vector<InstanceInfo> downstreams;
+
+  friend bool operator==(const RestoreMsg&, const RestoreMsg&) = default;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    instance.serialize(w);
+    w.write_u64(epoch);
+    w.write_i64(sent_ns);
+    w.write_bytes(state);
+    w.write_varint(downstreams.size());
+    for (const auto& d : downstreams) d.serialize(w);
+    return w.take();
+  }
+  static RestoreMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    RestoreMsg msg;
+    msg.instance = InstanceInfo::deserialize(r);
+    msg.epoch = r.read_u64();
+    msg.sent_ns = r.read_i64();
+    msg.state = r.read_bytes();
+    const auto n = r.read_varint();
+    check_wire_count(n, r, 24, "restore downstream");
+    msg.downstreams.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      msg.downstreams.push_back(InstanceInfo::deserialize(r));
+    }
+    return msg;
+  }
+};
+
+// Master-initiated planned handoff: the hosting worker quiesces the named
+// instance (new input is forwarded to `to_device`), drains its compute
+// queue, ships a final snapshot (CheckpointMsg with migrate_to set), and
+// retires the local copy. Zero tuple loss is asserted by the ledger.
+struct MigrateMsg {
+  InstanceId instance;
+  DeviceId to_device;
+
+  friend bool operator==(const MigrateMsg&, const MigrateMsg&) = default;
+
+  [[nodiscard]] Bytes to_bytes() const {
+    ByteWriter w;
+    w.write_u64(instance.value());
+    w.write_u64(to_device.value());
+    return w.take();
+  }
+  static MigrateMsg from_bytes(const Bytes& data) {
+    ByteReader r{data};
+    MigrateMsg msg;
+    msg.instance = InstanceId{r.read_u64()};
+    msg.to_device = DeviceId{r.read_u64()};
+    return msg;
+  }
+};
+
+}  // namespace swing::state

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
+#include <tuple>
 
 #include "apps/face_recognition.h"
 #include "apps/gesture_recognition.h"
@@ -73,6 +75,28 @@ TEST(Determinism, StoppedAndDrainedSwarmConserves) {
   EXPECT_TRUE(report.conserved()) << report.summary();
   EXPECT_GT(report.emitted, 0u);
   EXPECT_EQ(report.in_flight_residual, 0u);
+}
+
+TEST(Determinism, CheckpointingKeepsSameSeedByteIdentical) {
+  // swing-state: the checkpoint service rides the sim clock, so turning it
+  // on must not break replay — two same-seed checkpointed runs agree on
+  // digests, registry snapshot included (checkpoints_taken et al.).
+  const auto run = [](std::uint64_t seed) {
+    TestbedConfig config;
+    config.seed = seed;
+    config.workers = {"B", "C", "D"};
+    config.swarm.with_recovery().with_checkpointing(seconds(0.5));
+    Testbed bed{config};
+    bed.launch(apps::face_recognition_graph());
+    bed.run(seconds(12.0));
+    return std::tuple{bed.sim().digest(), bed.swarm().ledger().digest(),
+                      bed.swarm().registry().snapshot().dump()};
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
 }
 
 TEST(Determinism, GestureWindowingConserves) {

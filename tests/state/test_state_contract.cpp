@@ -1,0 +1,258 @@
+// swing-state unit tests: wire codecs, the master's checkpoint store, and
+// the snapshot -> restore -> snapshot byte-fixpoint property for the two
+// stateful operators (fusion join, gesture windower). Fixtures are named
+// State* so CI's state-smoke job selects them with `ctest -R '^State'`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/gesture_recognition.h"
+#include "apps/scene_analysis.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/graph.h"
+#include "dataflow/tuple.h"
+#include "state/checkpoint_store.h"
+#include "state/state_messages.h"
+
+namespace swing {
+namespace {
+
+using dataflow::Tuple;
+using runtime::InstanceInfo;
+using state::CheckpointMsg;
+using state::CheckpointStore;
+using state::MigrateMsg;
+using state::RestoreMsg;
+
+// --- Codec round-trips ------------------------------------------------------
+
+CheckpointMsg sample_checkpoint() {
+  CheckpointMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  msg.epoch = 7;
+  msg.taken_ns = 2'500'000'000;
+  msg.state = Bytes{0xde, 0xad, 0xbe, 0xef};
+  return msg;
+}
+
+TEST(StateContract, CheckpointRoundTripIsByteFixpoint) {
+  CheckpointMsg msg = sample_checkpoint();
+  const Bytes wire = msg.to_bytes();
+  const CheckpointMsg back = CheckpointMsg::from_bytes(wire);
+  EXPECT_EQ(back, msg);
+  EXPECT_EQ(back.to_bytes(), wire);
+
+  // Migration-final variant carries the handoff target.
+  msg.migrate_to = DeviceId{3};
+  const CheckpointMsg final_snap = CheckpointMsg::from_bytes(msg.to_bytes());
+  EXPECT_EQ(final_snap, msg);
+  EXPECT_TRUE(final_snap.migrate_to.valid());
+}
+
+TEST(StateContract, RestoreRoundTripIsByteFixpoint) {
+  RestoreMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{2}};
+  msg.epoch = 7;
+  msg.sent_ns = 2'600'000'000;
+  msg.state = Bytes{1, 2, 3};
+  msg.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  msg.downstreams.push_back(
+      InstanceInfo{InstanceId{7}, OperatorId{3}, DeviceId{4}});
+  const Bytes wire = msg.to_bytes();
+  const RestoreMsg back = RestoreMsg::from_bytes(wire);
+  EXPECT_EQ(back, msg);
+  EXPECT_EQ(back.to_bytes(), wire);
+}
+
+TEST(StateContract, MigrateRoundTripIsByteFixpoint) {
+  const MigrateMsg msg{InstanceId{9}, DeviceId{4}};
+  const Bytes wire = msg.to_bytes();
+  const MigrateMsg back = MigrateMsg::from_bytes(wire);
+  EXPECT_EQ(back, msg);
+  EXPECT_EQ(back.to_bytes(), wire);
+}
+
+TEST(StateContract, TruncatedInputsThrowNotCrash) {
+  const Bytes wire = sample_checkpoint().to_bytes();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const Bytes partial(wire.begin(), wire.begin() + std::ptrdiff_t(cut));
+    EXPECT_THROW(CheckpointMsg::from_bytes(partial), WireFormatError)
+        << "cut at " << cut;
+  }
+  EXPECT_THROW(MigrateMsg::from_bytes(Bytes{1, 2, 3}), WireFormatError);
+}
+
+TEST(StateContract, HostileDownstreamCountIsRejectedRecoverably) {
+  // A wire-claimed count far beyond the remaining bytes must throw
+  // WireFormatError before any reserve (the DeployMsg crash shape).
+  RestoreMsg msg;
+  msg.instance = InstanceInfo{InstanceId{1}, OperatorId{1}, DeviceId{1}};
+  Bytes wire = msg.to_bytes();
+  wire.pop_back();  // Drop the honest count 0...
+  for (int i = 0; i < 9; ++i) wire.push_back(0xff);
+  wire.push_back(0x01);  // ...claim ~2^63 downstreams.
+  EXPECT_THROW(RestoreMsg::from_bytes(wire), WireFormatError);
+}
+
+// --- CheckpointStore epoch semantics ---------------------------------------
+
+TEST(StateStore, KeepsLatestEpochPerInstance) {
+  CheckpointStore store;
+  CheckpointMsg msg = sample_checkpoint();
+  EXPECT_TRUE(store.store(msg));
+  ASSERT_NE(store.latest(msg.instance.instance), nullptr);
+  EXPECT_EQ(store.latest(msg.instance.instance)->epoch, 7u);
+
+  // Stale epochs (a periodic snapshot racing a newer one) are rejected.
+  CheckpointMsg stale = msg;
+  stale.epoch = 6;
+  stale.state = Bytes{0x00};
+  EXPECT_FALSE(store.store(stale));
+  EXPECT_EQ(store.latest(msg.instance.instance)->state, msg.state);
+
+  // Same epoch overwrites: a migration-final snapshot supersedes the
+  // periodic one taken at the same epoch boundary.
+  CheckpointMsg same = msg;
+  same.state = Bytes{0x42};
+  EXPECT_TRUE(store.store(same));
+  EXPECT_EQ(store.latest(msg.instance.instance)->state, same.state);
+
+  CheckpointMsg newer = msg;
+  newer.epoch = 8;
+  EXPECT_TRUE(store.store(newer));
+  EXPECT_EQ(store.latest(msg.instance.instance)->epoch, 8u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(StateStore, TracksInstancesIndependentlyAndErases) {
+  CheckpointStore store;
+  CheckpointMsg a = sample_checkpoint();
+  CheckpointMsg b = sample_checkpoint();
+  b.instance.instance = InstanceId{6};
+  b.epoch = 1;
+  EXPECT_TRUE(store.store(a));
+  EXPECT_TRUE(store.store(b));
+  EXPECT_EQ(store.size(), 2u);
+  store.erase(a.instance.instance);
+  EXPECT_EQ(store.latest(a.instance.instance), nullptr);
+  ASSERT_NE(store.latest(b.instance.instance), nullptr);
+  EXPECT_EQ(store.latest(b.instance.instance)->epoch, 1u);
+}
+
+// --- Snapshot fixpoint for the real stateful units -------------------------
+
+// Minimal host context: collects emissions, fixed identity.
+class FakeContext final : public dataflow::Context {
+ public:
+  void emit(Tuple tuple) override { emitted.push_back(std::move(tuple)); }
+  SimTime now() const override { return SimTime{}; }
+  DeviceId device() const override { return DeviceId{1}; }
+  InstanceId instance() const override { return InstanceId{1}; }
+  Rng& rng() override { return rng_; }
+
+  std::vector<Tuple> emitted;
+
+ private:
+  Rng rng_{123};
+};
+
+std::unique_ptr<dataflow::FunctionUnit> make_unit(
+    const dataflow::AppGraph& graph, const std::string& name) {
+  for (const auto& op : graph.operators()) {
+    if (op.name == name && op.factory) return op.factory();
+  }
+  return nullptr;
+}
+
+Bytes snapshot_of(const dataflow::FunctionUnit& unit) {
+  ByteWriter w;
+  unit.snapshot_state(w);
+  return w.take();
+}
+
+TEST(StateFixpoint, FusionJoinSnapshotRestoreSnapshotIsByteIdentical) {
+  const auto graph = apps::scene_analysis_graph({});
+  auto unit = make_unit(graph, "fusion");
+  ASSERT_NE(unit, nullptr);
+  ASSERT_TRUE(unit->stateful());
+
+  // Feed several first-halves so the join holds pending state.
+  FakeContext ctx;
+  for (std::uint64_t id = 10; id < 20; ++id) {
+    Tuple half{TupleId{id}, SimTime{std::int64_t(id) * 1'000'000}};
+    half.set("face_label", std::string{"alice"});
+    unit->process(half, ctx);
+  }
+  EXPECT_TRUE(ctx.emitted.empty()) << "halves should be pending, not fused";
+
+  const Bytes first = snapshot_of(*unit);
+  EXPECT_FALSE(first.empty());
+
+  // Restore into a fresh unit that already holds unrelated state: restore
+  // replaces, never merges.
+  auto other = make_unit(graph, "fusion");
+  Tuple noise{TupleId{999}, SimTime{}};
+  noise.set("object_label", std::string{"bicycle"});
+  other->process(noise, ctx);
+  ByteReader r{first};
+  other->restore_state(r);
+  EXPECT_EQ(snapshot_of(*other), first);
+
+  // The restored join finishes pending frames exactly like the original:
+  // a second half fuses against the restored first half.
+  FakeContext fused;
+  Tuple second{TupleId{10}, SimTime{10'000'000}};
+  second.set("object_label", std::string{"laptop"});
+  other->process(second, fused);
+  ASSERT_EQ(fused.emitted.size(), 1u);
+  const auto* scene = fused.emitted[0].get_as<std::string>("scene");
+  ASSERT_NE(scene, nullptr);
+  EXPECT_EQ(*scene, "alice with a laptop");
+}
+
+TEST(StateFixpoint, WindowerSnapshotRestoreSnapshotIsByteIdentical) {
+  apps::GestureConfig config;
+  const auto graph = apps::gesture_recognition_graph(config);
+  auto unit = make_unit(graph, "windower");
+  ASSERT_NE(unit, nullptr);
+  ASSERT_TRUE(unit->stateful());
+
+  // Partially fill the window (and roll one full window to advance the
+  // counter) so both counter and buffer are non-trivial.
+  FakeContext ctx;
+  const std::uint64_t samples = config.window_samples + 7;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const apps::AccelSample s =
+        apps::synth_sample(i, config.window_samples);
+    ByteWriter w;
+    w.write_f64(s.x);
+    w.write_f64(s.y);
+    w.write_f64(s.z);
+    Tuple t{TupleId{i}, SimTime{std::int64_t(i) * 1'000'000}};
+    t.set("accel", w.take());
+    unit->process(t, ctx);
+  }
+  EXPECT_EQ(ctx.emitted.size(), 1u);
+
+  const Bytes first = snapshot_of(*unit);
+  auto other = make_unit(graph, "windower");
+  ByteReader r{first};
+  other->restore_state(r);
+  EXPECT_EQ(snapshot_of(*other), first)
+      << "float->f64->float sample round-trip must be exact";
+
+  // Stateless units keep the default no-op contract.
+  auto classifier = make_unit(graph, "classifier");
+  ASSERT_NE(classifier, nullptr);
+  EXPECT_FALSE(classifier->stateful());
+  EXPECT_TRUE(snapshot_of(*classifier).empty());
+}
+
+}  // namespace
+}  // namespace swing

@@ -1,0 +1,15 @@
+// Fixture: a FunctionUnit subclass accumulating tuple state without the
+// swing-state contract (and without a waiver) must be flagged.
+// expect-lint: stateful-unit-must-checkpoint
+
+class LeakyWindowUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    buffer_.push_back(input);
+    if (buffer_.size() >= window_) buffer_.clear();
+  }
+
+ private:
+  std::size_t window_ = 16;
+  std::vector<Tuple> buffer_;
+};

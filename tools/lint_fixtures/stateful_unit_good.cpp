@@ -1,0 +1,23 @@
+// Fixture: a stateful FunctionUnit that implements the swing-state
+// contract scans clean.
+
+class JoinUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    pending_[input.id().value()] = input;
+  }
+
+  [[nodiscard]] bool stateful() const override { return true; }
+
+  void snapshot_state(ByteWriter& out) const override {
+    out.write_varint(pending_.size());
+  }
+
+  void restore_state(ByteReader& in) override {
+    count_ = in.read_varint();
+  }
+
+ private:
+  std::map<std::uint64_t, Tuple> pending_;
+  std::uint64_t count_ = 0;
+};

@@ -1,0 +1,33 @@
+// Fixture: members that are configuration or output channels, not tuple
+// state, may be waived with a class-level stateless marker.
+
+// swing-lint: stateless — the sink list is an output channel.
+class DisplayUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context&) override {
+    lines_.push_back(input.id().value());
+  }
+
+ private:
+  std::vector<std::uint64_t> lines_;
+};
+
+// The waiver also works inside the class body.
+class ScalerUnit final : public FunctionUnit {
+ public:
+  // swing-lint: stateless — factor_ is constructor configuration.
+  void process(const Tuple& input, Context& ctx) override {
+    ctx.emit(input.derive());
+  }
+
+ private:
+  double factor_ = 2.0;
+};
+
+// No members at all: nothing to checkpoint, no waiver needed.
+class PassthroughUnit final : public FunctionUnit {
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    ctx.emit(input.derive());
+  }
+};

@@ -30,8 +30,18 @@ Rules (see DESIGN.md "Correctness tooling"):
                   name breaks the tuples_dropped{reason=} counters and the
                   audit summary (swing-chaos added kRetryExhausted and
                   kAbruptLeave this way — keep the invariant mechanical).
+  stateful-unit-must-checkpoint
+                  A FunctionUnit subclass with per-instance data members
+                  accumulates state that dies with its host unless it opts
+                  into the swing-state contract. Such a class must either
+                  override snapshot_state/restore_state or carry a
+                  `// swing-lint: stateless` waiver (immediately above the
+                  class or inside it) declaring its members configuration
+                  or output channels rather than tuple state.
 
-Suppression: append `// swing-lint: allow(<rule>)` to the offending line.
+Suppression: append `// swing-lint: allow(<rule>)` to the offending line
+(the stateful-unit rule uses the class-level `// swing-lint: stateless`
+waiver instead).
 
 Usage:
   swing_lint.py [--root REPO_ROOT]      scan the repo; nonzero exit on findings
@@ -70,6 +80,16 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 DROP_ENUM_RE = re.compile(r"enum\s+class\s+DropReason[^{]*\{(.*?)\}", re.DOTALL)
 DROP_ENUMERATOR_RE = re.compile(r"\b(k\w+)\b")
+FUNCTION_UNIT_CLASS_RE = re.compile(
+    r"\bclass\s+(\w+)[^;{]*:\s*public\s+(?:\w+\s*::\s*)?FunctionUnit\b")
+STATELESS_WAIVER_RE = re.compile(r"//\s*swing-lint:\s*stateless\b")
+# A class-scope data member by this codebase's convention: a type, then a
+# trailing-underscore name, optionally an initializer, then ';'. Types with
+# parentheses (std::function<void()>) are not matched — acceptable for a
+# heuristic that only runs on class-scope lines.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*[A-Za-z_][\w:<>,\s*&]*[\s*&](\w+_)\s*(?:=[^;]*|\{[^;]*\})?;\s*$")
+MEMBER_EXCLUDE_RE = re.compile(r"^\s*(?:using|typedef|friend|static)\b")
 
 Finding = collections.namedtuple("Finding", "path line rule message")
 
@@ -335,6 +355,73 @@ class Linter:
                     f"ledger (dead taxonomy — wire a drop site or remove "
                     f"the enumerator)")
 
+    # --- Stateful-unit rule -------------------------------------------------
+
+    def scan_stateful_units(self, *roots: pathlib.Path):
+        """FunctionUnit subclasses with data members must checkpoint.
+
+        State held in members is lost on crash/migration unless the class
+        overrides snapshot_state/restore_state (the swing-state contract).
+        Classes whose members are genuinely not tuple state (configuration,
+        output channels) carry a `// swing-lint: stateless` waiver above or
+        inside the class. Member detection is a heuristic: class-scope lines
+        declaring a trailing-underscore name.
+        """
+        for root in roots:
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*")):
+                if path.suffix in CXX_SUFFIXES:
+                    self._scan_stateful_file(path)
+
+    def _scan_stateful_file(self, path: pathlib.Path):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+
+        for m in FUNCTION_UNIT_CLASS_RE.finditer(code):
+            open_idx = code.find("{", m.end())
+            if open_idx == -1:
+                continue
+            # Brace-match the class body (comments/strings already blanked).
+            depth, i = 0, open_idx
+            while i < len(code):
+                if code[i] == "{":
+                    depth += 1
+                elif code[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            body = code[open_idx : i + 1]
+            if "snapshot_state" in body and "restore_state" in body:
+                continue
+
+            decl_line = code.count("\n", 0, m.start()) + 1
+            end_line = code.count("\n", 0, i) + 1
+            region = "\n".join(raw_lines[max(0, decl_line - 6) : end_line])
+            if STATELESS_WAIVER_RE.search(region):
+                continue
+
+            # Collect members: lines whose start sits at class scope
+            # (depth 1 relative to the class's own opening brace).
+            members = []
+            line_depth = 0
+            for line in body.splitlines():
+                if (line_depth == 1 and not MEMBER_EXCLUDE_RE.match(line)):
+                    dm = MEMBER_DECL_RE.match(line)
+                    if dm:
+                        members.append(dm.group(1))
+                line_depth += line.count("{") - line.count("}")
+            if members:
+                self.report(
+                    path, decl_line, "stateful-unit-must-checkpoint",
+                    f"FunctionUnit subclass {m.group(1)} holds state "
+                    f"({', '.join(members)}) but does not override "
+                    f"snapshot_state/restore_state; implement the "
+                    f"swing-state contract or waive with "
+                    f"'// swing-lint: stateless'")
+
     # --- Tree walks ---------------------------------------------------------
 
     def scan_tree(self):
@@ -348,6 +435,8 @@ class Linter:
         self.scan_fuzz_coverage(src, self.root / "fuzz")
         self.scan_drop_reasons(src / "core" / "tuple_ledger.h",
                                src / "core" / "tuple_ledger.cpp", src)
+        self.scan_stateful_units(src, self.root / "tests",
+                                 self.root / "bench", self.root / "examples")
         for tree in ("tests", "bench", "examples", "fuzz"):
             for path in sorted((self.root / tree).rglob("*")):
                 if path.suffix in CXX_SUFFIXES:
@@ -392,6 +481,7 @@ def run_self_test(fixtures: pathlib.Path) -> int:
                          check_bare_assert="no_bare_assert" not in path.name)
     linter.scan_include_cycles(fixtures)
     linter.scan_fuzz_coverage(fixtures, fixtures / "fuzz")
+    linter.scan_stateful_units(fixtures)
     linter.scan_drop_reasons(fixtures / "drop_reason" / "tuple_ledger.h",
                              fixtures / "drop_reason" / "tuple_ledger.cpp",
                              fixtures / "drop_reason")
