@@ -7,9 +7,12 @@
 // future) a short mDNS-style delay after registration.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -48,7 +51,14 @@ class Discovery {
   void watch(const std::string& service, FoundFn fn) {
     auto it = services_.find(service);
     if (it != services_.end()) {
-      for (const auto& [provider, info] : it->second) {
+      // notify() schedules simulator callbacks, so the hash-map's iteration
+      // order would decide equal-timestamp FIFO order. Notify in provider-id
+      // order to keep same-seed runs byte-identical.
+      std::vector<std::pair<std::uint64_t, Bytes>> providers(
+          it->second.begin(), it->second.end());
+      std::sort(providers.begin(), providers.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [provider, info] : providers) {
         notify(fn, DeviceId{provider}, info);
       }
     }

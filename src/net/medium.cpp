@@ -1,6 +1,9 @@
 #include "net/medium.h"
 
+#include <algorithm>
 #include <limits>
+#include <tuple>
+#include <vector>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -56,9 +59,18 @@ void Medium::attach(DeviceId id, Position pos) {
 void Medium::detach(DeviceId id) {
   stations_.erase(id.value());
   // In-flight traffic involving the device dies; hops are skipped lazily in
-  // serve_next() once their message is marked dead.
-  for (auto& [key, queue] : flows_) {
-    for (auto& hop : queue) {
+  // serve_next() once their message is marked dead. Drops fold into the
+  // ledger and obs counters, so the flows must be visited in a stable order
+  // (drop_message is idempotent via msg->dead, making duplicates across
+  // up/downlink flows safe).
+  std::vector<FlowKey> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [key, queue] : flows_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const FlowKey& a, const FlowKey& b) {
+    return std::tie(a.device, a.downlink) < std::tie(b.device, b.downlink);
+  });
+  for (const FlowKey& key : keys) {
+    for (auto& hop : flows_[key]) {
       if (hop.msg->src == id || hop.msg->dst == id) {
         drop_message(hop.msg, hop.msg->dst == id
                                   ? DropReason::kReceiverDisconnected

@@ -85,8 +85,21 @@ void Master::handle_message(const net::Message& msg) {
       case MsgType::kCheckpoint:
         handle_checkpoint(state::CheckpointMsg::from_bytes(msg.payload));
         break;
-      default:
-        break;  // Worker-bound messages; the runtime routes them elsewhere.
+      // Worker-bound messages; the runtime routes them elsewhere. Enumerated
+      // (no default) so -Wswitch forces a routing decision when a message
+      // kind is added.
+      case MsgType::kDeploy:
+      case MsgType::kAddDownstream:
+      case MsgType::kRemoveDownstream:
+      case MsgType::kStart:
+      case MsgType::kStop:
+      case MsgType::kData:
+      case MsgType::kAck:
+      case MsgType::kDataBatch:
+      case MsgType::kAckBatch:
+      case MsgType::kMigrate:
+      case MsgType::kRestore:
+        break;
     }
   } catch (const WireFormatError& e) {
     SWING_LOG(kWarn) << "master dropped malformed message from " << msg.src

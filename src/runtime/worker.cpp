@@ -249,8 +249,14 @@ void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kMigrate:
       handle_migrate(state::MigrateMsg::from_bytes(msg.payload));
       break;
-    default:
-      break;  // Master-bound messages; ignore.
+    // Master-bound messages; ignore. Enumerated (no default) so -Wswitch
+    // forces a routing decision when a message kind is added.
+    case MsgType::kHello:
+    case MsgType::kHeartbeat:
+    case MsgType::kLeaveReport:
+    case MsgType::kBye:
+    case MsgType::kCheckpoint:
+      break;
   }
 }
 

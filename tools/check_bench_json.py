@@ -28,6 +28,45 @@ from pathlib import Path
 
 KNOWN_EVENT_PHASES = {"X", "i", "I", "B", "E", "M", "C"}
 
+# The metric manifest: every obs counter/gauge/histogram the tree may
+# register, with its instrument kind and label-key set. This is the single
+# source of truth shared by two enforcers:
+#
+#   * tools/swing_analyze (metric-name-consistency) parses this literal and
+#     rejects any registry call site whose name/kind/labels are not listed
+#     here — so a typo'd metric name fails static analysis, not dashboards;
+#   * this validator rejects bench/trace artifacts carrying snapshot keys
+#     (the registry's "name{k=v,...}" encoding) for unlisted metrics.
+#
+# Adding a metric means adding it here AND at the call site, in one PR.
+KNOWN_METRICS = {
+    "chaos_injected": {"kind": "counter", "labels": ["fault"]},
+    "checkpoint_latency_ms": {"kind": "histogram", "labels": []},
+    "checkpoints_restored": {"kind": "counter", "labels": []},
+    "checkpoints_stored": {"kind": "counter", "labels": []},
+    "checkpoints_taken": {"kind": "counter", "labels": []},
+    "delay_processing_ms": {"kind": "histogram", "labels": []},
+    "delay_queuing_ms": {"kind": "histogram", "labels": []},
+    "delay_transmission_ms": {"kind": "histogram", "labels": []},
+    "e2e_latency_ms": {"kind": "histogram", "labels": []},
+    "frames_delivered": {"kind": "counter", "labels": []},
+    "frames_played": {"kind": "counter", "labels": []},
+    "manager_routed_tuples": {"kind": "counter", "labels": ["policy"]},
+    "master_events": {"kind": "counter", "labels": ["kind"]},
+    "migrations_completed": {"kind": "counter", "labels": []},
+    "net_busy_airtime_s": {"kind": "gauge", "labels": []},
+    "net_messages_delivered": {"kind": "counter", "labels": []},
+    "net_messages_dropped": {"kind": "counter", "labels": ["reason"]},
+    "restore_latency_ms": {"kind": "histogram", "labels": []},
+    "retry_latency_ms": {"kind": "histogram", "labels": []},
+    "state_bytes": {"kind": "counter", "labels": []},
+    "tuples_deduplicated": {"kind": "counter", "labels": []},
+    "tuples_dropped": {"kind": "counter", "labels": ["reason"]},
+    "tuples_local_fallback": {"kind": "counter", "labels": []},
+    "tuples_retransmitted": {"kind": "counter", "labels": []},
+    "workers_evicted": {"kind": "counter", "labels": ["cause"]},
+}
+
 
 def _finite_numbers(value, where: str, errors: list[str]) -> None:
     """Recursively reject NaN/inf anywhere in the document."""
@@ -42,6 +81,39 @@ def _finite_numbers(value, where: str, errors: list[str]) -> None:
     elif isinstance(value, dict):
         for key, element in value.items():
             _finite_numbers(element, f"{where}.{key}", errors)
+
+
+def check_metric_keys(metrics, where: str, errors: list[str]) -> None:
+    """Validates registry-snapshot keys ("name{k=v,...}") against the
+    manifest: the base name must be declared and the label keys must match.
+    """
+    if not isinstance(metrics, dict):
+        errors.append(f"{where} must be an object")
+        return
+    for key in metrics:
+        base, _, rest = key.partition("{")
+        label_keys = []
+        if rest:
+            if not rest.endswith("}"):
+                errors.append(f"{where}['{key}']: malformed label suffix")
+                continue
+            body = rest[:-1]
+            label_keys = [p.split("=", 1)[0] for p in body.split(",") if p]
+        decl = KNOWN_METRICS.get(base)
+        if decl is None:
+            errors.append(f"{where}['{key}']: metric '{base}' not in "
+                          f"KNOWN_METRICS")
+        elif sorted(label_keys) != sorted(decl["labels"]):
+            errors.append(
+                f"{where}['{key}']: labels {sorted(label_keys)} do not "
+                f"match declared {sorted(decl['labels'])}")
+        elif decl["kind"] == "histogram" and not isinstance(metrics[key],
+                                                           dict):
+            errors.append(f"{where}['{key}']: histogram snapshot must be "
+                          f"an object")
+        elif decl["kind"] != "histogram" and isinstance(metrics[key], dict):
+            errors.append(f"{where}['{key}']: {decl['kind']} snapshot must "
+                          f"be a scalar")
 
 
 def check_bench_report(doc, errors: list[str]) -> None:
@@ -80,6 +152,12 @@ def check_bench_report(doc, errors: list[str]) -> None:
 
     if "summary" in doc and not isinstance(doc["summary"], dict):
         errors.append("'summary' must be an object")
+
+    if "metrics" in doc:
+        check_metric_keys(doc["metrics"], "'metrics'", errors)
+    if isinstance(doc.get("summary"), dict) and "metrics" in doc["summary"]:
+        check_metric_keys(doc["summary"]["metrics"], "'summary.metrics'",
+                          errors)
 
     _finite_numbers(doc, "$", errors)
 

@@ -1,0 +1,18 @@
+"""swing-analyze: semantic static analysis for the Swing C++ tree.
+
+Where swing-lint works line-by-line with regexes, swing-analyze builds a
+token stream, a declaration-level parse, and a cross-file symbol table,
+then checks properties no single line can reveal: codec write/read
+symmetry, unordered-container iteration reaching order-sensitive sinks,
+side effects inside compiled-out SWING_DCHECKs, switch exhaustiveness
+over wire/determinism-critical enums, and obs metric-name consistency
+against the KNOWN_METRICS manifest.
+
+Zero-install by design: stdlib only, no libclang, no compile_commands.
+
+Run it:  python3 tools/swing_check --root .          (lint + analyze)
+         python3 -m swing_analyze --root .           (analyze only)
+         python3 -m swing_analyze --self-test        (fixture check)
+"""
+
+from swing_analyze.engine import main  # noqa: F401

@@ -1,0 +1,6 @@
+import sys
+
+from swing_analyze.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Tokenizer for the subset of C++ swing-analyze reasons about.
+
+Produces a flat token stream with line numbers. Comments are skipped (the
+engine re-reads raw lines for `// swing-lint: allow(...)` suppressions and
+`// expect-analyze:` fixture expectations), string/char literals become
+single tokens with their *contents preserved* (metric names are string
+literals), and multi-character operators lex as one token so rules can
+tell `=` from `==` and `++` from `+ +`.
+
+This is a lexer, not a preprocessor: macros are ordinary identifiers,
+which is exactly what the SWING_DCHECK rule needs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # 'id' | 'num' | 'str' | 'chr' | 'punct'
+    text: str  # for 'str', the unquoted contents
+    line: int
+
+
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.xXeEpP+-]*)"
+                     r"[uUlLfF]*")
+_RAW_STR_RE = re.compile(r'R"([^(\s]*)\(')
+
+# Longest-match first. Three-char operators the rules care about, then two,
+# then everything else falls through as single characters.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+]
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            # Preprocessor directive: skip the whole (continued) line.
+            # Macro *invocations* stay visible; definitions do not.
+            while i < n:
+                end = text.find("\n", i)
+                end = n if end == -1 else end
+                if text[i:end].rstrip().endswith("\\"):
+                    line += 1
+                    i = end + 1
+                else:
+                    i = end
+                    break
+            continue
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        if c == "R" and nxt == '"':
+            m = _RAW_STR_RE.match(text, i)
+            if m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, m.end())
+                end = n if end == -1 else end + len(closer)
+                body = text[m.end():end - len(closer)] if end < n else ""
+                tokens.append(Token("str", body, line))
+                line += text.count("\n", i, end)
+                i = end
+                continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            body = text[i + 1:j]
+            tokens.append(Token("str" if c == '"' else "chr", body, line))
+            line += text.count("\n", i, j)
+            i = min(j + 1, n)
+            continue
+        if c.isalpha() or c == "_":
+            m = _ID_RE.match(text, i)
+            tokens.append(Token("id", m.group(), line))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            m = _NUM_RE.match(text, i)
+            if m:
+                tokens.append(Token("num", m.group(), line))
+                i = m.end()
+                continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+def match_forward(tokens: list[Token], i: int, open_: str, close: str) -> int:
+    """Given tokens[i] == open_, returns the index of the matching close.
+
+    Returns len(tokens) if unbalanced (malformed input degrades gracefully
+    rather than raising inside a rule).
+    """
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n

@@ -1,0 +1,395 @@
+"""Declaration-level C++ parser and cross-file symbol table.
+
+swing-analyze does not need a full C++ front end: the rules reason about
+record fields (for codec nesting and container types), enum definitions
+(for switch exhaustiveness), and method bodies (for everything else).
+This module extracts exactly that, by recursive descent over the token
+stream from cpp_lexer:
+
+  Record   struct/class name, its data members (name -> type text), and
+           the methods defined inline in its body.
+  Enum     name (empty for anonymous enums) and enumerator list.
+  Method   enclosing class (None for free functions), name, and the token
+           range of its body. Out-of-line `Cls::method() {...}` definitions
+           are attached to their Record after all files parse, which is the
+           cross-file step: a container declared in medium.h resolves from
+           a loop in medium.cpp.
+
+Parsing is deliberately forgiving — anything unrecognized is skipped, so a
+construct outside the modeled subset degrades to "no information" rather
+than a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from swing_analyze.cpp_lexer import Token, match_forward, tokenize
+
+
+@dataclasses.dataclass
+class Method:
+    cls: str | None
+    name: str
+    path: str
+    tokens: list[Token]  # the whole file's tokens
+    body_start: int      # index of the '{'
+    body_end: int        # index of the matching '}'
+    line: int
+
+    def body(self) -> list[Token]:
+        return self.tokens[self.body_start + 1:self.body_end]
+
+
+@dataclasses.dataclass
+class Record:
+    name: str
+    path: str
+    line: int
+    fields: dict[str, str] = dataclasses.field(default_factory=dict)
+    methods: dict[str, Method] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class Enum:
+    name: str
+    path: str
+    line: int
+    enumerators: list[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class FileModel:
+    path: str
+    tokens: list[Token]
+    methods: list[Method] = dataclasses.field(default_factory=list)
+
+
+_DECL_KEYWORDS = {"using", "typedef", "static_assert", "extern", "friend"}
+_MODIFIERS = {"const", "noexcept", "override", "final", "mutable"}
+
+
+class Model:
+    def __init__(self) -> None:
+        self.files: dict[str, FileModel] = {}
+        self.records: dict[str, Record] = {}
+        self.enums: list[Enum] = []
+
+    @classmethod
+    def build(cls, paths: list[pathlib.Path],
+              root: pathlib.Path | None = None) -> "Model":
+        model = cls()
+        for path in paths:
+            rel = str(path.relative_to(root)) if root else str(path)
+            text = path.read_text(encoding="utf-8", errors="replace")
+            model.add_file(rel, text)
+        model.link()
+        return model
+
+    def add_file(self, path: str, text: str) -> None:
+        tokens = tokenize(text)
+        fm = FileModel(path, tokens)
+        self.files[path] = fm
+        _Parser(self, fm).parse_scope(0, len(tokens))
+
+    def link(self) -> None:
+        """Attaches out-of-line method definitions to their records."""
+        for fm in self.files.values():
+            for m in fm.methods:
+                if m.cls and m.cls in self.records:
+                    self.records[m.cls].methods.setdefault(m.name, m)
+
+    # --- lookups used by rules ---------------------------------------------
+
+    def field_type(self, field: str) -> str | None:
+        """Type of a field by name, searched across every record.
+
+        Field names in this codebase are unique enough (wire structs use
+        plain names, classes use trailing underscores) that a global search
+        resolves correctly; a collision returns the first match in path
+        order, which rules treat as a hint, not ground truth.
+        """
+        for name in sorted(self.records):
+            rec = self.records[name]
+            if field in rec.fields:
+                return rec.fields[field]
+        return None
+
+    def enums_named(self, name: str) -> list[Enum]:
+        return [e for e in self.enums if e.name == name]
+
+
+class _Parser:
+    def __init__(self, model: Model, fm: FileModel) -> None:
+        self.model = model
+        self.fm = fm
+        self.toks = fm.tokens
+
+    # --- scope-level parsing ------------------------------------------------
+
+    def parse_scope(self, i: int, end: int) -> None:
+        """Parses namespace-scope declarations in tokens[i:end]."""
+        while i < end:
+            t = self.toks[i]
+            if t.text == "namespace":
+                i = self._enter_namespace(i, end)
+            elif t.text == "enum":
+                i = self.parse_enum(i, end)
+            elif t.text in ("struct", "class"):
+                i = self.parse_record(i, end, enclosing=None)
+            elif t.text == "template":
+                i = self._skip_template(i, end)
+            elif t.text in _DECL_KEYWORDS:
+                i = self._skip_to(";", i, end) + 1
+            else:
+                i = self._parse_function_or_skip(i, end)
+
+    def _enter_namespace(self, i: int, end: int) -> int:
+        j = i + 1
+        while j < end and self.toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= end or self.toks[j].text == ";":
+            return j + 1
+        close = match_forward(self.toks, j, "{", "}")
+        self.parse_scope(j + 1, min(close, end))
+        return close + 1
+
+    def _skip_template(self, i: int, end: int) -> int:
+        j = i + 1
+        if j < end and self.toks[j].text == "<":
+            depth = 0
+            while j < end:
+                t = self.toks[j].text
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                elif t == ">>":
+                    depth -= 2
+                elif t in ("{", ";"):
+                    return j  # misparse guard: re-read from here
+                j += 1
+                if depth <= 0:
+                    break
+        return j
+
+    def _skip_to(self, text: str, i: int, end: int) -> int:
+        while i < end and self.toks[i].text != text:
+            if self.toks[i].text == "{":
+                i = match_forward(self.toks, i, "{", "}")
+            i += 1
+        return i
+
+    # --- enums --------------------------------------------------------------
+
+    def parse_enum(self, i: int, end: int) -> int:
+        j = i + 1
+        if j < end and self.toks[j].text in ("class", "struct"):
+            j += 1
+        name = ""
+        line = self.toks[i].line
+        if j < end and self.toks[j].kind == "id":
+            name = self.toks[j].text
+            line = self.toks[j].line
+            j += 1
+        while j < end and self.toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= end or self.toks[j].text == ";":
+            return j + 1  # forward declaration
+        close = match_forward(self.toks, j, "{", "}")
+        enum = Enum(name, self.fm.path, line)
+        expect_name = True
+        k = j + 1
+        while k < close:
+            t = self.toks[k]
+            if expect_name and t.kind == "id":
+                enum.enumerators.append(t.text)
+                expect_name = False
+            elif t.text == ",":
+                expect_name = True
+            k += 1
+        self.model.enums.append(enum)
+        return self._skip_to(";", close, end) + 1
+
+    # --- records ------------------------------------------------------------
+
+    def parse_record(self, i: int, end: int, enclosing: str | None) -> int:
+        j = i + 1
+        name = None
+        if j < end and self.toks[j].kind == "id":
+            name = self.toks[j].text
+            j += 1
+        while j < end and self.toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= end or self.toks[j].text == ";":
+            return j + 1  # forward declaration
+        close = match_forward(self.toks, j, "{", "}")
+        if name:
+            rec = Record(name, self.fm.path, self.toks[i].line)
+            self.model.records.setdefault(name, rec)
+            self._parse_record_body(self.model.records[name], j + 1, close)
+        return self._skip_to(";", close, end) + 1
+
+    def _parse_record_body(self, rec: Record, i: int, end: int) -> None:
+        while i < end:
+            t = self.toks[i]
+            if t.text in ("public", "private", "protected") \
+                    and i + 1 < end and self.toks[i + 1].text == ":":
+                i += 2
+            elif t.text in ("struct", "class"):
+                i = self.parse_record(i, end, enclosing=rec.name)
+            elif t.text == "enum":
+                i = self.parse_enum(i, end)
+            elif t.text == "template":
+                i = self._skip_template(i, end)
+            elif t.text in _DECL_KEYWORDS:
+                i = self._skip_to(";", i, end) + 1
+            else:
+                i = self._parse_member(rec, i, end)
+
+    def _parse_member(self, rec: Record, i: int, end: int) -> int:
+        """One member declaration or inline method starting at i."""
+        j = i
+        while j < end:
+            t = self.toks[j].text
+            if t == "(":
+                return self._parse_member_with_parens(rec, i, j, end)
+            if t == "=":
+                # Initialized data member: `T name = expr;`
+                name = self._id_before(j, i)
+                if name:
+                    rec.fields.setdefault(name, self._type_text(i, j, name))
+                return self._skip_to(";", j, end) + 1
+            if t == "{":
+                # Brace-initialized member: `T name{...};`
+                name = self._id_before(j, i)
+                close = match_forward(self.toks, j, "{", "}")
+                if name:
+                    rec.fields.setdefault(name, self._type_text(i, j, name))
+                return self._skip_to(";", close, end) + 1
+            if t == ";":
+                name = self._id_before(j, i)
+                if name:
+                    rec.fields.setdefault(name, self._type_text(i, j, name))
+                return j + 1
+            j += 1
+        return end
+
+    def _parse_member_with_parens(self, rec: Record, start: int, lp: int,
+                                  end: int) -> int:
+        rp = match_forward(self.toks, lp, "(", ")")
+        j = rp + 1
+        # operator(): a second parameter list follows immediately.
+        while j < end and self.toks[j].text == "(":
+            j = match_forward(self.toks, j, "(", ")") + 1
+        while j < end and (self.toks[j].text in _MODIFIERS
+                           or self.toks[j].text in ("&", "&&")):
+            j += 1
+        if j < end and self.toks[j].text == "->":  # trailing return type
+            while j < end and self.toks[j].text not in ("{", ";"):
+                j += 1
+        if j < end and self.toks[j].text == ":":  # constructor init list
+            j += 1
+            while j < end and self.toks[j].text != "{":
+                if self.toks[j].text == "(":
+                    j = match_forward(self.toks, j, "(", ")")
+                elif self.toks[j].kind == "id" and j + 1 < end \
+                        and self.toks[j + 1].text == "{":
+                    j = match_forward(self.toks, j + 1, "{", "}")
+                j += 1
+        if j < end and self.toks[j].text == "{":
+            close = match_forward(self.toks, j, "{", "}")
+            name_tok = self.toks[lp - 1] if lp > start else None
+            if name_tok is not None and name_tok.kind == "id":
+                m = Method(rec.name, name_tok.text, self.fm.path, self.toks,
+                           j, close, name_tok.line)
+                rec.methods.setdefault(m.name, m)
+                self.fm.methods.append(m)
+            i = close + 1
+            if i < end and self.toks[i].text == ";":
+                i += 1
+            return i
+        if j < end and self.toks[j].text == "=":
+            # `= 0;` / `= default;` / `= delete;`
+            return self._skip_to(";", j, end) + 1
+        # Method declaration — or a member whose *type* contains parens
+        # (std::function<void(...)> cb;): then an id names it just before
+        # the terminating ';' and past the closing '>' of the template.
+        semi = self._skip_to(";", j, end)
+        back = semi - 1
+        if back > rp and self.toks[back].kind == "id" \
+                and self.toks[back].text not in _MODIFIERS:
+            name = self.toks[back].text
+            rec.fields.setdefault(name, self._type_text(start, back, name))
+        return semi + 1
+
+    def _id_before(self, j: int, lo: int) -> str | None:
+        k = j - 1
+        while k >= lo and self.toks[k].text in ("&", "*"):
+            k -= 1
+        if k >= lo and self.toks[k].kind == "id":
+            return self.toks[k].text
+        return None
+
+    def _type_text(self, start: int, name_at: int, name: str) -> str:
+        parts = []
+        for t in self.toks[start:name_at]:
+            if t.kind == "id" and t.text == name:
+                break
+            parts.append(t.text)
+        skip = {"static", "mutable", "constexpr", "inline", "[", "]"}
+        return " ".join(p for p in parts if p not in skip)
+
+    # --- free functions and out-of-line methods -----------------------------
+
+    def _parse_function_or_skip(self, i: int, end: int) -> int:
+        j = i
+        while j < end:
+            t = self.toks[j].text
+            if t == "(":
+                break
+            if t in (";", "=", "{"):
+                # Namespace-scope variable or something unmodeled: skip.
+                if t == "{":
+                    j = match_forward(self.toks, j, "{", "}")
+                return self._skip_to(";", j, end) + 1
+            j += 1
+        if j >= end:
+            return end
+        lp = j
+        rp = match_forward(self.toks, lp, "(", ")")
+        name, cls = None, None
+        if lp > i and self.toks[lp - 1].kind == "id":
+            name = self.toks[lp - 1].text
+            if lp - 2 > i and self.toks[lp - 2].text == "::" \
+                    and self.toks[lp - 3].kind == "id":
+                cls = self.toks[lp - 3].text
+        j = rp + 1
+        while j < end and self.toks[j].text == "(":
+            j = match_forward(self.toks, j, "(", ")") + 1
+        while j < end and (self.toks[j].text in _MODIFIERS
+                           or self.toks[j].text in ("&", "&&")):
+            j += 1
+        if j < end and self.toks[j].text == ":":  # constructor init list
+            j += 1
+            while j < end and self.toks[j].text != "{":
+                if self.toks[j].text == "(":
+                    j = match_forward(self.toks, j, "(", ")")
+                elif self.toks[j].text == "{":
+                    break
+                elif self.toks[j].kind == "id" and j + 1 < end \
+                        and self.toks[j + 1].text == "{":
+                    j = match_forward(self.toks, j + 1, "{", "}")
+                j += 1
+        if j < end and self.toks[j].text == "->":
+            while j < end and self.toks[j].text not in ("{", ";"):
+                j += 1
+        if j < end and self.toks[j].text == "{":
+            close = match_forward(self.toks, j, "{", "}")
+            if name:
+                m = Method(cls, name, self.fm.path, self.toks, j, close,
+                           self.toks[i].line)
+                self.fm.methods.append(m)
+            return close + 1
+        return self._skip_to(";", j, end) + 1

@@ -1,0 +1,229 @@
+"""swing-analyze driver: model build, rule dispatch, suppression, baseline.
+
+Scan mode builds one cross-file Model over every C++ source under src/,
+runs each rule, then filters findings through the two suppression layers:
+
+  * inline allows — the same `// swing-lint: allow(<rule>)` comment
+    swing_lint honors, on the finding's line, works for analyzer rules
+    too (one suppression syntax repo-wide);
+  * the checked-in baseline (tools/swing_analyze/baseline.json) — a list
+    of {"path", "rule"} entries for legacy findings a PR cannot fix yet.
+    The baseline is EMPTY and the intent is that it stays empty: entries
+    that match nothing are themselves errors, so it can only shrink.
+
+Self-test mode scans tools/swing_analyze/fixtures/ instead and compares
+the per-(file, rule) finding counts against `// expect-analyze: <rule>`
+comments embedded in the fixtures, exactly like swing-lint's
+`// expect-lint:` convention. Fixture scans read their metric manifest
+from fixtures/known_metrics.json; real scans read KNOWN_METRICS out of
+tools/check_bench_json.py so the analyzer and the telemetry validator
+share one source of truth.
+
+Output format matches swing-lint: `path:line: [rule] message`, exit 1 on
+any finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import collections
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+from swing_analyze.cpp_model import Model
+from swing_analyze.finding import Finding
+from swing_analyze.rules import ALL_RULES, RULE_NAMES
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
+
+# Same syntax as swing_lint.ALLOW_RE — one suppression comment repo-wide.
+ALLOW_RE = re.compile(r"//\s*swing-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+EXPECT_RE = re.compile(r"//\s*expect-analyze:\s*([a-z-]+)")
+
+
+@dataclasses.dataclass
+class Context:
+    root: pathlib.Path
+    known_metrics: dict | None  # name -> {"kind": ..., "labels": [...]}
+
+
+def load_known_metrics(root: pathlib.Path) -> dict | None:
+    """Reads the KNOWN_METRICS literal out of tools/check_bench_json.py.
+
+    Parsed via ast so the manifest stays a plain dict in the validator (no
+    import side effects, no shared module plumbing). Returns None when the
+    assignment is missing, which downgrades manifest checks rather than
+    failing the scan.
+    """
+    path = root / "tools" / "check_bench_json.py"
+    if not path.is_file():
+        return None
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "KNOWN_METRICS":
+                    try:
+                        return ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+    return None
+
+
+def collect_sources(base: pathlib.Path) -> list[pathlib.Path]:
+    return [p for p in sorted(base.rglob("*"))
+            if p.suffix in CXX_SUFFIXES and p.is_file()]
+
+
+def run_rules(paths: list[pathlib.Path], root: pathlib.Path,
+              known_metrics: dict | None) -> list[Finding]:
+    model = Model.build(paths, root=root)
+    ctx = Context(root=root, known_metrics=known_metrics)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings.extend(rule.run(model, ctx))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def filter_allowed(findings: list[Finding],
+                   root: pathlib.Path) -> list[Finding]:
+    """Drops findings whose source line carries an allow(<rule>) comment."""
+    lines_by_path: dict[str, list[str]] = {}
+    kept: list[Finding] = []
+    for f in findings:
+        if f.path not in lines_by_path:
+            p = root / f.path
+            try:
+                lines_by_path[f.path] = p.read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                lines_by_path[f.path] = []
+        lines = lines_by_path[f.path]
+        raw = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        m = ALLOW_RE.search(raw)
+        allowed = {r.strip() for r in m.group(1).split(",")} if m else set()
+        if f.rule not in allowed:
+            kept.append(f)
+    return kept
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline_path: pathlib.Path) -> tuple[list[Finding],
+                                                         list[str]]:
+    """Returns (unsuppressed findings, errors for stale baseline entries)."""
+    errors: list[str] = []
+    try:
+        entries = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return findings, [f"baseline {baseline_path}: unreadable ({exc})"]
+    if not isinstance(entries, list):
+        return findings, [f"baseline {baseline_path}: expected a JSON list"]
+    kept: list[Finding] = []
+    matched = [False] * len(entries)
+    for f in findings:
+        hit = False
+        for i, e in enumerate(entries):
+            if isinstance(e, dict) and e.get("path") == f.path \
+                    and e.get("rule") == f.rule:
+                matched[i] = True
+                hit = True
+        if not hit:
+            kept.append(f)
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict) or "path" not in e or "rule" not in e:
+            errors.append(f"baseline entry {i}: malformed (need path, rule)")
+        elif not matched[i]:
+            errors.append(
+                f"baseline entry {e['path']} [{e['rule']}] matches no "
+                f"finding — remove it (the baseline only shrinks)")
+    return kept, errors
+
+
+def run_scan(root: pathlib.Path) -> int:
+    src = root / "src"
+    paths = collect_sources(src)
+    if not paths:
+        print(f"swing-analyze: no sources under {src}", file=sys.stderr)
+        return 1
+    findings = run_rules(paths, root, load_known_metrics(root))
+    findings = filter_allowed(findings, root)
+    findings, baseline_errors = apply_baseline(
+        findings, pathlib.Path(__file__).resolve().parent / "baseline.json")
+    for err in baseline_errors:
+        print(f"swing-analyze: {err}", file=sys.stderr)
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings or baseline_errors:
+        print(f"swing-analyze: {len(findings)} finding(s) across "
+              f"{len(paths)} files", file=sys.stderr)
+        return 1
+    print(f"swing-analyze: clean ({len(paths)} files, "
+          f"{len(ALL_RULES)} rules)")
+    return 0
+
+
+def run_self_test(fixtures: pathlib.Path) -> int:
+    fixture_files = collect_sources(fixtures)
+    if not fixture_files:
+        print(f"swing-analyze self-test: no fixtures under {fixtures}",
+              file=sys.stderr)
+        return 1
+    manifest_path = fixtures / "known_metrics.json"
+    known = None
+    if manifest_path.is_file():
+        known = json.loads(manifest_path.read_text(encoding="utf-8"))
+    findings = run_rules(fixture_files, fixtures, known)
+    findings = filter_allowed(findings, fixtures)
+
+    got = collections.Counter((f.path, f.rule) for f in findings)
+    want: collections.Counter = collections.Counter()
+    for path in fixture_files:
+        rel = str(path.relative_to(fixtures))
+        for rule in EXPECT_RE.findall(path.read_text(encoding="utf-8")):
+            want[(rel, rule)] += 1
+
+    failures = []
+    for key in sorted(set(want) | set(got)):
+        if key[1] not in RULE_NAMES:
+            failures.append(f"{key[0]}: unknown rule '{key[1]}' in "
+                            f"expect-analyze comment")
+            continue
+        if want[key] != got[key]:
+            detail = "; ".join(f"line {f.line}: {f.message}"
+                               for f in findings
+                               if (f.path, f.rule) == key) or "none"
+            failures.append(
+                f"{key[0]}: rule '{key[1]}': expected {want[key]} "
+                f"finding(s), got {got[key]} ({detail})")
+    if failures:
+        for line in failures:
+            print(f"swing-analyze self-test FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"swing-analyze self-test: {len(fixture_files)} fixtures, "
+          f"{sum(got.values())} expected findings matched")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="swing-analyze",
+        description="Semantic static analysis for the Swing tree.")
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent.parent)
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rules against their fixtures")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(
+            pathlib.Path(__file__).resolve().parent / "fixtures")
+    return run_scan(root)

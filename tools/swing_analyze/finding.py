@@ -1,0 +1,8 @@
+"""Shared finding record for swing-analyze rules."""
+
+from __future__ import annotations
+
+import collections
+
+# path: repo-relative file, line: 1-based, rule: kebab-case rule name.
+Finding = collections.namedtuple("Finding", "path line rule message")

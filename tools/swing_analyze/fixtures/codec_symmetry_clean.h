@@ -1,0 +1,50 @@
+// Fixture: symmetric codecs in the shapes the real tree uses — fixed-width
+// sequences, a varint-prefixed loop with a braceless body, a nested
+// serialize/deserialize pair, and validation-only conditionals. Must scan
+// clean: no expect-analyze lines in this file.
+#pragma once
+
+struct WireWriter {};
+struct WireReader {};
+
+struct Inner {
+  std::uint64_t x = 0;
+  void serialize(WireWriter& w) const { w.write_u64(x); }
+  static Inner deserialize(WireReader& r) {
+    Inner v;
+    v.x = r.read_u64();
+    return v;
+  }
+};
+
+struct Outer {
+  std::uint64_t id = 0;
+  std::vector<Inner> parts;
+  void to_bytes(WireWriter& w) const {
+    w.write_u64(id);
+    w.write_varint(parts.size());
+    for (const auto& p : parts) p.serialize(w);
+  }
+  static Outer from_bytes(WireReader& r) {
+    Outer m;
+    m.id = r.read_u64();
+    const auto n = r.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i)
+      m.parts.push_back(Inner::deserialize(r));
+    if (m.parts.size() != n) throw "short read";  // guards only, no ops
+    return m;
+  }
+};
+
+// Detached-buffer helpers are not stream ops: the stream op is the
+// write_bytes/read_bytes pair, to_bytes()/from_bytes() inside it run on a
+// separate buffer (mirrors Tuple snapshots in the real tree).
+struct Detached {
+  Inner payload;
+  void to_bytes(WireWriter& w) const { w.write_bytes(payload.to_bytes()); }
+  static Detached from_bytes(WireReader& r) {
+    Detached m;
+    m.payload = Inner::from_bytes(r.read_bytes());
+    return m;
+  }
+};

@@ -1,0 +1,79 @@
+// Fixture: codec pairs whose wire sequences drifted. Each defect is a
+// realistic edit: a width change on one side only, a swapped field pair,
+// a field added to the writer but not the reader, and a loop-depth slip.
+#pragma once
+
+struct WireWriter {};
+struct WireReader {};
+
+// Width drift: writer narrows to u32, reader still consumes u64.
+// expect-analyze: codec-symmetry
+struct WidthDrift {
+  std::uint64_t seq = 0;
+  std::uint64_t ts = 0;
+  void to_bytes(WireWriter& w) const {
+    w.write_u32(seq);  // narrowed in an "optimization", reader not updated
+    w.write_u64(ts);
+  }
+  static WidthDrift from_bytes(WireReader& r) {
+    WidthDrift m;
+    m.seq = r.read_u64();
+    m.ts = r.read_u64();
+    return m;
+  }
+};
+
+// Swapped pair: reader consumes the two fields in the opposite order.
+// expect-analyze: codec-symmetry
+struct SwappedFields {
+  double lat = 0;
+  std::uint64_t id = 0;
+  void to_bytes(WireWriter& w) const {
+    w.write_f64(lat);
+    w.write_u64(id);
+  }
+  static SwappedFields from_bytes(WireReader& r) {
+    SwappedFields m;
+    m.id = r.read_u64();
+    m.lat = r.read_f64();
+    return m;
+  }
+};
+
+// Writer-only field: a field appended to to_bytes, from_bytes forgotten.
+// expect-analyze: codec-symmetry
+struct ExtraWrite {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  void to_bytes(WireWriter& w) const {
+    w.write_u64(a);
+    w.write_u64(b);
+  }
+  static ExtraWrite from_bytes(WireReader& r) {
+    ExtraWrite m;
+    m.a = r.read_u64();
+    return m;
+  }
+};
+
+// Loop-depth slip: written once, read per-element — the count prefix and
+// the payload disagree on repetition.
+// expect-analyze: codec-symmetry
+struct DepthSlip {
+  std::vector<std::uint64_t> ids;
+  std::uint64_t crc = 0;
+  void to_bytes(WireWriter& w) const {
+    w.write_varint(ids.size());
+    for (const auto id : ids) w.write_u64(id);
+    w.write_u64(crc);
+  }
+  static DepthSlip from_bytes(WireReader& r) {
+    DepthSlip m;
+    const auto n = r.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.ids.push_back(r.read_u64());
+      m.crc = r.read_u64();  // belongs after the loop
+    }
+    return m;
+  }
+};

@@ -1,0 +1,32 @@
+// Fixture: effect-free SWING_DCHECK usage. Must scan clean — comparisons,
+// const calls, == (not =), lambda captures, and side effects hoisted OUT
+// of the check, plus SWING_CHECK (always on, side effects legal if odd).
+#pragma once
+
+class Cursor {
+ public:
+  void step() {
+    ++pos_;  // hoisted: the mutation survives NDEBUG
+    SWING_DCHECK(pos_ < limit_);
+    SWING_DCHECK_EQ(queue_.size(), expected_);
+    SWING_DCHECK(pos_ == 0 || !queue_.empty()) << "pos " << pos_;
+  }
+
+  void with_lambda() {
+    // `[=]` is a capture default, not an assignment.
+    SWING_DCHECK(std::all_of(queue_.begin(), queue_.end(),
+                             [=](int v) { return v >= 0; }));
+  }
+
+  void always_on() {
+    // SWING_CHECK runs in release too; not this rule's business.
+    SWING_CHECK(consume_token());
+  }
+
+ private:
+  bool consume_token() { return true; }
+  std::uint64_t pos_ = 0;
+  std::uint64_t limit_ = 0;
+  std::uint64_t expected_ = 0;
+  std::vector<int> queue_;
+};

@@ -1,0 +1,32 @@
+// Fixture: side effects inside SWING_DCHECK — gone under NDEBUG, so debug
+// and release builds diverge. Covers ++, assignment, a mutating container
+// call, and a mutation hidden in the trailing stream chain.
+#pragma once
+
+class Cursor {
+ public:
+  void step() {
+    // expect-analyze: dcheck-side-effect
+    SWING_DCHECK(++pos_ < limit_);
+  }
+
+  void reset_and_check() {
+    // expect-analyze: dcheck-side-effect
+    SWING_DCHECK_EQ(pos_ = 0, 0u);
+  }
+
+  void drain() {
+    // expect-analyze: dcheck-side-effect
+    SWING_DCHECK(!queue_.empty() && (queue_.pop_back(), true));
+  }
+
+  void log_step() {
+    // expect-analyze: dcheck-side-effect
+    SWING_DCHECK(pos_ < limit_) << "advancing to " << pos_++;
+  }
+
+ private:
+  std::uint64_t pos_ = 0;
+  std::uint64_t limit_ = 0;
+  std::vector<int> queue_;
+};

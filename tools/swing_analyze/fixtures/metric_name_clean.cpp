@@ -1,0 +1,13 @@
+// Fixture: manifest-conformant metric usage. Must scan clean — literal
+// names and label keys matching fixtures/known_metrics.json, computed
+// label VALUES (fine), and repeated consistent call sites.
+#include "registry_stub.h"
+
+void report(Registry* reg, const char* reason, double ms) {
+  reg->counter("frames_delivered").inc();
+  reg->counter("frames_delivered").inc();  // repeat, consistent
+  reg->counter("tuples_dropped", {{"reason", reason}}).inc();  // value computed
+  reg->counter("workers_evicted", {{"cause", "timeout"}}).inc();
+  reg->histogram("e2e_latency_ms").record(ms);
+  reg->gauge("net_busy_airtime_s").set(ms);
+}

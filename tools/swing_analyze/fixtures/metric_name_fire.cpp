@@ -1,0 +1,23 @@
+// Fixture: metric call sites that fork or hide a metric family — a typo'd
+// name unknown to the manifest, a kind flip, a label-key drift, a computed
+// name, and a computed label key.
+#include "registry_stub.h"
+
+void report(Registry* reg, const std::string& suffix, int n) {
+  // expect-analyze: metric-name-consistency
+  reg->counter("frames_delievered").inc();  // typo: not in the manifest
+
+  reg->counter("tuples_dropped", {{"reason", "ttl"}}).inc();
+  // expect-analyze: metric-name-consistency
+  reg->histogram("tuples_dropped").record(n);  // same name, different kind
+
+  reg->counter("workers_evicted", {{"cause", "timeout"}}).inc();
+  // expect-analyze: metric-name-consistency
+  reg->counter("workers_evicted", {{"why", "timeout"}}).inc();  // key drift
+
+  // expect-analyze: metric-name-consistency
+  reg->counter("frames_" + suffix).inc();  // computed name: not greppable
+
+  // expect-analyze: metric-name-consistency
+  reg->counter("chaos_injected", {{kFaultKey, "crash"}}).inc();  // computed key
+}

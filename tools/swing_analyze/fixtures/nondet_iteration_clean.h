@@ -1,0 +1,70 @@
+// Fixture: the blessed patterns around unordered containers. Must scan
+// clean: drain-sort-then-sink keeps the sink out of the tainted loop,
+// ordered-map iteration is deterministic by construction, and pure
+// accumulation leaks no order anywhere.
+#pragma once
+
+struct Registry {
+  void inc() {}
+};
+
+class DrainSortSink {
+ public:
+  // The latency_estimator::estimates shape: collect inside the loop, sort,
+  // then sink from the sorted vector.
+  void report() {
+    std::vector<std::uint64_t> keys;
+    for (const auto& [id, v] : pending_) {
+      keys.push_back(id);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const auto id : keys) {
+      registry_.inc();
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> pending_;
+  Registry registry_;
+};
+
+class OrderedIsFine {
+ public:
+  void report() {
+    for (const auto& [id, v] : members_) {
+      registry_.inc();
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, double> members_;  // ordered: stable iteration
+  Registry registry_;
+};
+
+class PureAccumulation {
+ public:
+  double total() const {
+    double sum = 0;
+    for (const auto& [id, v] : pending_) {
+      sum += v;  // commutative fold; no order-sensitive sink
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> pending_;
+};
+
+class SuppressedSink {
+ public:
+  void flush() {
+    // Deliberate: single-element map by construction, order irrelevant.
+    for (const auto& [id, v] : pending_) {  // swing-lint: allow(nondet-iteration)
+      registry_.inc();
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> pending_;
+  Registry registry_;
+};

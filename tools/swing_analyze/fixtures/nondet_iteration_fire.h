@@ -1,0 +1,54 @@
+// Fixture: unordered-container iteration reaching order-sensitive sinks —
+// directly, through a one-hop helper (the Medium::detach shape), and via
+// an iterator into a nested unordered registry (the Discovery::watch
+// shape).
+#pragma once
+
+struct Registry {
+  void inc() {}
+};
+
+class DirectSink {
+ public:
+  // expect-analyze: nondet-iteration
+  void flush() {
+    for (const auto& [id, v] : pending_) {
+      registry_.inc();
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> pending_;
+  Registry registry_;
+};
+
+class HelperSink {
+ public:
+  // expect-analyze: nondet-iteration
+  void drop_all() {
+    for (auto& [key, queue] : flows_) {
+      drop_one(key);
+    }
+  }
+
+ private:
+  void drop_one(std::uint64_t key) { registry_.inc(); }
+  std::unordered_map<std::uint64_t, int> flows_;
+  Registry registry_;
+};
+
+class NestedRegistry {
+ public:
+  // expect-analyze: nondet-iteration
+  void announce(const std::string& service) {
+    auto it = services_.find(service);
+    for (const auto& [provider, info] : it->second) {
+      emit(provider);
+    }
+  }
+
+ private:
+  void emit(std::uint64_t provider) {}
+  std::unordered_map<std::string,
+                     std::unordered_map<std::uint64_t, int>> services_;
+};

@@ -1,0 +1,20 @@
+// Shared stub for the metric fixtures: just enough surface for call sites.
+#pragma once
+
+struct Counter {
+  void inc() {}
+};
+struct Gauge {
+  void set(double) {}
+};
+struct Histogram {
+  void record(double) {}
+};
+
+struct Registry {
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+};
+
+inline const char* kFaultKey = "fault";

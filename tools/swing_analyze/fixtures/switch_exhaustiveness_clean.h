@@ -1,0 +1,54 @@
+// Fixture: the blessed switch shapes. Must scan clean — full enumeration
+// with no default, a sentinel enumerator exempt from coverage, grouped
+// cases, and unwatched enums free to use default.
+#pragma once
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kData = 2,
+  kAck = 3,
+  kBye = 4,
+};
+
+enum class TracePhase : std::uint8_t {
+  kEmit,
+  kTransmit,
+  kDeliver,
+  kPhaseCount,  // sentinel: exempt from coverage
+};
+
+enum class Color { kRed, kGreen, kBlue };  // not watched
+
+inline const char* route(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kData:
+    case MsgType::kAck:  // grouped cases count as covered
+      return "dataplane";
+    case MsgType::kBye:
+      return "bye";
+  }
+  return "unknown";  // out-of-range wire bytes, without a default arm
+}
+
+inline const char* phase_name(TracePhase p) {
+  switch (p) {
+    case TracePhase::kEmit:
+      return "emit";
+    case TracePhase::kTransmit:
+      return "transmit";
+    case TracePhase::kDeliver:
+      return "deliver";
+  }
+  return "unknown";
+}
+
+inline int unwatched(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 1;
+    default:  // fine: Color is not a watched enum
+      return 0;
+  }
+}

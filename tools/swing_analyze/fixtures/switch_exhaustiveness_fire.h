@@ -1,0 +1,44 @@
+// Fixture: switches over watched enums that swallow future enumerators —
+// a `default:` arm, and a default-less switch missing a case.
+#pragma once
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kData = 2,
+  kAck = 3,
+  kBye = 4,
+};
+
+enum class TracePhase : std::uint8_t {
+  kEmit,
+  kTransmit,
+  kDeliver,
+  kPhaseCount,  // sentinel: sizes arrays, never handled
+};
+
+inline void route(MsgType t) {
+  // expect-analyze: switch-exhaustiveness
+  switch (t) {
+    case MsgType::kHello:
+      break;
+    case MsgType::kData:
+      break;
+    default:  // kAck/kBye and every FUTURE kind end up here, silently
+      break;
+  }
+}
+// The default also mutes -Wswitch for the two uncovered enumerators:
+// expect-analyze: switch-exhaustiveness
+
+inline const char* phase_name(TracePhase p) {
+  // expect-analyze: switch-exhaustiveness
+  switch (p) {
+    case TracePhase::kEmit:
+      return "emit";
+    case TracePhase::kTransmit:
+      return "transmit";
+      // kDeliver missing: -Wswitch catches this at compile time, the
+      // analyzer catches it without compiling.
+  }
+  return "unknown";
+}

@@ -1,0 +1,26 @@
+"""Rule registry for swing-analyze.
+
+Each rule module exposes RULE (its kebab-case name) and
+run(model, ctx) -> list[Finding]. ctx is the engine's RuleContext
+(known-metrics manifest, scan roots).
+"""
+
+from __future__ import annotations
+
+from swing_analyze.rules import (
+    codec_symmetry,
+    dcheck_side_effect,
+    metric_name_consistency,
+    nondet_iteration,
+    switch_exhaustiveness,
+)
+
+ALL_RULES = [
+    codec_symmetry,
+    nondet_iteration,
+    dcheck_side_effect,
+    switch_exhaustiveness,
+    metric_name_consistency,
+]
+
+RULE_NAMES = [r.RULE for r in ALL_RULES]

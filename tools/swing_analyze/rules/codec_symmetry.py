@@ -1,0 +1,265 @@
+"""codec-symmetry: encoder/decoder field sequences must mirror each other.
+
+For every record that defines a codec pair — to_bytes/from_bytes,
+serialize/deserialize, or snapshot_state/restore_state — this rule
+extracts the ordered sequence of wire operations each side performs and
+verifies they match in order, count, width, and loop-nesting depth:
+
+    w.write_u64(x)            <->  r.read_u64()
+    w.write_varint(n); loop   <->  r.read_varint(); loop
+    field.serialize(w)        <->  Type::deserialize(r)
+
+Width drift (write_u32 read back as read_u64), a swapped field pair, or a
+field added to only one side is an error even when round-trip tests happen
+to pass (a symmetric *bug* round-trips fine; peers running the old decoder
+do not). Loop depth is part of the shape: an op written once but read
+per-element is a count mismatch the byte stream cannot reveal on small
+inputs.
+
+Out-of-stream helpers are deliberately NOT ops: `x.to_bytes()` inside
+`write_bytes(...)` and `T::from_bytes(r.read_bytes())` operate on a
+detached buffer — the stream op is the write_bytes/read_bytes pair.
+
+Limitations (documented, not silent): ops under `if`/`switch` are compared
+positionally like unconditional ops; codecs in this repo are straight-line
+(conditionals guard only validation/throws), and new conditional codecs
+should stay that way — a tagged union belongs in a nested type with its
+own pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from swing_analyze.cpp_lexer import Token, match_forward
+from swing_analyze.cpp_model import Method, Model, Record
+from swing_analyze.finding import Finding
+
+RULE = "codec-symmetry"
+
+PAIRS = [
+    ("to_bytes", "from_bytes"),
+    ("serialize", "deserialize"),
+    ("snapshot_state", "restore_state"),
+]
+
+_ELEMENT_RE = re.compile(
+    r"\b(?:vector|deque|list|array|span)\s*<\s*(.+?)\s*>?\s*$")
+
+
+@dataclasses.dataclass
+class Op:
+    kind: str    # 'op' (fixed-width / length-prefixed) | 'nested'
+    detail: str  # width name (u64, varint, bytes, ...) or nested type / '?'
+    depth: int   # loop-nesting depth
+    line: int
+
+    def describe(self) -> str:
+        what = (f"nested {self.detail}" if self.kind == "nested"
+                else self.detail)
+        return f"{what}@loop{self.depth}"
+
+
+def _last_id(type_text: str) -> str | None:
+    ids = re.findall(r"[A-Za-z_]\w*", type_text)
+    return ids[-1] if ids else None
+
+
+def _element_type(type_text: str) -> str | None:
+    m = _ELEMENT_RE.search(type_text)
+    if not m:
+        return None
+    inner = m.group(1)
+    # First template argument only (vector<T, Alloc> is not used here).
+    inner = inner.split(",")[0]
+    return _last_id(inner)
+
+
+class _Extractor:
+    def __init__(self, method: Method, record: Record, model: Model,
+                 mode: str) -> None:
+        self.toks = method.body()
+        self.record = record
+        self.model = model
+        self.mode = mode  # 'write' | 'read'
+        self.ops: list[Op] = []
+        self.bindings: dict[str, str] = {}  # loop var -> element type name
+
+    # --- type resolution ----------------------------------------------------
+
+    def _resolve_name(self, name: str) -> str | None:
+        """Resolves an identifier to a record-type name, best effort."""
+        if name in self.bindings:
+            return self.bindings[name]
+        if name in self.record.fields:
+            return _last_id(self.record.fields[name])
+        t = self.model.field_type(name)
+        return _last_id(t) if t else None
+
+    def _resolve_chain(self, chain: list[str]) -> str | None:
+        """Resolves `a.b.c` to the type of the final field."""
+        current: str | None = None
+        for part in chain:
+            if current and current in self.model.records:
+                t = self.model.records[current].fields.get(part)
+                current = _last_id(t) if t else self._resolve_name(part)
+            else:
+                current = self._resolve_name(part)
+        return current
+
+    def _chain_before(self, i: int) -> list[str]:
+        """Collects the `a.b` id chain ending just before token index i."""
+        chain: list[str] = []
+        k = i
+        while k >= 0:
+            if self.toks[k].kind == "id":
+                chain.append(self.toks[k].text)
+                if k - 1 >= 0 and self.toks[k - 1].text in (".", "->"):
+                    k -= 2
+                    continue
+            break
+        chain.reverse()
+        return chain
+
+    def _bind_range_for(self, header: list[Token]) -> None:
+        colon = next((k for k, t in enumerate(header) if t.text == ":"), None)
+        if colon is None:
+            return
+        var = None
+        for t in reversed(header[:colon]):
+            if t.kind == "id" and t.text not in ("auto", "const"):
+                var = t.text
+            break
+        if var is None or "]" in {t.text for t in header[:colon]}:
+            return  # structured bindings carry no single name
+        expr = [t for t in header[colon + 1:]]
+        chain = [t.text for t in expr if t.kind == "id"]
+        if not chain:
+            return
+        container = None
+        if len(chain) == 1:
+            container = chain[0]
+            type_text = (self.record.fields.get(container)
+                         or self.model.field_type(container) or "")
+        else:
+            base = self._resolve_chain(chain[:-1])
+            type_text = ""
+            if base and base in self.model.records:
+                type_text = self.model.records[base].fields.get(chain[-1], "")
+        element = _element_type(type_text)
+        if element:
+            self.bindings[var] = element
+
+    # --- op extraction ------------------------------------------------------
+
+    def extract(self) -> list[Op]:
+        self._walk(0, len(self.toks), 0)
+        return self.ops
+
+    def _walk(self, i: int, end: int, depth: int) -> None:
+        while i < end:
+            t = self.toks[i]
+            if t.text in ("for", "while") and i + 1 < end \
+                    and self.toks[i + 1].text == "(":
+                rp = match_forward(self.toks, i + 1, "(", ")")
+                self._bind_range_for(self.toks[i + 2:rp])
+                i = self._body(min(rp + 1, end), end, depth + 1)
+            elif t.text in ("if", "switch") and i + 1 < end \
+                    and self.toks[i + 1].text == "(":
+                rp = match_forward(self.toks, i + 1, "(", ")")
+                self._scan_range(i + 2, min(rp, end), depth)
+                i = self._body(min(rp + 1, end), end, depth)
+                while i < end and self.toks[i].text == "else":
+                    i = self._body(i + 1, end, depth)
+            else:
+                self._scan_at(i, depth)
+                i += 1
+
+    def _body(self, i: int, end: int, depth: int) -> int:
+        if i < end and self.toks[i].text == "{":
+            close = match_forward(self.toks, i, "{", "}")
+            self._walk(i + 1, min(close, end), depth)
+            return min(close + 1, end)
+        j, pd = i, 0
+        while j < end:
+            tt = self.toks[j].text
+            if tt == "(":
+                pd += 1
+            elif tt == ")":
+                pd -= 1
+            elif tt == ";" and pd == 0:
+                break
+            j += 1
+        self._walk(i, min(j + 1, end), depth)
+        return j + 1
+
+    def _scan_range(self, i: int, end: int, depth: int) -> None:
+        while i < end:
+            self._scan_at(i, depth)
+            i += 1
+
+    def _scan_at(self, i: int, depth: int) -> None:
+        t = self.toks[i]
+        if t.kind != "id":
+            return
+        nxt = self.toks[i + 1].text if i + 1 < len(self.toks) else ""
+        if nxt != "(":
+            return
+        if self.mode == "write" and t.text.startswith("write_"):
+            self.ops.append(Op("op", t.text[len("write_"):], depth, t.line))
+        elif self.mode == "read" and t.text.startswith("read_"):
+            self.ops.append(Op("op", t.text[len("read_"):], depth, t.line))
+        elif self.mode == "read" and t.text == "deserialize" \
+                and i >= 2 and self.toks[i - 1].text == "::" \
+                and self.toks[i - 2].kind == "id":
+            self.ops.append(Op("nested", self.toks[i - 2].text, depth,
+                               t.line))
+        elif self.mode == "write" and t.text == "serialize" \
+                and i >= 2 and self.toks[i - 1].text in (".", "->"):
+            chain = self._chain_before(i - 2)
+            resolved = self._resolve_chain(chain) if chain else None
+            self.ops.append(Op("nested", resolved or "?", depth, t.line))
+
+
+def _compare(rec: Record, wm: Method, rm: Method, writes: list[Op],
+             reads: list[Op]) -> list[Finding]:
+    findings: list[Finding] = []
+    for idx, (w, r) in enumerate(zip(writes, reads)):
+        mismatch = (w.kind != r.kind or w.depth != r.depth
+                    or (w.kind == "op" and w.detail != r.detail)
+                    or (w.kind == "nested" and "?" not in (w.detail, r.detail)
+                        and w.detail != r.detail))
+        if mismatch:
+            findings.append(Finding(
+                rm.path, r.line, RULE,
+                f"{rec.name}: wire op #{idx + 1} drifted — {wm.name} emits "
+                f"{w.describe()} (line {w.line}) but {rm.name} consumes "
+                f"{r.describe()}"))
+            return findings  # First divergence; the rest is cascade noise.
+    if len(writes) != len(reads):
+        longer, shorter = (wm, rm) if len(writes) > len(reads) else (rm, wm)
+        extra = (writes if len(writes) > len(reads) else reads)[
+            min(len(writes), len(reads))]
+        findings.append(Finding(
+            rm.path, extra.line, RULE,
+            f"{rec.name}: {wm.name} emits {len(writes)} wire op(s) but "
+            f"{rm.name} consumes {len(reads)} — {longer.name} has "
+            f"unmatched {extra.describe()} (vs {shorter.name})"))
+    return findings
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for name in sorted(model.records):
+        rec = model.records[name]
+        for wname, rname in PAIRS:
+            wm, rm = rec.methods.get(wname), rec.methods.get(rname)
+            if wm is None or rm is None:
+                continue
+            writes = _Extractor(wm, rec, model, "write").extract()
+            reads = _Extractor(rm, rec, model, "read").extract()
+            if not writes and not reads:
+                continue  # Not a wire codec (e.g. unrelated serialize()).
+            findings.extend(_compare(rec, wm, rm, writes, reads))
+    return findings

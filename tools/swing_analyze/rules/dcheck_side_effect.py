@@ -1,0 +1,95 @@
+"""dcheck-side-effect: SWING_DCHECK arguments must be effect-free.
+
+Under NDEBUG, SWING_DCHECK compiles to `while (false) SWING_CHECK(...)` —
+the condition is parsed but never executed (common/check.h). Any side
+effect inside the argument list therefore vanishes in release builds,
+changing behavior between build types: the exact bug class
+bugprone-assert-side-effect exists for, but enforced here without
+needing clang-tidy in the loop and with repo-specific mutator knowledge.
+
+Flagged inside SWING_DCHECK*/SWING_DCHECK_EQ/... argument lists:
+  * ++ / -- (either fix position)
+  * assignment and compound assignment (= += -= *= /= %= &= |= ^= <<= >>=)
+  * calls to known mutating container/stream methods (push_back, erase,
+    insert, take, reset, ...)
+
+Stream text after the closing paren (`SWING_DCHECK(x) << "msg" << n++;`)
+is ALSO dead in release, so the scan covers the trailing << chain up to
+the statement's `;` as well.
+"""
+
+from __future__ import annotations
+
+from swing_analyze.cpp_lexer import match_forward
+from swing_analyze.cpp_model import Model
+from swing_analyze.finding import Finding
+
+RULE = "dcheck-side-effect"
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+MUTATORS = {
+    "push_back", "push_front", "pop_back", "pop_front", "push", "pop",
+    "insert", "erase", "emplace", "emplace_back", "emplace_front",
+    "clear", "reset", "release", "take", "resize", "assign", "swap",
+    "remove", "advance", "consume", "write_bytes", "fork",
+}
+
+
+def _scan_args(toks, lo: int, hi: int) -> str | None:
+    """Returns a description of the first side effect in toks[lo:hi]."""
+    i = lo
+    while i < hi:
+        t = toks[i]
+        if t.text in ("++", "--"):
+            return f"`{t.text}` mutation"
+        if t.text in _ASSIGN_OPS:
+            # `[=]` lambda capture is not an assignment.
+            if t.text == "=" and i > lo and toks[i - 1].text == "[":
+                i += 1
+                continue
+            return f"`{t.text}` assignment"
+        if t.kind == "id" and t.text in MUTATORS and i > lo \
+                and toks[i - 1].text in (".", "->") \
+                and i + 1 < hi and toks[i + 1].text == "(":
+            return f"mutating call `{t.text}()`"
+        i += 1
+    return None
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(model.files):
+        toks = model.files[path].tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id" or not t.text.startswith("SWING_DCHECK"):
+                continue
+            if i + 1 >= n or toks[i + 1].text != "(":
+                continue
+            rp = match_forward(toks, i + 1, "(", ")")
+            effect = _scan_args(toks, i + 2, rp)
+            where = "argument"
+            if effect is None:
+                # Trailing stream chain: dead in release too.
+                j = rp + 1
+                while j < n and toks[j].text == "<<":
+                    k = j + 1
+                    while k < n and toks[k].text not in ("<<", ";"):
+                        if toks[k].text == "(":
+                            k = match_forward(toks, k, "(", ")")
+                        k += 1
+                    effect = _scan_args(toks, j + 1, k)
+                    if effect:
+                        where = "stream operand"
+                        break
+                    j = k
+            if effect:
+                findings.append(Finding(
+                    path, t.line, RULE,
+                    f"{t.text} {where} has {effect} — SWING_DCHECK "
+                    f"compiles out under NDEBUG, so this side effect "
+                    f"vanishes in release builds; hoist it out of the "
+                    f"check"))
+    return findings

@@ -1,0 +1,152 @@
+"""metric-name-consistency: obs metric names are literals, consistent,
+and declared in the manifest.
+
+Every `registry->counter/gauge/histogram(...)` call site is a point where
+a typo forks a metric family: `frames_delievered` registers cleanly,
+counts nothing anyone reads, and the dashboards silently miss frames.
+This rule enforces, across every call site in src/:
+
+  * the metric NAME is a string literal (greppable, not computed);
+  * every LABEL KEY is a string literal (values may be computed — e.g.
+    `{{"reason", drop_reason_name(r)}}` is fine);
+  * all call sites of one name agree on instrument kind (counter vs gauge
+    vs histogram) and on the label-key set;
+  * the name is declared in the KNOWN_METRICS manifest in
+    tools/check_bench_json.py — with matching kind and label keys — so the
+    telemetry validator and the analyzer can never drift apart.
+
+Call sites are `.`/`->`-qualified invocations; the Registry member-
+function *definitions* (Registry::counter) are not call sites and are
+skipped automatically.
+"""
+
+from __future__ import annotations
+
+from swing_analyze.cpp_lexer import match_forward
+from swing_analyze.cpp_model import Model
+from swing_analyze.finding import Finding
+
+RULE = "metric-name-consistency"
+
+KINDS = {"counter", "gauge", "histogram"}
+
+
+def _parse_site(toks, i: int, n: int):
+    """Parses a metric call site at toks[i] (the kind identifier).
+
+    Returns (name_token_or_None, label_keys, non_literal_key_line) where
+    name_token is None when the first argument is not a string literal.
+    """
+    lp = i + 1
+    rp = match_forward(toks, lp, "(", ")")
+    args = toks[lp + 1:rp]
+    if not args:
+        return None, [], None
+    name_tok = args[0] if args[0].kind == "str" else None
+    ok = name_tok is not None and (len(args) == 1 or args[1].text == ",")
+    label_keys: list[str] = []
+    bad_key_line = None
+    # Labels argument: {{"key", value}, {"key2", value2}}
+    j = 1
+    while j < len(args) and args[j].text != "{":
+        j += 1
+    if j < len(args):
+        depth = 0
+        k = j
+        while k < len(args):
+            t = args[k].text
+            if t == "{":
+                depth += 1
+                if depth == 2:  # one {key, value} pair opens
+                    key = args[k + 1] if k + 1 < len(args) else None
+                    if key is not None and key.kind == "str":
+                        label_keys.append(key.text)
+                    elif key is not None:
+                        bad_key_line = key.line
+            elif t == "}":
+                depth -= 1
+            elif t == "(":
+                k = match_forward(args, k, "(", ")")
+            k += 1
+    return (name_tok if ok else None), label_keys, bad_key_line
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    # name -> list of (kind, labelkeys tuple, path, line)
+    sites: dict[str, list[tuple[str, tuple[str, ...], str, int]]] = {}
+    for path in sorted(model.files):
+        toks = model.files[path].tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in KINDS:
+                continue
+            if i == 0 or toks[i - 1].text not in (".", "->"):
+                continue
+            if i + 1 >= n or toks[i + 1].text != "(":
+                continue
+            name_tok, label_keys, bad_key = _parse_site(toks, i, n)
+            if bad_key is not None:
+                findings.append(Finding(
+                    path, bad_key, RULE,
+                    f"label key for {t.text} metric is not a string "
+                    f"literal — keys must be greppable constants"))
+            if name_tok is None:
+                findings.append(Finding(
+                    path, t.line, RULE,
+                    f"{t.text}(...) metric name is not a string literal — "
+                    f"computed names defeat grep, the manifest, and "
+                    f"check_bench_json.py"))
+                continue
+            if bad_key is not None:
+                # The key finding forces a fix; the site's key set is
+                # unreliable until then, so don't cascade consistency or
+                # manifest findings off it.
+                continue
+            sites.setdefault(name_tok.text, []).append(
+                (t.text, tuple(sorted(label_keys)), path, t.line))
+
+    known = ctx.known_metrics  # name -> {"kind": ..., "labels": [...]}
+    for name in sorted(sites):
+        uses = sites[name]
+        kinds = {kind for kind, _, _, _ in uses}
+        keysets = {keys for _, keys, _, _ in uses}
+        first = uses[0]
+        if len(kinds) > 1:
+            for kind, _, path, line in uses[1:]:
+                if kind != first[0]:
+                    findings.append(Finding(
+                        path, line, RULE,
+                        f"metric '{name}' is a {kind} here but a "
+                        f"{first[0]} at {first[2]}:{first[3]} — one name, "
+                        f"one instrument kind"))
+        if len(keysets) > 1 and len(kinds) == 1:  # kind flip already reported
+            for _, keys, path, line in uses[1:]:
+                if keys != first[1]:
+                    findings.append(Finding(
+                        path, line, RULE,
+                        f"metric '{name}' labeled {list(keys)} here but "
+                        f"{list(first[1])} at {first[2]}:{first[3]} — "
+                        f"label keys must agree across call sites"))
+        if known is None:
+            continue
+        decl = known.get(name)
+        if decl is None:
+            findings.append(Finding(
+                first[2], first[3], RULE,
+                f"metric '{name}' is not declared in KNOWN_METRICS "
+                f"(tools/check_bench_json.py) — add it with its kind and "
+                f"label keys"))
+        else:
+            if decl.get("kind") != first[0] and len(kinds) == 1:
+                findings.append(Finding(
+                    first[2], first[3], RULE,
+                    f"metric '{name}' is a {first[0]} in code but "
+                    f"declared as {decl.get('kind')} in KNOWN_METRICS"))
+            declared = tuple(sorted(decl.get("labels", [])))
+            if declared != first[1] and len(keysets) == 1:
+                findings.append(Finding(
+                    first[2], first[3], RULE,
+                    f"metric '{name}' labeled {list(first[1])} in code "
+                    f"but {list(declared)} in KNOWN_METRICS"))
+    return findings

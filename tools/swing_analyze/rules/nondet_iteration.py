@@ -1,0 +1,237 @@
+"""nondet-iteration: unordered-container iteration must not reach
+order-sensitive sinks.
+
+Hash-map iteration order is implementation- and run-dependent. A range-for
+over an `unordered_map`/`unordered_set` whose body reaches an
+order-sensitive sink — the tuple-ledger digest, an obs counter/histogram,
+the tracer, serialization, or simulator event scheduling — leaks that
+order into state the determinism suite asserts is byte-identical per seed.
+The canonical safe patterns, which this rule deliberately does NOT flag:
+
+  * drain into a vector inside the loop, std::sort, then sink
+    (core/latency_estimator.h::estimates), and
+  * membership-only use (contains/find/erase) with no iteration at all.
+
+Detection: for each range-for, the iterated expression is classed
+unordered if (a) its tokens name an unordered container directly, (b) it
+is a variable whose declared type — local, member of the enclosing class
+(cross-file via the symbol table), or any record field — contains
+`unordered_`, or (c) it dereferences an iterator obtained from
+`X.find(...)`/`X.begin()` where X's mapped type is itself unordered. The
+loop body then taints one call level deep through methods defined in the
+same file (enough to catch `drop_message(...)` style indirection) and
+fires if any sink identifier is invoked.
+"""
+
+from __future__ import annotations
+
+import re
+
+from swing_analyze.cpp_lexer import Token, match_forward
+from swing_analyze.cpp_model import Method, Model
+from swing_analyze.finding import Finding
+
+RULE = "nondet-iteration"
+
+# Identifiers whose invocation inside a tainted loop is order-sensitive.
+SINKS = {
+    # tuple-ledger events fold into the order-sensitive FNV digest
+    "on_emitted", "on_reemitted", "on_delivered", "on_consumed",
+    "on_dropped", "on_in_flight_at_shutdown", "on_retransmitted",
+    "on_deduplicated", "on_played", "on_latency_sample", "on_control_event",
+    "fold", "violation", "digest",
+    # obs: metric mutation order shows up in snapshots and bench reports
+    "inc", "record", "span", "counter", "gauge", "histogram",
+    # serialization: byte output order is the wire format
+    "serialize", "to_bytes", "snapshot_state",
+    # simulator/network: scheduling order decides equal-timestamp FIFO
+    "schedule_at", "schedule_after", "send", "emit",
+    # drop callbacks chain into the ledger via transport/worker
+    "on_drop", "on_deliver",
+}
+_WRITE_PREFIX = "write_"
+
+_UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def _mapped_type(type_text: str) -> str:
+    """Second top-level template argument of an unordered_map type text."""
+    m = re.search(r"unordered_map\s*<(.*)>\s*$", type_text)
+    if not m:
+        return ""
+    depth, start, args = 0, 0, []
+    inner = m.group(1)
+    for k, ch in enumerate(inner):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(inner[start:k])
+            start = k + 1
+    args.append(inner[start:])
+    return args[1] if len(args) > 1 else ""
+
+
+class _Scanner:
+    def __init__(self, model: Model, method: Method,
+                 file_methods: dict[str, Method]) -> None:
+        self.model = model
+        self.method = method
+        self.file_methods = file_methods
+        self.toks = method.body()
+        self.local_types = self._collect_local_types()
+        self.iter_sources = self._collect_iterator_sources()
+
+    def _collect_local_types(self) -> dict[str, str]:
+        """Maps local variable names to declared types naming unordered_*."""
+        out: dict[str, str] = {}
+        i, n = 0, len(self.toks)
+        while i < n:
+            t = self.toks[i]
+            if t.kind == "id" and _UNORDERED_RE.search(t.text):
+                j, angle = i + 1, 0
+                type_end = j
+                while j < n:
+                    tt = self.toks[j].text
+                    if tt == "<":
+                        angle += 1
+                    elif tt == ">":
+                        angle -= 1
+                        if angle == 0:
+                            type_end = j + 1
+                            break
+                    elif tt == ">>":
+                        angle -= 2
+                        if angle <= 0:
+                            type_end = j + 1
+                            break
+                    elif angle == 0:
+                        break
+                    j += 1
+                k = type_end
+                while k < n and self.toks[k].text in ("&", "*", "const"):
+                    k += 1
+                if k < n and self.toks[k].kind == "id":
+                    out[self.toks[k].text] = t.text
+                i = max(type_end, i + 1)
+            else:
+                i += 1
+        return out
+
+    def _collect_iterator_sources(self) -> dict[str, str]:
+        """Maps `auto it = X.find(...)` iterators to their container X."""
+        out: dict[str, str] = {}
+        n = len(self.toks)
+        for i in range(n - 5):
+            if (self.toks[i].text == "auto"
+                    and self.toks[i + 1].kind == "id"
+                    and self.toks[i + 2].text == "="):
+                k = i + 3
+                if k + 2 < n and self.toks[k].kind == "id" \
+                        and self.toks[k + 1].text in (".", "->") \
+                        and self.toks[k + 2].text in ("find", "begin",
+                                                      "lower_bound"):
+                    out[self.toks[i + 1].text] = self.toks[k].text
+        return out
+
+    def _type_of(self, name: str) -> str:
+        if name in self.local_types:
+            return self.local_types[name]
+        cls = self.method.cls
+        if cls and cls in self.model.records:
+            t = self.model.records[cls].fields.get(name)
+            if t:
+                return t
+        return self.model.field_type(name) or ""
+
+    def _expr_is_unordered(self, expr: list[Token]) -> bool:
+        if any(_UNORDERED_RE.search(t.text) for t in expr if t.kind == "id"):
+            return True
+        ids = [t.text for t in expr if t.kind == "id"]
+        if not ids:
+            return False
+        # `it->second` where `it` walks an unordered_map whose mapped type
+        # is itself unordered (nested registries).
+        if len(ids) >= 2 and ids[-1] == "second" \
+                and ids[0] in self.iter_sources:
+            container = self._type_of(self.iter_sources[ids[0]])
+            return bool(_UNORDERED_RE.search(_mapped_type(container)))
+        if len(ids) == 1:
+            return bool(_UNORDERED_RE.search(self._type_of(ids[0])))
+        # `obj.member`: resolve the final field anywhere in the model.
+        t = self.model.field_type(ids[-1]) or ""
+        return bool(_UNORDERED_RE.search(t))
+
+    def _find_sink(self, body: list[Token], visited: set[str]) -> str | None:
+        n = len(body)
+        for i, t in enumerate(body):
+            if t.kind != "id" or i + 1 >= n or body[i + 1].text != "(":
+                continue
+            if t.text in SINKS or t.text.startswith(_WRITE_PREFIX):
+                return t.text
+            callee = self.file_methods.get(t.text)
+            if callee is not None and t.text not in visited:
+                visited.add(t.text)
+                hit = self._find_sink(callee.body(), visited)
+                if hit:
+                    return f"{t.text} -> {hit}"
+        return None
+
+    def scan(self) -> list[Finding]:
+        findings: list[Finding] = []
+        toks, n = self.toks, len(self.toks)
+        i = 0
+        while i < n:
+            if toks[i].text != "for" or i + 1 >= n \
+                    or toks[i + 1].text != "(":
+                i += 1
+                continue
+            rp = match_forward(toks, i + 1, "(", ")")
+            header = toks[i + 2:rp]
+            colon = next((k for k, t in enumerate(header)
+                          if t.text == ":"), None)
+            if colon is None:
+                i = rp + 1
+                continue
+            expr = header[colon + 1:]
+            if not self._expr_is_unordered(expr):
+                i = rp + 1
+                continue
+            body_start = rp + 1
+            if body_start < n and toks[body_start].text == "{":
+                body_end = match_forward(toks, body_start, "{", "}")
+                body = toks[body_start + 1:body_end]
+            else:
+                j, pd = body_start, 0
+                while j < n:
+                    tt = toks[j].text
+                    if tt == "(":
+                        pd += 1
+                    elif tt == ")":
+                        pd -= 1
+                    elif tt == ";" and pd == 0:
+                        break
+                    j += 1
+                body, body_end = toks[body_start:j], j
+            sink = self._find_sink(body, set())
+            if sink:
+                expr_text = " ".join(t.text for t in expr)
+                findings.append(Finding(
+                    self.method.path, toks[i].line, RULE,
+                    f"iteration over unordered container `{expr_text}` "
+                    f"reaches order-sensitive sink `{sink}` — hash-map "
+                    f"order leaks into digests/metrics/wire bytes; drain "
+                    f"into a sorted vector first"))
+            i = body_end + 1
+        return findings
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(model.files):
+        fm = model.files[path]
+        file_methods = {m.name: m for m in fm.methods}
+        for m in fm.methods:
+            findings.extend(_Scanner(model, m, file_methods).scan())
+    return findings

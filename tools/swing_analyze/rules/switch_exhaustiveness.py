@@ -1,0 +1,121 @@
+"""switch-exhaustiveness: watched enums must be switched exhaustively,
+with no `default:`.
+
+For the wire/determinism-critical enums — DropReason (core and net both
+define one), obs::TracePhase, and runtime::MsgType — a `default:` arm is
+a trap: when the next PR adds an enumerator (a new drop reason, trace
+phase, or message kind), the default silently swallows it and the
+compiler's -Wswitch, which only fires on *uncovered* enumerators in
+default-less switches, stays quiet. The repo convention is therefore to
+enumerate every case explicitly (see tracer.cpp's trace_phase_name: the
+post-switch `return "unknown"` handles out-of-range wire bytes without a
+default arm).
+
+Sentinel enumerators named like `k...Count` are exempt from the coverage
+requirement — they exist to size arrays, not to be handled.
+
+The switch's subject enum is identified from its qualified case labels
+(`DropReason::kStaleTtl` -> DropReason) and resolved against the symbol
+table; when two enums share a name, enumerator overlap disambiguates.
+"""
+
+from __future__ import annotations
+
+import re
+
+from swing_analyze.cpp_lexer import match_forward
+from swing_analyze.cpp_model import Model
+from swing_analyze.finding import Finding
+
+RULE = "switch-exhaustiveness"
+
+WATCHED = {"DropReason", "TracePhase", "MsgType"}
+
+_SENTINEL_RE = re.compile(r"^k\w*Count$")
+
+
+def _switch_labels(toks, open_: int, close: int):
+    """Yields (enum_name, enumerator) case labels and default presence at
+    the switch's own depth (nested switches are skipped)."""
+    labels: list[tuple[str | None, str]] = []
+    has_default = False
+    default_line = None
+    i, depth = open_ + 1, 1
+    while i < close:
+        t = toks[i]
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+        elif depth == 1 and t.text == "switch":
+            # Nested switch: skip its body entirely.
+            if i + 1 < close and toks[i + 1].text == "(":
+                rp = match_forward(toks, i + 1, "(", ")")
+                if rp + 1 < close and toks[rp + 1].text == "{":
+                    i = match_forward(toks, rp + 1, "{", "}")
+        elif depth == 1 and t.text == "case":
+            j = i + 1
+            parts = []
+            while j < close and toks[j].text != ":":
+                parts.append(toks[j])
+                j += 1
+            ids = [p.text for p in parts if p.kind == "id"]
+            if ids:
+                ename = ids[-2] if len(ids) >= 2 else None
+                labels.append((ename, ids[-1]))
+            i = j
+        elif depth == 1 and t.text == "default" \
+                and i + 1 < close and toks[i + 1].text == ":":
+            has_default = True
+            default_line = t.line
+        i += 1
+    return labels, has_default, default_line
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(model.files):
+        toks = model.files[path].tokens
+        n = len(toks)
+        i = 0
+        while i < n:
+            if toks[i].text != "switch" or i + 1 >= n \
+                    or toks[i + 1].text != "(":
+                i += 1
+                continue
+            line = toks[i].line
+            rp = match_forward(toks, i + 1, "(", ")")
+            if rp + 1 >= n or toks[rp + 1].text != "{":
+                i = rp + 1
+                continue
+            close = match_forward(toks, rp + 1, "{", "}")
+            labels, has_default, default_line = _switch_labels(
+                toks, rp + 1, close)
+            i = close + 1
+
+            enum_names = {e for e, _ in labels if e}
+            watched_name = next((e for e in enum_names if e in WATCHED),
+                                None)
+            if watched_name is None:
+                continue
+            covered = {lab for _, lab in labels}
+            candidates = model.enums_named(watched_name)
+            if not candidates:
+                continue
+            enum = max(candidates,
+                       key=lambda e: len(set(e.enumerators) & covered))
+            if has_default:
+                findings.append(Finding(
+                    path, default_line or line, RULE,
+                    f"`default:` on a switch over watched enum "
+                    f"{watched_name} — a future enumerator would be "
+                    f"silently swallowed and -Wswitch muted; enumerate "
+                    f"the ignored kinds explicitly"))
+            missing = [e for e in enum.enumerators
+                       if e not in covered and not _SENTINEL_RE.match(e)]
+            if missing:
+                findings.append(Finding(
+                    path, line, RULE,
+                    f"switch over watched enum {watched_name} misses "
+                    f"enumerator(s): {', '.join(missing)}"))
+    return findings

@@ -1,0 +1,71 @@
+import unittest
+
+from swing_analyze.cpp_lexer import Token, match_forward, tokenize
+
+
+class LexerTest(unittest.TestCase):
+    def kinds(self, text):
+        return [(t.kind, t.text) for t in tokenize(text)]
+
+    def test_multichar_operators_are_single_tokens(self):
+        toks = self.kinds("a == b; c = d; e++; f << g; h <<= i;")
+        texts = [t for _, t in toks]
+        self.assertIn("==", texts)
+        self.assertIn("=", texts)
+        self.assertIn("++", texts)
+        self.assertIn("<<", texts)
+        self.assertIn("<<=", texts)
+
+    def test_string_contents_preserved(self):
+        toks = tokenize('reg->counter("tuples_dropped")')
+        strs = [t for t in toks if t.kind == "str"]
+        self.assertEqual([s.text for s in strs], ["tuples_dropped"])
+
+    def test_comments_skipped_lines_counted(self):
+        toks = tokenize("a // trailing\n/* block\nspanning */ b\n")
+        self.assertEqual([(t.text, t.line) for t in toks],
+                         [("a", 1), ("b", 3)])
+
+    def test_preprocessor_lines_skipped(self):
+        text = ("#include <vector>\n"
+                "#define SWING_CHECK(cond) do_check(cond)\n"
+                "int x;\n"
+                "#define MULTI \\\n"
+                "  line2\n"
+                "int y;\n")
+        texts = [t.text for t in tokenize(text)]
+        self.assertEqual(texts, ["int", "x", ";", "int", "y", ";"])
+
+    def test_macro_invocations_stay_visible(self):
+        texts = [t.text for t in tokenize("SWING_DCHECK(x < y);")]
+        self.assertEqual(texts, ["SWING_DCHECK", "(", "x", "<", "y", ")", ";"])
+
+    def test_hash_mid_line_is_not_a_directive(self):
+        # Only a '#' that starts its line opens a preprocessor directive;
+        # a mid-line '#' must not swallow the tokens before it.
+        texts = [t.text for t in tokenize("int a; # stray\n")]
+        self.assertEqual(texts[:3], ["int", "a", ";"])
+
+    def test_raw_string(self):
+        toks = tokenize('auto s = R"(no "escape" here)";')
+        strs = [t for t in toks if t.kind == "str"]
+        self.assertEqual([s.text for s in strs], ['no "escape" here'])
+
+    def test_char_literal(self):
+        toks = tokenize("char c = 'x';")
+        self.assertIn(("chr", "x"), [(t.kind, t.text) for t in toks])
+
+    def test_match_forward(self):
+        toks = tokenize("f(a, g(b), c) + d")
+        self.assertEqual(toks[1].text, "(")
+        close = match_forward(toks, 1, "(", ")")
+        self.assertEqual(toks[close].text, ")")
+        self.assertEqual(toks[close + 1].text, "+")
+
+    def test_match_forward_unbalanced_degrades(self):
+        toks = tokenize("f(a, b")
+        self.assertEqual(match_forward(toks, 1, "(", ")"), len(toks))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,108 @@
+import unittest
+
+from swing_analyze.cpp_model import Model
+
+
+def build(text, path="test.h"):
+    model = Model()
+    model.add_file(path, text)
+    model.link()
+    return model
+
+
+class ModelTest(unittest.TestCase):
+    def test_record_fields_and_inline_methods(self):
+        model = build("""
+            namespace swing {
+            struct Msg {
+              std::uint64_t seq = 0;
+              std::vector<int> items;
+              std::unordered_map<std::string, int> index_;
+              void to_bytes(Writer& w) const { w.write_u64(seq); }
+            };
+            }  // namespace swing
+        """)
+        rec = model.records["Msg"]
+        self.assertIn("seq", rec.fields)
+        self.assertIn("unordered_map", rec.fields["index_"])
+        self.assertIn("vector", rec.fields["items"])
+        self.assertIn("to_bytes", rec.methods)
+
+    def test_out_of_line_method_links_cross_file(self):
+        model = Model()
+        model.add_file("a.h", """
+            class Medium {
+             public:
+              void detach(int id);
+             private:
+              std::unordered_map<int, int> flows_;
+            };
+        """)
+        model.add_file("a.cpp", """
+            void Medium::detach(int id) { flows_.clear(); }
+        """)
+        model.link()
+        rec = model.records["Medium"]
+        self.assertIn("detach", rec.methods)
+        self.assertEqual(rec.methods["detach"].path, "a.cpp")
+        self.assertIn("unordered_map", rec.fields["flows_"])
+
+    def test_constructor_init_list_does_not_swallow_members(self):
+        model = build("""
+            class Unit {
+             public:
+              explicit Unit(std::size_t window) : window_(window) {}
+              void process() { run(); }
+              void snapshot_state(Writer& w) const { w.write_u64(x_); }
+             private:
+              std::size_t window_;
+              std::uint64_t x_ = 0;
+            };
+        """)
+        rec = model.records["Unit"]
+        self.assertIn("process", rec.methods)
+        self.assertIn("snapshot_state", rec.methods)
+        self.assertIn("window_", rec.fields)
+
+    def test_enum_parsing(self):
+        model = build("""
+            enum class MsgType : std::uint8_t {
+              kHello = 1,
+              kData = 2,
+              kBye = 3,
+            };
+        """)
+        enums = model.enums_named("MsgType")
+        self.assertEqual(len(enums), 1)
+        self.assertEqual(enums[0].enumerators, ["kHello", "kData", "kBye"])
+
+    def test_method_body_token_range(self):
+        model = build("int add(int a, int b) { return a + b; }")
+        m = model.files["test.h"].methods[0]
+        self.assertEqual(m.name, "add")
+        self.assertIsNone(m.cls)
+        body = " ".join(t.text for t in m.body())
+        self.assertEqual(body, "return a + b ;")
+
+    def test_field_type_global_lookup(self):
+        model = build("""
+            struct A { std::unordered_set<int> keys_; };
+        """)
+        self.assertIn("unordered_set", model.field_type("keys_"))
+        self.assertIsNone(model.field_type("missing_"))
+
+    def test_std_function_member(self):
+        model = build("""
+            struct Hooks {
+              std::function<void(int)> on_drop;
+            };
+        """)
+        self.assertIn("on_drop", model.records["Hooks"].fields)
+
+    def test_malformed_input_degrades_gracefully(self):
+        # Unbalanced braces must not raise.
+        build("struct Broken { void f() { if (x {  ")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,115 @@
+"""Mutation tests: inject realistic defects into copies of REAL sources
+and assert the analyzer catches them.
+
+This is the check that the rules bite on production code shapes, not just
+on hand-built fixtures: a codec field-order swap in
+state/state_messages.h's CheckpointMsg and a side effect planted inside a
+reorder.h SWING_DCHECK must both surface; the pristine copies must scan
+clean (control group).
+"""
+
+import pathlib
+import tempfile
+import unittest
+
+from swing_analyze.engine import run_rules
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def scan_texts(named_texts):
+    """Writes {relpath: text} into a temp tree and runs all rules on it."""
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        paths = []
+        for rel, text in named_texts.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+            paths.append(p)
+        return run_rules(sorted(paths), root, known_metrics=None)
+
+
+class CodecMutationTest(unittest.TestCase):
+    ORIGINAL = "    w.write_u64(epoch);\n    w.write_i64(taken_ns);\n"
+    SWAPPED = "    w.write_i64(taken_ns);\n    w.write_u64(epoch);\n"
+
+    def read_source(self):
+        return (REPO_ROOT / "src/state/state_messages.h").read_text(
+            encoding="utf-8")
+
+    def test_pristine_copy_is_clean(self):
+        text = self.read_source()
+        self.assertIn(self.ORIGINAL, text)  # mutation target still exists
+        findings = [f for f in scan_texts({"state_messages.h": text})
+                    if f.rule == "codec-symmetry"]
+        self.assertEqual(findings, [])
+
+    def test_field_order_swap_detected(self):
+        mutated = self.read_source().replace(self.ORIGINAL, self.SWAPPED)
+        findings = [f for f in scan_texts({"state_messages.h": mutated})
+                    if f.rule == "codec-symmetry"]
+        self.assertEqual(len(findings), 1)
+        self.assertIn("CheckpointMsg", findings[0].message)
+
+
+class DcheckMutationTest(unittest.TestCase):
+    ORIGINAL = "SWING_DCHECK(!heap_.empty());"
+    MUTATED = "SWING_DCHECK(!heap_.empty() && (heap_.pop_back(), true));"
+
+    def read_source(self):
+        return (REPO_ROOT / "src/runtime/reorder.h").read_text(
+            encoding="utf-8")
+
+    def test_pristine_copy_is_clean(self):
+        text = self.read_source()
+        self.assertIn(self.ORIGINAL, text)  # mutation target still exists
+        findings = [f for f in scan_texts({"reorder.h": text})
+                    if f.rule == "dcheck-side-effect"]
+        self.assertEqual(findings, [])
+
+    def test_injected_side_effect_detected(self):
+        mutated = self.read_source().replace(self.ORIGINAL, self.MUTATED)
+        findings = [f for f in scan_texts({"reorder.h": mutated})
+                    if f.rule == "dcheck-side-effect"]
+        self.assertEqual(len(findings), 1)
+        self.assertIn("pop_back", findings[0].message)
+
+
+class SwitchMutationTest(unittest.TestCase):
+    """Regression for the worker/master fix: re-adding a default arm to the
+    MsgType dispatch must trip switch-exhaustiveness again."""
+
+    def read_sources(self):
+        return {
+            "runtime/messages.h":
+                (REPO_ROOT / "src/runtime/messages.h").read_text(
+                    encoding="utf-8"),
+            "runtime/worker.cpp":
+                (REPO_ROOT / "src/runtime/worker.cpp").read_text(
+                    encoding="utf-8"),
+        }
+
+    def test_pristine_dispatch_is_clean(self):
+        findings = [f for f in scan_texts(self.read_sources())
+                    if f.rule == "switch-exhaustiveness"]
+        self.assertEqual(findings, [])
+
+    def test_default_arm_detected(self):
+        sources = self.read_sources()
+        target = ("    case MsgType::kHello:\n"
+                  "    case MsgType::kHeartbeat:\n"
+                  "    case MsgType::kLeaveReport:\n"
+                  "    case MsgType::kBye:\n"
+                  "    case MsgType::kCheckpoint:\n"
+                  "      break;\n")
+        self.assertIn(target, sources["runtime/worker.cpp"])
+        sources["runtime/worker.cpp"] = sources["runtime/worker.cpp"].replace(
+            target, "    default:\n      break;\n")
+        findings = [f for f in scan_texts(sources)
+                    if f.rule == "switch-exhaustiveness"]
+        self.assertEqual(len(findings), 2)  # default arm + missing cases
+
+
+if __name__ == "__main__":
+    unittest.main()

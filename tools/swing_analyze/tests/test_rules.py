@@ -1,0 +1,376 @@
+import pathlib
+import unittest
+
+from swing_analyze.cpp_model import Model
+from swing_analyze.engine import Context
+from swing_analyze.rules import (
+    codec_symmetry,
+    dcheck_side_effect,
+    metric_name_consistency,
+    nondet_iteration,
+    switch_exhaustiveness,
+)
+
+
+def run_rule(rule, sources, known_metrics=None):
+    model = Model()
+    for path, text in sources.items():
+        model.add_file(path, text)
+    model.link()
+    ctx = Context(root=pathlib.Path("."), known_metrics=known_metrics)
+    return rule.run(model, ctx)
+
+
+class CodecSymmetryTest(unittest.TestCase):
+    def test_width_drift_fires(self):
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct M {
+              void to_bytes(W& w) const { w.write_u32(a); w.write_u64(b); }
+              static M from_bytes(R& r) {
+                M m; m.a = r.read_u64(); m.b = r.read_u64(); return m;
+              }
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("u32", findings[0].message)
+
+    def test_count_mismatch_fires(self):
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct M {
+              void to_bytes(W& w) const { w.write_u64(a); w.write_u64(b); }
+              static M from_bytes(R& r) { M m; m.a = r.read_u64(); return m; }
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("2 wire op(s)", findings[0].message)
+
+    def test_loop_depth_mismatch_fires(self):
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct M {
+              void to_bytes(W& w) const {
+                w.write_varint(v.size());
+                for (const auto x : v) w.write_u64(x);
+              }
+              static M from_bytes(R& r) {
+                M m;
+                const auto n = r.read_varint();
+                m.v.push_back(r.read_u64());
+                return m;
+              }
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+
+    def test_symmetric_codec_clean(self):
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct M {
+              void to_bytes(W& w) const {
+                w.write_u64(a);
+                w.write_varint(v.size());
+                for (const auto x : v) w.write_u64(x);
+              }
+              static M from_bytes(R& r) {
+                M m;
+                m.a = r.read_u64();
+                const auto n = r.read_varint();
+                for (std::uint64_t i = 0; i < n; ++i)
+                  m.v.push_back(r.read_u64());
+                return m;
+              }
+            };
+        """})
+        self.assertEqual(findings, [])
+
+    def test_nested_serialize_pair_clean(self):
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct Inner {
+              void serialize(W& w) const { w.write_u64(x); }
+              static Inner deserialize(R& r) {
+                Inner v; v.x = r.read_u64(); return v;
+              }
+            };
+            struct M {
+              Inner part;
+              void to_bytes(W& w) const { part.serialize(w); }
+              static M from_bytes(R& r) {
+                M m; m.part = Inner::deserialize(r); return m;
+              }
+            };
+        """})
+        self.assertEqual(findings, [])
+
+    def test_non_codec_serialize_ignored(self):
+        # A serialize() with no stream ops on either side is not a codec.
+        findings = run_rule(codec_symmetry, {"m.h": """
+            struct Task {
+              void serialize(Log& log) const { log.append(name); }
+              static Task deserialize(Log& log) { return Task{}; }
+            };
+        """})
+        self.assertEqual(findings, [])
+
+
+class NondetIterationTest(unittest.TestCase):
+    def test_direct_sink_fires(self):
+        findings = run_rule(nondet_iteration, {"a.h": """
+            class C {
+             public:
+              void flush() {
+                for (const auto& [k, v] : pending_) { reg_.inc(); }
+              }
+             private:
+              std::unordered_map<int, int> pending_;
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("inc", findings[0].message)
+
+    def test_one_hop_helper_fires(self):
+        findings = run_rule(nondet_iteration, {"a.cpp": """
+            void Medium::detach(int id) {
+              for (auto& [key, q] : flows_) { drop_message(key); }
+            }
+            void Medium::drop_message(int key) { hooks_.on_drop(key); }
+        """, "a.h": """
+            class Medium {
+              std::unordered_map<int, int> flows_;
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("drop_message -> on_drop", findings[0].message)
+
+    def test_cross_file_member_type_resolves(self):
+        # The loop is in the .cpp; the container type only in the .h.
+        findings = run_rule(nondet_iteration, {"b.cpp": """
+            void Reg::report() {
+              for (const auto& [k, v] : counters_) { w.write_u64(v); }
+            }
+        """, "b.h": """
+            class Reg {
+              std::unordered_map<std::string, int> counters_;
+            };
+        """})
+        self.assertEqual(len(findings), 1)
+
+    def test_drain_sort_clean(self):
+        findings = run_rule(nondet_iteration, {"a.h": """
+            class C {
+             public:
+              void report() {
+                std::vector<int> keys;
+                for (const auto& [k, v] : pending_) { keys.push_back(k); }
+                std::sort(keys.begin(), keys.end());
+                for (const auto k : keys) { reg_.inc(); }
+              }
+             private:
+              std::unordered_map<int, int> pending_;
+            };
+        """})
+        self.assertEqual(findings, [])
+
+    def test_ordered_map_clean(self):
+        findings = run_rule(nondet_iteration, {"a.h": """
+            class C {
+             public:
+              void report() {
+                for (const auto& [k, v] : members_) { reg_.inc(); }
+              }
+             private:
+              std::map<int, int> members_;
+            };
+        """})
+        self.assertEqual(findings, [])
+
+
+class DcheckSideEffectTest(unittest.TestCase):
+    def test_increment_fires(self):
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() { SWING_DCHECK(++n < limit); }
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("++", findings[0].message)
+
+    def test_assignment_fires(self):
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() { SWING_DCHECK_EQ(n = 0, 0); }
+        """})
+        self.assertEqual(len(findings), 1)
+
+    def test_mutating_call_fires(self):
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() { SWING_DCHECK(q.pop_back(), true); }
+        """})
+        self.assertEqual(len(findings), 1)
+
+    def test_stream_operand_fires(self):
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() { SWING_DCHECK(n < m) << "at " << n++; }
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("stream operand", findings[0].message)
+
+    def test_pure_condition_clean(self):
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() {
+              SWING_DCHECK(n == 0 || !q.empty()) << "n " << n;
+              SWING_DCHECK_LE(q.size(), cap);
+            }
+        """})
+        self.assertEqual(findings, [])
+
+    def test_swing_check_not_flagged(self):
+        # SWING_CHECK is always on; side effects there are not this rule's.
+        findings = run_rule(dcheck_side_effect, {"a.h": """
+            void f() { SWING_CHECK(consume() == 0); n++; }
+        """})
+        self.assertEqual(findings, [])
+
+
+class SwitchExhaustivenessTest(unittest.TestCase):
+    ENUM = """
+        enum class MsgType { kHello = 1, kData = 2, kBye = 3 };
+    """
+
+    def test_default_fires(self):
+        findings = run_rule(switch_exhaustiveness, {"a.h": self.ENUM + """
+            void route(MsgType t) {
+              switch (t) {
+                case MsgType::kHello: break;
+                case MsgType::kData: break;
+                case MsgType::kBye: break;
+                default: break;
+              }
+            }
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("default", findings[0].message)
+
+    def test_missing_enumerator_fires(self):
+        findings = run_rule(switch_exhaustiveness, {"a.h": self.ENUM + """
+            void route(MsgType t) {
+              switch (t) {
+                case MsgType::kHello: break;
+                case MsgType::kData: break;
+              }
+            }
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("kBye", findings[0].message)
+
+    def test_full_coverage_clean(self):
+        findings = run_rule(switch_exhaustiveness, {"a.h": self.ENUM + """
+            void route(MsgType t) {
+              switch (t) {
+                case MsgType::kHello: break;
+                case MsgType::kData:
+                case MsgType::kBye: break;
+              }
+            }
+        """})
+        self.assertEqual(findings, [])
+
+    def test_sentinel_exempt(self):
+        findings = run_rule(switch_exhaustiveness, {"a.h": """
+            enum class TracePhase { kEmit, kDeliver, kPhaseCount };
+            void f(TracePhase p) {
+              switch (p) {
+                case TracePhase::kEmit: break;
+                case TracePhase::kDeliver: break;
+              }
+            }
+        """})
+        self.assertEqual(findings, [])
+
+    def test_unwatched_enum_ignored(self):
+        findings = run_rule(switch_exhaustiveness, {"a.h": """
+            enum class Color { kRed, kGreen };
+            void f(Color c) {
+              switch (c) {
+                case Color::kRed: break;
+                default: break;
+              }
+            }
+        """})
+        self.assertEqual(findings, [])
+
+    def test_name_collision_resolved_by_overlap(self):
+        # Two DropReason enums (core and net); the switch's own labels pick
+        # the right one, so covering all of net's is clean even though
+        # core's has more enumerators.
+        findings = run_rule(switch_exhaustiveness, {"core.h": """
+            enum class DropReason { kTtl, kDup, kDisconnect, kShed };
+        """, "net.h": """
+            enum class DropReason { kCollision, kNoRoute };
+            void f(DropReason r) {
+              switch (r) {
+                case DropReason::kCollision: break;
+                case DropReason::kNoRoute: break;
+              }
+            }
+        """})
+        self.assertEqual(findings, [])
+
+
+class MetricNameConsistencyTest(unittest.TestCase):
+    KNOWN = {
+        "tuples_dropped": {"kind": "counter", "labels": ["reason"]},
+        "e2e_latency_ms": {"kind": "histogram", "labels": []},
+    }
+
+    def test_undeclared_name_fires(self):
+        findings = run_rule(metric_name_consistency, {"a.cpp": """
+            void f(Registry* r) { r->counter("frames_delievered").inc(); }
+        """}, known_metrics=self.KNOWN)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("not declared", findings[0].message)
+
+    def test_kind_flip_fires(self):
+        findings = run_rule(metric_name_consistency, {"a.cpp": """
+            void f(Registry* r, double ms) {
+              r->histogram("e2e_latency_ms").record(ms);
+              r->counter("e2e_latency_ms").inc();
+            }
+        """}, known_metrics=self.KNOWN)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("instrument kind", findings[0].message)
+
+    def test_label_drift_fires(self):
+        findings = run_rule(metric_name_consistency, {"a.cpp": """
+            void f(Registry* r) {
+              r->counter("tuples_dropped", {{"reason", "ttl"}}).inc();
+              r->counter("tuples_dropped", {{"cause", "ttl"}}).inc();
+            }
+        """}, known_metrics=self.KNOWN)
+        self.assertTrue(findings)
+
+    def test_computed_name_fires_without_manifest(self):
+        findings = run_rule(metric_name_consistency, {"a.cpp": """
+            void f(Registry* r, std::string s) {
+              r->counter("frames_" + s).inc();
+            }
+        """})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("not a string literal", findings[0].message)
+
+    def test_conformant_sites_clean(self):
+        findings = run_rule(metric_name_consistency, {"a.cpp": """
+            void f(Registry* r, const char* why, double ms) {
+              r->counter("tuples_dropped", {{"reason", why}}).inc();
+              r->counter("tuples_dropped", {{"reason", "ttl"}}).inc();
+              r->histogram("e2e_latency_ms").record(ms);
+            }
+        """}, known_metrics=self.KNOWN)
+        self.assertEqual(findings, [])
+
+    def test_member_definition_not_a_call_site(self):
+        # Registry::counter's own definition must not count as a call site.
+        findings = run_rule(metric_name_consistency, {"registry.h": """
+            struct Registry {
+              Counter& counter(const std::string& name, const Labels& l = {});
+            };
+        """}, known_metrics=self.KNOWN)
+        self.assertEqual(findings, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
