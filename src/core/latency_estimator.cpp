@@ -44,7 +44,9 @@ void LatencyEstimator::record_ack(InstanceId id, double latency_ms,
   SWING_DCHECK_GE(entry.processing.value(), 0.0);
 }
 
-std::vector<DownstreamInfo> LatencyEstimator::estimates() const {
+// Deliberate snapshot: callers sort/filter the copy without holding the
+// estimator still. Pre-sized, once per decision epoch.
+std::vector<DownstreamInfo> LatencyEstimator::estimates() const {  // swing-lint: allow(heavy-copy)
   std::vector<DownstreamInfo> out;
   out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) {

@@ -9,7 +9,8 @@
 
 namespace swing::core {
 
-std::string policy_name(PolicyKind kind) {
+// Debug label, cold callers only in practice; every literal fits SSO.
+std::string policy_name(PolicyKind kind) {  // swing-lint: allow(heavy-copy)
   switch (kind) {
     case PolicyKind::kRR:   return "RR";
     case PolicyKind::kPR:   return "PR";
@@ -45,7 +46,9 @@ double delay_of(const DownstreamInfo& d, bool by_latency) {
 
 }  // namespace
 
-std::vector<DownstreamInfo> select_workers(
+// The selected subset IS the product of this function; the vector is
+// built once per decision epoch, not per tuple.
+std::vector<DownstreamInfo> select_workers(  // swing-lint: allow(heavy-copy)
     std::span<const DownstreamInfo> downstreams, double input_rate_per_s,
     bool by_latency, double headroom) {
   std::vector<DownstreamInfo> sorted(downstreams.begin(), downstreams.end());
@@ -72,7 +75,8 @@ std::vector<DownstreamInfo> select_workers(
   return sorted;
 }
 
-std::vector<double> inverse_delay_weights(
+// Weight set built once per decision epoch; returning it is the API.
+std::vector<double> inverse_delay_weights(  // swing-lint: allow(heavy-copy)
     std::span<const DownstreamInfo> downstreams, bool by_latency) {
   std::vector<double> weights;
   weights.reserve(downstreams.size());
@@ -117,6 +121,7 @@ class BasePolicy : public RoutingPolicy {
     std::vector<DownstreamInfo> pool(downstreams.begin(), downstreams.end());
     if (policy_uses_battery(kind_)) {
       std::vector<DownstreamInfo> healthy;
+      healthy.reserve(pool.size());
       for (const auto& d : pool) {
         if (d.battery >= options_.min_battery) healthy.push_back(d);
       }

@@ -76,6 +76,7 @@ std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
       config_.probe_unmeasured_every > 0 &&
       routed_ % std::uint64_t(config_.probe_unmeasured_every) == 0) {
     std::vector<InstanceId> unmeasured;
+    unmeasured.reserve(downstreams_.size());
     for (InstanceId id : downstreams_) {
       if (!estimator_.measured(id)) unmeasured.push_back(id);
     }
@@ -130,6 +131,8 @@ std::optional<InstanceId> SwarmManager::route_avoiding(SimTime now,
   // Weighted pick over the decision minus the avoided / suspected targets.
   std::vector<InstanceId> candidates;
   std::vector<double> weights;
+  candidates.reserve(decision_.selected.size());
+  weights.reserve(decision_.selected.size());
   for (std::size_t i = 0; i < decision_.selected.size(); ++i) {
     const InstanceId id = decision_.selected[i];
     if (id == avoid || suspected(id)) continue;
@@ -139,6 +142,7 @@ std::optional<InstanceId> SwarmManager::route_avoiding(SimTime now,
   if (candidates.empty()) {
     // The decision offers nothing else; any non-suspect downstream will do
     // (its estimate is stale, but a stale worker beats a dead one).
+    candidates.reserve(downstreams_.size());
     for (InstanceId id : downstreams_) {
       if (id != avoid && !suspected(id)) candidates.push_back(id);
     }
@@ -218,11 +222,13 @@ void SwarmManager::update_decision(SimTime now) {
     if (suspects_.empty()) {
       decision_ = policy_->decide(estimator_.estimates(), rate);
     } else {
+      auto all = estimator_.estimates();
       std::vector<DownstreamInfo> live;
-      for (const DownstreamInfo& info : estimator_.estimates()) {
+      live.reserve(all.size());
+      for (const DownstreamInfo& info : all) {
         if (!suspected(info.id)) live.push_back(info);
       }
-      if (live.empty()) live = estimator_.estimates();  // All suspect.
+      if (live.empty()) live = std::move(all);  // All suspect.
       decision_ = policy_->decide(live, rate);
     }
   } else {
@@ -231,6 +237,7 @@ void SwarmManager::update_decision(SimTime now) {
     // Suspects (ack-silent, likely dead) are excluded outright. With
     // nothing measured yet, fall back to round-robin over everyone live.
     std::vector<DownstreamInfo> measured;
+    measured.reserve(estimator_.downstream_count());
     for (const DownstreamInfo& info : estimator_.estimates()) {
       if (estimator_.measured(info.id) && !suspected(info.id)) {
         measured.push_back(info);
@@ -238,6 +245,7 @@ void SwarmManager::update_decision(SimTime now) {
     }
     if (measured.empty()) {
       std::vector<InstanceId> live;
+      live.reserve(downstreams_.size());
       for (InstanceId id : downstreams_) {
         if (!suspected(id)) live.push_back(id);
       }

@@ -1,5 +1,6 @@
 #include "dataflow/tuple.h"
 
+#include "common/hot.h"
 namespace swing::dataflow {
 
 namespace {
@@ -77,8 +78,9 @@ std::uint64_t Tuple::wire_size() const {
   return size;
 }
 
-Bytes Tuple::to_bytes() const {
+SWING_HOT Bytes Tuple::to_bytes() const {
   ByteWriter w;
+  w.reserve(wire_size());
   w.write_u64(id_.value());
   w.write_i64(source_time_.nanos());
   w.write_varint(fields_.size());
@@ -89,7 +91,7 @@ Bytes Tuple::to_bytes() const {
   return w.take();
 }
 
-Tuple Tuple::from_bytes(const Bytes& data) {
+SWING_HOT Tuple Tuple::from_bytes(const Bytes& data) {
   ByteReader r{data};
   Tuple t;
   t.id_ = TupleId{r.read_u64()};

@@ -6,10 +6,18 @@
 
 namespace swing::obs {
 
-std::string Registry::encode_key(const std::string& name, Labels labels) {
+// `labels` arrives by value on purpose: normalisation sorts it in place,
+// so the copy is the working buffer, not an oversight.
+// The encoded key it returns is the lookup handle callers store; building
+// that string is the function's one job, hence the allow on the signature.
+std::string Registry::encode_key(const std::string& name,  // swing-lint: allow(heavy-copy)
+                                 Labels labels) {  // swing-lint: allow(heavy-copy)
   std::sort(labels.begin(), labels.end());
+  std::size_t extra = 2;  // braces
+  for (const auto& [k, v] : labels) extra += k.size() + v.size() + 2;
   std::string key = name;
   if (!labels.empty()) {
+    key.reserve(key.size() + extra);
     key.push_back('{');
     for (std::size_t i = 0; i < labels.size(); ++i) {
       if (i > 0) key.push_back(',');
@@ -34,14 +42,18 @@ const Registry::Entry* Registry::find(const std::string& name,
 }
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  MutexLock lock(mu_);
   Entry& e = entry(name, labels);
   SWING_CHECK(!e.gauge && !e.histogram)
       << "metric '" << name << "' already registered as a different kind";
-  if (!e.counter) e.counter = std::make_unique<Counter>();
+  // One-time per instrument: call sites cache the returned reference and
+  // never come back here on the hot path (unique_ptr keeps it stable).
+  if (!e.counter) e.counter = std::make_unique<Counter>();  // swing-lint: allow(hotpath-alloc)
   return *e.counter;
 }
 
 Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  MutexLock lock(mu_);
   Entry& e = entry(name, labels);
   SWING_CHECK(!e.counter && !e.histogram)
       << "metric '" << name << "' already registered as a different kind";
@@ -50,6 +62,7 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
 }
 
 Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  MutexLock lock(mu_);
   Entry& e = entry(name, labels);
   SWING_CHECK(!e.counter && !e.gauge)
       << "metric '" << name << "' already registered as a different kind";
@@ -59,23 +72,27 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
 
 const Counter* Registry::find_counter(const std::string& name,
                                       const Labels& labels) const {
+  MutexLock lock(mu_);
   const Entry* e = find(name, labels);
   return e ? e->counter.get() : nullptr;
 }
 
 const Gauge* Registry::find_gauge(const std::string& name,
                                   const Labels& labels) const {
+  MutexLock lock(mu_);
   const Entry* e = find(name, labels);
   return e ? e->gauge.get() : nullptr;
 }
 
 const Histogram* Registry::find_histogram(const std::string& name,
                                           const Labels& labels) const {
+  MutexLock lock(mu_);
   const Entry* e = find(name, labels);
   return e ? e->histogram.get() : nullptr;
 }
 
 std::uint64_t Registry::counter_total(const std::string& name) const {
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   // Encoded keys sort name-first, so the name's metrics are contiguous:
   // `name` exactly, or `name{...}`.
@@ -89,6 +106,7 @@ std::uint64_t Registry::counter_total(const std::string& name) const {
 }
 
 Json Registry::snapshot() const {
+  MutexLock lock(mu_);
   Json out = Json::object();
   for (const auto& [key, e] : entries_) {
     if (e.counter) {

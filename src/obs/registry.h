@@ -10,8 +10,13 @@
 //
 // The registry is a passive observation plane — framework behaviour never
 // reads it — and iteration order is deterministic (sorted by encoded key)
-// so snapshots of same-seed runs are byte-identical. Not thread-safe by
-// design: the runtime is a single-threaded discrete-event simulation.
+// so snapshots of same-seed runs are byte-identical. The registration map
+// is mutex-protected (clang -Wthread-safety proves the discipline; see
+// common/thread_annotations.h): the simulation itself is single-threaded,
+// but snapshot pollers and trace exporters may read from outside the
+// event loop. The instruments themselves stay plain — hot-path inc()/set()
+// calls go through cached references and are only ever touched from the
+// simulation thread.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
 
@@ -63,7 +69,10 @@ class Registry {
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, const Labels& labels = {});
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    MutexLock lock(mu_);
+    return entries_.size();
+  }
 
   // Read-side lookups (queries/tests); nullptr when the key was never
   // registered or holds a different kind.
@@ -93,11 +102,16 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& entry(const std::string& name, const Labels& labels);
+  Entry& entry(const std::string& name, const Labels& labels)
+      SWING_REQUIRES(mu_);
   [[nodiscard]] const Entry* find(const std::string& name,
-                                  const Labels& labels) const;
+                                  const Labels& labels) const
+      SWING_REQUIRES(mu_);
 
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  // Instrument addresses (behind unique_ptr) are stable, so references
+  // returned by counter()/gauge()/histogram() outlive the lock safely.
+  std::map<std::string, Entry> entries_ SWING_GUARDED_BY(mu_);
 };
 
 }  // namespace swing::obs

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/hot.h"
 #include "common/ids.h"
 #include "common/time.h"
 
@@ -57,12 +58,12 @@ struct InstanceInfo {
 
   friend bool operator==(const InstanceInfo&, const InstanceInfo&) = default;
 
-  void serialize(ByteWriter& w) const {
+  SWING_HOT void serialize(ByteWriter& w) const {
     w.write_u64(instance.value());
     w.write_u64(op.value());
     w.write_u64(device.value());
   }
-  static InstanceInfo deserialize(ByteReader& r) {
+  static SWING_HOT InstanceInfo deserialize(ByteReader& r) {
     InstanceInfo info;
     info.instance = InstanceId{r.read_u64()};
     info.op = OperatorId{r.read_u64()};
@@ -98,7 +99,7 @@ struct DeployMsg {
 
   friend bool operator==(const DeployMsg&, const DeployMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_varint(assignments.size());
     for (const auto& a : assignments) {
@@ -108,7 +109,7 @@ struct DeployMsg {
     }
     return w.take();
   }
-  static DeployMsg from_bytes(const Bytes& data) {
+  static SWING_HOT DeployMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     DeployMsg msg;
     const auto n = r.read_varint();
@@ -139,13 +140,13 @@ struct RouteUpdateMsg {
   friend bool operator==(const RouteUpdateMsg&,
                          const RouteUpdateMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(upstream.value());
     downstream.serialize(w);
     return w.take();
   }
-  static RouteUpdateMsg from_bytes(const Bytes& data) {
+  static SWING_HOT RouteUpdateMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     RouteUpdateMsg msg;
     msg.upstream = InstanceId{r.read_u64()};
@@ -181,7 +182,7 @@ struct DataMsg {
 
   friend bool operator==(const DataMsg&, const DataMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(src_instance.value());
     w.write_u64(src_device.value());
@@ -194,7 +195,7 @@ struct DataMsg {
     w.write_bytes(tuple_bytes);
     return w.take();
   }
-  static DataMsg from_bytes(const Bytes& data) {
+  static SWING_HOT DataMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     DataMsg msg;
     msg.src_instance = InstanceId{r.read_u64()};
@@ -227,7 +228,7 @@ struct AckMsg {
 
   friend bool operator==(const AckMsg&, const AckMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(from_instance.value());
     w.write_u64(to_instance.value());
@@ -237,7 +238,7 @@ struct AckMsg {
     w.write_f64(battery_fraction);
     return w.take();
   }
-  static AckMsg from_bytes(const Bytes& data) {
+  static SWING_HOT AckMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     AckMsg msg;
     msg.from_instance = InstanceId{r.read_u64()};
@@ -256,13 +257,13 @@ struct DataBatchMsg {
 
   friend bool operator==(const DataBatchMsg&, const DataBatchMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_varint(datas.size());
     for (const auto& d : datas) w.write_bytes(d);
     return w.take();
   }
-  static DataBatchMsg from_bytes(const Bytes& data) {
+  static SWING_HOT DataBatchMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     DataBatchMsg msg;
     const auto n = r.read_varint();
@@ -281,12 +282,12 @@ struct DeviceMsg {
 
   friend bool operator==(const DeviceMsg&, const DeviceMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(device.value());
     return w.take();
   }
-  static DeviceMsg from_bytes(const Bytes& data) {
+  static SWING_HOT DeviceMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     return DeviceMsg{DeviceId{r.read_u64()}};
   }

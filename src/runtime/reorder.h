@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hot.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "dataflow/tuple.h"
@@ -48,7 +49,7 @@ class ReorderBuffer {
     return n < 1.0 ? 1 : std::size_t(n);
   }
 
-  void push(dataflow::Tuple tuple, SimTime now) {
+  SWING_HOT void push(dataflow::Tuple tuple, SimTime now) {
     if (played_any_ && tuple.id() <= last_played_) {
       // Distinguish "this exact id already played" (a retransmitted
       // duplicate — the data reached the screen) from "a larger id played

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/hot.h"
 #include "common/logging.h"
 
 namespace swing::runtime {
@@ -116,7 +117,7 @@ class Worker::InstanceContext final : public dataflow::Context {
       // ledger so its downstream delivery is not a ghost.
       worker_.config_.ledger->on_reemitted(tuple.id(), worker_.sim_.now());
     }
-    worker_.route_and_send(inst_, std::move(tuple), accumulated_);
+    worker_.route_and_send(inst_, tuple, accumulated_);
   }
 
   SimTime now() const override { return worker_.sim_.now(); }
@@ -211,7 +212,7 @@ void Worker::handle_message(const net::Message& msg) {
   }
 }
 
-void Worker::dispatch_message(const net::Message& msg) {
+SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
   switch (MsgType(msg.type)) {
     case MsgType::kDeploy: {
       const DeployMsg deploy = DeployMsg::from_bytes(msg.payload);
@@ -260,7 +261,7 @@ void Worker::dispatch_message(const net::Message& msg) {
   }
 }
 
-void Worker::activate(const DeployMsg::Assignment& assignment,
+SWING_COLD void Worker::activate(const DeployMsg::Assignment& assignment,
                       const state::RestoreMsg* restore) {
   if (instances_.contains(assignment.self.instance.value())) return;
 
@@ -397,7 +398,7 @@ Worker::Instance* Worker::find_instance(InstanceId id) {
   return it == instances_.end() ? nullptr : it->second.get();
 }
 
-void Worker::handle_data(const net::Message& msg) {
+SWING_HOT void Worker::handle_data(const net::Message& msg) {
   DataMsg data = DataMsg::from_bytes(msg.payload);
   // Transmission component of this hop, measured receiver-side against the
   // upstream's send timestamp (clocks are common in simulation; the real
@@ -437,7 +438,7 @@ void Worker::handle_data(const net::Message& msg) {
   process_data(*inst, std::move(data));
 }
 
-void Worker::process_data(Instance& inst, DataMsg data) {
+SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
   // A quiescing instance accepts nothing new: arrivals go to the migration
   // target, where they buffer in pending_data_ until the restore lands.
   if (inst.migrating) {
@@ -640,7 +641,7 @@ void Worker::deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
   }
 }
 
-void Worker::handle_ack(const AckMsg& ack) {
+SWING_HOT void Worker::handle_ack(const AckMsg& ack) {
   Instance* inst = find_instance(ack.to_instance);
   if (inst == nullptr) return;
   if (config_.recovery.retransmit) resolve_outstanding(*inst, ack);
@@ -780,11 +781,12 @@ void Worker::source_fire(Instance& inst) {
                             sim_.now());
   }
   for (auto& edge : inst.edges) edge.manager->on_tuple_in(sim_.now());
-  route_and_send(inst, std::move(tuple), DelayBreakdown{});
+  route_and_send(inst, tuple, DelayBreakdown{});
 }
 
-void Worker::route_and_send(Instance& from, dataflow::Tuple tuple,
-                            const DelayBreakdown& accumulated) {
+SWING_HOT void Worker::route_and_send(Instance& from,
+                                      const dataflow::Tuple& tuple,
+                                      const DelayBreakdown& accumulated) {
   // Dataflow semantics: the tuple goes to every downstream *operator*; the
   // swarm manager of each edge picks which *instance* serves this tuple.
   for (std::size_t i = 0; i < from.edges.size(); ++i) {
@@ -928,7 +930,7 @@ void Worker::send_data(Instance& from, PendingSend send) {
   if (config_.batching.enabled && send.dst_device != device_.id()) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
     track_outstanding(from, send);
-    enqueue_batched(std::move(send));
+    enqueue_batched(send);
     return;
   }
   const bool ok = transport_.send(device_.id(), send.dst_device,
@@ -951,7 +953,7 @@ void Worker::send_data(Instance& from, PendingSend send) {
   }
 }
 
-void Worker::enqueue_batched(PendingSend send) {
+SWING_HOT void Worker::enqueue_batched(const PendingSend& send) {
   Batch& batch = batch_for(send.dst_device, /*acks=*/false);
   if (batch.datas.size() >= config_.batching.buffer_cap) {
     metrics_.on_drop(core::DropReason::kBatchOverflow);
@@ -974,7 +976,7 @@ void Worker::enqueue_batched(PendingSend send) {
   }
 }
 
-void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
+SWING_HOT void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
   Batch& batch = batch_for(dst, /*acks=*/true);
   if (batch.datas.size() >= config_.batching.buffer_cap) return;
   batch.wire += ack_bytes.size();
@@ -989,7 +991,7 @@ void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
   }
 }
 
-void Worker::flush_batch(DeviceId dst, bool acks) {
+SWING_HOT void Worker::flush_batch(DeviceId dst, bool acks) {
   auto it = batches_.find(dst.value() * 2 + (acks ? 1 : 0));
   if (it == batches_.end() || it->second.datas.empty()) return;
   if (!alive_) {
@@ -1026,16 +1028,19 @@ void Worker::flush_batch(DeviceId dst, bool acks) {
   }
 }
 
-void Worker::handle_data_batch(const net::Message& msg) {
-  const DataBatchMsg batch = DataBatchMsg::from_bytes(msg.payload);
+SWING_HOT void Worker::handle_data_batch(const net::Message& msg) {
+  DataBatchMsg batch = DataBatchMsg::from_bytes(msg.payload);
   const bool acks = MsgType(msg.type) == MsgType::kAckBatch;
-  for (const auto& bytes : batch.datas) {
+  // One envelope reused across elements, each element's bytes moved in.
+  // Copying `msg` per element would duplicate the entire remaining batch
+  // payload on every iteration — O(n^2) bytes for an n-tuple batch.
+  net::Message inner{msg.id, msg.src, msg.dst,
+                     std::uint8_t(MsgType::kData), {}, msg.sent_at};
+  for (auto& bytes : batch.datas) {
     if (acks) {
       handle_ack(AckMsg::from_bytes(bytes));
     } else {
-      net::Message inner = msg;
-      inner.payload = bytes;
-      inner.type = std::uint8_t(MsgType::kData);
+      inner.payload = std::move(bytes);
       handle_data(inner);
     }
   }
@@ -1248,7 +1253,7 @@ void Worker::track_outstanding(Instance& from, const PendingSend& send) {
                                   [this, key] { on_retry_timeout(key); });
 }
 
-void Worker::on_retry_timeout(OutKey key) {
+void Worker::on_retry_timeout(const OutKey& key) {
   if (!alive_) return;
   auto it = outstanding_.find(key);
   if (it == outstanding_.end()) return;
@@ -1367,7 +1372,7 @@ Worker::Instance* Worker::local_instance_of(OperatorId op) {
   return nullptr;
 }
 
-Worker::Instance* Worker::spawn_fallback_instance(OperatorId op) {
+SWING_COLD Worker::Instance* Worker::spawn_fallback_instance(OperatorId op) {
   auto inst = std::make_unique<Instance>();
   // High-bit namespace keeps fallback ids clear of master-assigned ones.
   inst->info.instance = InstanceId{(1ULL << 63) |
@@ -1415,7 +1420,7 @@ void Worker::execute_locally(Instance& from, std::size_t edge_index,
 // ---------------------------------------------------------------------------
 // swing-state: checkpointing, restore, live migration (DESIGN.md §9)
 
-void Worker::ensure_checkpoint_task() {
+SWING_COLD void Worker::ensure_checkpoint_task() {
   if (checkpoint_task_ != nullptr || !config_.checkpoint.enabled ||
       config_.checkpoint.interval.nanos() <= 0) {
     return;
@@ -1467,7 +1472,7 @@ void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
                   std::uint8_t(MsgType::kCheckpoint), msg.to_bytes());
 }
 
-void Worker::handle_restore(const state::RestoreMsg& msg) {
+SWING_COLD void Worker::handle_restore(const state::RestoreMsg& msg) {
   if (!alive_) return;
   // We host this instance (again): stop relaying its traffic elsewhere.
   forwards_.erase(msg.instance.instance.value());
@@ -1478,7 +1483,7 @@ void Worker::handle_restore(const state::RestoreMsg& msg) {
   activate(assignment, &msg);
 }
 
-void Worker::handle_migrate(const state::MigrateMsg& msg) {
+SWING_COLD void Worker::handle_migrate(const state::MigrateMsg& msg) {
   if (!alive_) return;
   Instance* inst = find_instance(msg.instance);
   if (inst == nullptr || inst->migrating) return;
@@ -1493,7 +1498,7 @@ void Worker::handle_migrate(const state::MigrateMsg& msg) {
   if (inst->compute_pending <= 0) finish_migration(*inst);
 }
 
-void Worker::forward_data(DataMsg data, DeviceId target) {
+void Worker::forward_data(DataMsg&& data, DeviceId target) {
   // Source fields stay intact: the new host ACKs the original upstream,
   // settling its retransmission timer. Re-stamp the send time so the
   // receiver measures only the relay hop.

@@ -249,11 +249,11 @@ class Worker {
   void start_source(Instance& inst);
   void arm_source(Instance& inst);
   void source_fire(Instance& inst);
-  void route_and_send(Instance& from, dataflow::Tuple tuple,
+  void route_and_send(Instance& from, const dataflow::Tuple& tuple,
                       const DelayBreakdown& accumulated);
   void send_data(Instance& from, PendingSend send);
   void retry_blocked(Instance& inst);
-  void enqueue_batched(PendingSend send);
+  void enqueue_batched(const PendingSend& send);
   void enqueue_batched_ack(DeviceId dst, Bytes ack_bytes);
   void flush_batch(DeviceId dst, bool acks);
   void handle_data_batch(const net::Message& msg);
@@ -263,7 +263,7 @@ class Worker {
 
   // --- swing-chaos recovery (see WorkerConfig::Recovery) ----------------
   void track_outstanding(Instance& from, const PendingSend& send);
-  void on_retry_timeout(OutKey key);
+  void on_retry_timeout(const OutKey& key);
   void resolve_outstanding(Instance& inst, const AckMsg& ack);
   // Degraded-mode execution of edge `edge_index`'s downstream operator on
   // this device (no reachable downstream / retries exhausted).
@@ -284,7 +284,7 @@ class Worker {
   // Re-addresses an in-flight DataMsg to the device now hosting `data`'s
   // migrated-away target instance (src fields preserved so the ACK still
   // reaches the original upstream).
-  void forward_data(DataMsg data, DeviceId target);
+  void forward_data(DataMsg&& data, DeviceId target);
   void finish_migration(Instance& inst);
 
   Simulator& sim_;

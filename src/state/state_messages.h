@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/hot.h"
 #include "common/ids.h"
 #include "runtime/messages.h"
 
@@ -45,7 +46,7 @@ struct CheckpointMsg {
 
   friend bool operator==(const CheckpointMsg&, const CheckpointMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     instance.serialize(w);
     w.write_u64(epoch);
@@ -54,7 +55,7 @@ struct CheckpointMsg {
     w.write_bytes(state);
     return w.take();
   }
-  static CheckpointMsg from_bytes(const Bytes& data) {
+  static SWING_HOT CheckpointMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     CheckpointMsg msg;
     msg.instance = InstanceInfo::deserialize(r);
@@ -80,7 +81,7 @@ struct RestoreMsg {
 
   friend bool operator==(const RestoreMsg&, const RestoreMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     instance.serialize(w);
     w.write_u64(epoch);
@@ -90,7 +91,7 @@ struct RestoreMsg {
     for (const auto& d : downstreams) d.serialize(w);
     return w.take();
   }
-  static RestoreMsg from_bytes(const Bytes& data) {
+  static SWING_HOT RestoreMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     RestoreMsg msg;
     msg.instance = InstanceInfo::deserialize(r);
@@ -117,13 +118,13 @@ struct MigrateMsg {
 
   friend bool operator==(const MigrateMsg&, const MigrateMsg&) = default;
 
-  [[nodiscard]] Bytes to_bytes() const {
+  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
     ByteWriter w;
     w.write_u64(instance.value());
     w.write_u64(to_device.value());
     return w.take();
   }
-  static MigrateMsg from_bytes(const Bytes& data) {
+  static SWING_HOT MigrateMsg from_bytes(const Bytes& data) {
     ByteReader r{data};
     MigrateMsg msg;
     msg.instance = InstanceId{r.read_u64()};

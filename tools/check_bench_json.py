@@ -14,6 +14,12 @@ Two modes:
       events need name/ts/tid, "X" spans need a dur, and timestamps must be
       finite and non-negative.
 
+  check_bench_json.py --hotpath hotpath_report.json
+      Validates a `swing_analyze --report hotpath` artifact against the
+      swing-hotpath-v1 schema: required keys with the right types, sorted
+      string lists, a consistent findings scoreboard, and by_function rows
+      ranked by (-total, name).
+
 Exit status is 0 when every file passes, 1 otherwise; problems are printed
 one per line as `path: message`.
 """
@@ -162,6 +168,98 @@ def check_bench_report(doc, errors: list[str]) -> None:
     _finite_numbers(doc, "$", errors)
 
 
+def check_hotpath_report(doc, errors: list[str]) -> None:
+    """Validates a swing_analyze --report hotpath artifact."""
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+    if doc.get("schema") != "swing-hotpath-v1":
+        errors.append(f"'schema' must be 'swing-hotpath-v1' "
+                      f"({doc.get('schema')!r})")
+
+    markers = doc.get("markers")
+    if not (isinstance(markers, dict)
+            and isinstance(markers.get("hot"), str)
+            and isinstance(markers.get("cold"), str)):
+        errors.append("'markers' must be {hot: str, cold: str}")
+
+    for key in ("files_scanned", "hot_set_size"):
+        v = doc.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            errors.append(f"'{key}' must be a non-negative integer")
+
+    for key in ("hot_roots", "cold_escapes", "hot_set", "rules"):
+        v = doc.get(key)
+        if not (isinstance(v, list)
+                and all(isinstance(x, str) and x for x in v)):
+            errors.append(f"'{key}' must be a list of non-empty strings")
+        elif v != sorted(v):
+            errors.append(f"'{key}' must be sorted (determinism contract)")
+
+    if isinstance(doc.get("hot_set"), list)             and isinstance(doc.get("hot_set_size"), int)             and len(doc["hot_set"]) != doc["hot_set_size"]:
+        errors.append("'hot_set_size' disagrees with len(hot_set)")
+
+    graph = doc.get("call_graph")
+    if not isinstance(graph, dict):
+        errors.append("'call_graph' must be an object")
+    else:
+        nodes = graph.get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 0:
+            errors.append("'call_graph.nodes' must be a non-negative integer")
+        edges = graph.get("edges")
+        if not (isinstance(edges, list)
+                and all(isinstance(e, list) and len(e) == 2
+                        and all(isinstance(x, str) and x for x in e)
+                        for e in edges)):
+            errors.append("'call_graph.edges' must be a list of "
+                          "[caller, callee] string pairs")
+        elif edges != sorted(edges):
+            errors.append("'call_graph.edges' must be sorted "
+                          "(determinism contract)")
+
+    findings = doc.get("findings")
+    if not isinstance(findings, dict):
+        errors.append("'findings' must be an object")
+        _finite_numbers(doc, "$", errors)
+        return
+    total = findings.get("total")
+    if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+        errors.append("'findings.total' must be a non-negative integer")
+    by_rule = findings.get("by_rule")
+    if not (isinstance(by_rule, dict)
+            and all(isinstance(v, int) and not isinstance(v, bool)
+                    for v in by_rule.values())):
+        errors.append("'findings.by_rule' must map rule -> count")
+    elif isinstance(total, int) and sum(by_rule.values()) != total:
+        errors.append("'findings.by_rule' counts do not sum to total")
+    rows = findings.get("by_function")
+    if not isinstance(rows, list):
+        errors.append("'findings.by_function' must be an array")
+    else:
+        row_sum = 0
+        keys = []
+        for i, row in enumerate(rows):
+            where = f"findings.by_function[{i}]"
+            if not (isinstance(row, dict)
+                    and isinstance(row.get("function"), str)
+                    and isinstance(row.get("total"), int)
+                    and isinstance(row.get("by_rule"), dict)):
+                errors.append(f"'{where}' needs function/total/by_rule")
+                continue
+            if sum(row["by_rule"].values()) != row["total"]:
+                errors.append(f"'{where}' by_rule does not sum to total")
+            row_sum += row["total"]
+            keys.append((-row["total"], row["function"]))
+        if keys != sorted(keys):
+            errors.append("'findings.by_function' must be ranked by "
+                          "(-total, function)")
+        if isinstance(total, int) and row_sum != total:
+            errors.append("'findings.by_function' totals do not sum to "
+                          "findings.total")
+
+    _finite_numbers(doc, "$", errors)
+
+
 def check_chrome_trace(doc, errors: list[str]) -> None:
     if not isinstance(doc, dict):
         errors.append("top level is not an object")
@@ -214,7 +312,7 @@ def check_chrome_trace(doc, errors: list[str]) -> None:
     _finite_numbers(doc, "$", errors)
 
 
-def check_file(path: Path, trace_mode: bool) -> list[str]:
+def check_file(path: Path, mode: str) -> list[str]:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as e:
@@ -225,8 +323,10 @@ def check_file(path: Path, trace_mode: bool) -> list[str]:
         return [f"invalid JSON: {e}"]
 
     errors: list[str] = []
-    if trace_mode:
+    if mode == "trace":
         check_chrome_trace(doc, errors)
+    elif mode == "hotpath":
+        check_hotpath_report(doc, errors)
     else:
         check_bench_report(doc, errors)
     return errors
@@ -239,17 +339,24 @@ def main() -> int:
     parser.add_argument("--trace", action="store_true",
                         help="validate as Chrome trace-event exports "
                              "instead of bench reports")
+    parser.add_argument("--hotpath", action="store_true",
+                        help="validate as swing_analyze --report hotpath "
+                             "artifacts instead of bench reports")
     args = parser.parse_args()
+    if args.trace and args.hotpath:
+        parser.error("--trace and --hotpath are mutually exclusive")
+    mode = "trace" if args.trace else "hotpath" if args.hotpath else "bench"
 
     failures = 0
     for path in args.files:
-        errors = check_file(path, args.trace)
+        errors = check_file(path, mode)
         if errors:
             failures += 1
             for message in errors:
                 print(f"{path}: {message}", file=sys.stderr)
         else:
-            kind = "trace" if args.trace else "bench report"
+            kind = {"trace": "trace", "hotpath": "hotpath report",
+                    "bench": "bench report"}[mode]
             print(f"{path}: OK ({kind})")
     return 1 if failures else 0
 

@@ -1,6 +1,12 @@
+import pathlib
 import sys
 
-from swing_analyze.engine import main
+# Support both invocation styles: `python3 -m swing_analyze` (package
+# parent already importable) and `python3 tools/swing_analyze` (the
+# directory itself lands on sys.path, its parent does not).
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from swing_analyze.engine import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,275 @@
+"""Cross-file call graph and hot-set computation for swing-analyze.
+
+The hot-path rules (hotpath-alloc, heavy-copy, double-lookup) only make
+sense on code that actually runs per tuple/per packet. Rather than guess
+from names, the tree declares its hot roots with the `SWING_HOT` marker
+macro (src/common/hot.h) and this module computes everything reachable
+from them — the *hot set* — over a cross-file call graph.
+
+Call resolution generalizes the one-hop, same-file helper resolution
+nondet-iteration has used since PR 6 into a transitive, cross-file graph.
+For every function definition the body tokens are scanned for call sites,
+resolved in this order:
+
+  `Cls::method(...)`     qualified: straight to the record's method.
+  `this->method(...)`    the enclosing class.
+  `obj.method(...)` /    the receiver's declared type — a local is not
+  `obj->method(...)`     modeled, so resolution goes through the
+                         enclosing record's fields, then any record field
+                         of that name (cpp_model.Model.field_type), the
+                         same rules nondet-iteration applies to
+                         containers. If the type resolves to no known
+                         record but exactly ONE record in the model
+                         defines a method of that name, that unique
+                         definition is used (deterministic, and an
+                         over-approximation only ever widens the checked
+                         set).
+  `helper(...)`          unqualified: the enclosing class's methods,
+                         then same-file free functions, then a unique
+                         free function anywhere in the model.
+
+Cold escapes: a definition marked `SWING_COLD` (control-plane work that
+is merely *reachable* from a hot dispatch switch — deploy, restore,
+migration) is neither entered into the hot set nor traversed through.
+Without it, annotating `Worker::dispatch_message` would drag the entire
+deploy/recovery plane into the hot set and drown the signal.
+
+Everything here is deterministic: nodes and edges are built in sorted
+path/name order and the public accessors return sorted lists, so the
+`--report hotpath` artifact is byte-identical run to run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from swing_analyze.cpp_lexer import match_forward
+from swing_analyze.cpp_model import Method, Model
+
+HOT_MARKER = "SWING_HOT"
+COLD_MARKER = "SWING_COLD"
+
+# Keywords that look like `id (` call sites but are not calls.
+_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "alignof", "decltype", "noexcept", "assert",
+    "defined", "case", "co_await", "co_return", "co_yield",
+}
+
+
+@dataclasses.dataclass
+class CallGraph:
+    # Qualified name ("Cls::method" or free "name") -> every definition.
+    defs: dict[str, list[Method]]
+    # Caller qualified name -> set of callee qualified names.
+    edges: dict[str, set[str]]
+    # SWING_HOT-annotated definitions, sorted.
+    roots: list[str]
+    # SWING_COLD-annotated definitions (traversal barriers), sorted.
+    cold: list[str]
+
+    def hot_set(self) -> list[str]:
+        """Functions reachable from the hot roots, minus cold escapes."""
+        cold = set(self.cold)
+        seen: set[str] = set()
+        frontier = [r for r in self.roots if r not in cold]
+        while frontier:
+            fn = frontier.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            for callee in self.edges.get(fn, ()):
+                if callee not in seen and callee not in cold:
+                    frontier.append(callee)
+        return sorted(seen)
+
+    def hot_edges(self) -> list[tuple[str, str]]:
+        """Call-graph edges within the hot set, sorted (report payload)."""
+        hot = set(self.hot_set())
+        out = [(a, b) for a in self.edges for b in self.edges[a]
+               if a in hot and b in hot]
+        return sorted(out)
+
+    def hot_methods(self) -> list[tuple[str, Method]]:
+        """(qualified name, definition) for every hot function, sorted.
+
+        A name with several definitions (declaration-level parses can
+        collide on overloads) yields each definition once.
+        """
+        out: list[tuple[str, Method]] = []
+        for name in self.hot_set():
+            for m in self.defs.get(name, []):
+                out.append((name, m))
+        return out
+
+
+def _marked(method: Method, marker: str) -> bool:
+    return any(t.kind == "id" and t.text == marker
+               for t in method.decl_tokens())
+
+
+def _record_of_type(model: Model, type_text: str) -> str | None:
+    """First known record named inside a declared-type text, if any."""
+    for word in type_text.replace("<", " ").replace(">", " ") \
+                         .replace(",", " ").replace("::", " ").split():
+        if word in model.records:
+            return word
+    return None
+
+
+class _Resolver:
+    """Shared lookup tables, built once per model (sorted => stable)."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        # Method name -> sorted record names defining it.
+        self.method_owners: dict[str, list[str]] = {}
+        for rec_name in sorted(model.records):
+            for m_name in model.records[rec_name].methods:
+                self.method_owners.setdefault(m_name, []).append(rec_name)
+        # Free function name -> sorted paths defining it.
+        self.free_defs: dict[str, list[str]] = {}
+        for path in sorted(model.files):
+            for m in model.files[path].methods:
+                if m.cls is None:
+                    self.free_defs.setdefault(m.name, []).append(path)
+
+    def receiver_record(self, caller: Method, recv: str) -> str | None:
+        """Resolves a receiver variable name to a record name."""
+        if caller.cls and caller.cls in self.model.records:
+            t = self.model.records[caller.cls].fields.get(recv)
+            if t:
+                return _record_of_type(self.model, t)
+        t = self.model.field_type(recv)
+        if t:
+            return _record_of_type(self.model, t)
+        return None
+
+    def resolve(self, caller: Method, recv: str | None, qual: str | None,
+                name: str) -> str | None:
+        """Qualified callee name for one call site, or None."""
+        model = self.model
+        if qual is not None:  # Cls::method(...)
+            rec = model.records.get(qual)
+            if rec and name in rec.methods:
+                return f"{qual}::{name}"
+            return None
+        if recv == "this":
+            if caller.cls and caller.cls in model.records \
+                    and name in model.records[caller.cls].methods:
+                return f"{caller.cls}::{name}"
+            return None
+        if recv is not None:  # obj.method(...) / obj->method(...)
+            rec_name = self.receiver_record(caller, recv)
+            if rec_name and name in model.records[rec_name].methods:
+                return f"{rec_name}::{name}"
+            owners = self.method_owners.get(name, [])
+            if len(owners) == 1 and name not in self.free_defs:
+                return f"{owners[0]}::{name}"
+            return None
+        # Unqualified call: enclosing class first, then free functions.
+        if caller.cls and caller.cls in model.records \
+                and name in model.records[caller.cls].methods:
+            return f"{caller.cls}::{name}"
+        if name in self.free_defs:
+            return name
+        return None
+
+
+def _call_sites(method: Method):
+    """Yields (receiver, qualifier, callee_name) triples from a body.
+
+    receiver is the identifier before `.`/`->` (or "this"), qualifier the
+    class before `::`; both None for unqualified calls.
+    """
+    toks = method.body()
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        if t.text in _NOT_CALLS:
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        if prev == "::":
+            if i >= 2 and toks[i - 2].kind == "id":
+                yield None, toks[i - 2].text, t.text
+            continue
+        if prev in (".", "->"):
+            if i >= 2 and (toks[i - 2].kind == "id"
+                           or toks[i - 2].text == "this"):
+                yield toks[i - 2].text, None, t.text
+            continue
+        yield None, None, t.text
+
+
+def cached(model: Model) -> CallGraph:
+    """One graph per model: the three hot-path rules share the build."""
+    graph = getattr(model, "_swing_callgraph", None)
+    if graph is None:
+        graph = build(model)
+        model._swing_callgraph = graph
+    return graph
+
+
+def build(model: Model) -> CallGraph:
+    resolver = _Resolver(model)
+    defs: dict[str, list[Method]] = {}
+    roots: set[str] = set()
+    cold: set[str] = set()
+    for path in sorted(model.files):
+        for m in model.files[path].methods:
+            q = m.qualified()
+            defs.setdefault(q, []).append(m)
+            if _marked(m, HOT_MARKER):
+                roots.add(q)
+            if _marked(m, COLD_MARKER):
+                cold.add(q)
+    edges: dict[str, set[str]] = {}
+    for q in sorted(defs):
+        out = edges.setdefault(q, set())
+        for m in defs[q]:
+            for recv, qual, name in _call_sites(m):
+                callee = resolver.resolve(m, recv, qual, name)
+                if callee is not None and callee != q:
+                    out.add(callee)
+    return CallGraph(defs=defs, edges=edges,
+                     roots=sorted(roots), cold=sorted(cold))
+
+
+def loop_ranges(body_toks) -> list[tuple[int, int]]:
+    """(start, end) body-token index ranges of for/while loop bodies.
+
+    Shared by the hot-path rules: "in a loop" means inside any of these
+    ranges. Braceless single-statement loops extend to the next top-level
+    `;`. do/while is rare in this tree and intentionally unmodeled.
+    """
+    ranges: list[tuple[int, int]] = []
+    n = len(body_toks)
+    i = 0
+    while i < n:
+        t = body_toks[i]
+        if t.text not in ("for", "while") or i + 1 >= n \
+                or body_toks[i + 1].text != "(":
+            i += 1
+            continue
+        rp = match_forward(body_toks, i + 1, "(", ")")
+        j = rp + 1
+        if j < n and body_toks[j].text == "{":
+            close = match_forward(body_toks, j, "{", "}")
+            ranges.append((j + 1, close))
+        else:
+            depth = 0
+            k = j
+            while k < n:
+                tt = body_toks[k].text
+                if tt in ("(", "{"):
+                    depth += 1
+                elif tt in (")", "}"):
+                    depth -= 1
+                elif tt == ";" and depth == 0:
+                    break
+                k += 1
+            ranges.append((j, k))
+        i = rp + 1
+    return ranges

@@ -37,9 +37,31 @@ class Method:
     body_start: int      # index of the '{'
     body_end: int        # index of the matching '}'
     line: int
+    decl_start: int = -1  # first token of the declaration (specifiers on)
+    lp: int = -1          # index of the parameter list's '('
 
     def body(self) -> list[Token]:
         return self.tokens[self.body_start + 1:self.body_end]
+
+    def qualified(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+    def decl_tokens(self) -> list[Token]:
+        """Declaration prefix: specifiers/attributes up to the body brace.
+
+        Empty when the parser did not record where the declaration began
+        (decl_start defaults to -1 for hand-built Methods in tests).
+        """
+        if self.decl_start < 0:
+            return []
+        return self.tokens[self.decl_start:self.body_start]
+
+    def param_tokens(self) -> list[Token]:
+        """Tokens inside the parameter list parentheses (exclusive)."""
+        if self.lp < 0:
+            return []
+        rp = match_forward(self.tokens, self.lp, "(", ")")
+        return self.tokens[self.lp + 1:rp]
 
 
 @dataclasses.dataclass
@@ -303,7 +325,8 @@ class _Parser:
             name_tok = self.toks[lp - 1] if lp > start else None
             if name_tok is not None and name_tok.kind == "id":
                 m = Method(rec.name, name_tok.text, self.fm.path, self.toks,
-                           j, close, name_tok.line)
+                           j, close, name_tok.line,
+                           decl_start=start, lp=lp)
                 rec.methods.setdefault(m.name, m)
                 self.fm.methods.append(m)
             i = close + 1
@@ -389,7 +412,7 @@ class _Parser:
             close = match_forward(self.toks, j, "{", "}")
             if name:
                 m = Method(cls, name, self.fm.path, self.toks, j, close,
-                           self.toks[i].line)
+                           self.toks[i].line, decl_start=i, lp=lp)
                 self.fm.methods.append(m)
             return close + 1
         return self._skip_to(";", j, end) + 1

@@ -34,9 +34,10 @@ import pathlib
 import re
 import sys
 
+from swing_analyze import callgraph
 from swing_analyze.cpp_model import Model
 from swing_analyze.finding import Finding
-from swing_analyze.rules import ALL_RULES, RULE_NAMES
+from swing_analyze.rules import ALL_RULES, HOTPATH_RULES, RULE_NAMES
 
 CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc", ".cxx"}
 
@@ -147,6 +148,122 @@ def apply_baseline(findings: list[Finding],
     return kept, errors
 
 
+def baseline_path() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def run_scan_paths(root: pathlib.Path, paths: list[pathlib.Path]) -> int:
+    """Scans an explicit file subset (swing_check --changed-only).
+
+    The model is partial, so this is a speed mode, not the gate: rules
+    that need cross-file context (hot-set propagation from roots defined
+    in unchanged files, enum definitions in unscanned headers) can miss
+    findings they would catch on a full scan — never the reverse, since
+    a smaller model only shrinks the hot set. Baseline entries matching
+    nothing are NOT errors here: a subset scan legitimately misses the
+    files they point at.
+    """
+    paths = sorted(p for p in paths
+                   if p.suffix in CXX_SUFFIXES and p.is_file())
+    if not paths:
+        print("swing-analyze: no C++ sources in the changed set")
+        return 0
+    findings = run_rules(paths, root, load_known_metrics(root))
+    findings = filter_allowed(findings, root)
+    findings, _stale = apply_baseline(findings, baseline_path())
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"swing-analyze: {len(findings)} finding(s) across "
+              f"{len(paths)} changed files", file=sys.stderr)
+        return 1
+    print(f"swing-analyze: clean ({len(paths)} changed files, "
+          f"{len(ALL_RULES)} rules)")
+    return 0
+
+
+def build_hotpath_report(root: pathlib.Path) -> dict:
+    """Deterministic hot-path report: call graph, hot set, ranked findings.
+
+    Findings are counted after inline-allow filtering but BEFORE the
+    baseline: the baseline keeps the gate green while this report stays a
+    burn-down scoreboard, so suppressed debt (the Bytes-returning codec
+    entries) keeps showing up here until it is actually fixed.
+    """
+    src = root / "src"
+    paths = collect_sources(src)
+    model = Model.build(paths, root=root)
+    ctx = Context(root=root, known_metrics=load_known_metrics(root))
+    graph = callgraph.cached(model)
+    findings: list[Finding] = []
+    for rule in HOTPATH_RULES:
+        findings.extend(rule.run(model, ctx))
+    findings = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    findings = filter_allowed(findings, root)
+
+    # (path, start line, end line, qualified name) for every hot function;
+    # findings attribute to the innermost enclosing span.
+    spans: list[tuple[str, int, int, str]] = []
+    for q, m in graph.hot_methods():
+        start = m.tokens[m.decl_start].line if m.decl_start >= 0 else m.line
+        end = m.tokens[m.body_end].line
+        spans.append((m.path, start, end, q))
+
+    by_function: dict[str, dict] = {}
+    by_rule: collections.Counter = collections.Counter()
+    for f in findings:
+        by_rule[f.rule] += 1
+        best: tuple[int, str] | None = None
+        for path, start, end, q in spans:
+            if path == f.path and start <= f.line <= end:
+                if best is None or start > best[0]:
+                    best = (start, q)
+        q = best[1] if best else "(unattributed)"
+        entry = by_function.setdefault(
+            q, {"function": q, "total": 0, "by_rule": {}})
+        entry["total"] += 1
+        entry["by_rule"][f.rule] = entry["by_rule"].get(f.rule, 0) + 1
+    for entry in by_function.values():
+        entry["by_rule"] = dict(sorted(entry["by_rule"].items()))
+    ranked = sorted(by_function.values(),
+                    key=lambda e: (-e["total"], e["function"]))
+
+    hot = graph.hot_set()
+    return {
+        "schema": "swing-hotpath-v1",
+        "markers": {"hot": callgraph.HOT_MARKER,
+                    "cold": callgraph.COLD_MARKER},
+        "files_scanned": len(paths),
+        "hot_roots": graph.roots,
+        "cold_escapes": graph.cold,
+        "hot_set_size": len(hot),
+        "hot_set": hot,
+        "call_graph": {
+            "nodes": len(graph.defs),
+            "edges": [[a, b] for a, b in graph.hot_edges()],
+        },
+        "rules": sorted(r.RULE for r in HOTPATH_RULES),
+        "findings": {
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+            "by_function": ranked,
+        },
+    }
+
+
+def run_report(root: pathlib.Path, out: pathlib.Path | None) -> int:
+    report = build_hotpath_report(root)
+    text = json.dumps(report, indent=2, sort_keys=False) + "\n"
+    if out is not None:
+        out.write_text(text, encoding="utf-8")
+        print(f"swing-analyze: wrote hotpath report to {out} "
+              f"(hot set {report['hot_set_size']}, "
+              f"{report['findings']['total']} finding(s))")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def run_scan(root: pathlib.Path) -> int:
     src = root / "src"
     paths = collect_sources(src)
@@ -155,8 +272,7 @@ def run_scan(root: pathlib.Path) -> int:
         return 1
     findings = run_rules(paths, root, load_known_metrics(root))
     findings = filter_allowed(findings, root)
-    findings, baseline_errors = apply_baseline(
-        findings, pathlib.Path(__file__).resolve().parent / "baseline.json")
+    findings, baseline_errors = apply_baseline(findings, baseline_path())
     for err in baseline_errors:
         print(f"swing-analyze: {err}", file=sys.stderr)
     for f in findings:
@@ -221,9 +337,21 @@ def main(argv: list[str] | None = None) -> int:
         default=pathlib.Path(__file__).resolve().parent.parent.parent)
     parser.add_argument("--self-test", action="store_true",
                         help="check the rules against their fixtures")
+    parser.add_argument("--report", choices=["hotpath"],
+                        help="emit a deterministic JSON report instead "
+                             "of gating")
+    parser.add_argument("--out", type=pathlib.Path,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--paths", nargs="*", type=pathlib.Path,
+                        help="scan only these files (changed-only mode; "
+                             "partial model, non-strict baseline)")
     args = parser.parse_args(argv)
     root = args.root.resolve()
     if args.self_test:
         return run_self_test(
             pathlib.Path(__file__).resolve().parent / "fixtures")
+    if args.report == "hotpath":
+        return run_report(root, args.out)
+    if args.paths is not None:
+        return run_scan_paths(root, [p.resolve() for p in args.paths])
     return run_scan(root)

@@ -1,0 +1,48 @@
+// Fixture: single-lookup shapes. Must scan clean: find once and reuse
+// the iterator, try_emplace, distinct keys, operator[] on a receiver the
+// model cannot prove is a map, and double lookups off the hot path.
+#pragma once
+
+class HotCache {
+ public:
+  SWING_HOT double find_once(std::uint64_t key) {
+    auto it = rates_.find(key);
+    if (it == rates_.end()) {
+      return 0.0;
+    }
+    return it->second;  // reuses the iterator, no second lookup
+  }
+
+  SWING_HOT void upsert(std::uint64_t key, double value) {
+    auto [it, inserted] = rates_.try_emplace(key, value);
+    if (!inserted) {
+      it->second = value;
+    }
+  }
+
+  SWING_HOT double two_keys(std::uint64_t a, std::uint64_t b) {
+    return rates_.count(a) + rates_.count(b);  // distinct keys
+  }
+
+  SWING_HOT std::uint64_t positional(std::size_t i, std::size_t j) {
+    // operator[] on a vector: not a map lookup, out of scope.
+    return slots_[i] + slots_[j] + slots_[i];
+  }
+
+ private:
+  std::map<std::uint64_t, double> rates_;
+  std::vector<std::uint64_t> slots_;
+};
+
+class ColdIndex {
+ public:
+  // Unreachable from any SWING_HOT root: the double lookup is tolerated.
+  void rebuild(std::uint64_t key) {
+    if (rates_.count(key) != 0) {
+      rates_.at(key) = 0.0;
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, double> rates_;
+};

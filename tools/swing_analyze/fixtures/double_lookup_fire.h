@@ -1,0 +1,38 @@
+// Fixture: the same map key looked up twice in one scope — count+at,
+// find+operator[], and the double-find in a transitively-hot helper.
+#pragma once
+
+class HotRouter {
+ public:
+  SWING_HOT double lookup_twice(std::uint64_t key) {
+    if (rates_.count(key) == 0) {
+      return 0.0;
+    }
+    // expect-analyze: double-lookup
+    return rates_.at(key);
+  }
+
+  SWING_HOT void find_then_index(std::uint64_t key, double value) {
+    auto it = rates_.find(key);
+    if (it == rates_.end()) {
+      // expect-analyze: double-lookup
+      rates_[key] = value;
+    }
+  }
+
+  SWING_HOT void route(std::uint64_t key) {
+    helper(key);
+  }
+
+ private:
+  void helper(std::uint64_t key) {
+    auto it = peers_.find(key);
+    if (it == peers_.end()) return;
+    // expect-analyze: double-lookup
+    auto again = peers_.find(key);
+    (void)again;
+  }
+
+  std::map<std::uint64_t, double> rates_;
+  std::map<std::uint64_t, std::uint64_t> peers_;
+};

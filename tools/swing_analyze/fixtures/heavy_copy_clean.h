@@ -1,0 +1,64 @@
+// Fixture: the blessed ownership-transfer shapes. Must scan clean:
+// const& passes, the by-value-then-move sink idiom, light records by
+// value, return of a moved-out member (storage handoff), and heavy
+// passes in functions the hot set never reaches.
+#pragma once
+
+struct Frame {
+  std::uint64_t id;
+  std::int64_t captured_ns;
+  std::vector<std::uint8_t> pixels;
+  std::string camera;
+};
+
+struct Header {
+  std::uint64_t seq;  // 8 bytes: light, fine to copy
+};
+
+class HotSink {
+ public:
+  SWING_HOT void root(const Frame& frame) {
+    consume(frame);
+  }
+
+  // Sink idiom: by value then moved into storage — callers hand over
+  // ownership with zero extra copies. The correct shape, not a finding.
+  SWING_HOT void store(Frame frame) {
+    slot_ = std::move(frame);
+  }
+
+  SWING_HOT void tag(Header header) {  // 8 bytes: cheaper than a ref
+    last_seq_ = header.seq;
+  }
+
+ private:
+  void consume(const Frame& frame) { last_seq_ = frame.id; }
+
+  Frame slot_;
+  std::uint64_t last_seq_ = 0;
+};
+
+class HotBuffer {
+ public:
+  // Storage handoff: every return moves a member out; the caller gets
+  // the buffer this object already owned, no fresh allocation.
+  SWING_HOT std::vector<std::uint8_t> take() {
+    return std::move(buffer_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ColdPlane {
+ public:
+  // Unreachable from any SWING_HOT root: deploy-time copies are fine.
+  void configure(Frame frame, std::shared_ptr<Frame> seed) {
+    template_ = frame;
+    seed_ = seed;
+  }
+
+ private:
+  Frame template_;
+  std::shared_ptr<Frame> seed_;
+};

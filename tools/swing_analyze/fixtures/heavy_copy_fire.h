@@ -1,0 +1,56 @@
+// Fixture: heavy records passed/returned by value on the hot path — the
+// record-size computation from symbol-table field widths, the shared_ptr
+// copy shape, and return-by-value of a dynamic container. The violating
+// callee is reached transitively (root -> relay -> copies) to exercise
+// the cross-file-style hot-set propagation.
+#pragma once
+
+struct Frame {
+  std::uint64_t id;
+  std::int64_t captured_ns;
+  std::vector<std::uint8_t> pixels;
+  std::string camera;
+};
+
+struct Header {
+  std::uint64_t seq;  // 8 bytes: light, fine to copy
+};
+
+class HotPipeline {
+ public:
+  SWING_HOT void root(const Frame& frame) {
+    relay(frame);
+  }
+
+ private:
+  void relay(const Frame& frame) {
+    copies(frame, state_);
+  }
+
+  // expect-analyze: heavy-copy
+  void copies(Frame frame, std::shared_ptr<Frame> state) {
+    last_seq_ = frame.id;
+    observe(state);
+  }
+  // expect-analyze: heavy-copy
+  // (the shared_ptr parameter above fires separately from the Frame)
+
+  void observe(const std::shared_ptr<Frame>& state) {}
+
+  std::shared_ptr<Frame> state_;
+  std::uint64_t last_seq_ = 0;
+};
+
+class HotEncoder {
+ public:
+  // expect-analyze: heavy-copy
+  SWING_HOT std::vector<std::uint8_t> encode(const Frame& frame) {
+    std::vector<std::uint8_t> out;
+    out.reserve(frame.pixels.size());
+    fill(out, frame);
+    return out;
+  }
+
+ private:
+  void fill(std::vector<std::uint8_t>& out, const Frame& frame) {}
+};

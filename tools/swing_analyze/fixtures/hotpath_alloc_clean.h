@@ -1,0 +1,60 @@
+// Fixture: the blessed hot-path shapes. Must scan clean: reserve before
+// growth, temporaries hoisted out of the loop, move-construction reusing
+// storage, allocation in functions the hot set never reaches, and
+// node-container growth (no reserve exists to demand).
+#pragma once
+
+struct Item {
+  std::string name;
+  std::uint64_t id;
+};
+
+class ReservedGrowth {
+ public:
+  SWING_HOT void collect(const std::vector<Item>& items) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(items.size());
+    for (const auto& item : items) {
+      ids.push_back(item.id);
+    }
+    consume(ids);
+  }
+
+  SWING_HOT void hoisted_temporary(const std::vector<Item>& items) {
+    std::string label;
+    for (const auto& item : items) {
+      label = item.name;  // reuses the hoisted buffer's capacity
+      use(label);
+    }
+  }
+
+  SWING_HOT void move_construction(std::vector<Item>& items) {
+    for (auto& item : items) {
+      Item taken = std::move(item);  // storage handoff, no allocation
+      use(taken.name);
+    }
+  }
+
+  SWING_HOT void node_container(const std::vector<Item>& items) {
+    for (const auto& item : items) {
+      index_.insert(item.id);  // sets cannot reserve; not this rule
+    }
+  }
+
+ private:
+  void consume(const std::vector<std::uint64_t>& ids) {}
+  void use(const std::string& label) {}
+  std::set<std::uint64_t> index_;
+};
+
+class ColdAllocationIsFine {
+ public:
+  // Not SWING_HOT and unreachable from any root: allocation is free here.
+  void setup() {
+    auto* scratch = new Item();
+    scratch_.reset(scratch);
+  }
+
+ private:
+  std::unique_ptr<Item> scratch_;
+};

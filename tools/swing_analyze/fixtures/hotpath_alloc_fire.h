@@ -1,0 +1,58 @@
+// Fixture: heap allocation on the hot path — directly in a root, in a
+// callee reached transitively through the call graph (the point of the
+// interprocedural hot set), and the in-loop temporary / growth shapes.
+#pragma once
+
+struct Item {
+  std::string name;
+  std::uint64_t id;
+};
+
+class HotAllocator {
+ public:
+  SWING_HOT void root() {
+    // expect-analyze: hotpath-alloc
+    auto* raw = new Item();
+    helper(raw);
+  }
+
+ private:
+  void helper(Item* item) {
+    // Reached from root() via the call graph, two hops deep.
+    deeper();
+  }
+
+  void deeper() {
+    // expect-analyze: hotpath-alloc
+    auto shared = std::make_shared<Item>();
+    use(shared);
+  }
+
+  void use(const std::shared_ptr<Item>& item) {}
+};
+
+class LoopShapes {
+ public:
+  SWING_HOT void per_iteration_temporaries(const std::vector<Item>& items) {
+    for (const auto& item : items) {
+      // expect-analyze: hotpath-alloc
+      std::string label = item.name;
+      // expect-analyze: hotpath-alloc
+      Item copy = item;
+      sink(label, copy);
+    }
+  }
+
+  SWING_HOT void growth_without_reserve(const std::vector<Item>& items) {
+    std::vector<std::uint64_t> ids;
+    for (const auto& item : items) {
+      // expect-analyze: hotpath-alloc
+      ids.push_back(item.id);
+    }
+    consume(ids);
+  }
+
+ private:
+  void sink(const std::string& label, const Item& copy) {}
+  void consume(const std::vector<std::uint64_t>& ids) {}
+};

@@ -10,6 +10,9 @@ from __future__ import annotations
 from swing_analyze.rules import (
     codec_symmetry,
     dcheck_side_effect,
+    double_lookup,
+    heavy_copy,
+    hotpath_alloc,
     metric_name_consistency,
     nondet_iteration,
     switch_exhaustiveness,
@@ -21,6 +24,13 @@ ALL_RULES = [
     dcheck_side_effect,
     switch_exhaustiveness,
     metric_name_consistency,
+    hotpath_alloc,
+    heavy_copy,
+    double_lookup,
 ]
+
+# The interprocedural rules that only run on the SWING_HOT-rooted hot
+# set; `--report hotpath` re-runs exactly these for the scoreboard.
+HOTPATH_RULES = [hotpath_alloc, heavy_copy, double_lookup]
 
 RULE_NAMES = [r.RULE for r in ALL_RULES]

@@ -1,0 +1,124 @@
+"""double-lookup: the same map key must not be looked up twice in one
+scope.
+
+`m.count(k)` followed by `m.at(k)`, or `m.find(k)` followed by `m[k]`,
+walks the tree / hashes the key twice for one logical access — on the
+hot set that is measurable work, and the single-lookup form
+(`find` once, use the iterator; `try_emplace`; `insert`'s bool) is
+always available.
+
+Detection: within one hot function body (the scope), every keyed lookup
+is collected as (receiver chain, normalized key expression). Lookup ops
+are the member calls `find`/`count`/`contains`/`at` and `operator[]`.
+To keep vectors out of it, `operator[]` and `at` only count when the
+receiver's declared type resolves to a map (cross-file via the symbol
+table); `find`/`count`/`contains` count whenever the type is map-like
+or unknown (locals are not modeled — those names are map-idiomatic).
+A second lookup of the same (receiver, key) fires at its line.
+"""
+
+from __future__ import annotations
+
+from swing_analyze import callgraph
+from swing_analyze.cpp_lexer import Token, match_forward
+from swing_analyze.cpp_model import Method, Model
+from swing_analyze.finding import Finding
+
+RULE = "double-lookup"
+
+_MAP_OPS = {"find", "count", "contains", "at"}
+# at/operator[] need a proven map receiver; find/count/contains are
+# map-idiomatic enough to count on unknown receivers too.
+_NEED_PROOF = {"at", "[]"}
+
+
+def _receiver_chain(toks: list[Token], i: int) -> list[str]:
+    ids: list[str] = []
+    k = i
+    while k >= 1 and toks[k].text in (".", "->"):
+        k -= 1
+        if toks[k].text in (")", "]"):
+            return []
+        if toks[k].kind == "id" or toks[k].text == "this":
+            ids.append(toks[k].text)
+            k -= 1
+        else:
+            break
+    return ids[::-1]
+
+
+def _receiver_is_map(model: Model, method: Method, chain: list[str]) -> bool:
+    if not chain:
+        return False
+    name = chain[-1]
+    t = ""
+    if method.cls and method.cls in model.records:
+        t = model.records[method.cls].fields.get(name) or ""
+    if not t:
+        t = model.field_type(name) or ""
+    return "map" in t
+
+
+def _key_text(toks: list[Token], lo: int, hi: int) -> str:
+    return " ".join(t.text for t in toks[lo:hi])
+
+
+def _scan(model: Model, qname: str, method: Method) -> list[Finding]:
+    toks = method.body()
+    n = len(toks)
+    lookups: list[tuple[str, str, str, int]] = []  # (recv, key, op, line)
+
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text in _MAP_OPS and i >= 1 \
+                and toks[i - 1].text in (".", "->") \
+                and i + 1 < n and toks[i + 1].text == "(":
+            chain = _receiver_chain(toks, i - 1)
+            if chain:
+                rp = match_forward(toks, i + 1, "(", ")")
+                key = _key_text(toks, i + 2, rp)
+                if key:
+                    is_map = _receiver_is_map(model, method, chain)
+                    if is_map or (t.text not in _NEED_PROOF):
+                        lookups.append((".".join(chain), key, t.text, t.line))
+                i = rp
+        elif t.text == "[" and i >= 1 and toks[i - 1].kind == "id":
+            # receiver[key]: count only for proven map receivers.
+            k = i - 1
+            while k >= 1 and (toks[k].kind == "id"
+                              or toks[k].text in (".", "->", "this")):
+                k -= 1
+            chain_toks = toks[k + 1:i]
+            chain = [x.text for x in chain_toks
+                     if x.kind == "id" or x.text == "this"]
+            if chain and _receiver_is_map(model, method, chain):
+                close = match_forward(toks, i, "[", "]")
+                key = _key_text(toks, i + 1, close)
+                if key:
+                    lookups.append((".".join(chain), key, "[]", toks[i].line))
+                i = close
+        i += 1
+
+    findings: list[Finding] = []
+    seen: dict[tuple[str, str], tuple[str, int]] = {}
+    for recv, key, op, line in lookups:
+        prior = seen.get((recv, key))
+        if prior is not None and line != prior[1]:
+            prior_op, prior_line = prior
+            findings.append(Finding(
+                method.path, line, RULE,
+                f"hot function `{qname}` looks up `{recv}[{key}]` twice "
+                f"(`{prior_op}` at line {prior_line}, then `{op}`) — do "
+                f"one `find` and reuse the iterator"))
+        else:
+            seen.setdefault((recv, key), (op, line))
+    return findings
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    graph = callgraph.cached(model)
+    findings: list[Finding] = []
+    for qname, method in graph.hot_methods():
+        findings.extend(_scan(model, qname, method))
+    return findings

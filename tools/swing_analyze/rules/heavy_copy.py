@@ -1,0 +1,193 @@
+"""heavy-copy: no by-value passes or returns of heavy records on the
+hot path.
+
+On the hot set (see callgraph.py) this rule flags three shapes:
+
+  * a parameter taken by value whose estimated size (additive over the
+    symbol table's field widths — sizing.py) exceeds HEAVY_BYTES, or
+    whose type owns heap storage (string/vector/record containing them):
+    every call copies. Exempt when the body `std::move`s the parameter
+    (the by-value-then-move sink idiom is the *correct* way to take
+    ownership) or assigns into it (`p.field = ...`): copy-to-mutate
+    keeps the caller's object intact on purpose, and callers that hand
+    over ownership already pay only a move;
+  * a `shared_ptr` parameter taken by value that the body never moves:
+    the copy is an atomic refcount round-trip per call where a
+    `const&`/raw pointer would do;
+  * return-by-value of a type that owns heap storage (string, vector,
+    Bytes, ...): the fresh buffer per call is exactly what the
+    zero-copy rewrite removes. Plain records are NOT flagged on return
+    — C++17 guarantees copy elision for prvalue returns and NRVO covers
+    the named case, so returning a flat struct costs nothing. Exempt
+    when every `return` in the body moves out a member (`return
+    std::move(x)` — e.g. ByteWriter::take, which hands over storage it
+    already owns).
+
+The wire codecs (`to_bytes` returning Bytes, `from_bytes` returning the
+record) fire this rule by design. They are carried as *tracked baseline
+entries* (tools/swing_analyze/baseline.json), not inline suppressions:
+the `--report hotpath` scoreboard keeps counting them, and the baseline
+shrinks entry by entry as the arena/span rewrite lands. Inline allows
+are reserved for copies that are load-bearing (e.g. a snapshot taken on
+purpose).
+"""
+
+from __future__ import annotations
+
+from swing_analyze import callgraph, sizing
+from swing_analyze.cpp_lexer import Token
+from swing_analyze.cpp_model import Method, Model
+from swing_analyze.finding import Finding
+
+RULE = "heavy-copy"
+
+_SPECIFIERS = {
+    "static", "inline", "constexpr", "virtual", "explicit", "friend",
+    "nodiscard", "maybe_unused", "SWING_HOT", "SWING_COLD", "typename",
+}
+
+
+def _split_params(toks: list[Token]) -> list[list[Token]]:
+    params: list[list[Token]] = []
+    depth = 0
+    cur: list[Token] = []
+    for t in toks:
+        if t.text in ("<", "(", "[", "{"):
+            depth += 1
+        elif t.text in (">", ")", "]", "}"):
+            depth -= 1
+        elif t.text == ">>":
+            depth -= 2
+        if t.text == "," and depth == 0:
+            params.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        params.append(cur)
+    return params
+
+
+def _moved_in_body(method: Method, name: str) -> bool:
+    toks = method.body()
+    for i in range(len(toks) - 2):
+        if toks[i].text == "move" and toks[i + 1].text == "(" \
+                and toks[i + 2].text == name:
+            return True
+    return False
+
+
+def _mutated_in_body(method: Method, name: str) -> bool:
+    """True when the body assigns into the parameter (p = / p.f.g = ...)."""
+    toks = method.body()
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != name:
+            continue
+        if i > 0 and toks[i - 1].text in (".", "->", "::"):
+            continue  # member of something else, not the parameter
+        j = i + 1
+        while j + 1 < n and toks[j].text in (".", "->") \
+                and toks[j + 1].kind == "id":
+            j += 2
+        if j < n and toks[j].text in ("=", "+=", "-=", "*=", "/=",
+                                      "|=", "&=", "^=", "++", "--"):
+            return True
+    return False
+
+
+def _all_returns_move(method: Method) -> bool:
+    """True when every return statement moves (storage handoff, no copy)."""
+    toks = method.body()
+    n = len(toks)
+    saw_return = False
+    for i, t in enumerate(toks):
+        if t.text != "return":
+            continue
+        saw_return = True
+        nxt = " ".join(x.text for x in toks[i + 1:i + 4])
+        if not nxt.startswith("std :: move"):
+            return False
+    return saw_return
+
+
+def _return_type_tokens(method: Method) -> list[Token]:
+    if method.decl_start < 0 or method.lp < 0:
+        return []
+    end = method.lp - 1
+    if end - 2 >= method.decl_start \
+            and method.tokens[end - 1].text == "::":
+        end -= 2
+    return [t for t in method.tokens[method.decl_start:end]
+            if not (t.kind == "id" and t.text in _SPECIFIERS)
+            and t.text not in ("[", "]")]  # [[nodiscard]] brackets
+
+
+def _type_text(toks: list[Token]) -> str:
+    return " ".join(t.text for t in toks)
+
+
+def _scan(model: Model, qname: str, method: Method) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # --- by-value parameters -------------------------------------------
+    for param in _split_params(method.param_tokens()):
+        if not param:
+            continue
+        texts = [t.text for t in param]
+        if "&" in texts or "&&" in texts or "*" in texts:
+            continue  # by reference / pointer: no copy
+        if "=" in texts:
+            param = param[:texts.index("=")]
+            texts = texts[:len(param)]
+        if len(param) < 2 or param[-1].kind != "id":
+            continue  # unnamed or unparsable
+        name = param[-1].text
+        type_toks = [t for t in param[:-1]
+                     if not (t.kind == "id" and t.text in _SPECIFIERS)]
+        if not type_toks:
+            continue
+        type_text = _type_text(type_toks)
+        line = param[0].line
+        if "shared_ptr" in type_text:
+            if not _moved_in_body(method, name):
+                findings.append(Finding(
+                    method.path, line, RULE,
+                    f"hot function `{qname}` copies `shared_ptr` parameter "
+                    f"`{name}` (atomic refcount per call) — take const& or "
+                    f"a raw pointer, or std::move it into storage"))
+            continue
+        width = sizing.type_width(model, type_text)
+        if width > sizing.HEAVY_BYTES or sizing.is_dynamic(type_text):
+            if not _moved_in_body(method, name) \
+                    and not _mutated_in_body(method, name):
+                findings.append(Finding(
+                    method.path, line, RULE,
+                    f"hot function `{qname}` takes `{name}` "
+                    f"(`{type_text}`, ~{width} bytes) by value and never "
+                    f"moves it — pass by const& to avoid a copy per call"))
+
+    # --- return-by-value ------------------------------------------------
+    rt = _return_type_tokens(method)
+    rt_text = _type_text(rt)
+    if rt and "&" not in rt_text and "*" not in rt_text \
+            and "void" not in rt_text and method.name != (method.cls or "") \
+            and sizing.is_dynamic(rt_text) \
+            and not _all_returns_move(method):
+        line = method.tokens[method.lp - 1].line if method.lp > 0 \
+            else method.line
+        findings.append(Finding(
+            method.path, line, RULE,
+            f"hot function `{qname}` returns `{rt_text}` by value — the "
+            f"returned object owns heap storage, a fresh allocation per "
+            f"call; the zero-copy rewrite writes into a caller-supplied "
+            f"buffer instead"))
+    return findings
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    graph = callgraph.cached(model)
+    findings: list[Finding] = []
+    for qname, method in graph.hot_methods():
+        findings.extend(_scan(model, qname, method))
+    return findings

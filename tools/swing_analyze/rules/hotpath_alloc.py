@@ -1,0 +1,189 @@
+"""hotpath-alloc: no avoidable heap allocation in hot functions.
+
+Every allocation on the per-tuple path is latency the paper's mobile
+targets pay at 24 FPS. On the hot set (functions reachable from
+SWING_HOT roots — see callgraph.py) this rule flags:
+
+  * `new` expressions and `make_shared`/`make_unique` calls — a heap
+    object per tuple/packet;
+  * per-iteration temporaries: a `std::string`/`std::vector` local, or a
+    local of a record type that owns heap storage (a `net::Message`, a
+    `Tuple`), declared *inside* a loop body — one allocation per
+    element. Exempt when the local is move-constructed (reuses the
+    source's storage) or `std::move`d later in the same loop (the
+    deserialize shape: materialise an element, hand its storage to the
+    container — the allocation is the element, not scratch);
+  * container growth in a loop (`push_back`/`emplace_back`/`insert`/
+    `append`) with no preceding `X.reserve(...)` in the same function —
+    amortized-O(1) still reallocates log(n) times, and the element count
+    is almost always known up front here. Node- and chunk-based
+    containers (map/set/deque/list) are exempt: they cannot reserve,
+    and their per-node cost is the heavy-copy rule's business.
+
+A first-use allocation that is genuinely amortized (a registry entry, a
+lazily built table) is suppressed inline with
+`// swing-lint: allow(hotpath-alloc)` plus a justification — the allow
+comment is the audit trail.
+"""
+
+from __future__ import annotations
+
+from swing_analyze import callgraph, sizing
+from swing_analyze.cpp_lexer import Token, match_forward
+from swing_analyze.cpp_model import Method, Model
+from swing_analyze.finding import Finding
+
+RULE = "hotpath-alloc"
+
+_GROWTH_OPS = {"push_back", "emplace_back", "emplace", "append", "insert"}
+# Receiver types that cannot reserve(); growth there is not this rule's
+# finding (node allocation per element is inherent to the container).
+_NO_RESERVE = ("deque", "list", "map", "set", "queue")
+
+
+def _receiver_chain(toks: list[Token], i: int) -> list[str]:
+    """Identifiers of the member chain ending just before toks[i] ('.')."""
+    ids: list[str] = []
+    k = i
+    while k >= 1 and toks[k].text in (".", "->"):
+        k -= 1
+        if toks[k].text == ")" or toks[k].text == "]":
+            return []  # call/index result receiver: unresolvable
+        if toks[k].kind == "id" or toks[k].text == "this":
+            ids.append(toks[k].text)
+            k -= 1
+        else:
+            return ids[::-1]
+    return ids[::-1]
+
+
+def _receiver_type(model: Model, method: Method, chain: list[str]) -> str:
+    if not chain:
+        return ""
+    name = chain[-1]
+    if method.cls and method.cls in model.records:
+        t = model.records[method.cls].fields.get(name)
+        if t:
+            return t
+    return model.field_type(name) or ""
+
+
+def _in_loop(ranges: list[tuple[int, int]], i: int) -> bool:
+    return any(lo <= i < hi for lo, hi in ranges)
+
+
+def _moved_later(toks: list[Token], name: str, start: int,
+                 loops: list[tuple[int, int]], i: int) -> bool:
+    """True when `std::move(name)` appears after the decl in its loop."""
+    end = max((hi for lo, hi in loops if lo <= i < hi), default=len(toks))
+    for k in range(start, min(end, len(toks)) - 2):
+        if toks[k].text == "move" and toks[k + 1].text == "(" \
+                and toks[k + 2].text == name:
+            return True
+    return False
+
+
+def _scan(model: Model, qname: str, method: Method) -> list[Finding]:
+    toks = method.body()
+    n = len(toks)
+    loops = callgraph.loop_ranges(toks)
+    findings: list[Finding] = []
+
+    def report(line: int, what: str) -> None:
+        findings.append(Finding(
+            method.path, line, RULE,
+            f"{what} in hot function `{qname}` — the hot set pays this "
+            f"per tuple/packet; hoist, reserve, or reuse a buffer"))
+
+    # Receivers reserved anywhere in this function, by chain text.
+    reserved: set[str] = set()
+    for i, t in enumerate(toks):
+        if t.text == "reserve" and i >= 1 and toks[i - 1].text in (".", "->") \
+                and i + 1 < n and toks[i + 1].text == "(":
+            chain = _receiver_chain(toks, i - 1)
+            if chain:
+                reserved.add(".".join(chain))
+
+    i = 0
+    while i < n:
+        t = toks[i]
+        # new / make_shared / make_unique --------------------------------
+        if t.text == "new" and t.kind == "id":
+            report(t.line, "heap allocation (`new`)")
+            i += 1
+            continue
+        if t.text in ("make_shared", "make_unique") and i + 1 < n \
+                and toks[i + 1].text in ("<", "("):
+            report(t.line, f"heap allocation (`{t.text}`)")
+            i += 1
+            continue
+        # Per-iteration temporaries --------------------------------------
+        if _in_loop(loops, i):
+            hit = self_decl = None
+            if t.text == "std" and i + 2 < n and toks[i + 1].text == "::" \
+                    and toks[i + 2].text in ("string", "vector"):
+                j = i + 3
+                if j < n and toks[j].text == "<":
+                    depth = 0
+                    while j < n:
+                        if toks[j].text == "<":
+                            depth += 1
+                        elif toks[j].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif toks[j].text == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                if j < n and toks[j].kind == "id" \
+                        and not _moved_later(toks, toks[j].text, j, loops, i):
+                    hit = f"per-iteration `std::{toks[i + 2].text}` temporary"
+                    self_decl = j
+            elif t.kind == "id" and t.text in model.records \
+                    and i + 2 < n and toks[i + 1].kind == "id" \
+                    and toks[i + 2].text in ("=", "(", "{", ";"):
+                width = sizing.record_width(model, t.text)
+                rec = model.records[t.text]
+                dynamic = any(sizing.is_dynamic(ft)
+                              for ft in rec.fields.values())
+                if width > sizing.HEAVY_BYTES or dynamic:
+                    # A move-construction reuses the source's storage.
+                    lookahead = " ".join(
+                        x.text for x in toks[i + 2:i + 8])
+                    if "std :: move" not in lookahead \
+                            and not _moved_later(toks, toks[i + 1].text,
+                                                 i + 2, loops, i):
+                        hit = (f"per-iteration `{t.text}` temporary "
+                               f"(~{width} bytes + owned heap storage)")
+                        self_decl = i + 1
+            if hit:
+                report(t.line, hit)
+                i = (self_decl or i) + 1
+                continue
+        # Container growth in a loop without reserve ---------------------
+        if t.text in _GROWTH_OPS and i >= 1 \
+                and toks[i - 1].text in (".", "->") \
+                and i + 1 < n and toks[i + 1].text == "(" \
+                and _in_loop(loops, i):
+            chain = _receiver_chain(toks, i - 1)
+            key = ".".join(chain)
+            rtype = _receiver_type(model, method, chain)
+            exempt = any(word in rtype for word in _NO_RESERVE)
+            if chain and not exempt and key not in reserved:
+                report(t.line,
+                       f"`{key}.{t.text}(...)` grows a container in a loop "
+                       f"with no preceding `{key}.reserve(...)`")
+        i += 1
+    return findings
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    graph = callgraph.cached(model)
+    findings: list[Finding] = []
+    for qname, method in graph.hot_methods():
+        findings.extend(_scan(model, qname, method))
+    return findings

@@ -1,0 +1,88 @@
+"""Record-size estimation from symbol-table field widths.
+
+heavy-copy needs to decide whether passing or returning a record by
+value is expensive. Exact layout is a compiler question; for a
+threshold check an additive estimate over the declared fields is
+enough (padding is ignored — it only ever under-estimates by a few
+bytes, and the threshold is calibrated for that).
+
+Type-text widths follow the LP64 targets this tree builds on:
+fixed-width ints by their suffix, pointers/references 8, the common
+std:: containers by their libstdc++ sizeof, unknown identifiers 8
+(one word). A named record recurses through its own fields.
+"""
+
+from __future__ import annotations
+
+import re
+
+from swing_analyze.cpp_model import Model
+
+# Passing more than this many bytes by value is "heavy" (two cache-ready
+# registers' worth; a Tuple, a Message, or any dynamic container is over).
+HEAVY_BYTES = 16
+
+_WIDTH_PATTERNS: list[tuple[re.Pattern, int]] = [
+    (re.compile(r"\b(?:u?int8_t|char|bool|byte)\b"), 1),
+    (re.compile(r"\bu?int16_t\b"), 2),
+    (re.compile(r"\b(?:u?int32_t|float|unsigned|int)\b"), 4),
+    (re.compile(r"\b(?:u?int64_t|double|size_t|long|time_t)\b"), 8),
+]
+
+# sizeof on x86-64 libstdc++; close enough everywhere it matters.
+_STD_WIDTHS = {
+    "string": 32, "vector": 24, "deque": 80,
+    "map": 48, "set": 48, "multimap": 48, "multiset": 48,
+    "unordered_map": 56, "unordered_set": 56,
+    "function": 32, "shared_ptr": 16, "weak_ptr": 16, "unique_ptr": 8,
+    "optional": 16, "variant": 16, "pair": 16, "tuple": 16,
+    "priority_queue": 32, "queue": 80, "array": 16, "span": 16,
+    "string_view": 16, "bitset": 8,
+}
+
+# Well-known aliases the declaration-level parser cannot see through.
+_ALIAS_WIDTHS = {
+    "Bytes": 24,      # std::vector<std::uint8_t>
+    "Labels": 24,     # std::vector<std::pair<...>>
+    "SimTime": 8, "SimDuration": 8,
+}
+
+_DYNAMIC_RE = re.compile(
+    r"\b(?:string|vector|deque|map|set|multimap|multiset|unordered_map|"
+    r"unordered_set|function|Bytes|Labels|Json)\b")
+
+
+def type_width(model: Model, type_text: str,
+               _seen: frozenset[str] = frozenset()) -> int:
+    """Estimated sizeof for a declared-type text."""
+    if "&" in type_text or "*" in type_text:
+        return 8
+    for name, width in _STD_WIDTHS.items():
+        if re.search(rf"\b{name}\b", type_text):
+            return width
+    for name, width in _ALIAS_WIDTHS.items():
+        if re.search(rf"\b{name}\b", type_text):
+            return width
+    for pattern, width in _WIDTH_PATTERNS:
+        if pattern.search(type_text):
+            return width
+    for word in type_text.replace("<", " ").replace(">", " ") \
+                         .replace(",", " ").replace("::", " ").split():
+        if word in model.records and word not in _seen:
+            return record_width(model, word, _seen | {word})
+    return 8
+
+
+def record_width(model: Model, record_name: str,
+                 _seen: frozenset[str] = frozenset()) -> int:
+    rec = model.records.get(record_name)
+    if rec is None:
+        return 8
+    if not rec.fields:
+        return 8  # opaque or method-only record: one word
+    return sum(type_width(model, t, _seen) for t in rec.fields.values())
+
+
+def is_dynamic(type_text: str) -> bool:
+    """True when the type owns heap storage (copy implies allocation)."""
+    return bool(_DYNAMIC_RE.search(type_text))

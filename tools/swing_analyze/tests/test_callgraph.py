@@ -1,0 +1,132 @@
+"""Call-graph construction and hot-set propagation (callgraph.py).
+
+Exercises the pieces the hotpath rules lean on: SWING_HOT roots,
+transitive reachability through method and free-function calls,
+SWING_COLD traversal barriers, receiver-type edge resolution, and the
+determinism of every list the report serializes.
+"""
+
+import pathlib
+import tempfile
+import unittest
+
+from swing_analyze import callgraph
+from swing_analyze.cpp_model import Model
+
+TREE = {
+    "hot.h": """\
+#pragma once
+#define SWING_HOT
+#define SWING_COLD
+""",
+    "pipeline.h": """\
+#pragma once
+#include "hot.h"
+
+struct Codec {
+  int decode(int x) { return helper(x); }
+  int helper(int x) { return x + 1; }
+};
+
+struct Pipeline {
+  Codec codec_;
+  SWING_HOT void step(int x) { codec_.decode(x); audit(x); }
+  SWING_COLD void audit(int x) { slow_dump(x); }
+  void unreached(int x) { codec_.helper(x); }
+};
+
+inline void slow_dump(int) {}
+inline void free_leaf() {}
+SWING_HOT inline void free_root() { free_leaf(); }
+""",
+}
+
+
+def build_graph():
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        paths = []
+        for rel, text in TREE.items():
+            p = root / rel
+            p.write_text(text, encoding="utf-8")
+            paths.append(p)
+        model = Model.build(sorted(paths), root)
+        return callgraph.build(model)
+
+
+class CallGraphTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.graph = build_graph()
+
+    def test_roots_are_the_hot_marked_definitions(self):
+        self.assertEqual(self.graph.roots, ["Pipeline::step", "free_root"])
+
+    def test_cold_definitions_are_barriers(self):
+        self.assertEqual(self.graph.cold, ["Pipeline::audit"])
+
+    def test_hot_set_is_transitive_through_member_calls(self):
+        hot = self.graph.hot_set()
+        self.assertIn("Codec::decode", hot)   # via codec_ field type
+        self.assertIn("Codec::helper", hot)   # via decode's this-> call
+        self.assertIn("free_leaf", hot)       # via free_root
+
+    def test_cold_stops_propagation(self):
+        hot = self.graph.hot_set()
+        self.assertNotIn("Pipeline::audit", hot)
+        # slow_dump is only reachable through the cold barrier.
+        self.assertNotIn("slow_dump", hot)
+
+    def test_unmarked_unreached_functions_stay_out(self):
+        self.assertNotIn("Pipeline::unreached", self.graph.hot_set())
+
+    def test_hot_edges_stay_inside_the_hot_set(self):
+        hot = set(self.graph.hot_set())
+        for a, b in self.graph.hot_edges():
+            self.assertIn(a, hot)
+            self.assertIn(b, hot)
+        self.assertIn(("Pipeline::step", "Codec::decode"),
+                      self.graph.hot_edges())
+
+    def test_all_report_lists_are_sorted(self):
+        for seq in (self.graph.roots, self.graph.cold,
+                    self.graph.hot_set(), self.graph.hot_edges()):
+            self.assertEqual(list(seq), sorted(seq))
+
+    def test_two_builds_agree(self):
+        other = build_graph()
+        self.assertEqual(self.graph.hot_set(), other.hot_set())
+        self.assertEqual(self.graph.hot_edges(), other.hot_edges())
+
+
+class LoopRangesTest(unittest.TestCase):
+    def test_braced_and_braceless_loops(self):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            p = root / "loops.h"
+            p.write_text(
+                "#pragma once\n"
+                "struct L {\n"
+                "  void f(int n) {\n"
+                "    for (int i = 0; i < n; ++i) { g(i); }\n"
+                "    while (n > 0) g(n--);\n"
+                "    g(0);\n"
+                "  }\n"
+                "  void g(int) {}\n"
+                "};\n",
+                encoding="utf-8")
+            model = Model.build([p], root)
+            # Resolve via the call graph instead of poking file internals.
+            graph = callgraph.build(model)
+            method = graph.defs["L::f"][0]
+            ranges = callgraph.loop_ranges(method.body())
+            self.assertEqual(len(ranges), 2)
+            toks = method.body()
+            in_loop = [i for lo, hi in ranges for i in range(lo, hi)]
+            # The trailing g(0) call is outside every loop.
+            last_call = max(i for i, t in enumerate(toks) if t.text == "g")
+            self.assertNotIn(last_call, in_loop)
+
+
+if __name__ == "__main__":
+    unittest.main()

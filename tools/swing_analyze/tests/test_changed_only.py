@@ -1,0 +1,113 @@
+"""swing_check --changed-only: git-scoped scanning end to end.
+
+Builds a throwaway git repository, commits a clean src/ tree, and runs
+the real tools/swing_check entry point against it: a clean working tree
+must exit 0 without scanning anything, and dirtying a hot file with a
+by-value heavy parameter must exit 1 — proving the mode sees exactly
+what git reports as changed (plus paired headers).
+"""
+
+import pathlib
+import subprocess
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+SWING_CHECK = REPO_ROOT / "tools" / "swing_check"
+
+CLEAN_HOT_CPP = """\
+#include "pipe.h"
+
+namespace demo {
+
+SWING_HOT int Pipe::feed(const std::string& s) { return int(s.size()); }
+
+}  // namespace demo
+"""
+
+DIRTY_HOT_CPP = CLEAN_HOT_CPP.replace("const std::string& s",
+                                      "std::string s")
+
+PIPE_H = """\
+#pragma once
+#include <string>
+#define SWING_HOT
+
+namespace demo {
+
+struct Pipe {
+  int feed(const std::string& s);
+};
+
+}  // namespace demo
+"""
+
+
+class ChangedOnlyTest(unittest.TestCase):
+    def setUp(self):
+        self._td = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._td.name)
+        self.env = {
+            "PATH": "/usr/bin:/bin",
+            "HOME": str(self.root),
+            "GIT_CONFIG_GLOBAL": "/dev/null",
+            "GIT_CONFIG_SYSTEM": "/dev/null",
+        }
+        (self.root / "src").mkdir()
+        (self.root / "src" / "pipe.h").write_text(PIPE_H, encoding="utf-8")
+        (self.root / "src" / "pipe.cpp").write_text(CLEAN_HOT_CPP,
+                                                    encoding="utf-8")
+        self.git("init", "-q")
+        self.git("-c", "user.email=t@t", "-c", "user.name=t",
+                 "add", "-A")
+        self.git("-c", "user.email=t@t", "-c", "user.name=t",
+                 "commit", "-q", "-m", "seed")
+
+    def tearDown(self):
+        self._td.cleanup()
+
+    def git(self, *argv):
+        subprocess.run(["git", "-C", str(self.root), *argv],
+                       check=True, env=self.env, capture_output=True)
+
+    def check(self):
+        return subprocess.run(
+            ["python3", str(SWING_CHECK), "--root", str(self.root),
+             "--changed-only"],
+            env=self.env, capture_output=True, text=True)
+
+    def test_clean_tree_scans_nothing_and_passes(self):
+        proc = self.check()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no C++ sources in the changed set", proc.stdout)
+
+    def test_dirty_hot_file_fails_with_the_finding(self):
+        (self.root / "src" / "pipe.cpp").write_text(DIRTY_HOT_CPP,
+                                                    encoding="utf-8")
+        proc = self.check()
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("heavy-copy", proc.stdout)
+        self.assertIn("pipe.cpp", proc.stdout)
+
+    def test_untracked_file_is_scanned(self):
+        (self.root / "src" / "extra.h").write_text(
+            "#pragma once\n#include <string>\n#define SWING_HOT\n"
+            "struct X { SWING_HOT int f(std::string s) "
+            "{ return int(s.size()); } };\n",
+            encoding="utf-8")
+        proc = self.check()
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("extra.h", proc.stdout)
+
+    def test_changes_outside_scanned_trees_are_ignored(self):
+        (self.root / "notes.md").write_text("scratch\n", encoding="utf-8")
+        (self.root / "tools").mkdir()
+        (self.root / "tools" / "fixture.h").write_text(
+            "struct Y { void f() { auto* p = new int(1); delete p; } };\n",
+            encoding="utf-8")
+        proc = self.check()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

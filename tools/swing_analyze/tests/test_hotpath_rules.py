@@ -1,0 +1,164 @@
+"""Unit tests for the three hot-path rules (hotpath-alloc, heavy-copy,
+double-lookup) on minimal sources — the fixture suite covers the broad
+fire/no-fire matrix; these pin the exemption edges rule by rule.
+"""
+
+import pathlib
+import tempfile
+import unittest
+
+from swing_analyze.engine import run_rules
+
+HEADER = """\
+#pragma once
+#define SWING_HOT
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+"""
+
+
+def scan(body):
+    """Wraps `body` in a header prologue and runs all rules over it."""
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        p = root / "t.h"
+        p.write_text(HEADER + body, encoding="utf-8")
+        return run_rules([p], root, known_metrics=None)
+
+
+def rule_findings(body, rule):
+    return [f for f in scan(body) if f.rule == rule]
+
+
+class HotpathAllocTest(unittest.TestCase):
+    def test_new_fires_only_on_the_hot_set(self):
+        hot = rule_findings(
+            "struct A { SWING_HOT void f() { auto* p = new int(1); "
+            "delete p; } };", "hotpath-alloc")
+        cold = rule_findings(
+            "struct A { void f() { auto* p = new int(1); delete p; } };",
+            "hotpath-alloc")
+        self.assertEqual(len(hot), 1)
+        self.assertEqual(cold, [])
+
+    def test_growth_with_reserve_is_clean(self):
+        body = ("struct A { SWING_HOT void f(int n) {\n"
+                "  std::vector<int> v;\n"
+                "  v.reserve(std::size_t(n));\n"
+                "  for (int i = 0; i < n; ++i) v.push_back(i);\n"
+                "} };")
+        self.assertEqual(rule_findings(body, "hotpath-alloc"), [])
+
+    def test_growth_without_reserve_fires(self):
+        body = ("struct A { SWING_HOT void f(int n) {\n"
+                "  std::vector<int> v;\n"
+                "  for (int i = 0; i < n; ++i) v.push_back(i);\n"
+                "} };")
+        self.assertEqual(len(rule_findings(body, "hotpath-alloc")), 1)
+
+    def test_map_growth_is_exempt(self):
+        body = ("struct A { std::map<int, int> m_;\n"
+                "  SWING_HOT void f(int n) {\n"
+                "  for (int i = 0; i < n; ++i) m_.insert({i, i});\n"
+                "} };")
+        self.assertEqual(rule_findings(body, "hotpath-alloc"), [])
+
+    def test_loop_temporary_moved_later_is_exempt(self):
+        fires = ("struct A { SWING_HOT void f(int n) {\n"
+                 "  std::vector<std::string> out;\n"
+                 "  out.reserve(std::size_t(n));\n"
+                 "  for (int i = 0; i < n; ++i) {\n"
+                 "    std::string s(\"x\");\n"
+                 "    out.push_back(s);\n"
+                 "  }\n"
+                 "} };")
+        exempt = fires.replace("out.push_back(s);",
+                               "out.push_back(std::move(s));")
+        self.assertEqual(len(rule_findings(fires, "hotpath-alloc")), 1)
+        self.assertEqual(rule_findings(exempt, "hotpath-alloc"), [])
+
+
+class HeavyCopyTest(unittest.TestCase):
+    def test_by_value_string_param_fires_and_const_ref_is_clean(self):
+        fires = ("struct A { SWING_HOT int f(std::string s) "
+                 "{ return int(s.size()); } };")
+        clean = ("struct A { SWING_HOT int f(const std::string& s) "
+                 "{ return int(s.size()); } };")
+        self.assertEqual(len(rule_findings(fires, "heavy-copy")), 1)
+        self.assertEqual(rule_findings(clean, "heavy-copy"), [])
+
+    def test_sink_param_moved_in_body_is_exempt(self):
+        body = ("struct A { std::string slot_;\n"
+                "  SWING_HOT void f(std::string s) "
+                "{ slot_ = std::move(s); } };")
+        self.assertEqual(rule_findings(body, "heavy-copy"), [])
+
+    def test_copy_to_mutate_param_is_exempt(self):
+        body = ("struct Env { std::string tag; };\n"
+                "struct A { Env out_;\n"
+                "  SWING_HOT void f(Env e) { e.tag = \"x\"; out_ = e; } };")
+        self.assertEqual(rule_findings(body, "heavy-copy"), [])
+
+    def test_dynamic_return_fires_but_plain_record_return_is_elided(self):
+        fires = ("struct A { SWING_HOT std::vector<int> f() "
+                 "{ std::vector<int> v; return v; } };")
+        # Guaranteed copy elision: a flat struct return costs nothing.
+        clean = ("struct Wide { double a; double b; double c; };\n"
+                 "struct A { SWING_HOT Wide f() { return Wide{}; } };")
+        self.assertEqual(len(rule_findings(fires, "heavy-copy")), 1)
+        self.assertEqual(rule_findings(clean, "heavy-copy"), [])
+
+    def test_return_move_handoff_is_exempt(self):
+        body = ("struct A { std::string buf_;\n"
+                "  SWING_HOT std::string take() "
+                "{ return std::move(buf_); } };")
+        self.assertEqual(rule_findings(body, "heavy-copy"), [])
+
+    def test_unmoved_shared_ptr_param_fires(self):
+        body = ("struct A { SWING_HOT int f(std::shared_ptr<int> p) "
+                "{ return *p; } };")
+        found = rule_findings(body, "heavy-copy")
+        self.assertEqual(len(found), 1)
+        self.assertIn("shared_ptr", found[0].message)
+
+
+class DoubleLookupTest(unittest.TestCase):
+    def test_second_lookup_of_same_key_fires(self):
+        body = ("struct A { std::map<int, int> m_;\n"
+                "  SWING_HOT int f(int k) {\n"
+                "  if (m_.count(k) == 0) return 0;\n"
+                "  return m_.at(k);\n"
+                "} };")
+        found = rule_findings(body, "double-lookup")
+        self.assertEqual(len(found), 1)
+
+    def test_distinct_keys_and_find_reuse_are_clean(self):
+        body = ("struct A { std::map<int, int> m_;\n"
+                "  SWING_HOT int f(int a, int b) {\n"
+                "  auto it = m_.find(a);\n"
+                "  if (it == m_.end()) return int(m_.count(b));\n"
+                "  return it->second;\n"
+                "} };")
+        self.assertEqual(rule_findings(body, "double-lookup"), [])
+
+    def test_vector_index_is_not_a_map_lookup(self):
+        body = ("struct A { std::vector<int> v_;\n"
+                "  SWING_HOT int f(std::size_t i) {\n"
+                "  if (v_[i] > 0) return v_[i];\n"
+                "  return 0;\n"
+                "} };")
+        self.assertEqual(rule_findings(body, "double-lookup"), [])
+
+    def test_off_hot_path_double_lookup_is_ignored(self):
+        body = ("struct A { std::map<int, int> m_;\n"
+                "  int f(int k) {\n"
+                "  if (m_.count(k) == 0) return 0;\n"
+                "  return m_.at(k);\n"
+                "} };")
+        self.assertEqual(rule_findings(body, "double-lookup"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

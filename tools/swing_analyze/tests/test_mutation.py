@@ -12,7 +12,7 @@ import pathlib
 import tempfile
 import unittest
 
-from swing_analyze.engine import run_rules
+from swing_analyze.engine import filter_allowed, run_rules
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 
@@ -109,6 +109,76 @@ class SwitchMutationTest(unittest.TestCase):
         findings = [f for f in scan_texts(sources)
                     if f.rule == "switch-exhaustiveness"]
         self.assertEqual(len(findings), 2)  # default arm + missing cases
+
+
+class HotPathMutationTest(unittest.TestCase):
+    """The hot-path rules on real sources: re-introduce the exact defects
+    this PR fixed and assert the analyzer catches them where they live.
+
+    Unlike the classes above, these scans apply filter_allowed(): the
+    pristine medium.cpp carries justified inline allows (shared_ptr
+    ownership, erase-invalidated iterators) that are part of its clean
+    state.
+    """
+
+    FILES = [
+        "src/runtime/worker.cpp",
+        "src/runtime/worker.h",
+        "src/dataflow/tuple.h",
+        "src/net/medium.cpp",
+        "src/net/medium.h",
+    ]
+    BY_REF = ("SWING_HOT void Worker::route_and_send(Instance& from,\n"
+              "                                      "
+              "const dataflow::Tuple& tuple,")
+    BY_VALUE = ("SWING_HOT void Worker::route_and_send(Instance& from,\n"
+                "                                      "
+                "dataflow::Tuple tuple,")
+    LOOP_ANCHOR = "    auto it = flows_.find(key);\n"
+
+    def read_sources(self):
+        return {rel: (REPO_ROOT / rel).read_text(encoding="utf-8")
+                for rel in self.FILES}
+
+    def scan(self, sources):
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            paths = []
+            for rel, text in sources.items():
+                p = root / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(text, encoding="utf-8")
+                paths.append(p)
+            findings = run_rules(sorted(paths), root, known_metrics=None)
+            return filter_allowed(findings, root)
+
+    def test_pristine_copies_are_clean(self):
+        sources = self.read_sources()
+        self.assertIn(self.BY_REF, sources["src/runtime/worker.cpp"])
+        self.assertIn(self.LOOP_ANCHOR, sources["src/net/medium.cpp"])
+        self.assertEqual(self.scan(sources), [])
+
+    def test_by_value_tuple_param_detected(self):
+        sources = self.read_sources()
+        sources["src/runtime/worker.cpp"] = \
+            sources["src/runtime/worker.cpp"].replace(
+                self.BY_REF, self.BY_VALUE)
+        findings = [f for f in self.scan(sources) if f.rule == "heavy-copy"]
+        self.assertEqual(len(findings), 1)
+        self.assertIn("route_and_send", findings[0].message)
+        self.assertIn("Tuple", findings[0].message)
+
+    def test_loop_allocation_in_medium_detected(self):
+        sources = self.read_sources()
+        sources["src/net/medium.cpp"] = \
+            sources["src/net/medium.cpp"].replace(
+                self.LOOP_ANCHOR,
+                '    std::string trace_tag("serve");\n' + self.LOOP_ANCHOR,
+                1)
+        findings = [f for f in self.scan(sources)
+                    if f.rule == "hotpath-alloc"]
+        self.assertEqual(len(findings), 1)
+        self.assertIn("serve_next", findings[0].message)
 
 
 if __name__ == "__main__":

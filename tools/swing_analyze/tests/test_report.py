@@ -1,0 +1,111 @@
+"""The --report hotpath artifact: schema, determinism, attribution.
+
+Runs the real report builder over a small synthetic tree and over the
+actual repository, asserting byte-identical output across runs and a
+clean pass through check_bench_json.py's swing-hotpath-v1 validator
+(imported directly — same code CI runs).
+"""
+
+import json
+import pathlib
+import tempfile
+import unittest
+
+import check_bench_json
+from swing_analyze.engine import build_hotpath_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+TREE = {
+    "src/hot.h": "#pragma once\n#define SWING_HOT\n",
+    "src/enc.h": """\
+#pragma once
+#include <string>
+#include <vector>
+#include "hot.h"
+
+struct Enc {
+  std::vector<int> out_;
+  SWING_HOT void push(int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(i);
+  }
+  SWING_HOT std::string dump() { return join(); }
+  std::string join() { return std::string("x"); }
+};
+""",
+}
+
+
+def synthetic_report():
+    with tempfile.TemporaryDirectory() as td:
+        root = pathlib.Path(td)
+        for rel, text in TREE.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text, encoding="utf-8")
+        return build_hotpath_report(root)
+
+
+class SyntheticReportTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.report = synthetic_report()
+
+    def test_validates_against_the_shared_schema_checker(self):
+        errors = []
+        check_bench_json.check_hotpath_report(self.report, errors)
+        self.assertEqual(errors, [])
+
+    def test_hot_roots_and_set(self):
+        self.assertEqual(self.report["hot_roots"],
+                         ["Enc::dump", "Enc::push"])
+        self.assertIn("Enc::join", self.report["hot_set"])
+
+    def test_findings_are_attributed_to_their_function(self):
+        rows = {r["function"]: r for r in
+                self.report["findings"]["by_function"]}
+        # push grows out_ without reserve; dump returns a std::string.
+        self.assertEqual(rows["Enc::push"]["by_rule"],
+                         {"hotpath-alloc": 1})
+        self.assertEqual(rows["Enc::dump"]["by_rule"], {"heavy-copy": 1})
+        # join's return is `return std::string("x")` — still a dynamic
+        # return; it must land on join, not its hot caller.
+        self.assertIn("Enc::join", rows)
+
+    def test_byte_identical_across_runs(self):
+        again = synthetic_report()
+        self.assertEqual(json.dumps(self.report, indent=2),
+                         json.dumps(again, indent=2))
+
+
+class RepoReportTest(unittest.TestCase):
+    """The report over the real tree — the exact artifact CI uploads."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.report = build_hotpath_report(REPO_ROOT)
+
+    def test_validates_and_counts_only_baselined_codec_returns(self):
+        errors = []
+        check_bench_json.check_hotpath_report(self.report, errors)
+        self.assertEqual(errors, [])
+        # The scoreboard counts findings BEFORE the baseline: today that
+        # is the codec burn-down list, all heavy-copy.
+        by_rule = self.report["findings"]["by_rule"]
+        self.assertEqual(set(by_rule) | {"heavy-copy"}, {"heavy-copy"})
+
+    def test_worker_fast_path_is_rooted(self):
+        for root in ("Worker::handle_data", "Worker::route_and_send",
+                     "Tuple::to_bytes", "Medium::send"):
+            self.assertIn(root, self.report["hot_roots"])
+        self.assertIn("Worker::spawn_fallback_instance",
+                      self.report["cold_escapes"])
+
+    def test_byte_identical_across_runs(self):
+        again = build_hotpath_report(REPO_ROOT)
+        self.assertEqual(json.dumps(self.report, indent=2),
+                         json.dumps(again, indent=2))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -456,6 +456,38 @@ def run_scan(root: pathlib.Path) -> int:
     return 0
 
 
+def run_scan_files(root: pathlib.Path, paths: list[pathlib.Path]) -> int:
+    """Per-file scan of an explicit subset (swing_check --changed-only).
+
+    Applies the same per-tree flags as scan_tree() but skips the
+    cross-file passes (include cycles, drop-reason wiring, fuzz
+    coverage, stateful-unit contract) — those need the whole tree and
+    run on the full gate. A speed mode, not the gate.
+    """
+    linter = Linter(root)
+    src = root / "src"
+    paths = sorted(p for p in paths
+                   if p.suffix in CXX_SUFFIXES and p.is_file())
+    if not paths:
+        print("swing-lint: no C++ sources in the changed set")
+        return 0
+    for path in paths:
+        if path.is_relative_to(src):
+            exempt = path.is_relative_to(src / "common")
+            linter.scan_file(path, determinism_exempt=exempt,
+                             check_new_delete=True, check_bare_assert=True)
+        else:
+            linter.scan_file(path, determinism_exempt=False,
+                             check_new_delete=False)
+    for f in linter.findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if linter.findings:
+        print(f"swing-lint: {len(linter.findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"swing-lint: clean ({len(paths)} changed files)")
+    return 0
+
+
 # --- Self-test against tools/lint_fixtures ----------------------------------
 #
 # Each fixture file declares the findings it must produce with lines of the
