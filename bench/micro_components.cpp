@@ -9,7 +9,9 @@
 
 #include "bench/bench_util.h"
 #include "core/swarm_manager.h"
+#include "dataflow/codec.h"
 #include "dataflow/tuple.h"
+#include "runtime/messages.h"
 #include "net/medium.h"
 #include "runtime/reorder.h"
 #include "sim/simulator.h"
@@ -69,27 +71,79 @@ void BM_EstimatorRecordAck(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimatorRecordAck);
 
-void BM_TupleSerialize(benchmark::State& state) {
+dataflow::Tuple bench_tuple() {
   dataflow::Tuple t{TupleId{1}, SimTime{}};
   t.set("frame", dataflow::Blob{6000, 42});
   t.set("name", std::string{"alice"});
   t.set("confidence", 0.93);
+  return t;
+}
+
+// Arena-path encode: after the first frame the arena's buffer is warm, so
+// the steady state allocates nothing. This is the sender's per-tuple cost.
+void BM_TupleSerialize(benchmark::State& state) {
+  const dataflow::Tuple t = bench_tuple();
+  SendArena arena;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(t.to_bytes());
+    ByteWriter& w = arena.begin_frame();
+    t.encode(w);
+    benchmark::DoNotOptimize(arena.end_frame().data());
   }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_TupleSerialize);
 
+// View-path decode: the reader is a span over the wire bytes, exactly how
+// a worker decodes a received frame. This is the receiver's per-tuple cost.
 void BM_TupleRoundTrip(benchmark::State& state) {
   dataflow::Tuple t{TupleId{1}, SimTime{}};
   t.set("frame", dataflow::Blob{6000, 42});
   t.set("faces", std::int64_t{2});
-  const Bytes wire = t.to_bytes();
+  const Bytes wire = dataflow::encode_to_bytes(t);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dataflow::Tuple::from_bytes(wire));
+    ByteReader r{wire};
+    benchmark::DoNotOptimize(dataflow::Tuple::decode(r));
   }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_TupleRoundTrip);
+
+// The batched wire plane end to end: encode `n` data messages into one
+// pooled DataBatchMsg frame, then dispatch-decode every element from the
+// received view — what a worker pair does per batch. items == tuples, so
+// tuples/sec lands in the report for the regression gate.
+void BM_BatchCodecDispatch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  runtime::DataMsg data;
+  data.src_instance = InstanceId{1};
+  data.src_device = DeviceId{2};
+  data.dst_instance = InstanceId{3};
+  data.sent_ns = 12345;
+  data.tuple = bench_tuple();
+  data.tuple_wire_size = data.tuple.wire_size();
+
+  SendArena arena;
+  runtime::DataBatchMsg batch;  // Reused per cycle, like Worker's batches_.
+  for (auto _ : state) {
+    batch.clear();
+    for (std::int64_t i = 0; i < n; ++i) {
+      batch.append_frame([&](ByteWriter& w) { data.encode(w); });
+    }
+    ByteWriter& w = arena.begin_frame();
+    batch.encode(w);
+    const auto payload = arena.end_frame();
+
+    // Receiver side: one pass over the frame, no batch materialisation.
+    ByteReader r{payload};
+    const auto count = r.read_varint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ByteReader frame{r.read_span()};
+      benchmark::DoNotOptimize(runtime::DataMsg::decode(frame));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BatchCodecDispatch)->Arg(8)->Arg(64);
 
 void BM_SimulatorScheduleStep(benchmark::State& state) {
   Simulator sim;
@@ -148,6 +202,10 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       row["iterations"] = std::uint64_t(run.iterations);
       row["real_time_ns"] = run.GetAdjustedRealTime();
       row["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row["items_per_second"] = double(items->second);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }

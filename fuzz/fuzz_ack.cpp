@@ -1,10 +1,8 @@
-// Fuzz target: AckMsg::from_bytes (downstream -> upstream latency echo).
+// Fuzz target: AckMsg::decode (downstream -> upstream latency echo).
 #include "fuzz/fuzz_harness.h"
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::AckMsg msg =
-      swing::runtime::AckMsg::from_bytes(input);
+  const swing::runtime::AckMsg msg = swing_fuzz_decode<swing::runtime::AckMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

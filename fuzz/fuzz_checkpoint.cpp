@@ -1,4 +1,4 @@
-// Fuzz target: CheckpointMsg::from_bytes (worker -> master snapshot ship).
+// Fuzz target: CheckpointMsg::decode (worker -> master snapshot ship).
 //
 // The state payload is an opaque length-prefixed blob here; the inner
 // envelope (dedup ids + unit state) is parsed on restore, not on store, so
@@ -7,8 +7,6 @@
 #include "state/state_messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::state::CheckpointMsg msg =
-      swing::state::CheckpointMsg::from_bytes(input);
+  const swing::state::CheckpointMsg msg = swing_fuzz_decode<swing::state::CheckpointMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,12 +1,10 @@
-// Fuzz target: DataMsg::from_bytes (the per-tuple data-plane envelope).
+// Fuzz target: DataMsg::decode (the per-tuple data-plane envelope).
 // Carries doubles, so the fixpoint check (not operator==) is what makes
 // NaN-bearing inputs verifiable.
 #include "fuzz/fuzz_harness.h"
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::DataMsg msg =
-      swing::runtime::DataMsg::from_bytes(input);
+  const swing::runtime::DataMsg msg = swing_fuzz_decode<swing::runtime::DataMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,4 +1,4 @@
-// Fuzz target: DataBatchMsg::from_bytes (coalesced per-connection batches).
+// Fuzz target: DataBatchMsg::decode (coalesced per-connection batches).
 //
 // History: the wire-claimed element count hit vector::reserve unchecked;
 // varint 2^64-1 aborted the worker with std::length_error
@@ -7,8 +7,6 @@
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::DataBatchMsg msg =
-      swing::runtime::DataBatchMsg::from_bytes(input);
+  const swing::runtime::DataBatchMsg msg = swing_fuzz_decode<swing::runtime::DataBatchMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

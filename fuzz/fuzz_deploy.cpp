@@ -1,4 +1,4 @@
-// Fuzz target: DeployMsg::from_bytes (master -> worker activation).
+// Fuzz target: DeployMsg::decode (master -> worker activation).
 //
 // History: a wire-claimed assignment/downstream count used to reach
 // vector::reserve unchecked; varint 2^64-1 aborted the worker with
@@ -7,8 +7,6 @@
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::DeployMsg msg =
-      swing::runtime::DeployMsg::from_bytes(input);
+  const swing::runtime::DeployMsg msg = swing_fuzz_decode<swing::runtime::DeployMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,10 +1,8 @@
-// Fuzz target: DeviceMsg::from_bytes (LeaveReport / Bye payloads).
+// Fuzz target: DeviceMsg::decode (LeaveReport / Bye payloads).
 #include "fuzz/fuzz_harness.h"
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::DeviceMsg msg =
-      swing::runtime::DeviceMsg::from_bytes(input);
+  const swing::runtime::DeviceMsg msg = swing_fuzz_decode<swing::runtime::DeviceMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,11 +1,9 @@
-// Fuzz target: GestureFeatures::from_bytes (the windower's packed feature
+// Fuzz target: GestureFeatures::decode (the windower's packed feature
 // vector, decoded by the classifier unit from tuple field bytes).
 #include "apps/gesture_recognition.h"
 #include "fuzz/fuzz_harness.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::apps::GestureFeatures features =
-      swing::apps::GestureFeatures::from_bytes(input);
-  swing_fuzz_roundtrip(features);
+  const swing::apps::GestureFeatures msg = swing_fuzz_decode<swing::apps::GestureFeatures>(data, size);
+  swing_fuzz_roundtrip(msg);
 }

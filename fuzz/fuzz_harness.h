@@ -8,9 +8,10 @@
 //                  any other escape (std::length_error from a hostile
 //                  element count, abort, UB caught by sanitizers) is a bug.
 //   round-trip     when decoding succeeds, encode must be a fixpoint:
-//                  decode(bytes).to_bytes() decoded and re-encoded yields
-//                  the same bytes. Compared byte-wise, not via operator==,
-//                  so NaN payloads (NaN != NaN) still verify.
+//                  encoding the decoded message, decoding that, and
+//                  re-encoding yields the same bytes. Compared byte-wise,
+//                  not via operator==, so NaN payloads (NaN != NaN) still
+//                  verify.
 //
 // The same translation unit builds two ways:
 //
@@ -22,8 +23,10 @@
 //                  regression, so decoder fixes stay fixed everywhere.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/bytes.h"
 #include "common/check.h"
@@ -43,17 +46,33 @@
   }                                                                        \
   static void swing_fuzz_one(const std::uint8_t* data, std::size_t size)
 
+// Decodes a Msg from the raw fuzz input via the span-based wire plane; the
+// reader is a non-owning view straight over libFuzzer's buffer, exactly how
+// the runtime decodes a received transport frame. Trailing bytes after the
+// message are ignored, as on the wire.
+template <typename Msg>
+Msg swing_fuzz_decode(const std::uint8_t* data, std::size_t size) {
+  swing::ByteReader r{std::span{data, size}};
+  return Msg::decode(r);
+}
+
 // Fixpoint check shared by the harness bodies: Msg must already have been
 // decoded once from arbitrary bytes; its encoding must then survive a
 // decode/encode cycle unchanged.
 template <typename Msg>
 void swing_fuzz_roundtrip(const Msg& decoded) {
-  const swing::Bytes enc1 = decoded.to_bytes();
-  const Msg again = Msg::from_bytes(enc1);  // Own output must re-decode.
-  const swing::Bytes enc2 = again.to_bytes();
-  SWING_CHECK(enc1 == enc2) << "decode/encode is not a fixpoint: "
-                            << enc1.size() << " vs " << enc2.size()
-                            << " bytes";
+  swing::ByteWriter enc1;
+  decoded.encode(enc1);
+  swing::ByteReader r{enc1.view()};
+  const Msg again = Msg::decode(r);  // Own output must re-decode.
+  swing::ByteWriter enc2;
+  again.encode(enc2);
+  const auto v1 = enc1.view();
+  const auto v2 = enc2.view();
+  SWING_CHECK(v1.size() == v2.size() &&
+              std::equal(v1.begin(), v1.end(), v2.begin()))
+      << "decode/encode is not a fixpoint: " << v1.size() << " vs "
+      << v2.size() << " bytes";
 }
 
 #if defined(SWING_FUZZ_REPLAY)

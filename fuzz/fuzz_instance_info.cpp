@@ -1,0 +1,9 @@
+// Fuzz target: InstanceInfo::decode (the instance/operator/device triple
+// nested inside Deploy and RouteUpdate payloads).
+#include "fuzz/fuzz_harness.h"
+#include "runtime/messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::runtime::InstanceInfo msg = swing_fuzz_decode<swing::runtime::InstanceInfo>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,10 +1,8 @@
-// Fuzz target: MigrateMsg::from_bytes (master -> source-worker handoff).
+// Fuzz target: MigrateMsg::decode (master -> source-worker handoff).
 #include "fuzz/fuzz_harness.h"
 #include "state/state_messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::state::MigrateMsg msg =
-      swing::state::MigrateMsg::from_bytes(input);
+  const swing::state::MigrateMsg msg = swing_fuzz_decode<swing::state::MigrateMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,4 +1,4 @@
-// Fuzz target: RestoreMsg::from_bytes (master -> worker redeploy+restore).
+// Fuzz target: RestoreMsg::decode (master -> worker redeploy+restore).
 //
 // Carries a routing seed list whose wire-claimed count must be bounds-
 // checked before reserve — the same hostile-count shape that once crashed
@@ -7,8 +7,6 @@
 #include "state/state_messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::state::RestoreMsg msg =
-      swing::state::RestoreMsg::from_bytes(input);
+  const swing::state::RestoreMsg msg = swing_fuzz_decode<swing::state::RestoreMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

@@ -1,10 +1,8 @@
-// Fuzz target: RouteUpdateMsg::from_bytes (Add/RemoveDownstream updates).
+// Fuzz target: RouteUpdateMsg::decode (Add/RemoveDownstream updates).
 #include "fuzz/fuzz_harness.h"
 #include "runtime/messages.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::runtime::RouteUpdateMsg msg =
-      swing::runtime::RouteUpdateMsg::from_bytes(input);
+  const swing::runtime::RouteUpdateMsg msg = swing_fuzz_decode<swing::runtime::RouteUpdateMsg>(data, size);
   swing_fuzz_roundtrip(msg);
 }

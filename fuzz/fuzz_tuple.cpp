@@ -1,10 +1,8 @@
-// Fuzz target: dataflow::Tuple::from_bytes (the data-plane payload codec).
+// Fuzz target: dataflow::Tuple::decode (the data-plane payload codec).
 #include "dataflow/tuple.h"
 #include "fuzz/fuzz_harness.h"
 
 SWING_FUZZ_TARGET {
-  const swing::Bytes input(data, data + size);
-  const swing::dataflow::Tuple tuple =
-      swing::dataflow::Tuple::from_bytes(input);
-  swing_fuzz_roundtrip(tuple);
+  const swing::dataflow::Tuple msg = swing_fuzz_decode<swing::dataflow::Tuple>(data, size);
+  swing_fuzz_roundtrip(msg);
 }

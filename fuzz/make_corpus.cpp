@@ -14,6 +14,7 @@
 
 #include "apps/gesture_recognition.h"
 #include "common/bytes.h"
+#include "dataflow/codec.h"
 #include "dataflow/tuple.h"
 #include "runtime/messages.h"
 #include "state/state_messages.h"
@@ -25,6 +26,10 @@ using namespace swing;
 using namespace swing::runtime;
 
 int g_written = 0;
+
+// Owning-mode encode: seeds are written once to disk, so the hot arena path
+// is beside the point here.
+using dataflow::encode_to_bytes;
 
 void write_seed(const fs::path& root, const std::string& target,
                 const std::string& name, const Bytes& bytes) {
@@ -54,7 +59,7 @@ DataMsg sample_data_msg() {
   msg.dst_instance = InstanceId{5};
   msg.sent_ns = 2'000'000'000;
   msg.accumulated = DelayBreakdown{1.5, 0.25, 12.0};
-  msg.tuple_bytes = sample_tuple().to_bytes();
+  msg.tuple = sample_tuple();
   msg.tuple_wire_size = sample_tuple().wire_size();
   return msg;
 }
@@ -68,9 +73,9 @@ int main(int argc, char** argv) {
   }
   const fs::path root{argv[1]};
 
-  write_seed(root, "fuzz_tuple", "typical", sample_tuple().to_bytes());
+  write_seed(root, "fuzz_tuple", "typical", encode_to_bytes(sample_tuple()));
   write_seed(root, "fuzz_tuple", "empty",
-             dataflow::Tuple{TupleId{0}, SimTime{}}.to_bytes());
+             encode_to_bytes(dataflow::Tuple{TupleId{0}, SimTime{}}));
 
   DeployMsg deploy;
   DeployMsg::Assignment a;
@@ -83,14 +88,20 @@ int main(int argc, char** argv) {
   DeployMsg::Assignment sink;
   sink.self = InstanceInfo{InstanceId{3}, OperatorId{2}, DeviceId{0}};
   deploy.assignments.push_back(sink);
-  write_seed(root, "fuzz_deploy", "two_assignments", deploy.to_bytes());
-  write_seed(root, "fuzz_deploy", "empty", DeployMsg{}.to_bytes());
+  write_seed(root, "fuzz_deploy", "two_assignments", encode_to_bytes(deploy));
+  write_seed(root, "fuzz_deploy", "empty", encode_to_bytes(DeployMsg{}));
 
   const RouteUpdateMsg update{
       InstanceId{0}, InstanceInfo{InstanceId{4}, OperatorId{1}, DeviceId{3}}};
-  write_seed(root, "fuzz_route_update", "add", update.to_bytes());
+  write_seed(root, "fuzz_route_update", "add", encode_to_bytes(update));
 
-  write_seed(root, "fuzz_data", "typical", sample_data_msg().to_bytes());
+  write_seed(root, "fuzz_instance_info", "typical",
+             encode_to_bytes(
+                 InstanceInfo{InstanceId{7}, OperatorId{2}, DeviceId{5}}));
+  write_seed(root, "fuzz_instance_info", "truncated",
+             Bytes{0x01, 0x02, 0x03});  // 3 of 24 bytes: underrun path.
+
+  write_seed(root, "fuzz_data", "typical", encode_to_bytes(sample_data_msg()));
 
   AckMsg ack;
   ack.from_instance = InstanceId{5};
@@ -99,16 +110,17 @@ int main(int argc, char** argv) {
   ack.echoed_sent_ns = 2'000'000'000;
   ack.processing_ms = 11.75;
   ack.battery_fraction = 0.5;
-  write_seed(root, "fuzz_ack", "typical", ack.to_bytes());
+  write_seed(root, "fuzz_ack", "typical", encode_to_bytes(ack));
 
   DataBatchMsg batch;
-  batch.datas.push_back(sample_data_msg().to_bytes());
-  batch.datas.push_back(sample_data_msg().to_bytes());
-  write_seed(root, "fuzz_data_batch", "two_msgs", batch.to_bytes());
-  write_seed(root, "fuzz_data_batch", "empty", DataBatchMsg{}.to_bytes());
+  batch.append_frame([](ByteWriter& w) { sample_data_msg().encode(w); });
+  batch.append_frame([](ByteWriter& w) { sample_data_msg().encode(w); });
+  write_seed(root, "fuzz_data_batch", "two_msgs", encode_to_bytes(batch));
+  write_seed(root, "fuzz_data_batch", "empty",
+             encode_to_bytes(DataBatchMsg{}));
 
   write_seed(root, "fuzz_device_msg", "typical",
-             DeviceMsg{DeviceId{7}}.to_bytes());
+             encode_to_bytes(DeviceMsg{DeviceId{7}}));
 
   apps::GestureFeatures features;
   features.mean_magnitude = 9.81f;
@@ -116,7 +128,7 @@ int main(int argc, char** argv) {
   features.energy = 16.5f;
   features.dominant_axis = 1.0f;
   features.mean_bias = 0.25f;
-  write_seed(root, "fuzz_gesture_features", "shake", features.to_bytes());
+  write_seed(root, "fuzz_gesture_features", "shake", encode_to_bytes(features));
 
   // swing-state messages. The checkpoint state payload is a realistic
   // worker envelope: varint dedup count, dedup ids, then unit state.
@@ -126,7 +138,7 @@ int main(int argc, char** argv) {
   envelope.write_u64(41);
   envelope.write_varint(1);  // FusionUnit: one pending half-result.
   envelope.write_u64(42);
-  envelope.write_bytes(sample_tuple().to_bytes());
+  envelope.write_bytes(encode_to_bytes(sample_tuple()));
   const Bytes state = envelope.take();
 
   state::CheckpointMsg checkpoint;
@@ -134,11 +146,11 @@ int main(int argc, char** argv) {
   checkpoint.epoch = 3;
   checkpoint.taken_ns = 2'500'000'000;
   checkpoint.state = state;
-  write_seed(root, "fuzz_checkpoint", "periodic", checkpoint.to_bytes());
+  write_seed(root, "fuzz_checkpoint", "periodic", encode_to_bytes(checkpoint));
   checkpoint.epoch = 4;
   checkpoint.migrate_to = DeviceId{2};
   write_seed(root, "fuzz_checkpoint", "migration_final",
-             checkpoint.to_bytes());
+             encode_to_bytes(checkpoint));
 
   state::RestoreMsg restore;
   restore.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{2}};
@@ -147,12 +159,12 @@ int main(int argc, char** argv) {
   restore.state = state;
   restore.downstreams.push_back(
       InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
-  write_seed(root, "fuzz_restore", "with_downstream", restore.to_bytes());
+  write_seed(root, "fuzz_restore", "with_downstream", encode_to_bytes(restore));
   write_seed(root, "fuzz_restore", "empty_state",
-             state::RestoreMsg{restore.instance, 0, 0, {}, {}}.to_bytes());
+             encode_to_bytes(state::RestoreMsg{restore.instance, 0, 0, {}, {}}));
 
   write_seed(root, "fuzz_migrate", "typical",
-             state::MigrateMsg{InstanceId{5}, DeviceId{2}}.to_bytes());
+             encode_to_bytes(state::MigrateMsg{InstanceId{5}, DeviceId{2}}));
 
   std::printf("wrote %d seed(s) under %s\n", g_written, root.string().c_str());
   return 0;

@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/hot.h"
 #include "common/rng.h"
+#include "dataflow/codec.h"
 #include "dataflow/function_unit.h"
 #include "dataflow/tuple.h"
 #include "dataflow/value.h"
@@ -16,18 +17,15 @@ using dataflow::Context;
 using dataflow::FunctionUnit;
 using dataflow::Tuple;
 
-SWING_HOT Bytes GestureFeatures::to_bytes() const {
-  ByteWriter w;
+SWING_HOT void GestureFeatures::encode(ByteWriter& w) const {
   w.write_f64(mean_magnitude);
   w.write_f64(variance);
   w.write_f64(energy);
   w.write_f64(dominant_axis);
   w.write_f64(mean_bias);
-  return w.take();
 }
 
-SWING_HOT GestureFeatures GestureFeatures::from_bytes(const Bytes& data) {
-  ByteReader r{data};
+SWING_HOT GestureFeatures GestureFeatures::decode(ByteReader& r) {
   GestureFeatures f;
   f.mean_magnitude = float(r.read_f64());
   f.variance = float(r.read_f64());
@@ -129,7 +127,7 @@ class WindowUnit final : public FunctionUnit {
     if (buffer_.size() < window_samples_) return;
 
     Tuple out{TupleId{window_index_++}, input.source_time()};
-    out.set("features", extract_features(buffer_).to_bytes());
+    dataflow::set_packed(out, "features", extract_features(buffer_));
     buffer_.clear();
     ctx.emit(std::move(out));
   }
@@ -174,11 +172,11 @@ class WindowUnit final : public FunctionUnit {
 class ClassifierUnit final : public FunctionUnit {
  public:
   void process(const Tuple& input, Context& ctx) override {
-    const auto* packed = input.get_as<Bytes>("features");
-    if (packed == nullptr) return;
-    const GestureFeatures features = GestureFeatures::from_bytes(*packed);
+    const auto features =
+        dataflow::get_packed<GestureFeatures>(input, "features");
+    if (!features) return;
     Tuple out = input.derive();
-    out.set("gesture", classify_gesture(features));
+    out.set("gesture", classify_gesture(*features));
     ctx.emit(std::move(out));
   }
 };

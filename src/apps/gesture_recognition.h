@@ -50,8 +50,10 @@ struct GestureFeatures {
   float dominant_axis = 0.0f; // 0 = x, 1 = y, 2 = z.
   float mean_bias = 0.0f;     // |mean x| + |mean y|: DC offset (tilt).
 
-  [[nodiscard]] Bytes to_bytes() const;
-  static GestureFeatures from_bytes(const Bytes& data);
+  // Wire-plane v2 codec (see dataflow/codec.h): appended to the caller's
+  // writer, decoded from a frame view. Throws WireFormatError on bad input.
+  void encode(ByteWriter& w) const;
+  static GestureFeatures decode(ByteReader& r);
 };
 
 // The gesture the synthetic user performs during a given window index

@@ -110,7 +110,9 @@ class FusionUnit final : public FunctionUnit {
     out.write_varint(order_.size());
     for (const std::uint64_t id : order_) {
       out.write_u64(id);
-      out.write_bytes(pending_.at(id).to_bytes());
+      const Tuple& t = pending_.at(id);
+      out.write_varint(t.encoded_size());
+      t.encode(out);
     }
   }
 
@@ -120,7 +122,9 @@ class FusionUnit final : public FunctionUnit {
     const std::uint64_t n = in.read_varint();
     for (std::uint64_t i = 0; i < n; ++i) {
       const std::uint64_t id = in.read_u64();
-      pending_.emplace(id, Tuple::from_bytes(in.read_bytes()));
+      const std::uint64_t frame_len = in.read_varint();
+      ByteReader frame{in.take_span(frame_len)};
+      pending_.emplace(id, Tuple::decode(frame));
       order_.push_back(id);
     }
     evict();  // A snapshot from a larger-window config still fits ours.

@@ -5,8 +5,23 @@
 // back at the receiver. ByteWriter/ByteReader implement a compact
 // little-endian wire format with varint lengths, mirroring the Kryo-style
 // encoding SEEP uses.
+//
+// Wire plane v2 (see DESIGN.md §"Wire plane v2"): codecs are written as
+//
+//   void encode(ByteWriter& w) const;     // appends to w, never allocates a
+//                                         // fresh buffer per message
+//   static T decode(ByteReader& r);       // reads from a non-owning view;
+//                                         // throws WireFormatError on bad input
+//
+// ByteWriter appends into a caller-owned buffer: either its own (owning mode,
+// used by tests and the checkpoint plane) or an external `Bytes&` (arena mode,
+// used by the per-sender SendArena below and by DataBatchMsg's frame pool).
+// ByteReader hands out zero-copy views (`take_span`, `read_span`, `read_view`)
+// that alias the received frame; decoded messages that must outlive the frame
+// copy exactly once, at a spot the decoder chooses.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -21,6 +36,19 @@ namespace swing {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// Exact encoded length of ByteWriter::write_varint(v): 1..10 bytes. Codecs
+// that inline a length prefix ahead of a nested encode (DataMsg's tuple
+// frame) use this to compute exact sizes, so v2 output is byte-identical to
+// the legacy `write_bytes(to_bytes())` layout.
+constexpr std::uint64_t varint_size(std::uint64_t v) {
+  std::uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 // Thrown when a ByteReader runs past the end of its buffer or decodes a
 // malformed value. Deserialization happens on data "from the network", so
 // errors are reported, not asserted.
@@ -31,16 +59,64 @@ class WireFormatError : public std::runtime_error {
 
 class ByteWriter {
  public:
-  [[nodiscard]] const Bytes& data() const { return buffer_; }
-  Bytes take() { return std::move(buffer_); }
-  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  // Owning mode: writes accumulate in an internal buffer; take() moves it out.
+  ByteWriter() : buf_(&own_) {}
+  // Arena mode: appends to `external` (does NOT clear it — DataBatchMsg's
+  // frame pool relies on appending frames back to back). The writer must not
+  // outlive the buffer, and the buffer must not be resized behind its back
+  // mid-frame; SendArena enforces both with its open-frame contract.
+  explicit ByteWriter(Bytes& external) : buf_(&external) {}
+
+  // A writer is pinned to its buffer; copying or moving it would silently
+  // fork or dangle the destination.
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  // Field writes stage into `scratch_` (below) and land in the buffer in
+  // ranged batches; a destroyed writer leaves nothing behind.
+  ~ByteWriter() { flush(); }
+
+  [[nodiscard]] const Bytes& data() const {
+    flush();
+    return *buf_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> view() const {
+    flush();
+    return *buf_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return buf_->size() + scratch_len_;
+  }
+
+  // Moves staged bytes into the buffer. Reading the destination `Bytes`
+  // directly (rather than through data()/view()/take()) while the writer is
+  // still alive requires a flush first; SendArena::end_frame and
+  // DataBatchMsg::append_frame do this for their callers.
+  void flush() const {
+    if (scratch_len_ == 0) return;
+    buf_->insert(buf_->end(), scratch_, scratch_ + scratch_len_);
+    scratch_len_ = 0;
+  }
+
+  // Owning mode only: arena-mode writers do not own their bytes, so moving
+  // them out would corrupt the arena's frame bookkeeping.
+  Bytes take() {
+    SWING_CHECK(buf_ == &own_) << "ByteWriter::take() on an arena-mode writer";
+    flush();
+    return std::move(own_);
+  }
 
   // Pre-size for `n` further bytes. Encoders that know their wire size
-  // (Tuple::wire_size, the fixed-layout messages) call this once so the
+  // (Tuple::encoded_size, the fixed-layout messages) call this once so the
   // per-field writes below never reallocate.
-  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+  void reserve(std::size_t n) {
+    buf_->reserve(buf_->size() + scratch_len_ + n);
+  }
 
-  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void write_u8(std::uint8_t v) {
+    ensure(1);
+    scratch_[scratch_len_++] = v;
+  }
 
   void write_u32(std::uint32_t v) { write_le(v); }
   void write_u64(std::uint64_t v) { write_le(v); }
@@ -56,35 +132,65 @@ class ByteWriter {
 
   // LEB128-style unsigned varint: 7 bits per byte, high bit = continuation.
   void write_varint(std::uint64_t v) {
+    ensure(10);  // Worst case: 10 bytes for a 64-bit value.
     while (v >= 0x80) {
-      // Bounded: a u64 varint is at most 10 bytes, and encoders reserve()
-      // their full wire size up front, so this push_back never grows.
-      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);  // swing-lint: allow(hotpath-alloc)
+      scratch_[scratch_len_++] = static_cast<std::uint8_t>(v) | 0x80;
       v >>= 7;
     }
-    buffer_.push_back(static_cast<std::uint8_t>(v));
+    scratch_[scratch_len_++] = static_cast<std::uint8_t>(v);
   }
 
   void write_bytes(std::span<const std::uint8_t> bytes) {
     write_varint(bytes.size());
-    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    append_raw(bytes.data(), bytes.size());
   }
 
   void write_string(std::string_view s) {
     write_varint(s.size());
-    buffer_.insert(buffer_.end(), s.begin(), s.end());
+    append_raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
 
  private:
-  template <typename T>
-  void write_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      // Bounded by sizeof(T) <= 8; reserve() upstream makes it free.
-      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));  // swing-lint: allow(hotpath-alloc)
-    }
+  // Staging capacity. Fixed-layout message headers (DataMsg's is 58 bytes)
+  // fit in one batch; anything longer flushes mid-record, which is still one
+  // vector append per kScratchSize bytes instead of one per field.
+  static constexpr std::size_t kScratchSize = 64;
+
+  void ensure(std::size_t n) const {
+    if (kScratchSize - scratch_len_ < n) flush();
   }
 
-  Bytes buffer_;
+  // Little-endian fixed-width append. The byte fill targets the scratch
+  // array, so the compiler collapses it to one wide store; field writes
+  // through the vector itself would reload its control block on every byte
+  // (std::uint8_t stores may alias it), and the wire plane pays that per
+  // field.
+  template <typename T>
+  void write_le(T v) {
+    ensure(sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      scratch_[scratch_len_ + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    scratch_len_ += sizeof(T);
+  }
+
+  void append_raw(const std::uint8_t* p, std::size_t n) {
+    if (n == 0) return;  // Empty views may carry a null data pointer.
+    if (n <= kScratchSize - scratch_len_) {
+      std::memcpy(scratch_ + scratch_len_, p, n);
+      scratch_len_ += n;
+      return;
+    }
+    flush();
+    buf_->insert(buf_->end(), p, p + n);
+  }
+
+  Bytes own_;
+  Bytes* buf_;
+  // The staging buffer is logically part of the written-bytes state, so
+  // const accessors (data(), view()) may flush it.
+  mutable std::uint8_t scratch_[kScratchSize];
+  mutable std::size_t scratch_len_ = 0;
 };
 
 class ByteReader {
@@ -124,25 +230,37 @@ class ByteReader {
     }
   }
 
-  Bytes read_bytes() {
-    const std::uint64_t n = read_varint();
-    require(n, "bytes body");
-    Bytes out(data_.begin() + long(pos_), data_.begin() + long(pos_ + n));
+  // Zero-copy view of the next `n` raw bytes; advances the cursor. The view
+  // aliases the frame being decoded, so it is valid only while that frame's
+  // storage lives (for arena frames: until the next begin_frame/reset).
+  std::span<const std::uint8_t> take_span(std::uint64_t n,
+                                          const char* what = "raw span") {
+    require(n, what);
+    const auto out = data_.subspan(pos_, n);
     pos_ += n;
-    SWING_DCHECK_LE(pos_, data_.size());
     return out;
   }
 
-  std::string read_string() {
-    const std::uint64_t n = read_varint();
-    require(n, "string body");
-    // require() proved [pos_, pos_ + n) lies inside the buffer, so this
-    // aliased read cannot run past the end.
-    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
-    pos_ += n;
-    SWING_DCHECK_LE(pos_, data_.size());
-    return out;
+  // Length-prefixed zero-copy reads: same wire shape as write_bytes /
+  // write_string, but the result aliases the frame instead of copying.
+  // Hot decoders use these; copying (if needed at all) happens exactly once
+  // at the destination the decoder chooses.
+  std::span<const std::uint8_t> read_span() {
+    return take_span(read_varint(), "bytes body");
   }
+
+  std::string_view read_view() {
+    const auto s = take_span(read_varint(), "string body");
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+
+  // Copying reads, for cold paths and tests that want owned storage.
+  Bytes read_bytes() {
+    const auto s = read_span();
+    return Bytes(s.begin(), s.end());
+  }
+
+  std::string read_string() { return std::string{read_view()}; }
 
  private:
   // Every read validates its length against the unconsumed suffix before
@@ -166,9 +284,17 @@ class ByteReader {
   template <typename T>
   T read_le() {
     require(sizeof(T), "fixed-width value");
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= T(data_[pos_ + i]) << (8 * i);
+    T v;
+    if constexpr (std::endian::native == std::endian::little) {
+      // One unaligned load; the byte-assembly loop below defeats load
+      // combining on some compilers and the wire plane reads fixed-width
+      // fields per tuple.
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      v = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= T(data_[pos_ + i]) << (8 * i);
+      }
     }
     pos_ += sizeof(T);
     SWING_DCHECK_LE(pos_, data_.size());
@@ -177,6 +303,61 @@ class ByteReader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+};
+
+// Reusable per-sender encode arena. One frame is encoded at a time:
+//
+//   ByteWriter& w = arena.begin_frame();   // clears bytes, keeps capacity
+//   msg.encode(w);
+//   transport.send(..., arena.end_frame(), ...);  // span into the arena
+//
+// Lifetime contract: the span returned by end_frame() aliases the arena and
+// is valid until the next begin_frame()/reset(). Transport::send copies the
+// payload into the in-flight Message synchronously, so a sender may reuse its
+// arena immediately after send returns. begin_frame() while a frame is open,
+// end_frame() without one, and reset() mid-frame are checked contract
+// violations (SWING_CHECK aborts). After warm-up the buffer's capacity
+// reaches the largest frame this sender emits and encodes stop allocating;
+// epoch() counts frames for tests and stats.
+class SendArena {
+ public:
+  SendArena() = default;
+  // The embedded writer is pinned to buffer_, so the arena cannot move.
+  SendArena(const SendArena&) = delete;
+  SendArena& operator=(const SendArena&) = delete;
+
+  ByteWriter& begin_frame() {
+    SWING_CHECK(!open_) << "SendArena::begin_frame with a frame still open";
+    open_ = true;
+    ++epoch_;
+    buffer_.clear();  // keeps capacity: steady-state frames never allocate
+    return writer_;
+  }
+
+  std::span<const std::uint8_t> end_frame() {
+    SWING_CHECK(open_) << "SendArena::end_frame without begin_frame";
+    open_ = false;
+    writer_.flush();  // The frame's tail may still be staged in the writer.
+    return {buffer_.data(), buffer_.size()};
+  }
+
+  // Releases the arena's storage (e.g. on shutdown, or after an unusually
+  // large frame). Resetting while a frame is being encoded would yank the
+  // buffer out from under the writer — checked contract violation.
+  void reset() {
+    SWING_CHECK(!open_) << "SendArena::reset with a frame still open";
+    Bytes{}.swap(buffer_);
+  }
+
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t capacity() const { return buffer_.capacity(); }
+
+ private:
+  Bytes buffer_;
+  ByteWriter writer_{buffer_};
+  bool open_ = false;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace swing

@@ -2,14 +2,28 @@
 //
 // The paper's Serialization Service "transforms customized objects into a
 // byte array ... at the sender, and transforms the array back to the object
-// at the receiver" (§IV-C). These helpers give that pattern a typed API:
-// any T with `Bytes to_bytes() const` and `static T from_bytes(const
-// Bytes&)` can be stored in and read from a tuple field directly.
+// at the receiver" (§IV-C). These helpers give that pattern a typed API on
+// the wire-plane v2 codec (see common/bytes.h and DESIGN.md §"Wire plane
+// v2"): any T with
+//
+//   void encode(ByteWriter& w) const;   // appends T's wire form to w
+//   static T decode(ByteReader& r);     // reads T back from a frame view
+//
+// can be stored in and read from a tuple field directly. Encoding appends
+// into the caller-owned buffer behind the writer (a SendArena frame, a
+// DataBatchMsg pool, or a field's own storage as below); decoding never
+// copies — the reader is a span view, and T::decode chooses where bytes that
+// must outlive the frame land. The legacy `Bytes to_bytes() const` /
+// `static T from_bytes(const Bytes&)` pair is gone; swing-analyze's
+// codec-symmetry rule still recognises stragglers so an accidental revival
+// fails CI.
 #pragma once
 
 #include <concepts>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "dataflow/tuple.h"
@@ -17,24 +31,48 @@
 namespace swing::dataflow {
 
 template <typename T>
-concept Packable = requires(const T& value, const Bytes& bytes) {
-  { value.to_bytes() } -> std::convertible_to<Bytes>;
-  { T::from_bytes(bytes) } -> std::convertible_to<T>;
+concept WireCodec = requires(const T& value, ByteWriter& w, ByteReader& r) {
+  { value.encode(w) } -> std::same_as<void>;
+  { T::decode(r) } -> std::convertible_to<T>;
 };
 
-// Serializes `value` into the tuple under `key`.
-template <Packable T>
+// Serializes `value` into the tuple under `key`. The field's own Bytes
+// storage is the encode destination — one allocation, no intermediate.
+template <WireCodec T>
 void set_packed(Tuple& tuple, std::string key, const T& value) {
-  tuple.set(std::move(key), value.to_bytes());
+  Bytes packed;
+  {
+    // Scoped so the writer flushes its staged tail before `packed` moves.
+    ByteWriter w{packed};
+    value.encode(w);
+  }
+  tuple.set(std::move(key), std::move(packed));
 }
 
 // Reads `key` back as a T. nullopt when the field is missing or not a byte
 // array; throws WireFormatError when the bytes do not decode as a T.
-template <Packable T>
+template <WireCodec T>
 std::optional<T> get_packed(const Tuple& tuple, std::string_view key) {
   const Bytes* bytes = tuple.get_as<Bytes>(key);
   if (bytes == nullptr) return std::nullopt;
-  return T::from_bytes(*bytes);
+  ByteReader r{*bytes};
+  return T::decode(r);
+}
+
+// Owning-mode conveniences for tests, fuzzers, and corpus generation: the
+// hot path never round-trips through a fresh Bytes (senders encode into
+// their SendArena; receivers decode from the transport frame in place).
+template <WireCodec T>
+[[nodiscard]] Bytes encode_to_bytes(const T& value) {
+  ByteWriter w;
+  value.encode(w);
+  return w.take();
+}
+
+template <WireCodec T>
+[[nodiscard]] T decode_from(std::span<const std::uint8_t> frame) {
+  ByteReader r{frame};
+  return T::decode(r);
 }
 
 }  // namespace swing::dataflow

@@ -53,9 +53,13 @@ Value read_value(ByteReader& r) {
     case kFloat:
       return r.read_f64();
     case kString:
-      return r.read_string();
-    case kBytes:
-      return r.read_bytes();
+      // The variant owns its payload, so this is the decode path's single
+      // copy: straight from the frame view into the field's storage.
+      return std::string{r.read_view()};
+    case kBytes: {
+      const auto body = r.read_span();
+      return Bytes(body.begin(), body.end());
+    }
     case kBlob: {
       Blob b;
       b.size = r.read_varint();
@@ -78,9 +82,20 @@ std::uint64_t Tuple::wire_size() const {
   return size;
 }
 
-SWING_HOT Bytes Tuple::to_bytes() const {
-  ByteWriter w;
-  w.reserve(wire_size());
+std::uint64_t Tuple::encoded_size() const {
+  std::uint64_t size = 8 + 8 + varint_size(fields_.size());
+  for (const auto& [key, value] : fields_) {
+    size += varint_size(key.size()) + key.size() + value_encoded_size(value);
+  }
+  return size;
+}
+
+SWING_HOT void Tuple::encode(ByteWriter& w) const {
+  // No up-front sizing: arena buffers keep their capacity across frames,
+  // so steady-state appends never grow — an exact encoded_size() walk per
+  // encode would cost more than the amortised growth it pre-empts. Callers
+  // that need the exact length for framing (DataMsg) compute it once and
+  // write it as the prefix.
   w.write_u64(id_.value());
   w.write_i64(source_time_.nanos());
   w.write_varint(fields_.size());
@@ -88,11 +103,9 @@ SWING_HOT Bytes Tuple::to_bytes() const {
     w.write_string(key);
     write_value(w, value);
   }
-  return w.take();
 }
 
-SWING_HOT Tuple Tuple::from_bytes(const Bytes& data) {
-  ByteReader r{data};
+SWING_HOT Tuple Tuple::decode(ByteReader& r) {
   Tuple t;
   t.id_ = TupleId{r.read_u64()};
   t.source_time_ = SimTime{r.read_i64()};
@@ -107,7 +120,7 @@ SWING_HOT Tuple Tuple::from_bytes(const Bytes& data) {
   }
   t.fields_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::string key = r.read_string();
+    std::string key{r.read_view()};
     Value value = read_value(r);
     t.fields_.emplace_back(std::move(key), std::move(value));
   }

@@ -4,7 +4,7 @@
 // the source-assigned sequence id (used by the sink's reordering service)
 // and the source timestamp (used for end-to-end latency measurement). The
 // serialization service (paper §IV-C) converts tuples to byte arrays at the
-// sender and back at the receiver; see to_bytes()/from_bytes().
+// sender and back at the receiver; see encode()/decode().
 #pragma once
 
 #include <cstdint>
@@ -73,13 +73,20 @@ class Tuple {
 
   // --- Serialization ------------------------------------------------------
 
-  // Total bytes this tuple occupies on the wire.
+  // Simulated on-air footprint of this tuple (Blob payloads are costed at
+  // their synthetic size). Used for airtime/congestion accounting only; for
+  // the exact byte count the codec emits, use encoded_size().
   [[nodiscard]] std::uint64_t wire_size() const;
 
-  // Full round-trippable encoding. Blob contents are encoded as (size, tag);
-  // real Bytes fields are copied verbatim.
-  [[nodiscard]] Bytes to_bytes() const;
-  static Tuple from_bytes(const Bytes& data);  // Throws WireFormatError.
+  // Exact number of bytes encode() appends. Encoders that length-prefix a
+  // nested tuple frame (DataMsg) write this ahead of encode().
+  [[nodiscard]] std::uint64_t encoded_size() const;
+
+  // Full round-trippable encoding, appended to the caller's writer. Blob
+  // contents are encoded as (size, tag); real Bytes fields are copied
+  // verbatim. decode() throws WireFormatError on malformed input.
+  void encode(ByteWriter& w) const;
+  static Tuple decode(ByteReader& r);
 
   friend bool operator==(const Tuple&, const Tuple&) = default;
 

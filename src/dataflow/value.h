@@ -30,7 +30,11 @@ using Value =
     std::variant<std::monostate, std::int64_t, double, std::string, Bytes,
                  Blob>;
 
-// Serialized size contribution of a value (payload only, excluding the key).
+// Simulated on-air size contribution of a value (payload only, excluding the
+// key). This is an ESTIMATE used for airtime accounting: length varints are
+// costed at their worst case and a Blob is costed at its synthetic payload
+// size even though only (size, tag) travel in the encoded frame. Use
+// value_encoded_size() for the exact byte count the codec emits.
 inline std::uint64_t value_wire_size(const Value& v) {
   struct Sizer {
     std::uint64_t operator()(std::monostate) const { return 1; }
@@ -41,6 +45,27 @@ inline std::uint64_t value_wire_size(const Value& v) {
     }
     std::uint64_t operator()(const Bytes& b) const { return 1 + 5 + b.size(); }
     std::uint64_t operator()(const Blob& b) const { return 1 + 10 + b.size; }
+  };
+  return std::visit(Sizer{}, v);
+}
+
+// Exact encoded size of a value: the number of bytes Tuple's value codec
+// emits for it (tag byte + payload). Encoders use this to write exact length
+// prefixes ahead of nested frames.
+inline std::uint64_t value_encoded_size(const Value& v) {
+  struct Sizer {
+    std::uint64_t operator()(std::monostate) const { return 1; }
+    std::uint64_t operator()(std::int64_t) const { return 9; }
+    std::uint64_t operator()(double) const { return 9; }
+    std::uint64_t operator()(const std::string& s) const {
+      return 1 + varint_size(s.size()) + s.size();
+    }
+    std::uint64_t operator()(const Bytes& b) const {
+      return 1 + varint_size(b.size()) + b.size();
+    }
+    std::uint64_t operator()(const Blob& b) const {
+      return 1 + varint_size(b.size) + varint_size(b.tag);
+    }
   };
   return std::visit(Sizer{}, v);
 }

@@ -77,6 +77,15 @@ class Transport {
   // `wire_bytes` overrides the on-air size when nonzero: tuple payloads
   // carry synthetic Blob fields whose bytes are not materialised in the
   // encoded buffer, so the caller passes the true wire footprint.
+  // Span overload for arena-backed senders (wire plane v2): the payload is
+  // copied into the in-flight Message exactly once, synchronously, so the
+  // caller may reuse its SendArena the moment this returns.
+  bool send(DeviceId src, DeviceId dst, std::uint8_t type,
+            std::span<const std::uint8_t> payload, std::size_t wire_bytes = 0) {
+    return send(src, dst, type, Bytes(payload.begin(), payload.end()),
+                wire_bytes);
+  }
+
   bool send(DeviceId src, DeviceId dst, std::uint8_t type, Bytes payload,
             std::size_t wire_bytes = 0) {
     SWING_CHECK(src.valid() && dst.valid())

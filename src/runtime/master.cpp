@@ -71,7 +71,8 @@ void Master::handle_message(const net::Message& msg) {
       case MsgType::kHeartbeat:
         break;  // Liveness already noted above.
       case MsgType::kLeaveReport: {
-        const DeviceId reported = DeviceMsg::from_bytes(msg.payload).device;
+        ByteReader r{msg.payload};
+        const DeviceId reported = DeviceMsg::decode(r).device;
         if (config_.registry != nullptr && members_.contains(reported.value())) {
           config_.registry->counter("workers_evicted", {{"cause", "link-report"}})
               .inc();
@@ -82,9 +83,11 @@ void Master::handle_message(const net::Message& msg) {
       case MsgType::kBye:
         remove_device(msg.src);
         break;
-      case MsgType::kCheckpoint:
-        handle_checkpoint(state::CheckpointMsg::from_bytes(msg.payload));
+      case MsgType::kCheckpoint: {
+        ByteReader r{msg.payload};
+        handle_checkpoint(state::CheckpointMsg::decode(r));
         break;
+      }
       // Worker-bound messages; the runtime routes them elsewhere. Enumerated
       // (no default) so -Wswitch forces a routing decision when a message
       // kind is added.
@@ -178,7 +181,7 @@ void Master::deploy_to(DeviceId device) {
   }
 
   if (!deploy.assignments.empty()) {
-    send(device, MsgType::kDeploy, deploy.to_bytes());
+    send_msg(device, MsgType::kDeploy, deploy);
     note_event(MasterEvent::kDeploy,
                device.value() << 16 | deploy.assignments.size());
   }
@@ -198,7 +201,7 @@ void Master::deploy_to(DeviceId device) {
       // their new siblings yet).
       for (const auto& up : it->second) {
         RouteUpdateMsg update{up.instance, info};
-        send(up.device, MsgType::kAddDownstream, update.to_bytes());
+        send_msg(up.device, MsgType::kAddDownstream, update);
       }
     }
   }
@@ -247,7 +250,7 @@ void Master::remove_device(DeviceId device) {
   for (const auto& [member, instances] : members_) {
     for (const auto& info : lost) {
       RouteUpdateMsg update{InstanceId{}, info};
-      send(DeviceId{member}, MsgType::kRemoveDownstream, update.to_bytes());
+      send_msg(DeviceId{member}, MsgType::kRemoveDownstream, update);
     }
   }
 }
@@ -338,7 +341,7 @@ void Master::install_restore(const state::CheckpointStore::Entry& entry,
     if (it == by_op_.end()) continue;
     for (const auto& down : it->second) restore.downstreams.push_back(down);
   }
-  send(target, MsgType::kRestore, restore.to_bytes());
+  send_msg(target, MsgType::kRestore, restore);
 
   // Re-announce the instance at its new address. AddDownstream overwrites
   // the peer address book on hosts that already route to this InstanceId,
@@ -348,7 +351,7 @@ void Master::install_restore(const state::CheckpointStore::Entry& entry,
     if (it == by_op_.end()) continue;
     for (const auto& up : it->second) {
       RouteUpdateMsg update{up.instance, restore.instance};
-      send(up.device, MsgType::kAddDownstream, update.to_bytes());
+      send_msg(up.device, MsgType::kAddDownstream, update);
     }
   }
   note_event(MasterEvent::kRestore, entry.instance.instance.value());
@@ -419,8 +422,7 @@ bool Master::migrate_instance(InstanceId instance, DeviceId to) {
   }
   pending_migrations_[instance.value()] = to;
   note_event(MasterEvent::kMigrate, instance.value());
-  send(found->device, MsgType::kMigrate,
-       state::MigrateMsg{instance, to}.to_bytes());
+  send_msg(found->device, MsgType::kMigrate, state::MigrateMsg{instance, to});
   return true;
 }
 
@@ -437,6 +439,13 @@ int Master::migrate_stateful(DeviceId from, DeviceId to) {
 
 void Master::send(DeviceId to, MsgType type, Bytes payload) {
   transport_.send(device_, to, std::uint8_t(type), std::move(payload));
+}
+
+template <typename M>
+void Master::send_msg(DeviceId to, MsgType type, const M& msg) {
+  ByteWriter& w = arena_.begin_frame();
+  msg.encode(w);
+  transport_.send(device_, to, std::uint8_t(type), arena_.end_frame());
 }
 
 }  // namespace swing::runtime

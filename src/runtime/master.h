@@ -140,6 +140,10 @@ class Master {
   [[nodiscard]] bool placeable(const dataflow::OperatorDecl& op,
                                DeviceId device) const;
   void send(DeviceId to, MsgType type, Bytes payload);
+  // Encodes `msg` into the master's reusable send arena and ships the frame
+  // view (wire plane v2); the transport copies it out synchronously.
+  template <typename M>
+  void send_msg(DeviceId to, MsgType type, const M& msg);
   void note_event(MasterEvent kind, std::uint64_t detail);
 
   // --- swing-state ------------------------------------------------------
@@ -181,6 +185,8 @@ class Master {
   // swing-state: latest snapshot per instance, in-flight planned handoffs
   // (instance -> target), and the per-operator statefulness probe cache.
   state::CheckpointStore checkpoints_;
+  // Reusable encode buffer for all control-plane sends (one frame at a time).
+  SendArena arena_;
   std::map<std::uint64_t, DeviceId> pending_migrations_;
   mutable std::map<std::uint64_t, bool> stateful_cache_;
 };

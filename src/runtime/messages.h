@@ -8,18 +8,25 @@
 //                      Start / Stop
 //   worker -> worker : Data (tuple + envelope), Ack (latency measurement)
 //
-// Every payload serializes through ByteWriter/ByteReader; the structs below
-// are the in-memory forms.
+// Every payload uses the wire-plane v2 codec API (common/bytes.h):
+// `encode(ByteWriter&)` appends into a caller-owned buffer (usually a
+// SendArena frame) and `decode(ByteReader&)` reads a non-owning view of the
+// received frame. The structs below are the in-memory forms; the wire layout
+// is byte-identical to the legacy to_bytes/from_bytes encoding.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/check.h"
 #include "common/hot.h"
 #include "common/ids.h"
 #include "common/time.h"
+#include "dataflow/tuple.h"
 
 namespace swing::runtime {
 
@@ -58,12 +65,12 @@ struct InstanceInfo {
 
   friend bool operator==(const InstanceInfo&, const InstanceInfo&) = default;
 
-  SWING_HOT void serialize(ByteWriter& w) const {
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_u64(instance.value());
     w.write_u64(op.value());
     w.write_u64(device.value());
   }
-  static SWING_HOT InstanceInfo deserialize(ByteReader& r) {
+  static SWING_HOT InstanceInfo decode(ByteReader& r) {
     InstanceInfo info;
     info.instance = InstanceId{r.read_u64()};
     info.op = OperatorId{r.read_u64()};
@@ -99,18 +106,15 @@ struct DeployMsg {
 
   friend bool operator==(const DeployMsg&, const DeployMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_varint(assignments.size());
     for (const auto& a : assignments) {
-      a.self.serialize(w);
+      a.self.encode(w);
       w.write_varint(a.downstreams.size());
-      for (const auto& d : a.downstreams) d.serialize(w);
+      for (const auto& d : a.downstreams) d.encode(w);
     }
-    return w.take();
   }
-  static SWING_HOT DeployMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT DeployMsg decode(ByteReader& r) {
     DeployMsg msg;
     const auto n = r.read_varint();
     // An assignment is at least one InstanceInfo (24 bytes) plus a one-byte
@@ -119,12 +123,12 @@ struct DeployMsg {
     msg.assignments.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       Assignment a;
-      a.self = InstanceInfo::deserialize(r);
+      a.self = InstanceInfo::decode(r);
       const auto m = r.read_varint();
       check_wire_count(m, r, 24, "downstream");
       a.downstreams.reserve(m);
       for (std::uint64_t j = 0; j < m; ++j) {
-        a.downstreams.push_back(InstanceInfo::deserialize(r));
+        a.downstreams.push_back(InstanceInfo::decode(r));
       }
       msg.assignments.push_back(std::move(a));
     }
@@ -140,17 +144,14 @@ struct RouteUpdateMsg {
   friend bool operator==(const RouteUpdateMsg&,
                          const RouteUpdateMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_u64(upstream.value());
-    downstream.serialize(w);
-    return w.take();
+    downstream.encode(w);
   }
-  static SWING_HOT RouteUpdateMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT RouteUpdateMsg decode(ByteReader& r) {
     RouteUpdateMsg msg;
     msg.upstream = InstanceId{r.read_u64()};
-    msg.downstream = InstanceInfo::deserialize(r);
+    msg.downstream = InstanceInfo::decode(r);
     return msg;
   }
 };
@@ -170,20 +171,22 @@ struct DelayBreakdown {
                          const DelayBreakdown&) = default;
 };
 
-// Upstream -> downstream: one tuple on an edge.
+// Upstream -> downstream: one tuple on an edge. The tuple travels decoded:
+// DataMsg::decode materialises it once from the frame view, and every later
+// consumer (dedup, routing, the function unit) reads the same Tuple instead
+// of re-decoding a private Bytes copy.
 struct DataMsg {
   InstanceId src_instance;
   DeviceId src_device;  // Where to address the ACK (the socket peer).
   InstanceId dst_instance;
   std::int64_t sent_ns = 0;  // Upstream clock at send; echoed in the ACK.
   DelayBreakdown accumulated;
-  Bytes tuple_bytes;               // Serialized dataflow::Tuple.
+  dataflow::Tuple tuple;
   std::uint64_t tuple_wire_size = 0;  // Includes synthetic Blob payloads.
 
   friend bool operator==(const DataMsg&, const DataMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_u64(src_instance.value());
     w.write_u64(src_device.value());
     w.write_u64(dst_instance.value());
@@ -192,11 +195,12 @@ struct DataMsg {
     w.write_f64(accumulated.queuing_ms);
     w.write_f64(accumulated.processing_ms);
     w.write_varint(tuple_wire_size);
-    w.write_bytes(tuple_bytes);
-    return w.take();
+    // Length-prefixed nested frame: byte-identical to the legacy
+    // write_bytes(tuple.to_bytes()) layout, without the intermediate buffer.
+    w.write_varint(tuple.encoded_size());
+    tuple.encode(w);
   }
-  static SWING_HOT DataMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT DataMsg decode(ByteReader& r) {
     DataMsg msg;
     msg.src_instance = InstanceId{r.read_u64()};
     msg.src_device = DeviceId{r.read_u64()};
@@ -206,7 +210,12 @@ struct DataMsg {
     msg.accumulated.queuing_ms = r.read_f64();
     msg.accumulated.processing_ms = r.read_f64();
     msg.tuple_wire_size = r.read_varint();
-    msg.tuple_bytes = r.read_bytes();
+    const auto frame_len = r.read_varint();
+    ByteReader sub{r.take_span(frame_len)};
+    msg.tuple = dataflow::Tuple::decode(sub);
+    if (!sub.done()) {
+      throw WireFormatError("trailing bytes after tuple frame");
+    }
     return msg;
   }
 
@@ -228,18 +237,15 @@ struct AckMsg {
 
   friend bool operator==(const AckMsg&, const AckMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_u64(from_instance.value());
     w.write_u64(to_instance.value());
     w.write_u64(tuple.value());
     w.write_i64(echoed_sent_ns);
     w.write_f64(processing_ms);
     w.write_f64(battery_fraction);
-    return w.take();
   }
-  static SWING_HOT AckMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT AckMsg decode(ByteReader& r) {
     AckMsg msg;
     msg.from_instance = InstanceId{r.read_u64()};
     msg.to_instance = InstanceId{r.read_u64()};
@@ -252,25 +258,74 @@ struct AckMsg {
 };
 
 // A batch of DataMsgs (or AckMsgs) bound for instances on one device.
+//
+// Frames live back to back in one pooled buffer (`pool`) with per-frame
+// start offsets, so building, encoding, and decoding a batch never touches
+// a per-element heap Bytes. Senders append frames by encoding straight into
+// the pool (append_frame); receivers either walk the decoded pool via
+// frame(i) or — on the fast path — decode inner messages directly from the
+// batch payload without materialising a DataBatchMsg at all (see
+// Worker::handle_data_batch).
 struct DataBatchMsg {
-  std::vector<Bytes> datas;  // Each element is one inner message's bytes.
+  Bytes pool;                          // Concatenated inner-message bytes.
+  std::vector<std::uint32_t> offsets;  // Start of each frame within pool.
 
   friend bool operator==(const DataBatchMsg&, const DataBatchMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
-    w.write_varint(datas.size());
-    for (const auto& d : datas) w.write_bytes(d);
-    return w.take();
+  [[nodiscard]] std::size_t size() const { return offsets.size(); }
+
+  // Drops all frames but keeps pool and offset capacity: a sender reuses one
+  // batch object per destination, so steady-state batching stops allocating
+  // once the pool has grown to the largest batch that destination sees.
+  void clear() {
+    pool.clear();
+    offsets.clear();
   }
-  static SWING_HOT DataBatchMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+
+  [[nodiscard]] std::span<const std::uint8_t> frame(std::size_t i) const {
+    SWING_DCHECK_LT(i, offsets.size());
+    const std::size_t begin = offsets[i];
+    const std::size_t end =
+        i + 1 < offsets.size() ? offsets[i + 1] : pool.size();
+    return std::span<const std::uint8_t>{pool}.subspan(begin, end - begin);
+  }
+
+  // Appends one frame by encoding straight into the pool: `fn` receives a
+  // ByteWriter positioned at the end of the pool. Zero intermediate copies.
+  template <typename Fn>
+    requires std::invocable<Fn&, ByteWriter&>
+  void append_frame(Fn&& fn) {
+    SWING_DCHECK_LE(pool.size(), UINT32_MAX);
+    offsets.push_back(static_cast<std::uint32_t>(pool.size()));
+    ByteWriter w{pool};
+    fn(w);
+  }
+
+  // Appends one pre-encoded frame (tests, corpus generation).
+  void append_frame(std::span<const std::uint8_t> bytes) {
+    SWING_DCHECK_LE(pool.size(), UINT32_MAX);
+    offsets.push_back(static_cast<std::uint32_t>(pool.size()));
+    pool.insert(pool.end(), bytes.begin(), bytes.end());
+  }
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_varint(offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) w.write_bytes(frame(i));
+  }
+  static SWING_HOT DataBatchMsg decode(ByteReader& r) {
     DataBatchMsg msg;
     const auto n = r.read_varint();
     // Each inner message costs at least its one-byte length prefix.
     check_wire_count(n, r, 1, "batch element");
-    msg.datas.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) msg.datas.push_back(r.read_bytes());
+    msg.offsets.reserve(n);
+    // The frames occupy at most the unread suffix, so one reservation
+    // covers every insert below (single-region copy, no per-frame Bytes).
+    msg.pool.reserve(r.remaining());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto body = r.read_span();
+      msg.offsets.push_back(static_cast<std::uint32_t>(msg.pool.size()));
+      msg.pool.insert(msg.pool.end(), body.begin(), body.end());
+    }
     return msg;
   }
 };
@@ -282,13 +337,8 @@ struct DeviceMsg {
 
   friend bool operator==(const DeviceMsg&, const DeviceMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
-    w.write_u64(device.value());
-    return w.take();
-  }
-  static SWING_HOT DeviceMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  SWING_HOT void encode(ByteWriter& w) const { w.write_u64(device.value()); }
+  static SWING_HOT DeviceMsg decode(ByteReader& r) {
     return DeviceMsg{DeviceId{r.read_u64()}};
   }
 };

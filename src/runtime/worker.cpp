@@ -9,19 +9,17 @@
 
 namespace swing::runtime {
 
-namespace {
-
-// The tuple id is the first fixed-width field of a serialized Tuple; reading
-// it back cheaply lets drop sites that hold only wire bytes (pending-data
-// overflow, compute backlog) attribute the loss in the audit ledger without
-// a full decode. Returns an invalid id for truncated buffers.
-TupleId peek_tuple_id(const Bytes& tuple_bytes) {
-  if (tuple_bytes.size() < 8) return TupleId{};
-  ByteReader r{tuple_bytes};
-  return TupleId{r.read_u64()};
+// Wire plane v2 send path: encode into the worker's reusable arena, hand
+// the frame view to the transport (which copies it into the in-flight
+// Message before returning), and reuse the arena for the next send.
+template <typename M>
+bool Worker::send_frame(DeviceId dst, MsgType type, const M& msg,
+                        std::size_t wire_bytes) {
+  ByteWriter& w = arena_.begin_frame();
+  msg.encode(w);
+  return transport_.send(device_.id(), dst, std::uint8_t(type),
+                         arena_.end_frame(), wire_bytes);
 }
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Instance state
@@ -186,8 +184,9 @@ void Worker::handle_message(const net::Message& msg) {
       frozen_inbox_.push_back(msg);
     } else if (MsgType(msg.type) == MsgType::kData) {
       try {
-        const DataMsg data = DataMsg::from_bytes(msg.payload);
-        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+        ByteReader r{msg.payload};
+        const DataMsg data = DataMsg::decode(r);
+        if (const TupleId id = data.tuple.id(); id.valid()) {
           metrics_.on_drop(core::DropReason::kPendingOverflow);
           if (config_.ledger != nullptr) {
             config_.ledger->on_dropped(id,
@@ -213,18 +212,22 @@ void Worker::handle_message(const net::Message& msg) {
 }
 
 SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
+  // One non-owning view over the received frame; each case decodes in
+  // place. Data messages carry their tuple decoded from here on — no
+  // consumer re-decodes a private copy.
+  ByteReader r{msg.payload};
   switch (MsgType(msg.type)) {
     case MsgType::kDeploy: {
-      const DeployMsg deploy = DeployMsg::from_bytes(msg.payload);
+      const DeployMsg deploy = DeployMsg::decode(r);
       master_device_ = msg.src;
       for (const auto& assignment : deploy.assignments) activate(assignment);
       break;
     }
     case MsgType::kAddDownstream:
-      add_downstream(RouteUpdateMsg::from_bytes(msg.payload));
+      add_downstream(RouteUpdateMsg::decode(r));
       break;
     case MsgType::kRemoveDownstream: {
-      const auto update = RouteUpdateMsg::from_bytes(msg.payload);
+      const auto update = RouteUpdateMsg::decode(r);
       remove_downstream_instance(update.downstream.instance, update.upstream);
       break;
     }
@@ -235,20 +238,20 @@ SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
       stop_sources();
       break;
     case MsgType::kData:
-      handle_data(msg);
+      handle_data(DataMsg::decode(r));
       break;
     case MsgType::kDataBatch:
     case MsgType::kAckBatch:
       handle_data_batch(msg);
       break;
     case MsgType::kAck:
-      handle_ack(AckMsg::from_bytes(msg.payload));
+      handle_ack(AckMsg::decode(r));
       break;
     case MsgType::kRestore:
-      handle_restore(state::RestoreMsg::from_bytes(msg.payload));
+      handle_restore(state::RestoreMsg::decode(r));
       break;
     case MsgType::kMigrate:
-      handle_migrate(state::MigrateMsg::from_bytes(msg.payload));
+      handle_migrate(state::MigrateMsg::decode(r));
       break;
     // Master-bound messages; ignore. Enumerated (no default) so -Wswitch
     // forces a routing decision when a message kind is added.
@@ -398,8 +401,7 @@ Worker::Instance* Worker::find_instance(InstanceId id) {
   return it == instances_.end() ? nullptr : it->second.get();
 }
 
-SWING_HOT void Worker::handle_data(const net::Message& msg) {
-  DataMsg data = DataMsg::from_bytes(msg.payload);
+SWING_HOT void Worker::handle_data(DataMsg data) {
   // Transmission component of this hop, measured receiver-side against the
   // upstream's send timestamp (clocks are common in simulation; the real
   // system piggybacks on the ACK echo instead).
@@ -407,7 +409,7 @@ SWING_HOT void Worker::handle_data(const net::Message& msg) {
       (sim_.now() - SimTime{data.sent_ns}).millis();
 
   if (config_.tracer != nullptr) {
-    if (const TupleId id = peek_tuple_id(data.tuple_bytes);
+    if (const TupleId id = data.tuple.id();
         config_.tracer->sampled(id)) {
       // Wire hop: send timestamp to receipt, on the receiving track.
       const SimTime sent{data.sent_ns};
@@ -429,7 +431,7 @@ SWING_HOT void Worker::handle_data(const net::Message& msg) {
     if (queue.size() < config_.pending_data_cap) {
       queue.push_back(std::move(data));
     } else if (config_.ledger != nullptr) {
-      if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+      if (const TupleId id = data.tuple.id(); id.valid()) {
         config_.ledger->on_dropped(id, core::DropReason::kPendingOverflow);
       }
     }
@@ -451,7 +453,7 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
   // but it is re-ACKed first, because the likeliest reason a duplicate
   // exists is that the wire ate the original's ACK.
   if (config_.recovery.dedup_window > 0) {
-    if (const TupleId id = peek_tuple_id(data.tuple_bytes);
+    if (const TupleId id = data.tuple.id();
         id.valid() && inst.dedup_seen.contains(
                           inst.dedup_key(id.value(), data.src_instance))) {
       AckMsg ack;
@@ -462,10 +464,9 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
       ack.processing_ms = 0.0;
       ack.battery_fraction = device_.battery_fraction(sim_.now());
       if (config_.batching.enabled && data.src_device != device_.id()) {
-        enqueue_batched_ack(data.src_device, ack.to_bytes());
+        enqueue_batched_ack(data.src_device, ack);
       } else {
-        transport_.send(device_.id(), data.src_device,
-                        std::uint8_t(MsgType::kAck), ack.to_bytes());
+        send_frame(data.src_device, MsgType::kAck, ack);
       }
       metrics_.on_dedup();
       if (config_.ledger != nullptr) {
@@ -483,14 +484,16 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
       device_.backlog() >= config_.compute_backlog_cap) {
     metrics_.on_drop(core::DropReason::kComputeBacklog);
     if (config_.ledger != nullptr) {
-      if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+      if (const TupleId id = data.tuple.id(); id.valid()) {
         config_.ledger->on_dropped(id, core::DropReason::kComputeBacklog);
       }
     }
     return;
   }
 
-  dataflow::Tuple tuple = dataflow::Tuple::from_bytes(data.tuple_bytes);
+  // The tuple arrived decoded (DataMsg::decode); take ownership of it. The
+  // envelope fields stay behind in `data` for the ACK below.
+  dataflow::Tuple tuple = std::move(data.tuple);
 
   // Staleness shedding: results for old frames are worthless in a
   // real-time app — drop before burning CPU on them.
@@ -578,10 +581,9 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
         ack.processing_ms = timing.processing().millis();
         ack.battery_fraction = device_.battery_fraction(sim_.now());
         if (config_.batching.enabled && data.src_device != device_.id()) {
-          enqueue_batched_ack(data.src_device, ack.to_bytes());
+          enqueue_batched_ack(data.src_device, ack);
         } else {
-          transport_.send(device_.id(), data.src_device,
-                          std::uint8_t(MsgType::kAck), ack.to_bytes());
+          send_frame(data.src_device, MsgType::kAck, ack);
         }
 
         if (inst.decl->kind == dataflow::OperatorKind::kSink) {
@@ -703,9 +705,7 @@ void Worker::on_link_down(DeviceId peer) {
     remove_downstream_instance(id, InstanceId{});
   }
   if (master_device_.valid() && peer != master_device_) {
-    transport_.send(device_.id(), master_device_,
-                    std::uint8_t(MsgType::kLeaveReport),
-                    DeviceMsg{peer}.to_bytes());
+    send_frame(master_device_, MsgType::kLeaveReport, DeviceMsg{peer});
   }
 }
 
@@ -810,7 +810,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
     local.sent_ns = sim_.now().nanos();
     local.accumulated = accumulated;
     local.tuple_wire_size = tuple.wire_size();
-    local.tuple_bytes = tuple.to_bytes();
+    local.tuple = tuple;
     execute_locally(from, edge_index, std::move(local));
   };
 
@@ -896,7 +896,7 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   send.data.dst_instance = target;
   send.data.accumulated = accumulated;
   send.data.tuple_wire_size = tuple.wire_size();
-  send.data.tuple_bytes = tuple.to_bytes();
+  send.data.tuple = tuple;
   send.dst_device = peer->second.device;
   send.tuple_id = tuple.id();
   send.wire = send.data.tuple_wire_size + DataMsg::kEnvelopeBytes;
@@ -933,9 +933,8 @@ void Worker::send_data(Instance& from, PendingSend send) {
     enqueue_batched(send);
     return;
   }
-  const bool ok = transport_.send(device_.id(), send.dst_device,
-                                  std::uint8_t(MsgType::kData),
-                                  send.data.to_bytes(), send.wire);
+  const bool ok =
+      send_frame(send.dst_device, MsgType::kData, send.data, send.wire);
   if (ok) {
     metrics_.on_routed(send.dst_device, send.wire, send.from_source);
     track_outstanding(from, send);
@@ -955,7 +954,7 @@ void Worker::send_data(Instance& from, PendingSend send) {
 
 SWING_HOT void Worker::enqueue_batched(const PendingSend& send) {
   Batch& batch = batch_for(send.dst_device, /*acks=*/false);
-  if (batch.datas.size() >= config_.batching.buffer_cap) {
+  if (batch.msg.size() >= config_.batching.buffer_cap) {
     metrics_.on_drop(core::DropReason::kBatchOverflow);
     if (config_.ledger != nullptr) {
       config_.ledger->on_dropped(send.tuple_id,
@@ -963,28 +962,31 @@ SWING_HOT void Worker::enqueue_batched(const PendingSend& send) {
     }
     return;
   }
-  batch.datas.push_back(send.data.to_bytes());
+  // Encode straight into the batch's frame pool — the element never exists
+  // as its own heap buffer.
+  batch.msg.append_frame([&](ByteWriter& w) { send.data.encode(w); });
   batch.ids.push_back(send.tuple_id);
   batch.wire += send.wire;
-  if (batch.datas.size() >= config_.batching.max_tuples) {
+  if (batch.msg.size() >= config_.batching.max_tuples) {
     sim_.cancel(batch.flush_event);
     flush_batch(send.dst_device, /*acks=*/false);
-  } else if (batch.datas.size() == 1) {
+  } else if (batch.msg.size() == 1) {
     batch.flush_event = sim_.schedule_after(
         config_.batching.max_delay,
         [this, dst = send.dst_device] { flush_batch(dst, false); });
   }
 }
 
-SWING_HOT void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
+SWING_HOT void Worker::enqueue_batched_ack(DeviceId dst, const AckMsg& ack) {
   Batch& batch = batch_for(dst, /*acks=*/true);
-  if (batch.datas.size() >= config_.batching.buffer_cap) return;
-  batch.wire += ack_bytes.size();
-  batch.datas.push_back(std::move(ack_bytes));
-  if (batch.datas.size() >= config_.batching.max_tuples) {
+  if (batch.msg.size() >= config_.batching.buffer_cap) return;
+  const std::size_t before = batch.msg.pool.size();
+  batch.msg.append_frame([&](ByteWriter& w) { ack.encode(w); });
+  batch.wire += batch.msg.pool.size() - before;
+  if (batch.msg.size() >= config_.batching.max_tuples) {
     sim_.cancel(batch.flush_event);
     flush_batch(dst, /*acks=*/true);
-  } else if (batch.datas.size() == 1) {
+  } else if (batch.msg.size() == 1) {
     batch.flush_event = sim_.schedule_after(
         config_.batching.max_delay,
         [this, dst] { flush_batch(dst, true); });
@@ -993,7 +995,7 @@ SWING_HOT void Worker::enqueue_batched_ack(DeviceId dst, Bytes ack_bytes) {
 
 SWING_HOT void Worker::flush_batch(DeviceId dst, bool acks) {
   auto it = batches_.find(dst.value() * 2 + (acks ? 1 : 0));
-  if (it == batches_.end() || it->second.datas.empty()) return;
+  if (it == batches_.end() || it->second.msg.size() == 0) return;
   if (!alive_) {
     batches_.erase(it);
     return;
@@ -1005,14 +1007,10 @@ SWING_HOT void Worker::flush_batch(DeviceId dst, bool acks) {
         config_.blocked_retry, [this, dst, acks] { flush_batch(dst, acks); });
     return;
   }
-  Batch batch = std::move(it->second);
-  batches_.erase(it);
-  DataBatchMsg msg;
-  msg.datas = std::move(batch.datas);
-  const bool ok = transport_.send(
-      device_.id(), dst,
-      std::uint8_t(acks ? MsgType::kAckBatch : MsgType::kDataBatch),
-      msg.to_bytes(), batch.wire);
+  Batch& batch = it->second;
+  const bool ok = send_frame(
+      dst, acks ? MsgType::kAckBatch : MsgType::kDataBatch, batch.msg,
+      batch.wire);
   if (!ok) {
     // Ack batches carry no tuple ids (one failed send); data batches lose
     // every coalesced tuple, so each counts as its own drop.
@@ -1026,22 +1024,30 @@ SWING_HOT void Worker::flush_batch(DeviceId dst, bool acks) {
       }
     }
   }
+  // Keep the map entry: the pool, offsets, and id vectors retain their
+  // capacity, so the next batch to this destination encodes into warm
+  // storage instead of regrowing from empty.
+  batch.msg.clear();
+  batch.ids.clear();
+  batch.wire = 0;
 }
 
 SWING_HOT void Worker::handle_data_batch(const net::Message& msg) {
-  DataBatchMsg batch = DataBatchMsg::from_bytes(msg.payload);
+  // Batched dispatch: one pass over the batch payload serves every element.
+  // Each inner message decodes from a sub-view of the received frame — the
+  // DataBatchMsg is never materialised and no element bytes are copied
+  // (tuple field contents are copied exactly once, into the Tuple that the
+  // rest of the pipeline consumes).
+  ByteReader r{msg.payload};
   const bool acks = MsgType(msg.type) == MsgType::kAckBatch;
-  // One envelope reused across elements, each element's bytes moved in.
-  // Copying `msg` per element would duplicate the entire remaining batch
-  // payload on every iteration — O(n^2) bytes for an n-tuple batch.
-  net::Message inner{msg.id, msg.src, msg.dst,
-                     std::uint8_t(MsgType::kData), {}, msg.sent_at};
-  for (auto& bytes : batch.datas) {
+  const auto n = r.read_varint();
+  check_wire_count(n, r, 1, "batch element");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ByteReader frame{r.read_span()};
     if (acks) {
-      handle_ack(AckMsg::from_bytes(bytes));
+      handle_ack(AckMsg::decode(frame));
     } else {
-      inner.payload = std::move(bytes);
-      handle_data(inner);
+      handle_data(DataMsg::decode(frame));
     }
   }
 }
@@ -1112,7 +1118,7 @@ void Worker::shutdown() {
   if (config_.ledger != nullptr) {
     for (const auto& [key, queue] : pending_data_) {
       for (const auto& data : queue) {
-        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+        if (const TupleId id = data.tuple.id(); id.valid()) {
           config_.ledger->on_in_flight_at_shutdown(id);
         }
       }
@@ -1131,8 +1137,9 @@ void Worker::shutdown() {
     for (const auto& msg : frozen_inbox_) {
       if (MsgType(msg.type) != MsgType::kData) continue;
       try {
-        const DataMsg data = DataMsg::from_bytes(msg.payload);
-        if (const TupleId id = peek_tuple_id(data.tuple_bytes); id.valid()) {
+        ByteReader r{msg.payload};
+        const DataMsg data = DataMsg::decode(r);
+        if (const TupleId id = data.tuple.id(); id.valid()) {
           config_.ledger->on_in_flight_at_shutdown(id);
         }
       } catch (const WireFormatError&) {
@@ -1184,8 +1191,7 @@ void Worker::crash() {
   // a drained shutdown these are real losses, attributed as abrupt-leave.
   for (const auto& [key, queue] : pending_data_) {
     for (const auto& data : queue) {
-      drop_queued(peek_tuple_id(data.tuple_bytes),
-                  core::DropReason::kAbruptLeave);
+      drop_queued(data.tuple.id(), core::DropReason::kAbruptLeave);
     }
   }
   pending_data_.clear();
@@ -1204,9 +1210,9 @@ void Worker::crash() {
   for (const auto& msg : frozen_inbox_) {
     if (MsgType(msg.type) != MsgType::kData) continue;
     try {
-      const DataMsg data = DataMsg::from_bytes(msg.payload);
-      drop_queued(peek_tuple_id(data.tuple_bytes),
-                  core::DropReason::kAbruptLeave);
+      ByteReader r{msg.payload};
+      const DataMsg data = DataMsg::decode(r);
+      drop_queued(data.tuple.id(), core::DropReason::kAbruptLeave);
     } catch (const WireFormatError&) {
     }
   }
@@ -1313,9 +1319,8 @@ void Worker::on_retry_timeout(const OutKey& key) {
   }
   // Direct send, bypassing the batching service: a retransmission has
   // already waited an ACK timeout; it should not wait for co-travellers.
-  const bool ok = transport_.send(device_.id(), out.send.dst_device,
-                                  std::uint8_t(MsgType::kData),
-                                  out.send.data.to_bytes(), out.send.wire);
+  const bool ok = send_frame(out.send.dst_device, MsgType::kData,
+                             out.send.data, out.send.wire);
   if (ok) {
     metrics_.on_routed(out.send.dst_device, out.send.wire,
                        out.send.from_source);
@@ -1468,8 +1473,7 @@ void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
   // is a lower bound on crash losses, and the control plane is lossless
   // in every shipped scenario.
   inst.uncheckpointed.clear();
-  transport_.send(device_.id(), master_device_,
-                  std::uint8_t(MsgType::kCheckpoint), msg.to_bytes());
+  send_frame(master_device_, MsgType::kCheckpoint, msg);
 }
 
 SWING_COLD void Worker::handle_restore(const state::RestoreMsg& msg) {
@@ -1505,14 +1509,11 @@ void Worker::forward_data(DataMsg&& data, DeviceId target) {
   data.sent_ns = sim_.now().nanos();
   const std::uint64_t wire =
       data.tuple_wire_size + DataMsg::kEnvelopeBytes;
-  const bool ok =
-      transport_.send(device_.id(), target, std::uint8_t(MsgType::kData),
-                      data.to_bytes(), wire);
+  const bool ok = send_frame(target, MsgType::kData, data, wire);
   if (ok) {
     metrics_.on_routed(target, wire, false);
   } else {
-    drop_queued(peek_tuple_id(data.tuple_bytes),
-                core::DropReason::kSendFailed);
+    drop_queued(data.tuple.id(), core::DropReason::kSendFailed);
   }
 }
 
@@ -1535,9 +1536,7 @@ void Worker::finish_migration(Instance& inst) {
 
 void Worker::leave() {
   if (master_device_.valid() && master_device_ != device_.id()) {
-    transport_.send(device_.id(), master_device_,
-                    std::uint8_t(MsgType::kBye),
-                    DeviceMsg{device_.id()}.to_bytes());
+    send_frame(master_device_, MsgType::kBye, DeviceMsg{device_.id()});
   }
   shutdown();
 }

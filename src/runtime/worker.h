@@ -234,12 +234,18 @@ class Worker {
   };
 
   void dispatch_message(const net::Message& msg);
+  // Encodes `msg` into the per-worker send arena and hands the frame span to
+  // the transport (which copies it into the in-flight Message synchronously,
+  // so the arena is immediately reusable). One arena, zero per-send buffers.
+  template <typename M>
+  bool send_frame(DeviceId dst, MsgType type, const M& msg,
+                  std::size_t wire_bytes = 0);
   void send_on_edge(Instance& from, std::size_t edge_index,
                     const dataflow::Tuple& tuple,
                     const DelayBreakdown& accumulated);
   void activate(const DeployMsg::Assignment& assignment,
                 const state::RestoreMsg* restore = nullptr);
-  void handle_data(const net::Message& msg);
+  void handle_data(DataMsg data);
   void process_data(Instance& inst, DataMsg data);
   void handle_ack(const AckMsg& ack);
   void add_downstream(const RouteUpdateMsg& update);
@@ -254,7 +260,7 @@ class Worker {
   void send_data(Instance& from, PendingSend send);
   void retry_blocked(Instance& inst);
   void enqueue_batched(const PendingSend& send);
-  void enqueue_batched_ack(DeviceId dst, Bytes ack_bytes);
+  void enqueue_batched_ack(DeviceId dst, const AckMsg& ack);
   void flush_batch(DeviceId dst, bool acks);
   void handle_data_batch(const net::Message& msg);
   void deliver_to_sink(Instance& inst, const dataflow::Tuple& tuple,
@@ -323,8 +329,11 @@ class Worker {
   std::map<std::uint64_t, std::deque<DataMsg>> pending_data_;
 
   // Batching service state, per (destination device, data|ack) stream.
+  // Elements are encoded straight into the batch message's frame pool as
+  // they arrive, so flushing is a single encode of pooled frames — no
+  // per-element Bytes at any point.
   struct Batch {
-    std::vector<Bytes> datas;
+    DataBatchMsg msg;
     // Tuple id per element for audit attribution (empty for ack batches).
     std::vector<TupleId> ids;
     std::uint64_t wire = 0;
@@ -334,6 +343,12 @@ class Worker {
     return batches_[dst.value() * 2 + (acks ? 1 : 0)];
   }
   std::map<std::uint64_t, Batch> batches_;
+
+  // Wire plane v2: every control/data send encodes into this reusable arena
+  // (see common/bytes.h §SendArena). Exactly one frame is open at a time —
+  // send_frame() is never re-entered, because transport sends copy
+  // synchronously and deliver via the simulator's event queue.
+  SendArena arena_;
 };
 
 }  // namespace swing::runtime

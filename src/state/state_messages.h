@@ -14,10 +14,12 @@
 //                                     drain, snapshot, and hand the instance
 //                                     to `to_device`.
 //
-// Codec conventions follow runtime/messages.h: to_bytes()/from_bytes(),
-// WireFormatError as the only legal rejection, check_wire_count() before any
-// reserve so hostile counts fail recoverably, and byte-fixpoint round-trips
-// enforced by the fuzz harnesses (fuzz/fuzz_checkpoint.cpp and friends).
+// Codec conventions follow runtime/messages.h: encode(ByteWriter&) appends
+// into a caller-owned buffer, decode(ByteReader&) reads a non-owning frame
+// view, WireFormatError is the only legal rejection, check_wire_count() runs
+// before any reserve so hostile counts fail recoverably, and byte-fixpoint
+// round-trips are enforced by the fuzz harnesses (fuzz/fuzz_checkpoint.cpp
+// and friends).
 #pragma once
 
 #include <cstdint>
@@ -46,23 +48,21 @@ struct CheckpointMsg {
 
   friend bool operator==(const CheckpointMsg&, const CheckpointMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
-    instance.serialize(w);
+  SWING_HOT void encode(ByteWriter& w) const {
+    instance.encode(w);
     w.write_u64(epoch);
     w.write_i64(taken_ns);
     w.write_u64(migrate_to.value());
     w.write_bytes(state);
-    return w.take();
   }
-  static SWING_HOT CheckpointMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT CheckpointMsg decode(ByteReader& r) {
     CheckpointMsg msg;
-    msg.instance = InstanceInfo::deserialize(r);
+    msg.instance = InstanceInfo::decode(r);
     msg.epoch = r.read_u64();
     msg.taken_ns = r.read_i64();
     msg.migrate_to = DeviceId{r.read_u64()};
-    msg.state = r.read_bytes();
+    const auto body = r.read_span();
+    msg.state.assign(body.begin(), body.end());
     return msg;
   }
 };
@@ -81,28 +81,26 @@ struct RestoreMsg {
 
   friend bool operator==(const RestoreMsg&, const RestoreMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
-    instance.serialize(w);
+  SWING_HOT void encode(ByteWriter& w) const {
+    instance.encode(w);
     w.write_u64(epoch);
     w.write_i64(sent_ns);
     w.write_bytes(state);
     w.write_varint(downstreams.size());
-    for (const auto& d : downstreams) d.serialize(w);
-    return w.take();
+    for (const auto& d : downstreams) d.encode(w);
   }
-  static SWING_HOT RestoreMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT RestoreMsg decode(ByteReader& r) {
     RestoreMsg msg;
-    msg.instance = InstanceInfo::deserialize(r);
+    msg.instance = InstanceInfo::decode(r);
     msg.epoch = r.read_u64();
     msg.sent_ns = r.read_i64();
-    msg.state = r.read_bytes();
+    const auto body = r.read_span();
+    msg.state.assign(body.begin(), body.end());
     const auto n = r.read_varint();
     check_wire_count(n, r, 24, "restore downstream");
     msg.downstreams.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
-      msg.downstreams.push_back(InstanceInfo::deserialize(r));
+      msg.downstreams.push_back(InstanceInfo::decode(r));
     }
     return msg;
   }
@@ -118,14 +116,11 @@ struct MigrateMsg {
 
   friend bool operator==(const MigrateMsg&, const MigrateMsg&) = default;
 
-  [[nodiscard]] SWING_HOT Bytes to_bytes() const {
-    ByteWriter w;
+  SWING_HOT void encode(ByteWriter& w) const {
     w.write_u64(instance.value());
     w.write_u64(to_device.value());
-    return w.take();
   }
-  static SWING_HOT MigrateMsg from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static SWING_HOT MigrateMsg decode(ByteReader& r) {
     MigrateMsg msg;
     msg.instance = InstanceId{r.read_u64()};
     msg.to_device = DeviceId{r.read_u64()};

@@ -1,5 +1,7 @@
 #include "apps/gesture_recognition.h"
 
+#include "dataflow/codec.h"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -41,7 +43,8 @@ TEST(GestureFeaturesTest, RoundTripSerialization) {
   f.variance = 1.5f;
   f.energy = 4.25f;
   f.dominant_axis = 2.0f;
-  const GestureFeatures back = GestureFeatures::from_bytes(f.to_bytes());
+  const GestureFeatures back =
+      dataflow::decode_from<GestureFeatures>(dataflow::encode_to_bytes(f));
   EXPECT_EQ(back.mean_magnitude, f.mean_magnitude);
   EXPECT_EQ(back.variance, f.variance);
   EXPECT_EQ(back.energy, f.energy);

@@ -150,5 +150,113 @@ TEST(ByteWriter, TakeMovesBuffer) {
   EXPECT_EQ(b.size(), 1u);
 }
 
+// --- Wire plane v2: span reads ---------------------------------------------
+
+TEST(ByteReader, TakeSpanViewsWithoutCopy) {
+  const Bytes data{1, 2, 3, 4, 5};
+  ByteReader r{data};
+  const auto head = r.take_span(2);
+  EXPECT_EQ(head.data(), data.data());  // A view, not a copy.
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(ByteReader, TakeSpanPastEndThrows) {
+  const Bytes data{1, 2, 3};
+  ByteReader r{data};
+  EXPECT_THROW(r.take_span(4), WireFormatError);
+  // The reader survives a failed take: nothing was consumed.
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_NO_THROW(r.take_span(3));
+}
+
+TEST(ByteReader, ReadSpanAndViewMatchOwningReads) {
+  ByteWriter w;
+  w.write_string("hello");
+  w.write_bytes(Bytes{9, 8});
+
+  ByteReader zero_copy{w.data()};
+  EXPECT_EQ(zero_copy.read_view(), "hello");
+  const auto span = zero_copy.read_span();
+  EXPECT_EQ(Bytes(span.begin(), span.end()), (Bytes{9, 8}));
+
+  ByteReader owning{w.data()};
+  EXPECT_EQ(owning.read_string(), "hello");
+  EXPECT_EQ(owning.read_bytes(), (Bytes{9, 8}));
+}
+
+TEST(ByteReader, TruncatedReadSpanThrows) {
+  ByteWriter w;
+  w.write_varint(100);  // Claims a 100-byte body; none present.
+  ByteReader r{w.data()};
+  EXPECT_THROW(r.read_span(), WireFormatError);
+}
+
+TEST(VarintSize, MatchesEncodedLength) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 42,
+        std::numeric_limits<std::uint64_t>::max()}) {
+    ByteWriter w;
+    w.write_varint(v);
+    EXPECT_EQ(w.data().size(), varint_size(v)) << v;
+  }
+}
+
+// --- Wire plane v2: SendArena ----------------------------------------------
+
+TEST(SendArena, FramesReuseTheBuffer) {
+  SendArena arena;
+  ByteWriter& w1 = arena.begin_frame();
+  w1.write_u64(1);
+  const auto f1 = arena.end_frame();
+  EXPECT_EQ(f1.size(), 8u);
+  const auto* storage = f1.data();
+
+  ByteWriter& w2 = arena.begin_frame();
+  w2.write_u8(2);
+  const auto f2 = arena.end_frame();
+  EXPECT_EQ(f2.size(), 1u);          // Cleared, not appended.
+  EXPECT_EQ(f2.data(), storage);      // Same backing storage, no realloc.
+  EXPECT_EQ(arena.epoch(), 2u);
+}
+
+TEST(SendArena, ResetReleasesCapacity) {
+  SendArena arena;
+  ByteWriter& w = arena.begin_frame();
+  w.write_bytes(Bytes(4096, 0xaa));
+  arena.end_frame();
+  EXPECT_GE(arena.capacity(), 4096u);
+  arena.reset();
+  EXPECT_EQ(arena.capacity(), 0u);
+}
+
+// The checked contract: misnested frame operations are caller bugs and must
+// die loudly, not corrupt in-flight bytes.
+TEST(SendArenaDeathTest, BeginWhileOpenDies) {
+  SendArena arena;
+  arena.begin_frame();
+  EXPECT_DEATH(arena.begin_frame(), "begin_frame with a frame still open");
+}
+
+TEST(SendArenaDeathTest, EndWithoutBeginDies) {
+  SendArena arena;
+  EXPECT_DEATH(arena.end_frame(), "end_frame without begin_frame");
+}
+
+TEST(SendArenaDeathTest, ResetMidFrameDies) {
+  SendArena arena;
+  arena.begin_frame();
+  EXPECT_DEATH(arena.reset(), "reset with a frame still open");
+}
+
+TEST(ByteWriterDeathTest, TakeOnArenaModeWriterDies) {
+  Bytes external;
+  ByteWriter w{external};
+  w.write_u8(1);
+  EXPECT_DEATH((void)w.take(), "take\\(\\) on an arena-mode writer");
+}
+
 }  // namespace
 }  // namespace swing

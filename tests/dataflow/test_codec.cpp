@@ -11,14 +11,11 @@ struct Reading {
   std::int64_t sensor = 0;
   double value = 0.0;
 
-  [[nodiscard]] Bytes to_bytes() const {
-    ByteWriter w;
+  void encode(ByteWriter& w) const {
     w.write_i64(sensor);
     w.write_f64(value);
-    return w.take();
   }
-  static Reading from_bytes(const Bytes& data) {
-    ByteReader r{data};
+  static Reading decode(ByteReader& r) {
     Reading out;
     out.sensor = r.read_i64();
     out.value = r.read_f64();
@@ -26,9 +23,9 @@ struct Reading {
   }
 };
 
-static_assert(Packable<Reading>);
-static_assert(Packable<apps::GestureFeatures>);
-static_assert(!Packable<int>);
+static_assert(WireCodec<Reading>);
+static_assert(WireCodec<apps::GestureFeatures>);
+static_assert(!WireCodec<int>);
 
 TEST(Codec, RoundTrip) {
   Tuple t;
@@ -59,7 +56,7 @@ TEST(Codec, TruncatedBytesThrow) {
 TEST(Codec, SurvivesTupleSerialization) {
   Tuple t{TupleId{5}, SimTime{}};
   set_packed(t, "reading", Reading{42, -1.5});
-  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  const Tuple back = decode_from<Tuple>(encode_to_bytes(t));
   const auto reading = get_packed<Reading>(back, "reading");
   ASSERT_TRUE(reading.has_value());
   EXPECT_EQ(reading->sensor, 42);

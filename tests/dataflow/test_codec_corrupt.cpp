@@ -22,15 +22,15 @@ Tuple sample_tuple() {
 }
 
 TEST(CodecCorrupt, EveryTruncationThrowsCleanly) {
-  const Bytes full = sample_tuple().to_bytes();
+  const Bytes full = encode_to_bytes(sample_tuple());
   ASSERT_GT(full.size(), 0u);
   for (std::size_t len = 0; len < full.size(); ++len) {
     Bytes cut(full.begin(), full.begin() + long(len));
-    EXPECT_THROW(Tuple::from_bytes(cut), WireFormatError)
+    EXPECT_THROW(decode_from<Tuple>(cut), WireFormatError)
         << "prefix of " << len << "/" << full.size()
         << " bytes decoded without error";
   }
-  EXPECT_NO_THROW(Tuple::from_bytes(full));
+  EXPECT_NO_THROW(decode_from<Tuple>(full));
 }
 
 TEST(CodecCorrupt, UnknownValueTagThrows) {
@@ -40,7 +40,7 @@ TEST(CodecCorrupt, UnknownValueTagThrows) {
   w.write_varint(1); // one field
   w.write_string("k");
   w.write_u8(0xEE);  // no such value tag
-  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(w.data()), WireFormatError);
 }
 
 TEST(CodecCorrupt, HugeFieldCountThrowsWithoutAllocating) {
@@ -48,7 +48,7 @@ TEST(CodecCorrupt, HugeFieldCountThrowsWithoutAllocating) {
   w.write_u64(1);
   w.write_i64(0);
   w.write_varint(std::uint64_t{1} << 60);  // Claims ~10^18 fields.
-  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(w.data()), WireFormatError);
 }
 
 TEST(CodecCorrupt, OversizedStringLengthThrows) {
@@ -57,7 +57,7 @@ TEST(CodecCorrupt, OversizedStringLengthThrows) {
   w.write_i64(0);
   w.write_varint(1);
   w.write_varint(1'000'000);  // Key claims a megabyte; buffer ends here.
-  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(w.data()), WireFormatError);
 }
 
 TEST(CodecCorrupt, OversizedBytesLengthThrows) {
@@ -68,7 +68,7 @@ TEST(CodecCorrupt, OversizedBytesLengthThrows) {
   w.write_string("payload");
   w.write_u8(4);               // kBytes tag.
   w.write_varint(1 << 30);     // Claims 1 GiB body; none present.
-  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(w.data()), WireFormatError);
 }
 
 TEST(CodecCorrupt, MalformedVarintFieldCountThrows) {
@@ -76,7 +76,7 @@ TEST(CodecCorrupt, MalformedVarintFieldCountThrows) {
   w.write_u64(1);
   w.write_i64(0);
   for (int i = 0; i < 11; ++i) w.write_u8(0x80);  // Endless continuation.
-  EXPECT_THROW(Tuple::from_bytes(w.data()), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(w.data()), WireFormatError);
 }
 
 TEST(CodecCorrupt, UnderrunErrorReportsOffsets) {
@@ -96,14 +96,11 @@ TEST(CodecCorrupt, UnderrunErrorReportsOffsets) {
 TEST(CodecCorrupt, PackedDecodeFailureThrowsTyped) {
   struct Pair {
     std::int64_t a = 0, b = 0;
-    [[nodiscard]] Bytes to_bytes() const {
-      ByteWriter w;
+    void encode(ByteWriter& w) const {
       w.write_i64(a);
       w.write_i64(b);
-      return w.take();
     }
-    static Pair from_bytes(const Bytes& data) {
-      ByteReader r{data};
+    static Pair decode(ByteReader& r) {
       Pair out;
       out.a = r.read_i64();
       out.b = r.read_i64();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dataflow/codec.h"
+
 namespace swing::dataflow {
 namespace {
 
@@ -60,20 +62,20 @@ TEST(TupleSerialization, RoundTripAllTypes) {
   t.set("bytes", Bytes{1, 2, 3});
   t.set("blob", Blob{6000, 17});
 
-  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  const Tuple back = decode_from<Tuple>(encode_to_bytes(t));
   EXPECT_EQ(back, t);
 }
 
 TEST(TupleSerialization, EmptyTuple) {
   Tuple t{TupleId{1}, SimTime{}};
-  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  const Tuple back = decode_from<Tuple>(encode_to_bytes(t));
   EXPECT_EQ(back.id(), TupleId{1});
   EXPECT_EQ(back.field_count(), 0u);
 }
 
 TEST(TupleSerialization, CorruptBufferThrows) {
   Bytes garbage = {0xff, 0x01, 0x02};
-  EXPECT_THROW(Tuple::from_bytes(garbage), WireFormatError);
+  EXPECT_THROW(decode_from<Tuple>(garbage), WireFormatError);
 }
 
 TEST(TupleSerialization, BlobNotMaterialised) {
@@ -81,7 +83,8 @@ TEST(TupleSerialization, BlobNotMaterialised) {
   // wire_size.
   Tuple t{TupleId{1}, SimTime{}};
   t.set("frame", Blob{1'000'000, 1});
-  EXPECT_LT(t.to_bytes().size(), 64u);
+  EXPECT_LT(encode_to_bytes(t).size(), 64u);
+  EXPECT_EQ(encode_to_bytes(t).size(), t.encoded_size());
   EXPECT_GT(t.wire_size(), 1'000'000u);
 }
 
@@ -97,7 +100,7 @@ TEST(TupleSerialization, RealBytesCopiedVerbatim) {
   Tuple t{TupleId{1}, SimTime{}};
   Bytes payload(1000, 0xab);
   t.set("img", payload);
-  const Tuple back = Tuple::from_bytes(t.to_bytes());
+  const Tuple back = decode_from<Tuple>(encode_to_bytes(t));
   EXPECT_EQ(*back.get_as<Bytes>("img"), payload);
 }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "device/profile.h"
+#include "dataflow/codec.h"
 #include "runtime/messages.h"
 #include "runtime/swarm.h"
 #include "sim/simulator.h"
@@ -38,18 +39,23 @@ runtime::SwarmConfig batched_config(bool enabled) {
 
 TEST(Messages, DataBatchRoundTrip) {
   DataBatchMsg msg;
-  msg.datas.push_back(Bytes{1, 2, 3});
-  msg.datas.push_back(Bytes{});
-  msg.datas.push_back(Bytes{9});
-  const DataBatchMsg back = DataBatchMsg::from_bytes(msg.to_bytes());
-  ASSERT_EQ(back.datas.size(), 3u);
-  EXPECT_EQ(back.datas[0], (Bytes{1, 2, 3}));
-  EXPECT_TRUE(back.datas[1].empty());
-  EXPECT_EQ(back.datas[2], Bytes{9});
+  msg.append_frame(Bytes{1, 2, 3});
+  msg.append_frame(Bytes{});
+  msg.append_frame(Bytes{9});
+  const DataBatchMsg back =
+      dataflow::decode_from<DataBatchMsg>(dataflow::encode_to_bytes(msg));
+  ASSERT_EQ(back.size(), 3u);
+  const auto frame_bytes = [&](std::size_t i) {
+    const auto f = back.frame(i);
+    return Bytes(f.begin(), f.end());
+  };
+  EXPECT_EQ(frame_bytes(0), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(back.frame(1).empty());
+  EXPECT_EQ(frame_bytes(2), Bytes{9});
 }
 
 TEST(Messages, CorruptBatchThrows) {
-  EXPECT_THROW(DataBatchMsg::from_bytes(Bytes{0x05, 0x01}),
+  EXPECT_THROW(dataflow::decode_from<DataBatchMsg>(Bytes{0x05, 0x01}),
                WireFormatError);
 }
 

@@ -3,6 +3,7 @@
 // framework must degrade (drop, log, count) — never crash or wedge.
 #include <gtest/gtest.h>
 
+#include "dataflow/codec.h"
 #include "device/profile.h"
 #include "runtime/swarm.h"
 #include "sim/simulator.h"
@@ -82,11 +83,11 @@ TEST_F(FailureInjection, DataForUnknownInstanceBuffered) {
   stray.src_device = a_;
   stray.dst_instance = InstanceId{901};  // Never deployed.
   stray.sent_ns = sim_.now().nanos();
-  stray.tuple_bytes = dataflow::Tuple{TupleId{1}, sim_.now()}.to_bytes();
+  stray.tuple = dataflow::Tuple{TupleId{1}, sim_.now()};
   stray.tuple_wire_size = 100;
   for (int i = 0; i < 500; ++i) {  // Past the pending cap.
     swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kData),
-                            stray.to_bytes());
+                            dataflow::encode_to_bytes(stray));
     sim_.run_for(millis(20));
   }
   sim_.run_for(seconds(1));  // No crash, no unbounded growth.
@@ -105,7 +106,7 @@ TEST_F(FailureInjection, DuplicateDeployIgnored) {
   assign.self = existing.front();
   replay.assignments.push_back(assign);
   swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kDeploy),
-                          replay.to_bytes());
+                          dataflow::encode_to_bytes(replay));
   sim_.run_for(seconds(1));
   EXPECT_EQ(swarm_.worker(b_)->instance_count(), instances);
 }
@@ -115,7 +116,7 @@ TEST_F(FailureInjection, RemoveDownstreamForUnknownInstanceIsNoop) {
   RouteUpdateMsg update{InstanceId{},
                         InstanceInfo{InstanceId{999}, OperatorId{1}, b_}};
   swarm_.transport().send(a_, b_, std::uint8_t(MsgType::kRemoveDownstream),
-                          update.to_bytes());
+                          dataflow::encode_to_bytes(update));
   sim_.run_for(seconds(2));
   EXPECT_GT(swarm_.metrics().frames_arrived(), 20u);
 }
@@ -183,7 +184,7 @@ TEST_F(FailureInjection, SinkDeviceNeverLosesItsOwnServices) {
   start_two_device_swarm();
   // Hostile LeaveReport claiming the master's own device is gone.
   swarm_.transport().send(b_, a_, std::uint8_t(MsgType::kLeaveReport),
-                          DeviceMsg{a_}.to_bytes());
+                          dataflow::encode_to_bytes(DeviceMsg{a_}));
   sim_.run_for(seconds(3));
   // The master removed its own registration; behaviour must stay sane —
   // in particular no crash and the worker b remains a member.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dataflow/function_unit.h"
+#include "dataflow/codec.h"
 #include "runtime/messages.h"
 #include "sim/simulator.h"
 
@@ -91,7 +92,7 @@ TEST_F(MasterTest, MasterDeviceHostsSourceAndSinkOnly) {
   EXPECT_TRUE(master_->is_member(a_));
   const auto deploys = of_type(a_, MsgType::kDeploy);
   ASSERT_EQ(deploys.size(), 1u);
-  const auto deploy = DeployMsg::from_bytes(deploys[0].payload);
+  const auto deploy = dataflow::decode_from<DeployMsg>(deploys[0].payload);
   EXPECT_EQ(deploy.assignments.size(), 2u);  // Source + sink, no transforms.
 }
 
@@ -101,7 +102,7 @@ TEST_F(MasterTest, TransformsOnMasterWhenAllowed) {
   config.transforms_on_master = true;
   make_master(pipeline(), config);
   const auto deploy =
-      DeployMsg::from_bytes(of_type(a_, MsgType::kDeploy)[0].payload);
+      dataflow::decode_from<DeployMsg>(of_type(a_, MsgType::kDeploy)[0].payload);
   EXPECT_EQ(deploy.assignments.size(), 4u);
 }
 
@@ -115,7 +116,7 @@ TEST_F(MasterTest, HelloDeploysTransformsToWorker) {
   EXPECT_TRUE(master_->is_member(b_));
   const auto deploys = of_type(b_, MsgType::kDeploy);
   ASSERT_EQ(deploys.size(), 1u);
-  const auto deploy = DeployMsg::from_bytes(deploys[0].payload);
+  const auto deploy = dataflow::decode_from<DeployMsg>(deploys[0].payload);
   EXPECT_EQ(deploy.assignments.size(), 2u);  // stage1 + stage2.
 }
 
@@ -141,7 +142,7 @@ TEST_F(MasterTest, UpstreamsToldAboutNewDownstreams) {
   ASSERT_FALSE(updates.empty());
   bool found = false;
   for (const auto& m : updates) {
-    const auto update = RouteUpdateMsg::from_bytes(m.payload);
+    const auto update = dataflow::decode_from<RouteUpdateMsg>(m.payload);
     if (update.downstream.device == b_) found = true;
   }
   EXPECT_TRUE(found);
@@ -160,7 +161,7 @@ TEST_F(MasterTest, SameBatchStagesWiredTogether) {
   ASSERT_EQ(stage2.size(), 1u);
   bool wired = false;
   for (const auto& m : of_type(b_, MsgType::kAddDownstream)) {
-    const auto update = RouteUpdateMsg::from_bytes(m.payload);
+    const auto update = dataflow::decode_from<RouteUpdateMsg>(m.payload);
     if (update.upstream == stage1[0].instance &&
         update.downstream.instance == stage2[0].instance) {
       wired = true;
@@ -239,7 +240,7 @@ TEST_F(MasterTest, ByeRemovesSender) {
   transport_.send(b_, a_, std::uint8_t(MsgType::kHello), Bytes{});
   sim_.run_for(millis(50));
   transport_.send(b_, a_, std::uint8_t(MsgType::kBye),
-                  DeviceMsg{b_}.to_bytes());
+                  dataflow::encode_to_bytes(DeviceMsg{b_}));
   sim_.run_for(millis(50));
   EXPECT_FALSE(master_->is_member(b_));
 }
@@ -253,7 +254,7 @@ TEST_F(MasterTest, LeaveReportRemovesReportedDevice) {
   transport_.send(c_, a_, std::uint8_t(MsgType::kHello), Bytes{});
   sim_.run_for(millis(50));
   transport_.send(c_, a_, std::uint8_t(MsgType::kLeaveReport),
-                  DeviceMsg{b_}.to_bytes());
+                  dataflow::encode_to_bytes(DeviceMsg{b_}));
   sim_.run_for(millis(50));
   EXPECT_FALSE(master_->is_member(b_));
   EXPECT_TRUE(master_->is_member(c_));

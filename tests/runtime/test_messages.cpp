@@ -2,15 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "dataflow/codec.h"
+
 namespace swing::runtime {
 namespace {
 
 TEST(Messages, InstanceInfoRoundTrip) {
   const InstanceInfo info{InstanceId{3}, OperatorId{1}, DeviceId{7}};
   ByteWriter w;
-  info.serialize(w);
+  info.encode(w);
   ByteReader r{w.data()};
-  EXPECT_EQ(InstanceInfo::deserialize(r), info);
+  EXPECT_EQ(InstanceInfo::decode(r), info);
 }
 
 TEST(Messages, DeployRoundTrip) {
@@ -24,7 +26,7 @@ TEST(Messages, DeployRoundTrip) {
   b.self = {InstanceId{10}, OperatorId{11}, DeviceId{3}};
   msg.assignments.push_back(b);
 
-  const DeployMsg back = DeployMsg::from_bytes(msg.to_bytes());
+  const DeployMsg back = dataflow::decode_from<DeployMsg>(dataflow::encode_to_bytes(msg));
   ASSERT_EQ(back.assignments.size(), 2u);
   EXPECT_EQ(back.assignments[0].self, a.self);
   ASSERT_EQ(back.assignments[0].downstreams.size(), 2u);
@@ -33,14 +35,14 @@ TEST(Messages, DeployRoundTrip) {
 }
 
 TEST(Messages, EmptyDeploy) {
-  const DeployMsg back = DeployMsg::from_bytes(DeployMsg{}.to_bytes());
+  const DeployMsg back = dataflow::decode_from<DeployMsg>(dataflow::encode_to_bytes(DeployMsg{}));
   EXPECT_TRUE(back.assignments.empty());
 }
 
 TEST(Messages, RouteUpdateRoundTrip) {
   RouteUpdateMsg msg{InstanceId{5},
                      InstanceInfo{InstanceId{6}, OperatorId{7}, DeviceId{8}}};
-  const RouteUpdateMsg back = RouteUpdateMsg::from_bytes(msg.to_bytes());
+  const RouteUpdateMsg back = dataflow::decode_from<RouteUpdateMsg>(dataflow::encode_to_bytes(msg));
   EXPECT_EQ(back.upstream, msg.upstream);
   EXPECT_EQ(back.downstream, msg.downstream);
 }
@@ -49,7 +51,7 @@ TEST(Messages, RouteUpdateInvalidUpstreamSurvives) {
   // A broadcast removal uses an invalid upstream id.
   RouteUpdateMsg msg{InstanceId{},
                      InstanceInfo{InstanceId{1}, OperatorId{2}, DeviceId{3}}};
-  const RouteUpdateMsg back = RouteUpdateMsg::from_bytes(msg.to_bytes());
+  const RouteUpdateMsg back = dataflow::decode_from<RouteUpdateMsg>(dataflow::encode_to_bytes(msg));
   EXPECT_FALSE(back.upstream.valid());
 }
 
@@ -61,9 +63,9 @@ TEST(Messages, DataRoundTrip) {
   msg.sent_ns = 123456789;
   msg.accumulated = {1.5, 2.5, 3.5};
   msg.tuple_wire_size = 6066;
-  msg.tuple_bytes = {9, 8, 7};
+  msg.tuple = dataflow::Tuple{TupleId{9}, SimTime{8}}.set("k", std::int64_t{7});
 
-  const DataMsg back = DataMsg::from_bytes(msg.to_bytes());
+  const DataMsg back = dataflow::decode_from<DataMsg>(dataflow::encode_to_bytes(msg));
   EXPECT_EQ(back.src_instance, msg.src_instance);
   EXPECT_EQ(back.src_device, msg.src_device);
   EXPECT_EQ(back.dst_instance, msg.dst_instance);
@@ -72,7 +74,7 @@ TEST(Messages, DataRoundTrip) {
   EXPECT_DOUBLE_EQ(back.accumulated.queuing_ms, 2.5);
   EXPECT_DOUBLE_EQ(back.accumulated.processing_ms, 3.5);
   EXPECT_EQ(back.tuple_wire_size, 6066u);
-  EXPECT_EQ(back.tuple_bytes, msg.tuple_bytes);
+  EXPECT_EQ(back.tuple, msg.tuple);
 }
 
 TEST(Messages, AckRoundTrip) {
@@ -82,7 +84,7 @@ TEST(Messages, AckRoundTrip) {
   msg.tuple = TupleId{99};
   msg.echoed_sent_ns = -5;
   msg.processing_ms = 46.5;
-  const AckMsg back = AckMsg::from_bytes(msg.to_bytes());
+  const AckMsg back = dataflow::decode_from<AckMsg>(dataflow::encode_to_bytes(msg));
   EXPECT_EQ(back.from_instance, msg.from_instance);
   EXPECT_EQ(back.to_instance, msg.to_instance);
   EXPECT_EQ(back.tuple, msg.tuple);
@@ -91,7 +93,8 @@ TEST(Messages, AckRoundTrip) {
 }
 
 TEST(Messages, DeviceMsgRoundTrip) {
-  const DeviceMsg back = DeviceMsg::from_bytes(DeviceMsg{DeviceId{42}}.to_bytes());
+  const DeviceMsg back = dataflow::decode_from<DeviceMsg>(
+      dataflow::encode_to_bytes(DeviceMsg{DeviceId{42}}));
   EXPECT_EQ(back.device, DeviceId{42});
 }
 
@@ -102,9 +105,9 @@ TEST(Messages, DelayBreakdownTotal) {
 
 TEST(Messages, CorruptPayloadThrows) {
   Bytes garbage = {1, 2};
-  EXPECT_THROW(DeployMsg::from_bytes(garbage), WireFormatError);
-  EXPECT_THROW(DataMsg::from_bytes(garbage), WireFormatError);
-  EXPECT_THROW(AckMsg::from_bytes(garbage), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<DeployMsg>(garbage), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<DataMsg>(garbage), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<AckMsg>(garbage), WireFormatError);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // space. Also pins the hostile-varint-count regression the fuzzers found.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "apps/gesture_recognition.h"
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "dataflow/codec.h"
 #include "dataflow/tuple.h"
 #include "runtime/messages.h"
 
@@ -78,13 +80,22 @@ dataflow::Tuple random_tuple(Rng& rng) {
 }
 
 // Decoded equality plus byte fixpoint: re-encoding the decoded message must
-// reproduce the original encoding exactly.
+// reproduce the original encoding exactly. Additionally pins the arena
+// contract: encoding into a caller-owned buffer (SendArena frame) must be
+// byte-identical to the owning-writer path.
 template <typename Msg>
 void expect_roundtrip(const Msg& msg) {
-  const Bytes encoded = msg.to_bytes();
-  const Msg decoded = Msg::from_bytes(encoded);
+  const Bytes encoded = dataflow::encode_to_bytes(msg);
+  const Msg decoded = dataflow::decode_from<Msg>(encoded);
   EXPECT_EQ(decoded, msg);
-  EXPECT_EQ(decoded.to_bytes(), encoded);
+  EXPECT_EQ(dataflow::encode_to_bytes(decoded), encoded);
+
+  static SendArena arena;
+  ByteWriter& w = arena.begin_frame();
+  msg.encode(w);
+  const auto frame = arena.end_frame();
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), encoded.begin(),
+                         encoded.end()));
 }
 
 TEST(MessageRoundTrip, Tuple) {
@@ -131,8 +142,8 @@ TEST(MessageRoundTrip, DataMsg) {
     msg.accumulated.transmission_ms = rng.uniform(0.0, 1e4);
     msg.accumulated.queuing_ms = rng.uniform(0.0, 1e4);
     msg.accumulated.processing_ms = rng.uniform(0.0, 1e4);
-    msg.tuple_bytes = random_tuple(rng).to_bytes();
-    msg.tuple_wire_size = msg.tuple_bytes.size() + rng.uniform_int(1 << 16);
+    msg.tuple = random_tuple(rng);
+    msg.tuple_wire_size = msg.tuple.wire_size() + rng.uniform_int(1 << 16);
     expect_roundtrip(msg);
   }
 }
@@ -156,7 +167,7 @@ TEST(MessageRoundTrip, DataBatchMsg) {
   for (int i = 0; i < kIterations; ++i) {
     DataBatchMsg msg;
     const std::size_t n = rng.uniform_int(6);
-    for (std::size_t d = 0; d < n; ++d) msg.datas.push_back(random_bytes(rng));
+    for (std::size_t d = 0; d < n; ++d) msg.append_frame(random_bytes(rng));
     expect_roundtrip(msg);
   }
 }
@@ -179,15 +190,15 @@ TEST(MessageRoundTrip, GestureFeatures) {
     f.energy = float(rng.uniform(0.0, 100.0));
     f.dominant_axis = float(rng.uniform_int(3));
     f.mean_bias = float(rng.uniform(0.0, 10.0));
-    const Bytes encoded = f.to_bytes();
+    const Bytes encoded = dataflow::encode_to_bytes(f);
     const apps::GestureFeatures decoded =
-        apps::GestureFeatures::from_bytes(encoded);
+        dataflow::decode_from<apps::GestureFeatures>(encoded);
     EXPECT_EQ(decoded.mean_magnitude, f.mean_magnitude);
     EXPECT_EQ(decoded.variance, f.variance);
     EXPECT_EQ(decoded.energy, f.energy);
     EXPECT_EQ(decoded.dominant_axis, f.dominant_axis);
     EXPECT_EQ(decoded.mean_bias, f.mean_bias);
-    EXPECT_EQ(decoded.to_bytes(), encoded);
+    EXPECT_EQ(dataflow::encode_to_bytes(decoded), encoded);
   }
 }
 
@@ -197,16 +208,88 @@ TEST(MessageRoundTrip, GestureFeatures) {
 TEST(MessageRoundTrip, HostileCountIsWireFormatError) {
   const Bytes huge_count{0xff, 0xff, 0xff, 0xff, 0xff,
                          0xff, 0xff, 0xff, 0xff, 0x01};
-  EXPECT_THROW((void)DeployMsg::from_bytes(huge_count), WireFormatError);
-  EXPECT_THROW((void)DataBatchMsg::from_bytes(huge_count), WireFormatError);
+  EXPECT_THROW((void)dataflow::decode_from<DeployMsg>(huge_count),
+               WireFormatError);
+  EXPECT_THROW((void)dataflow::decode_from<DataBatchMsg>(huge_count),
+               WireFormatError);
 }
 
 TEST(MessageRoundTrip, TruncatedInputIsWireFormatError) {
+  // Every proper prefix of a valid encoding must decode-fail cleanly: the
+  // reader is a non-owning view, so running off its end is the only way a
+  // hostile length could "escape", and it must surface as WireFormatError.
   Rng rng{9};
-  const Bytes full = random_tuple(rng).to_bytes();
+  const Bytes full = dataflow::encode_to_bytes(random_tuple(rng));
   ASSERT_GT(full.size(), 4u);
-  const Bytes truncated(full.begin(), full.begin() + 4);
-  EXPECT_THROW((void)dataflow::Tuple::from_bytes(truncated), WireFormatError);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const Bytes truncated(full.begin(), full.begin() + cut);
+    EXPECT_THROW((void)dataflow::decode_from<dataflow::Tuple>(truncated),
+                 WireFormatError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+// encoded_size() is the exact length contract that lets DataMsg length-
+// prefix a nested tuple frame before encoding it. Any drift between the
+// sizer and the encoder would corrupt every data message on the wire.
+TEST(MessageRoundTrip, TupleEncodedSizeIsExact) {
+  Rng rng{10};
+  for (int i = 0; i < kIterations; ++i) {
+    const dataflow::Tuple t = random_tuple(rng);
+    EXPECT_EQ(dataflow::encode_to_bytes(t).size(), t.encoded_size());
+  }
+}
+
+// Golden wire bytes: the v2 encode()/decode() API must emit exactly the
+// same octets the legacy Bytes-returning codec did, so same-seed runs and
+// checked-in fuzz corpora stay valid across the API change.
+TEST(MessageRoundTrip, GoldenDataMsgBytes) {
+  DataMsg msg;
+  msg.src_instance = InstanceId{1};
+  msg.src_device = DeviceId{2};
+  msg.dst_instance = InstanceId{3};
+  msg.sent_ns = 0x0102030405060708;
+  msg.accumulated = DelayBreakdown{};
+  msg.tuple = dataflow::Tuple{TupleId{7}, SimTime{9}};
+  msg.tuple_wire_size = msg.tuple.wire_size();
+
+  const Bytes got = dataflow::encode_to_bytes(msg);
+  Bytes want;
+  ByteWriter w{want};
+  w.write_u64(1);                    // src_instance
+  w.write_u64(2);                    // src_device
+  w.write_u64(3);                    // dst_instance
+  w.write_i64(0x0102030405060708);   // sent_ns
+  w.write_f64(0.0);                  // transmission_ms
+  w.write_f64(0.0);                  // queuing_ms
+  w.write_f64(0.0);                  // processing_ms
+  w.write_varint(msg.tuple.wire_size());
+  w.write_varint(17);                // tuple frame: 8 id + 8 time + 1 count
+  w.write_u64(7);
+  w.write_i64(9);
+  w.write_varint(0);
+  EXPECT_EQ(got, w.data());  // data() flushes the writer's staged tail.
+}
+
+// The pooled batch must frame each appended element independently: frames
+// out must equal frames in, with all payload bytes living in one pool.
+TEST(MessageRoundTrip, DataBatchPoolFraming) {
+  Rng rng{11};
+  std::vector<Bytes> frames;
+  DataBatchMsg msg;
+  for (int i = 0; i < 5; ++i) {
+    frames.push_back(random_bytes(rng));
+    msg.append_frame(frames.back());
+  }
+  const DataBatchMsg back =
+      dataflow::decode_from<DataBatchMsg>(dataflow::encode_to_bytes(msg));
+  ASSERT_EQ(back.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto f = back.frame(i);
+    EXPECT_TRUE(std::equal(f.begin(), f.end(), frames[i].begin(),
+                           frames[i].end()))
+        << "frame " << i;
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "dataflow/codec.h"
 #include "dataflow/function_unit.h"
 #include "device/profile.h"
 #include "runtime/worker.h"
@@ -79,7 +80,7 @@ class WorkerUnitTest : public ::testing::Test {
     data.sent_ns = sim_.now().nanos();
     dataflow::Tuple t{tuple_id, sim_.now()};
     t.set("payload", dataflow::Blob{1000, tuple_id.value()});
-    data.tuple_bytes = t.to_bytes();
+    data.tuple = t;
     data.tuple_wire_size = t.wire_size();
     return data;
   }
@@ -122,7 +123,7 @@ TEST_F(WorkerUnitTest, DeployActivatesInstance) {
       {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
        {}});
   w.handle_message(msg_from(master_id_, MsgType::kDeploy,
-                            deploy.to_bytes()));
+                            dataflow::encode_to_bytes(deploy)));
   EXPECT_EQ(w.instance_count(), 1u);
 }
 
@@ -134,16 +135,16 @@ TEST_F(WorkerUnitTest, DataProcessedAndAcked) {
   deploy.assignments.push_back(
       {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
        {}});
-  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, dataflow::encode_to_bytes(deploy)));
 
   const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{5});
-  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kData, dataflow::encode_to_bytes(data)));
   sim_.run_for(millis(200));
 
   EXPECT_EQ(w.tuples_processed(), 1u);
   const auto acks = sent_to(master_id_, MsgType::kAck);
   ASSERT_EQ(acks.size(), 1u);
-  const AckMsg ack = AckMsg::from_bytes(acks[0].payload);
+  const AckMsg ack = dataflow::decode_from<AckMsg>(acks[0].payload);
   EXPECT_EQ(ack.tuple, TupleId{5});
   EXPECT_EQ(ack.from_instance, InstanceId{10});
   EXPECT_EQ(ack.to_instance, InstanceId{1});
@@ -158,7 +159,7 @@ TEST_F(WorkerUnitTest, DataBeforeDeployReplaysAfterActivation) {
   Worker& w = *worker;
   // Data races ahead of the deploy...
   const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{0});
-  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kData, dataflow::encode_to_bytes(data)));
   sim_.run_for(millis(50));
   EXPECT_EQ(w.tuples_processed(), 0u);
 
@@ -167,7 +168,7 @@ TEST_F(WorkerUnitTest, DataBeforeDeployReplaysAfterActivation) {
   deploy.assignments.push_back(
       {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
        {}});
-  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, dataflow::encode_to_bytes(deploy)));
   sim_.run_for(millis(200));
   EXPECT_EQ(w.tuples_processed(), 1u);
 }
@@ -183,21 +184,20 @@ TEST_F(WorkerUnitTest, EmittedTupleForwardedToDownstreamPeer) {
   assignment.downstreams.push_back(
       InstanceInfo{InstanceId{20}, graph.operators()[2].id, peer_id_});
   deploy.assignments.push_back(assignment);
-  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, dataflow::encode_to_bytes(deploy)));
 
   const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{3});
-  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kData, dataflow::encode_to_bytes(data)));
   sim_.run_for(millis(300));
 
   const auto forwarded = sent_to(peer_id_, MsgType::kData);
   ASSERT_EQ(forwarded.size(), 1u);
-  const DataMsg out = DataMsg::from_bytes(forwarded[0].payload);
+  const DataMsg out = dataflow::decode_from<DataMsg>(forwarded[0].payload);
   EXPECT_EQ(out.dst_instance, InstanceId{20});
   EXPECT_EQ(out.src_instance, InstanceId{10});
   EXPECT_EQ(out.src_device, worker_id_);
   // The forwarded tuple keeps its identity.
-  const auto tuple = dataflow::Tuple::from_bytes(out.tuple_bytes);
-  EXPECT_EQ(tuple.id(), TupleId{3});
+  EXPECT_EQ(out.tuple.id(), TupleId{3});
   // Accumulated breakdown includes this stage's processing.
   EXPECT_GT(out.accumulated.processing_ms, 1.0);
 }
@@ -213,16 +213,16 @@ TEST_F(WorkerUnitTest, RemoveDownstreamStopsForwarding) {
   assignment.downstreams.push_back(
       InstanceInfo{InstanceId{20}, graph.operators()[2].id, peer_id_});
   deploy.assignments.push_back(assignment);
-  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, dataflow::encode_to_bytes(deploy)));
 
   RouteUpdateMsg removal{InstanceId{},
                          InstanceInfo{InstanceId{20},
                                       graph.operators()[2].id, peer_id_}};
   w.handle_message(
-      msg_from(master_id_, MsgType::kRemoveDownstream, removal.to_bytes()));
+      msg_from(master_id_, MsgType::kRemoveDownstream, dataflow::encode_to_bytes(removal)));
 
   const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{4});
-  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kData, dataflow::encode_to_bytes(data)));
   sim_.run_for(millis(300));
   EXPECT_TRUE(sent_to(peer_id_, MsgType::kData).empty());
 }
@@ -235,11 +235,11 @@ TEST_F(WorkerUnitTest, ShutdownStopsProcessing) {
   deploy.assignments.push_back(
       {InstanceInfo{InstanceId{10}, graph.operators()[1].id, worker_id_},
        {}});
-  w.handle_message(msg_from(master_id_, MsgType::kDeploy, deploy.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kDeploy, dataflow::encode_to_bytes(deploy)));
   w.shutdown();
   EXPECT_FALSE(w.alive());
   const auto data = make_data(InstanceId{1}, InstanceId{10}, TupleId{9});
-  w.handle_message(msg_from(master_id_, MsgType::kData, data.to_bytes()));
+  w.handle_message(msg_from(master_id_, MsgType::kData, dataflow::encode_to_bytes(data)));
   sim_.run_for(millis(200));
   EXPECT_EQ(w.tuples_processed(), 0u);
 }

@@ -17,6 +17,7 @@
 #include "dataflow/graph.h"
 #include "dataflow/tuple.h"
 #include "state/checkpoint_store.h"
+#include "dataflow/codec.h"
 #include "state/state_messages.h"
 
 namespace swing {
@@ -42,14 +43,14 @@ CheckpointMsg sample_checkpoint() {
 
 TEST(StateContract, CheckpointRoundTripIsByteFixpoint) {
   CheckpointMsg msg = sample_checkpoint();
-  const Bytes wire = msg.to_bytes();
-  const CheckpointMsg back = CheckpointMsg::from_bytes(wire);
+  const Bytes wire = dataflow::encode_to_bytes(msg);
+  const CheckpointMsg back = dataflow::decode_from<CheckpointMsg>(wire);
   EXPECT_EQ(back, msg);
-  EXPECT_EQ(back.to_bytes(), wire);
+  EXPECT_EQ(dataflow::encode_to_bytes(back), wire);
 
   // Migration-final variant carries the handoff target.
   msg.migrate_to = DeviceId{3};
-  const CheckpointMsg final_snap = CheckpointMsg::from_bytes(msg.to_bytes());
+  const CheckpointMsg final_snap = dataflow::decode_from<CheckpointMsg>(dataflow::encode_to_bytes(msg));
   EXPECT_EQ(final_snap, msg);
   EXPECT_TRUE(final_snap.migrate_to.valid());
 }
@@ -64,28 +65,28 @@ TEST(StateContract, RestoreRoundTripIsByteFixpoint) {
       InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
   msg.downstreams.push_back(
       InstanceInfo{InstanceId{7}, OperatorId{3}, DeviceId{4}});
-  const Bytes wire = msg.to_bytes();
-  const RestoreMsg back = RestoreMsg::from_bytes(wire);
+  const Bytes wire = dataflow::encode_to_bytes(msg);
+  const RestoreMsg back = dataflow::decode_from<RestoreMsg>(wire);
   EXPECT_EQ(back, msg);
-  EXPECT_EQ(back.to_bytes(), wire);
+  EXPECT_EQ(dataflow::encode_to_bytes(back), wire);
 }
 
 TEST(StateContract, MigrateRoundTripIsByteFixpoint) {
   const MigrateMsg msg{InstanceId{9}, DeviceId{4}};
-  const Bytes wire = msg.to_bytes();
-  const MigrateMsg back = MigrateMsg::from_bytes(wire);
+  const Bytes wire = dataflow::encode_to_bytes(msg);
+  const MigrateMsg back = dataflow::decode_from<MigrateMsg>(wire);
   EXPECT_EQ(back, msg);
-  EXPECT_EQ(back.to_bytes(), wire);
+  EXPECT_EQ(dataflow::encode_to_bytes(back), wire);
 }
 
 TEST(StateContract, TruncatedInputsThrowNotCrash) {
-  const Bytes wire = sample_checkpoint().to_bytes();
+  const Bytes wire = dataflow::encode_to_bytes(sample_checkpoint());
   for (std::size_t cut = 0; cut < wire.size(); ++cut) {
     const Bytes partial(wire.begin(), wire.begin() + std::ptrdiff_t(cut));
-    EXPECT_THROW(CheckpointMsg::from_bytes(partial), WireFormatError)
+    EXPECT_THROW(dataflow::decode_from<CheckpointMsg>(partial), WireFormatError)
         << "cut at " << cut;
   }
-  EXPECT_THROW(MigrateMsg::from_bytes(Bytes{1, 2, 3}), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<MigrateMsg>(Bytes{1, 2, 3}), WireFormatError);
 }
 
 TEST(StateContract, HostileDownstreamCountIsRejectedRecoverably) {
@@ -93,11 +94,11 @@ TEST(StateContract, HostileDownstreamCountIsRejectedRecoverably) {
   // WireFormatError before any reserve (the DeployMsg crash shape).
   RestoreMsg msg;
   msg.instance = InstanceInfo{InstanceId{1}, OperatorId{1}, DeviceId{1}};
-  Bytes wire = msg.to_bytes();
+  Bytes wire = dataflow::encode_to_bytes(msg);
   wire.pop_back();  // Drop the honest count 0...
   for (int i = 0; i < 9; ++i) wire.push_back(0xff);
   wire.push_back(0x01);  // ...claim ~2^63 downstreams.
-  EXPECT_THROW(RestoreMsg::from_bytes(wire), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<RestoreMsg>(wire), WireFormatError);
 }
 
 // --- CheckpointStore epoch semantics ---------------------------------------

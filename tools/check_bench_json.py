@@ -165,7 +165,59 @@ def check_bench_report(doc, errors: list[str]) -> None:
         check_metric_keys(doc["summary"]["metrics"], "'summary.metrics'",
                           errors)
 
+    check_micro_floors(doc, errors)
+
     _finite_numbers(doc, "$", errors)
+
+
+# The hotpath scoreboard's "codec section": findings attributed to wire
+# codec methods (encode/decode) or raised by the codec-hot rule. The wire
+# plane v2 redesign burned this debt to zero and the gate keeps it there —
+# a non-empty codec section fails CI outright, baseline or not.
+CODEC_RULES = {"codec-hot", "codec-symmetry"}
+CODEC_METHOD_SUFFIXES = ("::encode", "::decode")
+
+# Throughput floors (items/second) for the micro_components codec and
+# dispatch benchmarks, enforced by check_bench_report on BENCH_
+# micro_components.json. Reference-builder rates: the legacy
+# to_bytes/from_bytes wire plane ran BM_BatchCodecDispatch at ~3.05M
+# tuples/s; wire-plane v2 (scratch-staged ByteWriter, pooled batch
+# frames, view decode) runs it at ~6.1-6.8M, BM_TupleSerialize at ~35M,
+# BM_TupleRoundTrip at ~15-17M. Floors sit well above the legacy rates
+# but ~30-40% under the v2 ones, so a regression back to the old codec
+# cost profile fails while normal CI-hardware variance does not.
+MICRO_COMPONENTS_FLOORS = {
+    "BM_TupleSerialize": 20_000_000.0,
+    "BM_TupleRoundTrip": 10_000_000.0,
+    "BM_BatchCodecDispatch/8": 4_500_000.0,
+    "BM_BatchCodecDispatch/64": 4_500_000.0,
+}
+
+
+def check_micro_floors(doc, errors: list[str]) -> None:
+    """Enforces the codec/dispatch tuples-per-second floors.
+
+    Only applies to micro_components reports; other benches share the
+    schema but not the counters. A gated benchmark that is missing from
+    the results (renamed, deleted) is itself an error — silently losing
+    the gate is how regressions land.
+    """
+    if doc.get("bench") != "micro_components":
+        return
+    rows = {row.get("name"): row for row in doc.get("results", [])
+            if isinstance(row, dict)}
+    for name, floor in sorted(MICRO_COMPONENTS_FLOORS.items()):
+        row = rows.get(name)
+        if row is None:
+            errors.append(f"gated benchmark '{name}' missing from results")
+            continue
+        rate = row.get("items_per_second")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+            errors.append(f"'{name}' has no items_per_second counter")
+        elif rate < floor:
+            errors.append(
+                f"'{name}' throughput regressed: {rate:,.0f} items/s is "
+                f"below the floor of {floor:,.0f}")
 
 
 def check_hotpath_report(doc, errors: list[str]) -> None:
@@ -256,6 +308,23 @@ def check_hotpath_report(doc, errors: list[str]) -> None:
         if isinstance(total, int) and row_sum != total:
             errors.append("'findings.by_function' totals do not sum to "
                           "findings.total")
+
+    # Codec section gate: zero findings on wire codecs, zero codec-rule
+    # findings. This count is pre-baseline by construction (the report is),
+    # so a baseline entry cannot hide codec debt from this check.
+    if isinstance(by_rule, dict):
+        for rule in sorted(CODEC_RULES & set(by_rule)):
+            if by_rule[rule]:
+                errors.append(f"codec section must be empty: {by_rule[rule]} "
+                              f"'{rule}' finding(s)")
+    if isinstance(rows, list):
+        for row in rows:
+            if isinstance(row, dict) and isinstance(row.get("function"), str) \
+                    and row["function"].endswith(CODEC_METHOD_SUFFIXES) \
+                    and row.get("total"):
+                errors.append(
+                    f"codec section must be empty: {row['total']} finding(s) "
+                    f"attributed to wire codec '{row['function']}'")
 
     _finite_numbers(doc, "$", errors)
 

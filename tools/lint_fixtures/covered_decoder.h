@@ -1,8 +1,15 @@
-// Fixture: a decoder referenced by a harness under fuzz/ scans clean.
+// Fixture: a decoder referenced by a harness under fuzz/ scans clean —
+// via a direct T::from_bytes reference (legacy) or through the
+// swing_fuzz_decode<T> template instantiation (wire plane v2).
 #pragma once
 
 using Bytes = unsigned char*;
+struct ByteReader;
 
 struct CoveredMsg {
   static CoveredMsg from_bytes(const Bytes& data);
+};
+
+struct CoveredV2Msg {
+  static CoveredV2Msg decode(ByteReader& r);
 };

@@ -1,4 +1,11 @@
-// Fixture harness: marks CoveredMsg as fuzz-covered for the self-test.
+// Fixture harness: marks CoveredMsg (direct reference) and CoveredV2Msg
+// (template instantiation) as fuzz-covered for the self-test.
 #include "../covered_decoder.h"
 
-void drive(const Bytes& data) { (void)CoveredMsg::from_bytes(data); }
+template <typename T>
+T swing_fuzz_decode(const Bytes& data);
+
+void drive(const Bytes& data) {
+  (void)CoveredMsg::from_bytes(data);
+  (void)swing_fuzz_decode<CoveredV2Msg>(data);
+}

@@ -1,11 +1,17 @@
 // Fixture: a wire decoder with no fuzz harness must be flagged at the decl;
-// an explicit allow() suppresses it.
+// an explicit allow() suppresses it. Both decl shapes are held to the bar:
+// the v2 `static T decode(ByteReader&)` and the legacy from_bytes.
 #pragma once
 
 using Bytes = unsigned char*;
+struct ByteReader;
 
 struct UnfuzzedMsg {
   static UnfuzzedMsg from_bytes(const Bytes& data);  // expect-lint: fuzz-harness
+};
+
+struct UnfuzzedV2Msg {
+  static UnfuzzedV2Msg decode(ByteReader& r);  // expect-lint: fuzz-harness
 };
 
 struct ToleratedMsg {

@@ -1,0 +1,61 @@
+// Fixture: codec-hot non-findings. Annotated pairs, a deliberate
+// SWING_COLD escape, reachability through a hot caller, and lookalikes
+// whose parameter types are not the wire-plane ByteWriter/ByteReader.
+#pragma once
+
+// The normal spelling: the codec IS a hot root on both sides.
+struct AnnotatedCodec {
+  std::uint64_t seq = 0;
+  SWING_HOT void encode(ByteWriter& w) const { w.write_u64(seq); }
+  static SWING_HOT AnnotatedCodec decode(ByteReader& r) {
+    AnnotatedCodec m;
+    m.seq = r.read_u64();
+    return m;
+  }
+};
+
+// Documented opt-out: a cold-plane serializer wears SWING_COLD instead.
+struct EscapedCodec {
+  std::uint64_t cfg = 0;
+  SWING_COLD void encode(ByteWriter& w) const { w.write_u64(cfg); }
+  static SWING_COLD EscapedCodec decode(ByteReader& r) {
+    EscapedCodec m;
+    m.cfg = r.read_u64();
+    return m;
+  }
+};
+
+// In the hot set by reachability: a SWING_HOT dispatcher calls both
+// halves, so annotating the codec itself is not required.
+struct ReachedCodec {
+  std::uint64_t tag = 0;
+  void encode(ByteWriter& w) const { w.write_u64(tag); }
+  static ReachedCodec decode(ByteReader& r) {
+    ReachedCodec m;
+    m.tag = r.read_u64();
+    return m;
+  }
+};
+
+class ReachedDispatch {
+ public:
+  SWING_HOT void pump(ByteWriter& w, ByteReader& r) {
+    pending_.encode(w);
+    pending_ = ReachedCodec::decode(r);
+  }
+
+ private:
+  ReachedCodec pending_;
+};
+
+// Not a wire codec: encode/decode over some other writer/reader pair
+// (a transcoder, a fixture stub) is outside this rule's contract.
+struct OtherPlaneCodec {
+  std::uint64_t raw = 0;
+  void encode(WireWriter& w) const { w.write_u64(raw); }
+  static OtherPlaneCodec decode(WireReader& r) {
+    OtherPlaneCodec m;
+    m.raw = r.read_u64();
+    return m;
+  }
+};

@@ -1,0 +1,32 @@
+// Fixture: wire codecs (v2 names, real ByteWriter/ByteReader parameter
+// types) left outside the SWING_HOT hot set. Both halves of the pair are
+// findings — the hot-path rules would never scan either.
+#pragma once
+
+struct ByteWriter {};
+struct ByteReader {};
+
+struct ColdCodec {
+  std::uint64_t seq = 0;
+  // expect-analyze: codec-hot
+  void encode(ByteWriter& w) const { w.write_u64(seq); }
+  // expect-analyze: codec-hot
+  static ColdCodec decode(ByteReader& r) {
+    ColdCodec m;
+    m.seq = r.read_u64();
+    return m;
+  }
+};
+
+// Half-annotated: encode was marked when the send path was rebuilt, the
+// decoder was forgotten — only the unannotated half is a finding.
+struct HalfHotCodec {
+  std::uint64_t id = 0;
+  SWING_HOT void encode(ByteWriter& w) const { w.write_u64(id); }
+  // expect-analyze: codec-hot
+  static HalfHotCodec decode(ByteReader& r) {
+    HalfHotCodec m;
+    m.id = r.read_u64();
+    return m;
+  }
+};

@@ -1,0 +1,88 @@
+// Fixture: drifted codec pairs under the wire-plane v2 names
+// (encode/decode) and the v2 zero-copy read forms. Writer/reader types
+// are the WireWriter/WireReader stubs (codec_symmetry_fire.h) so the
+// codec-hot rule stays out of scope — this file is about symmetry only.
+#pragma once
+
+// Width drift under the new names: writer narrowed, decoder not updated.
+// expect-analyze: codec-symmetry
+struct V2WidthDrift {
+  std::uint64_t seq = 0;
+  std::uint64_t ts = 0;
+  void encode(WireWriter& w) const {
+    w.write_u32(seq);
+    w.write_u64(ts);
+  }
+  static V2WidthDrift decode(WireReader& r) {
+    V2WidthDrift m;
+    m.seq = r.read_u64();
+    m.ts = r.read_u64();
+    return m;
+  }
+};
+
+// Zero-copy drift: the writer frames a string, the reader borrows it as
+// raw bytes — read_view canonicalises to `string`, read_span to `bytes`,
+// so the borrowed forms still carry the framing op's identity.
+// expect-analyze: codec-symmetry
+struct V2BorrowDrift {
+  std::string label;
+  void encode(WireWriter& w) const { w.write_string(label); }
+  static V2BorrowDrift decode(WireReader& r) {
+    V2BorrowDrift m;
+    m.label = std::string{r.read_span().begin(), r.read_span().end()};
+    return m;
+  }
+};
+
+// Writer-only field under the new names: encode gained a field, decode
+// was forgotten.
+// expect-analyze: codec-symmetry
+struct V2ExtraWrite {
+  std::uint64_t a = 0;
+  double bias = 0;
+  void encode(WireWriter& w) const {
+    w.write_u64(a);
+    w.write_f64(bias);
+  }
+  static V2ExtraWrite decode(WireReader& r) {
+    V2ExtraWrite m;
+    m.a = r.read_u64();
+    return m;
+  }
+};
+
+// Clean v2 idioms, same file, to pin the non-findings: the borrowed reads
+// pair with their framing writes, and `take_span` is not a wire op — the
+// length-prefixed nested frame is symmetric by construction.
+struct V2Nested {
+  std::uint64_t size = 0;
+  void encode(WireWriter& w) const { w.write_u64(size); }
+  static V2Nested decode(WireReader& r) {
+    V2Nested m;
+    m.size = r.read_u64();
+    return m;
+  }
+};
+
+struct V2CleanFrame {
+  std::string name;
+  Bytes blob;
+  V2Nested inner;
+  void encode(WireWriter& w) const {
+    w.write_string(name);
+    w.write_bytes(blob);
+    w.write_varint(inner.encoded_size());
+    inner.encode(w);
+  }
+  static V2CleanFrame decode(WireReader& r) {
+    V2CleanFrame m;
+    m.name = std::string{r.read_view()};
+    const auto body = r.read_span();
+    m.blob = Bytes{body.begin(), body.end()};
+    const auto len = r.read_varint();
+    WireReader sub{r.take_span(len)};
+    m.inner = V2Nested::decode(sub);
+    return m;
+  }
+};

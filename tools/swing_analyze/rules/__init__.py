@@ -8,6 +8,7 @@ run(model, ctx) -> list[Finding]. ctx is the engine's RuleContext
 from __future__ import annotations
 
 from swing_analyze.rules import (
+    codec_hot,
     codec_symmetry,
     dcheck_side_effect,
     double_lookup,
@@ -20,6 +21,7 @@ from swing_analyze.rules import (
 
 ALL_RULES = [
     codec_symmetry,
+    codec_hot,
     nondet_iteration,
     dcheck_side_effect,
     switch_exhaustiveness,
@@ -31,6 +33,8 @@ ALL_RULES = [
 
 # The interprocedural rules that only run on the SWING_HOT-rooted hot
 # set; `--report hotpath` re-runs exactly these for the scoreboard.
-HOTPATH_RULES = [hotpath_alloc, heavy_copy, double_lookup]
+# codec-hot rides along: a codec outside the hot set is a scoreboard
+# blind spot, which is precisely what the report exists to prevent.
+HOTPATH_RULES = [hotpath_alloc, heavy_copy, double_lookup, codec_hot]
 
 RULE_NAMES = [r.RULE for r in ALL_RULES]

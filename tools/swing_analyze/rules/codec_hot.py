@@ -1,0 +1,64 @@
+"""codec-hot: every wire codec pair must be inside the SWING_HOT hot set.
+
+The wire-plane v2 contract (DESIGN.md §"Wire plane v2") is that every
+`encode(ByteWriter&)` / `decode(ByteReader&)` pair is per-tuple/per-packet
+code: encode runs once per send into a reusable arena, decode runs once per
+received frame over a non-owning view. The hot-path rules (hotpath-alloc,
+heavy-copy, double-lookup) only scan the SWING_HOT-rooted hot set, so a
+codec that is *not* in the hot set is a blind spot — it can grow a fresh
+allocation or a deep copy per message and the scoreboard never notices.
+
+This rule closes the loop structurally: for every record that defines both
+`encode` taking a `ByteWriter` and `decode` taking a `ByteReader` (matched
+by exact parameter-type name, so fixture stubs like `WireWriter` stay out
+of scope), both qualified names must appear in the call graph's hot set —
+either annotated `SWING_HOT` directly (the normal spelling: the codec IS a
+hot root) or reachable from one. Anything else is a finding naming the
+method to annotate.
+
+Codecs marked SWING_COLD are deliberate escapes and are not findings; a
+genuinely cold serializer should not pretend to be a wire codec, but the
+marker is the documented opt-out either way.
+"""
+
+from __future__ import annotations
+
+from swing_analyze import callgraph
+from swing_analyze.cpp_model import Method, Model
+from swing_analyze.finding import Finding
+
+RULE = "codec-hot"
+
+_WRITER = "ByteWriter"
+_READER = "ByteReader"
+
+
+def _takes(method: Method, type_name: str) -> bool:
+    return any(t.kind == "id" and t.text == type_name
+               for t in method.param_tokens())
+
+
+def run(model: Model, ctx) -> list[Finding]:
+    graph = callgraph.cached(model)
+    hot = set(graph.hot_set())
+    cold = set(graph.cold)
+    findings: list[Finding] = []
+    for name in sorted(model.records):
+        rec = model.records[name]
+        enc = rec.methods.get("encode")
+        dec = rec.methods.get("decode")
+        if enc is None or dec is None:
+            continue
+        if not _takes(enc, _WRITER) or not _takes(dec, _READER):
+            continue  # Not a v2 wire codec (unrelated encode(), test stubs).
+        for m in (enc, dec):
+            q = f"{name}::{m.name}"
+            if q in hot or q in cold:
+                continue
+            findings.append(Finding(
+                m.path, m.line, RULE,
+                f"wire codec `{q}` is outside the SWING_HOT hot set — "
+                f"annotate the definition with SWING_HOT so the hot-path "
+                f"rules cover every codec (or SWING_COLD if it is a "
+                f"deliberate cold-plane serializer)"))
+    return findings

@@ -1,13 +1,25 @@
 """codec-symmetry: encoder/decoder field sequences must mirror each other.
 
-For every record that defines a codec pair — to_bytes/from_bytes,
-serialize/deserialize, or snapshot_state/restore_state — this rule
-extracts the ordered sequence of wire operations each side performs and
-verifies they match in order, count, width, and loop-nesting depth:
+For every record that defines a codec pair — encode/decode (wire plane v2),
+snapshot_state/restore_state, or the legacy to_bytes/from_bytes and
+serialize/deserialize names (kept so a straggler revival still fails CI) —
+this rule extracts the ordered sequence of wire operations each side
+performs and verifies they match in order, count, width, and loop-nesting
+depth:
 
     w.write_u64(x)            <->  r.read_u64()
     w.write_varint(n); loop   <->  r.read_varint(); loop
-    field.serialize(w)        <->  Type::deserialize(r)
+    field.encode(w)           <->  Type::decode(r)
+
+Zero-copy reads canonicalise to the write op that produced the bytes:
+`read_view()` pairs with `write_string(...)` and `read_span()` with
+`write_bytes(...)` — same octets, borrowed instead of copied. `take_span(n)`
+is NOT a wire op (it carves an already-counted sub-frame), so the v2
+length-prefixed nested idiom is symmetric by construction:
+
+    w.write_varint(t.encoded_size());   <->  n = r.read_varint();
+    t.encode(w);                             sub = ByteReader{r.take_span(n)};
+                                             T::decode(sub);
 
 Width drift (write_u32 read back as read_u64), a swapped field pair, or a
 field added to only one side is an error even when round-trip tests happen
@@ -39,10 +51,19 @@ from swing_analyze.finding import Finding
 RULE = "codec-symmetry"
 
 PAIRS = [
+    ("encode", "decode"),
+    ("snapshot_state", "restore_state"),
+    # Legacy pair names: gone from src since the wire-plane v2 redesign, but
+    # still recognised so an accidental revival is caught, not ignored.
     ("to_bytes", "from_bytes"),
     ("serialize", "deserialize"),
-    ("snapshot_state", "restore_state"),
 ]
+
+# Zero-copy read ops viewed against the owning write op that framed them.
+_READ_CANON = {
+    "view": "string",
+    "span": "bytes",
+}
 
 _ELEMENT_RE = re.compile(
     r"\b(?:vector|deque|list|array|span)\s*<\s*(.+?)\s*>?\s*$")
@@ -209,13 +230,15 @@ class _Extractor:
         if self.mode == "write" and t.text.startswith("write_"):
             self.ops.append(Op("op", t.text[len("write_"):], depth, t.line))
         elif self.mode == "read" and t.text.startswith("read_"):
-            self.ops.append(Op("op", t.text[len("read_"):], depth, t.line))
-        elif self.mode == "read" and t.text == "deserialize" \
+            detail = _READ_CANON.get(t.text[len("read_"):],
+                                     t.text[len("read_"):])
+            self.ops.append(Op("op", detail, depth, t.line))
+        elif self.mode == "read" and t.text in ("deserialize", "decode") \
                 and i >= 2 and self.toks[i - 1].text == "::" \
                 and self.toks[i - 2].kind == "id":
             self.ops.append(Op("nested", self.toks[i - 2].text, depth,
                                t.line))
-        elif self.mode == "write" and t.text == "serialize" \
+        elif self.mode == "write" and t.text in ("serialize", "encode") \
                 and i >= 2 and self.toks[i - 1].text in (".", "->"):
             chain = self._chain_before(i - 2)
             resolved = self._resolve_chain(chain) if chain else None

@@ -150,7 +150,10 @@ def _scan(model: Model, qname: str, method: Method) -> list[Finding]:
                 rec = model.records[t.text]
                 dynamic = any(sizing.is_dynamic(ft)
                               for ft in rec.fields.values())
-                if width > sizing.HEAVY_BYTES or dynamic:
+                # Only records that own heap storage allocate per iteration;
+                # a wide but flat local (a ByteReader view, a DelayBreakdown)
+                # is stack traffic, which is heavy-copy's business.
+                if dynamic:
                     # A move-construction reuses the source's storage.
                     lookahead = " ".join(
                         x.text for x in toks[i + 2:i + 8])

@@ -85,18 +85,27 @@ class RepoReportTest(unittest.TestCase):
     def setUpClass(cls):
         cls.report = build_hotpath_report(REPO_ROOT)
 
-    def test_validates_and_counts_only_baselined_codec_returns(self):
+    def test_validates_and_reports_a_clean_scoreboard(self):
         errors = []
         check_bench_json.check_hotpath_report(self.report, errors)
         self.assertEqual(errors, [])
-        # The scoreboard counts findings BEFORE the baseline: today that
-        # is the codec burn-down list, all heavy-copy.
-        by_rule = self.report["findings"]["by_rule"]
-        self.assertEqual(set(by_rule) | {"heavy-copy"}, {"heavy-copy"})
+        # The wire-plane v2 redesign burned the codec Bytes-return debt
+        # to zero: the scoreboard (pre-baseline) must stay empty.
+        self.assertEqual(self.report["findings"]["by_rule"], {})
+        self.assertEqual(self.report["findings"]["total"], 0)
+
+    def test_every_codec_pair_is_hot(self):
+        # Both halves of every wire codec are roots (annotated on the
+        # definition), so the codec-hot rule has nothing to report.
+        hot = set(self.report["hot_set"])
+        for pair in ("Tuple", "DataMsg", "AckMsg", "DataBatchMsg",
+                     "GestureFeatures", "CheckpointMsg", "RestoreMsg"):
+            self.assertIn(f"{pair}::encode", hot)
+            self.assertIn(f"{pair}::decode", hot)
 
     def test_worker_fast_path_is_rooted(self):
         for root in ("Worker::handle_data", "Worker::route_and_send",
-                     "Tuple::to_bytes", "Medium::send"):
+                     "Tuple::encode", "Medium::send"):
             self.assertIn(root, self.report["hot_roots"])
         self.assertIn("Worker::spawn_fallback_instance",
                       self.report["cold_escapes"])
@@ -105,6 +114,44 @@ class RepoReportTest(unittest.TestCase):
         again = build_hotpath_report(REPO_ROOT)
         self.assertEqual(json.dumps(self.report, indent=2),
                          json.dumps(again, indent=2))
+
+
+class BaselineGateTest(unittest.TestCase):
+    """Codec findings can never be suppressed via baseline.json."""
+
+    def _apply(self, entries, findings):
+        from swing_analyze.engine import apply_baseline
+        with tempfile.TemporaryDirectory() as td:
+            p = pathlib.Path(td) / "baseline.json"
+            p.write_text(json.dumps(entries), encoding="utf-8")
+            return apply_baseline(findings, p)
+
+    def test_checked_in_baseline_is_empty(self):
+        from swing_analyze.engine import baseline_path
+        entries = json.loads(baseline_path().read_text(encoding="utf-8"))
+        self.assertEqual(entries, [])
+
+    def test_codec_entry_is_an_error_and_does_not_suppress(self):
+        from swing_analyze.finding import Finding
+        f = Finding("src/x.h", 3, "codec-symmetry", "drift")
+        kept, errors = self._apply(
+            [{"path": "src/x.h", "rule": "codec-symmetry"}], [f])
+        self.assertEqual(kept, [f])  # Still reported.
+        self.assertTrue(any("cannot be baselined" in e for e in errors))
+
+    def test_codec_hot_entry_rejected_even_without_a_finding(self):
+        kept, errors = self._apply(
+            [{"path": "src/x.h", "rule": "codec-hot"}], [])
+        self.assertEqual(kept, [])
+        self.assertTrue(any("cannot be baselined" in e for e in errors))
+
+    def test_non_codec_entry_still_suppresses(self):
+        from swing_analyze.finding import Finding
+        f = Finding("src/y.h", 9, "heavy-copy", "copy")
+        kept, errors = self._apply(
+            [{"path": "src/y.h", "rule": "heavy-copy"}], [f])
+        self.assertEqual(kept, [])
+        self.assertEqual(errors, [])
 
 
 if __name__ == "__main__":

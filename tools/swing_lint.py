@@ -17,11 +17,12 @@ Rules (see DESIGN.md "Correctness tooling"):
   bare-assert     No bare assert() in src/; use SWING_CHECK (always on) or
                   SWING_DCHECK (debug) from common/check.h so contract
                   failures carry context and behave uniformly across builds.
-  fuzz-harness    Every wire decoder in src/ (a `static T from_bytes(...)`
-                  declaration) must be exercised by a fuzz harness: some
-                  fuzz/*.cpp must reference T::from_bytes. Decoders parse
-                  untrusted bytes; an unfuzzed decoder is an untested
-                  attack surface (see fuzz/fuzz_harness.h).
+  fuzz-harness    Every wire decoder in src/ (a `static T decode(ByteReader&)`
+                  declaration, or the legacy `static T from_bytes(...)`)
+                  must be exercised by a fuzz harness: some fuzz/*.cpp must
+                  reference T::decode or drive T through the fuzz_harness.h
+                  templates. Decoders parse untrusted bytes; an unfuzzed
+                  decoder is an untested attack surface.
   drop-reason-wired
                   Every DropReason enumerator (src/core/tuple_ledger.h)
                   must be named in tuple_ledger.cpp's drop_reason_name
@@ -72,8 +73,17 @@ RAW_DELETE_RE = re.compile(r"(?<![\w:])delete\b(?!\s*\()")
 # Bare assert( — but not static_assert, ASSERT_EQ, foo.assert_x or
 # qualified names (the look-behind excludes word chars, '.', ':').
 BARE_ASSERT_RE = re.compile(r"(?<![\w.:])assert\s*\(")
-FROM_BYTES_DECL_RE = re.compile(r"\bstatic\s+(\w+)\s+from_bytes\s*\(")
-FUZZ_REF_RE = re.compile(r"\b(\w+)\s*::\s*from_bytes\b")
+# Wire decoder declarations: the v2 `static T decode(ByteReader&)` shape
+# and the legacy `static T from_bytes(...)` (kept so a straggler revival is
+# still held to the fuzz-coverage bar).
+DECODER_DECL_RE = re.compile(
+    r"\bstatic\s+(?:SWING_HOT\s+)?(\w+)\s+"
+    r"(?:decode\s*\(\s*ByteReader|from_bytes\s*\()")
+# A harness covers T when it names T::decode / T::from_bytes directly or
+# drives it through the fuzz_harness.h templates
+# (swing_fuzz_decode<ns::T> / swing_fuzz_roundtrip_bytes<ns::T>).
+FUZZ_REF_RE = re.compile(r"\b(\w+)\s*::\s*(?:decode|from_bytes)\b")
+FUZZ_TEMPLATE_REF_RE = re.compile(r"\bswing_fuzz_\w+\s*<\s*([\w:\s]+?)\s*>")
 DEFAULTED_DELETE_RE = re.compile(r"=\s*delete\b")
 ALLOW_RE = re.compile(r"//\s*swing-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
@@ -264,10 +274,11 @@ class Linter:
 
     def scan_fuzz_coverage(self, src_root: pathlib.Path,
                            fuzz_root: pathlib.Path):
-        """Every `static T from_bytes(...)` in src/ needs a fuzz harness.
+        """Every wire decoder decl in src/ needs a fuzz harness.
 
-        Coverage means some fuzz/*.cpp references `T::from_bytes` (the
-        harness pattern in fuzz/fuzz_harness.h). Reported at the decl site.
+        Coverage means some fuzz/*.cpp references `T::decode` /
+        `T::from_bytes` or instantiates a fuzz_harness.h template with T
+        (`swing_fuzz_decode<ns::T>`). Reported at the decl site.
         """
         covered: set[str] = set()
         if fuzz_root.is_dir():
@@ -275,6 +286,8 @@ class Linter:
                 code = strip_comments_and_strings(
                     harness.read_text(encoding="utf-8", errors="replace"))
                 covered.update(FUZZ_REF_RE.findall(code))
+                for arg in FUZZ_TEMPLATE_REF_RE.findall(code):
+                    covered.add(arg.split("::")[-1].strip())
 
         for path in sorted(src_root.rglob("*")):
             if path.suffix not in CXX_SUFFIXES:
@@ -283,7 +296,7 @@ class Linter:
             raw_lines = raw.splitlines()
             code_lines = strip_comments_and_strings(raw).splitlines()
             for lineno, line in enumerate(code_lines, start=1):
-                m = FROM_BYTES_DECL_RE.search(line)
+                m = DECODER_DECL_RE.search(line)
                 if not m or m.group(1) in covered:
                     continue
                 raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
@@ -291,7 +304,7 @@ class Linter:
                     continue
                 self.report(
                     path, lineno, "fuzz-harness",
-                    f"wire decoder {m.group(1)}::from_bytes has no fuzz "
+                    f"wire decoder {m.group(1)}::decode has no fuzz "
                     f"harness (add fuzz/fuzz_<name>.cpp; see "
                     f"fuzz/fuzz_harness.h)")
 
