@@ -73,18 +73,23 @@ struct RunResult {
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoints_restored = 0;
   std::uint64_t migrations = 0;
+  std::uint64_t migration_aborts = 0;
+  std::uint64_t deltas_taken = 0;
+  std::uint64_t state_bytes = 0;    // Checkpoint bytes shipped, full + delta.
   bool conserved = false;
   std::string audit;
 };
 
-enum class Event { kCrash, kMigrate };
+enum class Event { kCrash, kMigrate, kAbortedMigrate };
 
 // One scene-analysis run on the strong-signal trio G/H/I with the event
 // fired at `before_s`. Checkpointing (100 ms interval) rides on top of the
 // swing-chaos recovery path when enabled; `loss` > 0 turns the clean leave
-// into a chaos crash on a lossy medium.
+// into a chaos crash on a lossy medium; `deltas_per_full` > 0 switches the
+// checkpoint plane to delta cadence (journals between periodic fulls).
 RunResult run_scenario(Event event, bool checkpointing, double loss,
-                       int before_s, int after_s, std::uint64_t seed) {
+                       int before_s, int after_s, std::uint64_t seed,
+                       std::size_t deltas_per_full = 0) {
   apps::SceneAnalysisConfig app;
   // Widen the branch asymmetry so the join genuinely holds state: face
   // halves wait ~145 ms for their object half, so there are pending
@@ -99,6 +104,9 @@ RunResult run_scenario(Event event, bool checkpointing, double loss,
   config.seed = seed;
   config.swarm.with_recovery();
   if (checkpointing) config.swarm.with_checkpointing(millis(100));
+  if (checkpointing && deltas_per_full > 0) {
+    config.swarm.with_delta_checkpointing(deltas_per_full);
+  }
   if (loss > 0.0) {
     config.swarm.chaos_enabled = true;
     config.swarm.chaos.seed = seed;
@@ -129,8 +137,15 @@ RunResult run_scenario(Event event, bool checkpointing, double loss,
 
   if (event == Event::kCrash) {
     swarm.leave_abruptly(victim);
-  } else {
+  } else if (event == Event::kMigrate) {
     swarm.migrate_stateful(victim, target);
+  } else {
+    // 2PC abort path: the destination dies right after PREPARE goes out, so
+    // it never acks; the coordinator's prepare timeout fires and the
+    // instance resumes at the source (presumed abort).
+    swarm.crash_during_migration(victim, target,
+                                 runtime::MigrationPhase::kPrepareSent,
+                                 runtime::Swarm::MigrationVictim::kDestination);
   }
   bed.run(seconds(double(after_s)));
 
@@ -140,6 +155,9 @@ RunResult run_scenario(Event event, bool checkpointing, double loss,
   out.checkpoints_taken = swarm.metrics().checkpoints_taken();
   out.checkpoints_restored = swarm.metrics().checkpoints_restored();
   out.migrations = swarm.metrics().migrations_completed();
+  out.migration_aborts = swarm.registry().counter("migrations_aborted").value();
+  out.deltas_taken = swarm.metrics().deltas_taken();
+  out.state_bytes = swarm.metrics().state_bytes();
 
   // Drain before auditing so every in-flight tuple lands or drops
   // deterministically; only then is emitted - delivered a loss count.
@@ -225,11 +243,29 @@ int main(int argc, char** argv) {
       run_scenario(Event::kMigrate, true, 0.0, before_s, after_s, cli.seed);
   print_run("planned migration, checkpointing ON", moved, before_s);
 
+  // Checkpoint plane v2: the same clean-leave crash with delta cadence
+  // (8 journals per full). The claim under test: strictly fewer state
+  // bytes on the wire at equal-or-better frames lost.
+  const RunResult leave_delta = run_scenario(Event::kCrash, true, 0.0,
+                                             before_s, after_s, cli.seed, 8);
+  print_run("leave, delta checkpointing ON (8 deltas/full)", leave_delta,
+            before_s);
+
+  // Checkpoint plane v2: a migration whose destination dies mid-2PC. The
+  // prepare times out, the coordinator aborts, and the source resumes —
+  // no stranded or duplicated instance, ledger conserved.
+  const RunResult aborted = run_scenario(Event::kAbortedMigrate, true, 0.0,
+                                         before_s, after_s, cli.seed);
+  print_run("migration aborted (destination crash mid-2PC)", aborted,
+            before_s);
+
   add_rows(report, "leave_nockpt", leave_off);
   add_rows(report, "leave_ckpt", leave_on);
   add_rows(report, "chaos_nockpt", chaos_off);
   add_rows(report, "chaos_ckpt", chaos_on);
   add_rows(report, "migrate", moved);
+  add_rows(report, "leave_delta", leave_delta);
+  add_rows(report, "migrate_abort", aborted);
 
   report.set_summary("leave_nockpt_frames_lost", leave_off.frames_lost);
   report.set_summary("leave_ckpt_frames_lost", leave_on.frames_lost);
@@ -244,6 +280,14 @@ int main(int argc, char** argv) {
   report.set_summary("migrate_state_lost", moved.state_lost);
   report.set_summary("migrations_completed", moved.migrations);
   report.set_summary("migrate_conserved", moved.conserved ? 1.0 : 0.0);
+  // Checkpoint plane v2 gate (tools/check_bench_json.py): the delta run
+  // must ship fewer checkpoint bytes than the full-only run, both > 0.
+  report.set_summary("checkpoint_bytes_full", leave_on.state_bytes);
+  report.set_summary("checkpoint_bytes_delta", leave_delta.state_bytes);
+  report.set_summary("frames_lost", leave_delta.frames_lost);
+  report.set_summary("deltas_taken", leave_delta.deltas_taken);
+  report.set_summary("migration_aborts", aborted.migration_aborts);
+  report.set_summary("abort_conserved", aborted.conserved ? 1.0 : 0.0);
 
   std::cout << "=== summary ===\n"
             << "leave frames lost:       " << leave_off.frames_lost
@@ -256,6 +300,16 @@ int main(int argc, char** argv) {
             << moved.migrations << " instance(s) moved, state-lost drops "
             << moved.state_lost
             << (moved.conserved ? ", ledger conserved" : ", LEDGER IMBALANCE")
+            << "\n"
+            << "delta cadence: " << leave_delta.state_bytes
+            << " state bytes vs " << leave_on.state_bytes << " full-only ("
+            << leave_delta.deltas_taken << " deltas), frames lost "
+            << leave_delta.frames_lost << " vs " << leave_on.frames_lost
+            << "\n"
+            << "aborted migration: " << aborted.migration_aborts
+            << " abort(s), " << aborted.frames_lost << " frames lost"
+            << (aborted.conserved ? ", ledger conserved"
+                                  : ", LEDGER IMBALANCE")
             << "\n";
 
   cli.finish(report);

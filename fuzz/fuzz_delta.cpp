@@ -1,0 +1,11 @@
+// Fuzz target: DeltaMsg::decode (worker -> master incremental checkpoint).
+//
+// Like CheckpointMsg, the delta payload is an opaque trailing blob at this
+// layer; the inner journal encoding is parsed at reconstruction time.
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::DeltaMsg msg = swing_fuzz_decode<swing::state::DeltaMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

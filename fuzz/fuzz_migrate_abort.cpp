@@ -1,0 +1,8 @@
+// Fuzz target: MigrateAbortMsg::decode (master -> both participants).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::MigrateAbortMsg msg = swing_fuzz_decode<swing::state::MigrateAbortMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

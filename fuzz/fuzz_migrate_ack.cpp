@@ -1,0 +1,8 @@
+// Fuzz target: MigrateAckMsg::decode (destination -> master 2PC vote).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::MigrateAckMsg msg = swing_fuzz_decode<swing::state::MigrateAckMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

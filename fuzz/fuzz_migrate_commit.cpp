@@ -1,0 +1,9 @@
+// Fuzz target: MigrateCommitMsg::decode (master -> both participants).
+// Exercises the hostile-downstream-count guard.
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::MigrateCommitMsg msg = swing_fuzz_decode<swing::state::MigrateCommitMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

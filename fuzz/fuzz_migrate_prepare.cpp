@@ -1,0 +1,8 @@
+// Fuzz target: MigratePrepareMsg::decode (master -> source 2PC PREPARE).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::MigratePrepareMsg msg = swing_fuzz_decode<swing::state::MigratePrepareMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,8 @@
+// Fuzz target: MigrateStateMsg::decode (source -> destination 2PC transfer).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::MigrateStateMsg msg = swing_fuzz_decode<swing::state::MigrateStateMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

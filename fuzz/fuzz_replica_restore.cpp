@@ -1,0 +1,9 @@
+// Fuzz target: ReplicaRestoreMsg::decode (master -> peer rebuild command).
+// Exercises the hostile-downstream-count guard.
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::ReplicaRestoreMsg msg = swing_fuzz_decode<swing::state::ReplicaRestoreMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,9 @@
+// Fuzz target: ReplicateMsg::decode (master -> peer-worker chain relay).
+// Exercises the kind-byte validation (only kFull/kDelta are legal).
+#include "fuzz/fuzz_harness.h"
+#include "state/state_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::state::ReplicateMsg msg = swing_fuzz_decode<swing::state::ReplicateMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -163,8 +163,74 @@ int main(int argc, char** argv) {
   write_seed(root, "fuzz_restore", "empty_state",
              encode_to_bytes(state::RestoreMsg{restore.instance, 0, 0, {}, {}}));
 
-  write_seed(root, "fuzz_migrate", "typical",
-             encode_to_bytes(state::MigrateMsg{InstanceId{5}, DeviceId{2}}));
+  // Checkpoint plane v2: delta records, peer replication, 2PC migration.
+  // The delta payload is a realistic journal envelope: varint new-id count,
+  // ids, then the unit's journalled ops.
+  ByteWriter delta_envelope;
+  delta_envelope.write_varint(1);
+  delta_envelope.write_u64(43);
+  delta_envelope.write_varint(1);  // FusionUnit journal: one insert op.
+  delta_envelope.write_u8(0);      // insert
+  delta_envelope.write_u64(43);
+  delta_envelope.write_bytes(encode_to_bytes(sample_tuple()));
+  const Bytes delta_state = delta_envelope.take();
+
+  state::DeltaMsg delta;
+  delta.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  delta.epoch = 4;
+  delta.base_epoch = 3;
+  delta.taken_ns = 2'550'000'000;
+  delta.delta = delta_state;
+  write_seed(root, "fuzz_delta", "one_insert", encode_to_bytes(delta));
+
+  state::ReplicateMsg replicate;
+  replicate.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  replicate.kind = state::ReplicateMsg::Kind::kFull;
+  replicate.epoch = 3;
+  replicate.base_epoch = 3;
+  replicate.sent_ns = 2'500'000'000;
+  replicate.state = state;
+  write_seed(root, "fuzz_replicate", "full", encode_to_bytes(replicate));
+  replicate.kind = state::ReplicateMsg::Kind::kDelta;
+  replicate.epoch = 4;
+  replicate.state = delta_state;
+  write_seed(root, "fuzz_replicate", "delta", encode_to_bytes(replicate));
+
+  state::ReplicaRestoreMsg replica_restore;
+  replica_restore.instance =
+      InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  replica_restore.sent_ns = 2'600'000'000;
+  replica_restore.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  write_seed(root, "fuzz_replica_restore", "typical",
+             encode_to_bytes(replica_restore));
+
+  write_seed(root, "fuzz_migrate_prepare", "typical",
+             encode_to_bytes(
+                 state::MigratePrepareMsg{9, InstanceId{5}, DeviceId{2}}));
+
+  state::MigrateStateMsg xfer;
+  xfer.txn = 9;
+  xfer.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{2}};
+  xfer.epoch = 5;
+  xfer.sent_ns = 2'650'000'000;
+  xfer.state = state;
+  write_seed(root, "fuzz_migrate_state", "typical", encode_to_bytes(xfer));
+
+  write_seed(root, "fuzz_migrate_ack", "ok",
+             encode_to_bytes(state::MigrateAckMsg{9, InstanceId{5}, true}));
+  write_seed(root, "fuzz_migrate_ack", "nack",
+             encode_to_bytes(state::MigrateAckMsg{9, InstanceId{5}, false}));
+
+  state::MigrateCommitMsg commit;
+  commit.txn = 9;
+  commit.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{2}};
+  commit.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  write_seed(root, "fuzz_migrate_commit", "typical", encode_to_bytes(commit));
+
+  write_seed(root, "fuzz_migrate_abort", "typical",
+             encode_to_bytes(state::MigrateAbortMsg{9, InstanceId{5}}));
 
   std::printf("wrote %d seed(s) under %s\n", g_written, root.string().c_str());
   return 0;

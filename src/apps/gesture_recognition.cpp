@@ -124,6 +124,7 @@ class WindowUnit final : public FunctionUnit {
     s.y = float(r.read_f64());
     s.z = float(r.read_f64());
     buffer_.push_back(s);
+    journal_append(s);
     if (buffer_.size() < window_samples_) return;
 
     Tuple out{TupleId{window_index_++}, input.source_time()};
@@ -147,6 +148,10 @@ class WindowUnit final : public FunctionUnit {
       out.write_f64(s.y);
       out.write_f64(s.z);
     }
+    // Full snapshot = new delta base: re-arm and clear the journal.
+    journaling_ = true;
+    journal_overflow_ = false;
+    journal_.clear();
   }
 
   void restore_state(ByteReader& in) override {
@@ -162,10 +167,65 @@ class WindowUnit final : public FunctionUnit {
     }
   }
 
+  // --- incremental-checkpoint contract -------------------------------------
+  // The journal is the samples appended since the last shipped record; the
+  // window roll (emit + clear at window_samples_) is deterministic, so
+  // replaying appends through the same roll logic reproduces both the buffer
+  // and the window counter.
+
+  [[nodiscard]] bool delta_ready() const override {
+    return journaling_ && !journal_overflow_;
+  }
+
+  void snapshot_delta(ByteWriter& out) override {
+    out.write_varint(journal_.size());
+    for (const AccelSample& s : journal_) {
+      out.write_f64(s.x);
+      out.write_f64(s.y);
+      out.write_f64(s.z);
+    }
+    journal_.clear();
+  }
+
+  void apply_delta(ByteReader& in) override {
+    const std::uint64_t n = in.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      AccelSample s;
+      s.x = float(in.read_f64());
+      s.y = float(in.read_f64());
+      s.z = float(in.read_f64());
+      buffer_.push_back(s);
+      if (buffer_.size() >= window_samples_) {
+        // The live unit emitted this window; the replica only rolls state.
+        ++window_index_;
+        buffer_.clear();
+      }
+    }
+  }
+
  private:
+  // Bound the journal to a few windows' worth of samples; past that a full
+  // snapshot (at most one window of state) is smaller anyway.
+  static constexpr std::size_t kMaxJournalSamples = 1024;
+
+  void journal_append(const AccelSample& s) {
+    if (!journaling_ || journal_overflow_) return;
+    if (journal_.size() >= kMaxJournalSamples) {
+      journal_overflow_ = true;
+      journal_.clear();
+      return;
+    }
+    journal_.push_back(s);
+  }
+
   std::size_t window_samples_;
   std::vector<AccelSample> buffer_;
   std::uint64_t window_index_ = 0;
+  // Armed by the first full snapshot; mutable because snapshot_state() is
+  // logically const for the window state but resets the journal.
+  mutable bool journaling_ = false;
+  mutable bool journal_overflow_ = false;
+  mutable std::vector<AccelSample> journal_;
 };
 
 // swing-lint: stateless — pure per-tuple transform.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "apps/face_recognition.h"
 #include "common/rng.h"
@@ -76,6 +77,7 @@ class FusionUnit final : public FunctionUnit {
     const std::uint64_t id = input.id().value();
     auto [it, inserted] = pending_.try_emplace(id, input);
     if (inserted) {
+      journal_insert(id, it->second);
       order_.push_back(id);
       evict();
       return;
@@ -85,6 +87,7 @@ class FusionUnit final : public FunctionUnit {
     for (const auto& [key, value] : input.fields()) {
       merged.set(key, value);
     }
+    journal_erase(id);
     pending_.erase(it);
     // Keep order_ consistent with pending_: a stale id would both corrupt
     // snapshots and make evict() drop live halves early.
@@ -114,6 +117,11 @@ class FusionUnit final : public FunctionUnit {
       out.write_varint(t.encoded_size());
       t.encode(out);
     }
+    // A full snapshot is the delta chain's new base: re-arm journaling and
+    // drop mutations the snapshot already covers.
+    journaling_ = true;
+    journal_overflow_ = false;
+    journal_.clear();
   }
 
   void restore_state(ByteReader& in) override {
@@ -130,7 +138,79 @@ class FusionUnit final : public FunctionUnit {
     evict();  // A snapshot from a larger-window config still fits ours.
   }
 
+  // --- incremental-checkpoint contract -------------------------------------
+  // The journal is the ordered list of join-table mutations since the last
+  // shipped record: `insert` (first half arrived; the serialized tuple rides
+  // along) or `erase` (sibling matched and the pair was emitted). Eviction is
+  // NOT journaled: replaying inserts through the same evict() on an identical
+  // base reproduces it deterministically.
+
+  [[nodiscard]] bool delta_ready() const override {
+    return journaling_ && !journal_overflow_;
+  }
+
+  void snapshot_delta(ByteWriter& out) override {
+    out.write_varint(journal_.size());
+    for (const Op& op : journal_) {
+      out.write_u8(op.erase ? 1 : 0);
+      out.write_u64(op.id);
+      if (!op.erase) out.write_bytes(op.frame);  // Length-prefixed.
+    }
+    journal_.clear();
+  }
+
+  void apply_delta(ByteReader& in) override {
+    const std::uint64_t n = in.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const bool erase = in.read_u8() != 0;
+      const std::uint64_t id = in.read_u64();
+      if (erase) {
+        if (pending_.erase(id) > 0) {
+          order_.erase(std::find(order_.begin(), order_.end(), id));
+        }
+        continue;
+      }
+      ByteReader frame{in.read_span()};
+      Tuple t = Tuple::decode(frame);
+      if (pending_.try_emplace(id, std::move(t)).second) {
+        order_.push_back(id);
+        evict();
+      }
+    }
+  }
+
   private:
+   struct Op {
+     bool erase = false;
+     std::uint64_t id = 0;
+     Bytes frame;  // Serialized tuple for inserts; empty for erases.
+   };
+   // Past this many buffered mutations a delta stops paying for itself next
+   // to the windowed full snapshot; fall back to a full.
+   static constexpr std::size_t kMaxJournalOps = 512;
+
+   void journal_insert(std::uint64_t id, const Tuple& t) {
+     if (!journaling_ || journal_overflow_) return;
+     if (journal_.size() >= kMaxJournalOps) {
+       journal_overflow_ = true;
+       journal_.clear();
+       return;
+     }
+     ByteWriter w;
+     t.encode(w);
+     journal_.push_back(Op{false, id, w.take()});
+   }
+
+   void journal_erase(std::uint64_t id) {
+     if (!journaling_ || journal_overflow_) return;
+     if (journal_.size() >= kMaxJournalOps) {
+       journal_overflow_ = true;
+       journal_.clear();
+       return;
+     }
+     journal_.push_back(Op{true, id, {}});
+   }
+
    void evict() {
      while (order_.size() > window_) {
        pending_.erase(order_.front());
@@ -141,6 +221,11 @@ class FusionUnit final : public FunctionUnit {
    std::size_t window_;
    std::unordered_map<std::uint64_t, Tuple> pending_;
    std::deque<std::uint64_t> order_;
+   // Delta journal; armed by the first full snapshot (mutable: taking a full
+   // snapshot is logically const for the join state but resets the journal).
+   mutable bool journaling_ = false;
+   mutable bool journal_overflow_ = false;
+   mutable std::vector<Op> journal_;
 };
 
 }  // namespace

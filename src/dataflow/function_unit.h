@@ -61,6 +61,26 @@ class FunctionUnit {
   [[nodiscard]] virtual bool stateful() const { return false; }
   virtual void snapshot_state(ByteWriter& /*out*/) const {}
   virtual void restore_state(ByteReader& /*in*/) {}
+
+  // --- Optional incremental-checkpoint contract (checkpoint plane v2) -----
+  //
+  // A stateful unit may additionally journal its mutations so the runtime
+  // can ship small deltas between periodic full snapshots. Journaling is
+  // armed by the first snapshot_state() call (so non-checkpointing runs pay
+  // nothing) and must be bounded: when the journal overflows or the unit
+  // cannot express a mutation incrementally, delta_ready() returns false and
+  // the runtime falls back to a full snapshot, which re-arms the journal.
+  //
+  // snapshot_delta() serializes AND clears the journal — each delta covers
+  // exactly the mutations since the previous snapshot_delta()/snapshot_state()
+  // call. apply_delta() replays a journal onto restored state. The chain
+  // invariant, asserted by the StateDelta property tests: for any input
+  // sequence, restore_state(full) followed by apply_delta() of each shipped
+  // delta in epoch order leaves the unit byte-identical (per snapshot_state)
+  // to the live instance.
+  [[nodiscard]] virtual bool delta_ready() const { return false; }
+  virtual void snapshot_delta(ByteWriter& /*out*/) {}
+  virtual void apply_delta(ByteReader& /*in*/) {}
 };
 
 using FunctionUnitFactory = std::function<std::unique_ptr<FunctionUnit>()>;

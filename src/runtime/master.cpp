@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "state/state_chain.h"
 
 namespace swing::runtime {
 
@@ -36,6 +37,12 @@ const char* master_event_name(MasterEvent kind) {
       return "restore";
     case MasterEvent::kMigrate:
       return "migrate";
+    case MasterEvent::kMigrateCommit:
+      return "migrate-commit";
+    case MasterEvent::kMigrateAbort:
+      return "migrate-abort";
+    case MasterEvent::kDelta:
+      return "delta";
   }
   return "unknown";
 }
@@ -88,6 +95,16 @@ void Master::handle_message(const net::Message& msg) {
         handle_checkpoint(state::CheckpointMsg::decode(r));
         break;
       }
+      case MsgType::kDelta: {
+        ByteReader r{msg.payload};
+        handle_delta(state::DeltaMsg::decode(r));
+        break;
+      }
+      case MsgType::kMigrateAck: {
+        ByteReader r{msg.payload};
+        handle_migrate_ack(state::MigrateAckMsg::decode(r));
+        break;
+      }
       // Worker-bound messages; the runtime routes them elsewhere. Enumerated
       // (no default) so -Wswitch forces a routing decision when a message
       // kind is added.
@@ -100,8 +117,13 @@ void Master::handle_message(const net::Message& msg) {
       case MsgType::kAck:
       case MsgType::kDataBatch:
       case MsgType::kAckBatch:
-      case MsgType::kMigrate:
+      case MsgType::kMigratePrepare:
       case MsgType::kRestore:
+      case MsgType::kReplicate:
+      case MsgType::kReplicaRestore:
+      case MsgType::kMigrateState:
+      case MsgType::kMigrateCommit:
+      case MsgType::kMigrateAbort:
         break;
     }
   } catch (const WireFormatError& e) {
@@ -208,6 +230,33 @@ void Master::deploy_to(DeviceId device) {
 }
 
 void Master::remove_device(DeviceId device) {
+  if (!members_.contains(device.value())) return;
+
+  // Resolve in-flight migration transactions the dead device was party to
+  // before touching the registry. A source that died after the destination
+  // staged and acked its state is committed — the destination owns a
+  // complete copy, so finishing the handoff loses nothing. Every other
+  // combination aborts: the surviving source resumes in place, a surviving
+  // destination discards its inert staged copy.
+  std::vector<std::uint64_t> involved;
+  for (const auto& [id, txn] : txns_) {
+    if (txn.from == device || txn.to == device) involved.push_back(id);
+  }
+  for (const std::uint64_t id : involved) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) continue;
+    if (it->second.from == device && it->second.acked) {
+      const MigrationTxn txn = it->second;
+      sim_.cancel(txn.timeout);
+      txns_.erase(id);
+      decisions_.push_back({txn.txn, MigrationDecision::Kind::kCommit,
+                            txn.instance, txn.from, txn.to});
+      finalize_commit(decisions_.back());
+    } else {
+      abort_txn(id);
+    }
+  }
+
   auto it = members_.find(device.value());
   if (it == members_.end()) return;
   const std::vector<InstanceInfo> gone = std::move(it->second);
@@ -225,32 +274,94 @@ void Master::remove_device(DeviceId device) {
                list.end());
   }
   // swing-state redeploy-and-restore: a dead member's stateful instances
-  // with a stored checkpoint are relocated to a survivor instead of being
-  // torn down. The InstanceId is preserved, so key-partitioned fan-in keeps
-  // its mapping and pending retransmissions find the revived instance.
+  // are relocated to a survivor instead of being torn down, resolved along
+  // the fallback chain master store -> peer replica -> state lost. The
+  // InstanceId is preserved, so key-partitioned fan-in keeps its mapping
+  // and pending retransmissions find the revived instance.
   std::vector<InstanceInfo> lost;
   for (const auto& info : gone) {
     bool relocated = false;
     if (config_.restore_from_checkpoint && op_stateful(info.op)) {
-      if (const auto* entry = checkpoints_.latest(info.instance)) {
-        const DeviceId target =
-            pick_restore_target(graph_.op(info.op), device);
-        if (target.valid()) {
+      const DeviceId target = pick_restore_target(graph_.op(info.op), device);
+      if (const auto* chain = checkpoints_.chain(info.instance);
+          chain != nullptr && target.valid()) {
+        Bytes merged;
+        if (flatten_chain(*chain, info.op, merged)) {
           const InstanceInfo revived{info.instance, info.op, target};
           members_[target.value()].push_back(revived);
           by_op_[info.op.value()].push_back(revived);
-          install_restore(*entry, target);
+          install_restore(info, chain->tip_epoch(), merged, target);
+          count_restore("master");
           relocated = true;
         }
       }
+      if (!relocated) {
+        // The master has no usable chain (e.g. its volatile store was
+        // lost): fall back to the peer replica, which rebuilds the
+        // instance locally from its replicated chain.
+        auto peer_it = replica_of_.find(info.instance.value());
+        if (peer_it != replica_of_.end()) {
+          const DeviceId peer = peer_it->second;
+          if (peer != device && members_.contains(peer.value()) &&
+              placeable(graph_.op(info.op), peer)) {
+            const InstanceInfo revived{info.instance, info.op, peer};
+            members_[peer.value()].push_back(revived);
+            by_op_[info.op.value()].push_back(revived);
+            state::ReplicaRestoreMsg restore;
+            restore.instance = info;
+            restore.sent_ns = sim_.now().nanos();
+            for (OperatorId down_op : graph_.downstreams(info.op)) {
+              auto d = by_op_.find(down_op.value());
+              if (d == by_op_.end()) continue;
+              for (const auto& down : d->second) {
+                restore.downstreams.push_back(down);
+              }
+            }
+            send_msg(peer, MsgType::kReplicaRestore, restore);
+            announce_instance(revived);
+            note_event(MasterEvent::kRestore, info.instance.value());
+            count_restore("peer");
+            // The peer consumes its chain on restore, and a replica on the
+            // instance's own host is useless: drop the assignment so the
+            // next accepted record picks a fresh peer.
+            replica_of_.erase(peer_it);
+            relocated = true;
+          }
+        }
+      }
+      if (!relocated) count_restore("lost");
     }
-    if (!relocated) lost.push_back(info);
+    if (!relocated) {
+      lost.push_back(info);
+      replica_of_.erase(info.instance.value());
+    }
   }
   // Broadcast removals so every upstream drops the dead instances.
   for (const auto& [member, instances] : members_) {
     for (const auto& info : lost) {
       RouteUpdateMsg update{InstanceId{}, info};
       send_msg(DeviceId{member}, MsgType::kRemoveDownstream, update);
+    }
+  }
+  // Replica chains hosted on the dead device died with it: re-pick a peer
+  // for each affected instance and re-ship its chain from the master store
+  // so replica coverage heals.
+  if (config_.replicate_to_peer) {
+    std::vector<std::uint64_t> stale;
+    for (const auto& [inst, peer] : replica_of_) {
+      if (peer == device) stale.push_back(inst);
+    }
+    for (const std::uint64_t inst : stale) {
+      replica_of_.erase(inst);
+      const InstanceInfo* live = nullptr;
+      for (const auto& [op, list] : by_op_) {
+        for (const auto& info : list) {
+          if (info.instance.value() == inst) live = &info;
+        }
+      }
+      if (live != nullptr && checkpoints_.chain(InstanceId{inst}) != nullptr) {
+        assign_replica(*live);
+      }
     }
   }
 }
@@ -295,6 +406,12 @@ bool Master::op_stateful(OperatorId op) const {
   return stateful;
 }
 
+void Master::count_restore(const char* source) {
+  if (config_.registry != nullptr) {
+    config_.registry->counter("state_restores", {{"source", source}}).inc();
+  }
+}
+
 DeviceId Master::pick_restore_target(const dataflow::OperatorDecl& op,
                                      DeviceId exclude) const {
   DeviceId best{};
@@ -311,6 +428,11 @@ DeviceId Master::pick_restore_target(const dataflow::OperatorDecl& op,
   return best;  // members_ is sorted, so ties land on the lowest device id.
 }
 
+DeviceId Master::replica_of(InstanceId instance) const {
+  auto it = replica_of_.find(instance.value());
+  return it == replica_of_.end() ? DeviceId{} : it->second;
+}
+
 void Master::relocate_record(const InstanceInfo& info, DeviceId target) {
   auto member = members_.find(info.device.value());
   if (member != members_.end()) {
@@ -322,81 +444,200 @@ void Master::relocate_record(const InstanceInfo& info, DeviceId target) {
                list.end());
   }
   const InstanceInfo moved{info.instance, info.op, target};
-  members_[target.value()].push_back(moved);
+  auto& target_list = members_[target.value()];
+  const bool present =
+      std::any_of(target_list.begin(), target_list.end(),
+                  [&](const InstanceInfo& x) {
+                    return x.instance == info.instance;
+                  });
+  if (!present) target_list.push_back(moved);  // Idempotent for recovery.
   for (auto& entry : by_op_[info.op.value()]) {
     if (entry.instance == info.instance) entry.device = target;
   }
 }
 
-void Master::install_restore(const state::CheckpointStore::Entry& entry,
-                             DeviceId target) {
+void Master::announce_instance(const InstanceInfo& info) {
+  // AddDownstream overwrites the peer address book on hosts that already
+  // route to this InstanceId, so in-flight retransmissions converge on the
+  // instance's current address.
+  for (OperatorId up_op : graph_.upstreams(info.op)) {
+    auto it = by_op_.find(up_op.value());
+    if (it == by_op_.end()) continue;
+    for (const auto& up : it->second) {
+      RouteUpdateMsg update{up.instance, info};
+      send_msg(up.device, MsgType::kAddDownstream, update);
+    }
+  }
+}
+
+bool Master::flatten_chain(const state::CheckpointStore::Chain& chain,
+                           OperatorId op, Bytes& out) const {
+  if (chain.deltas.empty()) {
+    out = chain.base.state;  // Fast path: the base already is the answer.
+    return true;
+  }
+  const auto unit = graph_.op(op).factory();
+  if (unit == nullptr) return false;
+  std::vector<const Bytes*> deltas;
+  deltas.reserve(chain.deltas.size());
+  for (const auto& d : chain.deltas) deltas.push_back(&d.state);
+  try {
+    out = state::reconstruct_state(*unit, chain.base.state, deltas);
+  } catch (const WireFormatError& e) {
+    SWING_LOG(kWarn) << "master: chain reconstruction failed for instance "
+                     << chain.base.instance.instance << ": " << e.what();
+    return false;
+  }
+  return true;
+}
+
+void Master::install_restore(const InstanceInfo& info, std::uint64_t epoch,
+                             const Bytes& state, DeviceId target) {
   state::RestoreMsg restore;
-  restore.instance =
-      InstanceInfo{entry.instance.instance, entry.instance.op, target};
-  restore.epoch = entry.epoch;
+  restore.instance = InstanceInfo{info.instance, info.op, target};
+  restore.epoch = epoch;
   restore.sent_ns = sim_.now().nanos();
-  restore.state = entry.state;
-  for (OperatorId down_op : graph_.downstreams(entry.instance.op)) {
+  restore.state = state;
+  for (OperatorId down_op : graph_.downstreams(info.op)) {
     auto it = by_op_.find(down_op.value());
     if (it == by_op_.end()) continue;
     for (const auto& down : it->second) restore.downstreams.push_back(down);
   }
   send_msg(target, MsgType::kRestore, restore);
 
-  // Re-announce the instance at its new address. AddDownstream overwrites
-  // the peer address book on hosts that already route to this InstanceId,
-  // so in-flight retransmissions converge on the revived instance.
-  for (OperatorId up_op : graph_.upstreams(entry.instance.op)) {
-    auto it = by_op_.find(up_op.value());
-    if (it == by_op_.end()) continue;
-    for (const auto& up : it->second) {
-      RouteUpdateMsg update{up.instance, restore.instance};
-      send_msg(up.device, MsgType::kAddDownstream, update);
-    }
-  }
-  note_event(MasterEvent::kRestore, entry.instance.instance.value());
+  // Re-announce the instance at its new address.
+  announce_instance(restore.instance);
+  note_event(MasterEvent::kRestore, info.instance.value());
 }
 
 void Master::handle_checkpoint(const state::CheckpointMsg& msg) {
-  const bool stored = checkpoints_.store(msg);
-  if (stored) {
-    if (config_.registry != nullptr) {
-      config_.registry->counter("checkpoints_stored").inc();
-      config_.registry->histogram("checkpoint_latency_ms")
-          .record((sim_.now() - SimTime{msg.taken_ns}).millis());
-    }
-    if (config_.tracer != nullptr) {
-      config_.tracer->span(obs::TracePhase::kTransfer,
-                           TupleId{msg.instance.instance.value()}, device_,
-                           SimTime{msg.taken_ns},
-                           sim_.now() - SimTime{msg.taken_ns});
-    }
-    note_event(MasterEvent::kCheckpoint, msg.instance.instance.value());
+  if (!checkpoints_.store(msg)) return;
+  if (config_.registry != nullptr) {
+    config_.registry->counter("checkpoints_stored").inc();
+    config_.registry->histogram("checkpoint_latency_ms")
+        .record((sim_.now() - SimTime{msg.taken_ns}).millis());
   }
-  if (msg.migrate_to.valid()) complete_migration(msg);
+  if (config_.tracer != nullptr) {
+    config_.tracer->span(obs::TracePhase::kTransfer,
+                         TupleId{msg.instance.instance.value()}, device_,
+                         SimTime{msg.taken_ns},
+                         sim_.now() - SimTime{msg.taken_ns});
+  }
+  note_event(MasterEvent::kCheckpoint, msg.instance.instance.value());
+  // Under 2PC, msg.migrate_to on the source's final PREPARE snapshot is
+  // informational — commit is driven by the destination's MigrateAck, not
+  // by this arrival.
+  if (config_.replicate_to_peer) {
+    replicate_record(msg.instance, state::ReplicateMsg::Kind::kFull,
+                     msg.epoch, msg.epoch, msg.state);
+  }
 }
 
-void Master::complete_migration(const state::CheckpointMsg& msg) {
-  const auto* entry = checkpoints_.latest(msg.instance.instance);
-  if (entry == nullptr) return;  // Final snapshot lost an epoch race.
-  pending_migrations_.erase(msg.instance.instance.value());
-
-  DeviceId target = msg.migrate_to;
-  if (!members_.contains(target.value()) ||
-      !placeable(graph_.op(msg.instance.op), target)) {
-    // The planned target left mid-handoff; fall back to any survivor so the
-    // drained state is not stranded.
-    target = pick_restore_target(graph_.op(msg.instance.op),
-                                 msg.instance.device);
-    if (!target.valid()) return;
-  }
-  relocate_record(msg.instance, target);
-  install_restore(*entry, target);
+void Master::handle_delta(const state::DeltaMsg& msg) {
+  if (!checkpoints_.store_delta(msg)) return;
   if (config_.registry != nullptr) {
-    // Same (name, labels) key as the MetricsCollector's instrument, so this
-    // lands in the swarm-wide migrations_completed counter.
-    config_.registry->counter("migrations_completed").inc();
+    config_.registry->counter("deltas_stored").inc();
+    config_.registry->histogram("checkpoint_latency_ms")
+        .record((sim_.now() - SimTime{msg.taken_ns}).millis());
   }
+  if (config_.tracer != nullptr) {
+    config_.tracer->span(obs::TracePhase::kTransfer,
+                         TupleId{msg.instance.instance.value()}, device_,
+                         SimTime{msg.taken_ns},
+                         sim_.now() - SimTime{msg.taken_ns});
+  }
+  note_event(MasterEvent::kDelta, msg.instance.instance.value());
+  if (config_.replicate_to_peer) {
+    replicate_record(msg.instance, state::ReplicateMsg::Kind::kDelta,
+                     msg.epoch, msg.base_epoch, msg.delta);
+  }
+}
+
+// --- peer replication -------------------------------------------------------
+
+void Master::replicate_record(const InstanceInfo& info,
+                              state::ReplicateMsg::Kind kind,
+                              std::uint64_t epoch, std::uint64_t base_epoch,
+                              const Bytes& state) {
+  auto it = replica_of_.find(info.instance.value());
+  const DeviceId peer = it == replica_of_.end() ? DeviceId{} : it->second;
+  if (!peer.valid() || peer == info.device ||
+      !members_.contains(peer.value())) {
+    // Missing or stale assignment: pick a peer and ship the whole stored
+    // chain (which already includes the record that triggered this call).
+    assign_replica(info);
+    return;
+  }
+  state::ReplicateMsg rep;
+  rep.instance = info;
+  rep.kind = kind;
+  rep.epoch = epoch;
+  rep.base_epoch = base_epoch;
+  rep.sent_ns = sim_.now().nanos();
+  rep.state = state;
+  send_msg(peer, MsgType::kReplicate, rep);
+  if (config_.registry != nullptr) {
+    config_.registry->counter("state_bytes", {{"kind", "replica"}})
+        .inc(state.size());
+  }
+}
+
+DeviceId Master::assign_replica(const InstanceInfo& info) {
+  // Deterministic peer choice: fewest hosted instances, ties to the lowest
+  // device id; never the instance's own host (a replica there dies with the
+  // instance) and never a device the operator could not run on.
+  const auto& decl = graph_.op(info.op);
+  DeviceId best{};
+  std::size_t best_load = 0;
+  for (const auto& [member, instances] : members_) {
+    const DeviceId candidate{member};
+    if (candidate == info.device) continue;
+    if (decl.placement == dataflow::Placement::kMaster && candidate != device_) {
+      continue;
+    }
+    if (decl.placement == dataflow::Placement::kWorkers &&
+        candidate == device_ && !config_.transforms_on_master) {
+      continue;
+    }
+    if (!best.valid() || instances.size() < best_load) {
+      best = candidate;
+      best_load = instances.size();
+    }
+  }
+  if (!best.valid()) return best;
+  replica_of_[info.instance.value()] = best;
+  const auto* chain = checkpoints_.chain(info.instance);
+  if (chain == nullptr) return best;
+  const auto ship = [&](state::ReplicateMsg::Kind kind, std::uint64_t epoch,
+                        std::uint64_t base_epoch, const Bytes& state) {
+    state::ReplicateMsg rep;
+    rep.instance = info;
+    rep.kind = kind;
+    rep.epoch = epoch;
+    rep.base_epoch = base_epoch;
+    rep.sent_ns = sim_.now().nanos();
+    rep.state = state;
+    send_msg(best, MsgType::kReplicate, rep);
+    if (config_.registry != nullptr) {
+      config_.registry->counter("state_bytes", {{"kind", "replica"}})
+          .inc(state.size());
+    }
+  };
+  ship(state::ReplicateMsg::Kind::kFull, chain->base.epoch, chain->base.epoch,
+       chain->base.state);
+  for (const auto& d : chain->deltas) {
+    ship(state::ReplicateMsg::Kind::kDelta, d.epoch, chain->base.epoch,
+         d.state);
+  }
+  return best;
+}
+
+// --- 2PC migration coordinator ----------------------------------------------
+
+void Master::fire_phase(MigrationPhase phase, const MigrationTxn& txn) {
+  if (!phase_hook_) return;
+  const MigrationPhaseHook hook = phase_hook_;  // It may replace itself.
+  hook(phase, txn);
 }
 
 bool Master::migrate_instance(InstanceId instance, DeviceId to) {
@@ -410,7 +651,9 @@ bool Master::migrate_instance(InstanceId instance, DeviceId to) {
   if (found == nullptr) return false;
   if (found->device == to) return false;
   if (!op_stateful(found->op)) return false;
-  if (pending_migrations_.contains(instance.value())) return false;
+  for (const auto& [id, txn] : txns_) {
+    if (txn.instance.instance == instance) return false;  // Already in flight.
+  }
   const auto& decl = graph_.op(found->op);
   switch (decl.placement) {
     case dataflow::Placement::kMaster:
@@ -420,9 +663,29 @@ bool Master::migrate_instance(InstanceId instance, DeviceId to) {
       if (to == device_ && !config_.transforms_on_master) return false;
       break;
   }
-  pending_migrations_[instance.value()] = to;
+
+  MigrationTxn txn;
+  txn.txn = next_txn_++;
+  txn.instance = *found;
+  txn.from = found->device;
+  txn.to = to;
+  // Write-ahead: log intent before the first message leaves, so a
+  // coordinator crash at any later point knows this transaction existed
+  // and presumes abort until a COMMIT record says otherwise.
+  decisions_.push_back({txn.txn, MigrationDecision::Kind::kPrepare,
+                        txn.instance, txn.from, txn.to});
   note_event(MasterEvent::kMigrate, instance.value());
-  send_msg(found->device, MsgType::kMigrate, state::MigrateMsg{instance, to});
+  send_msg(txn.from, MsgType::kMigratePrepare,
+           state::MigratePrepareMsg{txn.txn, instance, to});
+  if (config_.migration_prepare_timeout.nanos() > 0) {
+    txn.timeout = sim_.schedule_after(
+        config_.migration_prepare_timeout, [this, id = txn.txn] {
+          auto it = txns_.find(id);
+          if (it != txns_.end() && !it->second.acked) abort_txn(id);
+        });
+  }
+  txns_[txn.txn] = txn;
+  fire_phase(MigrationPhase::kPrepareSent, txn);
   return true;
 }
 
@@ -435,6 +698,130 @@ int Master::migrate_stateful(DeviceId from, DeviceId to) {
     if (migrate_instance(info.instance, to)) ++started;
   }
   return started;
+}
+
+void Master::handle_migrate_ack(const state::MigrateAckMsg& msg) {
+  auto it = txns_.find(msg.txn);
+  if (it == txns_.end()) return;  // Late ack for a retired transaction.
+  if (!msg.ok) {
+    abort_txn(msg.txn);
+    return;
+  }
+  it->second.acked = true;
+  {
+    const MigrationTxn snapshot = it->second;
+    fire_phase(MigrationPhase::kAckReceived, snapshot);
+  }
+  it = txns_.find(msg.txn);
+  if (it == txns_.end()) return;  // The hook crashed the coordinator.
+  const MigrationTxn txn = it->second;
+  sim_.cancel(txn.timeout);
+  txns_.erase(msg.txn);
+  // Write-ahead: log the COMMIT decision before acting on it, so a crash
+  // between here and completion is re-driven by recovery, never
+  // half-applied.
+  decisions_.push_back({txn.txn, MigrationDecision::Kind::kCommit,
+                        txn.instance, txn.from, txn.to});
+  const MigrationDecision decision = decisions_.back();
+  fire_phase(MigrationPhase::kCommitLogged, txn);
+  // If the hook crashed our volatile state, recovery already finalized this
+  // logged decision; a kEnd record marks that.
+  for (auto rit = decisions_.rbegin(); rit != decisions_.rend(); ++rit) {
+    if (rit->txn == txn.txn && rit->kind == MigrationDecision::Kind::kEnd) {
+      return;
+    }
+  }
+  finalize_commit(decision);
+}
+
+void Master::finalize_commit(const MigrationDecision& decision) {
+  // Build the commit message before mutating the registry: downstream
+  // seeds come from the destination instance's downstream operators, which
+  // this relocation does not touch.
+  state::MigrateCommitMsg commit;
+  commit.txn = decision.txn;
+  commit.instance =
+      InstanceInfo{decision.instance.instance, decision.instance.op,
+                   decision.to};
+  for (OperatorId down_op : graph_.downstreams(decision.instance.op)) {
+    auto it = by_op_.find(down_op.value());
+    if (it == by_op_.end()) continue;
+    for (const auto& down : it->second) commit.downstreams.push_back(down);
+  }
+  relocate_record(decision.instance, decision.to);
+  send_msg(decision.to, MsgType::kMigrateCommit, commit);
+  send_msg(decision.from, MsgType::kMigrateCommit, commit);
+  announce_instance(commit.instance);
+  if (config_.registry != nullptr) {
+    // Same (name, labels) key as the MetricsCollector's instrument, so this
+    // lands in the swarm-wide migrations_completed counter.
+    config_.registry->counter("migrations_completed").inc();
+  }
+  note_event(MasterEvent::kMigrateCommit, decision.instance.instance.value());
+  decisions_.push_back({decision.txn, MigrationDecision::Kind::kEnd,
+                        commit.instance, decision.from, decision.to});
+  fire_phase(MigrationPhase::kCompleted,
+             MigrationTxn{decision.txn, commit.instance, decision.from,
+                          decision.to, true, {}});
+}
+
+void Master::abort_txn(std::uint64_t txn_id) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) return;
+  const MigrationTxn txn = it->second;
+  sim_.cancel(txn.timeout);
+  txns_.erase(it);
+  decisions_.push_back({txn.txn, MigrationDecision::Kind::kAbort,
+                        txn.instance, txn.from, txn.to});
+  const state::MigrateAbortMsg abort{txn.txn, txn.instance.instance};
+  send_msg(txn.from, MsgType::kMigrateAbort, abort);
+  send_msg(txn.to, MsgType::kMigrateAbort, abort);
+  if (config_.registry != nullptr) {
+    config_.registry->counter("migrations_aborted").inc();
+  }
+  note_event(MasterEvent::kMigrateAbort, txn.instance.instance.value());
+}
+
+void Master::crash_volatile_state() {
+  SWING_LOG(kWarn) << "master: volatile state lost (checkpoint store + "
+                   << txns_.size() << " live txns); running recovery";
+  for (auto& [id, txn] : txns_) sim_.cancel(txn.timeout);
+  txns_.clear();
+  checkpoints_.clear();
+  if (config_.registry != nullptr) {
+    config_.registry->counter("master_state_crashes").inc();
+  }
+  // Presumed-abort recovery from the durable decision log: the last record
+  // per transaction decides its fate.
+  std::map<std::uint64_t, MigrationDecision> last;
+  for (const auto& d : decisions_) last[d.txn] = d;
+  for (const auto& [id, d] : last) {
+    switch (d.kind) {
+      case MigrationDecision::Kind::kPrepare: {
+        // Undecided at the crash: presume abort. Both participants treat a
+        // stray abort as a no-op if the transaction never reached them.
+        decisions_.push_back({d.txn, MigrationDecision::Kind::kAbort,
+                              d.instance, d.from, d.to});
+        const state::MigrateAbortMsg abort{d.txn, d.instance.instance};
+        send_msg(d.from, MsgType::kMigrateAbort, abort);
+        send_msg(d.to, MsgType::kMigrateAbort, abort);
+        if (config_.registry != nullptr) {
+          config_.registry->counter("migrations_aborted").inc();
+        }
+        note_event(MasterEvent::kMigrateAbort, d.instance.instance.value());
+        break;
+      }
+      case MigrationDecision::Kind::kCommit:
+        // Logged but not fully acted on: re-drive to completion. Every step
+        // is idempotent at the participants, so a partially-applied first
+        // attempt is safe to repeat.
+        finalize_commit(d);
+        break;
+      case MigrationDecision::Kind::kAbort:
+      case MigrationDecision::Kind::kEnd:
+        break;  // Fully resolved before the crash.
+    }
+  }
 }
 
 void Master::send(DeviceId to, MsgType type, Bytes payload) {

@@ -5,8 +5,16 @@
 // device activates, wires up routing tables (who is downstream of whom),
 // and broadcasts start/stop. It never touches data tuples. It can (and in
 // the paper does) co-locate with worker threads on the same device.
+//
+// Checkpoint plane v2 additions: the master stores checkpoint *chains*
+// (last full snapshot + ordered deltas), relays every accepted record to a
+// per-instance peer worker (so restore survives master state loss), and
+// drives live migration as a two-phase commit with a write-ahead decision
+// log that makes crash-at-any-boundary recoverable.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,9 +59,21 @@ struct MasterConfig {
 
   // swing-state: when true, a removed member's stateful instances are
   // redeployed on a surviving device and resumed from their latest stored
-  // checkpoint (same InstanceId, new address) instead of being broadcast
-  // away. Enabled by SwarmConfig::with_checkpointing().
+  // checkpoint chain (same InstanceId, new address) instead of being
+  // broadcast away. Enabled by SwarmConfig::with_checkpointing().
   bool restore_from_checkpoint = false;
+
+  // swing-state: when true, every accepted checkpoint record (full or
+  // delta) is relayed to a master-chosen peer worker as a ReplicateMsg, so
+  // an instance can still be restored after the master's own store is lost
+  // (fallback chain: master store -> peer replica -> kStateLost). Enabled
+  // by SwarmConfig::with_peer_replication().
+  bool replicate_to_peer = false;
+
+  // How long the 2PC coordinator waits for the destination's MigrateAck
+  // after sending PREPARE before presuming the transfer failed and
+  // aborting. Zero disables the timeout.
+  SimDuration migration_prepare_timeout = seconds(3.0);
 
   // swing-obs: snapshot-transfer spans (taken -> stored). Installed by the
   // Swarm when tracing is enabled.
@@ -72,12 +92,41 @@ enum class MasterEvent : std::uint8_t {
   kCheckpoint = 6,
   kRestore = 7,
   kMigrate = 8,
+  // Checkpoint plane v2: 2PC migration outcomes and delta-record storage.
+  kMigrateCommit = 9,
+  kMigrateAbort = 10,
+  kDelta = 11,
 };
 
 [[nodiscard]] const char* master_event_name(MasterEvent kind);
 
+// 2PC coordinator phase boundaries, in order. The chaos harness installs a
+// hook that crashes a participant exactly at one of these points, so every
+// transition of the migration state machine is exercised under failure.
+enum class MigrationPhase : std::uint8_t {
+  kPrepareSent = 0,   // PREPARE on the wire, timeout armed.
+  kAckReceived = 1,   // Destination staged the state and acked.
+  kCommitLogged = 2,  // COMMIT decision durably logged, not yet acted on.
+  kCompleted = 3,     // Routes switched, records moved, txn retired.
+};
+
 class Master {
  public:
+  // One in-flight migration transaction (coordinator side). Volatile: wiped
+  // by crash_volatile_state(); recovery re-derives outcomes from the
+  // persistent decision log.
+  struct MigrationTxn {
+    std::uint64_t txn = 0;
+    InstanceInfo instance;  // Placement at the source when PREPARE was sent.
+    DeviceId from;
+    DeviceId to;
+    bool acked = false;
+    EventId timeout{};
+  };
+
+  using MigrationPhaseHook =
+      std::function<void(MigrationPhase, const MigrationTxn&)>;
+
   Master(Simulator& sim, DeviceId device, net::Transport& transport,
          net::Discovery& discovery, const dataflow::AppGraph& graph,
          MasterConfig config = {});
@@ -100,24 +149,42 @@ class Master {
   // Hello handling; public so tests can drive membership directly.
   void admit(DeviceId device);
 
-  // Removes a departed device: deletes its instances from the registry and
-  // broadcasts RemoveDownstream for each to all remaining members — except
-  // stateful instances with a stored checkpoint when restore_from_checkpoint
-  // is on: those are relocated to a survivor and resumed (same InstanceId).
+  // Removes a departed device: resolves any migration transactions it was
+  // party to, deletes its instances from the registry, restores stateful
+  // instances (master chain, then peer replica, then kStateLost), and
+  // broadcasts RemoveDownstream for whatever could not be revived.
   void remove_device(DeviceId device);
 
-  // --- swing-state live migration ----------------------------------------
+  // --- swing-state live migration (two-phase commit) ----------------------
 
-  // Planned handoff of one stateful instance to `to` (a current member).
-  // Returns false (and does nothing) when the instance is unknown, not
-  // stateful, already on `to`, or `to` cannot host its operator. The actual
-  // transfer completes asynchronously when the source's final snapshot
-  // arrives (see handle_checkpoint).
+  // Starts a transactional handoff of one stateful instance to `to` (a
+  // current member): PREPARE is sent to the source, which quiesces, drains,
+  // and ships its final snapshot to the destination; the destination stages
+  // it inert and acks; the master logs COMMIT and re-routes, or aborts (on
+  // timeout / nack / participant death) leaving the source live. Returns
+  // false (and does nothing) when the instance is unknown, not stateful,
+  // already on `to`, mid-migration, or `to` cannot host its operator.
   bool migrate_instance(InstanceId instance, DeviceId to);
 
   // Migrates every stateful instance hosted on `from` to `to`; the planned
   // counterpart of an abrupt leave. Returns how many handoffs started.
   int migrate_stateful(DeviceId from, DeviceId to);
+
+  // Chaos hook: called synchronously at each MigrationPhase boundary. The
+  // hook may crash a participant (or this master's volatile state) from
+  // inside the callback; the coordinator re-validates the transaction after
+  // every invocation. Replacing/clearing the hook from within itself is
+  // safe.
+  void set_migration_phase_hook(MigrationPhaseHook hook) {
+    phase_hook_ = std::move(hook);
+  }
+
+  // Chaos verb: models the master process losing its in-memory state (the
+  // checkpoint store and the live transaction table) while the durable
+  // decision log and replica assignments survive. Recovery runs presumed
+  // abort: transactions whose last logged decision is PREPARE are aborted;
+  // logged-but-unfinished COMMITs are idempotently re-driven to completion.
+  void crash_volatile_state();
 
   // --- Introspection -----------------------------------------------------
 
@@ -132,6 +199,12 @@ class Master {
   [[nodiscard]] const state::CheckpointStore& checkpoints() const {
     return checkpoints_;
   }
+  [[nodiscard]] std::size_t pending_migration_count() const {
+    return txns_.size();
+  }
+  // The peer worker currently assigned to replicate `instance`'s chain;
+  // invalid when replication is off or no eligible peer exists.
+  [[nodiscard]] DeviceId replica_of(InstanceId instance) const;
 
  private:
   // Builds and sends the Deploy for a new member, then notifies upstream
@@ -148,14 +221,21 @@ class Master {
 
   // --- swing-state ------------------------------------------------------
   void handle_checkpoint(const state::CheckpointMsg& msg);
-  void complete_migration(const state::CheckpointMsg& msg);
+  void handle_delta(const state::DeltaMsg& msg);
   // Sends RestoreMsg (snapshot + routing seeds) to `target` and re-announces
   // the instance, at its new address, to every upstream host. The registry
   // records (members_/by_op_) must already point at `target`.
-  void install_restore(const state::CheckpointStore::Entry& entry,
-                       DeviceId target);
+  void install_restore(const InstanceInfo& info, std::uint64_t epoch,
+                       const Bytes& state, DeviceId target);
+  // Flattens `chain` into a single full-envelope state blob (base fast-path
+  // when there are no deltas). Returns false on reconstruction failure.
+  [[nodiscard]] bool flatten_chain(const state::CheckpointStore::Chain& chain,
+                                   OperatorId op, Bytes& out) const;
   // Re-homes the bookkeeping for `info` to `target` (same InstanceId).
   void relocate_record(const InstanceInfo& info, DeviceId target);
+  // AddDownstream re-announcement of `info` (at its current address) to the
+  // hosts of every upstream instance.
+  void announce_instance(const InstanceInfo& info);
   // Deterministic survivor choice: fewest hosted instances, ties to the
   // lowest device id; invalid when nobody placeable remains.
   [[nodiscard]] DeviceId pick_restore_target(const dataflow::OperatorDecl& op,
@@ -163,6 +243,43 @@ class Master {
   // Whether `op`'s unit opts into the state contract (probed once via the
   // factory and cached).
   [[nodiscard]] bool op_stateful(OperatorId op) const;
+  void count_restore(const char* source);
+
+  // --- peer replication ---------------------------------------------------
+  // Relays one just-accepted record to the instance's peer, (re)assigning
+  // the peer and re-shipping the whole chain when the assignment is missing
+  // or stale.
+  void replicate_record(const InstanceInfo& info, state::ReplicateMsg::Kind kind,
+                        std::uint64_t epoch, std::uint64_t base_epoch,
+                        const Bytes& state);
+  // Picks a peer (deterministic: fewest instances, lowest id; never the
+  // instance's own host) and ships the full stored chain to it. Returns the
+  // chosen peer (invalid when none eligible).
+  DeviceId assign_replica(const InstanceInfo& info);
+
+  // --- 2PC coordinator ----------------------------------------------------
+  // Persistent write-ahead decision record. kPrepare marks intent; exactly
+  // one of kCommit/kAbort decides; kEnd marks the commit fully acted on.
+  // Survives crash_volatile_state() — this is the recovery source of truth.
+  struct MigrationDecision {
+    enum class Kind : std::uint8_t { kPrepare = 0, kCommit = 1, kAbort = 2,
+                                     kEnd = 3 };
+    std::uint64_t txn = 0;
+    Kind kind = Kind::kPrepare;
+    InstanceInfo instance;  // Placement at the source at decision time.
+    DeviceId from;
+    DeviceId to;
+  };
+
+  void handle_migrate_ack(const state::MigrateAckMsg& msg);
+  // Logs kAbort, notifies both participants, and retires the transaction.
+  void abort_txn(std::uint64_t txn_id);
+  // Acts on an already-logged COMMIT: re-routes, re-homes the record,
+  // notifies both participants, logs kEnd. Idempotent — recovery may re-run
+  // it for a decision whose first execution was cut short.
+  void finalize_commit(const MigrationDecision& decision);
+  // Invokes the chaos phase hook (copied first: it may replace itself).
+  void fire_phase(MigrationPhase phase, const MigrationTxn& txn);
 
   Simulator& sim_;
   DeviceId device_;
@@ -182,13 +299,21 @@ class Master {
   // device id -> last time we heard from it (heartbeat or control).
   std::map<std::uint64_t, SimTime> last_seen_;
   std::unique_ptr<PeriodicTask> sweep_task_;
-  // swing-state: latest snapshot per instance, in-flight planned handoffs
-  // (instance -> target), and the per-operator statefulness probe cache.
+  // swing-state: checkpoint chains per instance (volatile — lost by
+  // crash_volatile_state) and the per-operator statefulness probe cache.
   state::CheckpointStore checkpoints_;
   // Reusable encode buffer for all control-plane sends (one frame at a time).
   SendArena arena_;
-  std::map<std::uint64_t, DeviceId> pending_migrations_;
   mutable std::map<std::uint64_t, bool> stateful_cache_;
+
+  // 2PC coordinator state. txns_ is volatile; decisions_ and replica_of_
+  // model the master's durable log and survive crash_volatile_state().
+  std::uint64_t next_txn_ = 1;
+  std::map<std::uint64_t, MigrationTxn> txns_;
+  std::vector<MigrationDecision> decisions_;
+  // instance id -> peer device currently holding its replica chain.
+  std::map<std::uint64_t, DeviceId> replica_of_;
+  MigrationPhaseHook phase_hook_;
 };
 
 }  // namespace swing::runtime

@@ -51,10 +51,20 @@ enum class MsgType : std::uint8_t {
   kHeartbeat = 13,
   // swing-state (src/state/state_messages.h): periodic operator-state
   // snapshot shipped worker -> master, master -> worker redeploy-with-state,
-  // and the master's live-migration command.
+  // and the master's live-migration command (2PC PREPARE).
   kCheckpoint = 14,
-  kMigrate = 15,
+  kMigratePrepare = 15,  // Wire-compatible with the pre-2PC kMigrate slot.
   kRestore = 16,
+  // Checkpoint plane v2: incremental delta records between full snapshots,
+  // replication of the checkpoint/delta stream to one peer worker, and the
+  // remaining legs of the two-phase-commit migration protocol.
+  kDelta = 17,
+  kReplicate = 18,
+  kReplicaRestore = 19,
+  kMigrateState = 20,
+  kMigrateAck = 21,
+  kMigrateCommit = 22,
+  kMigrateAbort = 23,
 };
 
 // A deployed function-unit instance and where it lives.

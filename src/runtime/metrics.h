@@ -75,9 +75,16 @@ class MetricsCollector {
     e2e_hist_ = &registry_->histogram("e2e_latency_ms");
     retry_hist_ = &registry_->histogram("retry_latency_ms");
     checkpoint_taken_counter_ = &registry_->counter("checkpoints_taken");
+    delta_taken_counter_ = &registry_->counter("deltas_taken");
     checkpoint_restored_counter_ = &registry_->counter("checkpoints_restored");
     migration_completed_counter_ = &registry_->counter("migrations_completed");
-    state_bytes_counter_ = &registry_->counter("state_bytes");
+    // Checkpoint plane v2: state bytes shipped, split by record kind so the
+    // bench can report the delta-log bytes win honestly (the master's
+    // replication relay adds the kind=replica series to the same family).
+    state_bytes_full_counter_ =
+        &registry_->counter("state_bytes", {{"kind", "full"}});
+    state_bytes_delta_counter_ =
+        &registry_->counter("state_bytes", {{"kind", "delta"}});
     checkpoint_latency_hist_ = &registry_->histogram("checkpoint_latency_ms");
     restore_latency_hist_ = &registry_->histogram("restore_latency_ms");
     transmission_hist_ = &registry_->histogram("delay_transmission_ms");
@@ -149,10 +156,17 @@ class MetricsCollector {
 
   // --- State events (swing-state) --------------------------------------
 
-  // A worker serialized one instance's state (periodic or migration-final).
+  // A worker serialized one instance's FULL state (periodic interval,
+  // delta-cadence rollover, or migration-final).
   void on_checkpoint_taken(std::uint64_t snapshot_bytes) {
     checkpoint_taken_counter_->inc();
-    state_bytes_counter_->inc(snapshot_bytes);
+    state_bytes_full_counter_->inc(snapshot_bytes);
+  }
+
+  // A worker serialized an incremental delta record.
+  void on_delta_taken(std::uint64_t delta_bytes) {
+    delta_taken_counter_->inc();
+    state_bytes_delta_counter_->inc(delta_bytes);
   }
 
   // The master stored a checkpoint `ms` after the worker took it.
@@ -257,8 +271,20 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t migrations_completed() const {
     return migration_completed_counter_->value();
   }
+  [[nodiscard]] std::uint64_t deltas_taken() const {
+    return delta_taken_counter_->value();
+  }
+  // Total checkpoint bytes this worker-side collector shipped (full +
+  // delta; the replica series is counted master-side at the relay).
   [[nodiscard]] std::uint64_t state_bytes() const {
-    return state_bytes_counter_->value();
+    return state_bytes_full_counter_->value() +
+           state_bytes_delta_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t state_bytes_full() const {
+    return state_bytes_full_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t state_bytes_delta() const {
+    return state_bytes_delta_counter_->value();
   }
 
   // The whole-run end-to-end latency distribution (HDR histogram; exact
@@ -295,9 +321,11 @@ class MetricsCollector {
   obs::Counter* dedup_counter_ = nullptr;
   obs::Counter* fallback_counter_ = nullptr;
   obs::Counter* checkpoint_taken_counter_ = nullptr;
+  obs::Counter* delta_taken_counter_ = nullptr;
   obs::Counter* checkpoint_restored_counter_ = nullptr;
   obs::Counter* migration_completed_counter_ = nullptr;
-  obs::Counter* state_bytes_counter_ = nullptr;
+  obs::Counter* state_bytes_full_counter_ = nullptr;
+  obs::Counter* state_bytes_delta_counter_ = nullptr;
   obs::Histogram* checkpoint_latency_hist_ = nullptr;
   obs::Histogram* restore_latency_hist_ = nullptr;
   obs::Histogram* e2e_hist_ = nullptr;

@@ -153,6 +153,27 @@ class Scenario {
               [from, to](Swarm& s) { s.migrate_stateful(from, to); });
   }
 
+  // Checkpoint plane v2 chaos verb: start a migration from `from` to `to`
+  // and crash `victim` exactly when the 2PC coordinator crosses `phase`.
+  // Exercises crash-at-every-boundary recovery (see Swarm's method).
+  Scenario& crash_during_migration_at(SimDuration when, DeviceId from,
+                                      DeviceId to, MigrationPhase phase,
+                                      Swarm::MigrationVictim victim,
+                                      std::string label = "crash mid-2pc") {
+    return at(when, std::move(label), [from, to, phase, victim](Swarm& s) {
+      s.crash_during_migration(from, to, phase, victim);
+    });
+  }
+
+  // Checkpoint plane v2 chaos verb: the master loses its volatile state
+  // (checkpoint store + live transactions) and recovers from its decision
+  // log. Restores afterwards must come from peer replicas.
+  Scenario& crash_master_state_at(SimDuration when,
+                                  std::string label = "master state loss") {
+    return at(when, std::move(label),
+              [](Swarm& s) { s.crash_master_state(); });
+  }
+
   // Collect a throughput sample every `period` (default 1 s).
   Scenario& sample_every(SimDuration period) {
     sample_period_ = period;

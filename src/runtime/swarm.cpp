@@ -113,7 +113,8 @@ void Swarm::register_dispatch(DeviceId id) {
       const auto type = MsgType(msg.type);
       if (type == MsgType::kHello || type == MsgType::kHeartbeat ||
           type == MsgType::kLeaveReport || type == MsgType::kBye ||
-          type == MsgType::kCheckpoint) {
+          type == MsgType::kCheckpoint || type == MsgType::kDelta ||
+          type == MsgType::kMigrateAck) {
         master_->handle_message(msg);
         return;
       }
@@ -208,6 +209,38 @@ void Swarm::slow_worker(DeviceId id, double factor) {
 
 int Swarm::migrate_stateful(DeviceId from, DeviceId to) {
   if (!master_) return 0;
+  return master_->migrate_stateful(from, to);
+}
+
+void Swarm::crash_master_state() {
+  if (master_) master_->crash_volatile_state();
+}
+
+int Swarm::crash_during_migration(DeviceId from, DeviceId to,
+                                  MigrationPhase phase,
+                                  MigrationVictim victim) {
+  if (!master_) return 0;
+  // One-shot hook: the coordinator copies it before invoking, so clearing
+  // it from inside the callback is safe. The crash lands synchronously at
+  // the phase boundary — between the coordinator's state transition and
+  // whatever it does next — which is exactly the window 2PC must survive.
+  master_->set_migration_phase_hook(
+      [this, phase, victim, from, to](MigrationPhase p,
+                                      const Master::MigrationTxn&) {
+        if (p != phase) return;
+        master_->set_migration_phase_hook(nullptr);
+        switch (victim) {
+          case MigrationVictim::kSource:
+            leave_abruptly(from);
+            break;
+          case MigrationVictim::kDestination:
+            leave_abruptly(to);
+            break;
+          case MigrationVictim::kMaster:
+            master_->crash_volatile_state();
+            break;
+        }
+      });
   return master_->migrate_stateful(from, to);
 }
 

@@ -90,6 +90,25 @@ struct SwarmConfig {
     master.restore_from_checkpoint = true;
     return *this;
   }
+
+  // Checkpoint plane v2: between periodic fulls, workers ship incremental
+  // delta records (the unit's mutation journal since the last shipped
+  // record) — up to `deltas_per_full` deltas per full snapshot. Cuts state
+  // bytes on the wire; the master reconstructs restore state as last full +
+  // ordered deltas. Layered on with_checkpointing(); 0 keeps full-only.
+  SwarmConfig& with_delta_checkpointing(std::size_t deltas_per_full = 8) {
+    worker.checkpoint.deltas_per_full = deltas_per_full;
+    return *this;
+  }
+
+  // Checkpoint plane v2: the master relays every accepted checkpoint record
+  // (full or delta) to a per-instance peer worker, re-chosen on eviction.
+  // Restore then falls back master store -> peer replica -> state lost, so
+  // crash recovery survives the master's own volatile-state loss.
+  SwarmConfig& with_peer_replication() {
+    master.replicate_to_peer = true;
+    return *this;
+  }
 };
 
 class Swarm {
@@ -147,6 +166,25 @@ class Swarm {
   // snapshots, and resumes on `to` with zero tuple loss. Returns how many
   // handoffs started (see Master::migrate_stateful).
   int migrate_stateful(DeviceId from, DeviceId to);
+
+  // Which 2PC participant a crash_during_migration targets.
+  enum class MigrationVictim : std::uint8_t {
+    kSource = 0,
+    kDestination = 1,
+    kMaster = 2,  // Volatile-state loss (crash_master_state), not a device.
+  };
+
+  // Chaos verb: the master process loses its in-memory state (checkpoint
+  // store + live migration transactions) and runs presumed-abort recovery
+  // from its durable decision log. No-op before launch_master.
+  void crash_master_state();
+
+  // Chaos verb: starts migrating every stateful instance on `from` to `to`
+  // and crashes `victim` synchronously the first time the coordinator
+  // crosses `phase`. The hook is one-shot; later transactions proceed
+  // normally. Returns how many handoffs started.
+  int crash_during_migration(DeviceId from, DeviceId to,
+                             MigrationPhase phase, MigrationVictim victim);
 
   // Flushes sink reorder buffers and halts all workers (end of experiment).
   void shutdown();

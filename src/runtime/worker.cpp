@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/hot.h"
 #include "common/logging.h"
+#include "state/checkpoint_store.h"
+#include "state/state_chain.h"
 
 namespace swing::runtime {
 
@@ -81,13 +83,38 @@ struct Worker::Instance {
   bool migrating = false;
   DeviceId migrate_target{};
   int compute_pending = 0;
+  // Checkpoint plane v2: the epoch of the last FULL snapshot (the delta
+  // chain base), how many deltas shipped since it, and the dedup ids newly
+  // remembered since the last shipped record (full or delta) — the delta
+  // envelope's share of the dedup window. Overflow of that list forces the
+  // next ship to be a full.
+  std::uint64_t base_epoch = 0;
+  std::size_t deltas_since_full = 0;
+  std::vector<std::uint64_t> dedup_since_ship;
+  bool dedup_ship_overflow = false;
+  // 2PC migration (source role): the coordinator's transaction id, whether
+  // the final snapshot has been transferred (PREPARE done, awaiting the
+  // decision), and input buffered while quiesced — flushed to the target on
+  // COMMIT, processed locally on ABORT.
+  std::uint64_t migrate_txn = 0;
+  bool migrate_prepared = false;
+  std::deque<DataMsg> migration_buffer;
 
-  void remember_tuple(std::uint64_t id, std::size_t window) {
+  void remember_tuple(std::uint64_t id, std::size_t window,
+                      std::size_t ship_cap = 0) {
     if (!dedup_seen.insert(id).second) return;
     dedup_order.push_back(id);
     while (dedup_order.size() > window) {
       dedup_seen.erase(dedup_order.front());
       dedup_order.pop_front();
+    }
+    if (ship_cap > 0) {
+      if (dedup_since_ship.size() >= ship_cap) {
+        dedup_ship_overflow = true;
+        dedup_since_ship.clear();
+      } else {
+        dedup_since_ship.push_back(id);
+      }
     }
   }
 
@@ -250,8 +277,23 @@ SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kRestore:
       handle_restore(state::RestoreMsg::decode(r));
       break;
-    case MsgType::kMigrate:
-      handle_migrate(state::MigrateMsg::decode(r));
+    case MsgType::kMigratePrepare:
+      handle_migrate_prepare(state::MigratePrepareMsg::decode(r));
+      break;
+    case MsgType::kMigrateState:
+      handle_migrate_state(state::MigrateStateMsg::decode(r));
+      break;
+    case MsgType::kMigrateCommit:
+      handle_migrate_commit(state::MigrateCommitMsg::decode(r));
+      break;
+    case MsgType::kMigrateAbort:
+      handle_migrate_abort(state::MigrateAbortMsg::decode(r));
+      break;
+    case MsgType::kReplicate:
+      handle_replicate(state::ReplicateMsg::decode(r));
+      break;
+    case MsgType::kReplicaRestore:
+      handle_replica_restore(state::ReplicaRestoreMsg::decode(r));
       break;
     // Master-bound messages; ignore. Enumerated (no default) so -Wswitch
     // forces a routing decision when a message kind is added.
@@ -260,6 +302,8 @@ SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kLeaveReport:
     case MsgType::kBye:
     case MsgType::kCheckpoint:
+    case MsgType::kDelta:
+    case MsgType::kMigrateAck:
       break;
   }
 }
@@ -441,10 +485,16 @@ SWING_HOT void Worker::handle_data(DataMsg data) {
 }
 
 SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
-  // A quiescing instance accepts nothing new: arrivals go to the migration
-  // target, where they buffer in pending_data_ until the restore lands.
+  // A quiescing (2PC PREPARE) instance accepts nothing new: arrivals buffer
+  // HERE, not at the target, because until the coordinator decides, an
+  // ABORT must be able to resume processing in place. COMMIT flushes the
+  // buffer to the new host; ABORT replays it locally.
   if (inst.migrating) {
-    forward_data(std::move(data), inst.migrate_target);
+    if (inst.migration_buffer.size() < config_.pending_data_cap) {
+      inst.migration_buffer.push_back(std::move(data));
+    } else {
+      drop_queued(data.tuple.id(), core::DropReason::kPendingOverflow);
+    }
     return;
   }
 
@@ -523,9 +573,9 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
         if (config_.ledger != nullptr) {
           config_.ledger->on_dropped(id, core::DropReason::kStaleTtl);
         }
-        // Last action: a drained migration may retire `inst` right here.
+        // Last action: a drained PREPARE transfers state right here.
         if (--inst.compute_pending <= 0 && inst.migrating) {
-          finish_migration(inst);
+          on_migration_drained(inst);
         }
         return false;
       }
@@ -537,9 +587,13 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
   // (a copy arriving later is redundant, not lost data) and track it in
   // the compute queue so a crash can attribute it.
   if (config_.recovery.dedup_window > 0) {
+    const std::size_t ship_cap =
+        config_.checkpoint.enabled && config_.checkpoint.deltas_per_full > 0
+            ? config_.checkpoint.max_uncheckpointed
+            : 0;
     inst.remember_tuple(
         inst.dedup_key(tuple.id().value(), data.src_instance),
-        config_.recovery.dedup_window);
+        config_.recovery.dedup_window, ship_cap);
   }
   ++compute_queue_[tuple.id().value()];
   ++inst.compute_pending;
@@ -610,10 +664,10 @@ SWING_HOT void Worker::process_data(Instance& inst, DataMsg data) {
           // A transform declared without a unit is a black hole.
           config_.ledger->on_consumed(tuple.id());
         }
-        // Last action: a drained migration retires `inst` here, so nothing
-        // below this line may touch it.
+        // Last action: a drained PREPARE transfers state here (the instance
+        // itself stays alive until the coordinator's COMMIT).
         if (inst.migrating && inst.compute_pending <= 0) {
-          finish_migration(inst);
+          on_migration_drained(inst);
         }
       },
       std::move(admit));
@@ -1123,6 +1177,15 @@ void Worker::shutdown() {
         }
       }
     }
+    // Input buffered by a quiesced (2PC PREPARE) instance awaiting the
+    // coordinator's decision at shutdown.
+    for (const auto& [key, inst] : instances_) {
+      for (const auto& data : inst->migration_buffer) {
+        if (const TupleId id = data.tuple.id(); id.valid()) {
+          config_.ledger->on_in_flight_at_shutdown(id);
+        }
+      }
+    }
     for (const auto& [key, batch] : batches_) {
       for (TupleId id : batch.ids) {
         config_.ledger->on_in_flight_at_shutdown(id);
@@ -1186,6 +1249,14 @@ void Worker::crash() {
       }
       inst->uncheckpointed.clear();
     }
+    // Input buffered by a quiesced (2PC PREPARE) instance dies with the
+    // device — unless the final snapshot already transferred, in which case
+    // the coordinator commits to the destination and upstream retransmits
+    // (or the buffer's tuples were already ACKed and are genuine losses).
+    for (const auto& data : inst->migration_buffer) {
+      drop_queued(data.tuple.id(), core::DropReason::kAbruptLeave);
+    }
+    inst->migration_buffer.clear();
   }
   // Everything queued-but-unprocessed on this device dies with it; unlike
   // a drained shutdown these are real losses, attributed as abrupt-leave.
@@ -1439,10 +1510,33 @@ void Worker::checkpoint_tick() {
   if (!alive_ || frozen_) return;  // A suspended app checkpoints nothing.
   // std::map order: same-seed runs snapshot instances in the same sequence.
   for (auto& [id, inst] : instances_) {
-    if (inst->unit && inst->unit->stateful() && !inst->migrating) {
+    if (!inst->unit || !inst->unit->stateful() || inst->migrating) continue;
+    // Delta cadence (checkpoint plane v2): between periodic fulls ship the
+    // unit's mutation journal instead of the whole state. A full is due
+    // when there is no base yet, the cadence ran out, or the unit (or the
+    // dedup-envelope share) cannot express the interval incrementally.
+    const auto& ck = config_.checkpoint;
+    const bool delta_due =
+        ck.deltas_per_full > 0 && inst->base_epoch > 0 &&
+        inst->deltas_since_full < ck.deltas_per_full &&
+        inst->unit->delta_ready() && !inst->dedup_ship_overflow;
+    if (delta_due) {
+      take_delta(*inst);
+    } else {
       take_checkpoint(*inst);
     }
   }
+}
+
+Bytes Worker::full_envelope(Instance& inst) {
+  // Worker-level envelope first (the dedup window, so a restored instance
+  // still recognises retransmits of tuples it already absorbed), then the
+  // unit's own state.
+  ByteWriter w;
+  w.write_varint(inst.dedup_order.size());
+  for (const std::uint64_t seen : inst.dedup_order) w.write_u64(seen);
+  inst.unit->snapshot_state(w);
+  return w.take();
 }
 
 void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
@@ -1452,14 +1546,12 @@ void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
   msg.epoch = ++inst.checkpoint_epoch;
   msg.taken_ns = sim_.now().nanos();
   msg.migrate_to = migrate_to;
-  // Worker-level envelope first (the dedup window, so a restored instance
-  // still recognises retransmits of tuples it already absorbed), then the
-  // unit's own state.
-  ByteWriter w;
-  w.write_varint(inst.dedup_order.size());
-  for (const std::uint64_t seen : inst.dedup_order) w.write_u64(seen);
-  inst.unit->snapshot_state(w);
-  msg.state = w.take();
+  msg.state = full_envelope(inst);
+  // This full is the new delta-chain base.
+  inst.base_epoch = msg.epoch;
+  inst.deltas_since_full = 0;
+  inst.dedup_since_ship.clear();
+  inst.dedup_ship_overflow = false;
   metrics_.on_checkpoint_taken(msg.state.size());
   if (config_.tracer != nullptr) {
     config_.tracer->instant(obs::TracePhase::kSnapshot,
@@ -1476,6 +1568,35 @@ void Worker::take_checkpoint(Instance& inst, DeviceId migrate_to) {
   send_frame(master_device_, MsgType::kCheckpoint, msg);
 }
 
+void Worker::take_delta(Instance& inst) {
+  if (!master_device_.valid() || inst.unit == nullptr) return;
+  state::DeltaMsg msg;
+  msg.instance = inst.info;
+  msg.epoch = ++inst.checkpoint_epoch;
+  msg.base_epoch = inst.base_epoch;
+  msg.taken_ns = sim_.now().nanos();
+  // Delta envelope mirrors the full one: the dedup ids newly remembered
+  // since the last shipped record, then the unit's mutation journal
+  // (snapshot_delta serializes AND clears it).
+  ByteWriter w;
+  w.write_varint(inst.dedup_since_ship.size());
+  for (const std::uint64_t seen : inst.dedup_since_ship) w.write_u64(seen);
+  inst.unit->snapshot_delta(w);
+  msg.delta = w.take();
+  ++inst.deltas_since_full;
+  inst.dedup_since_ship.clear();
+  metrics_.on_delta_taken(msg.delta.size());
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(obs::TracePhase::kSnapshot,
+                            TupleId{inst.info.instance.value()}, device_.id(),
+                            sim_.now());
+  }
+  // Same durability trust as the full path: once the master appends this
+  // delta the absorbed tuples it covers are recoverable.
+  inst.uncheckpointed.clear();
+  send_frame(master_device_, MsgType::kDelta, msg);
+}
+
 SWING_COLD void Worker::handle_restore(const state::RestoreMsg& msg) {
   if (!alive_) return;
   // We host this instance (again): stop relaying its traffic elsewhere.
@@ -1487,19 +1608,231 @@ SWING_COLD void Worker::handle_restore(const state::RestoreMsg& msg) {
   activate(assignment, &msg);
 }
 
-SWING_COLD void Worker::handle_migrate(const state::MigrateMsg& msg) {
+SWING_COLD void Worker::handle_migrate_prepare(
+    const state::MigratePrepareMsg& msg) {
   if (!alive_) return;
   Instance* inst = find_instance(msg.instance);
   if (inst == nullptr || inst->migrating) return;
   if (inst->unit == nullptr || !inst->unit->stateful()) return;
   if (msg.to_device == device_.id()) return;  // Nothing to move.
-  SWING_LOG(kInfo) << "device " << device_.id() << " migrating instance "
+  SWING_LOG(kInfo) << "device " << device_.id() << " preparing migration of "
                    << inst->info.instance << " to " << msg.to_device
-                   << " (" << inst->compute_pending << " job(s) to drain)";
+                   << " (txn " << msg.txn << ", " << inst->compute_pending
+                   << " job(s) to drain)";
   inst->migrating = true;
   inst->migrate_target = msg.to_device;
+  inst->migrate_txn = msg.txn;
+  inst->migrate_prepared = false;
   sim_.cancel(inst->source_fire_event);
-  if (inst->compute_pending <= 0) finish_migration(*inst);
+  if (inst->compute_pending <= 0) on_migration_drained(*inst);
+}
+
+// Cold escape: reachable from the hot data/ack handlers (the drain check),
+// but the migration plane itself is control work — keep it out of the hot
+// set so its serialization helpers stay off the zero-copy rules.
+SWING_COLD void Worker::on_migration_drained(Instance& inst) {
+  if (!inst.migrating || inst.migrate_prepared) return;
+  send_prepare_state(inst);
+}
+
+void Worker::send_prepare_state(Instance& inst) {
+  // Drained: every accepted job completed, so the unit's state is final.
+  // One serialization feeds both the master's chain store (keeping the
+  // eviction-restore path fresh through the decision window) and the
+  // destination's staging area. The instance itself stays alive — only the
+  // coordinator's COMMIT retires it; an ABORT resumes it in place.
+  state::CheckpointMsg ck;
+  ck.instance = inst.info;
+  ck.epoch = ++inst.checkpoint_epoch;
+  ck.taken_ns = sim_.now().nanos();
+  ck.migrate_to = inst.migrate_target;
+  ck.state = full_envelope(inst);
+  inst.base_epoch = ck.epoch;
+  inst.deltas_since_full = 0;
+  inst.dedup_since_ship.clear();
+  inst.dedup_ship_overflow = false;
+  inst.uncheckpointed.clear();
+  metrics_.on_checkpoint_taken(ck.state.size());
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant(obs::TracePhase::kSnapshot,
+                            TupleId{inst.info.instance.value()}, device_.id(),
+                            sim_.now());
+  }
+
+  state::MigrateStateMsg xfer;
+  xfer.txn = inst.migrate_txn;
+  xfer.instance =
+      InstanceInfo{inst.info.instance, inst.info.op, inst.migrate_target};
+  xfer.epoch = ck.epoch;
+  xfer.sent_ns = sim_.now().nanos();
+  xfer.state = ck.state;
+  inst.migrate_prepared = true;
+  if (master_device_.valid()) {
+    send_frame(master_device_, MsgType::kCheckpoint, ck);
+  }
+  send_frame(inst.migrate_target, MsgType::kMigrateState, xfer);
+}
+
+SWING_COLD void Worker::handle_migrate_state(
+    const state::MigrateStateMsg& msg) {
+  if (!alive_) return;
+  // Destination role: stage the transfer inert (a crash here loses only a
+  // duplicate — the source still owns the state) and vote.
+  staged_migrations_[msg.txn] = msg;
+  state::MigrateAckMsg ack;
+  ack.txn = msg.txn;
+  ack.instance = msg.instance.instance;
+  ack.ok = true;
+  if (master_device_.valid()) {
+    send_frame(master_device_, MsgType::kMigrateAck, ack);
+  }
+}
+
+SWING_COLD void Worker::handle_migrate_commit(
+    const state::MigrateCommitMsg& msg) {
+  if (!alive_) return;
+  // Destination role: activate the staged copy with the routing seed the
+  // coordinator computed at decision time.
+  if (auto it = staged_migrations_.find(msg.txn);
+      it != staged_migrations_.end()) {
+    state::MigrateStateMsg staged = std::move(it->second);
+    staged_migrations_.erase(it);
+    if (staged.instance.instance == msg.instance.instance &&
+        find_instance(staged.instance.instance) == nullptr) {
+      forwards_.erase(staged.instance.instance.value());
+      state::RestoreMsg restore;
+      restore.instance = InstanceInfo{staged.instance.instance,
+                                      staged.instance.op, device_.id()};
+      restore.epoch = staged.epoch;
+      restore.sent_ns = staged.sent_ns;
+      restore.state = std::move(staged.state);
+      restore.downstreams = msg.downstreams;
+      DeployMsg::Assignment assignment;
+      assignment.self = restore.instance;
+      assignment.downstreams = restore.downstreams;
+      activate(assignment, &restore);
+      SWING_LOG(kInfo) << "device " << device_.id() << " committed migration "
+                       << "txn " << msg.txn << ": activated instance "
+                       << restore.instance.instance;
+    }
+    return;
+  }
+  // Source role: the decision is COMMIT — re-route everything buffered
+  // during PREPARE plus future stragglers, and retire the local copy.
+  Instance* inst = find_instance(msg.instance.instance);
+  if (inst == nullptr || !inst->migrating || inst->migrate_txn != msg.txn ||
+      !inst->migrate_prepared) {
+    return;  // Stale/duplicate decision: already acted on it.
+  }
+  const DeviceId target = msg.instance.device;
+  forwards_[inst->info.instance.value()] = target;
+  std::deque<DataMsg> buffered = std::move(inst->migration_buffer);
+  inst->migration_buffer.clear();
+  for (auto& edge : inst->edges) {
+    if (edge.tick_task) edge.tick_task->stop();
+  }
+  SWING_LOG(kInfo) << "device " << device_.id() << " committed migration "
+                   << "txn " << msg.txn << ": handed off instance "
+                   << inst->info.instance << " to " << target << " ("
+                   << buffered.size() << " buffered tuple(s) re-routed)";
+  // Safe to erase: compute_pending == 0 (PREPARE drained the queue).
+  instances_.erase(inst->info.instance.value());
+  for (auto& data : buffered) forward_data(std::move(data), target);
+}
+
+SWING_COLD void Worker::handle_migrate_abort(
+    const state::MigrateAbortMsg& msg) {
+  if (!alive_) return;
+  // Destination role: the staged copy never became live; discard it.
+  if (staged_migrations_.erase(msg.txn) > 0) return;
+  // Source role: resume in place, replaying input buffered while quiesced.
+  Instance* inst = find_instance(msg.instance);
+  if (inst == nullptr || !inst->migrating || inst->migrate_txn != msg.txn) {
+    return;
+  }
+  inst->migrating = false;
+  inst->migrate_prepared = false;
+  inst->migrate_txn = 0;
+  inst->migrate_target = DeviceId{};
+  std::deque<DataMsg> buffered = std::move(inst->migration_buffer);
+  inst->migration_buffer.clear();
+  SWING_LOG(kInfo) << "device " << device_.id() << " aborted migration txn "
+                   << msg.txn << ": instance " << inst->info.instance
+                   << " resumes (" << buffered.size()
+                   << " buffered tuple(s) replayed)";
+  if (inst->decl->kind == dataflow::OperatorKind::kSource && running_) {
+    arm_source(*inst);
+  }
+  for (auto& data : buffered) process_data(*inst, std::move(data));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint plane v2: peer replication
+
+SWING_COLD void Worker::handle_replicate(const state::ReplicateMsg& msg) {
+  if (!alive_) return;
+  const std::uint64_t key = msg.instance.instance.value();
+  if (msg.kind == state::ReplicateMsg::Kind::kFull) {
+    ReplicaChain& chain = replicas_[key];
+    chain.instance = msg.instance;
+    chain.base_epoch = msg.epoch;
+    chain.base = msg.state;
+    chain.deltas.clear();
+    return;
+  }
+  auto it = replicas_.find(key);
+  // A delta only extends a contiguous chain; a gap, a stale duplicate, or
+  // an over-long run invalidates the replica until the next full re-seeds
+  // it (same discipline as the master's CheckpointStore).
+  if (it == replicas_.end() || msg.base_epoch != it->second.base_epoch ||
+      msg.epoch != it->second.tip_epoch() + 1 ||
+      it->second.deltas.size() >= state::CheckpointStore::kMaxDeltasPerChain) {
+    if (it != replicas_.end()) replicas_.erase(it);
+    return;
+  }
+  it->second.instance = msg.instance;
+  it->second.deltas.push_back(msg.state);
+}
+
+SWING_COLD void Worker::handle_replica_restore(
+    const state::ReplicaRestoreMsg& msg) {
+  if (!alive_) return;
+  const std::uint64_t key = msg.instance.instance.value();
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) {
+    SWING_LOG(kWarn) << "device " << device_.id()
+                     << " has no replica chain for instance "
+                     << msg.instance.instance << "; replica restore dropped";
+    return;
+  }
+  ReplicaChain chain = std::move(it->second);
+  replicas_.erase(it);
+  if (find_instance(msg.instance.instance) != nullptr) return;
+  const auto& decl = graph_.op(msg.instance.op);
+  if (!decl.factory) return;
+  // Reconstruct base + deltas into a flat full envelope, then activate
+  // through the exact code path a master-held RestoreMsg would take.
+  auto unit = decl.factory();
+  std::vector<const Bytes*> deltas;
+  deltas.reserve(chain.deltas.size());
+  for (const Bytes& d : chain.deltas) deltas.push_back(&d);
+  Bytes merged = state::reconstruct_state(*unit, chain.base, deltas);
+  forwards_.erase(key);
+  state::RestoreMsg restore;
+  restore.instance =
+      InstanceInfo{msg.instance.instance, msg.instance.op, device_.id()};
+  restore.epoch = chain.base_epoch + chain.deltas.size();
+  restore.sent_ns = msg.sent_ns;
+  restore.state = std::move(merged);
+  restore.downstreams = msg.downstreams;
+  DeployMsg::Assignment assignment;
+  assignment.self = restore.instance;
+  assignment.downstreams = restore.downstreams;
+  SWING_LOG(kInfo) << "device " << device_.id()
+                   << " restoring instance " << msg.instance.instance
+                   << " from its local replica chain (epoch "
+                   << restore.epoch << ")";
+  activate(assignment, &restore);
 }
 
 void Worker::forward_data(DataMsg&& data, DeviceId target) {
@@ -1515,23 +1848,6 @@ void Worker::forward_data(DataMsg&& data, DeviceId target) {
   } else {
     drop_queued(data.tuple.id(), core::DropReason::kSendFailed);
   }
-}
-
-void Worker::finish_migration(Instance& inst) {
-  // Drained: every accepted job completed, so the unit's state is final.
-  // Snapshot (migration-final, epoch bumped), announce the handoff to the
-  // master, and retire the local copy. Data still in flight toward us is
-  // relayed via forwards_ until the upstreams learn the new address.
-  take_checkpoint(inst, inst.migrate_target);
-  forwards_[inst.info.instance.value()] = inst.migrate_target;
-  for (auto& edge : inst.edges) {
-    if (edge.tick_task) edge.tick_task->stop();
-  }
-  SWING_LOG(kInfo) << "device " << device_.id() << " handed off instance "
-                   << inst.info.instance << " to " << inst.migrate_target;
-  // Safe to erase: compute_pending == 0 means no queued job (admitted or
-  // not) still references this Instance.
-  instances_.erase(inst.info.instance.value());
 }
 
 void Worker::leave() {

@@ -114,6 +114,12 @@ struct WorkerConfig {
     // id list a crash books as DropReason::kStateLost; beyond it the list
     // stops growing (the ledger's drop bookkeeping stays bounded).
     std::size_t max_uncheckpointed = 4096;
+    // Checkpoint plane v2: ship this many incremental DeltaMsg records
+    // between periodic full snapshots (0 = legacy full-every-interval).
+    // A unit that cannot express the interval incrementally (journal
+    // overflow, no delta contract) falls back to a full, which restarts
+    // the cadence.
+    std::size_t deltas_per_full = 0;
   } checkpoint;
 
   // swing-audit hook (see core/tuple_ledger.h): when set, the worker
@@ -199,6 +205,15 @@ class Worker {
   [[nodiscard]] std::size_t forwarded_instances() const {
     return forwards_.size();
   }
+  // Checkpoint plane v2 introspection: peer-replica chains held for other
+  // workers' instances, and migration state transfers staged (inert,
+  // awaiting COMMIT) on this device.
+  [[nodiscard]] std::size_t replica_chain_count() const {
+    return replicas_.size();
+  }
+  [[nodiscard]] std::size_t staged_migration_count() const {
+    return staged_migrations_.size();
+  }
 
  private:
   struct Instance;
@@ -282,16 +297,38 @@ class Worker {
   // --- swing-state (see WorkerConfig::Checkpoint, DESIGN.md §9) ---------
   void ensure_checkpoint_task();
   void checkpoint_tick();
-  // Serializes `inst` (worker envelope + unit state) and ships it to the
-  // master; `migrate_to` marks a migration-final snapshot.
+  // Serializes the worker envelope (dedup window) + unit full state.
+  Bytes full_envelope(Instance& inst);
+  // Ships a full snapshot to the master; `migrate_to` marks a
+  // migration-final snapshot. Resets the instance's delta cadence.
   void take_checkpoint(Instance& inst, DeviceId migrate_to = DeviceId{});
+  // Ships an incremental DeltaMsg chained on the last full snapshot.
+  void take_delta(Instance& inst);
   void handle_restore(const state::RestoreMsg& msg);
-  void handle_migrate(const state::MigrateMsg& msg);
   // Re-addresses an in-flight DataMsg to the device now hosting `data`'s
   // migrated-away target instance (src fields preserved so the ACK still
   // reaches the original upstream).
   void forward_data(DataMsg&& data, DeviceId target);
-  void finish_migration(Instance& inst);
+
+  // --- checkpoint plane v2: peer replication -----------------------------
+  void handle_replicate(const state::ReplicateMsg& msg);
+  void handle_replica_restore(const state::ReplicaRestoreMsg& msg);
+
+  // --- checkpoint plane v2: two-phase-commit migration --------------------
+  // Source role: PREPARE quiesces the instance (arrivals buffer locally so
+  // ABORT can resume in place), drains compute, then transfers the final
+  // snapshot to both the destination (MigrateStateMsg) and the master
+  // (CheckpointMsg, keeping the chain store fresh).
+  void handle_migrate_prepare(const state::MigratePrepareMsg& msg);
+  void on_migration_drained(Instance& inst);
+  void send_prepare_state(Instance& inst);
+  // Destination role: stage the transferred state and vote.
+  void handle_migrate_state(const state::MigrateStateMsg& msg);
+  // Both roles: COMMIT activates the staged copy at the destination and
+  // re-routes + retires at the source; ABORT discards the staged copy and
+  // resumes the source. Both are idempotent.
+  void handle_migrate_commit(const state::MigrateCommitMsg& msg);
+  void handle_migrate_abort(const state::MigrateAbortMsg& msg);
 
   Simulator& sim_;
   device::Device& device_;
@@ -327,6 +364,26 @@ class Worker {
   std::map<std::uint64_t, InstanceInfo> peers_;
   // Tuples that raced ahead of their instance's Deploy.
   std::map<std::uint64_t, std::deque<DataMsg>> pending_data_;
+
+  // Checkpoint plane v2: replica chains this worker keeps on behalf of
+  // OTHER workers' instances (the master relays every stored record to the
+  // instance's peer). Mirrors CheckpointStore's chain discipline: a full
+  // resets the chain, a delta extends it only contiguously, anything else
+  // clears it and waits for the next full.
+  struct ReplicaChain {
+    InstanceInfo instance;  // Last known live placement.
+    std::uint64_t base_epoch = 0;
+    Bytes base;
+    std::vector<Bytes> deltas;  // Epochs base_epoch+1, +2, ...
+    [[nodiscard]] std::uint64_t tip_epoch() const {
+      return base_epoch + deltas.size();
+    }
+  };
+  std::map<std::uint64_t, ReplicaChain> replicas_;  // By InstanceId value.
+
+  // 2PC destination role: state transfers staged by txn id, inert until the
+  // coordinator's COMMIT (activate) or ABORT (discard).
+  std::map<std::uint64_t, state::MigrateStateMsg> staged_migrations_;
 
   // Batching service state, per (destination device, data|ack) stream.
   // Elements are encoded straight into the batch message's frame pool as

@@ -3,25 +3,49 @@
 namespace swing::state {
 
 bool CheckpointStore::store(const CheckpointMsg& msg) {
-  auto it = entries_.find(msg.instance.instance.value());
-  if (it != entries_.end() && msg.epoch < it->second.epoch) return false;
+  auto it = chains_.find(msg.instance.instance.value());
+  if (it != chains_.end() && msg.epoch < it->second.base.epoch) return false;
   Entry entry;
   entry.instance = msg.instance;
   entry.epoch = msg.epoch;
   entry.taken_ns = msg.taken_ns;
   entry.state = msg.state;
-  entries_[msg.instance.instance.value()] = std::move(entry);
+  Chain& chain = chains_[msg.instance.instance.value()];
+  chain.base = std::move(entry);
+  chain.deltas.clear();  // Epoch GC: the new base subsumes the old run.
   return true;
+}
+
+bool CheckpointStore::store_delta(const DeltaMsg& msg) {
+  auto it = chains_.find(msg.instance.instance.value());
+  if (it == chains_.end()) return false;  // No base to chain onto.
+  Chain& chain = it->second;
+  if (msg.base_epoch != chain.base.epoch) return false;
+  if (msg.epoch != chain.tip_epoch() + 1) return false;
+  if (chain.deltas.size() >= kMaxDeltasPerChain) return false;
+  Entry entry;
+  entry.instance = msg.instance;
+  entry.epoch = msg.epoch;
+  entry.taken_ns = msg.taken_ns;
+  entry.state = msg.delta;
+  chain.deltas.push_back(std::move(entry));
+  return true;
+}
+
+const CheckpointStore::Chain* CheckpointStore::chain(
+    InstanceId instance) const {
+  auto it = chains_.find(instance.value());
+  return it == chains_.end() ? nullptr : &it->second;
 }
 
 const CheckpointStore::Entry* CheckpointStore::latest(
     InstanceId instance) const {
-  auto it = entries_.find(instance.value());
-  return it == entries_.end() ? nullptr : &it->second;
+  auto it = chains_.find(instance.value());
+  return it == chains_.end() ? nullptr : &it->second.base;
 }
 
 void CheckpointStore::erase(InstanceId instance) {
-  entries_.erase(instance.value());
+  chains_.erase(instance.value());
 }
 
 }  // namespace swing::state

@@ -1,13 +1,20 @@
-// Master-side storage for the latest operator-state checkpoint per instance.
+// Master-side storage for operator-state checkpoint chains.
 //
-// The store is intentionally dumb: latest-epoch-wins per InstanceId, no
-// history (incremental/delta checkpoints are a ROADMAP follow-up). The
-// master consults it when a member dies (redeploy-and-restore) and when a
-// live migration's final snapshot arrives (transfer-to-target).
+// Checkpoint plane v2: per instance the store holds the last FULL snapshot
+// (the chain base) plus the ordered run of incremental deltas chained onto
+// it. Epoch GC is structural — a newer full snapshot replaces the base and
+// drops every delta it subsumes, so the store never holds more than one
+// base + one delta run per instance. Reconstruction (base state replayed
+// through each delta) lives in state/state_chain.h and is shared with the
+// worker-side peer replica store.
+//
+// The master consults the store when a member dies (redeploy-and-restore)
+// and relays every accepted record to the instance's peer replica.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/ids.h"
@@ -24,21 +31,49 @@ class CheckpointStore {
     Bytes state;
   };
 
-  // Records `msg` if it is at least as new as what is held for the instance
+  struct Chain {
+    Entry base;                 // Last full snapshot.
+    std::vector<Entry> deltas;  // Contiguous epochs base.epoch+1, +2, ...
+
+    // Epoch of the newest record in the chain.
+    [[nodiscard]] std::uint64_t tip_epoch() const {
+      return deltas.empty() ? base.epoch : deltas.back().epoch;
+    }
+  };
+
+  // Defensive bound on an instance's delta run: the worker ships a full
+  // every few deltas, so a run this long means the full stream is lost —
+  // reject further deltas and wait for the next base.
+  static constexpr std::size_t kMaxDeltasPerChain = 256;
+
+  // Records a full snapshot if it is at least as new as the held base
   // (equal epochs overwrite: a migration-final snapshot re-announcing the
-  // current epoch must supersede the periodic one). Returns whether stored.
+  // current epoch must supersede the periodic one). Accepting a full GCs
+  // every delta of the previous chain. Returns whether stored.
   bool store(const CheckpointMsg& msg);
 
-  // The freshest snapshot for `instance`, or nullptr if none was ever taken.
+  // Appends a delta if it extends the held chain contiguously: same base
+  // epoch, and exactly one past the current tip. Anything else — no chain,
+  // a gap, a stale duplicate, an over-long run — is rejected; the worker's
+  // periodic fulls re-seed the chain and self-heal. Returns whether stored.
+  bool store_delta(const DeltaMsg& msg);
+
+  // The full chain for `instance`, or nullptr if no full was ever stored.
+  [[nodiscard]] const Chain* chain(InstanceId instance) const;
+
+  // The chain base (last FULL snapshot) for `instance`, or nullptr.
   [[nodiscard]] const Entry* latest(InstanceId instance) const;
 
   // Forgets `instance` (e.g. after its operator is torn down for good).
   void erase(InstanceId instance);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  // Drops every chain (master state loss; exercised by chaos tests).
+  void clear() { chains_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return chains_.size(); }
 
  private:
-  std::map<std::uint64_t, Entry> entries_;  // Keyed by InstanceId value.
+  std::map<std::uint64_t, Chain> chains_;  // Keyed by InstanceId value.
 };
 
 }  // namespace swing::state

@@ -1,0 +1,46 @@
+#include "state/state_chain.h"
+
+#include <cstdint>
+
+#include "dataflow/function_unit.h"
+#include "runtime/messages.h"
+
+namespace swing::state {
+
+namespace {
+
+constexpr std::size_t kMaxMergedDedupIds = 65536;
+
+// Reads one record's envelope prefix, appending its dedup ids to `ids`;
+// leaves the reader positioned at the unit payload.
+void read_envelope_ids(ByteReader& r, std::vector<std::uint64_t>& ids) {
+  const std::uint64_t n = r.read_varint();
+  runtime::check_wire_count(n, r, 8, "checkpoint dedup id");
+  for (std::uint64_t i = 0; i < n; ++i) ids.push_back(r.read_u64());
+}
+
+}  // namespace
+
+Bytes reconstruct_state(dataflow::FunctionUnit& unit, const Bytes& base,
+                        const std::vector<const Bytes*>& deltas) {
+  std::vector<std::uint64_t> ids;
+  ByteReader base_reader{base};
+  read_envelope_ids(base_reader, ids);
+  unit.restore_state(base_reader);
+  for (const Bytes* delta : deltas) {
+    ByteReader r{*delta};
+    read_envelope_ids(r, ids);
+    unit.apply_delta(r);
+  }
+  if (ids.size() > kMaxMergedDedupIds) {
+    ids.erase(ids.begin(),
+              ids.begin() + std::ptrdiff_t(ids.size() - kMaxMergedDedupIds));
+  }
+  ByteWriter w;
+  w.write_varint(ids.size());
+  for (const std::uint64_t id : ids) w.write_u64(id);
+  unit.snapshot_state(w);
+  return w.take();
+}
+
+}  // namespace swing::state

@@ -1,0 +1,33 @@
+// Chain reconstruction: last full snapshot + ordered deltas -> flat state.
+//
+// Every checkpoint record carries the worker envelope in front of the unit
+// payload:
+//
+//   full   [varint dedup_count][u64 dedup ids...][unit snapshot_state]
+//   delta  [varint new_id_count][u64 dedup ids...][unit snapshot_delta]
+//
+// reconstruct_state() replays a chain onto a freshly built unit and
+// re-serializes the result as a FULL envelope, byte-compatible with
+// RestoreMsg::state — so every restore path (master store, worker peer
+// replica) feeds the same activation code. Shared by runtime/master.cpp and
+// runtime/worker.cpp; throws WireFormatError on malformed records.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace swing::dataflow {
+class FunctionUnit;
+}
+
+namespace swing::state {
+
+// Applies `base` (a full-envelope record) and then each delta record in
+// order to `unit`, returning the merged full-envelope state. Dedup ids from
+// the base and every delta are concatenated in chain order (bounded to the
+// most recent 65536 — far past any configured dedup window).
+Bytes reconstruct_state(dataflow::FunctionUnit& unit, const Bytes& base,
+                        const std::vector<const Bytes*>& deltas);
+
+}  // namespace swing::state

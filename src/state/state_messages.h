@@ -1,18 +1,34 @@
-// swing-state wire protocol: checkpoint, restore, and migration messages.
+// swing-state wire protocol: checkpoint, delta, replication, restore, and
+// two-phase-commit migration messages.
 //
-// Three control-plane messages thread operator state through the swarm:
+// The checkpoint plane threads operator state through the swarm:
 //
-//   CheckpointMsg  worker -> master   periodic (or migration-final) snapshot
-//                                     of one instance's operator state.
-//   RestoreMsg     master -> worker   redeploy an instance WITH state: the
-//                                     target activates the instance from this
-//                                     message alone (it carries the routing
-//                                     seeds a DeployMsg would), then applies
-//                                     the snapshot before replaying any data
-//                                     buffered while the instance was absent.
-//   MigrateMsg     master -> worker   command the current host to quiesce,
-//                                     drain, snapshot, and hand the instance
-//                                     to `to_device`.
+//   CheckpointMsg      worker -> master  periodic (or migration-final) FULL
+//                                        snapshot of one instance's state.
+//   DeltaMsg           worker -> master  incremental journal record chained
+//                                        onto the last full snapshot.
+//   ReplicateMsg       master -> worker  relay of a stored full/delta record
+//                                        to the instance's peer replica.
+//   RestoreMsg         master -> worker  redeploy an instance WITH state: the
+//                                        target activates the instance from
+//                                        this message alone (it carries the
+//                                        routing seeds a DeployMsg would),
+//                                        then applies the snapshot before
+//                                        replaying buffered data.
+//   ReplicaRestoreMsg  master -> worker  fallback restore after master state
+//                                        loss: the peer reconstructs the
+//                                        instance from its replica chain.
+//
+// Live migration is a two-phase commit driven by the master:
+//
+//   MigratePrepareMsg  master -> source  quiesce, drain, transfer state.
+//   MigrateStateMsg    source -> dest    the final snapshot, staged (inert)
+//                                        at the destination until COMMIT.
+//   MigrateAckMsg      dest   -> master  vote: state staged and hostable.
+//   MigrateCommitMsg   master -> both    dest activates staged state; source
+//                                        re-routes buffered input and retires.
+//   MigrateAbortMsg    master -> both    dest discards staged state; source
+//                                        resumes processing locally.
 //
 // Codec conventions follow runtime/messages.h: encode(ByteWriter&) appends
 // into a caller-owned buffer, decode(ByteReader&) reads a non-owning frame
@@ -106,24 +122,246 @@ struct RestoreMsg {
   }
 };
 
-// Master-initiated planned handoff: the hosting worker quiesces the named
-// instance (new input is forwarded to `to_device`), drains its compute
-// queue, ships a final snapshot (CheckpointMsg with migrate_to set), and
-// retires the local copy. Zero tuple loss is asserted by the ledger.
-struct MigrateMsg {
+// Incremental checkpoint record: the operator's journal of mutations since
+// the full snapshot at `base_epoch`, wrapped in the same worker envelope
+// (newly remembered dedup ids) as a full snapshot. Epochs are contiguous:
+// a delta at epoch E chains onto the record at E-1, and the chain bottoms
+// out at the full snapshot whose epoch equals `base_epoch`.
+struct DeltaMsg {
+  InstanceInfo instance;
+  std::uint64_t epoch = 0;
+  std::uint64_t base_epoch = 0;  // Epoch of the full snapshot this chains on.
+  std::int64_t taken_ns = 0;     // Sim time the worker serialized the delta.
+  Bytes delta;
+
+  friend bool operator==(const DeltaMsg&, const DeltaMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    instance.encode(w);
+    w.write_u64(epoch);
+    w.write_u64(base_epoch);
+    w.write_i64(taken_ns);
+    w.write_bytes(delta);
+  }
+  static SWING_HOT DeltaMsg decode(ByteReader& r) {
+    DeltaMsg msg;
+    msg.instance = InstanceInfo::decode(r);
+    msg.epoch = r.read_u64();
+    msg.base_epoch = r.read_u64();
+    msg.taken_ns = r.read_i64();
+    const auto body = r.read_span();
+    msg.delta.assign(body.begin(), body.end());
+    return msg;
+  }
+};
+
+// Master -> peer relay of one stored checkpoint record, so a copy of every
+// instance's chain survives master state loss. `kind` distinguishes full
+// snapshots (which reset the replica chain) from deltas (which extend it).
+struct ReplicateMsg {
+  enum class Kind : std::uint8_t { kFull = 0, kDelta = 1 };
+
+  InstanceInfo instance;  // Where the instance currently lives (NOT the peer).
+  Kind kind = Kind::kFull;
+  std::uint64_t epoch = 0;
+  std::uint64_t base_epoch = 0;  // Meaningful for deltas; == epoch for fulls.
+  std::int64_t sent_ns = 0;
+  Bytes state;
+
+  friend bool operator==(const ReplicateMsg&, const ReplicateMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    instance.encode(w);
+    w.write_u8(static_cast<std::uint8_t>(kind));
+    w.write_u64(epoch);
+    w.write_u64(base_epoch);
+    w.write_i64(sent_ns);
+    w.write_bytes(state);
+  }
+  static SWING_HOT ReplicateMsg decode(ByteReader& r) {
+    ReplicateMsg msg;
+    msg.instance = InstanceInfo::decode(r);
+    const auto k = r.read_u8();
+    if (k > static_cast<std::uint8_t>(Kind::kDelta)) {
+      throw WireFormatError("replicate kind " + std::to_string(k) +
+                            " out of range");
+    }
+    msg.kind = static_cast<Kind>(k);
+    msg.epoch = r.read_u64();
+    msg.base_epoch = r.read_u64();
+    msg.sent_ns = r.read_i64();
+    const auto body = r.read_span();
+    msg.state.assign(body.begin(), body.end());
+    return msg;
+  }
+};
+
+// Master -> peer fallback restore after master state loss: the peer holds
+// the replica chain locally, so this message carries only identity and
+// routing — the peer reconstructs the state bytes itself and activates the
+// instance on its own device. If the peer no longer holds a usable chain,
+// the instance's queued tuples are dropped as kStateLost.
+struct ReplicaRestoreMsg {
+  InstanceInfo instance;  // The FAILED placement (id + op + dead device).
+  std::int64_t sent_ns = 0;
+  std::vector<InstanceInfo> downstreams;
+
+  friend bool operator==(const ReplicaRestoreMsg&,
+                         const ReplicaRestoreMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    instance.encode(w);
+    w.write_i64(sent_ns);
+    w.write_varint(downstreams.size());
+    for (const auto& d : downstreams) d.encode(w);
+  }
+  static SWING_HOT ReplicaRestoreMsg decode(ByteReader& r) {
+    ReplicaRestoreMsg msg;
+    msg.instance = InstanceInfo::decode(r);
+    msg.sent_ns = r.read_i64();
+    const auto n = r.read_varint();
+    check_wire_count(n, r, 24, "replica restore downstream");
+    msg.downstreams.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      msg.downstreams.push_back(InstanceInfo::decode(r));
+    }
+    return msg;
+  }
+};
+
+// 2PC PREPARE, master -> source host: quiesce the named instance (new input
+// is buffered, NOT forwarded — an ABORT must be able to resume in place),
+// drain its compute queue, then transfer the final snapshot to `to_device`
+// (MigrateStateMsg) and to the master (CheckpointMsg). Wire-compatible with
+// the pre-2PC MigrateMsg plus a leading transaction id.
+struct MigratePrepareMsg {
+  std::uint64_t txn = 0;
   InstanceId instance;
   DeviceId to_device;
 
-  friend bool operator==(const MigrateMsg&, const MigrateMsg&) = default;
+  friend bool operator==(const MigratePrepareMsg&,
+                         const MigratePrepareMsg&) = default;
 
   SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(txn);
     w.write_u64(instance.value());
     w.write_u64(to_device.value());
   }
-  static SWING_HOT MigrateMsg decode(ByteReader& r) {
-    MigrateMsg msg;
+  static SWING_HOT MigratePrepareMsg decode(ByteReader& r) {
+    MigratePrepareMsg msg;
+    msg.txn = r.read_u64();
     msg.instance = InstanceId{r.read_u64()};
     msg.to_device = DeviceId{r.read_u64()};
+    return msg;
+  }
+};
+
+// 2PC state transfer, source -> destination: the final snapshot, staged
+// inert at the destination until the coordinator's COMMIT (or discarded on
+// ABORT). `instance.device` already names the destination.
+struct MigrateStateMsg {
+  std::uint64_t txn = 0;
+  InstanceInfo instance;
+  std::uint64_t epoch = 0;
+  std::int64_t sent_ns = 0;
+  Bytes state;
+
+  friend bool operator==(const MigrateStateMsg&,
+                         const MigrateStateMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(txn);
+    instance.encode(w);
+    w.write_u64(epoch);
+    w.write_i64(sent_ns);
+    w.write_bytes(state);
+  }
+  static SWING_HOT MigrateStateMsg decode(ByteReader& r) {
+    MigrateStateMsg msg;
+    msg.txn = r.read_u64();
+    msg.instance = InstanceInfo::decode(r);
+    msg.epoch = r.read_u64();
+    msg.sent_ns = r.read_i64();
+    const auto body = r.read_span();
+    msg.state.assign(body.begin(), body.end());
+    return msg;
+  }
+};
+
+// 2PC vote, destination -> master: the transferred state is staged and the
+// destination can host the instance (`ok`), or the transfer must abort.
+struct MigrateAckMsg {
+  std::uint64_t txn = 0;
+  InstanceId instance;
+  bool ok = false;
+
+  friend bool operator==(const MigrateAckMsg&, const MigrateAckMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(txn);
+    w.write_u64(instance.value());
+    w.write_u8(ok ? 1 : 0);
+  }
+  static SWING_HOT MigrateAckMsg decode(ByteReader& r) {
+    MigrateAckMsg msg;
+    msg.txn = r.read_u64();
+    msg.instance = InstanceId{r.read_u64()};
+    msg.ok = r.read_u8() != 0;
+    return msg;
+  }
+};
+
+// 2PC COMMIT, master -> source and destination. The destination activates
+// its staged state using `downstreams` as the routing seed; the source
+// installs a forward to `instance.device`, flushes input buffered during
+// PREPARE, and retires its copy. Idempotent: a host that has already acted
+// on (or never saw) the transaction ignores the message.
+struct MigrateCommitMsg {
+  std::uint64_t txn = 0;
+  InstanceInfo instance;  // The committed placement (id + op + destination).
+  std::vector<InstanceInfo> downstreams;
+
+  friend bool operator==(const MigrateCommitMsg&,
+                         const MigrateCommitMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(txn);
+    instance.encode(w);
+    w.write_varint(downstreams.size());
+    for (const auto& d : downstreams) d.encode(w);
+  }
+  static SWING_HOT MigrateCommitMsg decode(ByteReader& r) {
+    MigrateCommitMsg msg;
+    msg.txn = r.read_u64();
+    msg.instance = InstanceInfo::decode(r);
+    const auto n = r.read_varint();
+    check_wire_count(n, r, 24, "migrate commit downstream");
+    msg.downstreams.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      msg.downstreams.push_back(InstanceInfo::decode(r));
+    }
+    return msg;
+  }
+};
+
+// 2PC ABORT, master -> source and destination: the destination discards the
+// staged state, the source resumes processing (including input buffered
+// during PREPARE) in place. Idempotent, same as COMMIT.
+struct MigrateAbortMsg {
+  std::uint64_t txn = 0;
+  InstanceId instance;
+
+  friend bool operator==(const MigrateAbortMsg&,
+                         const MigrateAbortMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(txn);
+    w.write_u64(instance.value());
+  }
+  static SWING_HOT MigrateAbortMsg decode(ByteReader& r) {
+    MigrateAbortMsg msg;
+    msg.txn = r.read_u64();
+    msg.instance = InstanceId{r.read_u64()};
     return msg;
   }
 };

@@ -1,0 +1,293 @@
+// Checkpoint plane v2 chaos: crash-at-every-boundary 2PC migration, master
+// volatile-state loss with peer-replica restore, and the delta cadence
+// end-to-end. Fixtures are named State* for CI's state-smoke job, which
+// runs this matrix under both asan-ubsan and tsan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/scene_analysis.h"
+#include "apps/testbed.h"
+#include "core/tuple_ledger.h"
+#include "runtime/scenario.h"
+
+namespace swing {
+namespace {
+
+using apps::Testbed;
+using apps::TestbedConfig;
+using runtime::InstanceInfo;
+using runtime::MigrationPhase;
+using MigrationVictim = runtime::Swarm::MigrationVictim;
+
+OperatorId find_op(const dataflow::AppGraph& graph, const std::string& name) {
+  for (const auto& op : graph.operators()) {
+    if (op.name == name) return op.id;
+  }
+  return OperatorId{};
+}
+
+TestbedConfig chaos_config(std::uint64_t seed) {
+  TestbedConfig config;
+  config.seed = seed;
+  config.workers = {"G", "H", "I"};  // Strong-signal trio.
+  config.swarm.with_recovery().with_checkpointing(seconds(0.5));
+  return config;
+}
+
+// The deterministic migration pair: source is the first fusion-hosting
+// worker off the master device, target the next distinct one.
+void pick_pair(runtime::Swarm& swarm, OperatorId fusion, DeviceId& from,
+               DeviceId& to) {
+  for (const auto& info : swarm.master()->instances_of(fusion)) {
+    if (info.device == swarm.master()->device()) continue;
+    if (!from.valid()) {
+      from = info.device;
+    } else if (info.device != from && !to.valid()) {
+      to = info.device;
+    }
+  }
+}
+
+// Post-run invariant shared by every crash case: each pre-event fusion
+// instance is registered exactly once (no stranded or duplicated copy) and
+// none is booked on a device that crashed.
+void expect_single_ownership(const std::vector<InstanceInfo>& before,
+                             const std::vector<InstanceInfo>& after,
+                             const std::vector<DeviceId>& dead) {
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& b : before) {
+    int copies = 0;
+    for (const auto& a : after) {
+      if (a.instance != b.instance) continue;
+      ++copies;
+      for (const DeviceId d : dead) {
+        EXPECT_NE(a.device, d) << "instance " << a.instance
+                               << " still booked on the dead device " << d;
+      }
+    }
+    EXPECT_EQ(copies, 1) << "instance " << b.instance << " has " << copies
+                         << " live registrations";
+  }
+}
+
+// --- 2PC crash matrix ------------------------------------------------------
+// One test per (phase boundary, victim): start a migration and crash the
+// victim synchronously the moment the coordinator crosses the phase. Every
+// combination must end with exactly one live copy of the migrating
+// instance, the ledger conserved, and zero audit violations.
+
+struct CrashCase {
+  MigrationPhase phase;
+  MigrationVictim victim;
+};
+
+std::string case_name(const ::testing::TestParamInfo<CrashCase>& info) {
+  static const char* kPhases[] = {"PrepareSent", "AckReceived", "CommitLogged",
+                                  "Completed"};
+  static const char* kVictims[] = {"Source", "Destination", "Master"};
+  return std::string{kPhases[int(info.param.phase)]} + "Crash" +
+         kVictims[int(info.param.victim)];
+}
+
+class StateChaos2PC : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(StateChaos2PC, CrashAtBoundaryLeavesExactlyOneOwner) {
+  const CrashCase c = GetParam();
+  Testbed bed{chaos_config(42)};
+  bed.launch(apps::scene_analysis_graph({}));
+  auto& swarm = bed.swarm();
+  const OperatorId fusion = find_op(swarm.graph(), "fusion");
+
+  const auto before = swarm.master()->instances_of(fusion);
+  DeviceId from{}, to{};
+  pick_pair(swarm, fusion, from, to);
+  ASSERT_TRUE(from.valid());
+  ASSERT_TRUE(to.valid());
+
+  runtime::Scenario script{swarm};
+  script.crash_during_migration_at(seconds(6.0), from, to, c.phase, c.victim);
+  script.run_for(seconds(24.0));
+  swarm.stop();
+  bed.run(seconds(8.0));
+
+  // No transaction may be left dangling: every PREPARE was driven to a
+  // durable COMMIT or ABORT by the time the run drains.
+  EXPECT_EQ(swarm.master()->pending_migration_count(), 0u);
+
+  const core::AuditReport report = swarm.audit();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_TRUE(report.conserved()) << report.summary();
+
+  std::vector<DeviceId> dead;
+  if (c.victim == MigrationVictim::kSource) dead.push_back(from);
+  if (c.victim == MigrationVictim::kDestination) dead.push_back(to);
+  expect_single_ownership(before, swarm.master()->instances_of(fusion), dead);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateChaosMatrix, StateChaos2PC,
+    ::testing::Values(
+        CrashCase{MigrationPhase::kPrepareSent, MigrationVictim::kSource},
+        CrashCase{MigrationPhase::kPrepareSent, MigrationVictim::kDestination},
+        CrashCase{MigrationPhase::kPrepareSent, MigrationVictim::kMaster},
+        CrashCase{MigrationPhase::kAckReceived, MigrationVictim::kSource},
+        CrashCase{MigrationPhase::kAckReceived, MigrationVictim::kDestination},
+        CrashCase{MigrationPhase::kAckReceived, MigrationVictim::kMaster},
+        CrashCase{MigrationPhase::kCommitLogged, MigrationVictim::kSource},
+        CrashCase{MigrationPhase::kCommitLogged,
+                  MigrationVictim::kDestination},
+        CrashCase{MigrationPhase::kCommitLogged, MigrationVictim::kMaster},
+        CrashCase{MigrationPhase::kCompleted, MigrationVictim::kSource},
+        CrashCase{MigrationPhase::kCompleted, MigrationVictim::kDestination},
+        CrashCase{MigrationPhase::kCompleted, MigrationVictim::kMaster}),
+    case_name);
+
+// --- Master volatile-state loss + peer replica -----------------------------
+
+TEST(StateChaosMasterLoss, PeerReplicaRestoresAfterMasterStateCrash) {
+  // Long checkpoint interval so the master's chain store stays empty
+  // between its state loss and the worker crash — the restore MUST come
+  // from the peer replica, not a freshly re-shipped full.
+  TestbedConfig config = chaos_config(42);
+  config.swarm.with_checkpointing(seconds(5.0)).with_peer_replication();
+  Testbed bed{config};
+  bed.launch(apps::scene_analysis_graph({}));
+  auto& swarm = bed.swarm();
+  const OperatorId fusion = find_op(swarm.graph(), "fusion");
+
+  const auto before = swarm.master()->instances_of(fusion);
+  DeviceId victim{};
+  for (const auto& info : before) {
+    if (info.device != swarm.master()->device()) {
+      victim = info.device;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+
+  // Checkpoints land at ~5s and ~10s (replicated to a peer as they land);
+  // the master forgets everything at 11s and the worker dies at 12s,
+  // before any re-ship. The decision log and replica map survive.
+  runtime::Scenario script{swarm};
+  script.crash_master_state_at(seconds(11.0));
+  script.crash_worker_at(seconds(12.0), victim);
+  script.run_for(seconds(24.0));
+  swarm.stop();
+  bed.run(seconds(8.0));
+
+  const core::AuditReport report = swarm.audit();
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  auto& reg = swarm.registry();
+  EXPECT_GE(reg.counter("master_state_crashes").value(), 1u);
+  EXPECT_GE(reg.counter("state_restores", {{"source", "peer"}}).value(), 1u)
+      << "restore never took the peer-replica fallback";
+  EXPECT_EQ(reg.counter("state_restores", {{"source", "lost"}}).value(), 0u)
+      << "state was declared lost despite a live replica";
+
+  expect_single_ownership(before, swarm.master()->instances_of(fusion),
+                          {victim});
+}
+
+// --- Delta cadence end-to-end ----------------------------------------------
+
+struct DeltaRun {
+  core::AuditReport report;
+  std::uint64_t ledger_digest = 0;
+  std::string registry_snapshot;
+  std::uint64_t deltas_taken = 0;
+  std::uint64_t state_bytes = 0;
+  std::uint64_t restored = 0;
+  std::vector<InstanceInfo> before, after;
+  DeviceId crashed;
+};
+
+DeltaRun run_delta_crash(std::uint64_t seed, std::size_t deltas_per_full) {
+  TestbedConfig config = chaos_config(seed);
+  if (deltas_per_full > 0) {
+    config.swarm.with_delta_checkpointing(deltas_per_full);
+  }
+  Testbed bed{config};
+  bed.launch(apps::scene_analysis_graph({}));
+  auto& swarm = bed.swarm();
+  const OperatorId fusion = find_op(swarm.graph(), "fusion");
+
+  DeltaRun out;
+  out.before = swarm.master()->instances_of(fusion);
+  for (const auto& info : out.before) {
+    if (info.device != swarm.master()->device()) {
+      out.crashed = info.device;
+      break;
+    }
+  }
+  EXPECT_TRUE(out.crashed.valid());
+
+  runtime::Scenario script{swarm};
+  script.crash_worker_at(seconds(8.0), out.crashed);
+  script.run_for(seconds(24.0));
+  swarm.stop();
+  bed.run(seconds(8.0));
+
+  out.report = swarm.audit();
+  out.ledger_digest = swarm.ledger().digest();
+  out.registry_snapshot = swarm.registry().snapshot().dump();
+  out.deltas_taken = swarm.metrics().deltas_taken();
+  out.state_bytes = swarm.metrics().state_bytes();
+  out.restored = swarm.metrics().checkpoints_restored();
+  out.after = swarm.master()->instances_of(fusion);
+  return out;
+}
+
+TEST(StateChaosDelta, DeltaChainRestoresCrashedJoinWithFewerBytes) {
+  const DeltaRun delta = run_delta_crash(42, 4);
+  EXPECT_TRUE(delta.report.ok()) << delta.report.summary();
+  EXPECT_GT(delta.deltas_taken, 0u) << "delta cadence never engaged";
+  EXPECT_GE(delta.restored, 1u) << "crash never triggered a restore";
+  expect_single_ownership(delta.before, delta.after, {delta.crashed});
+
+  // The point of the journal: the same run full-only ships strictly more
+  // checkpoint bytes for the same recovery outcome.
+  const DeltaRun full = run_delta_crash(42, 0);
+  EXPECT_EQ(full.deltas_taken, 0u);
+  EXPECT_LT(delta.state_bytes, full.state_bytes)
+      << "deltas shipped no fewer bytes than fulls";
+}
+
+TEST(StateChaosDeterminism, CrashMid2PCRunIsByteIdentical) {
+  auto run_once = [](std::uint64_t seed) {
+    Testbed bed{chaos_config(seed)};
+    bed.launch(apps::scene_analysis_graph({}));
+    auto& swarm = bed.swarm();
+    const OperatorId fusion = find_op(swarm.graph(), "fusion");
+    DeviceId from{}, to{};
+    pick_pair(swarm, fusion, from, to);
+    runtime::Scenario script{swarm};
+    script.crash_during_migration_at(seconds(6.0), from, to,
+                                     MigrationPhase::kAckReceived,
+                                     MigrationVictim::kDestination);
+    script.run_for(seconds(24.0));
+    swarm.stop();
+    bed.run(seconds(8.0));
+    return std::pair{swarm.ledger().digest(),
+                     swarm.registry().snapshot().dump()};
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_once(43);
+  EXPECT_NE(a.first, c.first) << "seed never reached the event stream";
+}
+
+TEST(StateChaosDelta, DeltaRunIsByteIdentical) {
+  const DeltaRun a = run_delta_crash(42, 4);
+  const DeltaRun b = run_delta_crash(42, 4);
+  EXPECT_EQ(a.ledger_digest, b.ledger_digest);
+  EXPECT_EQ(a.registry_snapshot, b.registry_snapshot);
+}
+
+}  // namespace
+}  // namespace swing

@@ -27,7 +27,14 @@ using dataflow::Tuple;
 using runtime::InstanceInfo;
 using state::CheckpointMsg;
 using state::CheckpointStore;
-using state::MigrateMsg;
+using state::DeltaMsg;
+using state::MigrateAbortMsg;
+using state::MigrateAckMsg;
+using state::MigrateCommitMsg;
+using state::MigratePrepareMsg;
+using state::MigrateStateMsg;
+using state::ReplicaRestoreMsg;
+using state::ReplicateMsg;
 using state::RestoreMsg;
 
 // --- Codec round-trips ------------------------------------------------------
@@ -71,12 +78,88 @@ TEST(StateContract, RestoreRoundTripIsByteFixpoint) {
   EXPECT_EQ(dataflow::encode_to_bytes(back), wire);
 }
 
-TEST(StateContract, MigrateRoundTripIsByteFixpoint) {
-  const MigrateMsg msg{InstanceId{9}, DeviceId{4}};
+// One helper asserts the byte-fixpoint property for every v2 message.
+template <typename M>
+void expect_roundtrip(const M& msg) {
   const Bytes wire = dataflow::encode_to_bytes(msg);
-  const MigrateMsg back = dataflow::decode_from<MigrateMsg>(wire);
+  const M back = dataflow::decode_from<M>(wire);
   EXPECT_EQ(back, msg);
   EXPECT_EQ(dataflow::encode_to_bytes(back), wire);
+}
+
+TEST(StateContract, DeltaRoundTripIsByteFixpoint) {
+  DeltaMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  msg.epoch = 9;
+  msg.base_epoch = 7;
+  msg.taken_ns = 2'700'000'000;
+  msg.delta = Bytes{0x01, 0x02, 0x03};
+  expect_roundtrip(msg);
+}
+
+TEST(StateContract, ReplicateRoundTripIsByteFixpoint) {
+  ReplicateMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  msg.kind = ReplicateMsg::Kind::kDelta;
+  msg.epoch = 9;
+  msg.base_epoch = 7;
+  msg.sent_ns = 2'800'000'000;
+  msg.state = Bytes{0xaa, 0xbb};
+  expect_roundtrip(msg);
+  msg.kind = ReplicateMsg::Kind::kFull;
+  expect_roundtrip(msg);
+}
+
+TEST(StateContract, ReplicateRejectsUnknownKindByte) {
+  ReplicateMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  msg.kind = ReplicateMsg::Kind(7);  // Not a legal kind on the wire.
+  EXPECT_THROW(
+      dataflow::decode_from<ReplicateMsg>(dataflow::encode_to_bytes(msg)),
+      WireFormatError);
+}
+
+TEST(StateContract, ReplicaRestoreRoundTripIsByteFixpoint) {
+  ReplicaRestoreMsg msg;
+  msg.instance = InstanceInfo{InstanceId{5}, OperatorId{2}, DeviceId{1}};
+  msg.sent_ns = 2'900'000'000;
+  msg.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  expect_roundtrip(msg);
+}
+
+TEST(StateContract, MigratePrepareRoundTripIsByteFixpoint) {
+  expect_roundtrip(MigratePrepareMsg{77, InstanceId{9}, DeviceId{4}});
+}
+
+TEST(StateContract, MigrateStateRoundTripIsByteFixpoint) {
+  MigrateStateMsg msg;
+  msg.txn = 77;
+  msg.instance = InstanceInfo{InstanceId{9}, OperatorId{2}, DeviceId{4}};
+  msg.epoch = 12;
+  msg.sent_ns = 3'000'000'000;
+  msg.state = Bytes{0x10, 0x20, 0x30, 0x40};
+  expect_roundtrip(msg);
+}
+
+TEST(StateContract, MigrateAckRoundTripIsByteFixpoint) {
+  expect_roundtrip(MigrateAckMsg{77, InstanceId{9}, true});
+  expect_roundtrip(MigrateAckMsg{78, InstanceId{9}, false});
+}
+
+TEST(StateContract, MigrateCommitRoundTripIsByteFixpoint) {
+  MigrateCommitMsg msg;
+  msg.txn = 77;
+  msg.instance = InstanceInfo{InstanceId{9}, OperatorId{2}, DeviceId{4}};
+  msg.downstreams.push_back(
+      InstanceInfo{InstanceId{6}, OperatorId{3}, DeviceId{0}});
+  msg.downstreams.push_back(
+      InstanceInfo{InstanceId{7}, OperatorId{3}, DeviceId{2}});
+  expect_roundtrip(msg);
+}
+
+TEST(StateContract, MigrateAbortRoundTripIsByteFixpoint) {
+  expect_roundtrip(MigrateAbortMsg{77, InstanceId{9}});
 }
 
 TEST(StateContract, TruncatedInputsThrowNotCrash) {
@@ -86,7 +169,10 @@ TEST(StateContract, TruncatedInputsThrowNotCrash) {
     EXPECT_THROW(dataflow::decode_from<CheckpointMsg>(partial), WireFormatError)
         << "cut at " << cut;
   }
-  EXPECT_THROW(dataflow::decode_from<MigrateMsg>(Bytes{1, 2, 3}), WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<MigratePrepareMsg>(Bytes{1, 2, 3}),
+               WireFormatError);
+  EXPECT_THROW(dataflow::decode_from<DeltaMsg>(Bytes{1, 2, 3}),
+               WireFormatError);
 }
 
 TEST(StateContract, HostileDownstreamCountIsRejectedRecoverably) {
@@ -144,6 +230,65 @@ TEST(StateStore, TracksInstancesIndependentlyAndErases) {
   EXPECT_EQ(store.latest(a.instance.instance), nullptr);
   ASSERT_NE(store.latest(b.instance.instance), nullptr);
   EXPECT_EQ(store.latest(b.instance.instance)->epoch, 1u);
+}
+
+DeltaMsg delta_for(const CheckpointMsg& base, std::uint64_t epoch) {
+  DeltaMsg d;
+  d.instance = base.instance;
+  d.epoch = epoch;
+  d.base_epoch = base.epoch;
+  d.taken_ns = base.taken_ns + std::int64_t(epoch) * 1'000'000;
+  d.delta = Bytes{std::uint8_t(epoch)};
+  return d;
+}
+
+TEST(StateStore, DeltaChainAcceptsOnlyContiguousEpochs) {
+  CheckpointStore store;
+  const CheckpointMsg base = sample_checkpoint();  // epoch 7.
+
+  // No base yet: deltas have nothing to chain onto.
+  EXPECT_FALSE(store.store_delta(delta_for(base, 8)));
+
+  ASSERT_TRUE(store.store(base));
+  EXPECT_TRUE(store.store_delta(delta_for(base, 8)));
+  EXPECT_TRUE(store.store_delta(delta_for(base, 9)));
+
+  // Gaps, replays, and wrong-base deltas are rejected; the chain is
+  // untouched.
+  EXPECT_FALSE(store.store_delta(delta_for(base, 11)));  // Gap (tip is 9).
+  EXPECT_FALSE(store.store_delta(delta_for(base, 9)));   // Replay.
+  DeltaMsg wrong_base = delta_for(base, 10);
+  wrong_base.base_epoch = 6;
+  EXPECT_FALSE(store.store_delta(wrong_base));
+
+  const auto* chain = store.chain(base.instance.instance);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->base.epoch, 7u);
+  EXPECT_EQ(chain->deltas.size(), 2u);
+  EXPECT_EQ(chain->tip_epoch(), 9u);
+
+  // A newer full resets the chain (epoch GC of the delta tail).
+  CheckpointMsg newer = base;
+  newer.epoch = 12;
+  ASSERT_TRUE(store.store(newer));
+  chain = store.chain(base.instance.instance);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->base.epoch, 12u);
+  EXPECT_TRUE(chain->deltas.empty());
+  EXPECT_EQ(chain->tip_epoch(), 12u);
+}
+
+TEST(StateStore, DeltaChainIsBoundedPerInstance) {
+  CheckpointStore store;
+  CheckpointMsg base = sample_checkpoint();
+  base.epoch = 0;
+  ASSERT_TRUE(store.store(base));
+  for (std::uint64_t e = 1; e <= CheckpointStore::kMaxDeltasPerChain; ++e) {
+    ASSERT_TRUE(store.store_delta(delta_for(base, e))) << e;
+  }
+  EXPECT_FALSE(store.store_delta(
+      delta_for(base, CheckpointStore::kMaxDeltasPerChain + 1)))
+      << "chains must stop growing at the cap until the next full";
 }
 
 // --- Snapshot fixpoint for the real stateful units -------------------------
@@ -253,6 +398,129 @@ TEST(StateFixpoint, WindowerSnapshotRestoreSnapshotIsByteIdentical) {
   ASSERT_NE(classifier, nullptr);
   EXPECT_FALSE(classifier->stateful());
   EXPECT_TRUE(snapshot_of(*classifier).empty());
+}
+
+// --- Delta-chain property: full + N deltas == N+1 fulls ---------------------
+
+Bytes delta_of(dataflow::FunctionUnit& unit) {
+  ByteWriter w;
+  unit.snapshot_delta(w);
+  return w.take();
+}
+
+void apply_delta_bytes(dataflow::FunctionUnit& unit, const Bytes& delta) {
+  ByteReader r{delta};
+  unit.apply_delta(r);
+}
+
+TEST(StateFixpoint, FusionDeltaChainConvergesToFullSnapshot) {
+  const auto graph = apps::scene_analysis_graph({});
+  auto live = make_unit(graph, "fusion");
+  ASSERT_NE(live, nullptr);
+  EXPECT_FALSE(live->delta_ready()) << "journal must be unarmed before the "
+                                       "first full snapshot";
+
+  FakeContext ctx;
+  const auto first_half = [&](std::uint64_t id) {
+    Tuple t{TupleId{id}, SimTime{std::int64_t(id) * 1'000'000}};
+    t.set("face_label", std::string{"alice"});
+    live->process(t, ctx);
+  };
+  const auto second_half = [&](std::uint64_t id) {
+    Tuple t{TupleId{id}, SimTime{std::int64_t(id) * 1'000'000 + 1}};
+    t.set("object_label", std::string{"laptop"});
+    live->process(t, ctx);
+  };
+
+  for (std::uint64_t id = 10; id < 20; ++id) first_half(id);
+  const Bytes base = snapshot_of(*live);  // Arms the journal.
+  auto replica = make_unit(graph, "fusion");
+  ByteReader r{base};
+  replica->restore_state(r);
+
+  // Round 1: inserts only.
+  for (std::uint64_t id = 20; id < 25; ++id) first_half(id);
+  ASSERT_TRUE(live->delta_ready());
+  apply_delta_bytes(*replica, delta_of(*live));
+  EXPECT_EQ(snapshot_of(*replica), snapshot_of(*live));
+
+  // Round 2: a fuse (journalled erase) plus more inserts. After applying
+  // both deltas in order the replica is byte-identical to the live unit —
+  // the same end state N+1 fulls would have produced.
+  second_half(12);
+  second_half(21);
+  for (std::uint64_t id = 25; id < 28; ++id) first_half(id);
+  ASSERT_TRUE(live->delta_ready());
+  apply_delta_bytes(*replica, delta_of(*live));
+  EXPECT_EQ(snapshot_of(*replica), snapshot_of(*live));
+
+  // snapshot_delta drained the journal: nothing new to ship.
+  ASSERT_TRUE(live->delta_ready());
+  EXPECT_EQ(snapshot_of(*replica), snapshot_of(*live));
+}
+
+TEST(StateFixpoint, WindowerDeltaChainRollsExactlyLikeLive) {
+  apps::GestureConfig config;
+  const auto graph = apps::gesture_recognition_graph(config);
+  auto live = make_unit(graph, "windower");
+  ASSERT_NE(live, nullptr);
+
+  FakeContext ctx;
+  std::uint64_t next = 0;
+  const auto feed = [&](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i, ++next) {
+      const apps::AccelSample s = apps::synth_sample(next, config.window_samples);
+      ByteWriter w;
+      w.write_f64(s.x);
+      w.write_f64(s.y);
+      w.write_f64(s.z);
+      Tuple t{TupleId{next}, SimTime{std::int64_t(next) * 1'000'000}};
+      t.set("accel", w.take());
+      live->process(t, ctx);
+    }
+  };
+
+  feed(7);
+  const Bytes base = snapshot_of(*live);  // Arms the journal.
+  auto replica = make_unit(graph, "windower");
+  ByteReader r{base};
+  replica->restore_state(r);
+
+  // Cross a window boundary inside one delta: the replica must roll its
+  // window (advance the index, clear the buffer) exactly like the live
+  // unit's emit path did.
+  feed(config.window_samples);
+  ASSERT_TRUE(live->delta_ready());
+  apply_delta_bytes(*replica, delta_of(*live));
+  EXPECT_EQ(snapshot_of(*replica), snapshot_of(*live));
+
+  // And a second, non-rolling delta chains on cleanly.
+  feed(3);
+  ASSERT_TRUE(live->delta_ready());
+  apply_delta_bytes(*replica, delta_of(*live));
+  EXPECT_EQ(snapshot_of(*replica), snapshot_of(*live));
+}
+
+TEST(StateFixpoint, FusionJournalOverflowForcesNextFull) {
+  const auto graph = apps::scene_analysis_graph({});
+  auto live = make_unit(graph, "fusion");
+  ASSERT_NE(live, nullptr);
+  FakeContext ctx;
+  snapshot_of(*live);  // Arm.
+  // Blow past the journal cap: the unit must degrade to "ship a full next"
+  // rather than emit an unbounded delta.
+  for (std::uint64_t id = 0; id < 600; ++id) {
+    Tuple t{TupleId{id}, SimTime{std::int64_t(id)}};
+    t.set("face_label", std::string{"alice"});
+    live->process(t, ctx);
+  }
+  EXPECT_FALSE(live->delta_ready());
+  // A fresh full snapshot re-arms journaling.
+  snapshot_of(*live);
+  Tuple t{TupleId{9000}, SimTime{}};
+  t.set("face_label", std::string{"alice"});
+  live->process(t, ctx);
+  EXPECT_TRUE(live->delta_ready());
 }
 
 }  // namespace

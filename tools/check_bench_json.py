@@ -52,6 +52,8 @@ KNOWN_METRICS = {
     "checkpoints_stored": {"kind": "counter", "labels": []},
     "checkpoints_taken": {"kind": "counter", "labels": []},
     "delay_processing_ms": {"kind": "histogram", "labels": []},
+    "deltas_stored": {"kind": "counter", "labels": []},
+    "deltas_taken": {"kind": "counter", "labels": []},
     "delay_queuing_ms": {"kind": "histogram", "labels": []},
     "delay_transmission_ms": {"kind": "histogram", "labels": []},
     "e2e_latency_ms": {"kind": "histogram", "labels": []},
@@ -59,13 +61,16 @@ KNOWN_METRICS = {
     "frames_played": {"kind": "counter", "labels": []},
     "manager_routed_tuples": {"kind": "counter", "labels": ["policy"]},
     "master_events": {"kind": "counter", "labels": ["kind"]},
+    "master_state_crashes": {"kind": "counter", "labels": []},
+    "migrations_aborted": {"kind": "counter", "labels": []},
     "migrations_completed": {"kind": "counter", "labels": []},
     "net_busy_airtime_s": {"kind": "gauge", "labels": []},
     "net_messages_delivered": {"kind": "counter", "labels": []},
     "net_messages_dropped": {"kind": "counter", "labels": ["reason"]},
     "restore_latency_ms": {"kind": "histogram", "labels": []},
     "retry_latency_ms": {"kind": "histogram", "labels": []},
-    "state_bytes": {"kind": "counter", "labels": []},
+    "state_bytes": {"kind": "counter", "labels": ["kind"]},
+    "state_restores": {"kind": "counter", "labels": ["source"]},
     "tuples_deduplicated": {"kind": "counter", "labels": []},
     "tuples_dropped": {"kind": "counter", "labels": ["reason"]},
     "tuples_local_fallback": {"kind": "counter", "labels": []},
@@ -166,6 +171,7 @@ def check_bench_report(doc, errors: list[str]) -> None:
                           errors)
 
     check_micro_floors(doc, errors)
+    check_state_recovery_summary(doc, errors)
 
     _finite_numbers(doc, "$", errors)
 
@@ -218,6 +224,54 @@ def check_micro_floors(doc, errors: list[str]) -> None:
             errors.append(
                 f"'{name}' throughput regressed: {rate:,.0f} items/s is "
                 f"below the floor of {floor:,.0f}")
+
+
+# Summary fields the checkpoint-plane-v2 bench must carry, and the claim
+# the delta log exists to make: at the same cadence, shipping journals
+# between fulls moves strictly fewer state bytes than shipping fulls only.
+STATE_RECOVERY_REQUIRED = (
+    "checkpoint_bytes_full",
+    "checkpoint_bytes_delta",
+    "migration_aborts",
+    "frames_lost",
+)
+
+
+def check_state_recovery_summary(doc, errors: list[str]) -> None:
+    """Gates the ext_state_recovery checkpoint-plane-v2 summary.
+
+    Only applies to ext_state_recovery reports. The four v2 fields must be
+    present and finite, and the delta run must actually save wire bytes —
+    checkpoint_bytes_delta < checkpoint_bytes_full with both positive. A
+    regression that silently disables the delta cadence (deltas fall to
+    zero, everything ships as fulls) fails here, not on a dashboard.
+    """
+    if doc.get("bench") != "ext_state_recovery":
+        return
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("ext_state_recovery report has no 'summary' object")
+        return
+    values = {}
+    for key in STATE_RECOVERY_REQUIRED:
+        v = summary.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            errors.append(f"'summary.{key}' must be a finite number")
+            continue
+        values[key] = v
+    full = values.get("checkpoint_bytes_full")
+    delta = values.get("checkpoint_bytes_delta")
+    if full is not None and delta is not None:
+        if full <= 0 or delta <= 0:
+            errors.append(
+                f"checkpoint byte counters must both be positive "
+                f"(full={full}, delta={delta})")
+        elif delta >= full:
+            errors.append(
+                f"delta checkpointing saved nothing: "
+                f"checkpoint_bytes_delta={delta} is not below "
+                f"checkpoint_bytes_full={full}")
 
 
 def check_hotpath_report(doc, errors: list[str]) -> None:

@@ -102,6 +102,8 @@ class SwitchMutationTest(unittest.TestCase):
                   "    case MsgType::kLeaveReport:\n"
                   "    case MsgType::kBye:\n"
                   "    case MsgType::kCheckpoint:\n"
+                  "    case MsgType::kDelta:\n"
+                  "    case MsgType::kMigrateAck:\n"
                   "      break;\n")
         self.assertIn(target, sources["runtime/worker.cpp"])
         sources["runtime/worker.cpp"] = sources["runtime/worker.cpp"].replace(
