@@ -5,9 +5,71 @@
 // the target is the paper's whole pitch in one curve.
 #include "bench/bench_util.h"
 #include "common/ascii_chart.h"
+#include "common/rng.h"
+#include "shard/gateway.h"
 
 using namespace swing;
 using namespace swing::bench;
+
+namespace {
+
+// Per-device control-plane cost of the swing-shard gateway at swarm sizes
+// no packet-level simulation can reach. The coordinator is runtime-free, so
+// the sweep drives it directly: admit a fleet, churn a seeded 10% of it,
+// and account one CellAssign per member of every cell a mutation touches —
+// the exact fan-out the runtime Master sends (Master::refresh_cells). Flat
+// cost per device across 1k -> 100k is the whole point of cells: membership
+// changes fan out to one cell (<= 2x target members), never the fleet.
+struct ShardSweepPoint {
+  std::uint64_t devices = 0;
+  double msgs_per_device = 0.0;
+  shard::GatewayStats stats;
+  std::uint64_t cells_active = 0;
+  std::uint64_t final_boundary = 0;
+};
+
+ShardSweepPoint run_shard_sweep(std::uint64_t devices, std::uint64_t seed) {
+  shard::GatewayConfig gcfg;
+  gcfg.cell_size_target = 16;
+  shard::GatewayCoordinator gateway{gcfg};
+
+  // One CellAssign per member of each affected cell, mirroring the runtime
+  // master's re-announcement after any membership or role change.
+  const auto account = [&](const std::vector<CellId>& affected) {
+    std::uint64_t msgs = 0;
+    for (const CellId id : affected) {
+      if (const shard::CellMaster* cell = gateway.cell(id)) {
+        msgs += cell->size();
+      }
+    }
+    gateway.count_control_msgs(msgs);
+  };
+
+  for (std::uint64_t d = 1; d <= devices; ++d) {
+    account(gateway.admit(DeviceId{d}));
+  }
+  // Seeded churn: 10% of the fleet leaves and rejoins, with watermark
+  // reports interleaved so epoch boundaries mint from live progress.
+  Rng rng{seed ^ (devices * 0x9e3779b97f4a7c15ULL)};
+  const std::uint64_t churn_ops = devices / 10;
+  for (std::uint64_t i = 0; i < churn_ops; ++i) {
+    const DeviceId victim{1 + rng.next() % devices};
+    gateway.report(victim, i + 1);
+    account(gateway.remove(victim));
+    account(gateway.admit(victim));
+  }
+
+  ShardSweepPoint point;
+  point.devices = devices;
+  point.stats = gateway.stats();
+  point.msgs_per_device =
+      double(point.stats.control_msgs) / double(devices);
+  point.cells_active = gateway.cell_count();
+  point.final_boundary = gateway.route_boundary();
+  return point;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Args args{argc, argv};
@@ -62,6 +124,41 @@ int main(int argc, char** argv) {
   std::cout << render_chart({curve}, options);
   std::cout << "(one fast phone does ~14 FPS; the target needs two-plus; "
                "extra devices beyond the knee buy headroom, not rate)\n";
+
+  // === swing-shard: control-plane cost vs fleet size (DESIGN.md §12) ===
+  std::cout << "\n=== Extension: shard control plane @ 1k/10k/100k devices "
+               "(cell target 16, 10% churn) ===\n";
+  TextTable shard_table({"devices", "cells", "ctl msgs", "msgs/device",
+                         "splits", "merges", "epoch bumps"});
+  for (const std::uint64_t n : {1000ULL, 10000ULL, 100000ULL}) {
+    const ShardSweepPoint point = run_shard_sweep(n, cli.seed);
+    shard_table.row(point.devices, point.cells_active,
+                    point.stats.control_msgs, point.msgs_per_device,
+                    point.stats.cell_splits, point.stats.cell_merges,
+                    point.stats.epoch_bumps);
+
+    obs::Json& row = report.add_result();
+    row["devices"] = point.devices;
+    row["control_msgs"] = point.stats.control_msgs;
+    row["control_msgs_per_device"] = point.msgs_per_device;
+    row["cells_active"] = point.cells_active;
+    row["cell_splits"] = point.stats.cell_splits;
+    row["cell_merges"] = point.stats.cell_merges;
+    row["handoffs"] = point.stats.handoffs;
+    row["epoch_bumps"] = point.stats.epoch_bumps;
+    row["route_boundary"] = point.final_boundary;
+
+    const std::string suffix = n == 1000      ? "1k"
+                               : n == 10000   ? "10k"
+                                              : "100k";
+    report.set_summary("control_msgs_per_device_" + suffix,
+                       point.msgs_per_device);
+  }
+  shard_table.print(std::cout);
+  std::cout << "(flat msgs/device across three orders of magnitude: a "
+               "membership change fans out to one cell, not the fleet — "
+               "tools/check_bench_json.py gates 1k vs 10k at +-20%)\n";
+
   cli.finish(report);
   return 0;
 }

@@ -1,0 +1,8 @@
+// Fuzz target: CellAssignMsg::decode (cell membership assignments).
+#include "fuzz/fuzz_harness.h"
+#include "shard/shard_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::shard::CellAssignMsg msg = swing_fuzz_decode<swing::shard::CellAssignMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,8 @@
+// Fuzz target: CellReportMsg::decode (periodic worker cell reports).
+#include "fuzz/fuzz_harness.h"
+#include "shard/shard_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::shard::CellReportMsg msg = swing_fuzz_decode<swing::shard::CellReportMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

@@ -1,0 +1,8 @@
+// Fuzz target: EpochRouteUpdateMsg::decode (epoch-versioned route changes).
+#include "fuzz/fuzz_harness.h"
+#include "shard/shard_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::shard::EpochRouteUpdateMsg msg = swing_fuzz_decode<swing::shard::EpochRouteUpdateMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

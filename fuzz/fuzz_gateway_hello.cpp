@@ -1,0 +1,8 @@
+// Fuzz target: GatewayHelloMsg::decode (cell-master role confirmations).
+#include "fuzz/fuzz_harness.h"
+#include "shard/shard_messages.h"
+
+SWING_FUZZ_TARGET {
+  const swing::shard::GatewayHelloMsg msg = swing_fuzz_decode<swing::shard::GatewayHelloMsg>(data, size);
+  swing_fuzz_roundtrip(msg);
+}

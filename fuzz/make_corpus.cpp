@@ -17,6 +17,7 @@
 #include "dataflow/codec.h"
 #include "dataflow/tuple.h"
 #include "runtime/messages.h"
+#include "shard/shard_messages.h"
 #include "state/state_messages.h"
 
 namespace {
@@ -231,6 +232,32 @@ int main(int argc, char** argv) {
 
   write_seed(root, "fuzz_migrate_abort", "typical",
              encode_to_bytes(state::MigrateAbortMsg{9, InstanceId{5}}));
+
+  // swing-shard control plane.
+  write_seed(root, "fuzz_cell_assign", "typical",
+             encode_to_bytes(shard::CellAssignMsg{CellId{1}, DeviceId{3},
+                                                  DeviceId{2}, 7}));
+
+  shard::EpochRouteUpdateMsg epoch_update;
+  epoch_update.seq = 5;
+  epoch_update.epoch = 7;
+  epoch_update.boundary_frame = 1024;
+  epoch_update.op = shard::EpochRouteUpdateMsg::Op::kAdd;
+  epoch_update.route = update;
+  write_seed(root, "fuzz_epoch_route_update", "add",
+             encode_to_bytes(epoch_update));
+  epoch_update.seq = 6;
+  epoch_update.epoch = 8;
+  epoch_update.op = shard::EpochRouteUpdateMsg::Op::kRemove;
+  write_seed(root, "fuzz_epoch_route_update", "remove",
+             encode_to_bytes(epoch_update));
+
+  write_seed(root, "fuzz_gateway_hello", "typical",
+             encode_to_bytes(shard::GatewayHelloMsg{CellId{1}, DeviceId{2}, 7}));
+
+  write_seed(root, "fuzz_cell_report", "typical",
+             encode_to_bytes(
+                 shard::CellReportMsg{CellId{1}, DeviceId{3}, 2048, 5, 7}));
 
   std::printf("wrote %d seed(s) under %s\n", g_written, root.string().c_str());
   return 0;

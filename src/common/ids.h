@@ -41,6 +41,7 @@ struct InstanceTag {};
 struct TupleTag {};
 struct MessageTag {};
 struct EventTag {};
+struct CellTag {};
 
 // A physical (simulated) device participating in the swarm.
 using DeviceId = StrongId<DeviceTag>;
@@ -54,6 +55,9 @@ using TupleId = StrongId<TupleTag>;
 using MessageId = StrongId<MessageTag>;
 // A scheduled simulator event (used for cancellation handles).
 using EventId = StrongId<EventTag>;
+// A control-plane cell: a group of devices run by one cell master
+// (swing-shard, src/shard/).
+using CellId = StrongId<CellTag>;
 
 }  // namespace swing
 

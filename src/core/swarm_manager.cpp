@@ -55,6 +55,67 @@ void SwarmManager::set_downstreams(const std::vector<InstanceId>& ids) {
   update_decision(SimTime{});
 }
 
+void SwarmManager::seed_route_epoch() {
+  route_history_.clear();
+  route_history_.push_back(RouteEpochEntry{0, 0, downstreams_});
+}
+
+bool SwarmManager::apply_route_epoch(std::uint64_t epoch,
+                                     std::uint64_t boundary, InstanceId id,
+                                     bool add) {
+  const auto mutate = [&](std::vector<InstanceId>& downs) {
+    if (add) {
+      if (std::find(downs.begin(), downs.end(), id) == downs.end()) {
+        downs.push_back(id);
+        std::sort(downs.begin(), downs.end());
+      }
+    } else {
+      downs.erase(std::remove(downs.begin(), downs.end(), id), downs.end());
+    }
+  };
+  if (!route_history_.empty() && epoch < route_history_.back().epoch) {
+    return false;  // Stale: an older epoch arrived after a newer one.
+  }
+  if (!route_history_.empty() && epoch == route_history_.back().epoch) {
+    // Another update of the same logical change (one deploy batch shares
+    // one epoch), or an idempotent re-delivery: coalesce into the newest
+    // entry instead of forking a second set at the same boundary.
+    mutate(route_history_.back().downs);
+  } else {
+    std::vector<InstanceId> downs =
+        route_history_.empty() ? downstreams_ : route_history_.back().downs;
+    mutate(downs);
+    if (!route_history_.empty()) {
+      // Monotone boundaries: a later epoch can never apply earlier than an
+      // earlier one, or the newest-entry-with-boundary<=frame lookup would
+      // become ambiguous between hosts.
+      boundary = std::max(boundary, route_history_.back().boundary);
+    }
+    route_history_.push_back(
+        RouteEpochEntry{epoch, boundary, std::move(downs)});
+    if (route_history_.size() > kMaxRouteHistory) {
+      route_history_.erase(route_history_.begin());
+    }
+  }
+  if (add) {
+    add_downstream(id);
+  } else {
+    remove_downstream(id);
+  }
+  return true;
+}
+
+const std::vector<InstanceId>* SwarmManager::downstreams_at(
+    std::uint64_t frame) const {
+  if (route_history_.empty()) return nullptr;
+  for (auto it = route_history_.rbegin(); it != route_history_.rend(); ++it) {
+    if (it->boundary <= frame) return &it->downs;
+  }
+  // The frame predates the oldest retained boundary (history was trimmed);
+  // the oldest surviving set is the best remaining approximation.
+  return &route_history_.front().downs;
+}
+
 std::optional<SwarmManager::RouteChoice> SwarmManager::route(SimTime now) {
   if (downstreams_.empty()) return std::nullopt;
   ++routed_;

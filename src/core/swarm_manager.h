@@ -87,6 +87,41 @@ class SwarmManager {
   }
   [[nodiscard]] bool has_downstreams() const { return !downstreams_.empty(); }
 
+  // --- Epoch-versioned routing (swing-shard) -----------------------------
+  //
+  // In cell mode every membership change arrives as an epoch-versioned
+  // update with a frame boundary: the new downstream set applies only to
+  // frames with id >= boundary, and older frames keep routing by the set
+  // that was current when they were emitted. Because boundaries are minted
+  // centrally (gateway watermark + slack) and entries are applied in epoch
+  // order, every upstream host holding the same updates partitions any
+  // given frame id identically — regardless of when each host learned of
+  // the change. That is the property the mid-run-join frame-partitioning
+  // fix rests on (tests/shard/test_epoch_routing.cpp).
+
+  // Starts epoch routing: snapshots the current downstream set as the
+  // epoch-0 baseline applying from frame 0.
+  void seed_route_epoch();
+
+  // Applies one versioned add/remove on top of the newest history entry.
+  // Returns false (and changes nothing) when `epoch` is not newer than the
+  // last applied epoch — the stale-epoch rejection path. Also folds the
+  // change into the legacy membership view (estimator, decision).
+  bool apply_route_epoch(std::uint64_t epoch, std::uint64_t boundary,
+                         InstanceId id, bool add);
+
+  // The downstream set that partitions frame `frame`: the newest history
+  // entry whose boundary is <= the frame id. Null when epoch routing was
+  // never seeded (the single-cell / legacy mode).
+  [[nodiscard]] const std::vector<InstanceId>* downstreams_at(
+      std::uint64_t frame) const;
+
+  [[nodiscard]] bool epoch_routing() const { return !route_history_.empty(); }
+  // Newest applied epoch (0 = only the seed baseline).
+  [[nodiscard]] std::uint64_t route_epoch() const {
+    return route_history_.empty() ? 0 : route_history_.back().epoch;
+  }
+
   // --- Data path -----------------------------------------------------------
 
   // Must be called once per tuple entering this unit (measures Lambda).
@@ -155,6 +190,19 @@ class SwarmManager {
   RateMeter rate_meter_;
 
   std::vector<InstanceId> downstreams_;  // Sorted by id, deterministic.
+
+  // Epoch route history, oldest first. Sets are sorted, so equal membership
+  // implies identical element order (and thus identical modulus routing)
+  // across hosts. Bounded: frames older than the trimmed-off boundaries
+  // have long since drained.
+  struct RouteEpochEntry {
+    std::uint64_t epoch = 0;
+    std::uint64_t boundary = 0;
+    std::vector<InstanceId> downs;
+  };
+  static constexpr std::size_t kMaxRouteHistory = 32;
+  std::vector<RouteEpochEntry> route_history_;
+
   RoutingDecision decision_;
   // Smooth-weighted-round-robin deficit counters, aligned with
   // decision_.selected (deterministic mode only).

@@ -17,6 +17,10 @@ Master::Master(Simulator& sim, DeviceId device, net::Transport& transport,
       graph_(graph),
       config_(config) {
   graph_.validate();
+  if (config_.cells_enabled) {
+    gateway_ = std::make_unique<shard::GatewayCoordinator>(shard::GatewayConfig{
+        config_.cell_size_target, config_.epoch_boundary_slack});
+  }
 }
 
 const char* master_event_name(MasterEvent kind) {
@@ -43,6 +47,14 @@ const char* master_event_name(MasterEvent kind) {
       return "migrate-abort";
     case MasterEvent::kDelta:
       return "delta";
+    case MasterEvent::kCellSplit:
+      return "cell-split";
+    case MasterEvent::kCellMerge:
+      return "cell-merge";
+    case MasterEvent::kHandoff:
+      return "handoff";
+    case MasterEvent::kEpochBump:
+      return "epoch-bump";
   }
   return "unknown";
 }
@@ -105,6 +117,16 @@ void Master::handle_message(const net::Message& msg) {
         handle_migrate_ack(state::MigrateAckMsg::decode(r));
         break;
       }
+      case MsgType::kGatewayHello: {
+        ByteReader r{msg.payload};
+        handle_gateway_hello(shard::GatewayHelloMsg::decode(r));
+        break;
+      }
+      case MsgType::kCellReport: {
+        ByteReader r{msg.payload};
+        handle_cell_report(msg.src, shard::CellReportMsg::decode(r));
+        break;
+      }
       // Worker-bound messages; the runtime routes them elsewhere. Enumerated
       // (no default) so -Wswitch forces a routing decision when a message
       // kind is added.
@@ -124,6 +146,8 @@ void Master::handle_message(const net::Message& msg) {
       case MsgType::kMigrateState:
       case MsgType::kMigrateCommit:
       case MsgType::kMigrateAbort:
+      case MsgType::kCellAssign:
+      case MsgType::kEpochRouteUpdate:
         break;
     }
   } catch (const WireFormatError& e) {
@@ -177,6 +201,11 @@ void Master::admit(DeviceId device) {
   members_[device.value()] = {};
   SWING_LOG(kInfo) << "master admits device " << device;
   note_event(MasterEvent::kAdmit, device.value());
+  if (gateway_ != nullptr) {
+    // Place the device into a cell before any deploy traffic so per-cell
+    // message accounting and epoch minting see it from the first update.
+    refresh_cells(gateway_->admit(device));
+  }
   deploy_to(device);
   if (started_) send(device, MsgType::kStart, Bytes{});
 }
@@ -214,6 +243,12 @@ void Master::deploy_to(DeviceId device) {
     members_[device.value()].push_back(info);
     by_op_[info.op.value()].push_back(info);
   }
+  struct Pending {
+    DeviceId to;
+    InstanceId upstream;
+    InstanceInfo down;
+  };
+  std::vector<Pending> updates;
   for (const auto& info : created) {
     for (OperatorId up_op : graph_.upstreams(info.op)) {
       auto it = by_op_.find(up_op.value());
@@ -222,11 +257,14 @@ void Master::deploy_to(DeviceId device) {
       // this same Deploy batch (whose downstream lists could not include
       // their new siblings yet).
       for (const auto& up : it->second) {
-        RouteUpdateMsg update{up.instance, info};
-        send_msg(up.device, MsgType::kAddDownstream, update);
+        updates.push_back({up.device, up.instance, info});
       }
     }
   }
+  // One deploy is one logical membership change: in cell mode every update
+  // it causes shares a single freshly-minted epoch and boundary.
+  if (!updates.empty() && config_.cells_enabled) begin_route_change();
+  for (const auto& u : updates) send_route_update(u.to, u.upstream, u.down, true);
 }
 
 void Master::remove_device(DeviceId device) {
@@ -283,7 +321,9 @@ void Master::remove_device(DeviceId device) {
     bool relocated = false;
     if (config_.restore_from_checkpoint && op_stateful(info.op)) {
       const DeviceId target = pick_restore_target(graph_.op(info.op), device);
-      if (const auto* chain = checkpoints_.chain(info.instance);
+      // The dead device's cell still owns its chains: the gateway learns of
+      // the removal only after restore resolution below.
+      if (const auto* chain = store_for(device).chain(info.instance);
           chain != nullptr && target.valid()) {
         Bytes merged;
         if (flatten_chain(*chain, info.op, merged)) {
@@ -337,10 +377,10 @@ void Master::remove_device(DeviceId device) {
     }
   }
   // Broadcast removals so every upstream drops the dead instances.
+  if (!lost.empty() && config_.cells_enabled) begin_route_change();
   for (const auto& [member, instances] : members_) {
     for (const auto& info : lost) {
-      RouteUpdateMsg update{InstanceId{}, info};
-      send_msg(DeviceId{member}, MsgType::kRemoveDownstream, update);
+      send_route_update(DeviceId{member}, InstanceId{}, info, false);
     }
   }
   // Replica chains hosted on the dead device died with it: re-pick a peer
@@ -359,10 +399,19 @@ void Master::remove_device(DeviceId device) {
           if (info.instance.value() == inst) live = &info;
         }
       }
-      if (live != nullptr && checkpoints_.chain(InstanceId{inst}) != nullptr) {
+      if (live != nullptr &&
+          store_for(live->device).chain(InstanceId{inst}) != nullptr) {
         assign_replica(*live);
       }
     }
+  }
+  if (gateway_ != nullptr) {
+    // Only now does the cell layer learn of the departure: restore targeting
+    // and chain lookups above needed the device's old cell mapping. Dropped
+    // anti-entropy state would otherwise resurrect on device-id reuse.
+    route_seq_.erase(device.value());
+    route_log_.erase(device.value());
+    refresh_cells(gateway_->remove(device));
   }
 }
 
@@ -414,15 +463,25 @@ void Master::count_restore(const char* source) {
 
 DeviceId Master::pick_restore_target(const dataflow::OperatorDecl& op,
                                      DeviceId exclude) const {
+  // Cell mode prefers a survivor from the departed device's own cell (the
+  // cell already owns the checkpoint chain); load then lowest-id tie-break
+  // within each tier. With cells off, `home` is invalid and this reduces
+  // exactly to the seed's fewest-instances rule.
+  const CellId home = gateway_ == nullptr ? CellId{} : gateway_->cell_of(exclude);
   DeviceId best{};
   std::size_t best_load = 0;
+  bool best_same_cell = false;
   for (const auto& [member, instances] : members_) {
     const DeviceId candidate{member};
     if (candidate == exclude) continue;
     if (!placeable(op, candidate)) continue;
-    if (!best.valid() || instances.size() < best_load) {
+    const bool same_cell =
+        home.valid() && gateway_->cell_of(candidate) == home;
+    if (!best.valid() || (same_cell && !best_same_cell) ||
+        (same_cell == best_same_cell && instances.size() < best_load)) {
       best = candidate;
       best_load = instances.size();
+      best_same_cell = same_cell;
     }
   }
   return best;  // members_ is sorted, so ties land on the lowest device id.
@@ -460,12 +519,16 @@ void Master::announce_instance(const InstanceInfo& info) {
   // AddDownstream overwrites the peer address book on hosts that already
   // route to this InstanceId, so in-flight retransmissions converge on the
   // instance's current address.
+  bool opened = false;
   for (OperatorId up_op : graph_.upstreams(info.op)) {
     auto it = by_op_.find(up_op.value());
     if (it == by_op_.end()) continue;
     for (const auto& up : it->second) {
-      RouteUpdateMsg update{up.instance, info};
-      send_msg(up.device, MsgType::kAddDownstream, update);
+      if (!opened && config_.cells_enabled) {
+        begin_route_change();
+        opened = true;
+      }
+      send_route_update(up.device, up.instance, info, true);
     }
   }
 }
@@ -511,7 +574,7 @@ void Master::install_restore(const InstanceInfo& info, std::uint64_t epoch,
 }
 
 void Master::handle_checkpoint(const state::CheckpointMsg& msg) {
-  if (!checkpoints_.store(msg)) return;
+  if (!store_for(msg.instance.device).store(msg)) return;
   if (config_.registry != nullptr) {
     config_.registry->counter("checkpoints_stored").inc();
     config_.registry->histogram("checkpoint_latency_ms")
@@ -534,7 +597,7 @@ void Master::handle_checkpoint(const state::CheckpointMsg& msg) {
 }
 
 void Master::handle_delta(const state::DeltaMsg& msg) {
-  if (!checkpoints_.store_delta(msg)) return;
+  if (!store_for(msg.instance.device).store_delta(msg)) return;
   if (config_.registry != nullptr) {
     config_.registry->counter("deltas_stored").inc();
     config_.registry->histogram("checkpoint_latency_ms")
@@ -585,10 +648,16 @@ void Master::replicate_record(const InstanceInfo& info,
 DeviceId Master::assign_replica(const InstanceInfo& info) {
   // Deterministic peer choice: fewest hosted instances, ties to the lowest
   // device id; never the instance's own host (a replica there dies with the
-  // instance) and never a device the operator could not run on.
+  // instance) and never a device the operator could not run on. Cell mode
+  // scopes the preference to the instance's own cell so replica traffic
+  // stays within the cell master's domain; cross-cell only when no same-cell
+  // peer is eligible.
   const auto& decl = graph_.op(info.op);
+  const CellId home =
+      gateway_ == nullptr ? CellId{} : gateway_->cell_of(info.device);
   DeviceId best{};
   std::size_t best_load = 0;
+  bool best_same_cell = false;
   for (const auto& [member, instances] : members_) {
     const DeviceId candidate{member};
     if (candidate == info.device) continue;
@@ -599,14 +668,18 @@ DeviceId Master::assign_replica(const InstanceInfo& info) {
         candidate == device_ && !config_.transforms_on_master) {
       continue;
     }
-    if (!best.valid() || instances.size() < best_load) {
+    const bool same_cell =
+        home.valid() && gateway_->cell_of(candidate) == home;
+    if (!best.valid() || (same_cell && !best_same_cell) ||
+        (same_cell == best_same_cell && instances.size() < best_load)) {
       best = candidate;
       best_load = instances.size();
+      best_same_cell = same_cell;
     }
   }
   if (!best.valid()) return best;
   replica_of_[info.instance.value()] = best;
-  const auto* chain = checkpoints_.chain(info.instance);
+  const auto* chain = store_for(info.device).chain(info.instance);
   if (chain == nullptr) return best;
   const auto ship = [&](state::ReplicateMsg::Kind kind, std::uint64_t epoch,
                         std::uint64_t base_epoch, const Bytes& state) {
@@ -749,6 +822,16 @@ void Master::finalize_commit(const MigrationDecision& decision) {
     for (const auto& down : it->second) commit.downstreams.push_back(down);
   }
   relocate_record(decision.instance, decision.to);
+  if (config_.cells_enabled) {
+    // The stored chain follows the instance into its new host's cell.
+    auto& from_store = store_for(decision.from);
+    auto& to_store = store_for(decision.to);
+    if (&from_store != &to_store) {
+      if (auto chain = from_store.extract(decision.instance.instance)) {
+        to_store.adopt(decision.instance.instance, std::move(*chain));
+      }
+    }
+  }
   send_msg(decision.to, MsgType::kMigrateCommit, commit);
   send_msg(decision.from, MsgType::kMigrateCommit, commit);
   announce_instance(commit.instance);
@@ -788,6 +871,7 @@ void Master::crash_volatile_state() {
   for (auto& [id, txn] : txns_) sim_.cancel(txn.timeout);
   txns_.clear();
   checkpoints_.clear();
+  cell_stores_.clear();  // Cell stores are volatile master memory too.
   if (config_.registry != nullptr) {
     config_.registry->counter("master_state_crashes").inc();
   }
@@ -822,6 +906,190 @@ void Master::crash_volatile_state() {
         break;  // Fully resolved before the crash.
     }
   }
+}
+
+// --- swing-shard control plane ----------------------------------------------
+
+DeviceId Master::cell_role_device(CellId cell) const {
+  if (gateway_ == nullptr) return DeviceId{};
+  const shard::CellMaster* c = gateway_->cell(cell);
+  return c == nullptr ? DeviceId{} : c->role_device();
+}
+
+state::CheckpointStore& Master::store_for(DeviceId host) {
+  if (gateway_ == nullptr) return checkpoints_;
+  const CellId cell = gateway_->cell_of(host);
+  if (!cell.valid()) return checkpoints_;
+  return cell_stores_[cell.value()];
+}
+
+void Master::count_master_msg(DeviceId to) {
+  if (gateway_ == nullptr || config_.registry == nullptr) return;
+  const CellId cell = gateway_->cell_of(to);
+  config_.registry
+      ->counter("master_msgs", {{"cell", std::to_string(cell.value())}})
+      .inc();
+}
+
+void Master::begin_route_change() {
+  if (gateway_ == nullptr) return;
+  current_epoch_ = gateway_->bump_epoch();
+  current_boundary_ = gateway_->route_boundary();
+  sync_gateway_obs();
+}
+
+void Master::send_route_update(DeviceId to, InstanceId upstream,
+                               const InstanceInfo& down, bool add) {
+  const RouteUpdateMsg update{upstream, down};
+  if (!config_.cells_enabled) {
+    // The seed wire format, byte for byte.
+    send_msg(to, add ? MsgType::kAddDownstream : MsgType::kRemoveDownstream,
+             update);
+    return;
+  }
+  shard::EpochRouteUpdateMsg msg;
+  msg.seq = ++route_seq_[to.value()];
+  msg.epoch = current_epoch_;
+  msg.boundary_frame = current_boundary_;
+  msg.op = add ? shard::EpochRouteUpdateMsg::Op::kAdd
+               : shard::EpochRouteUpdateMsg::Op::kRemove;
+  msg.route = update;
+  auto& log = route_log_[to.value()];
+  log.push_back(msg);
+  if (log.size() > kRouteLogCap) log.erase(log.begin());
+  send_msg(to, MsgType::kEpochRouteUpdate, msg);
+  count_master_msg(to);
+}
+
+void Master::refresh_cells(const std::vector<CellId>& affected) {
+  if (gateway_ == nullptr) return;
+  for (const CellId cell : affected) {
+    const shard::CellMaster* c = gateway_->cell(cell);
+    if (c == nullptr) {
+      // Retired (emptied or merged away). Withdraw its role advert unless
+      // the same device was re-advertised as another cell's role — a merge
+      // can crown the absorbed cell's ex-role over the combined membership.
+      auto it = advertised_roles_.find(cell.value());
+      if (it != advertised_roles_.end()) {
+        const DeviceId old_role = it->second;
+        advertised_roles_.erase(it);
+        bool still_advertised = false;
+        for (const auto& [other, role] : advertised_roles_) {
+          if (role == old_role) still_advertised = true;
+        }
+        if (!still_advertised) {
+          discovery_.withdraw(kSwingCellService, old_role);
+        }
+      }
+      continue;
+    }
+    const DeviceId role = c->role_device();
+    for (const DeviceId member : c->members()) {
+      const shard::CellAssignMsg assign{cell, member, role, gateway_->epoch()};
+      send_msg(member, MsgType::kCellAssign, assign);
+      count_master_msg(member);
+    }
+    auto it = advertised_roles_.find(cell.value());
+    if (it == advertised_roles_.end() || it->second != role) {
+      if (it != advertised_roles_.end()) {
+        discovery_.withdraw(kSwingCellService, it->second);
+      }
+      discovery_.advertise(kSwingCellService, role, Bytes{});
+      advertised_roles_[cell.value()] = role;
+    }
+  }
+  rehome_chains();
+  sync_gateway_obs();
+}
+
+void Master::rehome_chains() {
+  if (gateway_ == nullptr) return;
+  for (const auto& [member, instances] : members_) {
+    state::CheckpointStore& want = store_for(DeviceId{member});
+    for (const InstanceInfo& info : instances) {
+      if (want.chain(info.instance) != nullptr) continue;
+      const auto move_from = [&](state::CheckpointStore& from) {
+        if (&from == &want) return false;
+        auto chain = from.extract(info.instance);
+        if (!chain.has_value()) return false;
+        want.adopt(info.instance, std::move(*chain));
+        return true;
+      };
+      if (move_from(checkpoints_)) continue;
+      for (auto& [cell, store] : cell_stores_) {
+        if (move_from(store)) break;
+      }
+    }
+  }
+  // Drop drained stores of cells that no longer exist.
+  for (auto it = cell_stores_.begin(); it != cell_stores_.end();) {
+    if (it->second.size() == 0 &&
+        gateway_->cell(CellId{it->first}) == nullptr) {
+      it = cell_stores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Master::handle_cell_report(DeviceId src, const shard::CellReportMsg& msg) {
+  if (gateway_ == nullptr || !members_.contains(src.value())) return;
+  gateway_->report(src, msg.watermark);
+  // Anti-entropy repair: the worker reports the last route-update sequence
+  // it applied; everything newer in the bounded per-device log is re-sent.
+  // This is what heals a worker whose epoch updates were lost to a
+  // control-plane partition (tests/shard/test_churn.cpp).
+  auto it = route_log_.find(src.value());
+  if (it != route_log_.end()) {
+    for (const shard::EpochRouteUpdateMsg& entry : it->second) {
+      if (entry.seq > msg.applied_seq) {
+        send_msg(src, MsgType::kEpochRouteUpdate, entry);
+        count_master_msg(src);
+      }
+    }
+  }
+}
+
+void Master::handle_gateway_hello(const shard::GatewayHelloMsg& msg) {
+  if (gateway_ == nullptr) return;
+  gateway_->note_hello(msg.cell, msg.device);
+}
+
+void Master::sync_gateway_obs() {
+  if (gateway_ == nullptr) return;
+  const shard::GatewayStats s = gateway_->stats();  // Copy: we note events.
+  for (std::uint64_t n = synced_.cell_splits; n < s.cell_splits; ++n) {
+    note_event(MasterEvent::kCellSplit, n + 1);
+  }
+  for (std::uint64_t n = synced_.cell_merges; n < s.cell_merges; ++n) {
+    note_event(MasterEvent::kCellMerge, n + 1);
+  }
+  for (std::uint64_t n = synced_.handoffs; n < s.handoffs; ++n) {
+    note_event(MasterEvent::kHandoff, n + 1);
+  }
+  for (std::uint64_t n = synced_.epoch_bumps; n < s.epoch_bumps; ++n) {
+    note_event(MasterEvent::kEpochBump, n + 1);
+  }
+  if (config_.registry != nullptr) {
+    if (s.cell_splits > synced_.cell_splits) {
+      config_.registry->counter("cell_splits")
+          .inc(s.cell_splits - synced_.cell_splits);
+    }
+    if (s.cell_merges > synced_.cell_merges) {
+      config_.registry->counter("cell_merges")
+          .inc(s.cell_merges - synced_.cell_merges);
+    }
+    if (s.handoffs > synced_.handoffs) {
+      config_.registry->counter("handoffs").inc(s.handoffs - synced_.handoffs);
+    }
+    if (s.epoch_bumps > synced_.epoch_bumps) {
+      config_.registry->counter("epoch_bumps")
+          .inc(s.epoch_bumps - synced_.epoch_bumps);
+    }
+    config_.registry->gauge("cells_active")
+        .set(static_cast<double>(gateway_->cell_count()));
+  }
+  synced_ = s;
 }
 
 void Master::send(DeviceId to, MsgType type, Bytes payload) {

@@ -29,6 +29,8 @@
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "runtime/messages.h"
+#include "shard/gateway.h"
+#include "shard/shard_messages.h"
 #include "sim/simulator.h"
 #include "state/checkpoint_store.h"
 #include "state/state_messages.h"
@@ -36,6 +38,9 @@
 namespace swing::runtime {
 
 inline constexpr const char* kSwingService = "_swing._tcp";
+// swing-shard: each cell's role device (cell master) is advertised under
+// this service so workers can observe cell topology without polling.
+inline constexpr const char* kSwingCellService = "_swing-cell._tcp";
 
 struct MasterConfig {
   // Whether transform operators may be placed on the master's own device.
@@ -78,6 +83,20 @@ struct MasterConfig {
   // swing-obs: snapshot-transfer spans (taken -> stored). Installed by the
   // Swarm when tracing is enabled.
   obs::Tracer* tracer = nullptr;
+
+  // --- swing-shard (hierarchical control plane) --------------------------
+  // When true, members group into cells run by a GatewayCoordinator and
+  // every routing change ships as an epoch-versioned update applied at
+  // frame boundaries. When false (the default), the control plane is
+  // byte-identical to the single-cell seed behaviour. Enabled by
+  // SwarmConfig::with_cells().
+  bool cells_enabled = false;
+  // Cell split threshold is 2x this; merge threshold is half of it.
+  std::size_t cell_size_target = 4;
+  // Route-update boundaries are minted at (global source watermark + this
+  // slack), giving in-flight frames below the boundary time to drain under
+  // the routing they were emitted with.
+  std::uint64_t epoch_boundary_slack = 256;
 };
 
 // Control-event kinds the master records in the audit ledger.
@@ -96,6 +115,11 @@ enum class MasterEvent : std::uint8_t {
   kMigrateCommit = 9,
   kMigrateAbort = 10,
   kDelta = 11,
+  // swing-shard: cell topology changes and control-epoch bumps.
+  kCellSplit = 12,
+  kCellMerge = 13,
+  kHandoff = 14,
+  kEpochBump = 15,
 };
 
 [[nodiscard]] const char* master_event_name(MasterEvent kind);
@@ -206,6 +230,26 @@ class Master {
   // invalid when replication is off or no eligible peer exists.
   [[nodiscard]] DeviceId replica_of(InstanceId instance) const;
 
+  // --- swing-shard introspection ------------------------------------------
+
+  [[nodiscard]] bool cells_enabled() const { return config_.cells_enabled; }
+  [[nodiscard]] std::size_t cell_count() const {
+    return gateway_ == nullptr ? 0 : gateway_->cell_count();
+  }
+  [[nodiscard]] CellId cell_of(DeviceId device) const {
+    return gateway_ == nullptr ? CellId{} : gateway_->cell_of(device);
+  }
+  // The device currently acting as `cell`'s master; invalid when the cell
+  // does not exist (or cells are off).
+  [[nodiscard]] DeviceId cell_role_device(CellId cell) const;
+  // Newest minted control epoch (0 before the first membership change).
+  [[nodiscard]] std::uint64_t control_epoch() const {
+    return gateway_ == nullptr ? 0 : gateway_->epoch();
+  }
+  [[nodiscard]] const shard::GatewayCoordinator* gateway() const {
+    return gateway_.get();
+  }
+
  private:
   // Builds and sends the Deploy for a new member, then notifies upstream
   // hosts of the new downstream instances.
@@ -244,6 +288,35 @@ class Master {
   // factory and cached).
   [[nodiscard]] bool op_stateful(OperatorId op) const;
   void count_restore(const char* source);
+
+  // --- swing-shard --------------------------------------------------------
+  // One routing change to one upstream host. Legacy mode ships the plain
+  // kAdd/RemoveDownstream exactly as the seed did; cell mode wraps it in an
+  // EpochRouteUpdateMsg stamped with the current epoch/boundary and a
+  // per-device contiguous sequence number, and logs it for anti-entropy
+  // repair (re-sent when a CellReport shows the device behind).
+  void send_route_update(DeviceId to, InstanceId upstream,
+                         const InstanceInfo& down, bool add);
+  // Mints the epoch/boundary one batch of route updates shares: every
+  // update caused by one logical membership change carries the same epoch.
+  void begin_route_change();
+  // Re-sends CellAssign to every member of each affected cell, refreshes
+  // the cell-service advertisement for role devices, re-homes checkpoint
+  // chains, and syncs gateway stats into the registry.
+  void refresh_cells(const std::vector<CellId>& affected);
+  void handle_cell_report(DeviceId src, const shard::CellReportMsg& msg);
+  void handle_gateway_hello(const shard::GatewayHelloMsg& msg);
+  // Diffs gateway stats against the last-synced copy into counters/gauges
+  // and per-unit ledger events. Cell mode only; default-mode registry
+  // snapshots must stay byte-identical to the seed.
+  void sync_gateway_obs();
+  void count_master_msg(DeviceId to);
+  // The checkpoint store owning `host`'s instances: the host's cell store
+  // in cell mode, the flat master store otherwise.
+  [[nodiscard]] state::CheckpointStore& store_for(DeviceId host);
+  // Moves stored chains into the store of each hosting device's current
+  // cell after cell topology changes (split/merge/handoff).
+  void rehome_chains();
 
   // --- peer replication ---------------------------------------------------
   // Relays one just-accepted record to the instance's peer, (re)assigning
@@ -314,6 +387,26 @@ class Master {
   // instance id -> peer device currently holding its replica chain.
   std::map<std::uint64_t, DeviceId> replica_of_;
   MigrationPhaseHook phase_hook_;
+
+  // --- swing-shard state (all empty/null when cells are off) -------------
+  std::unique_ptr<shard::GatewayCoordinator> gateway_;
+  // Epoch/boundary shared by the current batch of route updates.
+  std::uint64_t current_epoch_ = 0;
+  std::uint64_t current_boundary_ = 0;
+  // device id -> last route-update sequence number sent to it.
+  std::map<std::uint64_t, std::uint64_t> route_seq_;
+  // device id -> recent epoch route updates, for anti-entropy re-send when
+  // a CellReport shows the device behind. Bounded; a worker further behind
+  // than the log reach re-syncs on its next (re)deploy.
+  static constexpr std::size_t kRouteLogCap = 128;
+  std::map<std::uint64_t, std::vector<shard::EpochRouteUpdateMsg>> route_log_;
+  // cell id -> checkpoint store owned by that cell's master (volatile, like
+  // checkpoints_).
+  std::map<std::uint64_t, state::CheckpointStore> cell_stores_;
+  // cell id -> role device currently advertised under kSwingCellService.
+  std::map<std::uint64_t, DeviceId> advertised_roles_;
+  // Gateway stats already folded into the registry/ledger.
+  shard::GatewayStats synced_{};
 };
 
 }  // namespace swing::runtime

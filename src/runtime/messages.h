@@ -65,6 +65,13 @@ enum class MsgType : std::uint8_t {
   kMigrateAck = 21,
   kMigrateCommit = 22,
   kMigrateAbort = 23,
+  // swing-shard (src/shard/shard_messages.h): hierarchical control plane.
+  // Cell membership assignments, epoch-versioned routing updates, the cell
+  // master's role acknowledgement, and per-member progress reports.
+  kCellAssign = 24,
+  kEpochRouteUpdate = 25,
+  kGatewayHello = 26,
+  kCellReport = 27,
 };
 
 // A deployed function-unit instance and where it lives.

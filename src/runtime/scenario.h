@@ -174,6 +174,34 @@ class Scenario {
               [](Swarm& s) { s.crash_master_state(); });
   }
 
+  // swing-shard chaos verb: abruptly kills whatever device is acting as
+  // `cell`'s master at fire time. Needs SwarmConfig::with_cells(); a no-op
+  // otherwise (or when the cell does not exist / its role is the gateway).
+  Scenario& crash_cell_master_at(SimDuration when, CellId cell,
+                                 std::string label = "crash cell master") {
+    return at(when, std::move(label),
+              [cell](Swarm& s) { s.crash_cell_master(cell); });
+  }
+
+  // swing-shard chaos verb: partitions `device` from the gateway (the
+  // master's device) for `duration` (zero or negative: forever). Cell
+  // reports and epoch updates to/from that device are lost until heal;
+  // surviving cells must keep delivering and the seq-numbered anti-entropy
+  // log repairs the partitioned device afterwards. Needs chaos_enabled.
+  Scenario& partition_gateway_at(SimDuration when, DeviceId device,
+                                 SimDuration duration,
+                                 std::string label = "gateway partition") {
+    return at(when, std::move(label), [device, duration](Swarm& s) {
+      if (auto* plan = s.fault_plan()) {
+        if (s.master() == nullptr) return;
+        const SimTime heal_at = duration.nanos() > 0
+                                    ? s.sim().now() + duration
+                                    : SimTime::max();
+        plan->partition(device, s.master()->device(), heal_at);
+      }
+    });
+  }
+
   // Collect a throughput sample every `period` (default 1 s).
   Scenario& sample_every(SimDuration period) {
     sample_period_ = period;

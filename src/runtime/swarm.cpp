@@ -114,7 +114,8 @@ void Swarm::register_dispatch(DeviceId id) {
       if (type == MsgType::kHello || type == MsgType::kHeartbeat ||
           type == MsgType::kLeaveReport || type == MsgType::kBye ||
           type == MsgType::kCheckpoint || type == MsgType::kDelta ||
-          type == MsgType::kMigrateAck) {
+          type == MsgType::kMigrateAck || type == MsgType::kGatewayHello ||
+          type == MsgType::kCellReport) {
         master_->handle_message(msg);
         return;
       }
@@ -214,6 +215,16 @@ int Swarm::migrate_stateful(DeviceId from, DeviceId to) {
 
 void Swarm::crash_master_state() {
   if (master_) master_->crash_volatile_state();
+}
+
+DeviceId Swarm::crash_cell_master(CellId cell) {
+  if (!master_ || !master_->cells_enabled()) return DeviceId{};
+  const DeviceId role = master_->cell_role_device(cell);
+  // Never crash the gateway's own device this way: that is a different
+  // fault (partition_gateway_at models it without killing the swarm).
+  if (!role.valid() || role == master_->device()) return DeviceId{};
+  leave_abruptly(role);
+  return role;
 }
 
 int Swarm::crash_during_migration(DeviceId from, DeviceId to,

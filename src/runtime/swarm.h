@@ -109,6 +109,18 @@ struct SwarmConfig {
     master.replicate_to_peer = true;
     return *this;
   }
+
+  // swing-shard: devices group into cells run by cell masters under a
+  // gateway coordinator, and every routing change ships as an
+  // epoch-versioned update applied at frame boundaries (fixes the stranded
+  // mid-run-join frame by construction). Off by default — the single-cell
+  // control plane stays byte-identical to the seed.
+  SwarmConfig& with_cells(std::size_t cell_size_target = 4) {
+    master.cells_enabled = true;
+    master.cell_size_target = cell_size_target;
+    worker.cells_enabled = true;
+    return *this;
+  }
 };
 
 class Swarm {
@@ -178,6 +190,12 @@ class Swarm {
   // store + live migration transactions) and runs presumed-abort recovery
   // from its durable decision log. No-op before launch_master.
   void crash_master_state();
+
+  // swing-shard chaos verb: abruptly kills the device currently acting as
+  // `cell`'s master (its role device). No-op when cells are off, the cell
+  // does not exist, or its role is the gateway's own device. Returns the
+  // crashed device (invalid when nothing was crashed).
+  DeviceId crash_cell_master(CellId cell);
 
   // Chaos verb: starts migrating every stateful instance on `from` to `to`
   // and crashes `victim` synchronously the first time the coordinator

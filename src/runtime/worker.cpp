@@ -200,6 +200,22 @@ void Worker::connect_to_master(DeviceId master_device) {
         });
     heartbeat_task_->start();
   }
+  // swing-shard: report cell progress on the heartbeat cadence. Unlike the
+  // heartbeat this also runs when co-located with the master — the master's
+  // own sources mint the frame watermark the gateway needs most.
+  ensure_report_task();
+}
+
+SWING_COLD void Worker::ensure_report_task() {
+  if (!config_.cells_enabled || config_.heartbeat_period.nanos() <= 0 ||
+      report_task_ != nullptr) {
+    return;
+  }
+  report_task_ = std::make_unique<PeriodicTask>(
+      sim_, config_.heartbeat_period, [this] {
+        if (!frozen_) send_cell_report();
+      });
+  report_task_->start();
 }
 
 void Worker::handle_message(const net::Message& msg) {
@@ -295,6 +311,12 @@ SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kReplicaRestore:
       handle_replica_restore(state::ReplicaRestoreMsg::decode(r));
       break;
+    case MsgType::kCellAssign:
+      handle_cell_assign(msg.src, shard::CellAssignMsg::decode(r));
+      break;
+    case MsgType::kEpochRouteUpdate:
+      handle_epoch_route(shard::EpochRouteUpdateMsg::decode(r));
+      break;
     // Master-bound messages; ignore. Enumerated (no default) so -Wswitch
     // forces a routing decision when a message kind is added.
     case MsgType::kHello:
@@ -304,6 +326,8 @@ SWING_HOT void Worker::dispatch_message(const net::Message& msg) {
     case MsgType::kCheckpoint:
     case MsgType::kDelta:
     case MsgType::kMigrateAck:
+    case MsgType::kGatewayHello:
+    case MsgType::kCellReport:
       break;
   }
 }
@@ -336,6 +360,11 @@ SWING_COLD void Worker::activate(const DeployMsg::Assignment& assignment,
     if (Instance::Edge* edge = inst->edge_for(down.op)) {
       edge->manager->add_downstream(down.instance);
     }
+  }
+  if (config_.cells_enabled) {
+    // Epoch routing: the deploy-time downstream set is the epoch-0 baseline;
+    // every later change arrives as an EpochRouteUpdate with a boundary.
+    for (auto& edge : inst->edges) edge.manager->seed_route_epoch();
   }
 
   Instance& ref = *inst;
@@ -743,6 +772,110 @@ void Worker::remove_downstream_instance(InstanceId down, InstanceId upstream) {
   peers_.erase(down.value());
 }
 
+// ---------------------------------------------------------------------------
+// swing-shard cell mode (DESIGN.md §12)
+
+void Worker::handle_cell_assign(DeviceId src, const shard::CellAssignMsg& msg) {
+  if (!config_.cells_enabled || msg.device != device_.id()) return;
+  if (!master_device_.valid()) master_device_ = src;
+  // The master-co-located worker learns the master from Deploy, never via
+  // connect_to_master — start the report cadence here or its source
+  // watermark would never reach the gateway (boundaries would mint at 0).
+  ensure_report_task();
+  cell_ = msg.cell;
+  cell_master_ = msg.cell_master;
+  if (msg.epoch > cell_epoch_) cell_epoch_ = msg.epoch;
+  if (msg.cell_master == device_.id() && master_device_.valid()) {
+    // This device holds the cell-master role: confirm to the gateway.
+    send_frame(master_device_, MsgType::kGatewayHello,
+               shard::GatewayHelloMsg{msg.cell, device_.id(), msg.epoch});
+  }
+  // Report immediately so the gateway has a watermark (and this member's
+  // applied seq) before its next routing change, not a heartbeat later.
+  send_cell_report();
+}
+
+void Worker::handle_epoch_route(const shard::EpochRouteUpdateMsg& msg) {
+  if (msg.seq == 0) {
+    apply_epoch_route(msg);  // Unsequenced (unit tests / manual injection).
+    return;
+  }
+  if (msg.seq < route_seq_expected_) {
+    count_stale_epoch();  // Re-delivery of an already-applied update.
+    return;
+  }
+  if (msg.seq > route_seq_expected_) {
+    // A gap: an earlier update is lost or late. Stash and wait for the
+    // master's anti-entropy re-send (triggered by our next CellReport).
+    if (route_seq_stash_.size() < kRouteStashCap) {
+      route_seq_stash_.emplace(msg.seq, msg);
+    }
+    return;
+  }
+  apply_epoch_route(msg);
+  ++route_seq_expected_;
+  // Drain any stashed successors that are now contiguous.
+  while (true) {
+    const auto it = route_seq_stash_.find(route_seq_expected_);
+    if (it == route_seq_stash_.end()) break;
+    apply_epoch_route(it->second);
+    route_seq_stash_.erase(it);
+    ++route_seq_expected_;
+  }
+}
+
+void Worker::apply_epoch_route(const shard::EpochRouteUpdateMsg& msg) {
+  const bool add = msg.op == shard::EpochRouteUpdateMsg::Op::kAdd;
+  const InstanceInfo& down = msg.route.downstream;
+  if (msg.epoch > cell_epoch_) cell_epoch_ = msg.epoch;
+  if (add) peers_[down.instance.value()] = down;
+  bool stale = false;
+  if (msg.route.upstream.valid()) {
+    if (Instance* inst = find_instance(msg.route.upstream)) {
+      if (Instance::Edge* edge = inst->edge_for(down.op)) {
+        stale = !edge->manager->apply_route_epoch(
+            msg.epoch, msg.boundary_frame, down.instance, add);
+      }
+    }
+  } else {
+    // Broadcast form (instance removal): every local edge toward the
+    // operator applies the change, same epoch per edge.
+    for (auto& [id, inst] : instances_) {
+      if (Instance::Edge* edge = inst->edge_for(down.op)) {
+        if (!edge->manager->apply_route_epoch(msg.epoch, msg.boundary_frame,
+                                              down.instance, add)) {
+          stale = true;
+        }
+      }
+    }
+  }
+  if (!add) peers_.erase(down.instance.value());
+  if (stale) count_stale_epoch();
+}
+
+void Worker::send_cell_report() {
+  if (!config_.cells_enabled || !alive_ || !cell_.valid() ||
+      !master_device_.valid()) {
+    return;
+  }
+  shard::CellReportMsg report;
+  report.cell = cell_;
+  report.device = device_.id();
+  report.watermark = source_watermark_;
+  report.applied_seq = route_seq_expected_ - 1;
+  report.epoch = cell_epoch_;
+  send_frame(master_device_, MsgType::kCellReport, report);
+}
+
+void Worker::count_stale_epoch() {
+  // Registered lazily so default-mode registry snapshots stay byte-identical
+  // to the pre-shard control plane.
+  if (stale_epoch_counter_ == nullptr) {
+    stale_epoch_counter_ = &metrics_.registry().counter("stale_epoch_rejected");
+  }
+  stale_epoch_counter_->inc();
+}
+
 void Worker::on_link_down(DeviceId peer) {
   if (!alive_ || peer == device_.id()) return;
   // Remove every known instance on the dead device from local routing
@@ -824,6 +957,9 @@ void Worker::source_fire(Instance& inst) {
     return;
   }
   const TupleId id{inst.seq++ * inst.source_count + inst.source_ordinal};
+  if (config_.cells_enabled && id.value() + 1 > source_watermark_) {
+    source_watermark_ = id.value() + 1;  // Feeds the gateway route boundary.
+  }
   dataflow::Tuple tuple = spec.generate(id, sim_.now(), inst.rng);
   tuple.set_id(id);
   tuple.set_source_time(sim_.now());
@@ -872,8 +1008,15 @@ void Worker::send_on_edge(Instance& from, std::size_t edge_index,
   bool probe = false;
   if (graph_.op(edge.down_op).partition_by_id) {
     // Key-partitioned edge: tuple id decides the instance, identically at
-    // every upstream, so stateful fan-in sees all of a frame's pieces.
-    const auto& downs = edge.manager->downstreams();
+    // every upstream, so stateful fan-in sees all of a frame's pieces. In
+    // cell mode the set is epoch-pinned to the frame id — a mid-run join
+    // only changes the partitioning from its boundary frame onward, so two
+    // upstream hosts that learned of the join at different times still
+    // agree on every frame (the stranded-frame fix; DESIGN.md §12).
+    const std::vector<InstanceId>* epoch_downs =
+        edge.manager->downstreams_at(tuple.id().value());
+    const auto& downs =
+        epoch_downs != nullptr ? *epoch_downs : edge.manager->downstreams();
     if (downs.empty()) {
       if (config_.recovery.local_fallback) {
         fall_back_locally();
@@ -1155,6 +1298,7 @@ void Worker::shutdown() {
   if (!alive_) return;
   stop_sources();
   if (heartbeat_task_) heartbeat_task_->stop();
+  if (report_task_) report_task_->stop();
   if (checkpoint_task_) checkpoint_task_->stop();
   for (auto& [id, inst] : instances_) {
     for (auto& edge : inst->edges) {
@@ -1228,6 +1372,7 @@ void Worker::crash() {
   if (!alive_) return;
   stop_sources();
   if (heartbeat_task_) heartbeat_task_->stop();
+  if (report_task_) report_task_->stop();
   if (checkpoint_task_) checkpoint_task_->stop();
   for (auto& [id, inst] : instances_) {
     for (auto& edge : inst->edges) {
@@ -1363,8 +1508,14 @@ void Worker::on_retry_timeout(const OutKey& key) {
     // Key-partitioned edge: the tuple id still decides the instance — a
     // restored/migrated same-id instance must get the retransmit (its
     // device may have changed; peers_ has the fresh address), never a
-    // sibling partition that would mismatch the stateful fan-in.
-    const auto& downs = edge.manager->downstreams();
+    // sibling partition that would mismatch the stateful fan-in. In cell
+    // mode the set is epoch-pinned to the frame id (same rule as
+    // send_on_edge), so a retransmit spanning a rebalance re-targets the
+    // instance its frame partition actually owns.
+    const std::vector<InstanceId>* epoch_downs =
+        edge.manager->downstreams_at(key.tuple);
+    const auto& downs =
+        epoch_downs != nullptr ? *epoch_downs : edge.manager->downstreams();
     if (!downs.empty()) {
       const InstanceId target = downs[key.tuple % downs.size()];
       if (auto peer = peers_.find(target.value()); peer != peers_.end()) {

@@ -28,6 +28,7 @@
 #include "runtime/messages.h"
 #include "runtime/metrics.h"
 #include "runtime/reorder.h"
+#include "shard/shard_messages.h"
 #include "sim/simulator.h"
 #include "state/state_messages.h"
 
@@ -54,6 +55,14 @@ struct WorkerConfig {
   // Liveness beacon cadence toward the master (see
   // MasterConfig::member_timeout). Zero disables heartbeats.
   SimDuration heartbeat_period = seconds(2.0);
+
+  // swing-shard cell mode (see DESIGN.md §12, Swarm::with_cells). When on,
+  // the worker applies epoch-versioned route updates transactionally at
+  // frame boundaries, rejects stale epochs, and reports its cell membership
+  // progress (source watermark + applied route seq) on the heartbeat
+  // cadence. Off (the default) keeps the single-cell legacy control plane
+  // byte-identical.
+  bool cells_enabled = false;
 
   // Real-time staleness shedding: a tuple whose source timestamp is older
   // than this when it reaches a transform is discarded — a face recognised
@@ -214,6 +223,13 @@ class Worker {
   [[nodiscard]] std::size_t staged_migration_count() const {
     return staged_migrations_.size();
   }
+  // swing-shard introspection: this device's cell (invalid until the first
+  // CellAssign) and the highest contiguously-applied route-update seq.
+  [[nodiscard]] CellId cell() const { return cell_; }
+  [[nodiscard]] DeviceId cell_master() const { return cell_master_; }
+  [[nodiscard]] std::uint64_t applied_route_seq() const {
+    return route_seq_expected_ - 1;
+  }
 
  private:
   struct Instance;
@@ -310,6 +326,17 @@ class Worker {
   // reaches the original upstream).
   void forward_data(DataMsg&& data, DeviceId target);
 
+  // --- swing-shard cell mode (see DESIGN.md §12) -------------------------
+  void handle_cell_assign(DeviceId src, const shard::CellAssignMsg& msg);
+  // Seq-ordered ingestion of epoch-versioned route updates: out-of-order
+  // arrivals stash until the gap fills (or the master's anti-entropy
+  // re-send fills it); already-applied seqs count as stale rejections.
+  void handle_epoch_route(const shard::EpochRouteUpdateMsg& msg);
+  void apply_epoch_route(const shard::EpochRouteUpdateMsg& msg);
+  void send_cell_report();
+  void ensure_report_task();
+  void count_stale_epoch();
+
   // --- checkpoint plane v2: peer replication -----------------------------
   void handle_replicate(const state::ReplicateMsg& msg);
   void handle_replica_restore(const state::ReplicaRestoreMsg& msg);
@@ -341,6 +368,19 @@ class Worker {
   DeviceId master_device_{};
   std::unique_ptr<PeriodicTask> heartbeat_task_;
   std::unique_ptr<PeriodicTask> checkpoint_task_;
+
+  // swing-shard cell mode. The report task runs on the heartbeat cadence
+  // even when this worker co-locates with the master (whose sources' frame
+  // watermark the gateway needs most).
+  CellId cell_{};
+  DeviceId cell_master_{};
+  std::uint64_t cell_epoch_ = 0;  // Newest epoch observed in any message.
+  std::uint64_t route_seq_expected_ = 1;
+  std::map<std::uint64_t, shard::EpochRouteUpdateMsg> route_seq_stash_;
+  static constexpr std::size_t kRouteStashCap = 64;
+  std::uint64_t source_watermark_ = 0;  // One past the max emitted frame id.
+  std::unique_ptr<PeriodicTask> report_task_;
+  obs::Counter* stale_epoch_counter_ = nullptr;  // Lazy: cell mode only.
   // Migrated-away instances: data arriving for them is forwarded to the
   // device that took them over (covers upstream routing-table lag).
   std::map<std::uint64_t, DeviceId> forwards_;

@@ -1,0 +1,217 @@
+#include "shard/gateway.h"
+
+#include <algorithm>
+
+namespace swing::shard {
+
+std::vector<DeviceId> CellMaster::members() const {
+  std::vector<DeviceId> out;
+  out.reserve(members_.size());
+  for (const auto& [raw, wm] : members_) out.emplace_back(raw);
+  return out;
+}
+
+std::uint64_t CellMaster::watermark() const {
+  std::uint64_t max = 0;
+  for (const auto& [raw, wm] : members_) max = std::max(max, wm);
+  return max;
+}
+
+GatewayCoordinator::GatewayCoordinator(GatewayConfig config)
+    : config_(config) {
+  if (config_.cell_size_target == 0) config_.cell_size_target = 1;
+}
+
+CellId GatewayCoordinator::place(DeviceId device) {
+  const std::size_t cap = 2 * config_.cell_size_target;
+  for (auto& [raw, cell] : cells_) {
+    if (cell.size() < cap) {
+      cell.members_.emplace(device.value(), 0);
+      return cell.id();
+    }
+  }
+  const CellId id{next_cell_++};
+  CellMaster cell{id};
+  cell.members_.emplace(device.value(), 0);
+  cells_.emplace(id.value(), std::move(cell));
+  return id;
+}
+
+void GatewayCoordinator::note_membership_change(CellMaster& cell,
+                                                DeviceId old_role) {
+  if (cell.role_device() != old_role) {
+    cell.role_confirmed_ = false;
+    if (old_role.valid()) ++stats_.promotions;
+  }
+}
+
+std::vector<CellId> GatewayCoordinator::admit(DeviceId device) {
+  std::vector<CellId> affected;
+  if (cell_of_.contains(device.value())) return affected;
+  const CellId id = place(device);
+  cell_of_[device.value()] = id.value();
+  affected.push_back(id);
+  maybe_split(id, affected);
+  bump_epoch();
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+std::vector<CellId> GatewayCoordinator::remove(DeviceId device) {
+  std::vector<CellId> affected;
+  auto it = cell_of_.find(device.value());
+  if (it == cell_of_.end()) return affected;
+  const CellId id{it->second};
+  cell_of_.erase(it);
+  auto cit = cells_.find(id.value());
+  if (cit == cells_.end()) return affected;
+  CellMaster& cell = cit->second;
+  const DeviceId old_role = cell.role_device();
+  cell.members_.erase(device.value());
+  affected.push_back(id);
+  if (cell.members_.empty()) {
+    cells_.erase(cit);  // Retired, not merged: nothing left to move.
+  } else {
+    note_membership_change(cell, old_role);
+    maybe_merge(id, affected);
+  }
+  bump_epoch();
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+std::vector<CellId> GatewayCoordinator::handoff(DeviceId device, CellId to) {
+  std::vector<CellId> affected;
+  auto it = cell_of_.find(device.value());
+  auto dst = cells_.find(to.value());
+  if (it == cell_of_.end() || dst == cells_.end()) return affected;
+  const CellId from{it->second};
+  if (from == to) return affected;
+  auto src = cells_.find(from.value());
+  if (src == cells_.end()) return affected;
+
+  const std::uint64_t watermark = src->second.members_[device.value()];
+  const DeviceId src_role = src->second.role_device();
+  const DeviceId dst_role = dst->second.role_device();
+  src->second.members_.erase(device.value());
+  dst->second.members_.emplace(device.value(), watermark);
+  cell_of_[device.value()] = to.value();
+  ++stats_.handoffs;
+  affected.push_back(from);
+  affected.push_back(to);
+  note_membership_change(dst->second, dst_role);
+  if (src->second.members_.empty()) {
+    cells_.erase(src);
+  } else {
+    note_membership_change(src->second, src_role);
+    maybe_merge(from, affected);
+  }
+  maybe_split(to, affected);
+  bump_epoch();
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+void GatewayCoordinator::maybe_split(CellId id, std::vector<CellId>& affected) {
+  auto it = cells_.find(id.value());
+  if (it == cells_.end()) return;
+  CellMaster& cell = it->second;
+  if (cell.size() < 2 * config_.cell_size_target) return;
+
+  // Split the sorted membership in half: the low half keeps the cell (and
+  // its role holder), the high half becomes a fresh cell.
+  const CellId fresh_id{next_cell_++};
+  CellMaster fresh{fresh_id};
+  const std::size_t keep = cell.size() / 2;
+  auto mid = cell.members_.begin();
+  std::advance(mid, keep);
+  for (auto m = mid; m != cell.members_.end(); ++m) {
+    fresh.members_.emplace(m->first, m->second);
+    cell_of_[m->first] = fresh_id.value();
+  }
+  cell.members_.erase(mid, cell.members_.end());
+  cells_.emplace(fresh_id.value(), std::move(fresh));
+  ++stats_.cell_splits;
+  affected.push_back(id);
+  affected.push_back(fresh_id);
+}
+
+void GatewayCoordinator::maybe_merge(CellId id, std::vector<CellId>& affected) {
+  auto it = cells_.find(id.value());
+  if (it == cells_.end()) return;
+  CellMaster& cell = it->second;
+  if (cell.size() >= std::max<std::size_t>(1, config_.cell_size_target / 2)) {
+    return;
+  }
+
+  // Merge into the smallest other cell whose combined size stays below the
+  // split threshold (no instant re-split); ties break on lowest cell id.
+  CellMaster* best = nullptr;
+  const std::size_t cap = 2 * config_.cell_size_target;
+  for (auto& [raw, other] : cells_) {
+    if (other.id() == id) continue;
+    if (other.size() + cell.size() >= cap) continue;
+    if (best == nullptr || other.size() < best->size()) best = &other;
+  }
+  if (best == nullptr) return;  // Singleton swarm or everyone near capacity.
+
+  const DeviceId best_role = best->role_device();
+  for (const auto& [raw, wm] : cell.members_) {
+    best->members_.emplace(raw, wm);
+    cell_of_[raw] = best->id().value();
+  }
+  affected.push_back(id);
+  affected.push_back(best->id());
+  note_membership_change(*best, best_role);
+  ++stats_.cell_merges;
+  cells_.erase(id.value());
+}
+
+void GatewayCoordinator::report(DeviceId device, std::uint64_t watermark) {
+  auto it = cell_of_.find(device.value());
+  if (it == cell_of_.end()) return;
+  auto cit = cells_.find(it->second);
+  if (cit == cells_.end()) return;
+  auto m = cit->second.members_.find(device.value());
+  if (m != cit->second.members_.end()) {
+    m->second = std::max(m->second, watermark);
+  }
+  global_watermark_ = std::max(global_watermark_, watermark);
+}
+
+void GatewayCoordinator::note_hello(CellId cell, DeviceId device) {
+  auto it = cells_.find(cell.value());
+  if (it == cells_.end()) return;
+  if (it->second.role_device() == device) it->second.role_confirmed_ = true;
+}
+
+std::uint64_t GatewayCoordinator::bump_epoch() {
+  ++stats_.epoch_bumps;
+  return ++epoch_;
+}
+
+std::uint64_t GatewayCoordinator::route_boundary() {
+  if (global_watermark_ > 0) {
+    boundary_ = std::max(boundary_,
+                         global_watermark_ + config_.epoch_boundary_slack);
+  }
+  return boundary_;
+}
+
+CellId GatewayCoordinator::cell_of(DeviceId device) const {
+  auto it = cell_of_.find(device.value());
+  return it == cell_of_.end() ? CellId{} : CellId{it->second};
+}
+
+const CellMaster* GatewayCoordinator::cell(CellId id) const {
+  auto it = cells_.find(id.value());
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace swing::shard

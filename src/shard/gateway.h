@@ -1,0 +1,141 @@
+// swing-shard gateway coordinator: swarm-of-swarms control plane.
+//
+// Devices group into cells; the first (lowest-id) member of each cell holds
+// the cell-master role — it owns the LRS routing tables, latency estimates
+// and checkpoint/replica map for its members' slice of SwarmManager state
+// (the runtime Master scopes those per cell via this coordinator, see
+// Master::store_for). The gateway federates the cells: it places admitted
+// devices, splits a cell that grows past 2x the size target, merges a cell
+// that shrinks below half the target into its smallest sibling, hands
+// devices off between cells, and mints the global monotonically-increasing
+// control epoch that versions every routing change (DESIGN.md §12).
+//
+// The coordinator is deliberately runtime-free: it operates on raw device
+// ids with ordered-map state and no clock, randomness, or I/O, so the same
+// admission sequence always yields the same cells — the scalability bench
+// (bench/ext_scalability) drives it directly at 100k devices, and the
+// runtime Master embeds it for the real message plane.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace swing::shard {
+
+struct GatewayConfig {
+  // Steady-state members per cell. A cell splits when it reaches 2x this
+  // and merges away when it drops below half of it.
+  std::size_t cell_size_target = 4;
+  // Route-boundary slack: a new epoch's route set applies from frame
+  // (watermark + slack), giving every upstream host this many frames of
+  // headroom to learn about the change (including one anti-entropy round
+  // for a lost update) before any frame crosses the boundary.
+  std::uint64_t epoch_boundary_slack = 256;
+};
+
+// Counters mirrored into the obs registry by the runtime Master; kept here
+// so the standalone bench can measure control-plane cost without obs.
+struct GatewayStats {
+  std::uint64_t epoch_bumps = 0;
+  std::uint64_t cell_splits = 0;
+  std::uint64_t cell_merges = 0;
+  std::uint64_t handoffs = 0;       // Devices moved between existing cells.
+  std::uint64_t promotions = 0;     // Role re-assignments after member loss.
+  std::uint64_t control_msgs = 0;   // Bench-counted gateway+cell messages.
+};
+
+// Bookkeeping for one cell. Members map device id -> reported source frame
+// watermark (0 until the member's first CellReport).
+class CellMaster {
+ public:
+  explicit CellMaster(CellId id) : id_(id) {}
+
+  [[nodiscard]] CellId id() const { return id_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool has_member(DeviceId device) const {
+    return members_.contains(device.value());
+  }
+  // The member holding the cell-master role: the lowest device id, so the
+  // role is a pure function of membership and survives coordinator restarts.
+  [[nodiscard]] DeviceId role_device() const {
+    return members_.empty() ? DeviceId{} : DeviceId{members_.begin()->first};
+  }
+  // Whether the current role holder has confirmed with a GatewayHello.
+  [[nodiscard]] bool role_confirmed() const { return role_confirmed_; }
+  [[nodiscard]] std::vector<DeviceId> members() const;
+  // Max member-reported watermark (frames emitted by sources in this cell).
+  [[nodiscard]] std::uint64_t watermark() const;
+
+ private:
+  friend class GatewayCoordinator;
+
+  CellId id_;
+  bool role_confirmed_ = false;
+  std::map<std::uint64_t, std::uint64_t> members_;  // device -> watermark
+};
+
+class GatewayCoordinator {
+ public:
+  explicit GatewayCoordinator(GatewayConfig config = {});
+
+  // --- Membership -------------------------------------------------------
+  // Each mutator returns the ids of every cell whose membership or role
+  // changed, in ascending order; the runtime Master re-sends CellAssign to
+  // the members of each (a since-dropped id may appear after a merge).
+
+  std::vector<CellId> admit(DeviceId device);
+  std::vector<CellId> remove(DeviceId device);
+  std::vector<CellId> handoff(DeviceId device, CellId to);
+
+  // --- Reports & epochs -------------------------------------------------
+
+  // Folds a member's CellReport watermark into the cell and global views.
+  void report(DeviceId device, std::uint64_t watermark);
+  // The role holder of `cell` confirmed its assignment.
+  void note_hello(CellId cell, DeviceId device);
+
+  // Mints the next global epoch (monotone, starts at 1).
+  std::uint64_t bump_epoch();
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  // The frame boundary for the next routing change: max reported watermark
+  // plus the configured slack, clamped monotone so later epochs never apply
+  // earlier than previous ones. 0 until any source has emitted (pre-start
+  // deploys apply from the first frame).
+  std::uint64_t route_boundary();
+
+  // --- Introspection ----------------------------------------------------
+
+  [[nodiscard]] CellId cell_of(DeviceId device) const;
+  [[nodiscard]] const CellMaster* cell(CellId id) const;
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] const std::map<std::uint64_t, CellMaster>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
+
+  // Bench hook: account messages the embedding control plane sent.
+  void count_control_msgs(std::uint64_t n) { stats_.control_msgs += n; }
+
+ private:
+  // Inserts into the lowest-id cell with room (< 2x target), else a new one.
+  CellId place(DeviceId device);
+  void maybe_split(CellId id, std::vector<CellId>& affected);
+  void maybe_merge(CellId id, std::vector<CellId>& affected);
+  void note_membership_change(CellMaster& cell, DeviceId old_role);
+
+  GatewayConfig config_;
+  GatewayStats stats_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t boundary_ = 0;  // Monotone route-boundary floor.
+  std::uint64_t global_watermark_ = 0;
+  std::uint64_t next_cell_ = 0;
+  std::map<std::uint64_t, CellMaster> cells_;    // Keyed by CellId value.
+  std::map<std::uint64_t, std::uint64_t> cell_of_;  // device -> cell
+};
+
+}  // namespace swing::shard

@@ -1,0 +1,180 @@
+// swing-shard wire protocol: hierarchical control-plane messages.
+//
+// The shard plane groups devices into cells and versions every routing
+// change with a global epoch (see DESIGN.md §12):
+//
+//   CellAssignMsg        master -> worker  membership: "you belong to cell C,
+//                                          whose cell-master role is held by
+//                                          device R". Re-sent to every member
+//                                          of a cell whenever the cell's
+//                                          composition or role changes
+//                                          (admit, split, merge, handoff,
+//                                          role promotion after a crash).
+//   EpochRouteUpdateMsg  master -> worker  an epoch-versioned routing change:
+//                                          a RouteUpdateMsg plus the epoch
+//                                          that minted it, the frame boundary
+//                                          from which it applies, and a
+//                                          per-destination contiguous `seq`
+//                                          so lost updates are detectable
+//                                          and repairable (anti-entropy via
+//                                          CellReportMsg).
+//   GatewayHelloMsg      worker -> master  the device holding a cell-master
+//                                          role confirms it observed its
+//                                          assignment (role liveness).
+//   CellReportMsg        worker -> master  periodic per-member report: the
+//                                          member's source frame watermark
+//                                          (feeds the gateway's route
+//                                          boundary) and the highest
+//                                          contiguously-applied route seq
+//                                          (triggers re-send of anything the
+//                                          member missed).
+//
+// Codec conventions follow runtime/messages.h: encode(ByteWriter&) appends
+// into a caller-owned buffer, decode(ByteReader&) reads a non-owning frame
+// view, WireFormatError is the only legal rejection, and byte-fixpoint
+// round-trips are enforced by the fuzz harnesses (fuzz/fuzz_cell_assign.cpp
+// and friends).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/hot.h"
+#include "common/ids.h"
+#include "runtime/messages.h"
+
+namespace swing::shard {
+
+using runtime::RouteUpdateMsg;
+
+// Master -> worker: cell membership for one device. `epoch` is the global
+// control epoch at assignment time, so a member can order assignments that
+// race with route updates.
+struct CellAssignMsg {
+  CellId cell;
+  DeviceId device;       // The assignee (sanity check on delivery).
+  DeviceId cell_master;  // Which member currently holds the role.
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const CellAssignMsg&, const CellAssignMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(cell.value());
+    w.write_u64(device.value());
+    w.write_u64(cell_master.value());
+    w.write_u64(epoch);
+  }
+  static SWING_HOT CellAssignMsg decode(ByteReader& r) {
+    CellAssignMsg msg;
+    msg.cell = CellId{r.read_u64()};
+    msg.device = DeviceId{r.read_u64()};
+    msg.cell_master = DeviceId{r.read_u64()};
+    msg.epoch = r.read_u64();
+    return msg;
+  }
+};
+
+// Master -> worker: one epoch-versioned routing change. The nested
+// RouteUpdateMsg is exactly the legacy kAddDownstream/kRemoveDownstream
+// payload; `op` says which of the two it is. The receiver applies updates in
+// `seq` order (contiguous per destination device), records the change in the
+// affected edge's route history keyed by (epoch, boundary_frame), and routes
+// each frame by the newest entry whose boundary is <= the frame id — so two
+// upstream hosts that received the same updates route any given frame
+// identically regardless of delivery timing.
+struct EpochRouteUpdateMsg {
+  enum class Op : std::uint8_t { kAdd = 0, kRemove = 1 };
+
+  std::uint64_t seq = 0;    // Contiguous per destination device, from 1.
+  std::uint64_t epoch = 0;  // Global control epoch that minted this change.
+  // First frame id the new route set applies to (watermark + slack,
+  // monotone). 0 = applies from the beginning (pre-start deploys).
+  std::uint64_t boundary_frame = 0;
+  Op op = Op::kAdd;
+  RouteUpdateMsg route;
+
+  friend bool operator==(const EpochRouteUpdateMsg&,
+                         const EpochRouteUpdateMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(seq);
+    w.write_u64(epoch);
+    w.write_u64(boundary_frame);
+    w.write_u8(static_cast<std::uint8_t>(op));
+    route.encode(w);
+  }
+  static SWING_HOT EpochRouteUpdateMsg decode(ByteReader& r) {
+    EpochRouteUpdateMsg msg;
+    msg.seq = r.read_u64();
+    msg.epoch = r.read_u64();
+    msg.boundary_frame = r.read_u64();
+    const std::uint8_t op = r.read_u8();
+    if (op > static_cast<std::uint8_t>(Op::kRemove)) {
+      throw WireFormatError("epoch route op " + std::to_string(op) +
+                            " out of range");
+    }
+    msg.op = static_cast<Op>(op);
+    msg.route = RouteUpdateMsg::decode(r);
+    return msg;
+  }
+};
+
+// Worker -> master: the device assigned a cell-master role acknowledges it.
+struct GatewayHelloMsg {
+  CellId cell;
+  DeviceId device;
+  std::uint64_t epoch = 0;  // Echo of the assignment's epoch.
+
+  friend bool operator==(const GatewayHelloMsg&,
+                         const GatewayHelloMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(cell.value());
+    w.write_u64(device.value());
+    w.write_u64(epoch);
+  }
+  static SWING_HOT GatewayHelloMsg decode(ByteReader& r) {
+    GatewayHelloMsg msg;
+    msg.cell = CellId{r.read_u64()};
+    msg.device = DeviceId{r.read_u64()};
+    msg.epoch = r.read_u64();
+    return msg;
+  }
+};
+
+// Worker -> master: per-member liveness + progress report, piggybacked on
+// the heartbeat cadence. `watermark` is one past the largest frame id any
+// local source has emitted (0 = no sources / nothing emitted); the gateway
+// folds the max over all members into its route boundary. `applied_seq` is
+// the highest contiguously-applied EpochRouteUpdateMsg seq; the master
+// re-sends anything newer from its log (anti-entropy repair of lost control
+// messages).
+struct CellReportMsg {
+  CellId cell;
+  DeviceId device;
+  std::uint64_t watermark = 0;
+  std::uint64_t applied_seq = 0;
+  std::uint64_t epoch = 0;  // Newest epoch the member has observed.
+
+  friend bool operator==(const CellReportMsg&, const CellReportMsg&) = default;
+
+  SWING_HOT void encode(ByteWriter& w) const {
+    w.write_u64(cell.value());
+    w.write_u64(device.value());
+    w.write_u64(watermark);
+    w.write_u64(applied_seq);
+    w.write_u64(epoch);
+  }
+  static SWING_HOT CellReportMsg decode(ByteReader& r) {
+    CellReportMsg msg;
+    msg.cell = CellId{r.read_u64()};
+    msg.device = DeviceId{r.read_u64()};
+    msg.watermark = r.read_u64();
+    msg.applied_seq = r.read_u64();
+    msg.epoch = r.read_u64();
+    return msg;
+  }
+};
+
+}  // namespace swing::shard

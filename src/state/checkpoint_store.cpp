@@ -48,4 +48,24 @@ void CheckpointStore::erase(InstanceId instance) {
   chains_.erase(instance.value());
 }
 
+std::optional<CheckpointStore::Chain> CheckpointStore::extract(
+    InstanceId instance) {
+  auto it = chains_.find(instance.value());
+  if (it == chains_.end()) return std::nullopt;
+  Chain chain = std::move(it->second);
+  chains_.erase(it);
+  return chain;
+}
+
+void CheckpointStore::adopt(InstanceId instance, Chain chain) {
+  chains_[instance.value()] = std::move(chain);
+}
+
+std::vector<std::uint64_t> CheckpointStore::instances() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(chains_.size());
+  for (const auto& [id, chain] : chains_) ids.push_back(id);
+  return ids;  // chains_ is an ordered map, so ids come out sorted.
+}
+
 }  // namespace swing::state

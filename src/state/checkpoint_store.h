@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -66,6 +67,15 @@ class CheckpointStore {
 
   // Forgets `instance` (e.g. after its operator is torn down for good).
   void erase(InstanceId instance);
+
+  // swing-shard cell re-homing: moves the chain for `instance` out of this
+  // store (nullopt when absent), and installs a chain moved from another
+  // store (overwriting any held chain — the mover owns the newer truth).
+  [[nodiscard]] std::optional<Chain> extract(InstanceId instance);
+  void adopt(InstanceId instance, Chain chain);
+
+  // Sorted ids of every instance with a stored chain.
+  [[nodiscard]] std::vector<std::uint64_t> instances() const;
 
   // Drops every chain (master state loss; exercised by chaos tests).
   void clear() { chains_.clear(); }

@@ -1,0 +1,196 @@
+// swing-shard churn: the mid-run-join frame-partitioning regression, end to
+// end. A diamond graph fans every camera frame out to two branch operators
+// whose half-results meet again at an id-partitioned join. A device that
+// joins mid-run adds branch and join instances; the master announces them
+// to every upstream host. On the legacy control plane that announcement is
+// a fire-and-forget RouteUpdate: if chaos eats one copy, the branch hosts
+// disagree about the join instance set forever after, and the two halves of
+// a frame land on different join instances — each waits for a sibling that
+// went elsewhere, and the frame never reaches the sink ("stranded").
+//
+// The graph is built so the halves of most frames are processed on
+// *different* hosts by construction: both branches are id-partitioned, but
+// `left` is capped at two replicas (hosts B, C) while `right` replicates
+// everywhere (B, C, joiner). With picks of f mod 2 and f mod 3, a third of
+// all frames pair a stale-host half with a fresh-host half once the route
+// tables diverge — no reliance on load-balancer accidents.
+//
+// With the epoch-versioned control plane (SwarmConfig::with_cells) the same
+// lost message is repaired by seq anti-entropy, and the epoch boundary pins
+// every frame below it to the pre-join set on every host — so the swarm
+// routes each frame wholly by the old set or wholly by the new one. The
+// ChurnFix test asserts the fixed behaviour; ChurnBug documents the legacy
+// failure under the *identical* fault script and fails if someone "fixes"
+// it without epochs (at which point the epoch plane is redundant and both
+// tests deserve a fresh look).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/testbed.h"
+#include "core/tuple_ledger.h"
+#include "dataflow/function_unit.h"
+#include "dataflow/graph.h"
+#include "dataflow/tuple.h"
+#include "device/profile.h"
+#include "runtime/scenario.h"
+
+namespace swing {
+namespace {
+
+using apps::Testbed;
+using apps::TestbedConfig;
+using dataflow::Context;
+using dataflow::Tuple;
+
+constexpr std::uint64_t kFrames = 120;
+
+// Tags its half so the join can tell the branches apart. The tag is
+// config, not evolving state — nothing to checkpoint.
+class BranchUnit final : public dataflow::FunctionUnit {  // swing-lint: stateless
+ public:
+  explicit BranchUnit(const char* tag) : tag_(tag) {}
+  void process(const Tuple& input, Context& ctx) override {
+    Tuple out = input.derive();
+    out.set(tag_, std::int64_t(1));
+    ctx.emit(std::move(out));
+  }
+
+ private:
+  const char* tag_;
+};
+
+// Minimal id-join: buffers the first half, emits on the second. Unbounded
+// pending state is fine here — the test runs 120 frames and *counts* on
+// stranded halves surviving to the audit.
+// Deliberately NOT checkpointable: the churn tests measure stranded halves
+// surviving in pending state to the audit; recovery must not rescue them.
+class JoinUnit final : public dataflow::FunctionUnit {  // swing-lint: stateless
+ public:
+  void process(const Tuple& input, Context& ctx) override {
+    const auto [it, inserted] = pending_.try_emplace(input.id().value(), input);
+    if (inserted) return;
+    // A retransmit/fallback race can deliver the same half twice: only a
+    // *complementary* half completes the join; duplicates are absorbed.
+    const bool have_left =
+        it->second.get_as<std::int64_t>("left_done") != nullptr;
+    const bool got_left = input.get_as<std::int64_t>("left_done") != nullptr;
+    if (have_left == got_left) return;
+    Tuple merged = it->second;
+    for (const auto& [key, value] : input.fields()) merged.set(key, value);
+    pending_.erase(it);
+    ctx.emit(merged.derive());
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Tuple> pending_;
+};
+
+dataflow::AppGraph churn_graph() {
+  dataflow::AppGraph graph;
+  dataflow::SourceSpec camera;
+  camera.rate_per_s = 6.0;
+  camera.max_tuples = kFrames;
+  camera.generate = [](TupleId id, SimTime, Rng&) {
+    Tuple t;
+    t.set("frame", dataflow::Blob{4096, id.value()});
+    return t;
+  };
+  const auto src = graph.add_source("camera", std::move(camera));
+  const auto left = graph.add_transform(
+      "left", [] { return std::make_unique<BranchUnit>("left_done"); },
+      dataflow::constant_cost(4.0), /*max_replicas=*/2);
+  const auto right = graph.add_transform(
+      "right", [] { return std::make_unique<BranchUnit>("right_done"); },
+      dataflow::constant_cost(4.0));
+  const auto join = graph.add_transform(
+      "join", [] { return std::make_unique<JoinUnit>(); },
+      dataflow::constant_cost(2.0));
+  const auto sink = graph.add_sink("display");
+  graph.connect(src, left).connect(src, right);
+  graph.connect(left, join).connect(right, join);
+  graph.connect(join, sink);
+  graph.partition_by_id(left).partition_by_id(right).partition_by_id(join);
+  return graph;
+}
+
+struct ChurnRun {
+  core::AuditReport report;
+  std::uint64_t frames_arrived = 0;
+};
+
+// One diamond run with a mid-run join under a control-plane partition.
+// Timeline (6 fps, 120 frames => 20 s of stream):
+//
+//   t=5.5s  device C is partitioned from the master/camera device A
+//   t=6.0s  a new device joins the swarm (new right + join instances);
+//           the route updates announcing them to C die on the wire
+//   t=9.0s  partition heals; C resumes processing branch halves
+//
+// With cells, C's next report reveals the seq gap and the master re-sends
+// the logged updates; the epoch boundary (watermark + 64-frame slack)
+// lands only after every host has been repaired. Without cells, C routes
+// join halves by the stale set for the rest of the run.
+ChurnRun run_churn(bool with_cells) {
+  TestbedConfig config;
+  config.seed = 42;
+  config.workers = {"B", "C"};
+  // Strong links everywhere: the scripted partition must be the only
+  // disturbance, or congestion sheds would mask the stranding signal.
+  config.weak_signal_bcd = false;
+  config.swarm.chaos_enabled = true;
+  config.swarm.chaos.seed = 23;
+  config.swarm.with_recovery();
+  if (with_cells) {
+    config.swarm.with_cells(4);
+    config.swarm.master.epoch_boundary_slack = 64;
+  }
+
+  Testbed bed{config};
+  // The joiner exists in the radio picture from t=0 but runs no worker
+  // until the scripted mid-run join (Testbed launches only its `workers`).
+  const DeviceId joiner = bed.swarm().add_device_at_rssi(
+      device::profile_D(), config.strong_rssi_dbm);
+  bed.launch(churn_graph());
+
+  runtime::Scenario script{bed.swarm()};
+  script.partition_at(seconds(5.5), bed.id("A"), bed.id("C"), seconds(3.5));
+  script.join_at(seconds(6.0), joiner);
+  script.run_for(seconds(30.0));
+  bed.swarm().stop();
+  bed.run(seconds(8.0));  // Drain.
+
+  ChurnRun out;
+  out.report = bed.swarm().audit();
+  out.frames_arrived = bed.swarm().metrics().frames_arrived();
+  return out;
+}
+
+TEST(ShardChurn, ChurnFix_EpochRoutingJoinsEveryFrameOnce) {
+  const ChurnRun run = run_churn(/*with_cells=*/true);
+  // Strict conservation after stop + drain: nothing unaccounted.
+  EXPECT_TRUE(run.report.conserved()) << run.report.summary();
+  // Every frame fused and played at the sink — no half is stranded
+  // waiting for a sibling that was routed elsewhere.
+  EXPECT_EQ(run.frames_arrived, kFrames) << run.report.summary();
+}
+
+TEST(ShardChurn, ChurnBug_LegacyRoutingStrandsFramesAfterLostUpdate) {
+  const ChurnRun fixed = run_churn(/*with_cells=*/true);
+  const ChurnRun legacy = run_churn(/*with_cells=*/false);
+  // The identical fault script strands frames on the legacy plane: halves
+  // absorbed by divergent join picks sit in pending state forever, so the
+  // sink sees measurably fewer frames than with epoch routing.
+  EXPECT_LT(legacy.frames_arrived, fixed.frames_arrived)
+      << "legacy " << legacy.report.summary() << " vs fixed "
+      << fixed.report.summary();
+  // The stranded halves surface as consumed-but-never-delivered ids.
+  EXPECT_GT(legacy.report.consumed, fixed.report.consumed)
+      << "legacy " << legacy.report.summary() << " vs fixed "
+      << fixed.report.summary();
+}
+
+}  // namespace
+}  // namespace swing

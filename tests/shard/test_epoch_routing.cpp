@@ -1,0 +1,196 @@
+// swing-shard epoch-versioned routing: wire codecs for the four new control
+// messages, and the SwarmManager route-history regression the mid-run-join
+// frame-partitioning fix rests on — every host holding the same updates
+// must partition any given frame id identically, no matter when each host
+// learned of the change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "core/swarm_manager.h"
+#include "dataflow/codec.h"
+#include "shard/shard_messages.h"
+
+namespace swing::shard {
+namespace {
+
+template <typename M>
+void expect_roundtrip(const M& msg) {
+  const Bytes bytes = dataflow::encode_to_bytes(msg);
+  const M again = dataflow::decode_from<M>(bytes);
+  EXPECT_EQ(msg, again);
+  EXPECT_EQ(bytes, dataflow::encode_to_bytes(again));
+}
+
+TEST(ShardEpoch, CellAssignRoundtrip) {
+  expect_roundtrip(CellAssignMsg{CellId{3}, DeviceId{7}, DeviceId{5}, 42});
+}
+
+TEST(ShardEpoch, EpochRouteUpdateRoundtrip) {
+  EpochRouteUpdateMsg msg;
+  msg.seq = 9;
+  msg.epoch = 17;
+  msg.boundary_frame = 4096;
+  msg.op = EpochRouteUpdateMsg::Op::kRemove;
+  msg.route = runtime::RouteUpdateMsg{
+      InstanceId{2}, runtime::InstanceInfo{InstanceId{4}, OperatorId{1},
+                                           DeviceId{3}}};
+  expect_roundtrip(msg);
+}
+
+TEST(ShardEpoch, GatewayHelloRoundtrip) {
+  expect_roundtrip(GatewayHelloMsg{CellId{1}, DeviceId{2}, 8});
+}
+
+TEST(ShardEpoch, CellReportRoundtrip) {
+  expect_roundtrip(CellReportMsg{CellId{1}, DeviceId{2}, 2048, 12, 8});
+}
+
+TEST(ShardEpoch, TruncatedInputThrows) {
+  const Bytes bytes = dataflow::encode_to_bytes(
+      CellReportMsg{CellId{1}, DeviceId{2}, 2048, 12, 8});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r{std::span{bytes.data(), len}};
+    EXPECT_THROW((void)CellReportMsg::decode(r), WireFormatError) << len;
+  }
+}
+
+TEST(ShardEpoch, OutOfRangeOpThrows) {
+  EpochRouteUpdateMsg msg;
+  msg.op = EpochRouteUpdateMsg::Op::kAdd;
+  Bytes bytes = dataflow::encode_to_bytes(msg);
+  // The op byte sits right after the three leading u64 fields.
+  bytes[24] = 0x7f;
+  EXPECT_THROW((void)dataflow::decode_from<EpochRouteUpdateMsg>(bytes),
+               WireFormatError);
+}
+
+// --- SwarmManager route history --------------------------------------------
+
+core::SwarmManager make_manager(std::uint64_t seed = 1) {
+  return core::SwarmManager{core::SwarmManagerConfig{}, Rng{seed}};
+}
+
+TEST(ShardEpoch, LegacyManagerHasNoHistory) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  EXPECT_FALSE(m.epoch_routing());
+  EXPECT_EQ(m.downstreams_at(0), nullptr);  // Legacy fallback path.
+}
+
+TEST(ShardEpoch, SeedSnapshotsCurrentSetFromFrameZero) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{2});
+  m.add_downstream(InstanceId{1});
+  m.seed_route_epoch();
+  ASSERT_TRUE(m.epoch_routing());
+  const auto* downs = m.downstreams_at(0);
+  ASSERT_NE(downs, nullptr);
+  EXPECT_EQ(*downs, (std::vector<InstanceId>{InstanceId{1}, InstanceId{2}}));
+}
+
+TEST(ShardEpoch, BoundaryPinsOldFramesToOldSet) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  m.add_downstream(InstanceId{2});
+  m.seed_route_epoch();
+  ASSERT_TRUE(m.apply_route_epoch(1, 100, InstanceId{3}, true));
+  // Frames below the boundary keep the pre-join set; at and past it, the
+  // joined instance participates.
+  EXPECT_EQ(m.downstreams_at(99)->size(), 2u);
+  EXPECT_EQ(m.downstreams_at(100)->size(), 3u);
+  EXPECT_EQ(m.downstreams_at(100'000)->size(), 3u);
+  // The legacy membership view follows along (estimator, decision).
+  EXPECT_EQ(m.downstreams().size(), 3u);
+}
+
+TEST(ShardEpoch, TwoHostsPartitionEveryFrameIdentically) {
+  // The stranded-frame regression: the two upstream branches of a
+  // key-partitioned join live on different hosts and learn of a mid-run
+  // join at different times. With epoch routing both must map every frame
+  // id to the same join instance — the sets are sorted and boundary-pinned,
+  // so the modulus pick agrees regardless of when each host applied the
+  // update (worker.cpp send_on_edge).
+  core::SwarmManager a = make_manager(1);
+  core::SwarmManager b = make_manager(2);
+  for (auto* m : {&a, &b}) {
+    m->add_downstream(InstanceId{10});
+    m->add_downstream(InstanceId{11});
+    m->seed_route_epoch();
+  }
+  // Host A applies the join update "immediately"; host B keeps routing old
+  // frames meanwhile and applies the same update later. Frame ids do not
+  // care: the partition function is (boundary, sorted set), not wall time.
+  ASSERT_TRUE(a.apply_route_epoch(1, 256, InstanceId{12}, true));
+  for (std::uint64_t f = 0; f < 512; ++f) {
+    (void)b.downstreams_at(f);  // B routes a while before hearing the news.
+  }
+  ASSERT_TRUE(b.apply_route_epoch(1, 256, InstanceId{12}, true));
+  for (std::uint64_t f = 0; f < 1024; ++f) {
+    const auto* da = a.downstreams_at(f);
+    const auto* db = b.downstreams_at(f);
+    ASSERT_NE(da, nullptr);
+    ASSERT_NE(db, nullptr);
+    ASSERT_EQ(*da, *db) << "frame " << f;
+    // The actual partition pick both workers compute:
+    EXPECT_EQ((*da)[f % da->size()], (*db)[f % db->size()]) << "frame " << f;
+  }
+}
+
+TEST(ShardEpoch, StaleEpochRejected) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  m.seed_route_epoch();
+  ASSERT_TRUE(m.apply_route_epoch(5, 100, InstanceId{2}, true));
+  // An older epoch must be rejected wholesale and change nothing.
+  EXPECT_FALSE(m.apply_route_epoch(4, 50, InstanceId{3}, true));
+  EXPECT_EQ(m.route_epoch(), 5u);
+  EXPECT_EQ(m.downstreams().size(), 2u);
+  EXPECT_EQ(m.downstreams_at(100)->size(), 2u);
+}
+
+TEST(ShardEpoch, SameEpochBatchCoalesces) {
+  // One deploy batch adds several instances under a single epoch: they must
+  // coalesce into one history entry, not reject each other as stale.
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  m.seed_route_epoch();
+  ASSERT_TRUE(m.apply_route_epoch(1, 64, InstanceId{2}, true));
+  ASSERT_TRUE(m.apply_route_epoch(1, 64, InstanceId{3}, true));
+  EXPECT_EQ(m.route_epoch(), 1u);
+  EXPECT_EQ(m.downstreams_at(64)->size(), 3u);
+  EXPECT_EQ(m.downstreams_at(63)->size(), 1u);
+}
+
+TEST(ShardEpoch, BoundariesStayMonotone) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  m.seed_route_epoch();
+  ASSERT_TRUE(m.apply_route_epoch(1, 100, InstanceId{2}, true));
+  // A later epoch with a lower boundary (watermark skew) must not create a
+  // non-monotone history: it clamps up to the previous boundary, where the
+  // newer epoch's set shadows the older one.
+  ASSERT_TRUE(m.apply_route_epoch(2, 40, InstanceId{3}, true));
+  EXPECT_EQ(m.downstreams_at(99)->size(), 1u);   // Seed set below both.
+  EXPECT_EQ(m.downstreams_at(100)->size(), 3u);  // Epoch-2 set from 100.
+}
+
+TEST(ShardEpoch, HistoryIsBounded) {
+  core::SwarmManager m = make_manager();
+  m.add_downstream(InstanceId{1});
+  m.seed_route_epoch();
+  for (std::uint64_t e = 1; e <= 100; ++e) {
+    ASSERT_TRUE(m.apply_route_epoch(e, e * 10, InstanceId{e + 1}, e % 2 == 0));
+  }
+  // Still answers for ancient frames (oldest surviving entry) and fresh
+  // ones, without unbounded growth.
+  EXPECT_NE(m.downstreams_at(0), nullptr);
+  EXPECT_NE(m.downstreams_at(10'000), nullptr);
+  EXPECT_EQ(m.route_epoch(), 100u);
+}
+
+}  // namespace
+}  // namespace swing::shard

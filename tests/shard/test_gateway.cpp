@@ -1,0 +1,148 @@
+// swing-shard gateway unit tests: cell placement, split/merge thresholds,
+// handoff, role promotion, epoch monotonicity, and determinism of the whole
+// membership machine (pure data structure — no simulator involved).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/gateway.h"
+
+namespace swing::shard {
+namespace {
+
+GatewayConfig small_cells() {
+  GatewayConfig config;
+  config.cell_size_target = 2;  // Split at 4 members, merge below 1.
+  return config;
+}
+
+TEST(ShardCells, AdmitPlacesIntoLowestCellWithRoom) {
+  GatewayCoordinator gw{small_cells()};
+  for (std::uint64_t d = 0; d < 3; ++d) gw.admit(DeviceId{d});
+  // Target 2, split threshold 4: the first three all fit in cell 0.
+  EXPECT_EQ(gw.cell_count(), 1u);
+  EXPECT_EQ(gw.cell_of(DeviceId{0}), gw.cell_of(DeviceId{2}));
+  EXPECT_EQ(gw.cell(gw.cell_of(DeviceId{0}))->size(), 3u);
+}
+
+TEST(ShardCells, SplitAtTwiceTarget) {
+  GatewayCoordinator gw{small_cells()};
+  for (std::uint64_t d = 0; d < 4; ++d) gw.admit(DeviceId{d});
+  // The fourth admit reaches 2x target and splits into sorted halves.
+  EXPECT_EQ(gw.cell_count(), 2u);
+  EXPECT_EQ(gw.stats().cell_splits, 1u);
+  // Low half keeps the original cell; high half moved to the new one.
+  EXPECT_EQ(gw.cell_of(DeviceId{0}), gw.cell_of(DeviceId{1}));
+  EXPECT_EQ(gw.cell_of(DeviceId{2}), gw.cell_of(DeviceId{3}));
+  EXPECT_NE(gw.cell_of(DeviceId{0}), gw.cell_of(DeviceId{2}));
+}
+
+TEST(ShardCells, RoleIsLowestMemberId) {
+  GatewayCoordinator gw{small_cells()};
+  for (std::uint64_t d = 0; d < 4; ++d) gw.admit(DeviceId{d});
+  EXPECT_EQ(gw.cell(gw.cell_of(DeviceId{1}))->role_device(), DeviceId{0});
+  EXPECT_EQ(gw.cell(gw.cell_of(DeviceId{3}))->role_device(), DeviceId{2});
+}
+
+TEST(ShardCells, RemovalBelowHalfTargetMerges) {
+  GatewayConfig config;
+  config.cell_size_target = 4;  // Merge threshold: size < 2.
+  GatewayCoordinator gw{config};
+  for (std::uint64_t d = 0; d < 8; ++d) gw.admit(DeviceId{d});
+  ASSERT_EQ(gw.cell_count(), 2u);
+  // Drain the high cell down to one member: it merges into the survivor.
+  gw.remove(DeviceId{7});
+  gw.remove(DeviceId{6});
+  gw.remove(DeviceId{5});
+  EXPECT_EQ(gw.cell_count(), 1u);
+  EXPECT_GE(gw.stats().cell_merges, 1u);
+  EXPECT_TRUE(gw.cell(gw.cell_of(DeviceId{4}))->has_member(DeviceId{0}));
+}
+
+TEST(ShardCells, RemovingLastMemberRetiresCellWithoutMerge) {
+  GatewayCoordinator gw{small_cells()};
+  gw.admit(DeviceId{0});
+  ASSERT_EQ(gw.cell_count(), 1u);
+  gw.remove(DeviceId{0});
+  EXPECT_EQ(gw.cell_count(), 0u);
+  EXPECT_EQ(gw.stats().cell_merges, 0u);
+  EXPECT_FALSE(gw.cell_of(DeviceId{0}).valid());
+}
+
+TEST(ShardCells, HandoffMovesDeviceAndCounts) {
+  GatewayConfig config;
+  config.cell_size_target = 4;
+  GatewayCoordinator gw{config};
+  for (std::uint64_t d = 0; d < 8; ++d) gw.admit(DeviceId{d});
+  const CellId from = gw.cell_of(DeviceId{3});
+  const CellId to = gw.cell_of(DeviceId{7});
+  ASSERT_NE(from, to);
+  const auto affected = gw.handoff(DeviceId{3}, to);
+  EXPECT_EQ(gw.cell_of(DeviceId{3}), to);
+  EXPECT_EQ(gw.stats().handoffs, 1u);
+  // Both the source and destination cells are reported affected.
+  EXPECT_EQ(affected.size(), 2u);
+}
+
+TEST(ShardCells, PromotionWhenRoleDeviceLeaves) {
+  GatewayCoordinator gw{small_cells()};
+  gw.admit(DeviceId{0});
+  gw.admit(DeviceId{1});
+  const CellId cell = gw.cell_of(DeviceId{0});
+  ASSERT_EQ(gw.cell(cell)->role_device(), DeviceId{0});
+  gw.note_hello(cell, DeviceId{0});
+  EXPECT_TRUE(gw.cell(cell)->role_confirmed());
+  gw.remove(DeviceId{0});
+  // Surviving lowest id takes over; confirmation resets until it hellos.
+  EXPECT_EQ(gw.cell(cell)->role_device(), DeviceId{1});
+  EXPECT_FALSE(gw.cell(cell)->role_confirmed());
+  EXPECT_EQ(gw.stats().promotions, 1u);
+}
+
+TEST(ShardCells, EveryMembershipChangeBumpsTheEpoch) {
+  GatewayCoordinator gw{small_cells()};
+  std::uint64_t last = gw.epoch();
+  for (std::uint64_t d = 0; d < 5; ++d) {
+    gw.admit(DeviceId{d});
+    EXPECT_GT(gw.epoch(), last);
+    last = gw.epoch();
+  }
+  gw.remove(DeviceId{2});
+  EXPECT_GT(gw.epoch(), last);
+}
+
+TEST(ShardCells, RouteBoundaryTracksWatermarkPlusSlack) {
+  GatewayConfig config;
+  config.cell_size_target = 2;
+  config.epoch_boundary_slack = 100;
+  GatewayCoordinator gw{config};
+  gw.admit(DeviceId{0});
+  // No frames minted yet: boundary 0 (applies immediately from the start).
+  EXPECT_EQ(gw.route_boundary(), 0u);
+  gw.report(DeviceId{0}, 500);
+  EXPECT_EQ(gw.route_boundary(), 600u);
+  // Monotone even if the reported watermark regresses.
+  gw.report(DeviceId{0}, 400);
+  EXPECT_EQ(gw.route_boundary(), 600u);
+}
+
+TEST(ShardCells, SameAdmitSequenceSameTopology) {
+  const auto run = [] {
+    GatewayCoordinator gw{small_cells()};
+    for (std::uint64_t d = 0; d < 20; ++d) gw.admit(DeviceId{d});
+    for (std::uint64_t d = 0; d < 20; d += 3) gw.remove(DeviceId{d});
+    std::vector<std::uint64_t> shape;
+    for (const auto& [id, cell] : gw.cells()) {
+      shape.push_back(id);
+      shape.push_back(cell.size());
+      shape.push_back(cell.role_device().value());
+    }
+    shape.push_back(gw.epoch());
+    return shape;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace swing::shard

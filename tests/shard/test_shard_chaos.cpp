@@ -1,0 +1,98 @@
+// swing-shard chaos: cell-master crash and gateway partition. Named Shard*
+// so CI's shard-smoke job selects the suite with `ctest -R '^Shard'`.
+//
+// Both scenarios run the paper testbed with four workers in two cells
+// (target 2, split at 4). The swarm forms its cells during a short warmup,
+// the test reads the resulting topology off the master, and only then arms
+// the chaos verbs — cell ids are minted by the gateway at admit time, so
+// they are data, not constants.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/face_recognition.h"
+#include "apps/testbed.h"
+#include "core/tuple_ledger.h"
+#include "runtime/scenario.h"
+
+namespace swing {
+namespace {
+
+using apps::Testbed;
+using apps::TestbedConfig;
+
+TestbedConfig two_cell_config() {
+  TestbedConfig config;
+  config.seed = 42;
+  config.workers = {"B", "C", "D", "E"};
+  config.swarm.chaos_enabled = true;
+  config.swarm.chaos.seed = 31;
+  config.swarm.with_recovery();
+  config.swarm.with_cells(2);
+  return config;
+}
+
+TEST(ShardChaos, CellMasterCrashPromotesSurvivorAndKeepsDelivering) {
+  Testbed bed{two_cell_config()};
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(2.5));  // Let the cells form.
+
+  auto* master = bed.swarm().master();
+  ASSERT_NE(master, nullptr);
+  ASSERT_EQ(master->cell_count(), 2u);
+  const CellId cell = master->cell_of(bed.id("E"));
+  ASSERT_TRUE(cell.valid());
+  const DeviceId old_role = master->cell_role_device(cell);
+  ASSERT_TRUE(old_role.valid());
+
+  runtime::Scenario script{bed.swarm()};
+  script.crash_cell_master_at(seconds(3.0), cell);
+  script.run_for(seconds(14.0));
+  bed.swarm().stop();
+  bed.run(seconds(6.0));
+
+  // The surviving member was promoted to the cell-master role.
+  const DeviceId new_role = master->cell_role_device(cell);
+  EXPECT_TRUE(new_role.valid());
+  EXPECT_NE(new_role, old_role);
+  EXPECT_GE(master->gateway()->stats().promotions, 1u);
+
+  // Delivery continued and the audit stayed green (the crash itself books
+  // its in-flight tuples as abrupt-leave drops, not silent losses).
+  const core::AuditReport report = bed.swarm().audit();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.delivered, 0u);
+  EXPECT_GT(bed.swarm().registry().counter_total("epoch_bumps"), 0u);
+}
+
+TEST(ShardChaos, GatewayPartitionHealsWithSurvivingCellsDelivering) {
+  Testbed bed{two_cell_config()};
+  bed.launch(apps::face_recognition_graph());
+  bed.run(seconds(2.5));
+
+  auto* master = bed.swarm().master();
+  ASSERT_NE(master, nullptr);
+  ASSERT_EQ(master->cell_count(), 2u);
+  const std::uint64_t before = bed.swarm().audit().delivered;
+
+  runtime::Scenario script{bed.swarm()};
+  // Cut one cell's role device off from the gateway for 4 s — shorter than
+  // the 6 s membership timeout, so the member must survive the silence.
+  script.partition_gateway_at(seconds(1.0), bed.id("E"), seconds(4.0));
+  script.run_for(seconds(14.0));
+  bed.swarm().stop();
+  bed.run(seconds(6.0));
+
+  // The untouched cell kept the pipeline moving during the partition, and
+  // the partitioned device was not evicted: both cells are still standing.
+  const core::AuditReport report = bed.swarm().audit();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.delivered, before);
+  EXPECT_EQ(master->cell_count(), 2u);
+  EXPECT_TRUE(master->cell_of(bed.id("E")).valid());
+  // Per-cell control accounting saw traffic for both cells.
+  EXPECT_GT(bed.swarm().registry().counter_total("master_msgs"), 0u);
+}
+
+}  // namespace
+}  // namespace swing

@@ -46,6 +46,9 @@ KNOWN_EVENT_PHASES = {"X", "i", "I", "B", "E", "M", "C"}
 #
 # Adding a metric means adding it here AND at the call site, in one PR.
 KNOWN_METRICS = {
+    "cell_merges": {"kind": "counter", "labels": []},
+    "cell_splits": {"kind": "counter", "labels": []},
+    "cells_active": {"kind": "gauge", "labels": []},
     "chaos_injected": {"kind": "counter", "labels": ["fault"]},
     "checkpoint_latency_ms": {"kind": "histogram", "labels": []},
     "checkpoints_restored": {"kind": "counter", "labels": []},
@@ -57,10 +60,13 @@ KNOWN_METRICS = {
     "delay_queuing_ms": {"kind": "histogram", "labels": []},
     "delay_transmission_ms": {"kind": "histogram", "labels": []},
     "e2e_latency_ms": {"kind": "histogram", "labels": []},
+    "epoch_bumps": {"kind": "counter", "labels": []},
     "frames_delivered": {"kind": "counter", "labels": []},
     "frames_played": {"kind": "counter", "labels": []},
+    "handoffs": {"kind": "counter", "labels": []},
     "manager_routed_tuples": {"kind": "counter", "labels": ["policy"]},
     "master_events": {"kind": "counter", "labels": ["kind"]},
+    "master_msgs": {"kind": "counter", "labels": ["cell"]},
     "master_state_crashes": {"kind": "counter", "labels": []},
     "migrations_aborted": {"kind": "counter", "labels": []},
     "migrations_completed": {"kind": "counter", "labels": []},
@@ -69,6 +75,7 @@ KNOWN_METRICS = {
     "net_messages_dropped": {"kind": "counter", "labels": ["reason"]},
     "restore_latency_ms": {"kind": "histogram", "labels": []},
     "retry_latency_ms": {"kind": "histogram", "labels": []},
+    "stale_epoch_rejected": {"kind": "counter", "labels": []},
     "state_bytes": {"kind": "counter", "labels": ["kind"]},
     "state_restores": {"kind": "counter", "labels": ["source"]},
     "tuples_deduplicated": {"kind": "counter", "labels": []},
@@ -172,6 +179,7 @@ def check_bench_report(doc, errors: list[str]) -> None:
 
     check_micro_floors(doc, errors)
     check_state_recovery_summary(doc, errors)
+    check_shard_floors(doc, errors)
 
     _finite_numbers(doc, "$", errors)
 
@@ -272,6 +280,56 @@ def check_state_recovery_summary(doc, errors: list[str]) -> None:
                 f"delta checkpointing saved nothing: "
                 f"checkpoint_bytes_delta={delta} is not below "
                 f"checkpoint_bytes_full={full}")
+
+
+# Summary fields the swing-shard scalability bench must carry: per-device
+# control-plane message cost at each swept swarm size. The sharding claim
+# is that cost stays flat as the swarm grows — cells bound each master's
+# fan-out, so adding devices adds cells, not per-device traffic.
+SHARD_SCALABILITY_REQUIRED = (
+    "control_msgs_per_device_1k",
+    "control_msgs_per_device_10k",
+    "control_msgs_per_device_100k",
+)
+
+# Allowed relative drift of per-device control cost from 1k to 10k devices.
+SHARD_FLAT_TOLERANCE = 0.20
+
+
+def check_shard_floors(doc, errors: list[str]) -> None:
+    """Gates the ext_scalability swing-shard summary.
+
+    Only applies to ext_scalability reports. The three per-device cost
+    fields must be present and finite, and cost at 10k devices must sit
+    within SHARD_FLAT_TOLERANCE of the 1k figure — an O(n) control plane
+    (every route update to every device) fails this gate by an order of
+    magnitude, while cell-bounded fan-out passes with headroom.
+    """
+    if doc.get("bench") != "ext_scalability":
+        return
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("ext_scalability report has no 'summary' object")
+        return
+    values = {}
+    for key in SHARD_SCALABILITY_REQUIRED:
+        v = summary.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            errors.append(f"'summary.{key}' must be a finite number")
+            continue
+        values[key] = v
+    per_1k = values.get("control_msgs_per_device_1k")
+    per_10k = values.get("control_msgs_per_device_10k")
+    if per_1k is not None and per_10k is not None:
+        if per_1k <= 0:
+            errors.append(
+                f"control_msgs_per_device_1k must be positive ({per_1k})")
+        elif abs(per_10k - per_1k) > SHARD_FLAT_TOLERANCE * per_1k:
+            errors.append(
+                f"per-device control cost is not flat: "
+                f"{per_10k:.3f} msgs/device at 10k vs {per_1k:.3f} at 1k "
+                f"(tolerance {SHARD_FLAT_TOLERANCE:.0%})")
 
 
 def check_hotpath_report(doc, errors: list[str]) -> None:

@@ -104,6 +104,8 @@ class SwitchMutationTest(unittest.TestCase):
                   "    case MsgType::kCheckpoint:\n"
                   "    case MsgType::kDelta:\n"
                   "    case MsgType::kMigrateAck:\n"
+                  "    case MsgType::kGatewayHello:\n"
+                  "    case MsgType::kCellReport:\n"
                   "      break;\n")
         self.assertIn(target, sources["runtime/worker.cpp"])
         sources["runtime/worker.cpp"] = sources["runtime/worker.cpp"].replace(
